@@ -1,0 +1,66 @@
+// bm_chained — google-benchmark for the chained workloads (Table 1 rows
+// ray-rot and rot-cc) whose OmpSs variants benefit from dependence-aware
+// locality scheduling.
+#include <benchmark/benchmark.h>
+
+#include "apps/apps.hpp"
+
+namespace {
+
+using benchcore::Scale;
+
+const apps::RayRotWorkload& rayrot_w() {
+  static const auto w = apps::RayRotWorkload::make(Scale::Tiny);
+  return w;
+}
+const apps::RotCcWorkload& rotcc_w() {
+  static const auto w = apps::RotCcWorkload::make(Scale::Tiny);
+  return w;
+}
+
+// Force workload construction before main() so input generation
+// (scene/bitstream synthesis) never lands inside a timed region.
+const auto& warm_rayrot_w = rayrot_w();
+const auto& warm_rotcc_w = rotcc_w();
+
+void BM_ray_rot_seq(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(apps::ray_rot_seq(rayrot_w()));
+}
+void BM_ray_rot_pthreads(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(apps::ray_rot_pthreads(
+        rayrot_w(), static_cast<std::size_t>(state.range(0))));
+}
+void BM_ray_rot_ompss(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(apps::ray_rot_ompss(
+        rayrot_w(), static_cast<std::size_t>(state.range(0))));
+}
+
+void BM_rot_cc_seq(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(apps::rot_cc_seq(rotcc_w()));
+}
+void BM_rot_cc_pthreads(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(apps::rot_cc_pthreads(
+        rotcc_w(), static_cast<std::size_t>(state.range(0))));
+}
+void BM_rot_cc_ompss(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(apps::rot_cc_ompss(
+        rotcc_w(), static_cast<std::size_t>(state.range(0))));
+}
+
+constexpr int kIters = 3;
+#define THREAD_ARGS Arg(1)->Arg(2)->Arg(4)->Iterations(kIters)
+
+BENCHMARK(BM_ray_rot_seq)->Iterations(kIters);
+BENCHMARK(BM_ray_rot_pthreads)->THREAD_ARGS;
+BENCHMARK(BM_ray_rot_ompss)->THREAD_ARGS;
+BENCHMARK(BM_rot_cc_seq)->Iterations(kIters);
+BENCHMARK(BM_rot_cc_pthreads)->THREAD_ARGS;
+BENCHMARK(BM_rot_cc_ompss)->THREAD_ARGS;
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// bm_h264dec — google-benchmark for the h264dec row of Table 1: the
+// sequential decoder, the Pthreads line-decoding (wavefront) decoder, and
+// the OmpSs Listing-1 pipeline decoder.
+#include <benchmark/benchmark.h>
+
+#include "apps/apps.hpp"
+
+namespace {
+
+using benchcore::Scale;
+
+const apps::H264Workload& h264_w() {
+  static const auto w = apps::H264Workload::make(Scale::Tiny);
+  return w;
+}
+
+// Force workload construction before main() so input generation
+// (scene/bitstream synthesis) never lands inside a timed region.
+const auto& warm_h264_w = h264_w();
+
+void BM_h264dec_seq(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(apps::h264dec_seq(h264_w()));
+}
+void BM_h264dec_pthreads(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(apps::h264dec_pthreads(
+        h264_w(), static_cast<std::size_t>(state.range(0))));
+}
+void BM_h264dec_pthreads_pipeline(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(apps::h264dec_pthreads_pipeline(
+        h264_w(), static_cast<std::size_t>(state.range(0))));
+}
+void BM_h264dec_ompss(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(apps::h264dec_ompss(
+        h264_w(), static_cast<std::size_t>(state.range(0))));
+}
+
+constexpr int kIters = 3;
+
+BENCHMARK(BM_h264dec_seq)->Iterations(kIters);
+BENCHMARK(BM_h264dec_pthreads)->Arg(1)->Arg(2)->Arg(4)->Iterations(kIters);
+BENCHMARK(BM_h264dec_pthreads_pipeline)->Arg(2)->Arg(4)->Iterations(kIters);
+BENCHMARK(BM_h264dec_ompss)->Arg(1)->Arg(2)->Arg(4)->Iterations(kIters);
+
+} // namespace
+
+BENCHMARK_MAIN();

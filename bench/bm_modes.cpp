@@ -1,0 +1,84 @@
+// bm_modes — reduction-pattern microbenchmarks comparing the three ways to
+// accumulate into shared state under the task model:
+//
+//   inout        — a serial dependency chain (one task at a time, ordered)
+//   commutative  — order-free but mutually exclusive (runtime lock)
+//   concurrent   — order-free and parallel (task-side atomics)
+//
+// The OmpSs/StarSs family added commutative/concurrent precisely because
+// inout chains serialize reductions; this shows the throughput ladder.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "ompss/ompss.hpp"
+
+namespace {
+
+constexpr int kTasks = 500;
+constexpr int kWorkPerTask = 4000;
+
+void work() {
+  for (int j = 0; j < kWorkPerTask; ++j) { volatile int sink = j; (void)sink; }
+}
+
+void BM_reduce_inout_chain(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    oss::Runtime rt(threads);
+    long sum = 0;
+    for (int i = 0; i < kTasks; ++i) {
+      rt.spawn({oss::inout(sum)}, [&sum] {
+        work();
+        sum += 1;
+      });
+    }
+    rt.taskwait();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * kTasks);
+}
+
+void BM_reduce_commutative(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    oss::Runtime rt(threads);
+    long sum = 0;
+    for (int i = 0; i < kTasks; ++i) {
+      rt.spawn({oss::commutative(sum)}, [&sum] {
+        work();
+        sum += 1;
+      });
+    }
+    rt.taskwait();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * kTasks);
+}
+
+void BM_reduce_concurrent(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    oss::Runtime rt(threads);
+    std::atomic<long> sum{0};
+    for (int i = 0; i < kTasks; ++i) {
+      rt.spawn({oss::concurrent(sum)}, [&sum] {
+        work();
+        sum.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    rt.taskwait();
+    benchmark::DoNotOptimize(sum.load());
+  }
+  state.SetItemsProcessed(state.iterations() * kTasks);
+}
+
+constexpr int kIters = 3;
+
+BENCHMARK(BM_reduce_inout_chain)->Arg(1)->Arg(2)->Arg(4)->Iterations(kIters);
+BENCHMARK(BM_reduce_commutative)->Arg(1)->Arg(2)->Arg(4)->Iterations(kIters);
+BENCHMARK(BM_reduce_concurrent)->Arg(1)->Arg(2)->Arg(4)->Iterations(kIters);
+
+} // namespace
+
+BENCHMARK_MAIN();

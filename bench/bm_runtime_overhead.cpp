@@ -1,0 +1,91 @@
+// bm_runtime_overhead — microbenchmarks of the `oss` runtime itself (A4 in
+// DESIGN.md): the per-task costs that make task granularity matter for
+// h264dec (§4 of the paper).
+//
+//   * spawn+drain of empty independent tasks (pure runtime overhead)
+//   * dependency-chain latency (spawn + RAW edge + wakeup per link)
+//   * access registration cost as a function of access-list length
+//   * critical-section throughput
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "ompss/ompss.hpp"
+
+namespace {
+
+void BM_spawn_empty_tasks(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    oss::Runtime rt(threads);
+    for (int i = 0; i < 2000; ++i) rt.spawn({}, [] {});
+    rt.taskwait();
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+
+void BM_dependency_chain(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    oss::Runtime rt(threads);
+    int token = 0;
+    for (int i = 0; i < 1000; ++i) rt.spawn({oss::inout(token)}, [] {});
+    rt.taskwait();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+
+void BM_wide_access_lists(benchmark::State& state) {
+  const int naccesses = static_cast<int>(state.range(0));
+  std::vector<int> vars(static_cast<std::size_t>(naccesses));
+  for (auto _ : state) {
+    oss::Runtime rt(1);
+    for (int t = 0; t < 500; ++t) {
+      oss::AccessList acc;
+      acc.reserve(static_cast<std::size_t>(naccesses));
+      for (int i = 0; i < naccesses; ++i)
+        acc.push_back(oss::inout(vars[static_cast<std::size_t>(i)]));
+      rt.spawn(std::move(acc), [] {});
+    }
+    rt.taskwait();
+  }
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+
+void BM_critical_throughput(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    oss::Runtime rt(threads);
+    long counter = 0;
+    for (int i = 0; i < 500; ++i) {
+      rt.spawn({}, [&rt, &counter] { rt.critical("c", [&] { counter++; }); });
+    }
+    rt.taskwait();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+
+void BM_taskwait_on_latency(benchmark::State& state) {
+  for (auto _ : state) {
+    oss::Runtime rt(2);
+    int x = 0;
+    for (int i = 0; i < 200; ++i) {
+      rt.spawn({oss::inout(x)}, [] {});
+      rt.taskwait_on(x);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+
+constexpr int kIters = 3;
+
+BENCHMARK(BM_spawn_empty_tasks)->Arg(1)->Arg(2)->Arg(4)->Iterations(kIters);
+BENCHMARK(BM_dependency_chain)->Arg(1)->Arg(2)->Arg(4)->Iterations(kIters);
+BENCHMARK(BM_wide_access_lists)->Arg(1)->Arg(4)->Arg(16)->Iterations(kIters);
+BENCHMARK(BM_critical_throughput)->Arg(1)->Arg(4)->Iterations(kIters);
+BENCHMARK(BM_taskwait_on_latency)->Iterations(kIters);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,136 @@
+// table1 — regenerates the paper's Table 1: speedup of the OmpSs variant
+// over the Pthreads variant for all 10 benchmarks across core counts, with
+// per-benchmark geometric means (Mean column), per-core-count means (Mean
+// row), and the overall geomean (bottom-right).
+//
+// Usage:
+//   table1 [--cores=1,8,16,24,32] [--reps=3] [--scale=tiny|small|medium|large]
+//          [--only=c-ray,md5,...] [--seconds]
+//
+// Defaults are sized for this container (1 physical core): cores 1,2,4 and
+// the small scale.  Pass --cores=1,8,16,24,32 --scale=large on a 32-core
+// machine to mirror the paper's setup exactly.  --seconds additionally
+// prints the raw median times behind each speedup cell.
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "apps/apps.hpp"
+#include "bench_core/bench_core.hpp"
+
+namespace {
+
+using benchcore::Scale;
+using benchcore::Table1Harness;
+using benchcore::VariantSet;
+
+/// Builds the 10 VariantSets at the given scale.  Workloads are constructed
+/// once, outside the timed region.
+struct Suite {
+  apps::CRayWorkload cray;
+  apps::RotateWorkload rotate;
+  apps::RgbcmyWorkload rgbcmy;
+  apps::Md5Workload md5;
+  apps::KmeansWorkload kmeans;
+  apps::RayRotWorkload rayrot;
+  apps::RotCcWorkload rotcc;
+  apps::StreamclusterWorkload streamcluster;
+  apps::BodytrackWorkload bodytrack;
+  apps::H264Workload h264;
+
+  explicit Suite(Scale scale)
+      : cray(apps::CRayWorkload::make(scale)),
+        rotate(apps::RotateWorkload::make(scale)),
+        rgbcmy(apps::RgbcmyWorkload::make(scale)),
+        md5(apps::Md5Workload::make(scale)),
+        kmeans(apps::KmeansWorkload::make(scale)),
+        rayrot(apps::RayRotWorkload::make(scale)),
+        rotcc(apps::RotCcWorkload::make(scale)),
+        streamcluster(apps::StreamclusterWorkload::make(scale)),
+        bodytrack(apps::BodytrackWorkload::make(scale)),
+        h264(apps::H264Workload::make(scale)) {}
+
+  void register_all(Table1Harness& h) const {
+    h.add({"c-ray", [this] { apps::c_ray_seq(cray); },
+           [this](std::size_t n) { apps::c_ray_pthreads(cray, n); },
+           [this](std::size_t n) { apps::c_ray_ompss(cray, n); }});
+    h.add({"rotate", [this] { apps::rotate_seq(rotate); },
+           [this](std::size_t n) { apps::rotate_pthreads(rotate, n); },
+           [this](std::size_t n) { apps::rotate_ompss(rotate, n); }});
+    h.add({"rgbcmy", [this] { apps::rgbcmy_seq(rgbcmy); },
+           [this](std::size_t n) { apps::rgbcmy_pthreads(rgbcmy, n); },
+           [this](std::size_t n) { apps::rgbcmy_ompss(rgbcmy, n); }});
+    h.add({"md5", [this] { apps::md5_seq(md5); },
+           [this](std::size_t n) { apps::md5_pthreads(md5, n); },
+           [this](std::size_t n) { apps::md5_ompss(md5, n); }});
+    h.add({"kmeans", [this] { apps::kmeans_app_seq(kmeans); },
+           [this](std::size_t n) { apps::kmeans_app_pthreads(kmeans, n); },
+           [this](std::size_t n) { apps::kmeans_app_ompss(kmeans, n); }});
+    h.add({"ray-rot", [this] { apps::ray_rot_seq(rayrot); },
+           [this](std::size_t n) { apps::ray_rot_pthreads(rayrot, n); },
+           [this](std::size_t n) { apps::ray_rot_ompss(rayrot, n); }});
+    h.add({"rot-cc", [this] { apps::rot_cc_seq(rotcc); },
+           [this](std::size_t n) { apps::rot_cc_pthreads(rotcc, n); },
+           [this](std::size_t n) { apps::rot_cc_ompss(rotcc, n); }});
+    h.add({"streamcluster", [this] { apps::streamcluster_app_seq(streamcluster); },
+           [this](std::size_t n) { apps::streamcluster_app_pthreads(streamcluster, n); },
+           [this](std::size_t n) { apps::streamcluster_app_ompss(streamcluster, n); }});
+    h.add({"bodytrack", [this] { apps::bodytrack_seq(bodytrack); },
+           [this](std::size_t n) { apps::bodytrack_pthreads(bodytrack, n); },
+           [this](std::size_t n) { apps::bodytrack_ompss(bodytrack, n); }});
+    h.add({"h264dec", [this] { apps::h264dec_seq(h264); },
+           [this](std::size_t n) { apps::h264dec_pthreads(h264, n); },
+           [this](std::size_t n) { apps::h264dec_ompss(h264, n); }});
+  }
+};
+
+} // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const benchcore::Args args(argc, argv);
+    const Scale scale = benchcore::parse_scale(args.get("scale", "tiny"));
+    const auto cores = args.get_sizes("cores", {1, 2, 4});
+    const auto reps = static_cast<std::size_t>(args.get_long("reps", 3));
+    const auto only = args.get_list("only");
+
+    std::printf("Table 1 reproduction — OmpSs-over-Pthreads speedup factors\n");
+    std::printf("scale=%s reps=%zu (median); >1.00 means OmpSs is faster\n\n",
+                benchcore::to_string(scale), reps);
+
+    Suite suite(scale);
+    Table1Harness harness(cores, reps);
+    suite.register_all(harness);
+
+    std::vector<benchcore::SpeedupRow> rows;
+    const std::string table = harness.render_all(only, &rows);
+    std::fputs(table.c_str(), stdout);
+
+    if (args.has("seconds")) {
+      std::printf("\nraw median seconds (pthreads | ompss):\n");
+      benchcore::TextTable t;
+      std::vector<std::string> header{"Benchmark"};
+      for (std::size_t c : cores) header.push_back(std::to_string(c));
+      t.set_header(std::move(header));
+      for (const auto& r : rows) {
+        std::vector<std::string> cells{r.name};
+        for (std::size_t i = 0; i < r.pthreads_seconds.size(); ++i) {
+          cells.push_back(benchcore::TextTable::fmt(r.pthreads_seconds[i] * 1e3, 1) +
+                          "|" +
+                          benchcore::TextTable::fmt(r.ompss_seconds[i] * 1e3, 1) +
+                          "ms");
+        }
+        t.add_row(std::move(cells));
+      }
+      std::fputs(t.render().c_str(), stdout);
+    }
+
+    std::printf(
+        "\npaper reference (32-core cc-NUMA): overall geomean 1.02; biggest\n"
+        "wins rgbcmy/ray-rot/c-ray, biggest loss h264dec at high core counts.\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "table1: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,61 @@
+// h264_pipeline — runnable version of the paper's Listing 1 case study.
+//
+// Encodes a synthetic sequence, then decodes it with the 5-stage OmpSs
+// pipeline (read → parse → entropy-decode → reconstruct → output) using
+// circular-buffer renaming, `taskwait_on` loop control, and critical-
+// section-guarded PIB/DPB buffers — and verifies the decoded checksums
+// against the encoder's reconstruction.
+//
+//   $ ./h264_pipeline [frames] [threads]
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/h264dec/h264dec_app.hpp"
+#include "bench_core/timer.hpp"
+
+int main(int argc, char** argv) {
+  const int frames = argc > 1 ? std::atoi(argv[1]) : 12;
+  const std::size_t threads = argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 4;
+
+  std::printf("encoding %d synthetic frames (320x192, gop 8)...\n", frames);
+  video::EncoderConfig ec;
+  ec.width = 320;
+  ec.height = 192;
+  ec.frames = frames > 0 ? frames : 1;
+  const video::EncodeResult enc = video::encode_video(ec);
+  std::printf("bitstream: %zu frames, %zu bytes total\n",
+              enc.video.frames.size(), enc.video.total_bytes());
+
+  apps::H264Workload w;
+  w.video = enc.video;
+  w.expected_checksums = enc.recon_checksums;
+  w.pipeline_depth = 4; // the circular buffer N of Listing 1
+  w.mb_group = 2;
+
+  std::printf("decoding with the Listing-1 OmpSs pipeline (%zu threads, "
+              "renaming depth %d)...\n",
+              threads, w.pipeline_depth);
+  benchcore::WallTimer timer;
+  const auto checksums = apps::h264dec_ompss(w, threads);
+  const double ms = timer.millis();
+
+  if (checksums == w.expected_checksums) {
+    std::printf("OK: %zu frames decoded bit-exactly in %.1f ms (%.1f fps)\n",
+                checksums.size(), ms, checksums.size() / (ms / 1e3));
+  } else {
+    std::printf("MISMATCH: decoded output differs from encoder reconstruction!\n");
+    return 1;
+  }
+
+  std::printf("\nwhy this works (paper §3):\n"
+              " - tasks are spawned before their inputs exist; the runtime\n"
+              "   resolves dependencies as producers finish\n"
+              " - WAR/WAW hazards across iterations are killed by manual\n"
+              "   renaming through %d circular buffer slots\n"
+              " - the DPB/PIB dependencies are hidden from the task\n"
+              "   specifications and guarded by critical sections instead\n"
+              " - `taskwait_on(read_context)` gates the EOF check without\n"
+              "   draining the pipeline\n",
+              w.pipeline_depth);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// ray_rot_pipeline — the chained ray-rot workload as a standalone demo.
+//
+// Renders a procedural scene, rotates the result, writes both images as
+// PPM files, and prints the scheduler statistics that explain the paper's
+// ray-rot result (dependent tasks placed back-to-back on the same core).
+//
+//   $ ./ray_rot_pipeline [out_prefix]
+#include <cstdio>
+#include <string>
+
+#include "apps/ray_rot/ray_rot.hpp"
+#include "img/ppm.hpp"
+#include "ompss/ompss.hpp"
+
+int main(int argc, char** argv) {
+  const std::string prefix = argc > 1 ? argv[1] : "ray_rot";
+
+  auto w = apps::RayRotWorkload::make(benchcore::Scale::Small);
+  std::printf("ray-rot: render %dx%d procedural scene, rotate by 8 degrees\n",
+              w.width, w.height);
+
+  // Run under an instrumented runtime to show the locality behaviour.
+  oss::RuntimeConfig cfg = oss::RuntimeConfig::with_threads(4);
+  cfg.scheduler = oss::SchedulerPolicy::Locality;
+  oss::Runtime rt(cfg);
+
+  img::Image rendered(w.width, w.height, 3);
+  img::Image rotated(w.width, w.height, 3);
+  const int block = w.block_rows;
+  for (int lo = 0; lo < w.height; lo += block) {
+    const int hi = std::min(w.height, lo + block);
+    rt.spawn({oss::out(rendered.row(lo), static_cast<std::size_t>(hi - lo) * rendered.stride())},
+             [&, lo, hi] { cray::render_rows(w.scene, rendered, w.opts, lo, hi); },
+             "render");
+  }
+  for (int lo = 0; lo < w.height; lo += block) {
+    const int hi = std::min(w.height, lo + block);
+    const auto [blo, bhi] = apps::rotate_source_band(w.spec, w.width, w.height, lo, hi);
+    rt.spawn({oss::in(rendered.row(blo), static_cast<std::size_t>(bhi - blo) * rendered.stride()),
+              oss::out(rotated.row(lo), static_cast<std::size_t>(hi - lo) * rotated.stride())},
+             [&, lo, hi] { img::rotate_rows(rendered, rotated, w.spec, lo, hi); },
+             "rotate");
+  }
+  rt.taskwait();
+
+  img::write_pnm(rendered, prefix + "_rendered.ppm");
+  img::write_pnm(rotated, prefix + "_rotated.ppm");
+  std::printf("wrote %s_rendered.ppm and %s_rotated.ppm\n", prefix.c_str(),
+              prefix.c_str());
+
+  const auto stats = rt.stats();
+  std::printf("\nscheduler behaviour (locality policy):\n%s", stats.to_string().c_str());
+  std::printf("\nlocal-queue pops are rotate tasks running back-to-back with\n"
+              "the render task that produced their input band — the cache\n"
+              "locality effect behind the paper's ray-rot result.\n");
+  return 0;
+}

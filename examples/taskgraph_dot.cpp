@@ -1,0 +1,48 @@
+// taskgraph_dot — visualize the dependency graphs the runtime discovers.
+//
+// Builds two versions of a 4-stage, 6-iteration pipeline — one reusing a
+// single buffer per stage (WAR/WAW hazards serialize everything) and one
+// with circular-buffer renaming (parallelism restored) — and prints both
+// task graphs as Graphviz DOT.  The visual difference is the paper's
+// second observation (§3) in one picture.
+//
+//   $ ./taskgraph_dot > graphs.dot && dot -Tpng -O graphs.dot
+#include <array>
+#include <cstdio>
+
+#include "ompss/ompss.hpp"
+
+namespace {
+
+std::string build_pipeline_graph(bool renamed) {
+  oss::RuntimeConfig cfg = oss::RuntimeConfig::with_threads(2);
+  cfg.record_graph = true;
+  oss::Runtime rt(cfg);
+
+  constexpr int kIters = 6;
+  constexpr int N = 3;
+  struct Stage { int ctx = 0; };
+  Stage s1, s2;
+  std::array<int, N> slots{};
+  int single_slot = 0;
+
+  for (int k = 0; k < kIters; ++k) {
+    int& slot = renamed ? slots[static_cast<std::size_t>(k % N)] : single_slot;
+    rt.spawn({oss::inout(s1), oss::out(slot)}, [] {}, "produce");
+    rt.spawn({oss::inout(s2), oss::in(slot)}, [] {}, "consume");
+  }
+  rt.taskwait();
+  return rt.export_graph_dot();
+}
+
+} // namespace
+
+int main() {
+  std::printf("// Graph 1: single shared buffer — WAR/WAW edges serialize the\n"
+              "// pipeline (red/blue dashed edges everywhere).\n%s\n",
+              build_pipeline_graph(false).c_str());
+  std::printf("// Graph 2: circular renaming over 3 slots — only the true RAW\n"
+              "// dataflow remains; iterations overlap.\n%s",
+              build_pipeline_graph(true).c_str());
+  return 0;
+}

@@ -1,0 +1,18 @@
+// apps.hpp — umbrella header for the 10-benchmark suite.
+//
+// Every benchmark exposes a `<Name>Workload::make(scale)` input factory and
+// three run functions (`*_seq`, `*_pthreads(threads)`, `*_ompss(threads)`)
+// exploiting the same parallelism — the comparability requirement of the
+// paper's methodology (§2).
+#pragma once
+
+#include "apps/bodytrack/bodytrack_app.hpp"
+#include "apps/c_ray/c_ray.hpp"
+#include "apps/h264dec/h264dec_app.hpp"
+#include "apps/kmeans/kmeans_app.hpp"
+#include "apps/md5/md5_app.hpp"
+#include "apps/ray_rot/ray_rot.hpp"
+#include "apps/rgbcmy/rgbcmy_app.hpp"
+#include "apps/rot_cc/rot_cc.hpp"
+#include "apps/rotate/rotate_app.hpp"
+#include "apps/streamcluster/streamcluster_app.hpp"

@@ -1,0 +1,86 @@
+#include "apps/bodytrack/bodytrack_app.hpp"
+
+#include "apps/common/blocks.hpp"
+#include "ompss/ompss.hpp"
+#include "threading/threading.hpp"
+
+namespace apps {
+
+using tracking::BinaryMap;
+using tracking::BodyPose;
+
+BodytrackWorkload BodytrackWorkload::make(benchcore::Scale scale) {
+  BodytrackWorkload w;
+  w.width = benchcore::by_scale(scale, 96, 160, 320, 640);
+  w.height = benchcore::by_scale(scale, 72, 120, 240, 480);
+  w.frames = benchcore::by_scale(scale, 4, 8, 12, 20);
+  w.cfg.num_particles = benchcore::by_scale(scale, 64, 128, 512, 2048);
+  w.cfg.annealing_layers = benchcore::by_scale(scale, 2, 3, 4, 5);
+  w.block_particles = benchcore::by_scale<std::size_t>(scale, 16, 32, 64, 128);
+  return w;
+}
+
+std::vector<BodyPose> bodytrack_seq(const BodytrackWorkload& w) {
+  return tracking::track_seq(w.cfg, w.frames, w.width, w.height);
+}
+
+std::vector<BodyPose> bodytrack_pthreads(const BodytrackWorkload& w,
+                                         std::size_t threads) {
+  std::vector<BodyPose> particles(
+      static_cast<std::size_t>(w.cfg.num_particles),
+      tracking::ground_truth_pose(0, w.width, w.height));
+  std::vector<double> weights(particles.size(), 1.0);
+  std::vector<BodyPose> estimates;
+  estimates.reserve(static_cast<std::size_t>(w.frames));
+
+  pt::ThreadPool pool(threads);
+  for (int f = 0; f < w.frames; ++f) {
+    const BinaryMap obs = tracking::make_observation(f, w.width, w.height);
+    for (int layer = 0; layer < w.cfg.annealing_layers; ++layer) {
+      pt::parallel_for_dynamic(pool, 0, particles.size(), w.block_particles,
+                               [&](std::size_t lo, std::size_t hi) {
+                                 tracking::particles_step_range(
+                                     particles, weights, obs, w.cfg, f, layer,
+                                     lo, hi);
+                               });
+      tracking::resample(particles, weights,
+                         w.cfg.seed + static_cast<std::uint32_t>(f * 97 + layer));
+    }
+    estimates.push_back(tracking::weighted_mean(particles, weights));
+  }
+  return estimates;
+}
+
+std::vector<BodyPose> bodytrack_ompss(const BodytrackWorkload& w,
+                                      std::size_t threads) {
+  std::vector<BodyPose> particles(
+      static_cast<std::size_t>(w.cfg.num_particles),
+      tracking::ground_truth_pose(0, w.width, w.height));
+  std::vector<double> weights(particles.size(), 1.0);
+  std::vector<BodyPose> estimates;
+  estimates.reserve(static_cast<std::size_t>(w.frames));
+
+  oss::Runtime rt(threads);
+  const auto blocks = split_blocks(particles.size(), w.block_particles);
+  for (int f = 0; f < w.frames; ++f) {
+    const BinaryMap obs = tracking::make_observation(f, w.width, w.height);
+    for (int layer = 0; layer < w.cfg.annealing_layers; ++layer) {
+      for (const auto& [lo, hi] : blocks) {
+        rt.spawn({oss::inout(&particles[lo], hi - lo),
+                  oss::out(&weights[lo], hi - lo)},
+                 [&, f, layer, lo = lo, hi = hi] {
+                   tracking::particles_step_range(particles, weights, obs,
+                                                  w.cfg, f, layer, lo, hi);
+                 },
+                 "particle_weights");
+      }
+      rt.taskwait(); // polling task barrier before the serial resample
+      tracking::resample(particles, weights,
+                         w.cfg.seed + static_cast<std::uint32_t>(f * 97 + layer));
+    }
+    estimates.push_back(tracking::weighted_mean(particles, weights));
+  }
+  return estimates;
+}
+
+} // namespace apps

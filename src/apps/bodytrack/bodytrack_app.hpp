@@ -1,0 +1,32 @@
+// bodytrack_app.hpp — the `bodytrack` benchmark (annealed particle filter).
+//
+// Per frame and annealing layer, the particle weight evaluation is the
+// parallel hot loop; resampling is a short serial phase between layers —
+// barrier-phased like PARSEC bodytrack.  Deterministic across variants (see
+// tracking/particle_filter.hpp).
+#pragma once
+
+#include <vector>
+
+#include "bench_core/workload.hpp"
+#include "tracking/tracking.hpp"
+
+namespace apps {
+
+struct BodytrackWorkload {
+  tracking::TrackerConfig cfg;
+  int frames = 8;
+  int width = 160;
+  int height = 120;
+  std::size_t block_particles = 32;
+
+  static BodytrackWorkload make(benchcore::Scale scale);
+};
+
+std::vector<tracking::BodyPose> bodytrack_seq(const BodytrackWorkload& w);
+std::vector<tracking::BodyPose> bodytrack_pthreads(const BodytrackWorkload& w,
+                                                   std::size_t threads);
+std::vector<tracking::BodyPose> bodytrack_ompss(const BodytrackWorkload& w,
+                                                std::size_t threads);
+
+} // namespace apps

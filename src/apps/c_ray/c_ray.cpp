@@ -1,0 +1,55 @@
+#include "apps/c_ray/c_ray.hpp"
+
+#include "apps/common/blocks.hpp"
+#include "ompss/ompss.hpp"
+#include "threading/threading.hpp"
+
+namespace apps {
+
+CRayWorkload CRayWorkload::make(benchcore::Scale scale) {
+  CRayWorkload w;
+  w.width = benchcore::by_scale(scale, 64, 160, 320, 800);
+  w.height = benchcore::by_scale(scale, 48, 120, 240, 600);
+  w.scene = cray::Scene::procedural(benchcore::by_scale(scale, 6, 12, 20, 32), 7u);
+  w.opts.max_depth = 3;
+  w.opts.supersample = 1;
+  w.block_rows = benchcore::by_scale(scale, 4, 8, 8, 16);
+  return w;
+}
+
+img::Image c_ray_seq(const CRayWorkload& w) {
+  img::Image out(w.width, w.height, 3);
+  cray::render_rows(w.scene, out, w.opts, 0, w.height);
+  return out;
+}
+
+img::Image c_ray_pthreads(const CRayWorkload& w, std::size_t threads) {
+  img::Image out(w.width, w.height, 3);
+  pt::ThreadPool pool(threads);
+  pt::parallel_for_dynamic(pool, 0, static_cast<std::size_t>(w.height),
+                           static_cast<std::size_t>(w.block_rows),
+                           [&](std::size_t lo, std::size_t hi) {
+                             cray::render_rows(w.scene, out, w.opts,
+                                               static_cast<int>(lo),
+                                               static_cast<int>(hi));
+                           });
+  return out;
+}
+
+img::Image c_ray_ompss(const CRayWorkload& w, std::size_t threads) {
+  img::Image out(w.width, w.height, 3);
+  oss::Runtime rt(threads);
+  for (const auto& [lo, hi] : split_blocks(static_cast<std::size_t>(w.height),
+                                           static_cast<std::size_t>(w.block_rows))) {
+    rt.spawn({oss::out(out.row(static_cast<int>(lo)), (hi - lo) * out.stride())},
+             [&w, &out, lo = lo, hi = hi] {
+               cray::render_rows(w.scene, out, w.opts, static_cast<int>(lo),
+                                 static_cast<int>(hi));
+             },
+             "render_rows");
+  }
+  rt.taskwait();
+  return out;
+}
+
+} // namespace apps

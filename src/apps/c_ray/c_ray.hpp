@@ -1,0 +1,29 @@
+// c_ray.hpp — the `c-ray` benchmark (raytracing kernel).
+//
+// Rows are the parallel unit, grouped into blocks of `block_rows`.  The
+// Pthreads variant self-schedules row blocks over a thread pool (dynamic,
+// matching c-ray's irregular per-row cost); the OmpSs variant spawns one
+// task per row block with an `out` dependency on the rows it fills.
+#pragma once
+
+#include "bench_core/workload.hpp"
+#include "img/image.hpp"
+#include "raytrace/raytrace.hpp"
+
+namespace apps {
+
+struct CRayWorkload {
+  cray::Scene scene;
+  cray::RenderOptions opts;
+  int width = 0;
+  int height = 0;
+  int block_rows = 8;
+
+  static CRayWorkload make(benchcore::Scale scale);
+};
+
+img::Image c_ray_seq(const CRayWorkload& w);
+img::Image c_ray_pthreads(const CRayWorkload& w, std::size_t threads);
+img::Image c_ray_ompss(const CRayWorkload& w, std::size_t threads);
+
+} // namespace apps

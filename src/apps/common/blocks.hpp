@@ -1,0 +1,22 @@
+// blocks.hpp — shared helpers for splitting work into blocks.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace apps {
+
+/// Splits [0, n) into consecutive half-open blocks of at most `block` items.
+inline std::vector<std::pair<std::size_t, std::size_t>> split_blocks(
+    std::size_t n, std::size_t block) {
+  if (block == 0) block = 1;
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  for (std::size_t lo = 0; lo < n; lo += block) {
+    const std::size_t hi = lo + block < n ? lo + block : n;
+    out.emplace_back(lo, hi);
+  }
+  return out;
+}
+
+} // namespace apps

@@ -1,0 +1,359 @@
+#include "apps/h264dec/h264dec_app.hpp"
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "ompss/ompss.hpp"
+#include "threading/threading.hpp"
+
+namespace apps {
+
+using video::BitReader;
+using video::DecodedPictureBuffer;
+using video::EncodedFrame;
+using video::FrameHeader;
+using video::FrameType;
+using video::MbSyntax;
+using video::PictureInfo;
+using video::PictureInfoBuffer;
+using video::VideoFrame;
+
+H264Workload H264Workload::make(benchcore::Scale scale) {
+  video::EncoderConfig ec;
+  ec.width = benchcore::by_scale(scale, 128, 320, 640, 1280);
+  ec.height = benchcore::by_scale(scale, 96, 192, 384, 720);
+  ec.frames = benchcore::by_scale(scale, 6, 16, 24, 48);
+  ec.gop = 8;
+  ec.qp = 18;
+  const video::EncodeResult enc = video::encode_video(ec);
+
+  H264Workload w;
+  w.video = enc.video;
+  w.expected_checksums = enc.recon_checksums;
+  w.pipeline_depth = 4;
+  w.mb_group = benchcore::by_scale(scale, 2, 2, 4, 4);
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// Sequential
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint64_t> h264dec_seq(const H264Workload& w) {
+  return video::decode_video_seq(w.video);
+}
+
+// ---------------------------------------------------------------------------
+// Pthreads: line decoding (row wavefront) per frame
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Reconstructs one frame with `pool.size()` threads in MB-row wavefront
+/// order.  `progress[y]` counts reconstructed MBs in row y; a thread
+/// starting MB (x, y) of an intra frame spins until its top neighbor
+/// (x, y-1) is done.  Inter frames have no intra-frame dependency.
+void reconstruct_wavefront(pt::ThreadPool& pool, const FrameHeader& hdr,
+                           const MbSyntax* mbs, VideoFrame& cur,
+                           const VideoFrame* ref) {
+  const std::size_t threads = pool.size();
+  std::vector<std::atomic<int>> progress(static_cast<std::size_t>(hdr.mb_h));
+  for (auto& p : progress) p.store(0, std::memory_order_relaxed);
+
+  pool.run([&](std::size_t tid) {
+    for (int y = static_cast<int>(tid); y < hdr.mb_h;
+         y += static_cast<int>(threads)) {
+      for (int x = 0; x < hdr.mb_w; ++x) {
+        if (hdr.type == FrameType::I && y > 0) {
+          // Wait for the top neighbor (the "line decoding" spin).
+          std::size_t spins = 0;
+          while (progress[static_cast<std::size_t>(y - 1)].load(
+                     std::memory_order_acquire) < x + 1) {
+            if (++spins > 512) {
+              std::this_thread::yield();
+              spins = 0;
+            }
+          }
+        }
+        video::reconstruct_mb(hdr, mbs, x, y, cur, ref);
+        progress[static_cast<std::size_t>(y)].store(x + 1,
+                                                    std::memory_order_release);
+      }
+    }
+  });
+}
+
+} // namespace
+
+std::vector<std::uint64_t> h264dec_pthreads(const H264Workload& w,
+                                            std::size_t threads) {
+  std::vector<std::uint64_t> checksums;
+  checksums.reserve(w.video.frames.size());
+  pt::ThreadPool pool(threads);
+  VideoFrame prev;
+  std::vector<MbSyntax> mbs;
+  for (const EncodedFrame& ef : w.video.frames) {
+    BitReader br(ef.payload);
+    const FrameHeader hdr = video::parse_frame_header(br);
+    mbs.assign(hdr.mb_count(), MbSyntax{});
+    video::entropy_decode_frame(br, hdr, mbs.data());
+    VideoFrame cur(hdr.width(), hdr.height());
+    reconstruct_wavefront(pool, hdr, mbs.data(), cur, &prev);
+    checksums.push_back(cur.checksum());
+    prev = std::move(cur);
+  }
+  return checksums;
+}
+
+std::vector<std::uint64_t> h264dec_pthreads_pipeline(const H264Workload& w,
+                                                     std::size_t threads) {
+  // One parsed+entropy-decoded frame in flight between the stages.
+  struct Job {
+    FrameHeader hdr;
+    std::vector<MbSyntax> mbs;
+  };
+  pt::MpmcQueue<std::unique_ptr<Job>> queue(3); // bounded: backpressure
+
+  // Front stage: read + parse + entropy decode, running ahead.
+  std::thread front([&] {
+    for (const EncodedFrame& ef : w.video.frames) {
+      auto job = std::make_unique<Job>();
+      BitReader br(ef.payload);
+      job->hdr = video::parse_frame_header(br);
+      job->mbs.assign(job->hdr.mb_count(), MbSyntax{});
+      video::entropy_decode_frame(br, job->hdr, job->mbs.data());
+      queue.push(std::move(job));
+    }
+    queue.close();
+  });
+
+  // Back stage (this thread): wavefront reconstruction + output.
+  const std::size_t recon_threads = threads > 1 ? threads - 1 : 1;
+  pt::ThreadPool pool(recon_threads);
+  std::vector<std::uint64_t> checksums;
+  checksums.reserve(w.video.frames.size());
+  VideoFrame prev;
+  while (auto job = queue.pop()) {
+    VideoFrame cur((*job)->hdr.width(), (*job)->hdr.height());
+    reconstruct_wavefront(pool, (*job)->hdr, (*job)->mbs.data(), cur, &prev);
+    checksums.push_back(cur.checksum());
+    prev = std::move(cur);
+  }
+  front.join();
+  return checksums;
+}
+
+// ---------------------------------------------------------------------------
+// OmpSs: Listing 1 pipeline with circular renaming + nested tile tasks
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Context structures, one per pipeline stage (the paper's ReadContext,
+// NalContext, EntropyContext, ...): their inout chaining serializes
+// instances of the same stage across iterations.
+struct ReadContext {
+  std::size_t next_frame = 0;
+  bool eof = false;
+};
+struct ParseContext {
+  int dummy = 0;
+};
+struct EntropyContext {
+  int dummy = 0;
+};
+struct ReconContext {
+  int prev_dpb_slot = -1; ///< reference picture slot of frame k-1
+};
+struct OutputContext {
+  std::vector<std::uint64_t>* sink = nullptr;
+  int prev_slot = -1; ///< slot to release after the next picture displays
+  int prev_pib = -1;
+};
+
+/// Per-iteration circular-buffer entry (the paper's Slice/frm/pic arrays).
+struct SliceSlot {
+  EncodedFrame payload;
+  FrameHeader hdr;
+  std::vector<MbSyntax> mbs;
+  int dpb_slot = -1;
+  int pib_slot = -1;
+  char pic_token = 0; ///< renamed "picture ready" dependency carrier
+};
+
+/// Nested reconstruction: tiles of `group`×`group` macroblocks with
+/// wavefront dependencies through a token matrix.  Runs inside the
+/// reconstruct task; uses the ambient runtime via Runtime::current().
+void reconstruct_tiles_ompss(oss::Runtime& rt, const FrameHeader& hdr,
+                             const MbSyntax* mbs, VideoFrame& cur,
+                             const VideoFrame* ref, int group) {
+  if (group < 1) group = 1;
+  const int gw = (hdr.mb_w + group - 1) / group;
+  const int gh = (hdr.mb_h + group - 1) / group;
+  std::vector<char> tokens(static_cast<std::size_t>(gw) * gh, 0);
+
+  for (int gy = 0; gy < gh; ++gy) {
+    for (int gx = 0; gx < gw; ++gx) {
+      oss::AccessList acc;
+      acc.push_back(oss::out(tokens[static_cast<std::size_t>(gy) * gw + gx]));
+      if (hdr.type == FrameType::I) {
+        // Intra wavefront: left and top tiles must be reconstructed.
+        if (gx > 0)
+          acc.push_back(oss::in(tokens[static_cast<std::size_t>(gy) * gw + gx - 1]));
+        if (gy > 0)
+          acc.push_back(oss::in(tokens[static_cast<std::size_t>(gy - 1) * gw + gx]));
+      }
+      rt.spawn(std::move(acc),
+               [&hdr, mbs, &cur, ref, gx, gy, group] {
+                 const int x0 = gx * group;
+                 const int y0 = gy * group;
+                 const int x1 = std::min(hdr.mb_w, x0 + group);
+                 const int y1 = std::min(hdr.mb_h, y0 + group);
+                 for (int y = y0; y < y1; ++y) {
+                   for (int x = x0; x < x1; ++x) {
+                     video::reconstruct_mb(hdr, mbs, x, y, cur, ref);
+                   }
+                 }
+               },
+               "recon_tile");
+    }
+  }
+  rt.taskwait(); // wait for this frame's tiles (children of the recon task)
+}
+
+} // namespace
+
+std::vector<std::uint64_t> h264dec_ompss_grouped(const H264Workload& w,
+                                                 std::size_t threads,
+                                                 int mb_group) {
+  const std::size_t N = static_cast<std::size_t>(
+      w.pipeline_depth < 2 ? 2 : w.pipeline_depth); // renaming depth
+  oss::Runtime rt(threads);
+
+  std::vector<std::uint64_t> checksums;
+  checksums.reserve(w.video.frames.size());
+
+  DecodedPictureBuffer dpb(N + 2, w.video.width, w.video.height);
+  PictureInfoBuffer pib(N + 2);
+
+  std::vector<SliceSlot> slots(N);
+  ReadContext rc;
+  ParseContext nc;
+  EntropyContext ec;
+  ReconContext mc;
+  OutputContext oc;
+  oc.sink = &checksums;
+
+  std::size_t k = 0;
+  while (!rc.eof) {
+    SliceSlot& slot = slots[k % N];
+
+    // --- read stage: pull the next frame payload from the "file".
+    rt.spawn({oss::inout(rc), oss::out(slot.payload)},
+             [&w, &rc, &slot] {
+               if (rc.next_frame >= w.video.frames.size()) {
+                 rc.eof = true;
+                 slot.payload.payload.clear();
+                 return;
+               }
+               slot.payload = w.video.frames[rc.next_frame];
+               rc.next_frame++;
+               if (rc.next_frame >= w.video.frames.size()) rc.eof = true;
+             },
+             "read_frame");
+
+    // --- parse stage: header + PIB allocation (hidden dep, critical).
+    rt.spawn({oss::inout(nc), oss::in(slot.payload), oss::out(slot.hdr),
+              oss::out(slot.pib_slot)},
+             [&rt, &pib, &slot] {
+               if (slot.payload.payload.empty()) { // 0-frame stream guard
+                 slot.pib_slot = -1;
+                 return;
+               }
+               BitReader br(slot.payload.payload);
+               slot.hdr = video::parse_frame_header(br);
+               int pi = -1;
+               while (pi < 0) {
+                 rt.critical("pib", [&] {
+                   pi = pib.allocate(PictureInfo{slot.hdr.frame_num,
+                                                 slot.hdr.type, -1});
+                 });
+                 if (pi < 0) std::this_thread::yield();
+               }
+               slot.pib_slot = pi;
+             },
+             "parse_header");
+
+    // --- entropy decode stage.
+    rt.spawn({oss::inout(ec), oss::in(slot.hdr), oss::in(slot.payload),
+              oss::out(slot.mbs)},
+             [&slot] {
+               if (slot.payload.payload.empty()) return;
+               BitReader br(slot.payload.payload);
+               (void)video::parse_frame_header(br); // skip header bits
+               slot.mbs.assign(slot.hdr.mb_count(), MbSyntax{});
+               video::entropy_decode_frame(br, slot.hdr, slot.mbs.data());
+             },
+             "entropy_decode");
+
+    // --- reconstruction stage: DPB fetch (hidden dep, critical) + tiles.
+    rt.spawn({oss::inout(mc), oss::in(slot.hdr), oss::in(slot.mbs),
+              oss::out(slot.pic_token), oss::out(slot.dpb_slot)},
+             [&rt, &dpb, &mc, &slot, mb_group] {
+               if (slot.hdr.mb_w == 0) { // 0-frame stream guard (hdr is `in`)
+                 slot.dpb_slot = -1;
+                 return;
+               }
+               int pic = -1;
+               while (pic < 0) {
+                 rt.critical("dpb", [&] { pic = dpb.fetch_free(); });
+                 if (pic < 0) std::this_thread::yield();
+               }
+               slot.dpb_slot = pic;
+               VideoFrame& cur = dpb.picture(pic);
+               const VideoFrame* ref =
+                   mc.prev_dpb_slot >= 0 ? &dpb.picture(mc.prev_dpb_slot) : nullptr;
+               reconstruct_tiles_ompss(rt, slot.hdr, slot.mbs.data(), cur, ref,
+                                       mb_group);
+               mc.prev_dpb_slot = pic;
+             },
+             "reconstruct");
+
+    // --- output stage: checksum in display order, release retired buffers.
+    rt.spawn({oss::inout(oc), oss::in(slot.pic_token), oss::in(slot.dpb_slot),
+              oss::in(slot.pib_slot)},
+             [&rt, &dpb, &pib, &oc, &slot] {
+               if (slot.dpb_slot < 0) return;
+               oc.sink->push_back(dpb.picture(slot.dpb_slot).checksum());
+               // The previous picture is no longer needed as a reference
+               // once this frame is reconstructed; release it now.
+               if (oc.prev_slot >= 0) {
+                 rt.critical("dpb", [&] { dpb.release(oc.prev_slot); });
+               }
+               if (oc.prev_pib >= 0) {
+                 rt.critical("pib", [&] { pib.retire(oc.prev_pib); });
+               }
+               oc.prev_slot = slot.dpb_slot;
+               oc.prev_pib = slot.pib_slot;
+             },
+             "output");
+
+    // Listing 1: ensure the read task ran before testing the loop condition.
+    rt.taskwait_on(rc);
+    ++k;
+  }
+
+  rt.barrier();
+  // Release the last picture's buffers.
+  if (oc.prev_slot >= 0) dpb.release(oc.prev_slot);
+  if (oc.prev_pib >= 0) pib.retire(oc.prev_pib);
+  return checksums;
+}
+
+std::vector<std::uint64_t> h264dec_ompss(const H264Workload& w,
+                                         std::size_t threads) {
+  return h264dec_ompss_grouped(w, threads, w.mb_group);
+}
+
+} // namespace apps

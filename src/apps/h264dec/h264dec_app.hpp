@@ -1,0 +1,61 @@
+// h264dec_app.hpp — the `h264dec` benchmark (paper §3 case study).
+//
+// Three decoders over the same synthetic H.264-shaped bitstream:
+//
+//   * seq — stages in order per frame (reference).
+//   * pthreads — the paper's "highly optimized line decoding strategy"
+//     (Chi & Juurlink [1]): per-frame macroblock reconstruction is
+//     parallelized as a row wavefront with per-row atomic progress counters
+//     and spin-waiting; entropy decode runs on the main thread.
+//   * ompss — Listing 1: one task per pipeline stage per iteration
+//     (read / parse / entropy-decode / reconstruct / output), chained by
+//     inout context structures and manually renamed through circular
+//     buffers of depth `pipeline_depth`; `taskwait_on` the read context
+//     gates the loop; PIB/DPB fetch/release are hidden dependencies guarded
+//     by critical sections.  Reconstruction spawns nested tile tasks of
+//     `mb_group` × `mb_group` macroblocks whose wavefront dependencies are
+//     expressed through a token matrix — `mb_group` is the task-granularity
+//     knob the paper discusses (grouping amortizes runtime overhead but
+//     caps parallelism).
+//
+// All variants return per-frame checksums in display order; correctness is
+// exact equality with the encoder's reconstruction checksums.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bench_core/workload.hpp"
+#include "video/video.hpp"
+
+namespace apps {
+
+struct H264Workload {
+  video::EncodedVideo video;
+  std::vector<std::uint64_t> expected_checksums;
+  int pipeline_depth = 4; ///< circular-buffer renaming depth N
+  int mb_group = 2;       ///< OmpSs nested-task tile edge, in macroblocks
+
+  static H264Workload make(benchcore::Scale scale);
+};
+
+std::vector<std::uint64_t> h264dec_seq(const H264Workload& w);
+std::vector<std::uint64_t> h264dec_pthreads(const H264Workload& w,
+                                            std::size_t threads);
+
+/// Stage-threaded Pthreads pipeline: a front thread parses and
+/// entropy-decodes frames ahead while the consumer reconstructs the current
+/// frame with a wavefront worker pool — entropy decode of frame k+1 overlaps
+/// reconstruction of frame k (the cross-stage overlap of [1]).  Uses
+/// `threads` total: 1 front + max(1, threads-1) reconstruction workers.
+std::vector<std::uint64_t> h264dec_pthreads_pipeline(const H264Workload& w,
+                                                     std::size_t threads);
+std::vector<std::uint64_t> h264dec_ompss(const H264Workload& w,
+                                         std::size_t threads);
+
+/// Ablation entry point: explicit grouping factor (bench/ablation_granularity).
+std::vector<std::uint64_t> h264dec_ompss_grouped(const H264Workload& w,
+                                                 std::size_t threads,
+                                                 int mb_group);
+
+} // namespace apps

@@ -1,0 +1,113 @@
+#include "apps/kmeans/kmeans_app.hpp"
+
+#include "apps/common/blocks.hpp"
+#include "ompss/ompss.hpp"
+#include "threading/threading.hpp"
+
+namespace apps {
+
+using cluster::KmeansPartial;
+using cluster::KmeansResult;
+
+KmeansWorkload KmeansWorkload::make(benchcore::Scale scale) {
+  KmeansWorkload w;
+  const std::size_t count = benchcore::by_scale<std::size_t>(scale, 2000, 20000, 100000, 500000);
+  const std::size_t dim = benchcore::by_scale<std::size_t>(scale, 4, 8, 16, 32);
+  w.k = benchcore::by_scale<std::size_t>(scale, 4, 8, 12, 16);
+  w.points = cluster::make_blobs(count, dim, w.k, 13u);
+  w.iters = benchcore::by_scale(scale, 4, 8, 10, 12);
+  w.block_points = benchcore::by_scale<std::size_t>(scale, 256, 1024, 4096, 16384);
+  return w;
+}
+
+KmeansResult kmeans_app_seq(const KmeansWorkload& w) {
+  return cluster::kmeans_seq(w.points, w.k, w.iters);
+}
+
+KmeansResult kmeans_app_pthreads(const KmeansWorkload& w, std::size_t threads) {
+  KmeansResult res;
+  res.centroids = cluster::kmeans_init_centroids(w.points, w.k);
+  res.assignment.assign(w.points.count, 0);
+
+  pt::ThreadPool pool(threads);
+  pt::BlockingBarrier barrier(threads);
+  std::vector<KmeansPartial> partials(threads);
+  std::vector<double> inertia(threads, 0.0);
+
+  pool.run([&](std::size_t tid) {
+    const std::size_t chunk = (w.points.count + threads - 1) / threads;
+    const std::size_t lo = tid * chunk;
+    const std::size_t hi = lo + chunk < w.points.count ? lo + chunk : w.points.count;
+    for (int it = 0; it < w.iters; ++it) {
+      partials[tid].init(w.k, w.points.dim);
+      inertia[tid] = 0.0;
+      if (lo < hi) {
+        inertia[tid] = cluster::kmeans_assign_range(
+            w.points, res.centroids, w.k, lo, hi, res.assignment.data(),
+            partials[tid]);
+      }
+      if (barrier.wait()) {
+        // Serial thread: reduce and update centroids for the next iteration.
+        KmeansPartial merged;
+        merged.init(w.k, w.points.dim);
+        double total = 0.0;
+        for (std::size_t t = 0; t < threads; ++t) {
+          merged.merge(partials[t]);
+          total += inertia[t];
+        }
+        cluster::kmeans_recompute(merged, w.k, w.points.dim, res.centroids);
+        res.inertia = total;
+        res.iterations = it + 1;
+      }
+      barrier.wait(); // everyone sees the updated centroids
+    }
+  });
+  return res;
+}
+
+KmeansResult kmeans_app_ompss(const KmeansWorkload& w, std::size_t threads) {
+  KmeansResult res;
+  res.centroids = cluster::kmeans_init_centroids(w.points, w.k);
+  res.assignment.assign(w.points.count, 0);
+
+  oss::Runtime rt(threads);
+  const auto blocks = split_blocks(w.points.count, w.block_points);
+  std::vector<KmeansPartial> partials(blocks.size());
+  std::vector<double> inertia(blocks.size(), 0.0);
+
+  for (int it = 0; it < w.iters; ++it) {
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+      const auto [lo, hi] = blocks[b];
+      rt.spawn({oss::in(res.centroids.data(), res.centroids.size()),
+                oss::out(partials[b]), oss::out(inertia[b])},
+               [&, b, lo = lo, hi = hi] {
+                 partials[b].init(w.k, w.points.dim);
+                 inertia[b] = cluster::kmeans_assign_range(
+                     w.points, res.centroids, w.k, lo, hi,
+                     res.assignment.data(), partials[b]);
+               },
+               "kmeans_assign");
+    }
+    // Reduction task: reads every partial, updates the centroids.
+    rt.spawn({oss::in(partials.data(), partials.size()),
+              oss::in(inertia.data(), inertia.size()),
+              oss::inout(res.centroids.data(), res.centroids.size())},
+             [&, it] {
+               KmeansPartial merged;
+               merged.init(w.k, w.points.dim);
+               double total = 0.0;
+               for (std::size_t b = 0; b < blocks.size(); ++b) {
+                 merged.merge(partials[b]);
+                 total += inertia[b];
+               }
+               cluster::kmeans_recompute(merged, w.k, w.points.dim, res.centroids);
+               res.inertia = total;
+               res.iterations = it + 1;
+             },
+             "kmeans_reduce");
+  }
+  rt.taskwait();
+  return res;
+}
+
+} // namespace apps

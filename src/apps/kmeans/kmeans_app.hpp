@@ -1,0 +1,24 @@
+// kmeans_app.hpp — the `kmeans` benchmark (Lloyd iterations, barrier-phased).
+#pragma once
+
+#include "bench_core/workload.hpp"
+#include "cluster/cluster.hpp"
+
+namespace apps {
+
+struct KmeansWorkload {
+  cluster::PointSet points;
+  std::size_t k = 8;
+  int iters = 8;
+  std::size_t block_points = 1024;
+
+  static KmeansWorkload make(benchcore::Scale scale);
+};
+
+cluster::KmeansResult kmeans_app_seq(const KmeansWorkload& w);
+cluster::KmeansResult kmeans_app_pthreads(const KmeansWorkload& w,
+                                          std::size_t threads);
+cluster::KmeansResult kmeans_app_ompss(const KmeansWorkload& w,
+                                       std::size_t threads);
+
+} // namespace apps

@@ -1,0 +1,58 @@
+#include "apps/md5/md5_app.hpp"
+
+#include "apps/common/blocks.hpp"
+#include "ompss/ompss.hpp"
+#include "threading/threading.hpp"
+
+namespace apps {
+
+Md5Workload Md5Workload::make(benchcore::Scale scale) {
+  Md5Workload w;
+  const std::size_t buffers = benchcore::by_scale<std::size_t>(scale, 32, 128, 256, 1024);
+  const std::size_t bytes = benchcore::by_scale<std::size_t>(scale, 4 << 10, 16 << 10, 64 << 10, 256 << 10);
+  w.buffers = hashing::make_buffer_workload(buffers, bytes, 42u);
+  w.group = benchcore::by_scale<std::size_t>(scale, 2, 4, 4, 8);
+  return w;
+}
+
+std::vector<hashing::Md5Digest> md5_seq(const Md5Workload& w) {
+  std::vector<hashing::Md5Digest> out(w.buffers.size());
+  for (std::size_t i = 0; i < w.buffers.size(); ++i) {
+    out[i] = hashing::md5(w.buffers[i].data(), w.buffers[i].size());
+  }
+  return out;
+}
+
+std::vector<hashing::Md5Digest> md5_pthreads(const Md5Workload& w,
+                                             std::size_t threads) {
+  std::vector<hashing::Md5Digest> out(w.buffers.size());
+  pt::ThreadPool pool(threads);
+  pt::parallel_for_dynamic(pool, 0, w.buffers.size(), w.group,
+                           [&](std::size_t lo, std::size_t hi) {
+                             for (std::size_t i = lo; i < hi; ++i) {
+                               out[i] = hashing::md5(w.buffers[i].data(),
+                                                     w.buffers[i].size());
+                             }
+                           });
+  return out;
+}
+
+std::vector<hashing::Md5Digest> md5_ompss(const Md5Workload& w,
+                                          std::size_t threads) {
+  std::vector<hashing::Md5Digest> out(w.buffers.size());
+  oss::Runtime rt(threads);
+  for (const auto& [lo, hi] : split_blocks(w.buffers.size(), w.group)) {
+    rt.spawn({oss::in(w.buffers[lo].data(), 1), // representative input region
+              oss::out(&out[lo], hi - lo)},
+             [&w, &out, lo = lo, hi = hi] {
+               for (std::size_t i = lo; i < hi; ++i) {
+                 out[i] = hashing::md5(w.buffers[i].data(), w.buffers[i].size());
+               }
+             },
+             "md5_group");
+  }
+  rt.taskwait();
+  return out;
+}
+
+} // namespace apps

@@ -1,0 +1,25 @@
+// md5_app.hpp — the `md5` benchmark (hash a set of independent buffers).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bench_core/workload.hpp"
+#include "hashing/md5.hpp"
+
+namespace apps {
+
+struct Md5Workload {
+  std::vector<std::vector<std::uint8_t>> buffers;
+  std::size_t group = 4; ///< buffers per task/chunk
+
+  static Md5Workload make(benchcore::Scale scale);
+};
+
+std::vector<hashing::Md5Digest> md5_seq(const Md5Workload& w);
+std::vector<hashing::Md5Digest> md5_pthreads(const Md5Workload& w,
+                                             std::size_t threads);
+std::vector<hashing::Md5Digest> md5_ompss(const Md5Workload& w,
+                                          std::size_t threads);
+
+} // namespace apps

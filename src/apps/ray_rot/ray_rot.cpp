@@ -1,0 +1,119 @@
+#include "apps/ray_rot/ray_rot.hpp"
+
+#include <cmath>
+
+#include "apps/common/blocks.hpp"
+#include "ompss/ompss.hpp"
+#include "threading/threading.hpp"
+
+namespace apps {
+
+RayRotWorkload RayRotWorkload::make(benchcore::Scale scale) {
+  RayRotWorkload w;
+  w.width = benchcore::by_scale(scale, 64, 160, 320, 800);
+  w.height = benchcore::by_scale(scale, 48, 120, 240, 600);
+  w.scene = cray::Scene::procedural(benchcore::by_scale(scale, 6, 12, 20, 32), 9u);
+  w.opts.max_depth = 3;
+  w.spec = img::RotateSpec::degrees(8.0); // small angle: narrow source bands
+  w.block_rows = benchcore::by_scale(scale, 4, 8, 8, 16);
+  return w;
+}
+
+std::pair<int, int> rotate_source_band(const img::RotateSpec& spec, int width,
+                                       int height, int dst_lo, int dst_hi) {
+  const double cx = 0.5 * (width - 1);
+  const double cy = 0.5 * (height - 1);
+  const double c = std::cos(spec.angle_rad);
+  const double s = std::sin(spec.angle_rad);
+  double lo = 1e300, hi = -1e300;
+  // Source y = -s*dx + c*dy + cy; extremes occur at the block corners.
+  for (int y : {dst_lo, dst_hi - 1}) {
+    for (int x : {0, width - 1}) {
+      const double sy = -s * (x - cx) + c * (y - cy) + cy;
+      lo = std::min(lo, sy);
+      hi = std::max(hi, sy);
+    }
+  }
+  int ilo = static_cast<int>(std::floor(lo)) - 1; // bilinear reads y0 and y0+1
+  int ihi = static_cast<int>(std::ceil(hi)) + 2;
+  if (ilo < 0) ilo = 0;
+  if (ihi > height) ihi = height;
+  if (ihi < ilo) ihi = ilo;
+  return {ilo, ihi};
+}
+
+img::Image ray_rot_seq(const RayRotWorkload& w) {
+  img::Image rendered(w.width, w.height, 3);
+  cray::render_rows(w.scene, rendered, w.opts, 0, w.height);
+  img::Image rotated(w.width, w.height, 3);
+  img::rotate_rows(rendered, rotated, w.spec, 0, w.height);
+  return rotated;
+}
+
+img::Image ray_rot_pthreads(const RayRotWorkload& w, std::size_t threads) {
+  img::Image rendered(w.width, w.height, 3);
+  img::Image rotated(w.width, w.height, 3);
+  pt::ThreadPool pool(threads);
+  // Classic Pthreads structure: render everything, join, rotate everything.
+  pt::parallel_for_dynamic(pool, 0, static_cast<std::size_t>(w.height),
+                           static_cast<std::size_t>(w.block_rows),
+                           [&](std::size_t lo, std::size_t hi) {
+                             cray::render_rows(w.scene, rendered, w.opts,
+                                               static_cast<int>(lo),
+                                               static_cast<int>(hi));
+                           });
+  pt::parallel_for_dynamic(pool, 0, static_cast<std::size_t>(w.height),
+                           static_cast<std::size_t>(w.block_rows),
+                           [&](std::size_t lo, std::size_t hi) {
+                             img::rotate_rows(rendered, rotated, w.spec,
+                                              static_cast<int>(lo),
+                                              static_cast<int>(hi));
+                           });
+  return rotated;
+}
+
+img::Image ray_rot_ompss_with_policy(const RayRotWorkload& w,
+                                     std::size_t threads,
+                                     oss::SchedulerPolicy policy) {
+  oss::RuntimeConfig cfg = oss::RuntimeConfig::with_threads(threads);
+  cfg.scheduler = policy;
+  oss::Runtime rt(cfg);
+
+  img::Image rendered(w.width, w.height, 3);
+  img::Image rotated(w.width, w.height, 3);
+  const auto blocks = split_blocks(static_cast<std::size_t>(w.height),
+                                   static_cast<std::size_t>(w.block_rows));
+  // Producers: render blocks.
+  for (const auto& [lo, hi] : blocks) {
+    rt.spawn({oss::out(rendered.row(static_cast<int>(lo)),
+                       (hi - lo) * rendered.stride())},
+             [&w, &rendered, lo = lo, hi = hi] {
+               cray::render_rows(w.scene, rendered, w.opts, static_cast<int>(lo),
+                                 static_cast<int>(hi));
+             },
+             "render");
+  }
+  // Consumers: rotate blocks, each depending only on its source band —
+  // the per-block chains the locality scheduler exploits.
+  for (const auto& [lo, hi] : blocks) {
+    const auto [band_lo, band_hi] = rotate_source_band(
+        w.spec, w.width, w.height, static_cast<int>(lo), static_cast<int>(hi));
+    rt.spawn({oss::in(rendered.row(band_lo),
+                      static_cast<std::size_t>(band_hi - band_lo) * rendered.stride()),
+              oss::out(rotated.row(static_cast<int>(lo)),
+                       (hi - lo) * rotated.stride())},
+             [&w, &rendered, &rotated, lo = lo, hi = hi] {
+               img::rotate_rows(rendered, rotated, w.spec, static_cast<int>(lo),
+                                static_cast<int>(hi));
+             },
+             "rotate");
+  }
+  rt.taskwait();
+  return rotated;
+}
+
+img::Image ray_rot_ompss(const RayRotWorkload& w, std::size_t threads) {
+  return ray_rot_ompss_with_policy(w, threads, oss::SchedulerPolicy::Locality);
+}
+
+} // namespace apps

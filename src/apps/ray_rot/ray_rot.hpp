@@ -1,0 +1,49 @@
+// ray_rot.hpp — the `ray-rot` benchmark: c-ray output feeds rotate.
+//
+// The paper's analysis: OmpSs wins here (1.65x at 16 cores) because the
+// locality-aware scheduler places each rotate block back-to-back on the
+// core that just rendered the rows it consumes, so the producer's output is
+// still cache-hot — the combined speedup even exceeds the product of the
+// individual kernels'.
+//
+// To expose those per-block producer→consumer chains, each rotate block
+// declares an `in` dependency on the *band* of source rows its inverse
+// mapping can touch (computed conservatively from the block's corners), not
+// on the whole frame.
+#pragma once
+
+#include <utility>
+
+#include "bench_core/workload.hpp"
+#include "img/img.hpp"
+#include "ompss/config.hpp"
+#include "raytrace/raytrace.hpp"
+
+namespace apps {
+
+struct RayRotWorkload {
+  cray::Scene scene;
+  cray::RenderOptions opts;
+  img::RotateSpec spec;
+  int width = 0;
+  int height = 0;
+  int block_rows = 8;
+
+  static RayRotWorkload make(benchcore::Scale scale);
+};
+
+/// Source-row band [lo, hi) that rotating destination rows [dst_lo, dst_hi)
+/// can sample (conservative, clamped to the image).
+std::pair<int, int> rotate_source_band(const img::RotateSpec& spec, int width,
+                                       int height, int dst_lo, int dst_hi);
+
+img::Image ray_rot_seq(const RayRotWorkload& w);
+img::Image ray_rot_pthreads(const RayRotWorkload& w, std::size_t threads);
+img::Image ray_rot_ompss(const RayRotWorkload& w, std::size_t threads);
+
+/// Ablation entry point: explicit scheduler policy (bench/ablation_locality).
+img::Image ray_rot_ompss_with_policy(const RayRotWorkload& w,
+                                     std::size_t threads,
+                                     oss::SchedulerPolicy policy);
+
+} // namespace apps

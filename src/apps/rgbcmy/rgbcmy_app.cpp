@@ -1,0 +1,78 @@
+#include "apps/rgbcmy/rgbcmy_app.hpp"
+
+#include "apps/common/blocks.hpp"
+#include "ompss/ompss.hpp"
+#include "threading/threading.hpp"
+
+namespace apps {
+
+RgbcmyWorkload RgbcmyWorkload::make(benchcore::Scale scale) {
+  RgbcmyWorkload w;
+  const int width = benchcore::by_scale(scale, 96, 320, 640, 1920);
+  const int height = benchcore::by_scale(scale, 64, 240, 480, 1080);
+  w.src = img::make_test_rgb(width, height, 23u);
+  w.iters = benchcore::by_scale(scale, 4, 10, 12, 16);
+  w.block_rows = benchcore::by_scale(scale, 8, 16, 32, 32);
+  return w;
+}
+
+img::Image rgbcmy_seq(const RgbcmyWorkload& w) {
+  img::Image dst(w.src.width(), w.src.height(), 4);
+  for (int it = 0; it < w.iters; ++it) {
+    img::rgb_to_cmyk_rows(w.src, dst, 0, w.src.height());
+  }
+  return dst;
+}
+
+img::Image rgbcmy_pthreads(const RgbcmyWorkload& w, std::size_t threads) {
+  img::Image dst(w.src.width(), w.src.height(), 4);
+  pt::ThreadPool pool(threads);
+  pt::BlockingBarrier barrier(threads);
+  const std::size_t rows = static_cast<std::size_t>(w.src.height());
+  // Persistent SPMD region: every iteration statically splits the rows and
+  // crosses the blocking barrier — the structure the paper describes.
+  pool.run([&](std::size_t tid) {
+    const std::size_t chunk = (rows + threads - 1) / threads;
+    const std::size_t lo = tid * chunk;
+    const std::size_t hi = lo + chunk < rows ? lo + chunk : rows;
+    for (int it = 0; it < w.iters; ++it) {
+      if (lo < hi) {
+        img::rgb_to_cmyk_rows(w.src, dst, static_cast<int>(lo),
+                              static_cast<int>(hi));
+      }
+      barrier.wait();
+    }
+  });
+  return dst;
+}
+
+img::Image rgbcmy_ompss_with_policy(const RgbcmyWorkload& w, std::size_t threads,
+                                    bool polling_barrier) {
+  oss::RuntimeConfig cfg = oss::RuntimeConfig::with_threads(threads);
+  cfg.wait_policy =
+      polling_barrier ? oss::WaitPolicy::Polling : oss::WaitPolicy::Blocking;
+  oss::Runtime rt(cfg);
+
+  img::Image dst(w.src.width(), w.src.height(), 4);
+  const auto blocks = split_blocks(static_cast<std::size_t>(w.src.height()),
+                                   static_cast<std::size_t>(w.block_rows));
+  for (int it = 0; it < w.iters; ++it) {
+    for (const auto& [lo, hi] : blocks) {
+      rt.spawn({oss::in(w.src.row(static_cast<int>(lo)), (hi - lo) * w.src.stride()),
+                oss::out(dst.row(static_cast<int>(lo)), (hi - lo) * dst.stride())},
+               [&w, &dst, lo = lo, hi = hi] {
+                 img::rgb_to_cmyk_rows(w.src, dst, static_cast<int>(lo),
+                                       static_cast<int>(hi));
+               },
+               "rgb_to_cmyk");
+    }
+    rt.barrier(); // polling task barrier (or blocking, for the ablation)
+  }
+  return dst;
+}
+
+img::Image rgbcmy_ompss(const RgbcmyWorkload& w, std::size_t threads) {
+  return rgbcmy_ompss_with_policy(w, threads, /*polling_barrier=*/true);
+}
+
+} // namespace apps

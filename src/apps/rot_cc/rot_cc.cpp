@@ -1,0 +1,76 @@
+#include "apps/rot_cc/rot_cc.hpp"
+
+#include "apps/common/blocks.hpp"
+#include "ompss/ompss.hpp"
+#include "threading/threading.hpp"
+
+namespace apps {
+
+RotCcWorkload RotCcWorkload::make(benchcore::Scale scale) {
+  RotCcWorkload w;
+  const int width = benchcore::by_scale(scale, 96, 256, 512, 1536);
+  const int height = benchcore::by_scale(scale, 64, 192, 384, 1024);
+  w.src = img::make_test_rgb(width, height, 31u);
+  w.spec = img::RotateSpec::degrees(14.0);
+  w.block_rows = benchcore::by_scale(scale, 8, 16, 16, 32);
+  return w;
+}
+
+img::Image rot_cc_seq(const RotCcWorkload& w) {
+  img::Image rotated(w.src.width(), w.src.height(), 3);
+  img::rotate_rows(w.src, rotated, w.spec, 0, w.src.height());
+  img::Image converted(w.src.width(), w.src.height(), 3);
+  img::rgb_to_ycbcr_rows(rotated, converted, 0, w.src.height());
+  return converted;
+}
+
+img::Image rot_cc_pthreads(const RotCcWorkload& w, std::size_t threads) {
+  img::Image rotated(w.src.width(), w.src.height(), 3);
+  img::Image converted(w.src.width(), w.src.height(), 3);
+  pt::ThreadPool pool(threads);
+  pt::parallel_for_dynamic(pool, 0, static_cast<std::size_t>(w.src.height()),
+                           static_cast<std::size_t>(w.block_rows),
+                           [&](std::size_t lo, std::size_t hi) {
+                             img::rotate_rows(w.src, rotated, w.spec,
+                                              static_cast<int>(lo),
+                                              static_cast<int>(hi));
+                           });
+  pt::parallel_for_dynamic(pool, 0, static_cast<std::size_t>(w.src.height()),
+                           static_cast<std::size_t>(w.block_rows),
+                           [&](std::size_t lo, std::size_t hi) {
+                             img::rgb_to_ycbcr_rows(rotated, converted,
+                                                    static_cast<int>(lo),
+                                                    static_cast<int>(hi));
+                           });
+  return converted;
+}
+
+img::Image rot_cc_ompss(const RotCcWorkload& w, std::size_t threads) {
+  oss::Runtime rt(threads);
+  img::Image rotated(w.src.width(), w.src.height(), 3);
+  img::Image converted(w.src.width(), w.src.height(), 3);
+  const auto blocks = split_blocks(static_cast<std::size_t>(w.src.height()),
+                                   static_cast<std::size_t>(w.block_rows));
+  for (const auto& [lo, hi] : blocks) {
+    rt.spawn({oss::in(w.src.data(), w.src.size_bytes()),
+              oss::out(rotated.row(static_cast<int>(lo)), (hi - lo) * rotated.stride())},
+             [&w, &rotated, lo = lo, hi = hi] {
+               img::rotate_rows(w.src, rotated, w.spec, static_cast<int>(lo),
+                                static_cast<int>(hi));
+             },
+             "rotate");
+  }
+  for (const auto& [lo, hi] : blocks) {
+    rt.spawn({oss::in(rotated.row(static_cast<int>(lo)), (hi - lo) * rotated.stride()),
+              oss::out(converted.row(static_cast<int>(lo)), (hi - lo) * converted.stride())},
+             [&rotated, &converted, lo = lo, hi = hi] {
+               img::rgb_to_ycbcr_rows(rotated, converted, static_cast<int>(lo),
+                                      static_cast<int>(hi));
+             },
+             "color_convert");
+  }
+  rt.taskwait();
+  return converted;
+}
+
+} // namespace apps

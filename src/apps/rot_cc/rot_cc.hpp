@@ -1,0 +1,25 @@
+// rot_cc.hpp — the `rot-cc` benchmark: rotate feeds color conversion.
+//
+// Color conversion is row-local, so each conversion block depends exactly on
+// the rotated rows it reads — clean per-block producer→consumer chains, the
+// second of the paper's two chained workloads.
+#pragma once
+
+#include "bench_core/workload.hpp"
+#include "img/img.hpp"
+
+namespace apps {
+
+struct RotCcWorkload {
+  img::Image src;
+  img::RotateSpec spec;
+  int block_rows = 16;
+
+  static RotCcWorkload make(benchcore::Scale scale);
+};
+
+img::Image rot_cc_seq(const RotCcWorkload& w);
+img::Image rot_cc_pthreads(const RotCcWorkload& w, std::size_t threads);
+img::Image rot_cc_ompss(const RotCcWorkload& w, std::size_t threads);
+
+} // namespace apps

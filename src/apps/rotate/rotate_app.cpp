@@ -1,0 +1,57 @@
+#include "apps/rotate/rotate_app.hpp"
+
+#include "apps/common/blocks.hpp"
+#include "ompss/ompss.hpp"
+#include "threading/threading.hpp"
+
+namespace apps {
+
+RotateWorkload RotateWorkload::make(benchcore::Scale scale) {
+  RotateWorkload w;
+  const int width = benchcore::by_scale(scale, 96, 256, 512, 1536);
+  const int height = benchcore::by_scale(scale, 64, 192, 384, 1024);
+  w.src = img::make_test_rgb(width, height, 11u);
+  w.spec = img::RotateSpec::degrees(27.5);
+  w.block_rows = benchcore::by_scale(scale, 8, 16, 16, 32);
+  return w;
+}
+
+img::Image rotate_seq(const RotateWorkload& w) {
+  img::Image dst(w.src.width(), w.src.height(), w.src.channels());
+  img::rotate_rows(w.src, dst, w.spec, 0, w.src.height());
+  return dst;
+}
+
+img::Image rotate_pthreads(const RotateWorkload& w, std::size_t threads) {
+  img::Image dst(w.src.width(), w.src.height(), w.src.channels());
+  pt::ThreadPool pool(threads);
+  pt::parallel_for_dynamic(pool, 0, static_cast<std::size_t>(w.src.height()),
+                           static_cast<std::size_t>(w.block_rows),
+                           [&](std::size_t lo, std::size_t hi) {
+                             img::rotate_rows(w.src, dst, w.spec,
+                                              static_cast<int>(lo),
+                                              static_cast<int>(hi));
+                           });
+  return dst;
+}
+
+img::Image rotate_ompss(const RotateWorkload& w, std::size_t threads) {
+  img::Image dst(w.src.width(), w.src.height(), w.src.channels());
+  oss::Runtime rt(threads);
+  for (const auto& [lo, hi] :
+       split_blocks(static_cast<std::size_t>(w.src.height()),
+                    static_cast<std::size_t>(w.block_rows))) {
+    rt.spawn(
+        {oss::in(w.src.data(), w.src.size_bytes()),
+         oss::out(dst.row(static_cast<int>(lo)), (hi - lo) * dst.stride())},
+        [&w, &dst, lo = lo, hi = hi] {
+          img::rotate_rows(w.src, dst, w.spec, static_cast<int>(lo),
+                           static_cast<int>(hi));
+        },
+        "rotate_rows");
+  }
+  rt.taskwait();
+  return dst;
+}
+
+} // namespace apps

@@ -1,0 +1,21 @@
+// rotate_app.hpp — the `rotate` benchmark (arbitrary-angle image rotation).
+#pragma once
+
+#include "bench_core/workload.hpp"
+#include "img/img.hpp"
+
+namespace apps {
+
+struct RotateWorkload {
+  img::Image src;
+  img::RotateSpec spec;
+  int block_rows = 16;
+
+  static RotateWorkload make(benchcore::Scale scale);
+};
+
+img::Image rotate_seq(const RotateWorkload& w);
+img::Image rotate_pthreads(const RotateWorkload& w, std::size_t threads);
+img::Image rotate_ompss(const RotateWorkload& w, std::size_t threads);
+
+} // namespace apps

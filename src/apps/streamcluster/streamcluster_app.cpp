@@ -1,0 +1,89 @@
+#include "apps/streamcluster/streamcluster_app.hpp"
+
+#include "apps/common/blocks.hpp"
+#include "ompss/ompss.hpp"
+#include "threading/threading.hpp"
+
+namespace apps {
+
+using cluster::FacilitySolution;
+using cluster::PGainPartial;
+
+StreamclusterWorkload StreamclusterWorkload::make(benchcore::Scale scale) {
+  StreamclusterWorkload w;
+  const std::size_t count = benchcore::by_scale<std::size_t>(scale, 2000, 16000, 65536, 262144);
+  const std::size_t dim = benchcore::by_scale<std::size_t>(scale, 8, 16, 32, 64);
+  w.points = cluster::make_blobs(count, dim, 10, 99u, 0.08f);
+  w.chunk = benchcore::by_scale<std::size_t>(scale, 1000, 8000, 16384, 65536);
+  w.facility_cost = 0.5 * static_cast<double>(dim) / 16.0;
+  w.rounds = benchcore::by_scale(scale, 8, 24, 32, 48);
+  w.block_points = benchcore::by_scale<std::size_t>(scale, 256, 1024, 4096, 8192);
+  return w;
+}
+
+FacilitySolution streamcluster_app_seq(const StreamclusterWorkload& w) {
+  return cluster::streamcluster_seq(w.points, w.chunk, w.facility_cost,
+                                    w.rounds, w.seed);
+}
+
+FacilitySolution streamcluster_app_pthreads(const StreamclusterWorkload& w,
+                                            std::size_t threads) {
+  FacilitySolution sol;
+  pt::ThreadPool pool(threads);
+  for (std::size_t consumed = w.chunk;; consumed += w.chunk) {
+    const std::size_t count =
+        consumed < w.points.count ? consumed : w.points.count;
+    sol = cluster::initial_solution(w.points, count, w.facility_cost);
+    for (std::size_t x : cluster::candidate_sequence(count, w.rounds, w.seed)) {
+      // Parallel pgain: per-thread partials over static ranges, then a
+      // serial reduce+apply — the benchmark's barrier-phased hot loop.
+      std::vector<PGainPartial> partials(threads);
+      pool.run([&](std::size_t tid) {
+        partials[tid].init(sol.centers.size());
+        const std::size_t chunk_sz = (count + threads - 1) / threads;
+        const std::size_t lo = tid * chunk_sz;
+        const std::size_t hi = lo + chunk_sz < count ? lo + chunk_sz : count;
+        if (lo < hi) cluster::pgain_range(w.points, sol, x, lo, hi, partials[tid]);
+      });
+      PGainPartial merged;
+      merged.init(sol.centers.size());
+      for (const auto& p : partials) merged.merge(p);
+      cluster::pgain_apply(w.points, sol, x, count, merged);
+    }
+    if (count == w.points.count) break;
+  }
+  return sol;
+}
+
+FacilitySolution streamcluster_app_ompss(const StreamclusterWorkload& w,
+                                         std::size_t threads) {
+  FacilitySolution sol;
+  oss::Runtime rt(threads);
+  for (std::size_t consumed = w.chunk;; consumed += w.chunk) {
+    const std::size_t count =
+        consumed < w.points.count ? consumed : w.points.count;
+    sol = cluster::initial_solution(w.points, count, w.facility_cost);
+    for (std::size_t x : cluster::candidate_sequence(count, w.rounds, w.seed)) {
+      const auto blocks = split_blocks(count, w.block_points);
+      std::vector<PGainPartial> partials(blocks.size());
+      for (std::size_t b = 0; b < blocks.size(); ++b) {
+        const auto [lo, hi] = blocks[b];
+        rt.spawn({oss::out(partials[b])},
+                 [&, b, lo = lo, hi = hi] {
+                   partials[b].init(sol.centers.size());
+                   cluster::pgain_range(w.points, sol, x, lo, hi, partials[b]);
+                 },
+                 "pgain_range");
+      }
+      rt.taskwait(); // task barrier before the serial reduce
+      PGainPartial merged;
+      merged.init(sol.centers.size());
+      for (const auto& p : partials) merged.merge(p);
+      cluster::pgain_apply(w.points, sol, x, count, merged);
+    }
+    if (count == w.points.count) break;
+  }
+  return sol;
+}
+
+} // namespace apps

@@ -1,0 +1,27 @@
+// streamcluster_app.hpp — the `streamcluster` benchmark (PARSEC-style
+// online clustering; barrier-phased pgain evaluations).
+#pragma once
+
+#include "bench_core/workload.hpp"
+#include "cluster/cluster.hpp"
+
+namespace apps {
+
+struct StreamclusterWorkload {
+  cluster::PointSet points;
+  std::size_t chunk = 4096;
+  double facility_cost = 0.5;
+  int rounds = 24; ///< local-search candidates per chunk
+  std::uint32_t seed = 77;
+  std::size_t block_points = 1024;
+
+  static StreamclusterWorkload make(benchcore::Scale scale);
+};
+
+cluster::FacilitySolution streamcluster_app_seq(const StreamclusterWorkload& w);
+cluster::FacilitySolution streamcluster_app_pthreads(
+    const StreamclusterWorkload& w, std::size_t threads);
+cluster::FacilitySolution streamcluster_app_ompss(
+    const StreamclusterWorkload& w, std::size_t threads);
+
+} // namespace apps

@@ -1,0 +1,88 @@
+#include "bench_core/args.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace benchcore {
+
+Args::Args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      const auto eq = a.find('=');
+      if (eq == std::string::npos) {
+        opts_[a.substr(2)] = "";
+      } else {
+        opts_[a.substr(2, eq - 2)] = a.substr(eq + 1);
+      }
+    } else {
+      positional_.push_back(a);
+    }
+  }
+}
+
+bool Args::has(const std::string& name) const { return opts_.count(name) > 0; }
+
+std::string Args::get(const std::string& name, const std::string& fallback) const {
+  auto it = opts_.find(name);
+  return it == opts_.end() ? fallback : it->second;
+}
+
+long Args::get_long(const std::string& name, long fallback) const {
+  auto it = opts_.find(name);
+  if (it == opts_.end()) return fallback;
+  char* endp = nullptr;
+  const long v = std::strtol(it->second.c_str(), &endp, 10);
+  if (endp == it->second.c_str() || *endp != '\0') {
+    throw std::invalid_argument("--" + name + ": expected an integer, got '" +
+                                it->second + "'");
+  }
+  return v;
+}
+
+double Args::get_double(const std::string& name, double fallback) const {
+  auto it = opts_.find(name);
+  if (it == opts_.end()) return fallback;
+  char* endp = nullptr;
+  const double v = std::strtod(it->second.c_str(), &endp);
+  if (endp == it->second.c_str() || *endp != '\0') {
+    throw std::invalid_argument("--" + name + ": expected a number, got '" +
+                                it->second + "'");
+  }
+  return v;
+}
+
+std::vector<std::string> Args::get_list(const std::string& name,
+                                        const std::vector<std::string>& fallback) const {
+  auto it = opts_.find(name);
+  if (it == opts_.end()) return fallback;
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : it->second) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+std::vector<std::size_t> Args::get_sizes(const std::string& name,
+                                         const std::vector<std::size_t>& fallback) const {
+  if (!has(name)) return fallback;
+  std::vector<std::size_t> out;
+  for (const std::string& s : get_list(name)) {
+    char* endp = nullptr;
+    const unsigned long long v = std::strtoull(s.c_str(), &endp, 10);
+    if (endp == s.c_str() || *endp != '\0') {
+      throw std::invalid_argument("--" + name + ": expected integers, got '" + s + "'");
+    }
+    out.push_back(static_cast<std::size_t>(v));
+  }
+  return out;
+}
+
+} // namespace benchcore

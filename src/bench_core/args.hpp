@@ -1,0 +1,47 @@
+// args.hpp — minimal CLI option parsing for the benchmark binaries.
+//
+// Supports `--key=value` and `--flag` forms.  The Table 1 harness uses
+//   table1 --cores=1,8,16,24,32 --reps=3 --scale=small --only=c-ray,md5
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace benchcore {
+
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+
+  /// True if `--name` or `--name=...` was passed.
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Value of `--name=value`, or `fallback` if absent.
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback = {}) const;
+
+  [[nodiscard]] long get_long(const std::string& name, long fallback) const;
+
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+
+  /// Parses `--name=a,b,c` into a vector; returns `fallback` if absent.
+  [[nodiscard]] std::vector<std::string> get_list(
+      const std::string& name, const std::vector<std::string>& fallback = {}) const;
+
+  /// Parses `--name=1,2,4` into sizes; returns `fallback` if absent.
+  [[nodiscard]] std::vector<std::size_t> get_sizes(
+      const std::string& name, const std::vector<std::size_t>& fallback = {}) const;
+
+  /// Positional (non `--`) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> opts_;
+  std::vector<std::string> positional_;
+};
+
+} // namespace benchcore

@@ -1,0 +1,9 @@
+// bench_core.hpp — umbrella header for the measurement substrate.
+#pragma once
+
+#include "bench_core/args.hpp"
+#include "bench_core/runner.hpp"
+#include "bench_core/statistics.hpp"
+#include "bench_core/table.hpp"
+#include "bench_core/timer.hpp"
+#include "bench_core/workload.hpp"

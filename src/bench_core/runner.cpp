@@ -1,0 +1,98 @@
+#include "bench_core/runner.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "bench_core/statistics.hpp"
+#include "bench_core/table.hpp"
+#include "bench_core/timer.hpp"
+
+namespace benchcore {
+
+double measure_median_seconds(const std::function<void()>& fn, std::size_t reps) {
+  if (reps == 0) reps = 1;
+  std::vector<double> times;
+  times.reserve(reps);
+  for (std::size_t i = 0; i < reps; ++i) {
+    WallTimer t;
+    fn();
+    times.push_back(t.seconds());
+  }
+  return median(std::move(times));
+}
+
+Table1Harness::Table1Harness(std::vector<std::size_t> core_counts, std::size_t reps)
+    : core_counts_(std::move(core_counts)), reps_(reps == 0 ? 1 : reps) {
+  if (core_counts_.empty()) {
+    throw std::invalid_argument("Table1Harness: need at least one core count");
+  }
+}
+
+void Table1Harness::add(VariantSet v) { variants_.push_back(std::move(v)); }
+
+std::vector<std::string> Table1Harness::names() const {
+  std::vector<std::string> out;
+  out.reserve(variants_.size());
+  for (const auto& v : variants_) out.push_back(v.name);
+  return out;
+}
+
+SpeedupRow Table1Harness::measure(const VariantSet& v) const {
+  SpeedupRow row;
+  row.name = v.name;
+  for (std::size_t cores : core_counts_) {
+    const double tp = measure_median_seconds([&] { v.pthreads(cores); }, reps_);
+    const double to = measure_median_seconds([&] { v.ompss(cores); }, reps_);
+    row.pthreads_seconds.push_back(tp);
+    row.ompss_seconds.push_back(to);
+    row.speedup.push_back(to > 0.0 ? tp / to : 0.0);
+  }
+  row.mean = geomean(row.speedup);
+  return row;
+}
+
+std::string Table1Harness::render_all(const std::vector<std::string>& only,
+                                      std::vector<SpeedupRow>* out_rows) const {
+  auto selected = [&](const std::string& name) {
+    return only.empty() ||
+           std::find(only.begin(), only.end(), name) != only.end();
+  };
+
+  TextTable table;
+  std::vector<std::string> header{"Benchmark"};
+  for (std::size_t c : core_counts_) header.push_back(std::to_string(c));
+  header.push_back("Mean");
+  table.set_header(std::move(header));
+
+  std::vector<SpeedupRow> rows;
+  for (const auto& v : variants_) {
+    if (!selected(v.name)) continue;
+    rows.push_back(measure(v));
+    const SpeedupRow& r = rows.back();
+    std::vector<double> cells = r.speedup;
+    cells.push_back(r.mean);
+    table.add_row(r.name, cells);
+  }
+
+  if (rows.size() > 1) {
+    // Mean row: geometric mean down each column, and overall geomean of all
+    // cells (the paper's bottom-right 1.02).
+    std::vector<double> col_means;
+    std::vector<double> all_cells;
+    for (std::size_t c = 0; c < core_counts_.size(); ++c) {
+      std::vector<double> col;
+      for (const auto& r : rows) {
+        col.push_back(r.speedup[c]);
+        all_cells.push_back(r.speedup[c]);
+      }
+      col_means.push_back(geomean(col));
+    }
+    col_means.push_back(geomean(all_cells));
+    table.add_row("Mean", col_means);
+  }
+
+  if (out_rows) *out_rows = std::move(rows);
+  return table.render();
+}
+
+} // namespace benchcore

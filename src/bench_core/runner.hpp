@@ -1,0 +1,69 @@
+// runner.hpp — the Table 1 measurement harness.
+//
+// Reproduces the paper's headline experiment: for every benchmark and every
+// core count, time the Pthreads variant and the OmpSs variant and report the
+// speedup factor  t_pthreads / t_ompss  (">1" means OmpSs wins), plus the
+// geometric means across core counts (per-benchmark "Mean" column), across
+// benchmarks (the "Mean" row), and overall.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace benchcore {
+
+/// One benchmark's runnable variants.  Each callable performs the complete
+/// workload once; `threads` is the total worker count for that run.
+struct VariantSet {
+  std::string name;
+  std::function<void()> seq;                      ///< optional (may be null)
+  std::function<void(std::size_t)> pthreads;      ///< required
+  std::function<void(std::size_t)> ompss;         ///< required
+};
+
+/// Result of measuring one VariantSet across core counts.
+struct SpeedupRow {
+  std::string name;
+  std::vector<double> pthreads_seconds; ///< median per core count
+  std::vector<double> ompss_seconds;    ///< median per core count
+  std::vector<double> speedup;          ///< pthreads_seconds / ompss_seconds
+  double mean = 0.0;                    ///< geomean of `speedup`
+};
+
+class Table1Harness {
+ public:
+  /// `core_counts` — the columns of the table (the paper uses 1,8,16,24,32).
+  /// `reps` — repetitions per cell; the median time is used.
+  Table1Harness(std::vector<std::size_t> core_counts, std::size_t reps);
+
+  /// Times one benchmark over all core counts.
+  SpeedupRow measure(const VariantSet& v) const;
+
+  /// Registers a benchmark for `render_all`.
+  void add(VariantSet v);
+
+  /// Names of registered benchmarks, in order.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Measures every registered benchmark (optionally restricted to `only`,
+  /// empty = all) and renders the paper-style table including the Mean
+  /// column and Mean row.  Also returns the rows via `out_rows` if non-null.
+  std::string render_all(const std::vector<std::string>& only = {},
+                         std::vector<SpeedupRow>* out_rows = nullptr) const;
+
+  [[nodiscard]] const std::vector<std::size_t>& core_counts() const {
+    return core_counts_;
+  }
+
+ private:
+  std::vector<std::size_t> core_counts_;
+  std::size_t reps_;
+  std::vector<VariantSet> variants_;
+};
+
+/// Times `fn` `reps` times and returns the median seconds.
+double measure_median_seconds(const std::function<void()>& fn, std::size_t reps);
+
+} // namespace benchcore

@@ -1,0 +1,28 @@
+// statistics.hpp — summary statistics for benchmark repetitions.
+//
+// The paper reports per-benchmark speedups and geometric means across the
+// suite (Table 1's "Mean" column and row); `geomean` reproduces that
+// aggregation.  Medians are used for run-to-run robustness.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace benchcore {
+
+/// Arithmetic mean; 0 for empty input.
+double mean(const std::vector<double>& xs);
+
+/// Median (average of middle two for even sizes); 0 for empty input.
+double median(std::vector<double> xs);
+
+/// Sample standard deviation; 0 for fewer than two samples.
+double stddev(const std::vector<double>& xs);
+
+/// Geometric mean; 0 for empty input. All inputs must be > 0.
+double geomean(const std::vector<double>& xs);
+
+/// Smallest element; 0 for empty input.
+double minimum(const std::vector<double>& xs);
+
+} // namespace benchcore

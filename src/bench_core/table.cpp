@@ -1,0 +1,69 @@
+#include "bench_core/table.hpp"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace benchcore {
+
+void TextTable::set_header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (!header_.empty() && cells.size() != header_.size()) {
+    throw std::invalid_argument("TextTable: row width != header width");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_row(const std::string& name,
+                        const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(name);
+  for (double v : values) cells.push_back(fmt(v, precision));
+  add_row(std::move(cells));
+}
+
+std::string TextTable::fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TextTable::render(std::size_t indent) const {
+  std::vector<std::size_t> widths;
+  auto absorb = [&](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  absorb(header_);
+  for (const auto& r : rows_) absorb(r);
+
+  std::ostringstream os;
+  const std::string pad(indent, ' ');
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << pad;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i == 0) {
+        os << std::left << std::setw(static_cast<int>(widths[i])) << row[i];
+      } else {
+        os << "  " << std::right << std::setw(static_cast<int>(widths[i])) << row[i];
+      }
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < widths.size(); ++i) total += widths[i] + (i ? 2 : 0);
+    os << pad << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+} // namespace benchcore

@@ -1,0 +1,43 @@
+// table.hpp — plain-text table rendering in the style of the paper's Table 1.
+//
+//   Benchmark        1     8    16    24    32  Mean
+//   c-ray         1.03  1.11  1.12  1.11  1.14  1.10
+//   ...
+//
+// Columns auto-size to their widest cell; the first column is left-aligned,
+// the rest right-aligned.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace benchcore {
+
+class TextTable {
+ public:
+  /// Sets the header row (defines the column count).
+  void set_header(std::vector<std::string> cells);
+
+  /// Appends a data row; must match the header's column count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: first cell is a name, the rest are numbers rendered with
+  /// `precision` decimal places.
+  void add_row(const std::string& name, const std::vector<double>& values,
+               int precision = 2);
+
+  /// Renders the table with `indent` leading spaces per line.
+  [[nodiscard]] std::string render(std::size_t indent = 0) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Formats a double with fixed precision.
+  static std::string fmt(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace benchcore

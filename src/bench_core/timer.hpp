@@ -1,0 +1,30 @@
+// timer.hpp — wall-clock timing.
+#pragma once
+
+#include <chrono>
+
+namespace benchcore {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  Clock::time_point start_;
+};
+
+} // namespace benchcore

@@ -1,0 +1,51 @@
+// workload.hpp — standard workload scales.
+//
+// Every benchmark derives its problem size from one of these presets so the
+// whole suite can be resized together: `tiny` for unit tests, `small` for
+// CI-sized measurement runs (the default on this container), `medium`/
+// `large` for real machines approaching the paper's inputs.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace benchcore {
+
+enum class Scale {
+  Tiny,   ///< seconds-long full-suite runs; used by tests
+  Small,  ///< default measurement size on small machines
+  Medium, ///< workstation-sized
+  Large,  ///< approximates the paper's inputs
+};
+
+inline const char* to_string(Scale s) noexcept {
+  switch (s) {
+    case Scale::Tiny: return "tiny";
+    case Scale::Small: return "small";
+    case Scale::Medium: return "medium";
+    case Scale::Large: return "large";
+  }
+  return "?";
+}
+
+inline Scale parse_scale(const std::string& name) {
+  if (name == "tiny") return Scale::Tiny;
+  if (name == "small") return Scale::Small;
+  if (name == "medium") return Scale::Medium;
+  if (name == "large") return Scale::Large;
+  throw std::invalid_argument("unknown scale: " + name);
+}
+
+/// Picks one of four values by scale — the idiom every benchmark config uses.
+template <class T>
+T by_scale(Scale s, T tiny, T small, T medium, T large) {
+  switch (s) {
+    case Scale::Tiny: return tiny;
+    case Scale::Small: return small;
+    case Scale::Medium: return medium;
+    case Scale::Large: return large;
+  }
+  return small;
+}
+
+} // namespace benchcore

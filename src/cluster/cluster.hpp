@@ -1,0 +1,6 @@
+// cluster.hpp — umbrella header for the clustering substrate.
+#pragma once
+
+#include "cluster/kmeans.hpp"
+#include "cluster/points.hpp"
+#include "cluster/streamcluster.hpp"

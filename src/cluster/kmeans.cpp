@@ -1,0 +1,83 @@
+#include "cluster/kmeans.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace cluster {
+
+void KmeansPartial::init(std::size_t k, std::size_t dim) {
+  sums.assign(k * dim, 0.0);
+  counts.assign(k, 0);
+}
+
+void KmeansPartial::merge(const KmeansPartial& other) {
+  for (std::size_t i = 0; i < sums.size(); ++i) sums[i] += other.sums[i];
+  for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+}
+
+std::vector<float> kmeans_init_centroids(const PointSet& points, std::size_t k) {
+  if (k == 0 || points.count == 0) {
+    throw std::invalid_argument("kmeans: k and point count must be > 0");
+  }
+  std::vector<float> centroids(k * points.dim);
+  const std::size_t stride = points.count / k > 0 ? points.count / k : 1;
+  for (std::size_t c = 0; c < k; ++c) {
+    const float* src = points.point((c * stride) % points.count);
+    for (std::size_t d = 0; d < points.dim; ++d) centroids[c * points.dim + d] = src[d];
+  }
+  return centroids;
+}
+
+double kmeans_assign_range(const PointSet& points,
+                           const std::vector<float>& centroids, std::size_t k,
+                           std::size_t begin, std::size_t end,
+                           std::uint32_t* assignment, KmeansPartial& partial) {
+  const std::size_t dim = points.dim;
+  double inertia = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const float* p = points.point(i);
+    float best = std::numeric_limits<float>::max();
+    std::size_t best_c = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+      const float d2 = dist2(p, centroids.data() + c * dim, dim);
+      if (d2 < best) {
+        best = d2;
+        best_c = c;
+      }
+    }
+    assignment[i] = static_cast<std::uint32_t>(best_c);
+    partial.counts[best_c]++;
+    for (std::size_t d = 0; d < dim; ++d) partial.sums[best_c * dim + d] += p[d];
+    inertia += best;
+  }
+  return inertia;
+}
+
+void kmeans_recompute(const KmeansPartial& merged, std::size_t k,
+                      std::size_t dim, std::vector<float>& centroids) {
+  for (std::size_t c = 0; c < k; ++c) {
+    if (merged.counts[c] == 0) continue; // keep previous centroid
+    const double inv = 1.0 / static_cast<double>(merged.counts[c]);
+    for (std::size_t d = 0; d < dim; ++d) {
+      centroids[c * dim + d] = static_cast<float>(merged.sums[c * dim + d] * inv);
+    }
+  }
+}
+
+KmeansResult kmeans_seq(const PointSet& points, std::size_t k, int iters) {
+  KmeansResult res;
+  res.centroids = kmeans_init_centroids(points, k);
+  res.assignment.assign(points.count, 0);
+
+  for (int it = 0; it < iters; ++it) {
+    KmeansPartial partial;
+    partial.init(k, points.dim);
+    res.inertia = kmeans_assign_range(points, res.centroids, k, 0, points.count,
+                                      res.assignment.data(), partial);
+    kmeans_recompute(partial, k, points.dim, res.centroids);
+    res.iterations = it + 1;
+  }
+  return res;
+}
+
+} // namespace cluster

@@ -1,0 +1,57 @@
+// kmeans.hpp — Lloyd's algorithm (the `kmeans` benchmark).
+//
+// The classic barrier-phased structure the suite parallelizes:
+//   repeat for `iters` iterations:
+//     phase 1 (parallel over points): assign each point to nearest centroid,
+//              accumulating per-thread partial sums;
+//     phase 2 (reduction): merge partials, recompute centroids.
+//
+// The phase kernels are exposed piecewise (assign_range / merge / recompute)
+// so the sequential, Pthreads, and OmpSs variants share them exactly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cluster/points.hpp"
+
+namespace cluster {
+
+/// Per-thread (or per-task) partial accumulation of one assignment phase.
+struct KmeansPartial {
+  std::vector<double> sums;        ///< k * dim coordinate sums
+  std::vector<std::size_t> counts; ///< k point counts
+
+  void init(std::size_t k, std::size_t dim);
+  void merge(const KmeansPartial& other);
+};
+
+/// Result of a k-means run.
+struct KmeansResult {
+  std::vector<float> centroids;        ///< k * dim
+  std::vector<std::uint32_t> assignment; ///< point -> cluster
+  double inertia = 0.0;                ///< sum of squared distances
+  int iterations = 0;
+};
+
+/// Deterministic initial centroids: evenly strided points from the set.
+std::vector<float> kmeans_init_centroids(const PointSet& points, std::size_t k);
+
+/// Assignment phase over points [begin, end): updates `assignment` for that
+/// range and accumulates sums/counts into `partial` (which must be init'ed).
+/// Returns the inertia contribution of the range.
+double kmeans_assign_range(const PointSet& points,
+                           const std::vector<float>& centroids, std::size_t k,
+                           std::size_t begin, std::size_t end,
+                           std::uint32_t* assignment, KmeansPartial& partial);
+
+/// Update phase: recomputes centroids from a fully merged partial.  Empty
+/// clusters keep their previous centroid.
+void kmeans_recompute(const KmeansPartial& merged, std::size_t k,
+                      std::size_t dim, std::vector<float>& centroids);
+
+/// Full sequential k-means (`iters` fixed Lloyd iterations).
+KmeansResult kmeans_seq(const PointSet& points, std::size_t k, int iters);
+
+} // namespace cluster

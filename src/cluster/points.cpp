@@ -1,0 +1,65 @@
+#include "cluster/points.hpp"
+
+#include <cmath>
+
+namespace cluster {
+
+namespace {
+std::uint32_t xorshift(std::uint32_t& s) {
+  s ^= s << 13;
+  s ^= s >> 17;
+  s ^= s << 5;
+  return s;
+}
+float unit(std::uint32_t& s) {
+  return static_cast<float>(xorshift(s) & 0xFFFFFF) / float(0x1000000);
+}
+} // namespace
+
+float dist2(const float* a, const float* b, std::size_t dim) {
+  float acc = 0.f;
+  for (std::size_t d = 0; d < dim; ++d) {
+    const float diff = a[d] - b[d];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+PointSet make_blobs(std::size_t count, std::size_t dim, std::size_t clusters,
+                    std::uint32_t seed, float spread) {
+  PointSet ps;
+  ps.count = count;
+  ps.dim = dim;
+  ps.coords.resize(count * dim);
+  std::uint32_t rng = seed * 2654435761u + 17u;
+
+  // Cluster centers spread through the unit cube.
+  std::vector<float> centers(clusters * dim);
+  for (auto& c : centers) c = unit(rng);
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t k = i % (clusters > 0 ? clusters : 1);
+    float* p = ps.point(i);
+    for (std::size_t d = 0; d < dim; ++d) {
+      // Box-Muller for approximately Gaussian jitter.
+      const float u1 = unit(rng) + 1e-7f;
+      const float u2 = unit(rng);
+      const float n =
+          std::sqrt(-2.f * std::log(u1)) * std::cos(6.2831853f * u2);
+      p[d] = centers[k * dim + d] + spread * n;
+    }
+  }
+  return ps;
+}
+
+PointSet make_uniform(std::size_t count, std::size_t dim, std::uint32_t seed) {
+  PointSet ps;
+  ps.count = count;
+  ps.dim = dim;
+  ps.coords.resize(count * dim);
+  std::uint32_t rng = seed * 747796405u + 5u;
+  for (auto& c : ps.coords) c = unit(rng);
+  return ps;
+}
+
+} // namespace cluster

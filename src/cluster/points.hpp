@@ -1,0 +1,33 @@
+// points.hpp — point sets and generators for the clustering benchmarks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cluster {
+
+/// A dense row-major point set: `count` points of `dim` float coordinates.
+struct PointSet {
+  std::size_t count = 0;
+  std::size_t dim = 0;
+  std::vector<float> coords; // count * dim
+
+  [[nodiscard]] const float* point(std::size_t i) const {
+    return coords.data() + i * dim;
+  }
+  [[nodiscard]] float* point(std::size_t i) { return coords.data() + i * dim; }
+};
+
+/// Squared Euclidean distance between two `dim`-vectors.
+float dist2(const float* a, const float* b, std::size_t dim);
+
+/// Deterministic mixture-of-Gaussians generator: `clusters` well-separated
+/// blobs (box-muller noise), used by both kmeans and streamcluster.
+PointSet make_blobs(std::size_t count, std::size_t dim, std::size_t clusters,
+                    std::uint32_t seed, float spread = 0.05f);
+
+/// Uniform noise points in the unit cube.
+PointSet make_uniform(std::size_t count, std::size_t dim, std::uint32_t seed);
+
+} // namespace cluster

@@ -1,0 +1,158 @@
+#include "cluster/streamcluster.hpp"
+
+#include <stdexcept>
+
+namespace cluster {
+
+double FacilitySolution::total_cost() const {
+  double c = facility_cost * static_cast<double>(centers.size());
+  for (float d : dist) c += d;
+  return c;
+}
+
+FacilitySolution initial_solution(const PointSet& points, std::size_t count,
+                                  double facility_cost) {
+  if (count == 0 || count > points.count) {
+    throw std::invalid_argument("initial_solution: bad count");
+  }
+  FacilitySolution sol;
+  sol.facility_cost = facility_cost;
+  sol.assignment.assign(count, 0);
+  sol.dist.assign(count, 0.f);
+  sol.centers.push_back(0);
+
+  for (std::size_t i = 1; i < count; ++i) {
+    // Connect to the nearest open center.
+    float best = dist2(points.point(i), points.point(sol.centers[0]), points.dim);
+    std::uint32_t best_c = 0;
+    for (std::size_t c = 1; c < sol.centers.size(); ++c) {
+      const float d = dist2(points.point(i), points.point(sol.centers[c]), points.dim);
+      if (d < best) {
+        best = d;
+        best_c = static_cast<std::uint32_t>(c);
+      }
+    }
+    if (best > facility_cost) {
+      // Opening here is cheaper than connecting: new facility.
+      sol.assignment[i] = static_cast<std::uint32_t>(sol.centers.size());
+      sol.dist[i] = 0.f;
+      sol.centers.push_back(i);
+    } else {
+      sol.assignment[i] = best_c;
+      sol.dist[i] = best;
+    }
+  }
+  return sol;
+}
+
+void PGainPartial::init(std::size_t num_centers) {
+  switch_gain = 0.0;
+  center_extra.assign(num_centers, 0.0);
+}
+
+void PGainPartial::merge(const PGainPartial& other) {
+  switch_gain += other.switch_gain;
+  for (std::size_t i = 0; i < center_extra.size(); ++i) {
+    center_extra[i] += other.center_extra[i];
+  }
+}
+
+void pgain_range(const PointSet& points, const FacilitySolution& sol,
+                 std::size_t x, std::size_t begin, std::size_t end,
+                 PGainPartial& partial) {
+  const float* px = points.point(x);
+  for (std::size_t i = begin; i < end; ++i) {
+    const float dx = dist2(points.point(i), px, points.dim);
+    const double delta = static_cast<double>(dx) - static_cast<double>(sol.dist[i]);
+    if (delta < 0) {
+      // The point prefers x regardless of closures.
+      partial.switch_gain += -delta;
+    } else {
+      // If this point's center closes, moving it to x costs `delta` extra.
+      partial.center_extra[sol.assignment[i]] += delta;
+    }
+  }
+}
+
+double pgain_apply(const PointSet& points, FacilitySolution& sol, std::size_t x,
+                   std::size_t count, const PGainPartial& merged) {
+  const std::size_t k = sol.centers.size();
+  // Opening an already-open facility is never profitable.
+  for (std::size_t c : sol.centers) {
+    if (c == x) return 0.0;
+  }
+  // Closing center c saves facility_cost but forces its loyal members to x.
+  std::vector<bool> close(k, false);
+  double gain = merged.switch_gain - sol.facility_cost; // pay to open x
+  for (std::size_t c = 0; c < k; ++c) {
+    const double saving = sol.facility_cost - merged.center_extra[c];
+    if (saving > 0) {
+      close[c] = true;
+      gain += saving;
+    }
+  }
+  if (gain <= 0) return gain;
+
+  // Apply: open x, close marked centers, reassign points.
+  const float* px = points.point(x);
+  std::vector<std::size_t> new_centers;
+  std::vector<std::uint32_t> remap(k, 0);
+  for (std::size_t c = 0; c < k; ++c) {
+    if (!close[c]) {
+      remap[c] = static_cast<std::uint32_t>(new_centers.size());
+      new_centers.push_back(sol.centers[c]);
+    }
+  }
+  const auto x_idx = static_cast<std::uint32_t>(new_centers.size());
+  new_centers.push_back(x);
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const float dx = dist2(points.point(i), px, points.dim);
+    const std::uint32_t old_c = sol.assignment[i];
+    if (dx < sol.dist[i] || close[old_c]) {
+      // Switchers and orphans both go to x (orphans by construction of
+      // center_extra; switchers by definition).
+      sol.assignment[i] = x_idx;
+      sol.dist[i] = dx;
+    } else {
+      sol.assignment[i] = remap[old_c];
+    }
+  }
+  sol.centers = std::move(new_centers);
+  return gain;
+}
+
+std::vector<std::size_t> candidate_sequence(std::size_t count, int rounds,
+                                            std::uint32_t seed) {
+  std::vector<std::size_t> out;
+  out.reserve(static_cast<std::size_t>(rounds));
+  std::uint32_t s = seed * 2654435761u + 101u;
+  for (int i = 0; i < rounds; ++i) {
+    s ^= s << 13;
+    s ^= s >> 17;
+    s ^= s << 5;
+    out.push_back(s % count);
+  }
+  return out;
+}
+
+FacilitySolution streamcluster_seq(const PointSet& points, std::size_t chunk,
+                                   double facility_cost, int rounds,
+                                   std::uint32_t seed) {
+  if (chunk == 0) throw std::invalid_argument("streamcluster: chunk must be > 0");
+  FacilitySolution sol;
+  for (std::size_t consumed = chunk; ; consumed += chunk) {
+    const std::size_t count = consumed < points.count ? consumed : points.count;
+    sol = initial_solution(points, count, facility_cost);
+    for (std::size_t x : candidate_sequence(count, rounds, seed)) {
+      PGainPartial partial;
+      partial.init(sol.centers.size());
+      pgain_range(points, sol, x, 0, count, partial);
+      pgain_apply(points, sol, x, count, partial);
+    }
+    if (count == points.count) break;
+  }
+  return sol;
+}
+
+} // namespace cluster

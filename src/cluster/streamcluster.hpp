@@ -1,0 +1,78 @@
+// streamcluster.hpp — online facility-location clustering (the
+// `streamcluster` benchmark, PARSEC-style).
+//
+// Points arrive as a stream processed in chunks.  For each chunk the solver
+// maintains a facility-location solution (a set of open centers, each point
+// assigned to its nearest open center) and improves it by local search:
+// repeatedly evaluate the *gain* of opening a candidate point x as a new
+// facility (the PARSEC `pgain` kernel) and apply it when positive.
+//
+// pgain(x) decomposes per point, which is exactly what the benchmark
+// parallelizes: each thread/task computes partial switch-gains and
+// per-center closure costs over a point range, a barrier separates the
+// phases, then one thread reduces and applies.  The per-range kernel
+// (`pgain_range`) and the reduction (`pgain_apply`) are shared by all
+// variants.
+//
+// Distances are squared Euclidean, as in PARSEC.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cluster/points.hpp"
+
+namespace cluster {
+
+/// A facility-location solution over a (prefix of a) point set.
+struct FacilitySolution {
+  std::vector<std::size_t> centers;      ///< point indices of open facilities
+  std::vector<std::uint32_t> assignment; ///< point -> position in `centers`
+  std::vector<float> dist;               ///< point -> squared dist to its center
+  double facility_cost = 1.0;
+
+  /// Total cost: connection cost + facility_cost * |centers|.
+  [[nodiscard]] double total_cost() const;
+};
+
+/// Builds the initial solution for `count` points: point 0 opens; each
+/// subsequent point opens a new facility iff its connection cost exceeds
+/// the facility cost (deterministic variant of PARSEC's SpeedyK).
+FacilitySolution initial_solution(const PointSet& points, std::size_t count,
+                                  double facility_cost);
+
+/// Per-range partial state of one pgain evaluation.
+struct PGainPartial {
+  double switch_gain = 0.0;          ///< savings from points switching to x
+  std::vector<double> center_extra;  ///< per-center cost of forcing the rest to x
+
+  void init(std::size_t num_centers);
+  void merge(const PGainPartial& other);
+};
+
+/// Evaluates candidate `x` over points [begin, end) of the first `count`
+/// points, accumulating into `partial` (init'ed to the solution's center
+/// count).
+void pgain_range(const PointSet& points, const FacilitySolution& sol,
+                 std::size_t x, std::size_t begin, std::size_t end,
+                 PGainPartial& partial);
+
+/// Reduces a merged partial: returns the gain of opening `x` (possibly
+/// closing centers), and if the gain is positive applies the move to `sol`
+/// (reassigning points).  `count` is the stream prefix length.
+double pgain_apply(const PointSet& points, FacilitySolution& sol, std::size_t x,
+                   std::size_t count, const PGainPartial& merged);
+
+/// Deterministic candidate sequence for the local search.
+std::vector<std::size_t> candidate_sequence(std::size_t count, int rounds,
+                                            std::uint32_t seed);
+
+/// Full sequential streamcluster: processes `points` in `chunk`-sized
+/// prefixes, running `rounds` local-search candidates after each chunk.
+/// Returns the final solution over all points.
+FacilitySolution streamcluster_seq(const PointSet& points, std::size_t chunk,
+                                   double facility_cost, int rounds,
+                                   std::uint32_t seed);
+
+} // namespace cluster

@@ -1,0 +1,63 @@
+// md5.hpp — MD5 message digest (RFC 1321), implemented from scratch.
+//
+// Substrate for the `md5` benchmark: the suite hashes a large set of
+// independent buffers (one task/thread work-item per buffer).  Both a
+// one-shot function and an incremental context are provided; the context
+// form is what the streaming tests exercise.
+//
+// MD5 is used here as a *workload*, not for security.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hashing {
+
+/// A 128-bit MD5 digest.
+struct Md5Digest {
+  std::array<std::uint8_t, 16> bytes{};
+
+  /// Lowercase hex rendering ("d41d8cd98f00b204e9800998ecf8427e").
+  [[nodiscard]] std::string hex() const;
+
+  friend bool operator==(const Md5Digest&, const Md5Digest&) = default;
+};
+
+/// Incremental MD5 computation.
+class Md5 {
+ public:
+  Md5();
+
+  /// Absorbs `len` bytes.
+  void update(const void* data, std::size_t len);
+
+  /// Finalizes and returns the digest.  The context must not be updated
+  /// afterwards (reset() to reuse).
+  Md5Digest finish();
+
+  /// Returns the context to its initial state.
+  void reset();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t state_[4];
+  std::uint64_t length_ = 0; ///< total bytes absorbed
+  std::uint8_t buffer_[64];
+  std::size_t buffered_ = 0;
+};
+
+/// One-shot digest of a byte range.
+Md5Digest md5(const void* data, std::size_t len);
+
+/// One-shot digest of a string.
+Md5Digest md5(const std::string& s);
+
+/// Deterministic pseudo-random buffer set for the md5 benchmark workload.
+std::vector<std::vector<std::uint8_t>> make_buffer_workload(
+    std::size_t num_buffers, std::size_t bytes_per_buffer, std::uint32_t seed);
+
+} // namespace hashing

@@ -1,0 +1,104 @@
+#include "img/color.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace img {
+
+namespace {
+
+std::uint8_t clamp8(int v) {
+  return static_cast<std::uint8_t>(v < 0 ? 0 : (v > 255 ? 255 : v));
+}
+
+void check_shapes(const Image& src, const Image& dst, int src_ch, int dst_ch,
+                  const char* what) {
+  if (src.channels() != src_ch || dst.channels() != dst_ch ||
+      src.width() != dst.width() || src.height() != dst.height()) {
+    throw std::invalid_argument(std::string(what) + ": shape mismatch");
+  }
+}
+
+} // namespace
+
+void rgb_to_cmyk_rows(const Image& rgb, Image& cmyk, int row_begin, int row_end) {
+  check_shapes(rgb, cmyk, 3, 4, "rgb_to_cmyk");
+  const int w = rgb.width();
+  for (int y = row_begin; y < row_end; ++y) {
+    const std::uint8_t* in = rgb.row(y);
+    std::uint8_t* out = cmyk.row(y);
+    for (int x = 0; x < w; ++x) {
+      const int r = in[x * 3 + 0];
+      const int g = in[x * 3 + 1];
+      const int b = in[x * 3 + 2];
+      const int mx = std::max(r, std::max(g, b));
+      const int k = 255 - mx; // black
+      if (mx == 0) {
+        out[x * 4 + 0] = 0;
+        out[x * 4 + 1] = 0;
+        out[x * 4 + 2] = 0;
+        out[x * 4 + 3] = 255;
+        continue;
+      }
+      // C = (1 - R' - K') / (1 - K'), scaled to 0..255 integer math.
+      out[x * 4 + 0] = clamp8((mx - r) * 255 / mx);
+      out[x * 4 + 1] = clamp8((mx - g) * 255 / mx);
+      out[x * 4 + 2] = clamp8((mx - b) * 255 / mx);
+      out[x * 4 + 3] = clamp8(k);
+    }
+  }
+}
+
+void rgb_to_ycbcr_rows(const Image& rgb, Image& ycbcr, int row_begin, int row_end) {
+  check_shapes(rgb, ycbcr, 3, 3, "rgb_to_ycbcr");
+  const int w = rgb.width();
+  for (int y = row_begin; y < row_end; ++y) {
+    const std::uint8_t* in = rgb.row(y);
+    std::uint8_t* out = ycbcr.row(y);
+    for (int x = 0; x < w; ++x) {
+      const int r = in[x * 3 + 0];
+      const int g = in[x * 3 + 1];
+      const int b = in[x * 3 + 2];
+      // BT.601 full-range, 16.16 fixed point.
+      const int yy = (19595 * r + 38470 * g + 7471 * b + 32768) >> 16;
+      const int cb = ((-11059 * r - 21709 * g + 32768 * b + 32768) >> 16) + 128;
+      const int cr = ((32768 * r - 27439 * g - 5329 * b + 32768) >> 16) + 128;
+      out[x * 3 + 0] = clamp8(yy);
+      out[x * 3 + 1] = clamp8(cb);
+      out[x * 3 + 2] = clamp8(cr);
+    }
+  }
+}
+
+void ycbcr_to_rgb_rows(const Image& ycbcr, Image& rgb, int row_begin, int row_end) {
+  check_shapes(ycbcr, rgb, 3, 3, "ycbcr_to_rgb");
+  const int w = ycbcr.width();
+  for (int y = row_begin; y < row_end; ++y) {
+    const std::uint8_t* in = ycbcr.row(y);
+    std::uint8_t* out = rgb.row(y);
+    for (int x = 0; x < w; ++x) {
+      const int yy = in[x * 3 + 0];
+      const int cb = in[x * 3 + 1] - 128;
+      const int cr = in[x * 3 + 2] - 128;
+      const int r = yy + ((91881 * cr + 32768) >> 16);
+      const int g = yy - ((22554 * cb + 46802 * cr + 32768) >> 16);
+      const int b = yy + ((116130 * cb + 32768) >> 16);
+      out[x * 3 + 0] = clamp8(r);
+      out[x * 3 + 1] = clamp8(g);
+      out[x * 3 + 2] = clamp8(b);
+    }
+  }
+}
+
+void rgb_to_cmyk(const Image& rgb, Image& cmyk) {
+  rgb_to_cmyk_rows(rgb, cmyk, 0, rgb.height());
+}
+void rgb_to_ycbcr(const Image& rgb, Image& ycbcr) {
+  rgb_to_ycbcr_rows(rgb, ycbcr, 0, rgb.height());
+}
+void ycbcr_to_rgb(const Image& ycbcr, Image& rgb) {
+  ycbcr_to_rgb_rows(ycbcr, rgb, 0, ycbcr.height());
+}
+
+} // namespace img

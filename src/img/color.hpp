@@ -1,0 +1,31 @@
+// color.hpp — color-space conversions (`rgbcmy` and the "cc" stage of
+// `rot-cc`).
+//
+// * rgb_to_cmyk_rows — the rgbcmy benchmark kernel: 3-channel RGB in,
+//   4-channel CMYK out (standard K = 1 - max(R',G',B') formulation).
+// * rgb_to_ycbcr_rows — the color-conversion kernel chained after rotation
+//   in rot-cc (BT.601 full-range).
+// * ycbcr_to_rgb_rows — inverse, used by round-trip tests.
+//
+// All kernels are row-range functions shared by every variant.
+#pragma once
+
+#include "img/image.hpp"
+
+namespace img {
+
+/// RGB (3ch) → CMYK (4ch) over rows [row_begin, row_end).
+void rgb_to_cmyk_rows(const Image& rgb, Image& cmyk, int row_begin, int row_end);
+
+/// RGB (3ch) → YCbCr (3ch, BT.601 full range) over rows [row_begin, row_end).
+void rgb_to_ycbcr_rows(const Image& rgb, Image& ycbcr, int row_begin, int row_end);
+
+/// YCbCr (3ch) → RGB (3ch) over rows [row_begin, row_end).
+void ycbcr_to_rgb_rows(const Image& ycbcr, Image& rgb, int row_begin, int row_end);
+
+/// Whole-image conveniences.
+void rgb_to_cmyk(const Image& rgb, Image& cmyk);
+void rgb_to_ycbcr(const Image& rgb, Image& ycbcr);
+void ycbcr_to_rgb(const Image& ycbcr, Image& rgb);
+
+} // namespace img

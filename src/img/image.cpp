@@ -1,0 +1,57 @@
+#include "img/image.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace img {
+
+Image::Image(int width, int height, int channels)
+    : width_(width), height_(height), channels_(channels) {
+  if (width < 0 || height < 0 || channels < 1 || channels > 4) {
+    throw std::invalid_argument("Image: invalid dimensions");
+  }
+  data_.assign(static_cast<std::size_t>(width) * static_cast<std::size_t>(height) *
+                   static_cast<std::size_t>(channels),
+               0);
+}
+
+void Image::fill(std::uint8_t value) {
+  for (auto& b : data_) b = value;
+}
+
+bool operator==(const Image& a, const Image& b) {
+  return a.width_ == b.width_ && a.height_ == b.height_ &&
+         a.channels_ == b.channels_ && a.data_ == b.data_;
+}
+
+int max_abs_diff(const Image& a, const Image& b) {
+  if (a.width() != b.width() || a.height() != b.height() ||
+      a.channels() != b.channels()) {
+    return 256;
+  }
+  int worst = 0;
+  const std::uint8_t* pa = a.data();
+  const std::uint8_t* pb = b.data();
+  for (std::size_t i = 0; i < a.size_bytes(); ++i) {
+    const int d = std::abs(static_cast<int>(pa[i]) - static_cast<int>(pb[i]));
+    if (d > worst) worst = d;
+  }
+  return worst;
+}
+
+double mismatch_fraction(const Image& a, const Image& b, int tolerance) {
+  if (a.width() != b.width() || a.height() != b.height() ||
+      a.channels() != b.channels() || a.size_bytes() == 0) {
+    return 1.0;
+  }
+  std::size_t bad = 0;
+  const std::uint8_t* pa = a.data();
+  const std::uint8_t* pb = b.data();
+  for (std::size_t i = 0; i < a.size_bytes(); ++i) {
+    if (std::abs(static_cast<int>(pa[i]) - static_cast<int>(pb[i])) > tolerance)
+      ++bad;
+  }
+  return static_cast<double>(bad) / static_cast<double>(a.size_bytes());
+}
+
+} // namespace img

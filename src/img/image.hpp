@@ -1,0 +1,75 @@
+// image.hpp — 8-bit interleaved raster images.
+//
+// The substrate for the `rotate`, `rgbcmy`, `rot-cc`, and `ray-rot`
+// benchmarks: a minimal image container (1, 3, or 4 interleaved channels)
+// with row-major uint8 storage, plus comparison helpers used by the
+// equivalence tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace img {
+
+class Image {
+ public:
+  Image() = default;
+
+  /// Creates a width×height image with `channels` interleaved 8-bit
+  /// channels, zero-initialized.
+  Image(int width, int height, int channels);
+
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] int height() const noexcept { return height_; }
+  [[nodiscard]] int channels() const noexcept { return channels_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  /// Bytes per row (no padding: width * channels).
+  [[nodiscard]] std::size_t stride() const noexcept {
+    return static_cast<std::size_t>(width_) * static_cast<std::size_t>(channels_);
+  }
+
+  [[nodiscard]] std::size_t size_bytes() const noexcept { return data_.size(); }
+
+  [[nodiscard]] std::uint8_t* data() noexcept { return data_.data(); }
+  [[nodiscard]] const std::uint8_t* data() const noexcept { return data_.data(); }
+
+  [[nodiscard]] std::uint8_t* row(int y) noexcept { return data() + stride() * static_cast<std::size_t>(y); }
+  [[nodiscard]] const std::uint8_t* row(int y) const noexcept {
+    return data() + stride() * static_cast<std::size_t>(y);
+  }
+
+  /// Channel `c` of pixel (x, y); no bounds checking.
+  [[nodiscard]] std::uint8_t& at(int x, int y, int c = 0) noexcept {
+    return data_[(static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                  static_cast<std::size_t>(x)) *
+                     static_cast<std::size_t>(channels_) +
+                 static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] std::uint8_t at(int x, int y, int c = 0) const noexcept {
+    return data_[(static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                  static_cast<std::size_t>(x)) *
+                     static_cast<std::size_t>(channels_) +
+                 static_cast<std::size_t>(c)];
+  }
+
+  void fill(std::uint8_t value);
+
+  friend bool operator==(const Image& a, const Image& b);
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  int channels_ = 0;
+  std::vector<std::uint8_t> data_;
+};
+
+/// Largest absolute per-channel difference between two same-shape images.
+/// Returns 256 when shapes differ.
+int max_abs_diff(const Image& a, const Image& b);
+
+/// Fraction of bytes that differ by more than `tolerance` (0 when identical).
+double mismatch_fraction(const Image& a, const Image& b, int tolerance = 0);
+
+} // namespace img

@@ -1,0 +1,8 @@
+// img.hpp — umbrella header for the image substrate.
+#pragma once
+
+#include "img/color.hpp"
+#include "img/image.hpp"
+#include "img/ppm.hpp"
+#include "img/rotate.hpp"
+#include "img/synth.hpp"

@@ -1,0 +1,73 @@
+#include "img/ppm.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace img {
+
+void write_pnm(const Image& image, const std::string& path) {
+  const char* magic = nullptr;
+  if (image.channels() == 1) {
+    magic = "P5";
+  } else if (image.channels() == 3) {
+    magic = "P6";
+  } else {
+    throw std::runtime_error("write_pnm: only 1- or 3-channel images");
+  }
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("write_pnm: cannot open " + path);
+  f << magic << '\n' << image.width() << ' ' << image.height() << "\n255\n";
+  f.write(reinterpret_cast<const char*>(image.data()),
+          static_cast<std::streamsize>(image.size_bytes()));
+  if (!f) throw std::runtime_error("write_pnm: write failed for " + path);
+}
+
+namespace {
+
+int read_token(std::istream& in) {
+  // Skips whitespace and '#' comments, then reads one integer.
+  for (;;) {
+    int c = in.peek();
+    if (c == '#') {
+      std::string line;
+      std::getline(in, line);
+    } else if (std::isspace(c)) {
+      in.get();
+    } else {
+      break;
+    }
+  }
+  int v = -1;
+  in >> v;
+  if (!in) throw std::runtime_error("read_pnm: malformed header");
+  return v;
+}
+
+} // namespace
+
+Image read_pnm(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("read_pnm: cannot open " + path);
+  std::string magic;
+  f >> magic;
+  int channels = 0;
+  if (magic == "P5") {
+    channels = 1;
+  } else if (magic == "P6") {
+    channels = 3;
+  } else {
+    throw std::runtime_error("read_pnm: unsupported magic " + magic);
+  }
+  const int w = read_token(f);
+  const int h = read_token(f);
+  const int maxval = read_token(f);
+  if (maxval != 255) throw std::runtime_error("read_pnm: only maxval 255");
+  f.get(); // single whitespace after header
+  Image image(w, h, channels);
+  f.read(reinterpret_cast<char*>(image.data()),
+         static_cast<std::streamsize>(image.size_bytes()));
+  if (!f) throw std::runtime_error("read_pnm: truncated pixel data");
+  return image;
+}
+
+} // namespace img

@@ -1,0 +1,18 @@
+// ppm.hpp — NetPBM image I/O (binary PPM/P6 for 3-channel, PGM/P5 for
+// 1-channel), used by the examples to emit inspectable output.
+#pragma once
+
+#include <string>
+
+#include "img/image.hpp"
+
+namespace img {
+
+/// Writes a 1-channel image as P5 or a 3-channel image as P6.
+/// Throws std::runtime_error on I/O failure or unsupported channel count.
+void write_pnm(const Image& image, const std::string& path);
+
+/// Reads a P5 or P6 file.  Throws std::runtime_error on parse failure.
+Image read_pnm(const std::string& path);
+
+} // namespace img

@@ -1,0 +1,68 @@
+#include "img/rotate.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace img {
+
+RotateSpec RotateSpec::degrees(double deg) {
+  RotateSpec s;
+  s.angle_rad = deg * 3.14159265358979323846 / 180.0;
+  return s;
+}
+
+void rotate_rows(const Image& src, Image& dst, const RotateSpec& spec,
+                 int row_begin, int row_end) {
+  if (src.width() != dst.width() || src.height() != dst.height() ||
+      src.channels() != dst.channels()) {
+    throw std::invalid_argument("rotate_rows: src/dst shape mismatch");
+  }
+  const int w = src.width();
+  const int h = src.height();
+  const int ch = src.channels();
+  const double cx = 0.5 * (w - 1);
+  const double cy = 0.5 * (h - 1);
+  // Inverse mapping: rotate destination coordinates by -angle.
+  const double c = std::cos(spec.angle_rad);
+  const double s = std::sin(spec.angle_rad);
+
+  for (int y = row_begin; y < row_end; ++y) {
+    std::uint8_t* out = dst.row(y);
+    const double dy = y - cy;
+    for (int x = 0; x < w; ++x) {
+      const double dx = x - cx;
+      const double sx = c * dx + s * dy + cx;
+      const double sy = -s * dx + c * dy + cy;
+
+      const int x0 = static_cast<int>(std::floor(sx));
+      const int y0 = static_cast<int>(std::floor(sy));
+      if (x0 < -1 || y0 < -1 || x0 >= w || y0 >= h) {
+        for (int k = 0; k < ch; ++k) out[x * ch + k] = 0;
+        continue;
+      }
+      const double fx = sx - x0;
+      const double fy = sy - y0;
+      const int x1 = x0 + 1;
+      const int y1 = y0 + 1;
+
+      for (int k = 0; k < ch; ++k) {
+        auto sample = [&](int xx, int yy) -> double {
+          if (xx < 0 || yy < 0 || xx >= w || yy >= h) return 0.0;
+          return src.at(xx, yy, k);
+        };
+        const double v = (1 - fx) * (1 - fy) * sample(x0, y0) +
+                         fx * (1 - fy) * sample(x1, y0) +
+                         (1 - fx) * fy * sample(x0, y1) +
+                         fx * fy * sample(x1, y1);
+        const int q = static_cast<int>(v + 0.5);
+        out[x * ch + k] = static_cast<std::uint8_t>(q < 0 ? 0 : (q > 255 ? 255 : q));
+      }
+    }
+  }
+}
+
+void rotate(const Image& src, Image& dst, const RotateSpec& spec) {
+  rotate_rows(src, dst, spec, 0, src.height());
+}
+
+} // namespace img

@@ -1,0 +1,29 @@
+// rotate.hpp — arbitrary-angle image rotation (the `rotate` benchmark).
+//
+// Rotation by inverse mapping with bilinear interpolation: every destination
+// pixel samples the source at the back-rotated position.  The kernel is
+// exposed as a *row-range* function so the sequential, Pthreads, and OmpSs
+// variants all share it and differ only in how they distribute rows.
+#pragma once
+
+#include "img/image.hpp"
+
+namespace img {
+
+/// Rotation parameters shared by all variants.
+struct RotateSpec {
+  double angle_rad = 0.0; ///< counter-clockwise rotation angle
+  /// Source-center-to-dest-center mapping; dest has the same size as source
+  /// (corners that leave the frame are clipped; uncovered pixels are 0).
+  static RotateSpec degrees(double deg);
+};
+
+/// Rotates rows [row_begin, row_end) of `dst` by sampling `src`.
+/// `dst` must be pre-allocated with the same shape as `src`.
+void rotate_rows(const Image& src, Image& dst, const RotateSpec& spec,
+                 int row_begin, int row_end);
+
+/// Convenience: whole-image sequential rotation.
+void rotate(const Image& src, Image& dst, const RotateSpec& spec);
+
+} // namespace img

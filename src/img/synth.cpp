@@ -1,0 +1,55 @@
+#include "img/synth.hpp"
+
+namespace img {
+
+namespace {
+
+/// xorshift32 — tiny deterministic PRNG for texture noise.
+std::uint32_t xorshift(std::uint32_t& s) {
+  s ^= s << 13;
+  s ^= s >> 17;
+  s ^= s << 5;
+  return s;
+}
+
+} // namespace
+
+Image make_test_rgb(int width, int height, std::uint32_t seed) {
+  Image im(width, height, 3);
+  std::uint32_t rng = seed * 2654435761u + 1u;
+  const int cx = width / 3;
+  const int cy = height / 3;
+  const int r2 = (width / 4) * (width / 4);
+  for (int y = 0; y < height; ++y) {
+    std::uint8_t* row = im.row(y);
+    for (int x = 0; x < width; ++x) {
+      const int gradient = (x * 255 / (width > 1 ? width - 1 : 1) +
+                            y * 255 / (height > 1 ? height - 1 : 1)) /
+                           2;
+      const int dx = x - cx;
+      const int dy = y - cy;
+      const bool in_circle = dx * dx + dy * dy < r2;
+      const int noise = static_cast<int>(xorshift(rng) & 31u);
+      row[x * 3 + 0] = static_cast<std::uint8_t>((gradient + noise) & 0xFF);
+      row[x * 3 + 1] = static_cast<std::uint8_t>(in_circle ? 220 : gradient / 2);
+      row[x * 3 + 2] = static_cast<std::uint8_t>(255 - gradient);
+    }
+  }
+  return im;
+}
+
+Image make_test_gray(int width, int height, std::uint32_t seed) {
+  const Image rgb = make_test_rgb(width, height, seed);
+  Image gray(width, height, 1);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const int v = (rgb.at(x, y, 0) * 299 + rgb.at(x, y, 1) * 587 +
+                     rgb.at(x, y, 2) * 114) /
+                    1000;
+      gray.at(x, y) = static_cast<std::uint8_t>(v);
+    }
+  }
+  return gray;
+}
+
+} // namespace img

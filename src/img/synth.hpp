@@ -1,0 +1,21 @@
+// synth.hpp — deterministic synthetic test images.
+//
+// The paper's image benchmarks ran on photographic inputs we do not ship;
+// these generators produce inputs with comparable characteristics (smooth
+// gradients, hard edges, texture) so the kernels exercise the same code
+// paths.  Deterministic for a given (width, height, seed).
+#pragma once
+
+#include <cstdint>
+
+#include "img/image.hpp"
+
+namespace img {
+
+/// 3-channel image: diagonal gradients + circles + pseudo-random texture.
+Image make_test_rgb(int width, int height, std::uint32_t seed = 1);
+
+/// 1-channel variant.
+Image make_test_gray(int width, int height, std::uint32_t seed = 1);
+
+} // namespace img

@@ -1,0 +1,16 @@
+#include "ompss/access.hpp"
+
+namespace oss {
+
+const char* mode_name(Mode m) noexcept {
+  switch (m) {
+    case Mode::In: return "in";
+    case Mode::Out: return "out";
+    case Mode::InOut: return "inout";
+    case Mode::Commutative: return "commutative";
+    case Mode::Concurrent: return "concurrent";
+  }
+  return "?";
+}
+
+} // namespace oss

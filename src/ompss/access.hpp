@@ -1,0 +1,158 @@
+// access.hpp — data-access annotations for task spawning.
+//
+// OmpSs tasks declare which memory their arguments read and write using
+// `input`, `output`, and `inout` clauses; the runtime derives inter-task
+// dependencies from overlaps between those regions.  This header provides the
+// library-level equivalent of those clauses: `oss::in`, `oss::out`, and
+// `oss::inout` build `Access` descriptors from objects, pointers+counts, or
+// raw byte regions.
+//
+// Semantics (mirroring the paper and the wider OmpSs/StarSs model):
+//   * `in`    — the task reads the region; creates a RAW edge from the last
+//               writer of any overlapping bytes.
+//   * `out`   — the task overwrites the region; creates WAR edges from all
+//               readers since the last write and a WAW edge from the last
+//               writer.  NOTE: the runtime performs *no automatic renaming*
+//               (Section 3 of the paper), so `out` still serializes against
+//               prior readers/writers.  Use manual renaming (circular
+//               buffers) to expose pipeline parallelism.
+//   * `inout` — both of the above.
+//   * `commutative` — order-free mutual exclusion: tasks in a consecutive
+//               commutative group on the same region may execute in any
+//               order but never concurrently (the runtime serializes them
+//               with a per-region lock).  The group collectively acts as a
+//               writer towards earlier and later accesses.  Models OmpSs's
+//               `commutative` clause (e.g. accumulating into a histogram).
+//   * `concurrent` — tasks in a consecutive concurrent group may run in any
+//               order AND concurrently; they are responsible for their own
+//               synchronization (atomics, critical).  The group is ordered
+//               against earlier/later regular accesses like a writer.
+//               Models OmpSs's `concurrent` clause (e.g. atomic reductions).
+//
+// An access is a half-open byte interval [begin, end).  Zero-length accesses
+// are legal and are ignored by the dependency tracker.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace oss {
+
+/// Direction of a task's access to a memory region.
+enum class Mode : std::uint8_t {
+  In = 0,          ///< read-only (OmpSs `input`)
+  Out = 1,         ///< write-only (OmpSs `output`)
+  InOut = 2,       ///< read-modify-write (OmpSs `inout`)
+  Commutative = 3, ///< order-free, mutually exclusive (OmpSs `commutative`)
+  Concurrent = 4,  ///< order-free, concurrent (OmpSs `concurrent`)
+};
+
+/// Returns a short human-readable name ("in", "out", ...).
+const char* mode_name(Mode m) noexcept;
+
+/// True for modes that behave as writers towards other accesses.
+constexpr bool mode_writes(Mode m) noexcept { return m != Mode::In; }
+
+/// A declared access: a half-open byte interval plus a direction.
+struct Access {
+  std::uintptr_t begin = 0; ///< first byte of the region
+  std::uintptr_t end = 0;   ///< one past the last byte
+  Mode mode = Mode::In;
+
+  [[nodiscard]] std::size_t size() const noexcept { return end - begin; }
+  [[nodiscard]] bool empty() const noexcept { return begin >= end; }
+  [[nodiscard]] bool overlaps(const Access& o) const noexcept {
+    return begin < o.end && o.begin < end;
+  }
+  friend bool operator==(const Access&, const Access&) = default;
+};
+
+/// Builds an access over an arbitrary byte region.
+inline Access region(const void* p, std::size_t bytes, Mode m) noexcept {
+  const auto b = reinterpret_cast<std::uintptr_t>(p);
+  return Access{b, b + bytes, m};
+}
+
+/// Read access to a single object.  The region is the object representation
+/// (`sizeof(T)` bytes); for containers this covers the header only, not the
+/// heap storage — use the pointer+count overloads for element data.
+template <class T>
+Access in(const T& x) noexcept {
+  return region(&x, sizeof(T), Mode::In);
+}
+
+/// Write access to a single object (see `in` for the region caveat).
+template <class T>
+Access out(T& x) noexcept {
+  return region(&x, sizeof(T), Mode::Out);
+}
+
+/// Read-modify-write access to a single object.
+template <class T>
+Access inout(T& x) noexcept {
+  return region(&x, sizeof(T), Mode::InOut);
+}
+
+/// Commutative access to a single object (any order, one at a time).
+template <class T>
+Access commutative(T& x) noexcept {
+  return region(&x, sizeof(T), Mode::Commutative);
+}
+
+/// Concurrent access to a single object (any order, simultaneously; the
+/// task body must synchronize its own updates).
+template <class T>
+Access concurrent(T& x) noexcept {
+  return region(&x, sizeof(T), Mode::Concurrent);
+}
+
+/// Read access to `count` contiguous elements starting at `p`.
+template <class T>
+Access in(const T* p, std::size_t count) noexcept {
+  return region(p, count * sizeof(T), Mode::In);
+}
+
+/// Write access to `count` contiguous elements starting at `p`.
+template <class T>
+Access out(T* p, std::size_t count) noexcept {
+  return region(p, count * sizeof(T), Mode::Out);
+}
+
+/// Read-modify-write access to `count` contiguous elements starting at `p`.
+template <class T>
+Access inout(T* p, std::size_t count) noexcept {
+  return region(p, count * sizeof(T), Mode::InOut);
+}
+
+/// Commutative access to `count` contiguous elements starting at `p`.
+template <class T>
+Access commutative(T* p, std::size_t count) noexcept {
+  return region(p, count * sizeof(T), Mode::Commutative);
+}
+
+/// Concurrent access to `count` contiguous elements starting at `p`.
+template <class T>
+Access concurrent(T* p, std::size_t count) noexcept {
+  return region(p, count * sizeof(T), Mode::Concurrent);
+}
+
+/// Span overloads (cover the elements viewed by the span).
+template <class T>
+Access in(std::span<const T> s) noexcept {
+  return in(s.data(), s.size());
+}
+template <class T>
+Access out(std::span<T> s) noexcept {
+  return out(s.data(), s.size());
+}
+template <class T>
+Access inout(std::span<T> s) noexcept {
+  return inout(s.data(), s.size());
+}
+
+/// The access list attached to a task at spawn time.
+using AccessList = std::vector<Access>;
+
+} // namespace oss

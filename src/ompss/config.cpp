@@ -1,0 +1,98 @@
+#include "ompss/config.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+
+namespace oss {
+
+const char* to_string(SchedulerPolicy p) noexcept {
+  switch (p) {
+    case SchedulerPolicy::Fifo: return "fifo";
+    case SchedulerPolicy::Locality: return "locality";
+    case SchedulerPolicy::WorkStealing: return "wsteal";
+  }
+  return "?";
+}
+
+const char* to_string(WaitPolicy p) noexcept {
+  switch (p) {
+    case WaitPolicy::Polling: return "poll";
+    case WaitPolicy::Blocking: return "block";
+  }
+  return "?";
+}
+
+SchedulerPolicy parse_scheduler_policy(const std::string& name) {
+  if (name == "fifo") return SchedulerPolicy::Fifo;
+  if (name == "locality") return SchedulerPolicy::Locality;
+  if (name == "wsteal" || name == "work-stealing") return SchedulerPolicy::WorkStealing;
+  throw std::invalid_argument("unknown scheduler policy: " + name);
+}
+
+WaitPolicy parse_wait_policy(const std::string& name) {
+  if (name == "poll" || name == "polling") return WaitPolicy::Polling;
+  if (name == "block" || name == "blocking") return WaitPolicy::Blocking;
+  throw std::invalid_argument("unknown wait policy: " + name);
+}
+
+const char* to_string(IdlePolicy p) noexcept {
+  switch (p) {
+    case IdlePolicy::Spin: return "spin";
+    case IdlePolicy::Yield: return "yield";
+    case IdlePolicy::Sleep: return "sleep";
+  }
+  return "?";
+}
+
+IdlePolicy parse_idle_policy(const std::string& name) {
+  if (name == "spin") return IdlePolicy::Spin;
+  if (name == "yield") return IdlePolicy::Yield;
+  if (name == "sleep") return IdlePolicy::Sleep;
+  throw std::invalid_argument("unknown idle policy: " + name);
+}
+
+std::size_t RuntimeConfig::resolved_threads() const noexcept {
+  if (num_threads > 0) return num_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+namespace {
+
+const char* env(const char* name) { return std::getenv(name); }
+
+std::size_t parse_size(const char* name, const char* value) {
+  char* endp = nullptr;
+  const unsigned long long v = std::strtoull(value, &endp, 10);
+  if (endp == value || *endp != '\0') {
+    throw std::invalid_argument(std::string(name) + ": expected an integer, got '" + value + "'");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+bool parse_bool(const char* name, const char* value) {
+  const std::string v(value);
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  throw std::invalid_argument(std::string(name) + ": expected a boolean, got '" + v + "'");
+}
+
+} // namespace
+
+RuntimeConfig RuntimeConfig::from_env() {
+  RuntimeConfig cfg;
+  if (const char* v = env("OSS_NUM_THREADS")) {
+    cfg.num_threads = parse_size("OSS_NUM_THREADS", v);
+    if (cfg.num_threads == 0) throw std::invalid_argument("OSS_NUM_THREADS must be >= 1");
+  }
+  if (const char* v = env("OSS_SCHEDULER")) cfg.scheduler = parse_scheduler_policy(v);
+  if (const char* v = env("OSS_BARRIER")) cfg.wait_policy = parse_wait_policy(v);
+  if (const char* v = env("OSS_IDLE")) cfg.idle = parse_idle_policy(v);
+  if (const char* v = env("OSS_SPIN_ROUNDS")) cfg.spin_rounds = parse_size("OSS_SPIN_ROUNDS", v);
+  if (const char* v = env("OSS_RECORD_GRAPH")) cfg.record_graph = parse_bool("OSS_RECORD_GRAPH", v);
+  if (const char* v = env("OSS_TRACE")) cfg.record_trace = parse_bool("OSS_TRACE", v);
+  return cfg;
+}
+
+} // namespace oss

@@ -1,0 +1,94 @@
+// config.hpp — runtime configuration.
+//
+// OmpSs programs are configured through environment variables (the paper
+// notes that "OmpSs programs use a static number of cores controlled by an
+// environmental variable").  We mirror that: `RuntimeConfig::from_env()`
+// reads the `OSS_*` variables below; every knob can also be set
+// programmatically before constructing a `Runtime`.
+//
+//   OSS_NUM_THREADS   total threads (main + workers).  Default: hardware
+//                     concurrency.
+//   OSS_SCHEDULER     "locality" (default) | "fifo" | "wsteal".
+//   OSS_BARRIER       "poll" (default) | "block" — how taskwait/barrier wait.
+//   OSS_IDLE          "yield" (default) | "spin" | "sleep" — idle workers.
+//   OSS_SPIN_ROUNDS   busy-poll iterations before an idle worker yields.
+//   OSS_RECORD_GRAPH  "1" to record the task graph for DOT export.
+//   OSS_TRACE         "1" to record an execution trace (Chrome JSON).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace oss {
+
+/// Scheduling policy for ready tasks (Section 4 of the paper credits the
+/// locality-aware policy for the `ray-rot` result).
+enum class SchedulerPolicy {
+  Fifo,     ///< single global FIFO queue; no locality, no stealing
+  Locality, ///< tasks unblocked by a completion run next on the same worker
+  WorkStealing, ///< per-worker LIFO deques with randomized stealing
+};
+
+/// How waiting threads (taskwait / barriers) behave while work is pending.
+enum class WaitPolicy {
+  Polling,  ///< spin and execute ready tasks (paper's default; fast, cores
+            ///< stay fully loaded)
+  Blocking, ///< sleep on a condition variable (paper's Pthreads-style barrier)
+};
+
+/// How idle *workers* behave between tasks.  The paper (§4) observes that
+/// because the OmpSs runtime polls, "all used cores are always fully loaded
+/// even if there is insufficient work", hurting system responsiveness and
+/// power efficiency — these policies span that trade-off space:
+enum class IdlePolicy {
+  Spin,  ///< busy-poll continuously (the paper's observed behaviour)
+  Yield, ///< poll but yield the CPU between rounds (default; oversubscribe-safe)
+  Sleep, ///< back off to short sleeps when idle (power-friendly, adds latency)
+};
+
+const char* to_string(SchedulerPolicy p) noexcept;
+const char* to_string(WaitPolicy p) noexcept;
+const char* to_string(IdlePolicy p) noexcept;
+
+/// Parses a policy name; throws std::invalid_argument on unknown names.
+SchedulerPolicy parse_scheduler_policy(const std::string& name);
+WaitPolicy parse_wait_policy(const std::string& name);
+IdlePolicy parse_idle_policy(const std::string& name);
+
+/// Complete configuration of a `Runtime`.
+struct RuntimeConfig {
+  /// Total number of threads executing tasks, including the thread that
+  /// constructs the runtime (which executes tasks while it waits).  Must be
+  /// >= 1; `num_threads == 1` degenerates to lazy sequential execution at
+  /// wait points.
+  std::size_t num_threads = 0; // 0 = use hardware concurrency
+
+  SchedulerPolicy scheduler = SchedulerPolicy::Locality;
+  WaitPolicy wait_policy = WaitPolicy::Polling;
+  IdlePolicy idle = IdlePolicy::Yield;
+
+  /// Busy-poll iterations before an idle worker yields/sleeps.
+  std::size_t spin_rounds = 64;
+
+  /// Record task-graph nodes/edges for `Runtime::export_graph_dot()`.
+  bool record_graph = false;
+
+  /// Record per-task execution events for `Runtime::export_trace_json()`.
+  bool record_trace = false;
+
+  /// Resolves `num_threads == 0` to the hardware concurrency (min 1).
+  [[nodiscard]] std::size_t resolved_threads() const noexcept;
+
+  /// Reads OSS_* environment variables; unset variables keep defaults.
+  /// Malformed values throw std::invalid_argument.
+  static RuntimeConfig from_env();
+
+  /// Convenience: default config with an explicit thread count.
+  static RuntimeConfig with_threads(std::size_t n) {
+    RuntimeConfig c;
+    c.num_threads = n;
+    return c;
+  }
+};
+
+} // namespace oss

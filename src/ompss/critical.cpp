@@ -1,0 +1,19 @@
+#include "ompss/critical.hpp"
+
+namespace oss {
+
+std::mutex& CriticalRegistry::get(std::string_view name) {
+  std::lock_guard lock(map_mu_);
+  auto it = sections_.find(std::string(name));
+  if (it == sections_.end()) {
+    it = sections_.emplace(std::string(name), std::make_unique<std::mutex>()).first;
+  }
+  return *it->second;
+}
+
+std::size_t CriticalRegistry::section_count() const {
+  std::lock_guard lock(map_mu_);
+  return sections_.size();
+}
+
+} // namespace oss

@@ -1,0 +1,36 @@
+// critical.hpp — named critical sections.
+//
+// The paper's H.264 study hides the Picture-Info-Buffer and Decoded-Picture-
+// Buffer dependencies from the task specifications (they cannot be known at
+// spawn time) and instead guards the fetch/release statements inside the
+// task bodies with `omp critical`.  This registry is the library equivalent:
+// a process-wide map from section name to mutex, used as
+//
+//   rt.critical("dpb", [&]{ entry = dpb.fetch(); });
+//
+// The empty name refers to the single anonymous section (like an unnamed
+// `#pragma omp critical`).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace oss {
+
+class CriticalRegistry {
+ public:
+  /// Returns the mutex for `name`, creating it on first use.  Thread-safe.
+  std::mutex& get(std::string_view name);
+
+  /// Number of distinct named sections created so far (for tests).
+  std::size_t section_count() const;
+
+ private:
+  mutable std::mutex map_mu_;
+  std::unordered_map<std::string, std::unique_ptr<std::mutex>> sections_;
+};
+
+} // namespace oss

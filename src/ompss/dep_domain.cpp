@@ -1,0 +1,167 @@
+#include "ompss/dep_domain.hpp"
+
+#include <unordered_set>
+
+namespace oss {
+
+const char* to_string(DepKind k) noexcept {
+  switch (k) {
+    case DepKind::Raw: return "RAW";
+    case DepKind::War: return "WAR";
+    case DepKind::Waw: return "WAW";
+  }
+  return "?";
+}
+
+DepDomain::DepDomain() = default;
+DepDomain::~DepDomain() = default;
+
+DepDomain::Map::iterator DepDomain::split(Map::iterator it, std::uintptr_t at) {
+  // [s, end) with s < at < end  becomes  [s, at) + [at, end), both carrying
+  // the same history (shared comm_lock keeps group exclusion intact).
+  Entry right = it->second; // copy history
+  it->second.end = at;
+  auto [nit, inserted] = map_.emplace(at, std::move(right));
+  (void)inserted;
+  return nit;
+}
+
+namespace {
+
+/// Per-registration edge deduplication: a new task may overlap many
+/// sub-intervals with the same producer; only one edge is needed.
+struct EdgeDedup {
+  std::unordered_set<const Task*> seen;
+  bool insert(const Task* producer) { return seen.insert(producer).second; }
+};
+
+void add_edge(const TaskPtr& producer, const TaskPtr& consumer, DepKind kind,
+              EdgeDedup& dedup, const EdgeSink& sink) {
+  if (!producer || producer.get() == consumer.get()) return;
+  if (producer->finished()) return; // already retired: no edge needed
+  if (!dedup.insert(producer.get())) return;
+  producer->successors.push_back(consumer);
+  consumer->preds += 1;
+  if (sink) sink(producer, consumer, kind);
+}
+
+} // namespace
+
+void DepDomain::register_task(const TaskPtr& task, const EdgeSink& sink) {
+  EdgeDedup dedup;
+
+  // Edges from the entry's current writer set (last writer or group).
+  auto writer_set_edges = [&](Entry& e, DepKind kind) {
+    add_edge(e.last_writer, task, kind, dedup, sink);
+    for (const TaskPtr& g : e.group) add_edge(g, task, kind, dedup, sink);
+  };
+
+  // Applies one access mode to one fully-covered entry.
+  auto apply = [&](Entry& e, Mode m) {
+    switch (m) {
+      case Mode::In:
+        writer_set_edges(e, DepKind::Raw);
+        e.readers.push_back(task);
+        e.group_open = false; // readers close groups (group stays as writer)
+        break;
+
+      case Mode::Out:
+      case Mode::InOut:
+        writer_set_edges(e, DepKind::Waw);
+        for (const TaskPtr& r : e.readers) add_edge(r, task, DepKind::War, dedup, sink);
+        e.last_writer = task;
+        e.group.clear();
+        e.group_open = false;
+        e.comm_lock.reset();
+        e.readers.clear();
+        break;
+
+      case Mode::Commutative:
+      case Mode::Concurrent:
+        if (e.group_open && e.group_mode == m) {
+          // Join the open group: no ordering among members.
+          e.group.push_back(task);
+        } else {
+          // Start a new group ordered after the previous epoch.
+          writer_set_edges(e, DepKind::Waw);
+          for (const TaskPtr& r : e.readers) add_edge(r, task, DepKind::War, dedup, sink);
+          e.last_writer.reset();
+          e.group.clear();
+          e.group.push_back(task);
+          e.group_mode = m;
+          e.group_open = true;
+          e.readers.clear();
+          e.comm_lock.reset();
+        }
+        if (m == Mode::Commutative) {
+          if (!e.comm_lock) e.comm_lock = std::make_shared<std::mutex>();
+          task->add_exclusion_lock(e.comm_lock);
+        }
+        break;
+    }
+  };
+
+  for (const Access& acc : task->accesses()) {
+    if (acc.empty()) continue;
+    std::uintptr_t cursor = acc.begin;
+
+    // Locate the first entry that could overlap [begin, end).
+    auto it = map_.lower_bound(acc.begin);
+    if (it != map_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second.end > acc.begin) it = prev;
+    }
+
+    while (cursor < acc.end) {
+      if (it == map_.end() || it->first >= acc.end) {
+        // Tail gap [cursor, acc.end): no history — first touch.
+        Entry fresh;
+        fresh.end = acc.end;
+        it = map_.emplace_hint(it, cursor, std::move(fresh));
+        apply(it->second, acc.mode);
+        cursor = acc.end;
+        break;
+      }
+
+      if (it->first > cursor) {
+        // Gap [cursor, it->first): first touch for this sub-range.
+        Entry fresh;
+        fresh.end = it->first;
+        auto git = map_.emplace_hint(it, cursor, std::move(fresh));
+        apply(git->second, acc.mode);
+        cursor = it->first;
+        continue;
+      }
+
+      // Here it->first <= cursor and the entry overlaps the access.
+      if (it->first < cursor) it = split(it, cursor);
+      if (it->second.end > acc.end) split(it, acc.end);
+      // Now [it->first, it->second.end) lies fully inside the access.
+      apply(it->second, acc.mode);
+      cursor = it->second.end;
+      ++it;
+    }
+  }
+}
+
+void DepDomain::collect_overlapping(std::uintptr_t begin, std::uintptr_t end,
+                                    std::vector<TaskPtr>& out) const {
+  if (begin >= end) return;
+  auto it = map_.lower_bound(begin);
+  if (it != map_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.end > begin) it = prev;
+  }
+  for (; it != map_.end() && it->first < end; ++it) {
+    const Entry& e = it->second;
+    if (e.last_writer && !e.last_writer->finished()) out.push_back(e.last_writer);
+    for (const TaskPtr& g : e.group) {
+      if (g && !g->finished()) out.push_back(g);
+    }
+    for (const TaskPtr& r : e.readers) {
+      if (r && !r->finished()) out.push_back(r);
+    }
+  }
+}
+
+} // namespace oss

@@ -1,0 +1,118 @@
+// dep_domain.hpp — address-range dependency tracking.
+//
+// This is the mechanism behind the paper's central claim: "task dependencies
+// are resolved at runtime, using the input/output specification of the
+// function arguments."  A `DepDomain` maintains, for every byte range that
+// any sibling task has declared, the *current writer set* (either the last
+// writer, or an open commutative/concurrent group acting as a collective
+// writer) and the *readers since that write*.  Registering a new task's
+// accesses derives the hazards:
+//
+//   RAW  — `in`/`inout` after a write: edge from the writer set.
+//   WAW  — writing modes after a write: edge from the writer set.
+//   WAR  — writing modes after reads: edges from every reader since the
+//          last write.
+//
+// Group modes:
+//   Commutative — consecutive commutative accesses to a region join one
+//     group: no edges among members (any order), but the runtime hands each
+//     member the region's exclusion lock so they never run concurrently.
+//   Concurrent — like commutative but without the lock (members synchronize
+//     themselves).
+//   A group is *closed* by any non-matching access; later accesses treat
+//   the whole group as the last writer.
+//
+// Because OmpSs performs no automatic renaming (paper §3, observation 2),
+// WAR and WAW are *real* edges here — which is exactly why the H.264 decoder
+// needs manual renaming through circular buffers to pipeline.
+//
+// The domain is an interval map keyed by region start.  Partially
+// overlapping declarations split entries so each maximal sub-range carries
+// its own history; this supports tasks declaring overlapping windows of the
+// same array (e.g. halo exchanges).
+//
+// Locking: the domain has no internal synchronization; the owning runtime
+// serializes all calls with its graph mutex.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "ompss/access.hpp"
+#include "ompss/task.hpp"
+
+namespace oss {
+
+/// Kind of dependency edge, for statistics and graph export.
+enum class DepKind : std::uint8_t { Raw, War, Waw };
+
+const char* to_string(DepKind k) noexcept;
+
+/// Callback invoked for every edge discovered during registration.
+/// Arguments: producer, consumer, kind.  The producer is guaranteed
+/// unfinished at the time of the call (still under the graph mutex).
+using EdgeSink = std::function<void(const TaskPtr&, const TaskPtr&, DepKind)>;
+
+class DepDomain {
+ public:
+  DepDomain();
+  ~DepDomain();
+
+  DepDomain(const DepDomain&) = delete;
+  DepDomain& operator=(const DepDomain&) = delete;
+
+  /// Registers `task`'s access list against the history of its siblings.
+  /// For every hazard found, increments `task->preds`, appends `task` to the
+  /// producer's successor list, and calls `sink` (if non-null).  Edges are
+  /// deduplicated per (producer, consumer) pair within one registration.
+  /// Commutative accesses additionally attach the region's exclusion lock
+  /// to the task.
+  ///
+  /// Must be called under the runtime graph mutex.
+  void register_task(const TaskPtr& task, const EdgeSink& sink);
+
+  /// Collects every unfinished task recorded for bytes overlapping
+  /// [p, p+bytes) — the wait set of `taskwait on`.  Must be called under the
+  /// runtime graph mutex.
+  void collect_overlapping(std::uintptr_t begin, std::uintptr_t end,
+                           std::vector<TaskPtr>& out) const;
+
+  /// Number of distinct interval entries currently tracked (for tests).
+  std::size_t entry_count() const noexcept { return map_.size(); }
+
+ private:
+  struct Entry {
+    std::uintptr_t end = 0; ///< one past the last byte of the interval
+
+    /// Last regular writer (null when none, or when a group is the
+    /// current writer set).
+    TaskPtr last_writer;
+
+    /// Open or closed commutative/concurrent group acting as the
+    /// collective last writer (empty when none).
+    std::vector<TaskPtr> group;
+    Mode group_mode = Mode::In; ///< Commutative or Concurrent when group set
+    bool group_open = false;    ///< closed groups only act as writer set
+
+    /// Exclusion lock shared by the commutative group members.
+    std::shared_ptr<std::mutex> comm_lock;
+
+    /// Readers since the current writer set was installed.
+    std::vector<TaskPtr> readers;
+  };
+
+  /// Interval map: key is the interval start; intervals never overlap.
+  using Map = std::map<std::uintptr_t, Entry>;
+  Map map_;
+
+  /// Splits the entry at `it` so that one piece ends exactly at `at`
+  /// (which must lie strictly inside the entry); returns the iterator to
+  /// the piece beginning at `at`.
+  Map::iterator split(Map::iterator it, std::uintptr_t at);
+};
+
+} // namespace oss

@@ -1,0 +1,29 @@
+#include "ompss/global.hpp"
+
+#include <memory>
+#include <mutex>
+
+namespace oss {
+
+namespace {
+std::mutex g_mu;
+std::unique_ptr<Runtime> g_runtime;
+} // namespace
+
+Runtime& global_runtime() {
+  std::lock_guard lock(g_mu);
+  if (!g_runtime) g_runtime = std::make_unique<Runtime>(RuntimeConfig::from_env());
+  return *g_runtime;
+}
+
+void shutdown() {
+  std::lock_guard lock(g_mu);
+  g_runtime.reset();
+}
+
+bool global_runtime_exists() {
+  std::lock_guard lock(g_mu);
+  return static_cast<bool>(g_runtime);
+}
+
+} // namespace oss

@@ -1,0 +1,51 @@
+// global.hpp — process-wide default runtime convenience API.
+//
+// Mirrors how OmpSs programs use the model: there is one implicit runtime
+// configured from the environment (`OSS_NUM_THREADS`, ...), and the program
+// just spawns tasks.  First use creates the runtime; `oss::shutdown()`
+// destroys it (mainly for tests that want to reconfigure).
+//
+//   oss::spawn({oss::in(a), oss::out(b)}, [&]{ b = f(a); });
+//   oss::taskwait();
+//
+// Code that needs several differently-configured runtimes (the benchmark
+// harness does) should construct `oss::Runtime` instances directly instead.
+#pragma once
+
+#include "ompss/runtime.hpp"
+
+namespace oss {
+
+/// The process-wide default runtime, created on first use from
+/// `RuntimeConfig::from_env()`.
+Runtime& global_runtime();
+
+/// Destroys the default runtime (drains it first).  The next call to
+/// `global_runtime()` creates a fresh one, re-reading the environment.
+void shutdown();
+
+/// True if the default runtime currently exists.
+bool global_runtime_exists();
+
+inline std::uint64_t spawn(AccessList accesses, Task::Fn fn, std::string label = {}) {
+  return global_runtime().spawn(std::move(accesses), std::move(fn), std::move(label));
+}
+
+inline void taskwait() { global_runtime().taskwait(); }
+
+inline void taskwait_on(const void* p, std::size_t bytes = 1) {
+  global_runtime().taskwait_on(p, bytes);
+}
+
+template <class T>
+void taskwait_on(const T& obj) {
+  global_runtime().taskwait_on(obj);
+}
+
+inline void barrier() { global_runtime().barrier(); }
+
+inline void critical(std::string_view name, const std::function<void()>& fn) {
+  global_runtime().critical(name, fn);
+}
+
+} // namespace oss

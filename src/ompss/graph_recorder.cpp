@@ -1,0 +1,67 @@
+#include "ompss/graph_recorder.hpp"
+
+#include <sstream>
+
+namespace oss {
+
+void GraphRecorder::add_node(std::uint64_t id, std::string label) {
+  std::lock_guard lock(mu_);
+  nodes_.push_back(Node{id, std::move(label)});
+}
+
+void GraphRecorder::add_edge(std::uint64_t from, std::uint64_t to, DepKind kind) {
+  std::lock_guard lock(mu_);
+  edges_.push_back(Edge{from, to, kind});
+}
+
+std::size_t GraphRecorder::node_count() const {
+  std::lock_guard lock(mu_);
+  return nodes_.size();
+}
+
+std::size_t GraphRecorder::edge_count() const {
+  std::lock_guard lock(mu_);
+  return edges_.size();
+}
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+const char* edge_style(DepKind k) {
+  switch (k) {
+    case DepKind::Raw: return "color=black";
+    case DepKind::War: return "color=red,style=dashed";
+    case DepKind::Waw: return "color=blue,style=dashed";
+  }
+  return "";
+}
+
+} // namespace
+
+std::string GraphRecorder::to_dot() const {
+  std::lock_guard lock(mu_);
+  std::ostringstream os;
+  os << "digraph taskgraph {\n  rankdir=TB;\n  node [shape=box,fontname=\"monospace\"];\n";
+  for (const Node& n : nodes_) {
+    os << "  t" << n.id << " [label=\"#" << n.id;
+    if (!n.label.empty()) os << "\\n" << escape(n.label);
+    os << "\"];\n";
+  }
+  for (const Edge& e : edges_) {
+    os << "  t" << e.from << " -> t" << e.to << " [" << edge_style(e.kind)
+       << ",label=\"" << to_string(e.kind) << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+} // namespace oss

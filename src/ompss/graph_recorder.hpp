@@ -1,0 +1,47 @@
+// graph_recorder.hpp — optional task-graph capture for visualization.
+//
+// When `RuntimeConfig::record_graph` is set, every spawned task and every
+// dependency edge is recorded and can be exported as Graphviz DOT — the
+// runtime-built equivalent of the task graphs OmpSs papers draw by hand.
+// Edges are colored by hazard kind (RAW solid, WAR/WAW dashed) to make
+// renaming opportunities visible (a pipeline whose parallelism is killed by
+// WAW edges is immediately obvious).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ompss/dep_domain.hpp"
+
+namespace oss {
+
+class GraphRecorder {
+ public:
+  void add_node(std::uint64_t id, std::string label);
+  void add_edge(std::uint64_t from, std::uint64_t to, DepKind kind);
+
+  /// Graphviz rendering of everything recorded so far.  Thread-safe.
+  [[nodiscard]] std::string to_dot() const;
+
+  [[nodiscard]] std::size_t node_count() const;
+  [[nodiscard]] std::size_t edge_count() const;
+
+ private:
+  struct Node {
+    std::uint64_t id;
+    std::string label;
+  };
+  struct Edge {
+    std::uint64_t from;
+    std::uint64_t to;
+    DepKind kind;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+};
+
+} // namespace oss

@@ -1,0 +1,40 @@
+// ompss.hpp — umbrella header for the OmpSs-style task-dataflow runtime.
+//
+// Quick start:
+//
+//   #include "ompss/ompss.hpp"
+//
+//   oss::Runtime rt(4);                       // 4 threads total
+//   double a = 1, b = 0, c = 0;
+//   rt.spawn({oss::in(a), oss::out(b)}, [&]{ b = a * 2; });
+//   rt.spawn({oss::in(b), oss::out(c)}, [&]{ c = b + 1; }); // runs after
+//   rt.taskwait();                            // c == 3
+//
+// See runtime.hpp for the full API and DESIGN.md for how this maps onto the
+// OmpSs programming model of the paper.
+#pragma once
+
+#include "ompss/access.hpp"
+#include "ompss/config.hpp"
+#include "ompss/critical.hpp"
+#include "ompss/dep_domain.hpp"
+#include "ompss/global.hpp"
+#include "ompss/graph_recorder.hpp"
+#include "ompss/queues.hpp"
+#include "ompss/runtime.hpp"
+#include "ompss/scheduler.hpp"
+#include "ompss/stats.hpp"
+#include "ompss/task.hpp"
+#include "ompss/taskloop.hpp"
+#include "ompss/trace.hpp"
+#include "ompss/trace_analysis.hpp"
+#include "ompss/wavefront.hpp"
+
+namespace oss {
+
+/// Library version (matches the CMake project version).
+inline constexpr int version_major = 1;
+inline constexpr int version_minor = 0;
+inline constexpr int version_patch = 0;
+
+} // namespace oss

@@ -1,0 +1,60 @@
+// queues.hpp — ready-task queues used by the scheduler.
+//
+// A `TaskDeque` is a mutex-protected double-ended queue of ready tasks.
+// The double ends matter for policy: locality/work-stealing pop their own
+// queue from the front (LIFO — the task most recently made ready is the one
+// whose data is hot) and thieves steal from the back (FIFO — the coldest
+// task, minimizing interference with the victim).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <mutex>
+
+#include "ompss/task.hpp"
+
+namespace oss {
+
+class TaskDeque {
+ public:
+  void push_front(TaskPtr t) {
+    std::lock_guard lock(mu_);
+    q_.push_front(std::move(t));
+  }
+
+  void push_back(TaskPtr t) {
+    std::lock_guard lock(mu_);
+    q_.push_back(std::move(t));
+  }
+
+  /// Pops from the front; returns null if empty.
+  TaskPtr pop_front() {
+    std::lock_guard lock(mu_);
+    if (q_.empty()) return nullptr;
+    TaskPtr t = std::move(q_.front());
+    q_.pop_front();
+    return t;
+  }
+
+  /// Pops from the back (steal end); returns null if empty.
+  TaskPtr pop_back() {
+    std::lock_guard lock(mu_);
+    if (q_.empty()) return nullptr;
+    TaskPtr t = std::move(q_.back());
+    q_.pop_back();
+    return t;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return q_.size();
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<TaskPtr> q_;
+};
+
+} // namespace oss

@@ -1,0 +1,344 @@
+#include "ompss/runtime.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+namespace oss {
+
+// ---------------------------------------------------------------------------
+// Thread-local binding: which runtime/worker/task the current thread is in.
+// Saved and restored around nested scopes so tests may create runtimes
+// inside tasks of other runtimes.
+// ---------------------------------------------------------------------------
+
+struct Runtime::ThreadBinding {
+  Runtime* rt = nullptr;
+  int worker = -1;
+  Task* current_task = nullptr;
+};
+
+namespace {
+thread_local Runtime::ThreadBinding tl_binding;
+} // namespace
+
+Runtime* Runtime::current() noexcept { return tl_binding.rt; }
+int Runtime::current_worker() noexcept { return tl_binding.worker; }
+
+// ---------------------------------------------------------------------------
+// Construction / destruction
+// ---------------------------------------------------------------------------
+
+Runtime::Runtime(RuntimeConfig cfg)
+    : cfg_(cfg),
+      num_threads_(cfg.resolved_threads()),
+      root_ctx_(std::make_shared<TaskContext>()),
+      scheduler_(std::make_unique<Scheduler>(cfg.scheduler, num_threads_)),
+      stats_(num_threads_) {
+  if (cfg_.record_graph) graph_ = std::make_unique<GraphRecorder>();
+  if (cfg_.record_trace) trace_ = std::make_unique<TraceRecorder>();
+
+  // The constructing thread becomes worker 0 for the lifetime of the
+  // runtime (it executes tasks whenever it waits).
+  tl_binding = ThreadBinding{this, 0, nullptr};
+
+  workers_.reserve(num_threads_ - 1);
+  for (std::size_t i = 1; i < num_threads_; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(static_cast<int>(i)); });
+  }
+}
+
+Runtime::~Runtime() {
+  try {
+    barrier();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "oss::Runtime: exception pending at destruction: %s\n",
+                 e.what());
+  } catch (...) {
+    std::fprintf(stderr, "oss::Runtime: exception pending at destruction\n");
+  }
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard lock(cv_mu_);
+    cv_.notify_all();
+  }
+  for (auto& w : workers_) w.join();
+  if (tl_binding.rt == this) tl_binding = ThreadBinding{};
+}
+
+// ---------------------------------------------------------------------------
+// Spawning
+// ---------------------------------------------------------------------------
+
+ContextPtr Runtime::current_spawn_context() {
+  if (tl_binding.rt == this && tl_binding.current_task != nullptr) {
+    return tl_binding.current_task->child_context();
+  }
+  return root_ctx_;
+}
+
+std::uint64_t Runtime::spawn(AccessList accesses, Task::Fn fn, std::string label) {
+  TaskOptions opts;
+  opts.label = std::move(label);
+  return spawn(std::move(accesses), std::move(fn), std::move(opts));
+}
+
+std::uint64_t Runtime::spawn(AccessList accesses, Task::Fn fn, TaskOptions opts) {
+  ContextPtr ctx = current_spawn_context();
+  TaskPtr task;
+  bool ready = false;
+  std::uint64_t id = 0;
+  {
+    std::lock_guard lock(graph_mu_);
+    id = ++next_task_id_;
+    task = std::make_shared<Task>(id, std::move(fn), std::move(accesses), ctx,
+                                  std::move(opts.label));
+    task->set_priority(opts.priority);
+    task->set_undeferred(!opts.deferred);
+    ctx->live_children.fetch_add(1, std::memory_order_acq_rel);
+    pending_.fetch_add(1, std::memory_order_acq_rel);
+
+    if (graph_) graph_->add_node(id, task->label());
+
+    EdgeSink sink = [this](const TaskPtr& from, const TaskPtr& to, DepKind kind) {
+      switch (kind) {
+        case DepKind::Raw: stats_.on_edge_raw(); break;
+        case DepKind::War: stats_.on_edge_war(); break;
+        case DepKind::Waw: stats_.on_edge_waw(); break;
+      }
+      if (graph_) graph_->add_edge(from->id(), to->id(), kind);
+    };
+    ctx->domain().register_task(task, sink);
+    ready = (task->preds == 0);
+    if (ready) task->set_state(TaskState::Ready);
+  }
+  stats_.on_spawn();
+
+  const int spawner = (tl_binding.rt == this) ? tl_binding.worker : -1;
+
+  if (task->undeferred()) {
+    // OmpSs if(0): the spawning thread waits for the dependencies itself
+    // (helping with other work meanwhile) and runs the body inline.
+    // on_finished() marks undeferred tasks Ready without enqueueing them.
+    std::size_t idle_rounds = 0;
+    while (task->state() != TaskState::Ready) {
+      if (try_execute_one(spawner)) {
+        idle_rounds = 0;
+        continue;
+      }
+      if (++idle_rounds > cfg_.spin_rounds) {
+        std::this_thread::yield();
+        idle_rounds = 0;
+      }
+    }
+    execute(task, spawner);
+    return id;
+  }
+
+  if (ready) {
+    scheduler_->enqueue_spawned(std::move(task), spawner);
+    if (blocked_waiters_.load(std::memory_order_acquire) > 0) {
+      std::lock_guard lock(cv_mu_);
+      cv_.notify_all();
+    }
+  }
+  return id;
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+void Runtime::execute(const TaskPtr& t, int wid) {
+  t->set_state(TaskState::Running);
+  Task* const prev_task = tl_binding.current_task;
+  Runtime* const prev_rt = tl_binding.rt;
+  const int prev_wid = tl_binding.worker;
+  tl_binding = ThreadBinding{this, wid, t.get()};
+
+  // Commutative regions: hold every exclusion lock for the duration of the
+  // body.  Locks are acquired in address order (deadlock-free) and
+  // deduplicated (one region may appear via several accesses).
+  std::vector<std::mutex*> locks;
+  for (const auto& sp : t->exclusion_locks()) locks.push_back(sp.get());
+  std::sort(locks.begin(), locks.end());
+  locks.erase(std::unique(locks.begin(), locks.end()), locks.end());
+  for (std::mutex* m : locks) m->lock();
+
+  const std::uint64_t t0 = trace_ ? trace_->now_us() : 0;
+  try {
+    t->run();
+  } catch (...) {
+    t->parent_context()->note_exception(std::current_exception());
+  }
+  for (auto it = locks.rbegin(); it != locks.rend(); ++it) (*it)->unlock();
+  if (trace_) trace_->record(wid, t->id(), t->label(), t0, trace_->now_us());
+
+  tl_binding = ThreadBinding{prev_rt, prev_wid, prev_task};
+  stats_.on_execute(wid);
+  on_finished(t, wid);
+}
+
+void Runtime::on_finished(const TaskPtr& t, int wid) {
+  std::vector<TaskPtr> newly_ready;
+  {
+    std::lock_guard lock(graph_mu_);
+    t->mark_finished();
+    t->set_state(TaskState::Finished);
+    for (TaskPtr& s : t->successors) {
+      if (--s->preds == 0) {
+        s->set_state(TaskState::Ready);
+        // Undeferred tasks are claimed by their (polling) spawner and must
+        // not be enqueued; the Ready state transition is their signal.
+        if (!s->undeferred()) newly_ready.push_back(std::move(s));
+      }
+    }
+    t->successors.clear();
+  }
+
+  for (TaskPtr& s : newly_ready) {
+    scheduler_->enqueue_unblocked(std::move(s), wid);
+  }
+
+  // Child-count updates must happen after the graph bookkeeping so a
+  // taskwait that observes zero children also observes the final graph.
+  t->parent_context()->live_children.fetch_sub(1, std::memory_order_acq_rel);
+  pending_.fetch_sub(1, std::memory_order_acq_rel);
+
+  if (blocked_waiters_.load(std::memory_order_acquire) > 0 ||
+      !newly_ready.empty()) {
+    if (blocked_waiters_.load(std::memory_order_acquire) > 0) {
+      std::lock_guard lock(cv_mu_);
+      cv_.notify_all();
+    }
+  }
+}
+
+bool Runtime::try_execute_one(int wid) {
+  TaskPtr t = scheduler_->pick(wid, stats_);
+  if (!t) return false;
+  execute(t, wid);
+  return true;
+}
+
+void Runtime::worker_loop(int wid) {
+  tl_binding = ThreadBinding{this, wid, nullptr};
+  std::size_t idle_rounds = 0;
+  std::size_t sleep_us = 20;
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (try_execute_one(wid)) {
+      idle_rounds = 0;
+      sleep_us = 20;
+      continue;
+    }
+    ++idle_rounds;
+    switch (cfg_.idle) {
+      case IdlePolicy::Spin:
+        // Pure polling: the behaviour the paper observes ("all used cores
+        // are always fully loaded even if there is insufficient work").
+        break;
+      case IdlePolicy::Yield:
+        if (idle_rounds > cfg_.spin_rounds) {
+          std::this_thread::yield();
+          idle_rounds = 0;
+        }
+        break;
+      case IdlePolicy::Sleep:
+        // Power-friendly back-off: short sleeps with exponential growth,
+        // trading wake-up latency for idle CPU time.
+        if (idle_rounds > cfg_.spin_rounds) {
+          std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+          if (sleep_us < 1000) sleep_us *= 2;
+          idle_rounds = 0;
+        }
+        break;
+    }
+  }
+  tl_binding = ThreadBinding{};
+}
+
+// ---------------------------------------------------------------------------
+// Waiting
+// ---------------------------------------------------------------------------
+
+void Runtime::wait_until(const std::function<bool()>& done) {
+  const int wid = (tl_binding.rt == this) ? tl_binding.worker : -1;
+
+  if (cfg_.wait_policy == WaitPolicy::Blocking && num_threads_ > 1) {
+    // Sleep-based wait (the "more expensive blocking thread barrier" of the
+    // paper's rgbcmy analysis).  The waiter does not execute tasks; with a
+    // single thread there would be nobody left to run them, so that case
+    // falls through to the polling path below.
+    blocked_waiters_.fetch_add(1, std::memory_order_acq_rel);
+    std::unique_lock lock(cv_mu_);
+    cv_.wait(lock, [&] { return done(); });
+    blocked_waiters_.fetch_sub(1, std::memory_order_acq_rel);
+    return;
+  }
+
+  // Polling wait: help execute tasks until the predicate holds.
+  std::size_t idle_rounds = 0;
+  while (!done()) {
+    if (try_execute_one(wid)) {
+      idle_rounds = 0;
+      continue;
+    }
+    if (++idle_rounds > cfg_.spin_rounds) {
+      std::this_thread::yield();
+      idle_rounds = 0;
+    }
+  }
+}
+
+void Runtime::taskwait() {
+  stats_.on_taskwait();
+  ContextPtr ctx = current_spawn_context();
+  wait_until([&] {
+    return ctx->live_children.load(std::memory_order_acquire) == 0;
+  });
+  if (std::exception_ptr ep = ctx->take_exception()) std::rethrow_exception(ep);
+}
+
+void Runtime::taskwait_on(const void* p, std::size_t bytes) {
+  ContextPtr ctx = current_spawn_context();
+  const auto begin = reinterpret_cast<std::uintptr_t>(p);
+  std::vector<TaskPtr> waitees;
+  {
+    std::lock_guard lock(graph_mu_);
+    ctx->domain().collect_overlapping(begin, begin + bytes, waitees);
+  }
+  if (waitees.empty()) return;
+  wait_until([&] {
+    for (const TaskPtr& t : waitees) {
+      if (!t->finished()) return false;
+    }
+    return true;
+  });
+}
+
+void Runtime::barrier() {
+  stats_.on_barrier();
+  wait_until([&] { return pending_.load(std::memory_order_acquire) == 0; });
+  if (std::exception_ptr ep = root_ctx_->take_exception())
+    std::rethrow_exception(ep);
+}
+
+void Runtime::critical(std::string_view name, const std::function<void()>& fn) {
+  std::lock_guard lock(criticals_.get(name));
+  fn();
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+std::string Runtime::export_graph_dot() const {
+  return graph_ ? graph_->to_dot() : std::string{};
+}
+
+std::string Runtime::export_trace_json() const {
+  return trace_ ? trace_->to_json() : std::string{};
+}
+
+} // namespace oss

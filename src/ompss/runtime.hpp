@@ -1,0 +1,181 @@
+// runtime.hpp — the OmpSs-style task-dataflow runtime.
+//
+// `oss::Runtime` is the library embodiment of the OmpSs execution model the
+// paper evaluates:
+//
+//   * `spawn(accesses, fn)` corresponds to calling a function annotated with
+//     `#pragma omp task input(...) output(...) inout(...)`: the call is
+//     recorded in a task graph instead of executed, and dependencies are
+//     derived at runtime from the declared memory regions.
+//   * Tasks may be spawned long before their producers finish — this is what
+//     makes pipeline parallelism (the paper's H.264 case study) directly
+//     expressible.
+//   * `taskwait()` waits for the *direct children* of the current context
+//     (`#pragma omp taskwait`); `taskwait_on(p)` waits only for previously
+//     spawned tasks whose declared regions overlap `p`
+//     (`#pragma omp taskwait on(...)`).
+//   * `barrier()` waits for *all* tasks in the runtime; with the default
+//     polling policy the waiting thread executes tasks while it waits (the
+//     paper credits exactly this polling task barrier for the rgbcmy win).
+//   * `critical(name, fn)` is `#pragma omp critical(name)` for dependencies
+//     deliberately hidden from the task specifications.
+//
+// Threading model: `num_threads` total executors = the constructing thread
+// (worker 0, which executes tasks whenever it waits) plus `num_threads - 1`
+// pool workers.  This mirrors "a static number of cores controlled by an
+// environmental variable" — see RuntimeConfig.
+//
+// Exceptions thrown by task bodies are captured and rethrown at the parent's
+// next `taskwait()` / `barrier()` (first exception wins).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "ompss/access.hpp"
+#include "ompss/config.hpp"
+#include "ompss/critical.hpp"
+#include "ompss/dep_domain.hpp"
+#include "ompss/graph_recorder.hpp"
+#include "ompss/scheduler.hpp"
+#include "ompss/stats.hpp"
+#include "ompss/task.hpp"
+#include "ompss/trace.hpp"
+
+namespace oss {
+
+/// Per-spawn options (the OmpSs task clauses beyond the access list).
+struct TaskOptions {
+  std::string label;  ///< diagnostics name (graph/trace output)
+  int priority = 0;   ///< OmpSs `priority` clause: >0 runs before normal tasks
+  bool deferred = true; ///< false = OmpSs `if(0)`: the spawning thread waits
+                        ///< for the task's dependencies and runs it inline
+};
+
+class Runtime {
+ public:
+  /// Starts `cfg.resolved_threads() - 1` pool workers immediately.
+  explicit Runtime(RuntimeConfig cfg = RuntimeConfig{});
+  /// Convenience: default config with `threads` total threads.
+  explicit Runtime(std::size_t threads)
+      : Runtime(RuntimeConfig::with_threads(threads)) {}
+
+  /// Drains all outstanding tasks (barrier), then stops and joins workers.
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Spawns a task.  `accesses` declares the regions the task body will
+  /// touch; `fn` runs once all hazards against earlier siblings are
+  /// resolved.  Returns the task id (usable to correlate graph/trace
+  /// output).  `label` is for diagnostics only.
+  ///
+  /// May be called from the owning thread, from inside tasks (nested
+  /// tasks), or from foreign threads (treated as spawning into the root
+  /// context).
+  std::uint64_t spawn(AccessList accesses, Task::Fn fn, std::string label = {});
+
+  /// Spawn with full task options (priority, undeferred execution).
+  std::uint64_t spawn(AccessList accesses, Task::Fn fn, TaskOptions opts);
+
+  /// Waits until all *direct children* of the current context finished.
+  /// Rethrows the first exception any of them threw.
+  void taskwait();
+
+  /// Waits until every previously spawned sibling task whose declared
+  /// access regions overlap [p, p+bytes) has finished.  Mirrors
+  /// `#pragma omp taskwait on(expr)`.
+  void taskwait_on(const void* p, std::size_t bytes = 1);
+
+  template <class T>
+  void taskwait_on(const T& obj) {
+    taskwait_on(static_cast<const void*>(&obj), sizeof(T));
+  }
+
+  /// Waits until the runtime has no unfinished task at all, then rethrows
+  /// any pending root-context exception.  The calling thread helps execute
+  /// tasks under the polling policy and sleeps under the blocking policy.
+  void barrier();
+
+  /// Runs `fn` holding the named critical-section mutex.
+  void critical(std::string_view name, const std::function<void()>& fn);
+
+  /// Total executor threads (pool workers + the owning thread).
+  [[nodiscard]] std::size_t num_threads() const noexcept { return num_threads_; }
+
+  [[nodiscard]] const RuntimeConfig& config() const noexcept { return cfg_; }
+
+  [[nodiscard]] StatsSnapshot stats() const { return stats_.snapshot(); }
+
+  /// DOT rendering of the recorded task graph.  Empty unless
+  /// `config().record_graph` was set.
+  [[nodiscard]] std::string export_graph_dot() const;
+
+  /// Chrome trace-event JSON.  Empty unless `config().record_trace` was set.
+  [[nodiscard]] std::string export_trace_json() const;
+
+  /// The trace recorder, for `analyze_trace` (null unless tracing enabled).
+  [[nodiscard]] const TraceRecorder* trace_recorder() const noexcept {
+    return trace_.get();
+  }
+
+  /// Unfinished tasks currently known to the runtime (diagnostics).
+  [[nodiscard]] std::size_t pending_tasks() const noexcept {
+    return pending_.load(std::memory_order_acquire);
+  }
+
+  /// The runtime the current thread is executing under (null outside).
+  static Runtime* current() noexcept;
+
+  /// Worker id of the calling thread within its runtime: 0 for the owning
+  /// thread, 1..N-1 for pool workers, -1 for foreign threads.
+  static int current_worker() noexcept;
+
+  /// Thread-local binding of a thread to a runtime (implementation detail,
+  /// public so the thread_local instance can live at namespace scope).
+  struct ThreadBinding;
+
+ private:
+  void worker_loop(int wid);
+  bool try_execute_one(int wid);
+  void execute(const TaskPtr& t, int wid);
+  void on_finished(const TaskPtr& t, int wid);
+  ContextPtr current_spawn_context();
+
+  /// Polls (executing tasks) or blocks until `done()` returns true.
+  void wait_until(const std::function<bool()>& done);
+
+  RuntimeConfig cfg_;
+  std::size_t num_threads_;
+
+  std::mutex graph_mu_; ///< guards dep domains, preds, successors
+  std::uint64_t next_task_id_ = 0;
+
+  ContextPtr root_ctx_;
+  std::unique_ptr<Scheduler> scheduler_;
+  mutable Stats stats_;
+  CriticalRegistry criticals_;
+  std::unique_ptr<GraphRecorder> graph_;
+  std::unique_ptr<TraceRecorder> trace_;
+
+  std::atomic<std::size_t> pending_{0}; ///< spawned but not finished
+  std::atomic<bool> stop_{false};
+
+  // Blocking-wait support: waiters sleep on cv_, completions notify when
+  // blocked_waiters_ > 0 (so the polling fast path pays nothing).
+  std::mutex cv_mu_;
+  std::condition_variable cv_;
+  std::atomic<int> blocked_waiters_{0};
+
+  std::vector<std::thread> workers_;
+};
+
+} // namespace oss

@@ -1,0 +1,96 @@
+#include "ompss/scheduler.hpp"
+
+namespace oss {
+
+Scheduler::Scheduler(SchedulerPolicy policy, std::size_t num_workers)
+    : policy_(policy), local_(num_workers) {}
+
+void Scheduler::enqueue_spawned(TaskPtr t, int spawner_worker) {
+  if (t->priority() > 0) {
+    global_hi_.push_back(std::move(t));
+    return;
+  }
+  switch (policy_) {
+    case SchedulerPolicy::Fifo:
+    case SchedulerPolicy::Locality:
+      global_.push_back(std::move(t));
+      break;
+    case SchedulerPolicy::WorkStealing:
+      if (spawner_worker >= 0 &&
+          static_cast<std::size_t>(spawner_worker) < local_.size()) {
+        local_[static_cast<std::size_t>(spawner_worker)].push_back(std::move(t));
+      } else {
+        global_.push_back(std::move(t));
+      }
+      break;
+  }
+}
+
+void Scheduler::enqueue_unblocked(TaskPtr t, int finisher_worker) {
+  if (t->priority() > 0) {
+    global_hi_.push_back(std::move(t));
+    return;
+  }
+  switch (policy_) {
+    case SchedulerPolicy::Fifo:
+      global_.push_back(std::move(t));
+      break;
+    case SchedulerPolicy::Locality:
+    case SchedulerPolicy::WorkStealing:
+      if (finisher_worker >= 0 &&
+          static_cast<std::size_t>(finisher_worker) < local_.size()) {
+        // Front of the finisher's queue: runs next on the same worker,
+        // back-to-back with its producer (the paper's cache-locality win).
+        local_[static_cast<std::size_t>(finisher_worker)].push_front(std::move(t));
+      } else {
+        global_.push_back(std::move(t));
+      }
+      break;
+  }
+}
+
+TaskPtr Scheduler::pick(int worker, Stats& stats) {
+  const bool is_worker =
+      worker >= 0 && static_cast<std::size_t>(worker) < local_.size();
+
+  if (TaskPtr t = global_hi_.pop_front()) {
+    stats.on_global_pop();
+    return t;
+  }
+
+  if (is_worker && policy_ != SchedulerPolicy::Fifo) {
+    if (TaskPtr t = local_[static_cast<std::size_t>(worker)].pop_front()) {
+      stats.on_local_pop();
+      return t;
+    }
+  }
+
+  if (TaskPtr t = global_.pop_front()) {
+    stats.on_global_pop();
+    return t;
+  }
+
+  if (policy_ != SchedulerPolicy::Fifo && !local_.empty()) {
+    // Steal scan starting from a rotating position to spread contention.
+    const std::uint32_t start =
+        steal_seed_.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t n = local_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t victim = (start + i) % n;
+      if (is_worker && victim == static_cast<std::size_t>(worker)) continue;
+      if (TaskPtr t = local_[victim].pop_back()) {
+        stats.on_steal();
+        return t;
+      }
+    }
+  }
+  return nullptr;
+}
+
+std::size_t Scheduler::queued() const {
+  std::size_t n = global_hi_.size() + global_.size();
+  for (const auto& q : local_) n += q.size();
+  return n;
+}
+
+} // namespace oss

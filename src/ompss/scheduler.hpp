@@ -1,0 +1,65 @@
+// scheduler.hpp — ready-task placement policies.
+//
+// The paper attributes the ray-rot result to the runtime scheduler "placing
+// dependent tasks on the same core": when task B becomes ready because task A
+// (its producer) finished on worker W, B is pushed to the *front* of W's
+// local queue so W executes it back-to-back with A while A's output is still
+// in cache.  This class implements that policy plus two reference points:
+//
+//   Fifo          — one global FIFO; placement-oblivious baseline.
+//   Locality      — unblocked tasks go to the finishing worker's local LIFO;
+//                   spawn-ready tasks go to the global queue.  (Default,
+//                   matches the Nanos++ behaviour the paper describes.)
+//   WorkStealing  — like Locality, but spawn-ready tasks also go to the
+//                   spawner's local queue when the spawner is a worker.
+//
+// Under every policy an idle worker falls back to the global queue and then
+// steals from the *back* of sibling queues, so no ready task can be stranded.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "ompss/config.hpp"
+#include "ompss/queues.hpp"
+#include "ompss/stats.hpp"
+#include "ompss/task.hpp"
+
+namespace oss {
+
+class Scheduler {
+ public:
+  Scheduler(SchedulerPolicy policy, std::size_t num_workers);
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Places a task that was ready at spawn time (no unmet dependencies).
+  /// `spawner_worker` is the worker id of the spawning thread, or -1 when
+  /// spawned from a non-worker thread.
+  void enqueue_spawned(TaskPtr t, int spawner_worker);
+
+  /// Places a task that became ready because a predecessor finished on
+  /// `finisher_worker` (-1 if the finisher is not a worker).
+  void enqueue_unblocked(TaskPtr t, int finisher_worker);
+
+  /// Takes the next task for `worker` (-1 for non-worker threads helping
+  /// out): local queue first, then global, then steal.  Returns null if no
+  /// work was found.  Updates pop/steal statistics.
+  TaskPtr pick(int worker, Stats& stats);
+
+  /// Approximate count of queued ready tasks (for idle heuristics/tests).
+  [[nodiscard]] std::size_t queued() const;
+
+  [[nodiscard]] SchedulerPolicy policy() const noexcept { return policy_; }
+
+ private:
+  SchedulerPolicy policy_;
+  TaskDeque global_hi_; ///< tasks with priority > 0, served before all else
+  TaskDeque global_;
+  std::vector<TaskDeque> local_;
+  std::atomic<std::uint32_t> steal_seed_{0x9e3779b9u};
+};
+
+} // namespace oss

@@ -1,0 +1,40 @@
+#include "ompss/stats.hpp"
+
+#include <sstream>
+
+namespace oss {
+
+StatsSnapshot Stats::snapshot() const {
+  StatsSnapshot s;
+  s.tasks_spawned = tasks_spawned_.load(std::memory_order_relaxed);
+  s.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+  s.edges_raw = edges_raw_.load(std::memory_order_relaxed);
+  s.edges_war = edges_war_.load(std::memory_order_relaxed);
+  s.edges_waw = edges_waw_.load(std::memory_order_relaxed);
+  s.local_pops = local_pops_.load(std::memory_order_relaxed);
+  s.global_pops = global_pops_.load(std::memory_order_relaxed);
+  s.steals = steals_.load(std::memory_order_relaxed);
+  s.taskwaits = taskwaits_.load(std::memory_order_relaxed);
+  s.barriers = barriers_.load(std::memory_order_relaxed);
+  s.per_worker_executed.reserve(per_worker_executed_.size());
+  for (const auto& c : per_worker_executed_)
+    s.per_worker_executed.push_back(c.load(std::memory_order_relaxed));
+  return s;
+}
+
+std::string StatsSnapshot::to_string() const {
+  std::ostringstream os;
+  os << "tasks: spawned=" << tasks_spawned << " executed=" << tasks_executed << '\n'
+     << "edges: RAW=" << edges_raw << " WAR=" << edges_war << " WAW=" << edges_waw
+     << " total=" << edges_total() << '\n'
+     << "queue: local=" << local_pops << " global=" << global_pops
+     << " steals=" << steals << '\n'
+     << "waits: taskwait=" << taskwaits << " barrier=" << barriers << '\n'
+     << "per-worker executed:";
+  for (std::size_t i = 0; i < per_worker_executed.size(); ++i)
+    os << " w" << i << '=' << per_worker_executed[i];
+  os << '\n';
+  return os.str();
+}
+
+} // namespace oss

@@ -1,0 +1,53 @@
+#include "ompss/task.hpp"
+
+#include <utility>
+
+#include "ompss/dep_domain.hpp"
+
+namespace oss {
+
+const char* to_string(TaskState s) noexcept {
+  switch (s) {
+    case TaskState::Created: return "created";
+    case TaskState::Ready: return "ready";
+    case TaskState::Running: return "running";
+    case TaskState::Finished: return "finished";
+  }
+  return "?";
+}
+
+TaskContext::TaskContext() : domain_(std::make_unique<DepDomain>()) {}
+
+TaskContext::~TaskContext() = default;
+
+void TaskContext::note_exception(std::exception_ptr ep) {
+  std::lock_guard lock(mu_);
+  if (!first_exception_) first_exception_ = std::move(ep);
+}
+
+std::exception_ptr TaskContext::take_exception() {
+  std::lock_guard lock(mu_);
+  return std::exchange(first_exception_, nullptr);
+}
+
+bool TaskContext::has_exception() const {
+  std::lock_guard lock(mu_);
+  return static_cast<bool>(first_exception_);
+}
+
+Task::Task(std::uint64_t id, Fn fn, AccessList accesses, ContextPtr parent_ctx,
+           std::string label)
+    : id_(id),
+      fn_(std::move(fn)),
+      accesses_(std::move(accesses)),
+      parent_ctx_(std::move(parent_ctx)),
+      label_(std::move(label)) {}
+
+Task::~Task() = default;
+
+const ContextPtr& Task::child_context() {
+  if (!child_ctx_) child_ctx_ = std::make_shared<TaskContext>();
+  return child_ctx_;
+}
+
+} // namespace oss

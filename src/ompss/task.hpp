@@ -1,0 +1,155 @@
+// task.hpp — task objects and per-parent task contexts.
+//
+// A `Task` is a deferred function call plus the access list declared at spawn
+// time.  Tasks move through Created → Ready → Running → Finished.  Dependency
+// bookkeeping (predecessor counts, successor lists) is guarded by the owning
+// runtime's graph mutex; only `finished` is independently readable.
+//
+// Every task that spawns children owns a `TaskContext`: it counts live direct
+// children (what `taskwait` waits on), holds the dependency domain in which
+// the children's accesses are matched against each other, and stores the
+// first exception thrown by any child (rethrown at the next `taskwait`).
+// The runtime owns a root context for tasks spawned outside any task.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ompss/access.hpp"
+
+namespace oss {
+
+class Task;
+class DepDomain;
+using TaskPtr = std::shared_ptr<Task>;
+
+/// Lifecycle states of a task.
+enum class TaskState : std::uint8_t {
+  Created, ///< spawned, dependency registration in progress or unmet deps
+  Ready,   ///< all predecessors finished; sitting in a ready queue
+  Running, ///< executing on some worker
+  Finished ///< body returned (or threw); successors may proceed
+};
+
+const char* to_string(TaskState s) noexcept;
+
+/// Shared bookkeeping for the children of one parent (a task or the root).
+class TaskContext {
+ public:
+  TaskContext();
+  ~TaskContext();
+
+  TaskContext(const TaskContext&) = delete;
+  TaskContext& operator=(const TaskContext&) = delete;
+
+  /// Direct children spawned into this context that have not yet finished.
+  std::atomic<std::size_t> live_children{0};
+
+  /// Dependency domain for sibling tasks of this context.  Guarded by the
+  /// runtime graph mutex (the domain itself has no internal locking).
+  DepDomain& domain() noexcept { return *domain_; }
+  const DepDomain& domain() const noexcept { return *domain_; }
+
+  /// Records the first exception escaping a child task.  Thread-safe.
+  void note_exception(std::exception_ptr ep);
+
+  /// Removes and returns the stored exception (null if none).  Thread-safe.
+  std::exception_ptr take_exception();
+
+  /// True if an exception is waiting to be rethrown.
+  bool has_exception() const;
+
+ private:
+  std::unique_ptr<DepDomain> domain_;
+  mutable std::mutex mu_;
+  std::exception_ptr first_exception_;
+};
+
+using ContextPtr = std::shared_ptr<TaskContext>;
+
+/// A spawned task.
+class Task {
+ public:
+  using Fn = std::function<void()>;
+
+  Task(std::uint64_t id, Fn fn, AccessList accesses, ContextPtr parent_ctx,
+       std::string label);
+  ~Task();
+
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  std::uint64_t id() const noexcept { return id_; }
+  const std::string& label() const noexcept { return label_; }
+  const AccessList& accesses() const noexcept { return accesses_; }
+
+  /// Context the task was spawned into (its siblings' dependency domain).
+  const ContextPtr& parent_context() const noexcept { return parent_ctx_; }
+
+  /// Lazily creates the context for this task's own children.
+  /// Called only from the thread currently executing this task.
+  const ContextPtr& child_context();
+
+  /// Child context if one was ever created (may be null).
+  const ContextPtr& child_context_if_any() const noexcept { return child_ctx_; }
+
+  /// Runs the task body (does not catch exceptions).
+  void run() { fn_(); }
+
+  /// Atomic completion flag; set (release) after the body returns and
+  /// before successors are notified.
+  bool finished() const noexcept { return finished_.load(std::memory_order_acquire); }
+  void mark_finished() noexcept { finished_.store(true, std::memory_order_release); }
+
+  TaskState state() const noexcept { return state_.load(std::memory_order_acquire); }
+  void set_state(TaskState s) noexcept { state_.store(s, std::memory_order_release); }
+
+  /// Scheduling priority (higher runs earlier; 0 = normal).
+  int priority() const noexcept { return priority_; }
+  void set_priority(int p) noexcept { priority_ = p; }
+
+  /// Undeferred (`if(0)`) task: the spawning thread executes it inline once
+  /// its dependencies resolve; it is never enqueued.
+  bool undeferred() const noexcept { return undeferred_; }
+  void set_undeferred(bool v) noexcept { undeferred_ = v; }
+
+  /// Attaches a commutative-region exclusion lock (called during
+  /// registration, under the graph mutex).
+  void add_exclusion_lock(std::shared_ptr<std::mutex> m) {
+    exclusion_locks_.push_back(std::move(m));
+  }
+
+  /// Locks the task must hold while executing (commutative regions).
+  const std::vector<std::shared_ptr<std::mutex>>& exclusion_locks() const noexcept {
+    return exclusion_locks_;
+  }
+
+  // ---- fields guarded by the runtime graph mutex ----------------------
+
+  /// Unfinished predecessors; the task becomes ready when this hits zero.
+  int preds = 0;
+
+  /// Tasks whose `preds` must be decremented when this task finishes.
+  std::vector<TaskPtr> successors;
+
+ private:
+  const std::uint64_t id_;
+  Fn fn_;
+  AccessList accesses_;
+  ContextPtr parent_ctx_;
+  ContextPtr child_ctx_; // lazily created; touched only by the executing thread
+  std::string label_;
+  int priority_ = 0;
+  bool undeferred_ = false;
+  std::vector<std::shared_ptr<std::mutex>> exclusion_locks_;
+  std::atomic<bool> finished_{false};
+  std::atomic<TaskState> state_{TaskState::Created};
+};
+
+} // namespace oss

@@ -1,0 +1,46 @@
+// taskloop.hpp — chunked loop-to-tasks helpers (OmpSs `taskloop` analogue).
+//
+// `spawn_for` splits [begin, end) into chunks and spawns one task per chunk.
+// An optional access builder lets each chunk declare the regions it touches,
+// so loop tasks compose with the dependency system (e.g. a later loop over
+// the same array chains automatically):
+//
+//   oss::spawn_for(rt, 0, n, 256,
+//       [&](std::size_t lo, std::size_t hi) { work(lo, hi); },
+//       [&](std::size_t lo, std::size_t hi) {
+//         return oss::AccessList{oss::out(&data[lo], hi - lo)};
+//       });
+//   rt.taskwait();
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "ompss/runtime.hpp"
+
+namespace oss {
+
+/// Spawns one task per chunk of [begin, end).  `body(lo, hi)` processes a
+/// half-open sub-range; `accesses(lo, hi)` (optional) declares its regions.
+/// Tasks are only spawned — pair with `taskwait()`/`barrier()`.
+inline void spawn_for(
+    Runtime& rt, std::size_t begin, std::size_t end, std::size_t chunk,
+    std::function<void(std::size_t, std::size_t)> body,
+    std::function<AccessList(std::size_t, std::size_t)> accesses = nullptr,
+    std::string label = "taskloop") {
+  if (chunk == 0) chunk = 1;
+  // One shared copy of the body; chunk lambdas stay small.
+  auto shared_body =
+      std::make_shared<std::function<void(std::size_t, std::size_t)>>(
+          std::move(body));
+  for (std::size_t lo = begin; lo < end; lo += chunk) {
+    const std::size_t hi = lo + chunk < end ? lo + chunk : end;
+    AccessList acc = accesses ? accesses(lo, hi) : AccessList{};
+    rt.spawn(std::move(acc),
+             [shared_body, lo, hi] { (*shared_body)(lo, hi); }, label);
+  }
+}
+
+} // namespace oss

@@ -1,0 +1,53 @@
+#include "ompss/trace.hpp"
+
+#include <sstream>
+
+namespace oss {
+
+void TraceRecorder::record(int worker, std::uint64_t task_id,
+                           const std::string& label, std::uint64_t start_us,
+                           std::uint64_t end_us) {
+  std::lock_guard lock(mu_);
+  events_.push_back(Event{worker, task_id, label, start_us, end_us});
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::lock_guard lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceRecorder::Event> TraceRecorder::events() const {
+  std::lock_guard lock(mu_);
+  return events_;
+}
+
+namespace {
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+} // namespace
+
+std::string TraceRecorder::to_json() const {
+  std::lock_guard lock(mu_);
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const Event& e : events_) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << (e.label.empty() ? "task" : escape(e.label))
+       << " #" << e.task_id << "\",\"cat\":\"task\",\"ph\":\"X\",\"ts\":" << e.start_us
+       << ",\"dur\":" << (e.end_us - e.start_us) << ",\"pid\":0,\"tid\":" << e.worker
+       << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+} // namespace oss

@@ -1,0 +1,57 @@
+// trace.hpp — optional execution tracing (Chrome trace-event JSON).
+//
+// When `RuntimeConfig::record_trace` is set, the runtime records one event
+// per executed task: which worker ran it, when, and for how long.  The
+// export loads directly into chrome://tracing / Perfetto, giving the same
+// per-core timeline view the Paraver traces of the original OmpSs toolchain
+// provide.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace oss {
+
+class TraceRecorder {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// One executed task.
+  struct Event {
+    int worker;
+    std::uint64_t task_id;
+    std::string label;
+    std::uint64_t start_us;
+    std::uint64_t end_us;
+  };
+
+  TraceRecorder() : origin_(Clock::now()) {}
+
+  /// Timestamp in microseconds since the recorder was created.
+  [[nodiscard]] std::uint64_t now_us() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - origin_)
+            .count());
+  }
+
+  void record(int worker, std::uint64_t task_id, const std::string& label,
+              std::uint64_t start_us, std::uint64_t end_us);
+
+  /// Chrome trace-event JSON ("traceEvents" array format).  Thread-safe.
+  [[nodiscard]] std::string to_json() const;
+
+  [[nodiscard]] std::size_t event_count() const;
+
+  /// Snapshot of all recorded events.  Thread-safe.
+  [[nodiscard]] std::vector<Event> events() const;
+
+ private:
+  Clock::time_point origin_;
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+};
+
+} // namespace oss

@@ -1,0 +1,82 @@
+#include "ompss/trace_analysis.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "ompss/trace.hpp"
+
+namespace oss {
+
+double TraceSummary::utilization() const {
+  if (makespan_us == 0 || workers.empty()) return 0.0;
+  return static_cast<double>(busy_us) /
+         (static_cast<double>(makespan_us) * static_cast<double>(workers.size()));
+}
+
+TraceSummary analyze_trace(const TraceRecorder& trace) {
+  TraceSummary s;
+  const auto events = trace.events();
+  s.events = events.size();
+  if (events.empty()) return s;
+
+  std::uint64_t first = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t last = 0;
+  std::map<int, WorkerStats> workers;
+  std::map<std::string, LabelStats> labels;
+
+  for (const auto& e : events) {
+    const std::uint64_t dur = e.end_us - e.start_us;
+    first = std::min(first, e.start_us);
+    last = std::max(last, e.end_us);
+    s.busy_us += dur;
+
+    WorkerStats& w = workers[e.worker];
+    w.worker = e.worker;
+    w.tasks++;
+    w.busy_us += dur;
+
+    const std::string key = e.label.empty() ? "(unlabeled)" : e.label;
+    LabelStats& l = labels[key];
+    if (l.count == 0) {
+      l.label = key;
+      l.min_us = dur;
+      l.max_us = dur;
+    }
+    l.count++;
+    l.total_us += dur;
+    l.min_us = std::min(l.min_us, dur);
+    l.max_us = std::max(l.max_us, dur);
+  }
+
+  s.makespan_us = last - first;
+  for (auto& [id, w] : workers) s.workers.push_back(w);
+  for (auto& [key, l] : labels) s.labels.push_back(l);
+  std::sort(s.labels.begin(), s.labels.end(),
+            [](const LabelStats& a, const LabelStats& b) {
+              return a.total_us > b.total_us;
+            });
+  return s;
+}
+
+std::string TraceSummary::to_string() const {
+  std::ostringstream os;
+  os << "trace: " << events << " tasks, makespan " << makespan_us
+     << " us, busy " << busy_us << " us, utilization "
+     << static_cast<int>(utilization() * 100.0 + 0.5) << "%\n";
+  os << "workers:\n";
+  for (const auto& w : workers) {
+    os << "  w" << w.worker << ": " << w.tasks << " tasks, " << w.busy_us
+       << " us busy\n";
+  }
+  os << "labels (by total time):\n";
+  for (const auto& l : labels) {
+    os << "  " << l.label << ": n=" << l.count << " total=" << l.total_us
+       << "us mean=" << static_cast<std::uint64_t>(l.mean_us())
+       << "us min=" << l.min_us << "us max=" << l.max_us << "us\n";
+  }
+  return os.str();
+}
+
+} // namespace oss

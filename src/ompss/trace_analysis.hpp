@@ -1,0 +1,56 @@
+// trace_analysis.hpp — post-mortem analysis of execution traces.
+//
+// The original OmpSs toolchain ships Paraver for trace inspection; this is
+// the library-sized equivalent: given the events a `TraceRecorder` captured,
+// compute per-worker utilization, per-label aggregates, and the critical
+// span, and render a compact text report.  Used by the examples and by the
+// granularity ablation to show *where* runtime overhead goes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace oss {
+
+class TraceRecorder;
+
+/// Aggregate statistics over one label (task kind).
+struct LabelStats {
+  std::string label;
+  std::uint64_t count = 0;
+  std::uint64_t total_us = 0;
+  std::uint64_t min_us = 0;
+  std::uint64_t max_us = 0;
+
+  [[nodiscard]] double mean_us() const {
+    return count ? static_cast<double>(total_us) / static_cast<double>(count) : 0.0;
+  }
+};
+
+/// Per-worker activity.
+struct WorkerStats {
+  int worker = 0;
+  std::uint64_t tasks = 0;
+  std::uint64_t busy_us = 0;
+};
+
+/// Whole-trace summary.
+struct TraceSummary {
+  std::uint64_t events = 0;
+  std::uint64_t makespan_us = 0; ///< last end − first start
+  std::uint64_t busy_us = 0;     ///< sum of task durations over all workers
+  std::vector<WorkerStats> workers;   ///< sorted by worker id
+  std::vector<LabelStats> labels;     ///< sorted by total time, descending
+
+  /// busy / (makespan × workers): 1.0 = perfectly packed.
+  [[nodiscard]] double utilization() const;
+
+  /// Multi-line human-readable report.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Analyzes a recorder's events (empty summary if tracing was disabled).
+TraceSummary analyze_trace(const TraceRecorder& trace);
+
+} // namespace oss

@@ -1,0 +1,53 @@
+// wavefront.hpp — generic 2-D wavefront task spawner.
+//
+// The dependency pattern behind H.264 intra reconstruction (and stencils,
+// dynamic programming, LU-style factorizations): cell (r, c) may start once
+// (r-1, c) and (r, c-1) finished.  `spawn_wavefront` expresses that with
+// one task per cell whose dependencies flow through an internal token
+// matrix — the library form of what `apps/h264dec`'s nested reconstruction
+// builds by hand with macroblock tiles.
+//
+//   oss::spawn_wavefront(rt, rows, cols, [&](std::size_t r, std::size_t c) {
+//     grid[r][c] = f(grid[r-1][c], grid[r][c-1]);
+//   });
+//   rt.taskwait();
+//
+// Tile with a coarser grid yourself when per-cell work is tiny (see the
+// granularity ablation for why).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ompss/runtime.hpp"
+
+namespace oss {
+
+/// Spawns rows×cols tasks with left/top wavefront dependencies.
+/// The token storage is kept alive by the task closures; pair with
+/// `taskwait()`/`barrier()`.
+inline void spawn_wavefront(Runtime& rt, std::size_t rows, std::size_t cols,
+                            std::function<void(std::size_t, std::size_t)> body,
+                            std::string label = "wavefront") {
+  if (rows == 0 || cols == 0) return;
+  auto tokens = std::make_shared<std::vector<char>>(rows * cols, 0);
+  auto shared_body =
+      std::make_shared<std::function<void(std::size_t, std::size_t)>>(
+          std::move(body));
+
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      AccessList acc;
+      acc.push_back(oss::out((*tokens)[r * cols + c]));
+      if (c > 0) acc.push_back(oss::in((*tokens)[r * cols + c - 1]));
+      if (r > 0) acc.push_back(oss::in((*tokens)[(r - 1) * cols + c]));
+      rt.spawn(std::move(acc),
+               [tokens, shared_body, r, c] { (*shared_body)(r, c); }, label);
+    }
+  }
+}
+
+} // namespace oss

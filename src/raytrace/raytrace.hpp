@@ -1,0 +1,6 @@
+// raytrace.hpp — umbrella header for the c-ray substrate.
+#pragma once
+
+#include "raytrace/render.hpp"
+#include "raytrace/scene.hpp"
+#include "raytrace/vec3.hpp"

@@ -1,0 +1,144 @@
+#include "raytrace/render.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace cray {
+
+namespace {
+
+struct Ray {
+  Vec3 origin;
+  Vec3 dir; // unit length
+};
+
+struct Hit {
+  double t = std::numeric_limits<double>::infinity();
+  const Sphere* sphere = nullptr;
+};
+
+/// Ray/sphere intersection; returns the nearest positive t, or infinity.
+double intersect_sphere(const Ray& ray, const Sphere& s) {
+  const Vec3 oc = ray.origin - s.center;
+  const double b = 2.0 * oc.dot(ray.dir);
+  const double c = oc.dot(oc) - s.radius * s.radius;
+  const double disc = b * b - 4.0 * c;
+  if (disc < 0) return std::numeric_limits<double>::infinity();
+  const double sq = std::sqrt(disc);
+  const double t1 = (-b - sq) * 0.5;
+  if (t1 > 1e-6) return t1;
+  const double t2 = (-b + sq) * 0.5;
+  if (t2 > 1e-6) return t2;
+  return std::numeric_limits<double>::infinity();
+}
+
+Hit closest_hit(const Scene& scene, const Ray& ray) {
+  Hit hit;
+  for (const Sphere& s : scene.spheres) {
+    const double t = intersect_sphere(ray, s);
+    if (t < hit.t) {
+      hit.t = t;
+      hit.sphere = &s;
+    }
+  }
+  return hit;
+}
+
+bool in_shadow(const Scene& scene, const Vec3& point, const Vec3& to_light,
+               double light_dist) {
+  const Ray shadow{point, to_light};
+  for (const Sphere& s : scene.spheres) {
+    const double t = intersect_sphere(shadow, s);
+    if (t < light_dist) return true;
+  }
+  return false;
+}
+
+Vec3 trace(const Scene& scene, const Ray& ray, const RenderOptions& opts,
+           int depth) {
+  const Hit hit = closest_hit(scene, ray);
+  if (!hit.sphere) {
+    // Sky: vertical gradient.
+    const double f = 0.5 * (ray.dir.y + 1.0);
+    return Vec3{0.10, 0.12, 0.18} * (1.0 - f) + Vec3{0.35, 0.45, 0.65} * f;
+  }
+
+  const Sphere& s = *hit.sphere;
+  const Vec3 point = ray.origin + ray.dir * hit.t;
+  const Vec3 normal = (point - s.center).normalized();
+
+  Vec3 color = s.material.color * opts.ambient;
+  for (const Light& light : scene.lights) {
+    const Vec3 lv = light.position - point;
+    const double dist = lv.length();
+    const Vec3 ldir = lv / dist;
+    if (in_shadow(scene, point + normal * 1e-6, ldir, dist)) continue;
+    const double diffuse = std::max(0.0, normal.dot(ldir));
+    color += s.material.color * diffuse;
+    const Vec3 half = (ldir - ray.dir).normalized();
+    const double spec =
+        std::pow(std::max(0.0, normal.dot(half)), s.material.specular_power);
+    color += Vec3{spec, spec, spec};
+  }
+
+  if (s.material.reflectivity > 0 && depth + 1 < opts.max_depth) {
+    const Ray refl{point + normal * 1e-6, ray.dir.reflect(normal).normalized()};
+    color += trace(scene, refl, opts, depth + 1) * s.material.reflectivity;
+  }
+  return color;
+}
+
+std::uint8_t to_byte(double v) {
+  const int q = static_cast<int>(v * 255.0 + 0.5);
+  return static_cast<std::uint8_t>(q < 0 ? 0 : (q > 255 ? 255 : q));
+}
+
+} // namespace
+
+void render_rows(const Scene& scene, img::Image& out, const RenderOptions& opts,
+                 int row_begin, int row_end) {
+  if (out.channels() != 3) {
+    throw std::invalid_argument("render_rows: output must be 3-channel RGB");
+  }
+  const int w = out.width();
+  const int h = out.height();
+  const double aspect = static_cast<double>(w) / static_cast<double>(h);
+  const double fov_scale =
+      std::tan(scene.camera.fov_deg * 0.5 * 3.14159265358979 / 180.0);
+
+  // Camera basis.
+  const Vec3 forward = (scene.camera.target - scene.camera.position).normalized();
+  const Vec3 right = forward.cross(Vec3{0, 1, 0}).normalized();
+  const Vec3 up = right.cross(forward);
+
+  const int ss = opts.supersample < 1 ? 1 : opts.supersample;
+  const double inv_ss2 = 1.0 / (ss * ss);
+
+  for (int y = row_begin; y < row_end; ++y) {
+    std::uint8_t* row = out.row(y);
+    for (int x = 0; x < w; ++x) {
+      Vec3 acc;
+      for (int sy = 0; sy < ss; ++sy) {
+        for (int sx = 0; sx < ss; ++sx) {
+          const double px = (x + (sx + 0.5) / ss) / w * 2.0 - 1.0;
+          const double py = 1.0 - (y + (sy + 0.5) / ss) / h * 2.0;
+          const Vec3 dir = (forward + right * (px * aspect * fov_scale) +
+                            up * (py * fov_scale))
+                               .normalized();
+          acc += trace(scene, Ray{scene.camera.position, dir}, opts, 0);
+        }
+      }
+      acc = acc * inv_ss2;
+      row[x * 3 + 0] = to_byte(acc.x);
+      row[x * 3 + 1] = to_byte(acc.y);
+      row[x * 3 + 2] = to_byte(acc.z);
+    }
+  }
+}
+
+void render(const Scene& scene, img::Image& out, const RenderOptions& opts) {
+  render_rows(scene, out, opts, 0, out.height());
+}
+
+} // namespace cray

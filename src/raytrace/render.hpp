@@ -1,0 +1,29 @@
+// render.hpp — the c-ray rendering kernel.
+//
+// Recursive Whitted-style raytracing: sphere intersection, Phong shading,
+// hard shadows, and specular reflection up to a bounded depth.  As with the
+// other substrates, the kernel is a *row-range* function so the sequential,
+// Pthreads, and OmpSs benchmark variants share the exact same math and
+// differ only in work distribution (rows are the parallel unit, as in the
+// original c-ray).
+#pragma once
+
+#include "img/image.hpp"
+#include "raytrace/scene.hpp"
+
+namespace cray {
+
+struct RenderOptions {
+  int max_depth = 3;       ///< reflection recursion bound
+  double ambient = 0.08;   ///< ambient light floor
+  int supersample = 1;     ///< rays per pixel edge (1 = one ray per pixel)
+};
+
+/// Renders rows [row_begin, row_end) of the image (3-channel RGB).
+void render_rows(const Scene& scene, img::Image& out, const RenderOptions& opts,
+                 int row_begin, int row_end);
+
+/// Whole-image sequential rendering.
+void render(const Scene& scene, img::Image& out, const RenderOptions& opts = {});
+
+} // namespace cray

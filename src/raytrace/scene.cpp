@@ -1,0 +1,118 @@
+#include "raytrace/scene.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace cray {
+
+namespace {
+std::uint32_t xorshift(std::uint32_t& s) {
+  s ^= s << 13;
+  s ^= s >> 17;
+  s ^= s << 5;
+  return s;
+}
+
+double unit(std::uint32_t& s) {
+  return static_cast<double>(xorshift(s) & 0xFFFFFF) / double(0x1000000);
+}
+} // namespace
+
+Scene Scene::procedural(int num_spheres, std::uint32_t seed) {
+  Scene scene;
+  std::uint32_t rng = seed * 747796405u + 2891336453u;
+
+  // Ground "sphere" (huge radius) like the classic c-ray scenes.
+  Sphere ground;
+  ground.center = {0, -1004, 0};
+  ground.radius = 1000;
+  ground.material.color = {0.4, 0.5, 0.4};
+  ground.material.specular_power = 10;
+  ground.material.reflectivity = 0.05;
+  scene.spheres.push_back(ground);
+
+  for (int i = 0; i < num_spheres; ++i) {
+    Sphere s;
+    const double angle = 2.0 * 3.14159265358979 * i / (num_spheres > 0 ? num_spheres : 1);
+    const double dist = 2.0 + 4.0 * unit(rng);
+    s.center = {dist * std::cos(angle), -3.0 + 4.0 * unit(rng),
+                dist * std::sin(angle)};
+    s.radius = 0.4 + 1.1 * unit(rng);
+    s.material.color = {0.2 + 0.8 * unit(rng), 0.2 + 0.8 * unit(rng),
+                        0.2 + 0.8 * unit(rng)};
+    s.material.specular_power = 10 + 70 * unit(rng);
+    s.material.reflectivity = unit(rng) < 0.4 ? 0.35 : 0.0;
+    scene.spheres.push_back(s);
+  }
+
+  scene.lights.push_back(Light{{-8, 8, -6}});
+  scene.lights.push_back(Light{{6, 10, -4}});
+
+  scene.camera.position = {0, 2, -9};
+  scene.camera.target = {0, -1, 0};
+  scene.camera.fov_deg = 50;
+  return scene;
+}
+
+Scene Scene::parse(const std::string& text) {
+  Scene scene;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind) || kind[0] == '#') continue;
+    auto fail = [&](const char* why) {
+      throw std::runtime_error("scene parse error at line " +
+                               std::to_string(lineno) + ": " + why);
+    };
+    if (kind == "s") {
+      Sphere s;
+      if (!(ls >> s.center.x >> s.center.y >> s.center.z >> s.radius >>
+            s.material.color.x >> s.material.color.y >> s.material.color.z >>
+            s.material.specular_power >> s.material.reflectivity)) {
+        fail("sphere needs 9 numbers");
+      }
+      scene.spheres.push_back(s);
+    } else if (kind == "l") {
+      Light l;
+      if (!(ls >> l.position.x >> l.position.y >> l.position.z)) {
+        fail("light needs 3 numbers");
+      }
+      scene.lights.push_back(l);
+    } else if (kind == "c") {
+      Camera& c = scene.camera;
+      if (!(ls >> c.position.x >> c.position.y >> c.position.z >> c.fov_deg >>
+            c.target.x >> c.target.y >> c.target.z)) {
+        fail("camera needs 7 numbers");
+      }
+    } else {
+      fail("unknown record kind");
+    }
+  }
+  return scene;
+}
+
+std::string Scene::serialize() const {
+  std::ostringstream os;
+  os << "# c-ray style scene\n";
+  for (const Sphere& s : spheres) {
+    os << "s " << s.center.x << ' ' << s.center.y << ' ' << s.center.z << ' '
+       << s.radius << ' ' << s.material.color.x << ' ' << s.material.color.y
+       << ' ' << s.material.color.z << ' ' << s.material.specular_power << ' '
+       << s.material.reflectivity << '\n';
+  }
+  for (const Light& l : lights) {
+    os << "l " << l.position.x << ' ' << l.position.y << ' ' << l.position.z
+       << '\n';
+  }
+  os << "c " << camera.position.x << ' ' << camera.position.y << ' '
+     << camera.position.z << ' ' << camera.fov_deg << ' ' << camera.target.x
+     << ' ' << camera.target.y << ' ' << camera.target.z << '\n';
+  return os.str();
+}
+
+} // namespace cray

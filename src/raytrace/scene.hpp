@@ -1,0 +1,61 @@
+// scene.hpp — c-ray scene model: spheres, planes, point lights, camera.
+//
+// Mirrors the structure of the original `c-ray` benchmark scenes (spheres
+// with Phong materials + reflections, a handful of lights, a pinhole
+// camera).  Scenes can be built procedurally (deterministic, used by the
+// benchmark suite) or parsed from a c-ray-style text format:
+//
+//   # comment
+//   s  x y z  radius  r g b  shininess  reflectivity
+//   l  x y z
+//   c  x y z  fov  tx ty tz
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "raytrace/vec3.hpp"
+
+namespace cray {
+
+struct Material {
+  Vec3 color{1, 1, 1};
+  double specular_power = 40.0;
+  double reflectivity = 0.0; ///< 0 = matte, 1 = mirror
+};
+
+struct Sphere {
+  Vec3 center;
+  double radius = 1.0;
+  Material material;
+};
+
+struct Light {
+  Vec3 position;
+};
+
+struct Camera {
+  Vec3 position{0, 0, -10};
+  Vec3 target{0, 0, 0};
+  double fov_deg = 45.0;
+};
+
+struct Scene {
+  std::vector<Sphere> spheres;
+  std::vector<Light> lights;
+  Camera camera;
+
+  /// Deterministic procedural scene: `num_spheres` spheres in a disc layout
+  /// with varied materials, 2-3 lights, camera looking at the origin.
+  static Scene procedural(int num_spheres, std::uint32_t seed);
+
+  /// Parses the c-ray-style text format above.
+  /// Throws std::runtime_error on malformed input.
+  static Scene parse(const std::string& text);
+
+  /// Serializes to the same text format (round-trips with parse()).
+  [[nodiscard]] std::string serialize() const;
+};
+
+} // namespace cray

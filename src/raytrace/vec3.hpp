@@ -1,0 +1,55 @@
+// vec3.hpp — minimal 3-component vector math for the c-ray raytracer.
+#pragma once
+
+#include <cmath>
+
+namespace cray {
+
+struct Vec3 {
+  double x = 0, y = 0, z = 0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+
+  /// Component-wise product (color modulation).
+  constexpr Vec3 operator*(const Vec3& o) const { return {x * o.x, y * o.y, z * o.z}; }
+
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+
+  [[nodiscard]] constexpr double dot(const Vec3& o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+
+  [[nodiscard]] constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+
+  [[nodiscard]] double length() const { return std::sqrt(dot(*this)); }
+
+  [[nodiscard]] Vec3 normalized() const {
+    const double len = length();
+    return len > 0 ? *this / len : Vec3{};
+  }
+
+  /// Reflects this direction about unit normal `n`.
+  [[nodiscard]] constexpr Vec3 reflect(const Vec3& n) const {
+    return *this - n * (2.0 * dot(n));
+  }
+
+  friend constexpr bool operator==(const Vec3&, const Vec3&) = default;
+};
+
+constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+} // namespace cray

@@ -1,0 +1,96 @@
+// barrier.hpp — thread barriers: blocking (pthread-style) and spinning.
+//
+// The paper's rgbcmy analysis hinges on exactly this distinction: the
+// Pthreads variant separates iterations with a *blocking* thread barrier
+// (threads sleep on a condition variable — cheap on idle cores, expensive to
+// wake), while the OmpSs runtime uses *polling* synchronization.  Both
+// flavors live here so the ablation bench can swap them:
+//
+//   BlockingBarrier — mutex + condition variable, generation-counted;
+//                     semantics of pthread_barrier_wait.
+//   SpinBarrier     — sense-reversing atomic barrier; spinners yield after a
+//                     bounded number of polls so oversubscribed runs still
+//                     make progress.
+//
+// Both are reusable (safe to call `wait` in a loop) for a fixed set of
+// `parties` threads.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+
+namespace pt {
+
+class BlockingBarrier {
+ public:
+  explicit BlockingBarrier(std::size_t parties) : parties_(parties) {}
+
+  BlockingBarrier(const BlockingBarrier&) = delete;
+  BlockingBarrier& operator=(const BlockingBarrier&) = delete;
+
+  /// Blocks until `parties` threads have called wait().  Returns true on
+  /// exactly one thread per generation (the "serial thread", like
+  /// PTHREAD_BARRIER_SERIAL_THREAD).
+  bool wait() {
+    std::unique_lock lock(mu_);
+    const std::size_t gen = generation_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return true;
+    }
+    cv_.wait(lock, [&] { return generation_ != gen; });
+    return false;
+  }
+
+  [[nodiscard]] std::size_t parties() const noexcept { return parties_; }
+
+ private:
+  const std::size_t parties_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t arrived_ = 0;
+  std::size_t generation_ = 0;
+};
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::size_t parties, std::size_t spin_rounds = 1024)
+      : parties_(parties), spin_rounds_(spin_rounds) {}
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  /// Spins until `parties` threads arrive.  Returns true on the last
+  /// arriving thread of each generation.
+  bool wait() {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+      return true;
+    }
+    std::size_t polls = 0;
+    while (sense_.load(std::memory_order_acquire) != my_sense) {
+      if (++polls >= spin_rounds_) {
+        std::this_thread::yield();
+        polls = 0;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::size_t parties() const noexcept { return parties_; }
+
+ private:
+  const std::size_t parties_;
+  const std::size_t spin_rounds_;
+  std::atomic<std::size_t> arrived_{0};
+  std::atomic<bool> sense_{false};
+};
+
+} // namespace pt

@@ -1,0 +1,44 @@
+// latch.hpp — single-use countdown latch.
+//
+// A thin, self-contained countdown synchronizer (like std::latch, kept local
+// so the substrate has no dependence on library support levels).  Used by
+// pipeline shutdown paths and tests.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace pt {
+
+class Latch {
+ public:
+  explicit Latch(std::size_t count) : count_(count) {}
+
+  Latch(const Latch&) = delete;
+  Latch& operator=(const Latch&) = delete;
+
+  /// Decrements the counter; wakes waiters when it reaches zero.
+  void count_down() {
+    std::lock_guard lock(mu_);
+    if (count_ > 0 && --count_ == 0) cv_.notify_all();
+  }
+
+  /// Blocks until the counter reaches zero.
+  void wait() {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return count_ == 0; });
+  }
+
+  [[nodiscard]] bool ready() const {
+    std::lock_guard lock(mu_);
+    return count_ == 0;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t count_;
+};
+
+} // namespace pt

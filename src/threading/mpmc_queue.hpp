@@ -1,0 +1,97 @@
+// mpmc_queue.hpp — blocking multi-producer multi-consumer queue.
+//
+// The workhorse channel for the Pthreads pipeline variants (h264dec's stage
+// threads hand frames to each other through these).  Bounded or unbounded;
+// `close()` wakes all consumers and makes further pops drain-then-fail, the
+// standard way to terminate a pipeline.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace pt {
+
+template <class T>
+class MpmcQueue {
+ public:
+  /// capacity == 0 means unbounded.
+  explicit MpmcQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  /// Blocks while the queue is full; returns false if the queue was closed.
+  bool push(T value) {
+    std::unique_lock lock(mu_);
+    cv_space_.wait(lock, [&] { return closed_ || !full_locked(); });
+    if (closed_) return false;
+    q_.push_back(std::move(value));
+    cv_items_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; fails when full or closed.
+  bool try_push(T value) {
+    std::lock_guard lock(mu_);
+    if (closed_ || full_locked()) return false;
+    q_.push_back(std::move(value));
+    cv_items_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mu_);
+    cv_items_.wait(lock, [&] { return closed_ || !q_.empty(); });
+    if (q_.empty()) return std::nullopt; // closed and drained
+    T v = std::move(q_.front());
+    q_.pop_front();
+    cv_space_.notify_one();
+    return v;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::lock_guard lock(mu_);
+    if (q_.empty()) return std::nullopt;
+    T v = std::move(q_.front());
+    q_.pop_front();
+    cv_space_.notify_one();
+    return v;
+  }
+
+  /// No further pushes succeed; consumers drain remaining items then get
+  /// std::nullopt.
+  void close() {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+    cv_items_.notify_all();
+    cv_space_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return q_.size();
+  }
+
+ private:
+  bool full_locked() const { return capacity_ != 0 && q_.size() >= capacity_; }
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_items_;
+  std::condition_variable cv_space_;
+  std::deque<T> q_;
+  bool closed_ = false;
+};
+
+} // namespace pt

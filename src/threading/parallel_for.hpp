@@ -1,0 +1,57 @@
+// parallel_for.hpp — data-parallel loops over a ThreadPool.
+//
+// The two classic Pthreads work-distribution idioms the benchmark suite's
+// baselines use:
+//
+//   parallel_for_static  — iteration space pre-split into one contiguous
+//                          slice per thread (pthread-style manual slicing).
+//   parallel_for_dynamic — threads grab fixed-size chunks from an atomic
+//                          counter (self-scheduling), for irregular work
+//                          like raytracing rows.
+//
+// Both call `fn(begin, end)` with half-open sub-ranges and block until the
+// whole range is processed.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+
+#include "threading/thread_pool.hpp"
+
+namespace pt {
+
+/// Static (block) distribution of [begin, end) over all pool threads.
+inline void parallel_for_static(ThreadPool& pool, std::size_t begin,
+                                std::size_t end,
+                                const std::function<void(std::size_t, std::size_t)>& fn) {
+  const std::size_t n = end > begin ? end - begin : 0;
+  if (n == 0) return;
+  const std::size_t threads = pool.size();
+  pool.run([&](std::size_t tid) {
+    const std::size_t chunk = (n + threads - 1) / threads;
+    const std::size_t lo = begin + tid * chunk;
+    if (lo >= end) return;
+    const std::size_t hi = lo + chunk < end ? lo + chunk : end;
+    fn(lo, hi);
+  });
+}
+
+/// Dynamic (self-scheduled) distribution with the given chunk size.
+inline void parallel_for_dynamic(ThreadPool& pool, std::size_t begin,
+                                 std::size_t end, std::size_t chunk,
+                                 const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (end <= begin) return;
+  if (chunk == 0) chunk = 1;
+  std::atomic<std::size_t> next{begin};
+  pool.run([&](std::size_t) {
+    for (;;) {
+      const std::size_t lo = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (lo >= end) return;
+      const std::size_t hi = lo + chunk < end ? lo + chunk : end;
+      fn(lo, hi);
+    }
+  });
+}
+
+} // namespace pt

@@ -1,0 +1,73 @@
+// spsc_ring.hpp — lock-free single-producer single-consumer ring buffer.
+//
+// Fixed power-of-two capacity; one producer thread, one consumer thread.
+// Used where a Pthreads pipeline stage pair wants the cheapest possible
+// hand-off (no mutex, no syscall) — the polling analogue on the Pthreads
+// side of the fence.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace pt {
+
+template <class T>
+class SpscRing {
+ public:
+  /// `capacity_pow2` must be a power of two >= 2.
+  explicit SpscRing(std::size_t capacity_pow2)
+      : buf_(capacity_pow2), mask_(capacity_pow2 - 1) {
+    // Enforce the power-of-two contract so index masking is valid.
+    if (capacity_pow2 < 2 || (capacity_pow2 & mask_) != 0) {
+      buf_.assign(round_up(capacity_pow2), T{});
+      mask_ = buf_.size() - 1;
+    }
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side.  Returns false when full.
+  bool try_push(T value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail > mask_) return false; // full
+    buf_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side.  Returns nullopt when empty.
+  std::optional<T> try_pop() {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) return std::nullopt; // empty
+    T v = std::move(buf_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return v;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return head_.load(std::memory_order_acquire) -
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  static std::size_t round_up(std::size_t n) {
+    std::size_t p = 2;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  std::vector<T> buf_;
+  std::size_t mask_;
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+} // namespace pt

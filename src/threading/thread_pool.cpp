@@ -1,0 +1,62 @@
+#include "threading/thread_pool.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace pt {
+
+ThreadPool::ThreadPool(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("ThreadPool: n must be >= 1");
+  threads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { worker(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
+  std::unique_lock lock(mu_);
+  job_ = &fn;
+  remaining_ = threads_.size();
+  first_error_ = nullptr;
+  ++epoch_;
+  cv_start_.notify_all();
+  cv_done_.wait(lock, [&] { return remaining_ == 0; });
+  job_ = nullptr;
+  if (first_error_) std::rethrow_exception(std::exchange(first_error_, nullptr));
+}
+
+void ThreadPool::worker(std::size_t tid) {
+  std::size_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    {
+      std::unique_lock lock(mu_);
+      cv_start_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      job = job_;
+    }
+    std::exception_ptr err;
+    try {
+      (*job)(tid);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mu_);
+      if (err && !first_error_) first_error_ = err;
+      if (--remaining_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+} // namespace pt

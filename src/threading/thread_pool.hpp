@@ -1,0 +1,54 @@
+// thread_pool.hpp — a classic fork-join worker pool.
+//
+// This is the substrate the paper's hand-written Pthreads benchmark variants
+// are built on: N long-lived threads that repeatedly execute SPMD regions.
+// `run(fn)` wakes all workers, runs `fn(tid)` on each (tid in [0, size())),
+// and returns when every worker finished — i.e. one fork-join epoch, like
+// pthread_create/pthread_join but without per-call thread creation cost.
+//
+// Exceptions thrown by `fn` are captured; the first one is rethrown from
+// `run` after the epoch completes.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pt {
+
+class ThreadPool {
+ public:
+  /// Creates `n` worker threads (n >= 1).
+  explicit ThreadPool(std::size_t n);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t size() const noexcept { return threads_.size(); }
+
+  /// Executes `fn(tid)` on every worker; blocks until all return.
+  /// Not reentrant: must not be called from inside a pool worker.
+  void run(const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker(std::size_t tid);
+
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t epoch_ = 0;      ///< incremented per run() to release workers
+  std::size_t remaining_ = 0;  ///< workers still executing the current epoch
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+} // namespace pt

@@ -1,0 +1,14 @@
+// threading.hpp — umbrella header for the Pthreads-style substrate.
+//
+// Everything the hand-written "Pthreads variant" of each benchmark is built
+// from: a fork-join thread pool, blocking and spinning barriers, blocking
+// MPMC channels, a lock-free SPSC ring, a countdown latch, and parallel-for
+// helpers.  See DESIGN.md §2 (system 2).
+#pragma once
+
+#include "threading/barrier.hpp"
+#include "threading/latch.hpp"
+#include "threading/mpmc_queue.hpp"
+#include "threading/parallel_for.hpp"
+#include "threading/spsc_ring.hpp"
+#include "threading/thread_pool.hpp"

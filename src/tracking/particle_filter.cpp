@@ -1,0 +1,147 @@
+#include "tracking/particle_filter.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tracking {
+
+namespace {
+
+/// Counter-based hash RNG (SplitMix-style): pure function of the key, so
+/// any execution order produces identical noise streams.
+std::uint64_t hash64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Uniform in [-1, 1) from a key.
+float signed_unit(std::uint64_t key) {
+  return (static_cast<float>(hash64(key) >> 40) / float(1 << 24)) * 2.f - 1.f;
+}
+
+} // namespace
+
+BodyPose ground_truth_pose(int frame, int width, int height) {
+  BodyPose p;
+  const float t = static_cast<float>(frame);
+  p.q[0] = 0.2f * width + 2.5f * t;                    // drift right
+  p.q[1] = 0.55f * height + 4.f * std::sin(0.3f * t);  // slight bob
+  p.q[2] = 0.08f * std::sin(0.25f * t);                // torso sway
+  p.q[3] = -0.5f + 0.45f * std::sin(0.5f * t);         // arms swing
+  p.q[4] = 0.5f - 0.45f * std::sin(0.5f * t);
+  p.q[5] = -0.3f + 0.35f * std::sin(0.5f * t + 3.14f); // legs counter-swing
+  p.q[6] = 0.3f - 0.35f * std::sin(0.5f * t + 3.14f);
+  p.q[7] = 1.0f;
+  return p;
+}
+
+BinaryMap make_observation(int frame, int width, int height, int dilate_radius) {
+  const BodyPose gt = ground_truth_pose(frame, width, height);
+  return dilate(render_pose(gt, width, height), dilate_radius);
+}
+
+void perturb_pose(BodyPose& pose, const TrackerConfig& cfg, int frame,
+                  int layer, int particle) {
+  const float decay = std::pow(cfg.layer_decay, static_cast<float>(layer));
+  const float sp = cfg.base_sigma_pos * decay;
+  const float sa = cfg.base_sigma_ang * decay;
+  const std::uint64_t base =
+      (static_cast<std::uint64_t>(cfg.seed) << 32) ^
+      (static_cast<std::uint64_t>(frame) << 20) ^
+      (static_cast<std::uint64_t>(layer) << 12) ^
+      static_cast<std::uint64_t>(particle);
+  pose.q[0] += sp * signed_unit(base * 8 + 0);
+  pose.q[1] += sp * signed_unit(base * 8 + 1);
+  for (int i = 2; i < 7; ++i) {
+    pose.q[i] += sa * signed_unit(base * 8 + static_cast<std::uint64_t>(i));
+  }
+  // Scale jitter, bounded away from zero.
+  pose.q[7] += 0.02f * decay * signed_unit(base * 8 + 7);
+  if (pose.q[7] < 0.5f) pose.q[7] = 0.5f;
+  if (pose.q[7] > 1.5f) pose.q[7] = 1.5f;
+}
+
+void particles_step_range(std::vector<BodyPose>& particles,
+                          std::vector<double>& weights, const BinaryMap& obs,
+                          const TrackerConfig& cfg, int frame, int layer,
+                          std::size_t begin, std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) {
+    perturb_pose(particles[i], cfg, frame, layer, static_cast<int>(i));
+    const double overlap = pose_overlap(particles[i], obs, cfg.samples_per_segment);
+    weights[i] = std::exp(cfg.beta * (overlap - 1.0));
+  }
+}
+
+void resample(std::vector<BodyPose>& particles, std::vector<double>& weights,
+              std::uint32_t seq) {
+  const std::size_t n = particles.size();
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) {
+    // Degenerate cloud: keep particles, reset weights.
+    for (double& w : weights) w = 1.0;
+    return;
+  }
+
+  // Systematic resampling with a deterministic offset.
+  const double offset =
+      (static_cast<double>(hash64(seq) >> 40) / double(1 << 24));
+  std::vector<BodyPose> next;
+  next.reserve(n);
+  double cumulative = 0.0;
+  std::size_t src = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double target = (static_cast<double>(i) + offset) / static_cast<double>(n) * total;
+    while (src + 1 < n && cumulative + weights[src] < target) {
+      cumulative += weights[src];
+      ++src;
+    }
+    next.push_back(particles[src]);
+  }
+  particles = std::move(next);
+  for (double& w : weights) w = 1.0;
+}
+
+BodyPose weighted_mean(const std::vector<BodyPose>& particles,
+                       const std::vector<double>& weights) {
+  BodyPose mean;
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (particles.empty() || total <= 0.0) return mean;
+  for (int d = 0; d < BodyPose::kDof; ++d) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < particles.size(); ++i) {
+      acc += weights[i] * particles[i].q[d];
+    }
+    mean.q[d] = static_cast<float>(acc / total);
+  }
+  return mean;
+}
+
+std::vector<BodyPose> track_seq(const TrackerConfig& cfg, int frames, int width,
+                                int height) {
+  if (cfg.num_particles <= 0) {
+    throw std::invalid_argument("track_seq: need particles");
+  }
+  std::vector<BodyPose> particles(
+      static_cast<std::size_t>(cfg.num_particles), ground_truth_pose(0, width, height));
+  std::vector<double> weights(particles.size(), 1.0);
+  std::vector<BodyPose> estimates;
+  estimates.reserve(static_cast<std::size_t>(frames));
+
+  for (int f = 0; f < frames; ++f) {
+    const BinaryMap obs = make_observation(f, width, height);
+    for (int layer = 0; layer < cfg.annealing_layers; ++layer) {
+      particles_step_range(particles, weights, obs, cfg, f, layer, 0,
+                           particles.size());
+      resample(particles, weights,
+               cfg.seed + static_cast<std::uint32_t>(f * 97 + layer));
+    }
+    estimates.push_back(weighted_mean(particles, weights));
+  }
+  return estimates;
+}
+
+} // namespace tracking

@@ -1,0 +1,69 @@
+// particle_filter.hpp — annealed particle filter (the `bodytrack` benchmark).
+//
+// Structure mirrors PARSEC bodytrack:
+//   for each frame:
+//     for each annealing layer (noise shrinking per layer):
+//       1. perturb every particle          (parallel over particles)
+//       2. evaluate every particle weight  (parallel; the hot loop)
+//       3. normalize + systematic resample (serial, cheap)
+//   estimate = weighted mean of the final layer.
+//
+// Determinism: perturbations use a counter-based hash RNG keyed by
+// (frame, layer, particle), so results are bit-identical however the
+// particle loop is distributed — this is what lets the tests require exact
+// sequential/Pthreads/OmpSs agreement.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tracking/pose.hpp"
+
+namespace tracking {
+
+struct TrackerConfig {
+  int num_particles = 128;
+  int annealing_layers = 3;
+  int samples_per_segment = 24; ///< likelihood sampling density
+  float base_sigma_pos = 6.f;   ///< pixel noise at the first layer
+  float base_sigma_ang = 0.20f; ///< radians noise at the first layer
+  float layer_decay = 0.6f;     ///< per-layer noise multiplier
+  double beta = 12.0;           ///< likelihood sharpness: w = exp(beta*overlap)
+  std::uint32_t seed = 1234;
+};
+
+/// Ground-truth pose at frame `t` of the synthetic sequence: a body walking
+/// across the image while swinging its limbs.
+BodyPose ground_truth_pose(int frame, int width, int height);
+
+/// The observation for frame `t`: the rendered + dilated ground-truth body.
+BinaryMap make_observation(int frame, int width, int height, int dilate_radius = 2);
+
+/// Deterministic per-(frame,layer,particle) Gaussian-ish perturbation of
+/// `pose` in place.  Pure function of its arguments.
+void perturb_pose(BodyPose& pose, const TrackerConfig& cfg, int frame,
+                  int layer, int particle);
+
+/// Weight kernel over particles [begin, end): perturbs each particle for
+/// this (frame, layer) and writes its unnormalized weight.  This is the
+/// range all variants parallelize.
+void particles_step_range(std::vector<BodyPose>& particles,
+                          std::vector<double>& weights, const BinaryMap& obs,
+                          const TrackerConfig& cfg, int frame, int layer,
+                          std::size_t begin, std::size_t end);
+
+/// Serial phases shared by all variants:
+/// systematic resampling (deterministic, uses cfg.seed + frame + layer).
+void resample(std::vector<BodyPose>& particles, std::vector<double>& weights,
+              std::uint32_t seq);
+
+/// Weighted mean of the particle cloud.
+BodyPose weighted_mean(const std::vector<BodyPose>& particles,
+                       const std::vector<double>& weights);
+
+/// Full sequential tracker over `frames` frames of a width×height sequence.
+/// Returns the per-frame pose estimates.
+std::vector<BodyPose> track_seq(const TrackerConfig& cfg, int frames, int width,
+                                int height);
+
+} // namespace tracking

@@ -1,0 +1,118 @@
+#include "tracking/pose.hpp"
+
+#include <cmath>
+
+namespace tracking {
+
+float BodyPose::distance(const BodyPose& o) const {
+  float d = 0.f;
+  for (int i = 0; i < kDof; ++i) d += std::abs(q[i] - o.q[i]);
+  return d;
+}
+
+namespace {
+
+struct Segment {
+  Pt a, b;
+};
+
+/// Builds the six segments of the stick figure from a pose.
+void body_segments(const BodyPose& pose, Segment out[6]) {
+  const float s = pose.q[7] <= 0.f ? 1.f : pose.q[7];
+  const float cx = pose.q[0];
+  const float cy = pose.q[1];
+  const float ta = pose.q[2];
+
+  auto polar = [&](float base_x, float base_y, float angle, float len) -> Pt {
+    return Pt{base_x + len * std::cos(angle), base_y + len * std::sin(angle)};
+  };
+
+  // Torso: from hip (cx,cy) upward along torso angle.
+  const float torso_len = 40.f * s;
+  const Pt hip{cx, cy};
+  const Pt neck = polar(cx, cy, ta - 1.5707963f, torso_len);
+  out[0] = {hip, neck};
+
+  // Head: short continuation of the torso.
+  out[1] = {neck, polar(neck.x, neck.y, ta - 1.5707963f, 12.f * s)};
+
+  // Arms hang from the neck.
+  const float arm_len = 28.f * s;
+  out[2] = {neck, polar(neck.x, neck.y, ta + 1.5707963f + pose.q[3], arm_len)};
+  out[3] = {neck, polar(neck.x, neck.y, ta + 1.5707963f + pose.q[4], arm_len)};
+
+  // Legs hang from the hip.
+  const float leg_len = 36.f * s;
+  out[4] = {hip, polar(hip.x, hip.y, ta + 1.5707963f + pose.q[5], leg_len)};
+  out[5] = {hip, polar(hip.x, hip.y, ta + 1.5707963f + pose.q[6], leg_len)};
+}
+
+} // namespace
+
+void pose_sample_points(const BodyPose& pose, int samples_per_segment,
+                        std::vector<Pt>& out) {
+  out.clear();
+  Segment segs[6];
+  body_segments(pose, segs);
+  const int n = samples_per_segment < 2 ? 2 : samples_per_segment;
+  out.reserve(static_cast<std::size_t>(6 * n));
+  for (const Segment& seg : segs) {
+    for (int i = 0; i < n; ++i) {
+      const float t = static_cast<float>(i) / static_cast<float>(n - 1);
+      out.push_back(Pt{seg.a.x + t * (seg.b.x - seg.a.x),
+                       seg.a.y + t * (seg.b.y - seg.a.y)});
+    }
+  }
+}
+
+BinaryMap render_pose(const BodyPose& pose, int width, int height,
+                      int samples_per_segment) {
+  BinaryMap map;
+  map.width = width;
+  map.height = height;
+  map.pixels.assign(static_cast<std::size_t>(width) * static_cast<std::size_t>(height), 0);
+  std::vector<Pt> pts;
+  pose_sample_points(pose, samples_per_segment, pts);
+  for (const Pt& p : pts) {
+    const int x = static_cast<int>(p.x + 0.5f);
+    const int y = static_cast<int>(p.y + 0.5f);
+    map.set(x, y);
+    map.set(x + 1, y);
+    map.set(x, y + 1); // slight thickness
+  }
+  return map;
+}
+
+BinaryMap dilate(const BinaryMap& in, int radius) {
+  BinaryMap out;
+  out.width = in.width;
+  out.height = in.height;
+  out.pixels.assign(in.pixels.size(), 0);
+  for (int y = 0; y < in.height; ++y) {
+    for (int x = 0; x < in.width; ++x) {
+      if (!in.at(x, y)) continue;
+      for (int dy = -radius; dy <= radius; ++dy) {
+        for (int dx = -radius; dx <= radius; ++dx) {
+          out.set(x + dx, y + dy);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+double pose_overlap(const BodyPose& pose, const BinaryMap& map,
+                    int samples_per_segment) {
+  std::vector<Pt> pts;
+  pose_sample_points(pose, samples_per_segment, pts);
+  if (pts.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (const Pt& p : pts) {
+    const int x = static_cast<int>(p.x + 0.5f);
+    const int y = static_cast<int>(p.y + 0.5f);
+    if (map.inside(x, y) && map.at(x, y)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(pts.size());
+}
+
+} // namespace tracking

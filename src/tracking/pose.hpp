@@ -1,0 +1,78 @@
+// pose.hpp — articulated 2-D body model for the bodytrack substrate.
+//
+// PARSEC's bodytrack fits a 3-D articulated body to multi-camera edge and
+// foreground maps with an annealed particle filter.  We keep the same
+// computational structure on a synthetic 2-D analogue: a stick figure with
+// 8 degrees of freedom (torso position/orientation, 4 limb angles, scale)
+// rendered into binary maps; per-particle likelihood evaluation samples the
+// model's edge points against the observation map — the exact shape of the
+// benchmark's hot loop.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace tracking {
+
+/// Body configuration: [x, y, torso_angle, l_arm, r_arm, l_leg, r_leg, scale].
+struct BodyPose {
+  static constexpr int kDof = 8;
+  std::array<float, kDof> q{};
+
+  float& x() { return q[0]; }
+  float& y() { return q[1]; }
+  float& torso() { return q[2]; }
+  float& scale() { return q[7]; }
+  [[nodiscard]] float x() const { return q[0]; }
+  [[nodiscard]] float y() const { return q[1]; }
+
+  /// Sum of absolute parameter differences (pose-space error metric;
+  /// angles and pixels mixed deliberately, as a scale-free tracking score).
+  [[nodiscard]] float distance(const BodyPose& o) const;
+};
+
+/// A 2-D point in image coordinates.
+struct Pt {
+  float x, y;
+};
+
+/// Samples `samples_per_segment` points along each of the 6 body segments
+/// (torso, head, 2 arms, 2 legs) into `out` (cleared first).
+void pose_sample_points(const BodyPose& pose, int samples_per_segment,
+                        std::vector<Pt>& out);
+
+/// Binary observation map.
+struct BinaryMap {
+  int width = 0;
+  int height = 0;
+  std::vector<std::uint8_t> pixels; // 0 or 1
+
+  [[nodiscard]] bool inside(int x, int y) const {
+    return x >= 0 && y >= 0 && x < width && y < height;
+  }
+  [[nodiscard]] std::uint8_t at(int x, int y) const {
+    return pixels[static_cast<std::size_t>(y) * static_cast<std::size_t>(width) +
+                  static_cast<std::size_t>(x)];
+  }
+  void set(int x, int y) {
+    if (inside(x, y))
+      pixels[static_cast<std::size_t>(y) * static_cast<std::size_t>(width) +
+             static_cast<std::size_t>(x)] = 1;
+  }
+};
+
+/// Rasterizes the pose into a fresh width×height binary map (thick lines).
+BinaryMap render_pose(const BodyPose& pose, int width, int height,
+                      int samples_per_segment = 32);
+
+/// Morphological dilation by `radius` (Chebyshev), used to soften the
+/// observation before likelihood evaluation.
+BinaryMap dilate(const BinaryMap& map, int radius);
+
+/// Fraction of the pose's sample points that land on set pixels of `map`
+/// (0..1); the likelihood core.  Pure and thread-safe.
+double pose_overlap(const BodyPose& pose, const BinaryMap& map,
+                    int samples_per_segment);
+
+} // namespace tracking

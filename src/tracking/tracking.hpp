@@ -1,0 +1,5 @@
+// tracking.hpp — umbrella header for the bodytrack substrate.
+#pragma once
+
+#include "tracking/particle_filter.hpp"
+#include "tracking/pose.hpp"

@@ -1,0 +1,71 @@
+#include "video/bits.hpp"
+
+namespace video {
+
+void BitWriter::put_bits(std::uint32_t value, int count) {
+  for (int i = count - 1; i >= 0; --i) {
+    cur_ = static_cast<std::uint8_t>((cur_ << 1) | ((value >> i) & 1u));
+    if (++nbits_ == 8) {
+      bytes_.push_back(cur_);
+      cur_ = 0;
+      nbits_ = 0;
+    }
+  }
+}
+
+void BitWriter::put_ue(std::uint32_t v) {
+  const std::uint64_t code = static_cast<std::uint64_t>(v) + 1;
+  int len = 0;
+  while ((code >> len) > 1) ++len; // floor(log2(code))
+  put_bits(0, len);                // len leading zeros
+  for (int i = len; i >= 0; --i) {
+    put_bits(static_cast<std::uint32_t>((code >> i) & 1u), 1);
+  }
+}
+
+void BitWriter::put_se(std::int32_t v) {
+  const std::uint32_t mapped =
+      v > 0 ? static_cast<std::uint32_t>(2 * v - 1)
+            : static_cast<std::uint32_t>(-2 * static_cast<std::int64_t>(v));
+  put_ue(mapped);
+}
+
+std::vector<std::uint8_t> BitWriter::finish() {
+  if (nbits_ > 0) {
+    cur_ = static_cast<std::uint8_t>(cur_ << (8 - nbits_));
+    bytes_.push_back(cur_);
+    cur_ = 0;
+    nbits_ = 0;
+  }
+  return std::move(bytes_);
+}
+
+std::uint32_t BitReader::get_bits(int count) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < count; ++i) {
+    if (pos_ >= size_ * 8) throw std::out_of_range("BitReader: past end of stream");
+    const std::size_t byte = pos_ >> 3;
+    const int bit = 7 - static_cast<int>(pos_ & 7);
+    v = (v << 1) | ((data_[byte] >> bit) & 1u);
+    ++pos_;
+  }
+  return v;
+}
+
+std::uint32_t BitReader::get_ue() {
+  int zeros = 0;
+  while (get_bits(1) == 0) {
+    if (++zeros > 32) throw std::out_of_range("BitReader: malformed ue code");
+  }
+  std::uint32_t v = 1;
+  for (int i = 0; i < zeros; ++i) v = (v << 1) | get_bits(1);
+  return v - 1;
+}
+
+std::int32_t BitReader::get_se() {
+  const std::uint32_t k = get_ue();
+  if (k & 1u) return static_cast<std::int32_t>((k + 1) / 2);
+  return -static_cast<std::int32_t>(k / 2);
+}
+
+} // namespace video

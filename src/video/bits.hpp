@@ -1,0 +1,71 @@
+// bits.hpp — MSB-first bit I/O and Exp-Golomb coding.
+//
+// The entropy layer of the synthetic H.264-shaped codec: unsigned (ue) and
+// signed (se) Exp-Golomb codes over an MSB-first bit stream, exactly the
+// syntax-element coding family H.264 uses outside CABAC.  The entropy-decode
+// pipeline stage spends its time here.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace video {
+
+class BitWriter {
+ public:
+  /// Appends the lowest `count` bits of `value`, MSB first.
+  void put_bits(std::uint32_t value, int count);
+
+  /// Unsigned Exp-Golomb.
+  void put_ue(std::uint32_t v);
+
+  /// Signed Exp-Golomb (H.264 mapping: 1, -1, 2, -2, ...).
+  void put_se(std::int32_t v);
+
+  /// Flushes partial bits (zero padding) and returns the byte stream.
+  [[nodiscard]] std::vector<std::uint8_t> finish();
+
+  /// Bits written so far (before padding).
+  [[nodiscard]] std::size_t bit_count() const {
+    return bytes_.size() * 8 + static_cast<std::size_t>(nbits_);
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::uint8_t cur_ = 0;
+  int nbits_ = 0;
+};
+
+class BitReader {
+ public:
+  BitReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  explicit BitReader(const std::vector<std::uint8_t>& bytes)
+      : BitReader(bytes.data(), bytes.size()) {}
+
+  /// The reader only borrows the bytes; binding a temporary would dangle.
+  explicit BitReader(std::vector<std::uint8_t>&&) = delete;
+
+  /// Reads `count` bits MSB-first.  Throws std::out_of_range past the end.
+  std::uint32_t get_bits(int count);
+
+  /// Unsigned Exp-Golomb.
+  std::uint32_t get_ue();
+
+  /// Signed Exp-Golomb.
+  std::int32_t get_se();
+
+  /// Bits consumed so far.
+  [[nodiscard]] std::size_t bit_position() const { return pos_; }
+
+  [[nodiscard]] bool exhausted() const { return pos_ >= size_ * 8; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0; // bit position
+};
+
+} // namespace video

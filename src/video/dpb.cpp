@@ -1,0 +1,64 @@
+#include "video/dpb.hpp"
+
+namespace video {
+
+DecodedPictureBuffer::DecodedPictureBuffer(std::size_t slots, int width,
+                                           int height)
+    : busy_(slots, false) {
+  frames_.reserve(slots);
+  for (std::size_t i = 0; i < slots; ++i) frames_.emplace_back(width, height);
+}
+
+int DecodedPictureBuffer::fetch_free() {
+  for (std::size_t i = 0; i < busy_.size(); ++i) {
+    if (!busy_[i]) {
+      busy_[i] = true;
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void DecodedPictureBuffer::release(int slot) {
+  if (slot < 0 || static_cast<std::size_t>(slot) >= busy_.size() ||
+      !busy_[static_cast<std::size_t>(slot)]) {
+    throw std::logic_error("DecodedPictureBuffer: bad release");
+  }
+  busy_[static_cast<std::size_t>(slot)] = false;
+}
+
+std::size_t DecodedPictureBuffer::busy_count() const {
+  std::size_t n = 0;
+  for (bool b : busy_) n += b ? 1 : 0;
+  return n;
+}
+
+PictureInfoBuffer::PictureInfoBuffer(std::size_t slots)
+    : entries_(slots), live_(slots, false) {}
+
+int PictureInfoBuffer::allocate(const PictureInfo& info) {
+  for (std::size_t i = 0; i < live_.size(); ++i) {
+    if (!live_[i]) {
+      live_[i] = true;
+      entries_[i] = info;
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void PictureInfoBuffer::retire(int slot) {
+  if (slot < 0 || static_cast<std::size_t>(slot) >= live_.size() ||
+      !live_[static_cast<std::size_t>(slot)]) {
+    throw std::logic_error("PictureInfoBuffer: bad retire");
+  }
+  live_[static_cast<std::size_t>(slot)] = false;
+}
+
+std::size_t PictureInfoBuffer::live_count() const {
+  std::size_t n = 0;
+  for (bool b : live_) n += b ? 1 : 0;
+  return n;
+}
+
+} // namespace video

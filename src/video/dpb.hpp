@@ -1,0 +1,77 @@
+// dpb.hpp — Picture Info Buffer and Decoded Picture Buffer.
+//
+// The paper's third observation (§3): the PIB and DPB cannot be expressed
+// as task dependencies because "we cannot predict which buffer entries will
+// be available at the time the task is spawned" — so their fetch/release
+// operations are *hidden* from the dependency system and protected with
+// `omp critical` inside the task bodies.
+//
+// Accordingly, these classes are deliberately **unsynchronized**: the
+// sequential decoder calls them bare, the OmpSs variant wraps calls in
+// `oss::critical("pib"/"dpb", ...)` exactly like Listing 1's description,
+// and the Pthreads variant uses its own mutex.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "video/frame.hpp"
+
+namespace video {
+
+/// Fixed pool of reusable picture slots with busy/free state.
+class DecodedPictureBuffer {
+ public:
+  /// `slots` pictures of the given dimensions.
+  DecodedPictureBuffer(std::size_t slots, int width, int height);
+
+  /// Index of a free slot, marking it busy; -1 if none available.
+  int fetch_free();
+
+  /// Returns a busy slot to the pool.  Throws std::logic_error if the slot
+  /// was not busy (double release).
+  void release(int slot);
+
+  [[nodiscard]] VideoFrame& picture(int slot) { return frames_.at(static_cast<std::size_t>(slot)); }
+  [[nodiscard]] const VideoFrame& picture(int slot) const {
+    return frames_.at(static_cast<std::size_t>(slot));
+  }
+
+  [[nodiscard]] std::size_t slots() const { return frames_.size(); }
+  [[nodiscard]] std::size_t busy_count() const;
+
+ private:
+  std::vector<VideoFrame> frames_;
+  std::vector<bool> busy_;
+};
+
+/// Per-picture metadata entries allocated by the parse stage and retired by
+/// the output stage.
+struct PictureInfo {
+  std::uint32_t frame_num = 0;
+  FrameType type = FrameType::I;
+  int dpb_slot = -1; ///< the picture slot reconstruction will fill
+};
+
+class PictureInfoBuffer {
+ public:
+  explicit PictureInfoBuffer(std::size_t slots);
+
+  /// Allocates an entry; -1 if the buffer is full.
+  int allocate(const PictureInfo& info);
+
+  /// Retires an entry.  Throws std::logic_error on double retire.
+  void retire(int slot);
+
+  [[nodiscard]] PictureInfo& info(int slot) { return entries_.at(static_cast<std::size_t>(slot)); }
+
+  [[nodiscard]] std::size_t slots() const { return entries_.size(); }
+  [[nodiscard]] std::size_t live_count() const;
+
+ private:
+  std::vector<PictureInfo> entries_;
+  std::vector<bool> live_;
+};
+
+} // namespace video

@@ -1,0 +1,14 @@
+#include "video/frame.hpp"
+
+namespace video {
+
+std::uint64_t VideoFrame::checksum() const {
+  std::uint64_t h = 1469598103934665603ull; // FNV offset basis
+  for (std::uint8_t b : y) {
+    h ^= b;
+    h *= 1099511628211ull; // FNV prime
+  }
+  return h;
+}
+
+} // namespace video

@@ -1,0 +1,90 @@
+// frame.hpp — frames, headers, and macroblock syntax elements.
+//
+// The decoder pipeline (paper §3) passes these between stages:
+//   read   → EncodedFrame (entropy-coded bytes for one frame)
+//   parse  → FrameHeader (dimensions, type, qp)
+//   ED     → MbSyntax[] (motion vectors + residual levels per macroblock)
+//   recon  → VideoFrame (reconstructed luma picture)
+//   output → display-order checksum/frame sink
+//
+// Luma-only (the pipeline structure the paper studies does not depend on
+// chroma; see DESIGN.md substitutions).  Macroblocks are 16×16 = 16 4×4
+// transform blocks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace video {
+
+inline constexpr int kMbSize = 16;      ///< macroblock edge in pixels
+inline constexpr int kBlocksPerMb = 16; ///< 4×4 blocks per macroblock
+
+enum class FrameType : std::uint8_t {
+  I = 0, ///< all-intra (DC prediction from reconstructed neighbors)
+  P = 1, ///< inter (full-pel motion compensation from the previous frame)
+};
+
+/// One decoded (or source) luma picture.
+struct VideoFrame {
+  int width = 0;
+  int height = 0;
+  std::vector<std::uint8_t> y;
+
+  VideoFrame() = default;
+  VideoFrame(int w, int h) : width(w), height(h), y(static_cast<std::size_t>(w) * h, 0) {}
+
+  [[nodiscard]] std::uint8_t at(int x, int y_) const {
+    return y[static_cast<std::size_t>(y_) * width + x];
+  }
+  [[nodiscard]] std::uint8_t& at(int x, int y_) {
+    return y[static_cast<std::size_t>(y_) * width + x];
+  }
+
+  /// FNV-1a checksum of the pixel data (used by the output stage).
+  [[nodiscard]] std::uint64_t checksum() const;
+};
+
+/// Per-frame header parsed by the parse stage.
+struct FrameHeader {
+  std::uint32_t frame_num = 0;
+  FrameType type = FrameType::I;
+  int qp = 20;
+  int mb_w = 0; ///< macroblocks per row
+  int mb_h = 0; ///< macroblock rows
+
+  [[nodiscard]] int width() const { return mb_w * kMbSize; }
+  [[nodiscard]] int height() const { return mb_h * kMbSize; }
+  [[nodiscard]] std::size_t mb_count() const {
+    return static_cast<std::size_t>(mb_w) * static_cast<std::size_t>(mb_h);
+  }
+};
+
+/// Syntax elements of one macroblock, produced by entropy decode.
+struct MbSyntax {
+  std::int16_t mvx = 0; ///< full-pel motion vector (P frames)
+  std::int16_t mvy = 0;
+  /// Quantized transform levels, 16 blocks × 16 coefficients (raster order
+  /// within block; blocks in 4×4 raster order within the macroblock).
+  std::int16_t levels[kBlocksPerMb][16] = {};
+};
+
+/// The entropy-coded payload of one frame, as emitted by the read stage.
+struct EncodedFrame {
+  std::vector<std::uint8_t> payload;
+};
+
+/// A whole encoded sequence ("the bitstream file").
+struct EncodedVideo {
+  std::vector<EncodedFrame> frames;
+  int width = 0;
+  int height = 0;
+
+  [[nodiscard]] std::size_t total_bytes() const {
+    std::size_t n = 0;
+    for (const auto& f : frames) n += f.payload.size();
+    return n;
+  }
+};
+
+} // namespace video

@@ -1,0 +1,17 @@
+// source.hpp — deterministic synthetic video source.
+//
+// We have no H.264 conformance bitstreams to ship, so the encoder consumes a
+// synthetic sequence with the properties that matter for the decode
+// workload: smooth regions (cheap residuals), moving objects (non-zero
+// motion vectors), and textured areas (expensive residuals).  Deterministic
+// in (frame, width, height).
+#pragma once
+
+#include "video/frame.hpp"
+
+namespace video {
+
+/// Frame `t` of the synthetic test sequence.
+VideoFrame synth_source_frame(int t, int width, int height);
+
+} // namespace video

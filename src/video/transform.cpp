@@ -1,0 +1,89 @@
+#include "video/transform.hpp"
+
+#include <cmath>
+
+namespace video {
+
+const int kZigzag4x4[16] = {0, 1, 4, 8, 5, 2, 3, 6, 9, 12, 13, 10, 7, 11, 14, 15};
+
+namespace {
+
+/// One 4-point Hadamard butterfly: y = H·x (H symmetric, entries ±1).
+inline void hadamard4(const std::int32_t x[4], std::int32_t y[4]) {
+  const std::int32_t a = x[0] + x[1];
+  const std::int32_t b = x[0] - x[1];
+  const std::int32_t c = x[2] + x[3];
+  const std::int32_t d = x[2] - x[3];
+  y[0] = a + c;
+  y[1] = b + d;
+  y[2] = a - c;
+  y[3] = b - d;
+}
+
+} // namespace
+
+void forward_transform4x4(const std::int16_t in[16], std::int32_t out[16]) {
+  std::int32_t tmp[16];
+  // Rows: tmp = X·H (apply to each row vector).
+  for (int i = 0; i < 4; ++i) {
+    const std::int32_t row[4] = {in[i * 4 + 0], in[i * 4 + 1], in[i * 4 + 2],
+                                 in[i * 4 + 3]};
+    hadamard4(row, tmp + i * 4);
+  }
+  // Columns: out = H·tmp.
+  for (int j = 0; j < 4; ++j) {
+    const std::int32_t col[4] = {tmp[0 * 4 + j], tmp[1 * 4 + j], tmp[2 * 4 + j],
+                                 tmp[3 * 4 + j]};
+    std::int32_t res[4];
+    hadamard4(col, res);
+    out[0 * 4 + j] = res[0];
+    out[1 * 4 + j] = res[1];
+    out[2 * 4 + j] = res[2];
+    out[3 * 4 + j] = res[3];
+  }
+}
+
+void inverse_transform4x4(const std::int32_t in[16], std::int16_t out[16]) {
+  std::int32_t tmp[16];
+  for (int i = 0; i < 4; ++i) {
+    hadamard4(in + i * 4, tmp + i * 4);
+  }
+  for (int j = 0; j < 4; ++j) {
+    const std::int32_t col[4] = {tmp[0 * 4 + j], tmp[1 * 4 + j], tmp[2 * 4 + j],
+                                 tmp[3 * 4 + j]};
+    std::int32_t res[4];
+    hadamard4(col, res);
+    // H·H = 4I in each dimension → total gain 16; round-to-nearest shift.
+    out[0 * 4 + j] = static_cast<std::int16_t>((res[0] + 8) >> 4);
+    out[1 * 4 + j] = static_cast<std::int16_t>((res[1] + 8) >> 4);
+    out[2 * 4 + j] = static_cast<std::int16_t>((res[2] + 8) >> 4);
+    out[3 * 4 + j] = static_cast<std::int16_t>((res[3] + 8) >> 4);
+  }
+}
+
+void quantize4x4(const std::int32_t in[16], std::int16_t out[16], int step) {
+  if (step < 1) step = 1;
+  for (int i = 0; i < 16; ++i) {
+    const std::int32_t v = in[i];
+    const std::int32_t mag = (std::abs(v) + step / 2) / step;
+    out[i] = static_cast<std::int16_t>(v < 0 ? -mag : mag);
+  }
+}
+
+void dequantize4x4(const std::int16_t in[16], std::int32_t out[16], int step) {
+  if (step < 1) step = 1;
+  for (int i = 0; i < 16; ++i) {
+    out[i] = static_cast<std::int32_t>(in[i]) * step;
+  }
+}
+
+int qp_to_step(int qp) {
+  if (qp < 0) qp = 0;
+  if (qp > 51) qp = 51;
+  // Doubles every 6 QP like H.264; step 1 at QP 0.
+  const double step = std::pow(2.0, qp / 6.0);
+  const int s = static_cast<int>(step + 0.5);
+  return s < 1 ? 1 : s;
+}
+
+} // namespace video

@@ -1,0 +1,40 @@
+// transform.hpp — 4×4 integer transform + scalar quantization.
+//
+// The residual-coding core of the synthetic codec.  We use the 4×4
+// Walsh-Hadamard transform (the transform H.264 itself applies to DC
+// coefficients): H = [[1,1,1,1],[1,1,-1,-1],[1,-1,-1,1],[1,-1,1,-1]],
+// C = H·X·H, with the exact inverse X = (H·C·H) >> 4.  Compared to the
+// H.264 "core" transform this drops the position-dependent scaling matrices
+// (which exist only to renormalize that transform's unequal basis norms)
+// while keeping the same butterfly/add integer compute shape — and it is
+// *exactly* invertible, which makes the encoder/decoder reconstruction loop
+// bit-exact by construction.
+//
+// Quantization is a flat scalar quantizer with round-to-nearest; encoder
+// and decoder share the dequant+inverse path.
+#pragma once
+
+#include <cstdint>
+
+namespace video {
+
+/// Forward transform of a 4×4 residual block (row-major): C = H·X·H.
+void forward_transform4x4(const std::int16_t in[16], std::int32_t out[16]);
+
+/// Exact inverse: X = (H·C·H) >> 4 (exact when C came from the forward
+/// transform of integer data; rounding applies otherwise).
+void inverse_transform4x4(const std::int32_t in[16], std::int16_t out[16]);
+
+/// Flat scalar quantizer: level = round(coeff / step).  `step` must be >= 1.
+void quantize4x4(const std::int32_t in[16], std::int16_t out[16], int step);
+
+/// Dequantizer: coeff = level * step.
+void dequantize4x4(const std::int16_t in[16], std::int32_t out[16], int step);
+
+/// Quantizer step size from a 0..51-style QP (doubles every 6, like H.264).
+int qp_to_step(int qp);
+
+/// Zigzag scan order for a 4×4 block.
+extern const int kZigzag4x4[16];
+
+} // namespace video

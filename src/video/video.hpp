@@ -1,0 +1,9 @@
+// video.hpp — umbrella header for the synthetic H.264-shaped codec.
+#pragma once
+
+#include "video/bits.hpp"
+#include "video/codec.hpp"
+#include "video/dpb.hpp"
+#include "video/frame.hpp"
+#include "video/source.hpp"
+#include "video/transform.hpp"

@@ -1,0 +1,83 @@
+// Variant-equivalence tests for the chained workloads (ray-rot, rot-cc),
+// including the source-band dependency math that ray-rot's OmpSs variant
+// relies on.
+#include "apps/apps.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using benchcore::Scale;
+
+class ChainedThreadTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChainedThreadTest, RayRotVariantsAgreeExactly) {
+  const auto w = apps::RayRotWorkload::make(Scale::Tiny);
+  const img::Image ref = apps::ray_rot_seq(w);
+  EXPECT_TRUE(ref == apps::ray_rot_pthreads(w, GetParam()));
+  EXPECT_TRUE(ref == apps::ray_rot_ompss(w, GetParam()));
+}
+
+TEST_P(ChainedThreadTest, RayRotAgreesUnderEveryScheduler) {
+  const auto w = apps::RayRotWorkload::make(Scale::Tiny);
+  const img::Image ref = apps::ray_rot_seq(w);
+  for (auto policy :
+       {oss::SchedulerPolicy::Fifo, oss::SchedulerPolicy::Locality,
+        oss::SchedulerPolicy::WorkStealing}) {
+    EXPECT_TRUE(ref == apps::ray_rot_ompss_with_policy(w, GetParam(), policy))
+        << oss::to_string(policy);
+  }
+}
+
+TEST_P(ChainedThreadTest, RotCcVariantsAgreeExactly) {
+  const auto w = apps::RotCcWorkload::make(Scale::Tiny);
+  const img::Image ref = apps::rot_cc_seq(w);
+  EXPECT_TRUE(ref == apps::rot_cc_pthreads(w, GetParam()));
+  EXPECT_TRUE(ref == apps::rot_cc_ompss(w, GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ChainedThreadTest,
+                         ::testing::Values(std::size_t{1}, std::size_t{2},
+                                           std::size_t{4}),
+                         [](const auto& info) {
+                           return "t" + std::to_string(info.param);
+                         });
+
+TEST(RotateSourceBand, CoversEveryPixelTheKernelSamples) {
+  // Property check of the dependency math: for each destination block, the
+  // declared band must contain every source row the inverse mapping visits.
+  const int w = 64, h = 48;
+  for (double deg : {0.0, 5.0, 8.0, -12.0, 30.0}) {
+    const auto spec = img::RotateSpec::degrees(deg);
+    const double c = std::cos(spec.angle_rad);
+    const double s = std::sin(spec.angle_rad);
+    const double cx = 0.5 * (w - 1);
+    const double cy = 0.5 * (h - 1);
+    for (int lo = 0; lo < h; lo += 8) {
+      const int hi = std::min(h, lo + 8);
+      const auto [band_lo, band_hi] = apps::rotate_source_band(spec, w, h, lo, hi);
+      for (int y = lo; y < hi; ++y) {
+        for (int x = 0; x < w; ++x) {
+          const double sy = -s * (x - cx) + c * (y - cy) + cy;
+          const int y0 = static_cast<int>(std::floor(sy));
+          // Bilinear touches y0 and y0+1; only in-frame rows matter.
+          for (int yy : {y0, y0 + 1}) {
+            if (yy < 0 || yy >= h) continue;
+            ASSERT_GE(yy, band_lo) << "deg=" << deg << " block=" << lo;
+            ASSERT_LT(yy, band_hi) << "deg=" << deg << " block=" << lo;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(RotateSourceBand, SmallAngleBandsAreNarrow) {
+  const auto spec = img::RotateSpec::degrees(2.0);
+  const auto [lo, hi] = apps::rotate_source_band(spec, 64, 512, 256, 264);
+  // A 2° rotation of an 8-row block must not need the whole image.
+  EXPECT_GT(hi - lo, 7);
+  EXPECT_LT(hi - lo, 40);
+}
+
+} // namespace

@@ -1,0 +1,83 @@
+// Variant-equivalence tests for kmeans, streamcluster, and bodytrack.
+// All three are designed deterministic (counter-based RNG, fixed reduction
+// order), so exact equality across variants and thread counts is required.
+#include "apps/apps.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using benchcore::Scale;
+
+class ComplexThreadTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ComplexThreadTest, KmeansVariantsAgree) {
+  const auto w = apps::KmeansWorkload::make(Scale::Tiny);
+  const auto ref = apps::kmeans_app_seq(w);
+  const auto pth = apps::kmeans_app_pthreads(w, GetParam());
+  const auto oss_res = apps::kmeans_app_ompss(w, GetParam());
+
+  EXPECT_EQ(ref.assignment, pth.assignment);
+  EXPECT_EQ(ref.assignment, oss_res.assignment);
+  ASSERT_EQ(ref.centroids.size(), pth.centroids.size());
+  for (std::size_t i = 0; i < ref.centroids.size(); ++i) {
+    // Partial sums are doubles merged in block order; tiny float noise only.
+    EXPECT_NEAR(ref.centroids[i], pth.centroids[i], 1e-4f) << i;
+    EXPECT_NEAR(ref.centroids[i], oss_res.centroids[i], 1e-4f) << i;
+  }
+  EXPECT_NEAR(ref.inertia, pth.inertia, 1e-6 * (1.0 + ref.inertia));
+  EXPECT_NEAR(ref.inertia, oss_res.inertia, 1e-6 * (1.0 + ref.inertia));
+  EXPECT_EQ(ref.iterations, oss_res.iterations);
+}
+
+TEST_P(ComplexThreadTest, StreamclusterVariantsAgree) {
+  const auto w = apps::StreamclusterWorkload::make(Scale::Tiny);
+  const auto ref = apps::streamcluster_app_seq(w);
+  const auto pth = apps::streamcluster_app_pthreads(w, GetParam());
+  const auto oss_res = apps::streamcluster_app_ompss(w, GetParam());
+
+  EXPECT_EQ(ref.centers, pth.centers);
+  EXPECT_EQ(ref.centers, oss_res.centers);
+  EXPECT_EQ(ref.assignment, pth.assignment);
+  EXPECT_EQ(ref.assignment, oss_res.assignment);
+  EXPECT_NEAR(ref.total_cost(), pth.total_cost(), 1e-6 * (1.0 + ref.total_cost()));
+  EXPECT_NEAR(ref.total_cost(), oss_res.total_cost(),
+              1e-6 * (1.0 + ref.total_cost()));
+}
+
+TEST_P(ComplexThreadTest, BodytrackVariantsAgreeExactly) {
+  const auto w = apps::BodytrackWorkload::make(Scale::Tiny);
+  const auto ref = apps::bodytrack_seq(w);
+  const auto pth = apps::bodytrack_pthreads(w, GetParam());
+  const auto oss_res = apps::bodytrack_ompss(w, GetParam());
+  ASSERT_EQ(ref.size(), pth.size());
+  ASSERT_EQ(ref.size(), oss_res.size());
+  for (std::size_t f = 0; f < ref.size(); ++f) {
+    EXPECT_FLOAT_EQ(ref[f].distance(pth[f]), 0.f) << "frame " << f;
+    EXPECT_FLOAT_EQ(ref[f].distance(oss_res[f]), 0.f) << "frame " << f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ComplexThreadTest,
+                         ::testing::Values(std::size_t{1}, std::size_t{2},
+                                           std::size_t{4}),
+                         [](const auto& info) {
+                           return "t" + std::to_string(info.param);
+                         });
+
+TEST(ComplexApps, BodytrackEstimatesTrackTruth) {
+  const auto w = apps::BodytrackWorkload::make(Scale::Tiny);
+  const auto estimates = apps::bodytrack_seq(w);
+  const auto truth =
+      tracking::ground_truth_pose(w.frames - 1, w.width, w.height);
+  EXPECT_NEAR(estimates.back().q[0], truth.q[0], 15.0);
+}
+
+TEST(ComplexApps, StreamclusterFindsPlausibleCenterCount) {
+  const auto w = apps::StreamclusterWorkload::make(Scale::Tiny);
+  const auto sol = apps::streamcluster_app_seq(w);
+  EXPECT_GE(sol.centers.size(), 2u);
+  EXPECT_LT(sol.centers.size(), w.points.count / 4);
+}
+
+} // namespace

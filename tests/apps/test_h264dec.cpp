@@ -1,0 +1,64 @@
+// h264dec variant equivalence: all three decoders must reproduce the
+// encoder's reconstruction checksums exactly, across thread counts, pipeline
+// depths, and task-grouping factors (the Listing 1 semantics).
+#include "apps/apps.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using benchcore::Scale;
+
+class H264ThreadTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(H264ThreadTest, AllVariantsMatchEncoderReconstruction) {
+  const auto w = apps::H264Workload::make(Scale::Tiny);
+  ASSERT_FALSE(w.expected_checksums.empty());
+
+  EXPECT_EQ(apps::h264dec_seq(w), w.expected_checksums);
+  EXPECT_EQ(apps::h264dec_pthreads(w, GetParam()), w.expected_checksums);
+  EXPECT_EQ(apps::h264dec_pthreads_pipeline(w, GetParam()), w.expected_checksums);
+  EXPECT_EQ(apps::h264dec_ompss(w, GetParam()), w.expected_checksums);
+}
+
+TEST_P(H264ThreadTest, GroupingFactorsPreserveCorrectness) {
+  const auto w = apps::H264Workload::make(Scale::Tiny);
+  for (int group : {1, 2, 3, 8}) {
+    EXPECT_EQ(apps::h264dec_ompss_grouped(w, GetParam(), group),
+              w.expected_checksums)
+        << "group=" << group;
+  }
+}
+
+TEST_P(H264ThreadTest, PipelineDepthsPreserveCorrectness) {
+  auto w = apps::H264Workload::make(Scale::Tiny);
+  for (int depth : {2, 3, 6}) {
+    w.pipeline_depth = depth;
+    EXPECT_EQ(apps::h264dec_ompss(w, GetParam()), w.expected_checksums)
+        << "depth=" << depth;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, H264ThreadTest,
+                         ::testing::Values(std::size_t{1}, std::size_t{2},
+                                           std::size_t{4}),
+                         [](const auto& info) {
+                           return "t" + std::to_string(info.param);
+                         });
+
+TEST(H264Workload, StreamShapeIsSane) {
+  const auto w = apps::H264Workload::make(Scale::Tiny);
+  EXPECT_EQ(w.video.frames.size(), w.expected_checksums.size());
+  EXPECT_GT(w.video.total_bytes(), 100u);
+  EXPECT_EQ(w.video.width % 16, 0);
+  EXPECT_EQ(w.video.height % 16, 0);
+}
+
+TEST(H264Workload, RepeatedDecodesAreIdempotent) {
+  const auto w = apps::H264Workload::make(Scale::Tiny);
+  const auto first = apps::h264dec_ompss(w, 2);
+  const auto second = apps::h264dec_ompss(w, 2);
+  EXPECT_EQ(first, second);
+}
+
+} // namespace

@@ -1,0 +1,74 @@
+// Variant-equivalence tests for the kernel benchmarks (c-ray, rotate,
+// rgbcmy, md5): Pthreads and OmpSs variants must produce results identical
+// to the sequential reference at every thread count — the comparability
+// requirement of the paper's methodology.
+#include "apps/apps.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using benchcore::Scale;
+
+class ThreadCountTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ThreadCountTest, CRayVariantsAgreeExactly) {
+  const auto w = apps::CRayWorkload::make(Scale::Tiny);
+  const img::Image ref = apps::c_ray_seq(w);
+  EXPECT_TRUE(ref == apps::c_ray_pthreads(w, GetParam()));
+  EXPECT_TRUE(ref == apps::c_ray_ompss(w, GetParam()));
+}
+
+TEST_P(ThreadCountTest, RotateVariantsAgreeExactly) {
+  const auto w = apps::RotateWorkload::make(Scale::Tiny);
+  const img::Image ref = apps::rotate_seq(w);
+  EXPECT_TRUE(ref == apps::rotate_pthreads(w, GetParam()));
+  EXPECT_TRUE(ref == apps::rotate_ompss(w, GetParam()));
+}
+
+TEST_P(ThreadCountTest, RgbcmyVariantsAgreeExactly) {
+  const auto w = apps::RgbcmyWorkload::make(Scale::Tiny);
+  const img::Image ref = apps::rgbcmy_seq(w);
+  EXPECT_TRUE(ref == apps::rgbcmy_pthreads(w, GetParam()));
+  EXPECT_TRUE(ref == apps::rgbcmy_ompss(w, GetParam()));
+}
+
+TEST_P(ThreadCountTest, RgbcmyBlockingBarrierVariantAgrees) {
+  const auto w = apps::RgbcmyWorkload::make(Scale::Tiny);
+  const img::Image ref = apps::rgbcmy_seq(w);
+  EXPECT_TRUE(ref == apps::rgbcmy_ompss_with_policy(w, GetParam(), false));
+}
+
+TEST_P(ThreadCountTest, Md5VariantsAgreeExactly) {
+  const auto w = apps::Md5Workload::make(Scale::Tiny);
+  const auto ref = apps::md5_seq(w);
+  EXPECT_EQ(ref, apps::md5_pthreads(w, GetParam()));
+  EXPECT_EQ(ref, apps::md5_ompss(w, GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadCountTest,
+                         ::testing::Values(std::size_t{1}, std::size_t{2},
+                                           std::size_t{4}),
+                         [](const auto& info) {
+                           return "t" + std::to_string(info.param);
+                         });
+
+TEST(KernelWorkloads, ScalesGrowMonotonically) {
+  const auto tiny = apps::CRayWorkload::make(Scale::Tiny);
+  const auto small = apps::CRayWorkload::make(Scale::Small);
+  EXPECT_LT(tiny.width * tiny.height, small.width * small.height);
+
+  const auto mt = apps::Md5Workload::make(Scale::Tiny);
+  const auto ms = apps::Md5Workload::make(Scale::Small);
+  EXPECT_LT(mt.buffers.size(), ms.buffers.size());
+}
+
+TEST(KernelWorkloads, Md5DigestsAreDistinctAcrossBuffers) {
+  const auto w = apps::Md5Workload::make(Scale::Tiny);
+  const auto digests = apps::md5_seq(w);
+  for (std::size_t i = 1; i < digests.size(); ++i) {
+    EXPECT_FALSE(digests[i] == digests[0]);
+  }
+}
+
+} // namespace

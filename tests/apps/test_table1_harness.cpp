@@ -1,0 +1,69 @@
+// End-to-end integration of the Table 1 harness over real benchmarks:
+// wires actual VariantSets (as bench/table1.cpp does) and checks the
+// measured rows are structurally sound.
+#include "apps/apps.hpp"
+#include "bench_core/bench_core.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using benchcore::Scale;
+using benchcore::SpeedupRow;
+using benchcore::Table1Harness;
+using benchcore::VariantSet;
+
+TEST(Table1Integration, MeasuresRealBenchmarksEndToEnd) {
+  const auto rot = apps::RotateWorkload::make(Scale::Tiny);
+  const auto md5w = apps::Md5Workload::make(Scale::Tiny);
+
+  Table1Harness h({1, 2}, 1);
+  h.add({"rotate", [&] { apps::rotate_seq(rot); },
+         [&](std::size_t n) { apps::rotate_pthreads(rot, n); },
+         [&](std::size_t n) { apps::rotate_ompss(rot, n); }});
+  h.add({"md5", [&] { apps::md5_seq(md5w); },
+         [&](std::size_t n) { apps::md5_pthreads(md5w, n); },
+         [&](std::size_t n) { apps::md5_ompss(md5w, n); }});
+
+  ASSERT_EQ(h.names().size(), 2u);
+  EXPECT_EQ(h.names()[0], "rotate");
+
+  std::vector<SpeedupRow> rows;
+  const std::string table = h.render_all({}, &rows);
+
+  ASSERT_EQ(rows.size(), 2u);
+  for (const auto& r : rows) {
+    ASSERT_EQ(r.speedup.size(), 2u) << r.name;
+    for (std::size_t i = 0; i < r.speedup.size(); ++i) {
+      EXPECT_GT(r.pthreads_seconds[i], 0.0) << r.name;
+      EXPECT_GT(r.ompss_seconds[i], 0.0) << r.name;
+      EXPECT_GT(r.speedup[i], 0.05) << r.name << " col " << i;
+      EXPECT_LT(r.speedup[i], 20.0) << r.name << " col " << i;
+      EXPECT_NEAR(r.speedup[i], r.pthreads_seconds[i] / r.ompss_seconds[i],
+                  1e-12);
+    }
+    EXPECT_GT(r.mean, 0.0);
+  }
+
+  // The rendered table contains the benchmark rows and the Mean row.
+  EXPECT_NE(table.find("rotate"), std::string::npos);
+  EXPECT_NE(table.find("md5"), std::string::npos);
+  EXPECT_NE(table.find("Mean"), std::string::npos);
+}
+
+TEST(Table1Integration, AllTenWorkloadFactoriesConstructAtTinyScale) {
+  // Every benchmark's workload factory must produce a valid input set —
+  // the precondition for bench/table1 registering all 10 rows.
+  EXPECT_GT(apps::CRayWorkload::make(Scale::Tiny).height, 0);
+  EXPECT_GT(apps::RotateWorkload::make(Scale::Tiny).src.height(), 0);
+  EXPECT_GT(apps::RgbcmyWorkload::make(Scale::Tiny).iters, 0);
+  EXPECT_FALSE(apps::Md5Workload::make(Scale::Tiny).buffers.empty());
+  EXPECT_GT(apps::KmeansWorkload::make(Scale::Tiny).points.count, 0u);
+  EXPECT_GT(apps::RayRotWorkload::make(Scale::Tiny).height, 0);
+  EXPECT_GT(apps::RotCcWorkload::make(Scale::Tiny).src.height(), 0);
+  EXPECT_GT(apps::StreamclusterWorkload::make(Scale::Tiny).points.count, 0u);
+  EXPECT_GT(apps::BodytrackWorkload::make(Scale::Tiny).frames, 0);
+  EXPECT_FALSE(apps::H264Workload::make(Scale::Tiny).video.frames.empty());
+}
+
+} // namespace

@@ -1,0 +1,65 @@
+#include "bench_core/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+using benchcore::Args;
+
+Args make(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v{"prog"};
+  v.insert(v.end(), argv.begin(), argv.end());
+  return Args(static_cast<int>(v.size()), v.data());
+}
+
+TEST(Args, ParsesKeyValueAndFlags) {
+  const Args a = make({"--reps=5", "--verbose", "positional"});
+  EXPECT_TRUE(a.has("reps"));
+  EXPECT_TRUE(a.has("verbose"));
+  EXPECT_FALSE(a.has("missing"));
+  EXPECT_EQ(a.get("reps"), "5");
+  EXPECT_EQ(a.get_long("reps", 1), 5);
+  ASSERT_EQ(a.positional().size(), 1u);
+  EXPECT_EQ(a.positional()[0], "positional");
+}
+
+TEST(Args, DefaultsWhenAbsent) {
+  const Args a = make({});
+  EXPECT_EQ(a.get("scale", "small"), "small");
+  EXPECT_EQ(a.get_long("reps", 3), 3);
+  EXPECT_DOUBLE_EQ(a.get_double("factor", 1.5), 1.5);
+}
+
+TEST(Args, ParsesLists) {
+  const Args a = make({"--cores=1,8,16,24,32", "--only=c-ray,md5"});
+  const auto cores = a.get_sizes("cores");
+  ASSERT_EQ(cores.size(), 5u);
+  EXPECT_EQ(cores[0], 1u);
+  EXPECT_EQ(cores[4], 32u);
+  const auto only = a.get_list("only");
+  ASSERT_EQ(only.size(), 2u);
+  EXPECT_EQ(only[0], "c-ray");
+  EXPECT_EQ(only[1], "md5");
+}
+
+TEST(Args, ListFallbacks) {
+  const Args a = make({});
+  const auto cores = a.get_sizes("cores", {1, 2});
+  ASSERT_EQ(cores.size(), 2u);
+  EXPECT_EQ(cores[1], 2u);
+}
+
+TEST(Args, MalformedNumbersThrow) {
+  const Args a = make({"--reps=abc", "--cores=1,x"});
+  EXPECT_THROW(a.get_long("reps", 1), std::invalid_argument);
+  EXPECT_THROW(a.get_sizes("cores"), std::invalid_argument);
+}
+
+TEST(Args, DoubleParsing) {
+  const Args a = make({"--factor=2.75"});
+  EXPECT_DOUBLE_EQ(a.get_double("factor", 0.0), 2.75);
+}
+
+} // namespace

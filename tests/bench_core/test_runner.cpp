@@ -1,0 +1,96 @@
+#include "bench_core/runner.hpp"
+#include "bench_core/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace {
+
+using namespace benchcore;
+
+TEST(Runner, MeasureMedianReturnsPlausibleTime) {
+  const double t = measure_median_seconds(
+      [] { std::this_thread::sleep_for(std::chrono::milliseconds(5)); }, 3);
+  EXPECT_GE(t, 0.004);
+  EXPECT_LT(t, 0.5);
+}
+
+TEST(Runner, ZeroRepsClampedToOne) {
+  int calls = 0;
+  measure_median_seconds([&] { calls++; }, 0);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Table1Harness, SpeedupShapeReflectsVariantCosts) {
+  // Synthetic benchmark where the "Pthreads" variant takes ~2x the time of
+  // the "OmpSs" variant: the speedup must come out well above 1.
+  Table1Harness h({1, 2}, 3);
+  VariantSet v;
+  v.name = "synthetic";
+  v.pthreads = [](std::size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  };
+  v.ompss = [](std::size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  };
+  const SpeedupRow row = h.measure(v);
+  ASSERT_EQ(row.speedup.size(), 2u);
+  for (double s : row.speedup) EXPECT_GT(s, 1.3);
+  EXPECT_GT(row.mean, 1.3);
+}
+
+TEST(Table1Harness, RenderAllProducesPaperShapedTable) {
+  Table1Harness h({1, 2}, 1);
+  for (const char* name : {"alpha", "beta"}) {
+    VariantSet v;
+    v.name = name;
+    v.pthreads = [](std::size_t) {};
+    v.ompss = [](std::size_t) {};
+    h.add(std::move(v));
+  }
+  std::vector<SpeedupRow> rows;
+  const std::string table = h.render_all({}, &rows);
+  EXPECT_EQ(rows.size(), 2u);
+  EXPECT_NE(table.find("Benchmark"), std::string::npos);
+  EXPECT_NE(table.find("alpha"), std::string::npos);
+  EXPECT_NE(table.find("Mean"), std::string::npos);
+}
+
+TEST(Table1Harness, OnlyFilterSelectsSubset) {
+  Table1Harness h({1}, 1);
+  for (const char* name : {"alpha", "beta", "gamma"}) {
+    VariantSet v;
+    v.name = name;
+    v.pthreads = [](std::size_t) {};
+    v.ompss = [](std::size_t) {};
+    h.add(std::move(v));
+  }
+  std::vector<SpeedupRow> rows;
+  h.render_all({"beta"}, &rows);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].name, "beta");
+}
+
+TEST(Table1Harness, RequiresCoreCounts) {
+  EXPECT_THROW(Table1Harness({}, 1), std::invalid_argument);
+}
+
+TEST(Workload, ScaleParsingRoundTrips) {
+  EXPECT_EQ(parse_scale("tiny"), Scale::Tiny);
+  EXPECT_EQ(parse_scale("small"), Scale::Small);
+  EXPECT_EQ(parse_scale("medium"), Scale::Medium);
+  EXPECT_EQ(parse_scale("large"), Scale::Large);
+  EXPECT_THROW(parse_scale("huge"), std::invalid_argument);
+  EXPECT_STREQ(to_string(Scale::Medium), "medium");
+}
+
+TEST(Workload, ByScaleSelects) {
+  EXPECT_EQ(by_scale(Scale::Tiny, 1, 2, 3, 4), 1);
+  EXPECT_EQ(by_scale(Scale::Small, 1, 2, 3, 4), 2);
+  EXPECT_EQ(by_scale(Scale::Medium, 1, 2, 3, 4), 3);
+  EXPECT_EQ(by_scale(Scale::Large, 1, 2, 3, 4), 4);
+}
+
+} // namespace

@@ -1,0 +1,50 @@
+#include "bench_core/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace benchcore;
+
+TEST(Statistics, MeanOfKnownValues) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(mean({5}), 5.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Statistics, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(median({7}), 7.0);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Statistics, MedianDoesNotRequireSortedInput) {
+  EXPECT_DOUBLE_EQ(median({9, 1, 5, 2, 8}), 5.0);
+}
+
+TEST(Statistics, StddevSampleFormula) {
+  // Sample stddev of {2,4,4,4,5,5,7,9} is 2.138... (divide by n-1).
+  const double s = stddev({2, 4, 4, 4, 5, 5, 7, 9});
+  EXPECT_NEAR(s, 2.13809, 1e-4);
+  EXPECT_DOUBLE_EQ(stddev({42}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+}
+
+TEST(Statistics, GeomeanMatchesPaperStyleAggregation) {
+  EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+  EXPECT_NEAR(geomean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+  // Speedup 2x and slowdown 0.5x must cancel (the reason the paper uses
+  // geometric means).
+  EXPECT_NEAR(geomean({2.0, 0.5}), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Statistics, Minimum) {
+  EXPECT_DOUBLE_EQ(minimum({3, 1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(minimum({}), 0.0);
+}
+
+} // namespace

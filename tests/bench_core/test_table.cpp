@@ -1,0 +1,65 @@
+#include "bench_core/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+using benchcore::TextTable;
+
+TEST(TextTable, RendersHeaderRuleAndRows) {
+  TextTable t;
+  t.set_header({"Benchmark", "1", "8", "Mean"});
+  t.add_row("c-ray", {1.03, 1.11, 1.10});
+  t.add_row("md5", {1.00, 1.02, 1.06});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Benchmark"), std::string::npos);
+  EXPECT_NE(out.find("c-ray"), std::string::npos);
+  EXPECT_NE(out.find("1.03"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, RejectsMismatchedRowWidth) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, NumbersUseFixedPrecision) {
+  EXPECT_EQ(TextTable::fmt(1.2345, 2), "1.23");
+  EXPECT_EQ(TextTable::fmt(2.0, 2), "2.00");
+  EXPECT_EQ(TextTable::fmt(0.5, 3), "0.500");
+}
+
+TEST(TextTable, ColumnsAlign) {
+  TextTable t;
+  t.set_header({"Name", "X"});
+  t.add_row("short", {1.0});
+  t.add_row("a-much-longer-name", {2.0});
+  const std::string out = t.render();
+  // Both data lines must have equal length (alignment check).
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : out) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_EQ(lines[2].size(), lines[3].size());
+}
+
+TEST(TextTable, IndentPrefixesEveryLine) {
+  TextTable t;
+  t.set_header({"H"});
+  t.add_row({"v"});
+  const std::string out = t.render(4);
+  EXPECT_EQ(out.rfind("    H", 0), 0u);
+}
+
+} // namespace

@@ -1,0 +1,86 @@
+#include "cluster/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+using namespace cluster;
+
+TEST(Kmeans, RecoversWellSeparatedBlobs) {
+  const PointSet ps = make_blobs(600, 2, 3, 11, 0.01f);
+  const KmeansResult res = kmeans_seq(ps, 3, 10);
+  // Every point must be close to its assigned centroid.
+  double worst = 0;
+  for (std::size_t i = 0; i < ps.count; ++i) {
+    const float d = dist2(ps.point(i), res.centroids.data() +
+                                           res.assignment[i] * ps.dim,
+                          ps.dim);
+    worst = std::max(worst, static_cast<double>(d));
+  }
+  EXPECT_LT(worst, 0.05);
+  EXPECT_EQ(res.iterations, 10);
+}
+
+TEST(Kmeans, InertiaDecreasesMonotonically) {
+  const PointSet ps = make_blobs(500, 4, 4, 3, 0.1f);
+  double prev = 1e300;
+  for (int iters = 1; iters <= 5; ++iters) {
+    const KmeansResult res = kmeans_seq(ps, 4, iters);
+    EXPECT_LE(res.inertia, prev + 1e-9) << "iters=" << iters;
+    prev = res.inertia;
+  }
+}
+
+TEST(Kmeans, AssignRangePartialsComposeToFullAssignment) {
+  const PointSet ps = make_blobs(200, 3, 4, 5);
+  const auto centroids = kmeans_init_centroids(ps, 4);
+
+  // Full pass.
+  std::vector<std::uint32_t> full(ps.count);
+  KmeansPartial pf;
+  pf.init(4, ps.dim);
+  const double inertia_full =
+      kmeans_assign_range(ps, centroids, 4, 0, ps.count, full.data(), pf);
+
+  // Split pass.
+  std::vector<std::uint32_t> split(ps.count);
+  KmeansPartial p1, p2;
+  p1.init(4, ps.dim);
+  p2.init(4, ps.dim);
+  const double i1 = kmeans_assign_range(ps, centroids, 4, 0, 120, split.data(), p1);
+  const double i2 =
+      kmeans_assign_range(ps, centroids, 4, 120, ps.count, split.data(), p2);
+  p1.merge(p2);
+
+  EXPECT_EQ(full, split);
+  EXPECT_NEAR(inertia_full, i1 + i2, 1e-9);
+  EXPECT_EQ(pf.counts, p1.counts);
+  for (std::size_t i = 0; i < pf.sums.size(); ++i) {
+    EXPECT_NEAR(pf.sums[i], p1.sums[i], 1e-9);
+  }
+}
+
+TEST(Kmeans, EmptyClusterKeepsPreviousCentroid) {
+  KmeansPartial merged;
+  merged.init(2, 2);
+  merged.counts[0] = 2;
+  merged.sums[0] = 4.0; // centroid 0 -> (2, 3)
+  merged.sums[1] = 6.0;
+  std::vector<float> centroids{9.f, 9.f, 5.f, 5.f};
+  kmeans_recompute(merged, 2, 2, centroids);
+  EXPECT_FLOAT_EQ(centroids[0], 2.f);
+  EXPECT_FLOAT_EQ(centroids[1], 3.f);
+  EXPECT_FLOAT_EQ(centroids[2], 5.f); // untouched: empty cluster
+  EXPECT_FLOAT_EQ(centroids[3], 5.f);
+}
+
+TEST(Kmeans, RejectsDegenerateInputs) {
+  PointSet empty;
+  EXPECT_THROW(kmeans_init_centroids(empty, 2), std::invalid_argument);
+  const PointSet ps = make_blobs(10, 2, 2, 1);
+  EXPECT_THROW(kmeans_init_centroids(ps, 0), std::invalid_argument);
+}
+
+} // namespace

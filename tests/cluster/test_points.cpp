@@ -1,0 +1,49 @@
+#include "cluster/points.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Points, Dist2KnownValues) {
+  const float a[3] = {0, 0, 0};
+  const float b[3] = {1, 2, 2};
+  EXPECT_FLOAT_EQ(cluster::dist2(a, b, 3), 9.f);
+  EXPECT_FLOAT_EQ(cluster::dist2(a, a, 3), 0.f);
+}
+
+TEST(Points, BlobsDeterministicAndShaped) {
+  const auto a = cluster::make_blobs(100, 4, 5, 42);
+  const auto b = cluster::make_blobs(100, 4, 5, 42);
+  EXPECT_EQ(a.coords, b.coords);
+  EXPECT_EQ(a.count, 100u);
+  EXPECT_EQ(a.dim, 4u);
+  EXPECT_EQ(a.coords.size(), 400u);
+}
+
+TEST(Points, BlobsClusterStructureIsTight) {
+  // Points i and i+5 share a blob (round-robin assignment with 5 clusters);
+  // their distance should usually be far smaller than across blobs.
+  const auto ps = cluster::make_blobs(1000, 8, 5, 7, 0.02f);
+  double same = 0, cross = 0;
+  int n = 0;
+  for (std::size_t i = 0; i + 6 < ps.count; i += 10, ++n) {
+    same += cluster::dist2(ps.point(i), ps.point(i + 5), ps.dim);
+    cross += cluster::dist2(ps.point(i), ps.point(i + 1), ps.dim);
+  }
+  EXPECT_LT(same / n, cross / n);
+}
+
+TEST(Points, UniformCoversUnitCube) {
+  const auto ps = cluster::make_uniform(2000, 3, 9);
+  float mn = 1e9f, mx = -1e9f;
+  for (float c : ps.coords) {
+    mn = std::min(mn, c);
+    mx = std::max(mx, c);
+  }
+  EXPECT_GE(mn, 0.f);
+  EXPECT_LT(mx, 1.f);
+  EXPECT_LT(mn, 0.05f); // actually spans the cube
+  EXPECT_GT(mx, 0.95f);
+}
+
+} // namespace

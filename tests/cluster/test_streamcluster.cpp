@@ -1,0 +1,108 @@
+#include "cluster/streamcluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+using namespace cluster;
+
+TEST(Streamcluster, InitialSolutionInvariants) {
+  const PointSet ps = make_blobs(300, 4, 6, 21);
+  const FacilitySolution sol = initial_solution(ps, ps.count, 0.5);
+  ASSERT_GE(sol.centers.size(), 1u);
+  EXPECT_EQ(sol.assignment.size(), ps.count);
+  EXPECT_EQ(sol.dist.size(), ps.count);
+  // Every assignment index is a valid center; every center point has
+  // distance zero to itself.
+  for (std::size_t i = 0; i < ps.count; ++i) {
+    ASSERT_LT(sol.assignment[i], sol.centers.size());
+    EXPECT_LE(sol.dist[i], 0.5f + 1e-6f) << "open rule violated at " << i;
+  }
+  for (std::size_t c = 0; c < sol.centers.size(); ++c) {
+    EXPECT_EQ(sol.assignment[sol.centers[c]], c);
+    EXPECT_FLOAT_EQ(sol.dist[sol.centers[c]], 0.f);
+  }
+}
+
+TEST(Streamcluster, PGainPartialsCompose) {
+  const PointSet ps = make_blobs(200, 3, 4, 31);
+  const FacilitySolution sol = initial_solution(ps, ps.count, 0.4);
+  const std::size_t x = 17;
+
+  PGainPartial whole;
+  whole.init(sol.centers.size());
+  pgain_range(ps, sol, x, 0, ps.count, whole);
+
+  PGainPartial a, b;
+  a.init(sol.centers.size());
+  b.init(sol.centers.size());
+  pgain_range(ps, sol, x, 0, 100, a);
+  pgain_range(ps, sol, x, 100, ps.count, b);
+  a.merge(b);
+
+  EXPECT_NEAR(whole.switch_gain, a.switch_gain, 1e-9);
+  for (std::size_t c = 0; c < whole.center_extra.size(); ++c) {
+    EXPECT_NEAR(whole.center_extra[c], a.center_extra[c], 1e-9);
+  }
+}
+
+TEST(Streamcluster, ApplyingPositiveGainReducesTotalCost) {
+  const PointSet ps = make_blobs(400, 4, 5, 51, 0.15f);
+  FacilitySolution sol = initial_solution(ps, ps.count, 1.0);
+  for (std::size_t x : candidate_sequence(ps.count, 40, 7)) {
+    const double before = sol.total_cost();
+    PGainPartial p;
+    p.init(sol.centers.size());
+    pgain_range(ps, sol, x, 0, ps.count, p);
+    const double gain = pgain_apply(ps, sol, x, ps.count, p);
+    const double after = sol.total_cost();
+    if (gain > 0) {
+      EXPECT_LT(after, before + 1e-6)
+          << "positive gain must reduce cost (x=" << x << ")";
+      EXPECT_NEAR(before - after, gain, 1e-3 + 1e-6 * before);
+    } else {
+      EXPECT_NEAR(after, before, 1e-9);
+    }
+  }
+}
+
+TEST(Streamcluster, SolutionInvariantsHoldAfterLocalSearch) {
+  const PointSet ps = make_blobs(500, 3, 6, 61);
+  const FacilitySolution sol = streamcluster_seq(ps, 200, 0.3, 30, 5);
+  ASSERT_GE(sol.centers.size(), 1u);
+  for (std::size_t i = 0; i < ps.count; ++i) {
+    ASSERT_LT(sol.assignment[i], sol.centers.size());
+    // dist must equal the actual distance to the assigned center.
+    const float d = dist2(ps.point(i), ps.point(sol.centers[sol.assignment[i]]),
+                          ps.dim);
+    EXPECT_NEAR(sol.dist[i], d, 1e-4f) << "point " << i;
+  }
+}
+
+TEST(Streamcluster, ReopeningExistingCenterIsNoop) {
+  const PointSet ps = make_blobs(100, 2, 2, 71);
+  FacilitySolution sol = initial_solution(ps, ps.count, 0.5);
+  const std::size_t existing = sol.centers[0];
+  PGainPartial p;
+  p.init(sol.centers.size());
+  pgain_range(ps, sol, existing, 0, ps.count, p);
+  const double before = sol.total_cost();
+  EXPECT_DOUBLE_EQ(pgain_apply(ps, sol, existing, ps.count, p), 0.0);
+  EXPECT_DOUBLE_EQ(sol.total_cost(), before);
+}
+
+TEST(Streamcluster, CandidateSequenceDeterministicAndInRange) {
+  const auto a = candidate_sequence(50, 20, 3);
+  const auto b = candidate_sequence(50, 20, 3);
+  EXPECT_EQ(a, b);
+  for (std::size_t x : a) EXPECT_LT(x, 50u);
+}
+
+TEST(Streamcluster, RejectsZeroChunk) {
+  const PointSet ps = make_blobs(10, 2, 2, 1);
+  EXPECT_THROW(streamcluster_seq(ps, 0, 0.5, 5, 1), std::invalid_argument);
+}
+
+} // namespace

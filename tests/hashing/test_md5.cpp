@@ -1,0 +1,78 @@
+// MD5 against the RFC 1321 test suite plus streaming/boundary cases.
+#include "hashing/md5.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace {
+
+using hashing::md5;
+
+TEST(Md5, Rfc1321TestSuite) {
+  EXPECT_EQ(md5("").hex(), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(md5("a").hex(), "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(md5("abc").hex(), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(md5("message digest").hex(), "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(md5("abcdefghijklmnopqrstuvwxyz").hex(),
+            "c3fcd3d76192e4007dfb496cca67e13b");
+  EXPECT_EQ(
+      md5("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789").hex(),
+      "d174ab98d277d9f5a5611c2c9f419d9f");
+  EXPECT_EQ(md5("1234567890123456789012345678901234567890123456789012345678901234"
+                "5678901234567890")
+                .hex(),
+            "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5, StreamingMatchesOneShot) {
+  const std::string data(1000, 'x');
+  hashing::Md5 ctx;
+  // Uneven chunk sizes crossing the 64-byte block boundary repeatedly.
+  std::size_t pos = 0;
+  const std::size_t chunks[] = {1, 63, 64, 65, 7, 128, 300, 372};
+  for (std::size_t c : chunks) {
+    ctx.update(data.data() + pos, c);
+    pos += c;
+  }
+  ASSERT_EQ(pos, data.size());
+  EXPECT_EQ(ctx.finish().hex(), md5(data).hex());
+}
+
+TEST(Md5, BlockBoundaryLengths) {
+  // Lengths around the 56-byte padding threshold and 64-byte block size.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const std::string data(len, 'q');
+    hashing::Md5 a;
+    a.update(data.data(), len);
+    EXPECT_EQ(a.finish().hex(), md5(data).hex()) << "len=" << len;
+  }
+}
+
+TEST(Md5, ResetReusesContext) {
+  hashing::Md5 ctx;
+  ctx.update("junk", 4);
+  (void)ctx.finish();
+  ctx.reset();
+  ctx.update("abc", 3);
+  EXPECT_EQ(ctx.finish().hex(), "900150983cd24fb0d6963f7d28e17f72");
+}
+
+TEST(Md5, DigestEqualityOperator) {
+  EXPECT_TRUE(md5("same") == md5("same"));
+  EXPECT_FALSE(md5("same") == md5("different"));
+}
+
+TEST(Md5, WorkloadGeneratorIsDeterministic) {
+  const auto a = hashing::make_buffer_workload(4, 128, 7);
+  const auto b = hashing::make_buffer_workload(4, 128, 7);
+  const auto c = hashing::make_buffer_workload(4, 128, 8);
+  ASSERT_EQ(a.size(), 4u);
+  EXPECT_EQ(a[0].size(), 128u);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  // Buffers must differ from each other.
+  EXPECT_NE(a[0], a[1]);
+}
+
+} // namespace

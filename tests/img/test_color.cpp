@@ -1,0 +1,83 @@
+#include "img/color.hpp"
+#include "img/synth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+TEST(RgbCmyk, PrimaryColorsMapCorrectly) {
+  img::Image rgb(4, 1, 3);
+  // black, white, pure red, mid gray
+  auto set = [&](int x, int r, int g, int b) {
+    rgb.at(x, 0, 0) = static_cast<std::uint8_t>(r);
+    rgb.at(x, 0, 1) = static_cast<std::uint8_t>(g);
+    rgb.at(x, 0, 2) = static_cast<std::uint8_t>(b);
+  };
+  set(0, 0, 0, 0);
+  set(1, 255, 255, 255);
+  set(2, 255, 0, 0);
+  set(3, 128, 128, 128);
+
+  img::Image cmyk(4, 1, 4);
+  img::rgb_to_cmyk(rgb, cmyk);
+
+  // Black: K=255, CMY=0.
+  EXPECT_EQ(cmyk.at(0, 0, 3), 255);
+  EXPECT_EQ(cmyk.at(0, 0, 0), 0);
+  // White: all zero.
+  for (int c = 0; c < 4; ++c) EXPECT_EQ(cmyk.at(1, 0, c), 0);
+  // Red: C=0, M=Y=255, K=0.
+  EXPECT_EQ(cmyk.at(2, 0, 0), 0);
+  EXPECT_EQ(cmyk.at(2, 0, 1), 255);
+  EXPECT_EQ(cmyk.at(2, 0, 2), 255);
+  EXPECT_EQ(cmyk.at(2, 0, 3), 0);
+  // Gray: CMY=0, K=127.
+  EXPECT_EQ(cmyk.at(3, 0, 0), 0);
+  EXPECT_EQ(cmyk.at(3, 0, 3), 127);
+}
+
+TEST(RgbCmyk, RowRangeMatchesWholeImage) {
+  const img::Image rgb = img::make_test_rgb(24, 20, 7);
+  img::Image whole(24, 20, 4), pieces(24, 20, 4);
+  img::rgb_to_cmyk(rgb, whole);
+  img::rgb_to_cmyk_rows(rgb, pieces, 0, 7);
+  img::rgb_to_cmyk_rows(rgb, pieces, 7, 20);
+  EXPECT_TRUE(whole == pieces);
+}
+
+TEST(RgbCmyk, ShapeMismatchThrows) {
+  const img::Image rgb = img::make_test_rgb(8, 8, 1);
+  img::Image bad(8, 8, 3); // must be 4-channel
+  EXPECT_THROW(img::rgb_to_cmyk(rgb, bad), std::invalid_argument);
+}
+
+TEST(YCbCr, GrayIsChromaNeutral) {
+  img::Image rgb(1, 1, 3);
+  rgb.at(0, 0, 0) = rgb.at(0, 0, 1) = rgb.at(0, 0, 2) = 100;
+  img::Image ycc(1, 1, 3);
+  img::rgb_to_ycbcr(rgb, ycc);
+  EXPECT_NEAR(ycc.at(0, 0, 0), 100, 1); // Y == gray level
+  EXPECT_NEAR(ycc.at(0, 0, 1), 128, 1); // Cb neutral
+  EXPECT_NEAR(ycc.at(0, 0, 2), 128, 1); // Cr neutral
+}
+
+TEST(YCbCr, RoundTripIsNearlyLossless) {
+  const img::Image rgb = img::make_test_rgb(32, 32, 9);
+  img::Image ycc(32, 32, 3), back(32, 32, 3);
+  img::rgb_to_ycbcr(rgb, ycc);
+  img::ycbcr_to_rgb(ycc, back);
+  EXPECT_LE(img::max_abs_diff(rgb, back), 3); // fixed-point rounding
+}
+
+TEST(YCbCr, RowRangeMatchesWholeImage) {
+  const img::Image rgb = img::make_test_rgb(16, 18, 3);
+  img::Image whole(16, 18, 3), pieces(16, 18, 3);
+  img::rgb_to_ycbcr(rgb, whole);
+  img::rgb_to_ycbcr_rows(rgb, pieces, 0, 5);
+  img::rgb_to_ycbcr_rows(rgb, pieces, 5, 18);
+  EXPECT_TRUE(whole == pieces);
+}
+
+} // namespace

@@ -1,0 +1,83 @@
+#include "img/image.hpp"
+#include "img/synth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+TEST(Image, ConstructionAndAccessors) {
+  img::Image im(10, 6, 3);
+  EXPECT_EQ(im.width(), 10);
+  EXPECT_EQ(im.height(), 6);
+  EXPECT_EQ(im.channels(), 3);
+  EXPECT_EQ(im.stride(), 30u);
+  EXPECT_EQ(im.size_bytes(), 180u);
+  EXPECT_FALSE(im.empty());
+  EXPECT_EQ(im.at(5, 3, 1), 0); // zero-initialized
+}
+
+TEST(Image, InvalidDimensionsThrow) {
+  EXPECT_THROW(img::Image(-1, 4, 3), std::invalid_argument);
+  EXPECT_THROW(img::Image(4, 4, 0), std::invalid_argument);
+  EXPECT_THROW(img::Image(4, 4, 5), std::invalid_argument);
+}
+
+TEST(Image, AtWritesRoundTrip) {
+  img::Image im(4, 4, 3);
+  im.at(2, 1, 0) = 10;
+  im.at(2, 1, 2) = 77;
+  EXPECT_EQ(im.at(2, 1, 0), 10);
+  EXPECT_EQ(im.at(2, 1, 1), 0);
+  EXPECT_EQ(im.at(2, 1, 2), 77);
+  EXPECT_EQ(im.row(1)[2 * 3 + 2], 77);
+}
+
+TEST(Image, FillAndEquality) {
+  img::Image a(3, 3, 1);
+  img::Image b(3, 3, 1);
+  a.fill(9);
+  EXPECT_FALSE(a == b);
+  b.fill(9);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(Image, MaxAbsDiff) {
+  img::Image a(2, 2, 1), b(2, 2, 1);
+  EXPECT_EQ(img::max_abs_diff(a, b), 0);
+  b.at(1, 1) = 7;
+  EXPECT_EQ(img::max_abs_diff(a, b), 7);
+  img::Image c(3, 2, 1);
+  EXPECT_EQ(img::max_abs_diff(a, c), 256); // shape mismatch sentinel
+}
+
+TEST(Image, MismatchFraction) {
+  img::Image a(2, 2, 1), b(2, 2, 1);
+  EXPECT_DOUBLE_EQ(img::mismatch_fraction(a, b), 0.0);
+  b.at(0, 0) = 255;
+  EXPECT_DOUBLE_EQ(img::mismatch_fraction(a, b), 0.25);
+  EXPECT_DOUBLE_EQ(img::mismatch_fraction(a, b, 255), 0.0); // within tolerance
+}
+
+TEST(Synth, DeterministicForSameSeed) {
+  const img::Image a = img::make_test_rgb(32, 24, 5);
+  const img::Image b = img::make_test_rgb(32, 24, 5);
+  const img::Image c = img::make_test_rgb(32, 24, 6);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Synth, GrayHasOneChannel) {
+  const img::Image g = img::make_test_gray(16, 16);
+  EXPECT_EQ(g.channels(), 1);
+  // Must contain some variation, not a flat image.
+  int min = 255, max = 0;
+  for (std::size_t i = 0; i < g.size_bytes(); ++i) {
+    min = std::min<int>(min, g.data()[i]);
+    max = std::max<int>(max, g.data()[i]);
+  }
+  EXPECT_GT(max - min, 30);
+}
+
+} // namespace

@@ -1,0 +1,43 @@
+#include "img/ppm.hpp"
+#include "img/synth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(Ppm, RgbRoundTrip) {
+  const img::Image src = img::make_test_rgb(20, 14, 2);
+  const std::string path = temp_path("roundtrip.ppm");
+  img::write_pnm(src, path);
+  const img::Image back = img::read_pnm(path);
+  EXPECT_TRUE(src == back);
+  std::remove(path.c_str());
+}
+
+TEST(Ppm, GrayRoundTrip) {
+  const img::Image src = img::make_test_gray(15, 9, 4);
+  const std::string path = temp_path("roundtrip.pgm");
+  img::write_pnm(src, path);
+  const img::Image back = img::read_pnm(path);
+  EXPECT_TRUE(src == back);
+  std::remove(path.c_str());
+}
+
+TEST(Ppm, RejectsUnsupportedChannelCount) {
+  img::Image cmyk(4, 4, 4);
+  EXPECT_THROW(img::write_pnm(cmyk, temp_path("bad.ppm")), std::runtime_error);
+}
+
+TEST(Ppm, MissingFileThrows) {
+  EXPECT_THROW(img::read_pnm(temp_path("does_not_exist.ppm")), std::runtime_error);
+}
+
+} // namespace

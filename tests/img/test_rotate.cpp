@@ -1,0 +1,92 @@
+#include "img/rotate.hpp"
+#include "img/synth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+TEST(Rotate, ZeroAngleIsIdentityInsideFrame) {
+  const img::Image src = img::make_test_rgb(32, 32, 3);
+  img::Image dst(32, 32, 3);
+  img::rotate(src, dst, img::RotateSpec::degrees(0));
+  EXPECT_EQ(img::max_abs_diff(src, dst), 0);
+}
+
+TEST(Rotate, FourQuarterTurnsReturnNearIdentity) {
+  // 4 × 90° around the center: every interior pixel returns home
+  // (edges may be clipped by the frame).
+  const img::Image src = img::make_test_rgb(33, 33, 3); // odd: exact center
+  img::Image a(33, 33, 3), b(33, 33, 3);
+  const auto q = img::RotateSpec::degrees(90);
+  img::rotate(src, a, q);
+  img::rotate(a, b, q);
+  img::rotate(b, a, q);
+  img::rotate(a, b, q);
+  // Compare an interior window to avoid border clipping.
+  int worst = 0;
+  for (int y = 8; y < 25; ++y) {
+    for (int x = 8; x < 25; ++x) {
+      for (int c = 0; c < 3; ++c) {
+        worst = std::max(worst, std::abs(int(src.at(x, y, c)) - int(b.at(x, y, c))));
+      }
+    }
+  }
+  EXPECT_LE(worst, 2); // bilinear rounding only
+}
+
+TEST(Rotate, NinetyDegreesMapsAxesCorrectly) {
+  // A single bright pixel right of center must move above center under a
+  // +90° (counter-clockwise, y-down raster) rotation.
+  img::Image src(31, 31, 1);
+  src.at(25, 15) = 255; // 10 to the right of center (15,15)
+  img::Image dst(31, 31, 1);
+  img::rotate(src, dst, img::RotateSpec::degrees(90));
+  // Find the brightest output pixel.
+  int bx = -1, by = -1, best = -1;
+  for (int y = 0; y < 31; ++y) {
+    for (int x = 0; x < 31; ++x) {
+      if (dst.at(x, y) > best) {
+        best = dst.at(x, y);
+        bx = x;
+        by = y;
+      }
+    }
+  }
+  EXPECT_GT(best, 100);
+  EXPECT_EQ(bx, 15);
+  EXPECT_TRUE(by == 5 || by == 25) << "pixel must move onto the vertical axis, got y=" << by;
+}
+
+TEST(Rotate, RowRangeMatchesWholeImage) {
+  const img::Image src = img::make_test_rgb(40, 30, 3);
+  const auto spec = img::RotateSpec::degrees(33);
+  img::Image whole(40, 30, 3), pieces(40, 30, 3);
+  img::rotate(src, whole, spec);
+  img::rotate_rows(src, pieces, spec, 0, 10);
+  img::rotate_rows(src, pieces, spec, 10, 17);
+  img::rotate_rows(src, pieces, spec, 17, 30);
+  EXPECT_TRUE(whole == pieces);
+}
+
+TEST(Rotate, ShapeMismatchThrows) {
+  const img::Image src = img::make_test_rgb(8, 8, 3);
+  img::Image bad(8, 9, 3);
+  EXPECT_THROW(img::rotate(src, bad, img::RotateSpec::degrees(5)),
+               std::invalid_argument);
+}
+
+TEST(Rotate, LargeAngleFillsClippedCornersWithZero) {
+  img::Image src(16, 16, 1);
+  src.fill(200);
+  img::Image dst(16, 16, 1);
+  img::rotate(src, dst, img::RotateSpec::degrees(45));
+  // Corners rotate out of frame: destination corners sample outside → 0.
+  EXPECT_EQ(dst.at(0, 0), 0);
+  EXPECT_EQ(dst.at(15, 15), 0);
+  // Center remains covered.
+  EXPECT_NEAR(dst.at(8, 8), 200, 2);
+}
+
+} // namespace

@@ -1,0 +1,73 @@
+// Unit tests for oss::Access construction helpers and overlap logic.
+#include "ompss/access.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+namespace {
+
+TEST(Access, ModeNames) {
+  EXPECT_STREQ(oss::mode_name(oss::Mode::In), "in");
+  EXPECT_STREQ(oss::mode_name(oss::Mode::Out), "out");
+  EXPECT_STREQ(oss::mode_name(oss::Mode::InOut), "inout");
+}
+
+TEST(Access, ObjectHelpersCoverObjectRepresentation) {
+  double x = 0.0;
+  const oss::Access a = oss::in(x);
+  EXPECT_EQ(a.begin, reinterpret_cast<std::uintptr_t>(&x));
+  EXPECT_EQ(a.size(), sizeof(double));
+  EXPECT_EQ(a.mode, oss::Mode::In);
+
+  const oss::Access b = oss::out(x);
+  EXPECT_EQ(b.mode, oss::Mode::Out);
+  const oss::Access c = oss::inout(x);
+  EXPECT_EQ(c.mode, oss::Mode::InOut);
+}
+
+TEST(Access, PointerCountHelpersCoverElements) {
+  std::array<int, 16> buf{};
+  const oss::Access a = oss::in(buf.data(), 4);
+  EXPECT_EQ(a.size(), 4 * sizeof(int));
+  const oss::Access b = oss::out(buf.data() + 8, 8);
+  EXPECT_EQ(b.begin, reinterpret_cast<std::uintptr_t>(buf.data() + 8));
+  EXPECT_EQ(b.size(), 8 * sizeof(int));
+}
+
+TEST(Access, SpanHelpers) {
+  std::vector<float> v(10);
+  const oss::Access a = oss::inout(std::span<float>(v));
+  EXPECT_EQ(a.begin, reinterpret_cast<std::uintptr_t>(v.data()));
+  EXPECT_EQ(a.size(), 10 * sizeof(float));
+  EXPECT_EQ(a.mode, oss::Mode::InOut);
+}
+
+TEST(Access, OverlapDetection) {
+  char buf[100];
+  const oss::Access a = oss::region(buf, 50, oss::Mode::In);
+  const oss::Access b = oss::region(buf + 25, 50, oss::Mode::Out);
+  const oss::Access c = oss::region(buf + 50, 25, oss::Mode::In);
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_TRUE(b.overlaps(a));
+  EXPECT_FALSE(a.overlaps(c)); // [0,50) vs [50,75): half-open, adjacent
+  EXPECT_TRUE(b.overlaps(c));
+}
+
+TEST(Access, ZeroLengthIsEmptyAndOverlapsNothing) {
+  char buf[8];
+  const oss::Access z = oss::region(buf, 0, oss::Mode::InOut);
+  EXPECT_TRUE(z.empty());
+  const oss::Access a = oss::region(buf, 8, oss::Mode::In);
+  EXPECT_FALSE(z.overlaps(a));
+  EXPECT_FALSE(a.overlaps(z));
+}
+
+TEST(Access, DistinctObjectsDoNotOverlap) {
+  int x = 0, y = 0;
+  EXPECT_FALSE(oss::in(x).overlaps(oss::in(y)));
+}
+
+} // namespace

@@ -1,0 +1,101 @@
+// Unit tests for RuntimeConfig and environment parsing.
+#include "ompss/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+namespace {
+
+// RAII environment variable setter.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) old_ = old;
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (old_.has_value()) {
+      ::setenv(name_, old_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::optional<std::string> old_;
+};
+
+TEST(Config, PolicyNamesRoundTrip) {
+  using oss::SchedulerPolicy;
+  EXPECT_EQ(oss::parse_scheduler_policy("fifo"), SchedulerPolicy::Fifo);
+  EXPECT_EQ(oss::parse_scheduler_policy("locality"), SchedulerPolicy::Locality);
+  EXPECT_EQ(oss::parse_scheduler_policy("wsteal"), SchedulerPolicy::WorkStealing);
+  EXPECT_STREQ(oss::to_string(SchedulerPolicy::Fifo), "fifo");
+  EXPECT_STREQ(oss::to_string(SchedulerPolicy::Locality), "locality");
+  EXPECT_STREQ(oss::to_string(SchedulerPolicy::WorkStealing), "wsteal");
+}
+
+TEST(Config, WaitPolicyNamesRoundTrip) {
+  using oss::WaitPolicy;
+  EXPECT_EQ(oss::parse_wait_policy("poll"), WaitPolicy::Polling);
+  EXPECT_EQ(oss::parse_wait_policy("block"), WaitPolicy::Blocking);
+  EXPECT_STREQ(oss::to_string(WaitPolicy::Polling), "poll");
+  EXPECT_STREQ(oss::to_string(WaitPolicy::Blocking), "block");
+}
+
+TEST(Config, UnknownPolicyThrows) {
+  EXPECT_THROW(oss::parse_scheduler_policy("bogus"), std::invalid_argument);
+  EXPECT_THROW(oss::parse_wait_policy("bogus"), std::invalid_argument);
+}
+
+TEST(Config, ResolvedThreadsUsesHardwareWhenZero) {
+  oss::RuntimeConfig cfg;
+  cfg.num_threads = 0;
+  EXPECT_GE(cfg.resolved_threads(), 1u);
+  cfg.num_threads = 7;
+  EXPECT_EQ(cfg.resolved_threads(), 7u);
+}
+
+TEST(Config, FromEnvReadsAllKnobs) {
+  ScopedEnv e1("OSS_NUM_THREADS", "5");
+  ScopedEnv e2("OSS_SCHEDULER", "fifo");
+  ScopedEnv e3("OSS_BARRIER", "block");
+  ScopedEnv e4("OSS_SPIN_ROUNDS", "17");
+  ScopedEnv e5("OSS_RECORD_GRAPH", "1");
+  ScopedEnv e6("OSS_TRACE", "true");
+  const oss::RuntimeConfig cfg = oss::RuntimeConfig::from_env();
+  EXPECT_EQ(cfg.num_threads, 5u);
+  EXPECT_EQ(cfg.scheduler, oss::SchedulerPolicy::Fifo);
+  EXPECT_EQ(cfg.wait_policy, oss::WaitPolicy::Blocking);
+  EXPECT_EQ(cfg.spin_rounds, 17u);
+  EXPECT_TRUE(cfg.record_graph);
+  EXPECT_TRUE(cfg.record_trace);
+}
+
+TEST(Config, FromEnvRejectsMalformedValues) {
+  {
+    ScopedEnv e("OSS_NUM_THREADS", "abc");
+    EXPECT_THROW(oss::RuntimeConfig::from_env(), std::invalid_argument);
+  }
+  {
+    ScopedEnv e("OSS_NUM_THREADS", "0");
+    EXPECT_THROW(oss::RuntimeConfig::from_env(), std::invalid_argument);
+  }
+  {
+    ScopedEnv e("OSS_RECORD_GRAPH", "maybe");
+    EXPECT_THROW(oss::RuntimeConfig::from_env(), std::invalid_argument);
+  }
+}
+
+TEST(Config, WithThreadsFactory) {
+  const auto cfg = oss::RuntimeConfig::with_threads(3);
+  EXPECT_EQ(cfg.num_threads, 3u);
+  EXPECT_EQ(cfg.scheduler, oss::SchedulerPolicy::Locality); // default
+}
+
+} // namespace

@@ -1,0 +1,235 @@
+// Unit tests for the interval-map dependency domain: hazard discovery,
+// interval splitting, edge deduplication, and taskwait-on wait sets.
+#include "ompss/dep_domain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace {
+
+using oss::Access;
+using oss::AccessList;
+using oss::DepDomain;
+using oss::DepKind;
+using oss::Mode;
+using oss::Task;
+using oss::TaskPtr;
+
+struct EdgeRec {
+  std::uint64_t from;
+  std::uint64_t to;
+  DepKind kind;
+};
+
+class DepDomainTest : public ::testing::Test {
+ protected:
+  TaskPtr make_task(AccessList accesses) {
+    return std::make_shared<Task>(++next_id_, [] {}, std::move(accesses), ctx_,
+                                  "");
+  }
+
+  /// Registers and returns the edges discovered for this task.
+  std::vector<EdgeRec> reg(const TaskPtr& t) {
+    std::vector<EdgeRec> edges;
+    domain_.register_task(t, [&](const TaskPtr& f, const TaskPtr& to, DepKind k) {
+      edges.push_back({f->id(), to->id(), k});
+    });
+    return edges;
+  }
+
+  oss::ContextPtr ctx_ = std::make_shared<oss::TaskContext>();
+  DepDomain domain_;
+  std::uint64_t next_id_ = 0;
+  char buf_[256] = {};
+};
+
+TEST_F(DepDomainTest, FirstTouchHasNoEdges) {
+  auto t = make_task({oss::region(buf_, 16, Mode::InOut)});
+  EXPECT_TRUE(reg(t).empty());
+  EXPECT_EQ(t->preds, 0);
+  EXPECT_EQ(domain_.entry_count(), 1u);
+}
+
+TEST_F(DepDomainTest, ReadAfterWriteCreatesRawEdge) {
+  auto w = make_task({oss::region(buf_, 16, Mode::Out)});
+  reg(w);
+  auto r = make_task({oss::region(buf_, 16, Mode::In)});
+  auto edges = reg(r);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].from, w->id());
+  EXPECT_EQ(edges[0].to, r->id());
+  EXPECT_EQ(edges[0].kind, DepKind::Raw);
+  EXPECT_EQ(r->preds, 1);
+  ASSERT_EQ(w->successors.size(), 1u);
+  EXPECT_EQ(w->successors[0].get(), r.get());
+}
+
+TEST_F(DepDomainTest, WriteAfterReadCreatesWarEdges) {
+  auto r1 = make_task({oss::region(buf_, 16, Mode::In)});
+  auto r2 = make_task({oss::region(buf_, 16, Mode::In)});
+  reg(r1);
+  reg(r2);
+  EXPECT_EQ(r1->preds, 0);
+  EXPECT_EQ(r2->preds, 0); // concurrent readers
+  auto w = make_task({oss::region(buf_, 16, Mode::Out)});
+  auto edges = reg(w);
+  EXPECT_EQ(edges.size(), 2u);
+  EXPECT_EQ(w->preds, 2);
+  for (const auto& e : edges) EXPECT_EQ(e.kind, DepKind::War);
+}
+
+TEST_F(DepDomainTest, WriteAfterWriteCreatesWawEdge) {
+  auto w1 = make_task({oss::region(buf_, 16, Mode::Out)});
+  reg(w1);
+  auto w2 = make_task({oss::region(buf_, 16, Mode::Out)});
+  auto edges = reg(w2);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].kind, DepKind::Waw);
+}
+
+TEST_F(DepDomainTest, InOutCreatesBothDirections) {
+  auto a = make_task({oss::region(buf_, 16, Mode::InOut)});
+  reg(a);
+  auto b = make_task({oss::region(buf_, 16, Mode::InOut)});
+  auto edges = reg(b);
+  // a is both last writer (RAW/WAW) — deduplicated to one edge.
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(b->preds, 1);
+}
+
+TEST_F(DepDomainTest, DisjointRegionsAreIndependent) {
+  auto a = make_task({oss::region(buf_, 16, Mode::InOut)});
+  auto b = make_task({oss::region(buf_ + 16, 16, Mode::InOut)});
+  reg(a);
+  EXPECT_TRUE(reg(b).empty());
+  EXPECT_EQ(b->preds, 0);
+  EXPECT_EQ(domain_.entry_count(), 2u);
+}
+
+TEST_F(DepDomainTest, PartialOverlapSplitsIntervals) {
+  auto w = make_task({oss::region(buf_, 32, Mode::Out)});
+  reg(w);
+  // Reader of the second half only.
+  auto r = make_task({oss::region(buf_ + 16, 16, Mode::In)});
+  auto edges = reg(r);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].kind, DepKind::Raw);
+  // The original [0,32) entry must have been split.
+  EXPECT_EQ(domain_.entry_count(), 2u);
+
+  // A writer to the first half must depend on w (WAW) but NOT on r.
+  auto w2 = make_task({oss::region(buf_, 16, Mode::Out)});
+  auto edges2 = reg(w2);
+  ASSERT_EQ(edges2.size(), 1u);
+  EXPECT_EQ(edges2[0].from, w->id());
+  EXPECT_EQ(edges2[0].kind, DepKind::Waw);
+}
+
+TEST_F(DepDomainTest, SpanningAccessCollectsAllSubRangeHazards) {
+  auto w1 = make_task({oss::region(buf_, 8, Mode::Out)});
+  auto w2 = make_task({oss::region(buf_ + 8, 8, Mode::Out)});
+  reg(w1);
+  reg(w2);
+  auto r = make_task({oss::region(buf_, 16, Mode::In)});
+  auto edges = reg(r);
+  EXPECT_EQ(edges.size(), 2u);
+  EXPECT_EQ(r->preds, 2);
+}
+
+TEST_F(DepDomainTest, EdgesAreDeduplicatedPerProducer) {
+  // One producer writing two regions; one consumer reading both: one edge.
+  auto w = make_task({oss::region(buf_, 8, Mode::Out),
+                      oss::region(buf_ + 64, 8, Mode::Out)});
+  reg(w);
+  auto r = make_task({oss::region(buf_, 8, Mode::In),
+                      oss::region(buf_ + 64, 8, Mode::In)});
+  auto edges = reg(r);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(r->preds, 1);
+}
+
+TEST_F(DepDomainTest, FinishedProducersContributeNoEdges) {
+  auto w = make_task({oss::region(buf_, 16, Mode::Out)});
+  reg(w);
+  w->mark_finished();
+  auto r = make_task({oss::region(buf_, 16, Mode::In)});
+  EXPECT_TRUE(reg(r).empty());
+  EXPECT_EQ(r->preds, 0);
+}
+
+TEST_F(DepDomainTest, SelfDependencyIsIgnored) {
+  // A task reading and writing the same region through separate accesses
+  // must not depend on itself.
+  auto t = make_task({oss::region(buf_, 16, Mode::In),
+                      oss::region(buf_, 16, Mode::Out)});
+  EXPECT_TRUE(reg(t).empty());
+  EXPECT_EQ(t->preds, 0);
+}
+
+TEST_F(DepDomainTest, ZeroLengthAccessIsIgnored) {
+  auto w = make_task({oss::region(buf_, 0, Mode::Out)});
+  reg(w);
+  EXPECT_EQ(domain_.entry_count(), 0u);
+  auto r = make_task({oss::region(buf_, 16, Mode::In)});
+  EXPECT_TRUE(reg(r).empty());
+}
+
+TEST_F(DepDomainTest, WriterResetsReaderList) {
+  auto r1 = make_task({oss::region(buf_, 16, Mode::In)});
+  reg(r1);
+  auto w = make_task({oss::region(buf_, 16, Mode::Out)});
+  reg(w);
+  // A second writer depends only on w (WAW), not on the stale reader r1.
+  auto w2 = make_task({oss::region(buf_, 16, Mode::Out)});
+  auto edges = reg(w2);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].from, w->id());
+}
+
+TEST_F(DepDomainTest, CollectOverlappingFindsUnfinishedTasks) {
+  auto w = make_task({oss::region(buf_, 16, Mode::Out)});
+  auto r = make_task({oss::region(buf_, 16, Mode::In)});
+  auto other = make_task({oss::region(buf_ + 128, 16, Mode::Out)});
+  reg(w);
+  reg(r);
+  reg(other);
+
+  std::vector<TaskPtr> hits;
+  const auto base = reinterpret_cast<std::uintptr_t>(buf_);
+  domain_.collect_overlapping(base, base + 1, hits);
+  // w (last writer) and r (reader) overlap byte 0; `other` does not.
+  ASSERT_EQ(hits.size(), 2u);
+
+  hits.clear();
+  w->mark_finished();
+  r->mark_finished();
+  domain_.collect_overlapping(base, base + 1, hits);
+  EXPECT_TRUE(hits.empty());
+}
+
+TEST_F(DepDomainTest, CollectOverlappingEmptyRangeFindsNothing) {
+  auto w = make_task({oss::region(buf_, 16, Mode::Out)});
+  reg(w);
+  std::vector<TaskPtr> hits;
+  const auto base = reinterpret_cast<std::uintptr_t>(buf_);
+  domain_.collect_overlapping(base, base, hits);
+  EXPECT_TRUE(hits.empty());
+}
+
+TEST_F(DepDomainTest, ManyInterleavedWindowsMaintainConsistentEntryCount) {
+  // Sliding windows of 8 bytes with stride 4: forces repeated splitting.
+  std::vector<TaskPtr> tasks;
+  for (int i = 0; i + 8 <= 64; i += 4) {
+    auto t = make_task({oss::region(buf_ + i, 8, Mode::InOut)});
+    reg(t);
+    tasks.push_back(t);
+  }
+  // Each consecutive pair overlaps by 4 bytes → chain of dependencies.
+  for (std::size_t i = 1; i < tasks.size(); ++i) {
+    EXPECT_GE(tasks[i]->preds, 1) << "window " << i;
+  }
+}
+
+} // namespace

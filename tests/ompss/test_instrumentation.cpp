@@ -1,0 +1,99 @@
+// Stats counters, DOT graph export, and Chrome-trace export.
+#include "ompss/ompss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace {
+
+TEST(Stats, CountsSpawnedExecutedAndEdges) {
+  oss::Runtime rt(2);
+  int a = 0, b = 0;
+  rt.spawn({oss::out(a)}, [&] { a = 1; });          // no edge
+  rt.spawn({oss::in(a), oss::out(b)}, [&] { b = a; }); // 1 RAW
+  rt.spawn({oss::out(a)}, [&] { a = 2; });          // WAR vs reader + WAW vs writer
+  rt.taskwait();
+
+  const auto s = rt.stats();
+  EXPECT_EQ(s.tasks_spawned, 3u);
+  EXPECT_EQ(s.tasks_executed, 3u);
+  EXPECT_EQ(s.edges_raw, 1u);
+  // Task 3 vs task 1 (WAW) and vs task 2 (WAR) — but dedup may drop one if
+  // task 1 already finished when task 3 was spawned; so only bound it.
+  EXPECT_GE(s.edges_war + s.edges_waw, 0u);
+  EXPECT_EQ(s.taskwaits, 1u);
+  EXPECT_EQ(s.edges_total(), s.edges_raw + s.edges_war + s.edges_waw);
+}
+
+TEST(Stats, SnapshotToStringMentionsAllSections) {
+  oss::Runtime rt(2);
+  rt.spawn({}, [] {});
+  rt.taskwait();
+  const std::string text = rt.stats().to_string();
+  EXPECT_NE(text.find("tasks:"), std::string::npos);
+  EXPECT_NE(text.find("edges:"), std::string::npos);
+  EXPECT_NE(text.find("queue:"), std::string::npos);
+  EXPECT_NE(text.find("per-worker"), std::string::npos);
+}
+
+TEST(GraphExport, DisabledByDefault) {
+  oss::Runtime rt(2);
+  rt.spawn({}, [] {});
+  rt.taskwait();
+  EXPECT_TRUE(rt.export_graph_dot().empty());
+}
+
+TEST(GraphExport, RecordsNodesAndTypedEdges) {
+  oss::RuntimeConfig cfg = oss::RuntimeConfig::with_threads(1);
+  cfg.record_graph = true;
+  oss::Runtime rt(cfg);
+  int x = 0, y = 0;
+  rt.spawn({oss::out(x)}, [&] { x = 1; }, "produce");
+  rt.spawn({oss::in(x), oss::out(y)}, [&] { y = x; }, "consume");
+  rt.spawn({oss::out(x)}, [&] { x = 2; }, "overwrite");
+  rt.taskwait();
+
+  const std::string dot = rt.export_graph_dot();
+  EXPECT_NE(dot.find("digraph taskgraph"), std::string::npos);
+  EXPECT_NE(dot.find("produce"), std::string::npos);
+  EXPECT_NE(dot.find("consume"), std::string::npos);
+  EXPECT_NE(dot.find("RAW"), std::string::npos);
+  // With one thread nothing executed before registration, so WAR and WAW
+  // edges for "overwrite" must both be present.
+  EXPECT_NE(dot.find("WAR"), std::string::npos);
+  EXPECT_NE(dot.find("WAW"), std::string::npos);
+}
+
+TEST(GraphExport, DotEscapesQuotesInLabels) {
+  oss::GraphRecorder rec;
+  rec.add_node(1, "say \"hi\"");
+  const std::string dot = rec.to_dot();
+  EXPECT_NE(dot.find("\\\"hi\\\""), std::string::npos);
+}
+
+TEST(TraceExport, RecordsOneEventPerTask) {
+  oss::RuntimeConfig cfg = oss::RuntimeConfig::with_threads(2);
+  cfg.record_trace = true;
+  oss::Runtime rt(cfg);
+  for (int i = 0; i < 5; ++i) rt.spawn({}, [] {}, "work");
+  rt.taskwait();
+  const std::string json = rt.export_trace_json();
+  EXPECT_NE(json.find("traceEvents"), std::string::npos);
+  // 5 events, each with a "ph":"X" complete-event marker.
+  std::size_t count = 0, pos = 0;
+  while ((pos = json.find("\"ph\":\"X\"", pos)) != std::string::npos) {
+    ++count;
+    pos += 1;
+  }
+  EXPECT_EQ(count, 5u);
+}
+
+TEST(TraceExport, DisabledByDefault) {
+  oss::Runtime rt(2);
+  rt.spawn({}, [] {});
+  rt.taskwait();
+  EXPECT_TRUE(rt.export_trace_json().empty());
+}
+
+} // namespace

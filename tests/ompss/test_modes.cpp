@@ -1,0 +1,182 @@
+// Commutative and concurrent access modes (OmpSs `commutative` /
+// `concurrent` clauses): ordering against regular accesses, order-freedom
+// within a group, and mutual exclusion for commutative members.
+#include "ompss/ompss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace {
+
+TEST(Commutative, MembersAreMutuallyExclusive) {
+  oss::Runtime rt(4);
+  long counter = 0; // non-atomic: the exclusion lock must protect it
+  int region = 0;
+  constexpr int kTasks = 300;
+  for (int i = 0; i < kTasks; ++i) {
+    rt.spawn({oss::commutative(region)}, [&] { counter++; });
+  }
+  rt.taskwait();
+  EXPECT_EQ(counter, kTasks);
+}
+
+TEST(Commutative, NoOverlapObservedInsideGroup) {
+  oss::Runtime rt(4);
+  int region = 0;
+  std::atomic<int> inside{0};
+  std::atomic<bool> overlap{false};
+  for (int i = 0; i < 64; ++i) {
+    rt.spawn({oss::commutative(region)}, [&] {
+      if (inside.fetch_add(1) != 0) overlap = true;
+      for (int j = 0; j < 2000; ++j) { volatile int sink = j; (void)sink; }
+      inside.fetch_sub(1);
+    });
+  }
+  rt.taskwait();
+  EXPECT_FALSE(overlap.load());
+}
+
+TEST(Commutative, GroupMembersHaveNoMutualEdges) {
+  oss::Runtime rt(1); // nothing executes before we inspect stats
+  int region = 0;
+  rt.spawn({oss::commutative(region)}, [] {});
+  rt.spawn({oss::commutative(region)}, [] {});
+  rt.spawn({oss::commutative(region)}, [] {});
+  const auto stats = rt.stats();
+  EXPECT_EQ(stats.edges_total(), 0u) << "members must not depend on each other";
+  rt.taskwait();
+}
+
+TEST(Commutative, OrderedAgainstPriorWriterAndLaterReader) {
+  oss::Runtime rt(4);
+  long value = 0;
+  // Writer, then three commutative increments, then a reader: the reader
+  // must see all three applied on top of the write.
+  rt.spawn({oss::out(value)}, [&] {
+    for (int j = 0; j < 50000; ++j) { volatile int sink = j; (void)sink; }
+    value = 100;
+  });
+  for (int i = 0; i < 3; ++i) {
+    rt.spawn({oss::commutative(value)}, [&] { value += 1; });
+  }
+  long seen = -1;
+  rt.spawn({oss::in(value)}, [&] { seen = value; });
+  rt.taskwait();
+  EXPECT_EQ(seen, 103);
+}
+
+TEST(Commutative, ReaderClosesGroup) {
+  // commutative, commutative, in, commutative: the last commutative must be
+  // ordered after the reader (new group), visible as at least one WAR edge.
+  oss::Runtime rt(1);
+  int region = 0;
+  rt.spawn({oss::commutative(region)}, [] {});
+  rt.spawn({oss::commutative(region)}, [] {});
+  rt.spawn({oss::in(region)}, [] {});
+  rt.spawn({oss::commutative(region)}, [] {});
+  const auto stats = rt.stats();
+  // Edges: reader <- group (RAW x2 after dedup... one per member), and the
+  // 4th task depends on the reader (WAR) + possibly the old group members.
+  EXPECT_GE(stats.edges_war, 1u);
+  EXPECT_GE(stats.edges_raw, 2u);
+  rt.taskwait();
+}
+
+TEST(Concurrent, MembersMayRunSimultaneously) {
+  // Two concurrent-group members rendezvous: each waits (bounded) for the
+  // other to arrive.  If the runtime wrongly serialized them (e.g. treated
+  // the group as commutative), the first member would time out alone.
+  oss::Runtime rt(4);
+  int region = 0;
+  std::atomic<int> arrived{0};
+  std::atomic<bool> overlapped{false};
+
+  auto member = [&] {
+    arrived++;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (arrived.load() < 2 && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::yield();
+    }
+    if (arrived.load() >= 2) overlapped = true;
+  };
+  rt.spawn({oss::concurrent(region)}, member);
+  rt.spawn({oss::concurrent(region)}, member);
+  rt.taskwait();
+  EXPECT_TRUE(overlapped.load())
+      << "concurrent group members must be allowed to overlap";
+}
+
+TEST(Concurrent, AtomicReductionPattern) {
+  oss::Runtime rt(4);
+  std::atomic<long> sum{0};
+  long result = 0;
+  for (int i = 1; i <= 100; ++i) {
+    rt.spawn({oss::concurrent(sum)}, [&sum, i] { sum += i; });
+  }
+  // The reader is ordered after the whole concurrent group.
+  rt.spawn({oss::in(sum), oss::out(result)}, [&] { result = sum.load(); });
+  rt.taskwait();
+  EXPECT_EQ(result, 5050);
+}
+
+TEST(Concurrent, WriterAfterGroupWaitsForAllMembers) {
+  oss::Runtime rt(4);
+  std::atomic<int> done{0};
+  int region = 0;
+  int observed = -1;
+  for (int i = 0; i < 16; ++i) {
+    rt.spawn({oss::concurrent(region)}, [&] {
+      for (int j = 0; j < 20000; ++j) { volatile int sink = j; (void)sink; }
+      done++;
+    });
+  }
+  rt.spawn({oss::out(region)}, [&] { observed = done.load(); });
+  rt.taskwait();
+  EXPECT_EQ(observed, 16);
+}
+
+TEST(Modes, MixedModesSerializeCorrectly) {
+  // inout chain interleaved with commutative groups keeps a consistent
+  // total: start 0; +1 x3 (commutative); *2 (inout); +1 x3; *2 → 18.
+  oss::Runtime rt(4);
+  long v = 0;
+  for (int round = 0; round < 2; ++round) {
+    for (int i = 0; i < 3; ++i) {
+      rt.spawn({oss::commutative(v)}, [&] { v += 1; });
+    }
+    rt.spawn({oss::inout(v)}, [&] { v *= 2; });
+  }
+  rt.taskwait();
+  EXPECT_EQ(v, 18);
+}
+
+TEST(Modes, CommutativeAcrossTwoRegionsTakesBothLocks) {
+  // Tasks commutative on (a) and (a,b) must still exclude each other on a.
+  oss::Runtime rt(4);
+  int a = 0, b = 0;
+  long counter = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (i % 2 == 0) {
+      rt.spawn({oss::commutative(a)}, [&] { counter++; });
+    } else {
+      rt.spawn({oss::commutative(a), oss::commutative(b)}, [&] { counter++; });
+    }
+  }
+  rt.taskwait();
+  EXPECT_EQ(counter, 100);
+}
+
+TEST(Modes, ModeNamesIncludeNewModes) {
+  EXPECT_STREQ(oss::mode_name(oss::Mode::Commutative), "commutative");
+  EXPECT_STREQ(oss::mode_name(oss::Mode::Concurrent), "concurrent");
+  EXPECT_TRUE(oss::mode_writes(oss::Mode::Commutative));
+  EXPECT_TRUE(oss::mode_writes(oss::Mode::Concurrent));
+  EXPECT_FALSE(oss::mode_writes(oss::Mode::In));
+}
+
+} // namespace

@@ -1,0 +1,126 @@
+// TaskOptions: priority scheduling and undeferred (`if(0)`) execution.
+#include "ompss/ompss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace {
+
+TEST(Priority, HighPriorityTasksRunFirst) {
+  // Single-threaded runtime: nothing executes until taskwait, so the drain
+  // order is exactly the scheduler's order.
+  oss::Runtime rt(1);
+  std::vector<int> order;
+  oss::TaskOptions normal;
+  oss::TaskOptions urgent;
+  urgent.priority = 1;
+
+  for (int i = 0; i < 4; ++i) {
+    rt.spawn({}, [&order, i] { order.push_back(i); }, normal);
+  }
+  rt.spawn({}, [&order] { order.push_back(100); }, urgent);
+  rt.spawn({}, [&order] { order.push_back(101); }, urgent);
+  rt.taskwait();
+
+  ASSERT_EQ(order.size(), 6u);
+  EXPECT_EQ(order[0], 100); // priority tasks drained before normal ones
+  EXPECT_EQ(order[1], 101);
+  EXPECT_EQ(order[2], 0);
+}
+
+TEST(Priority, RespectsDependenciesDespitePriority) {
+  oss::Runtime rt(2);
+  int x = 0;
+  int seen = -1;
+  oss::TaskOptions urgent;
+  urgent.priority = 5;
+  rt.spawn({oss::out(x)}, [&] {
+    for (int j = 0; j < 50000; ++j) { volatile int sink = j; (void)sink; }
+    x = 7;
+  });
+  // High priority cannot jump over a RAW dependency.
+  rt.spawn({oss::in(x)}, [&] { seen = x; }, urgent);
+  rt.taskwait();
+  EXPECT_EQ(seen, 7);
+}
+
+TEST(Priority, UnblockedHighPriorityGoesToFrontQueue) {
+  oss::Runtime rt(1);
+  std::vector<int> order;
+  int token = 0;
+  oss::TaskOptions urgent;
+  urgent.priority = 2;
+  // Producer (normal), filler tasks (normal), dependent urgent task.
+  rt.spawn({oss::out(token)}, [&order] { order.push_back(1); });
+  for (int i = 0; i < 3; ++i) {
+    rt.spawn({}, [&order] { order.push_back(0); });
+  }
+  rt.spawn({oss::in(token)}, [&order] { order.push_back(2); }, urgent);
+  rt.taskwait();
+  ASSERT_EQ(order.size(), 5u);
+  // Producer first (FIFO among normals), then the unblocked urgent task
+  // must run before the remaining fillers.
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+}
+
+TEST(Undeferred, ExecutesInlineOnSpawningThread) {
+  oss::Runtime rt(2);
+  const auto self = std::this_thread::get_id();
+  std::thread::id ran_on;
+  oss::TaskOptions opts;
+  opts.deferred = false;
+  rt.spawn({}, [&] { ran_on = std::this_thread::get_id(); }, opts);
+  EXPECT_EQ(ran_on, self); // already done when spawn returns
+}
+
+TEST(Undeferred, WaitsForDependenciesFirst) {
+  oss::Runtime rt(2);
+  int x = 0;
+  int seen = -1;
+  rt.spawn({oss::out(x)}, [&] {
+    for (int j = 0; j < 100000; ++j) { volatile int sink = j; (void)sink; }
+    x = 9;
+  });
+  oss::TaskOptions opts;
+  opts.deferred = false;
+  rt.spawn({oss::in(x)}, [&] { seen = x; }, opts);
+  EXPECT_EQ(seen, 9); // dependency resolved before inline execution
+  rt.taskwait();
+}
+
+TEST(Undeferred, SingleThreadNoDeadlock) {
+  // With one thread, the spawner itself must execute the blocking
+  // producer while waiting for the undeferred task's dependency.
+  oss::Runtime rt(1);
+  int x = 0;
+  int seen = -1;
+  rt.spawn({oss::out(x)}, [&] { x = 3; });
+  oss::TaskOptions opts;
+  opts.deferred = false;
+  rt.spawn({oss::in(x)}, [&] { seen = x; }, opts);
+  EXPECT_EQ(seen, 3);
+}
+
+TEST(Undeferred, CountsTowardChildAccounting) {
+  oss::Runtime rt(2);
+  oss::TaskOptions opts;
+  opts.deferred = false;
+  std::atomic<int> hits{0};
+  rt.spawn({}, [&] { hits++; }, opts);
+  rt.taskwait(); // must not hang (child already finished)
+  EXPECT_EQ(hits.load(), 1);
+  EXPECT_EQ(rt.pending_tasks(), 0u);
+}
+
+TEST(Undeferred, ExceptionSurfacesAtNextTaskwait) {
+  oss::Runtime rt(2);
+  oss::TaskOptions opts;
+  opts.deferred = false;
+  rt.spawn({}, [] { throw std::runtime_error("inline boom"); }, opts);
+  EXPECT_THROW(rt.taskwait(), std::runtime_error);
+}
+
+} // namespace

@@ -1,0 +1,141 @@
+// Basic Runtime behaviour: spawning, draining, thread counts, foreign
+// threads, and lifecycle.
+#include "ompss/ompss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace {
+
+TEST(RuntimeBasic, SingleTaskExecutes) {
+  oss::Runtime rt(2);
+  std::atomic<int> hits{0};
+  rt.spawn({}, [&] { hits++; });
+  rt.taskwait();
+  EXPECT_EQ(hits.load(), 1);
+}
+
+TEST(RuntimeBasic, ManyIndependentTasksAllExecute) {
+  oss::Runtime rt(4);
+  std::atomic<int> hits{0};
+  constexpr int kTasks = 1000;
+  for (int i = 0; i < kTasks; ++i) {
+    rt.spawn({}, [&] { hits++; });
+  }
+  rt.taskwait();
+  EXPECT_EQ(hits.load(), kTasks);
+  EXPECT_EQ(rt.pending_tasks(), 0u);
+}
+
+TEST(RuntimeBasic, SingleThreadRuntimeExecutesAtWaits) {
+  oss::Runtime rt(1);
+  int value = 0; // no atomics needed: single thread
+  rt.spawn({}, [&] { value = 42; });
+  rt.taskwait();
+  EXPECT_EQ(value, 42);
+}
+
+TEST(RuntimeBasic, DestructorDrainsOutstandingTasks) {
+  std::atomic<int> hits{0};
+  {
+    oss::Runtime rt(2);
+    for (int i = 0; i < 100; ++i) rt.spawn({}, [&] { hits++; });
+    // no taskwait: the destructor must run the implicit barrier
+  }
+  EXPECT_EQ(hits.load(), 100);
+}
+
+TEST(RuntimeBasic, NumThreadsReportsConfiguredCount) {
+  oss::Runtime rt(3);
+  EXPECT_EQ(rt.num_threads(), 3u);
+  EXPECT_EQ(rt.config().scheduler, oss::SchedulerPolicy::Locality);
+}
+
+TEST(RuntimeBasic, SpawnReturnsMonotonicIds) {
+  oss::Runtime rt(2);
+  const auto id1 = rt.spawn({}, [] {});
+  const auto id2 = rt.spawn({}, [] {});
+  EXPECT_LT(id1, id2);
+  rt.taskwait();
+}
+
+TEST(RuntimeBasic, CurrentRuntimeVisibleInsideTasks) {
+  oss::Runtime rt(2);
+  std::atomic<oss::Runtime*> seen{nullptr};
+  std::atomic<int> worker{-2};
+  rt.spawn({}, [&] {
+    seen = oss::Runtime::current();
+    worker = oss::Runtime::current_worker();
+  });
+  rt.taskwait();
+  EXPECT_EQ(seen.load(), &rt);
+  EXPECT_GE(worker.load(), 0);
+  EXPECT_LT(worker.load(), 2);
+}
+
+TEST(RuntimeBasic, ForeignThreadCanSpawnAndWait) {
+  oss::Runtime rt(2);
+  std::atomic<int> hits{0};
+  std::thread t([&] {
+    for (int i = 0; i < 50; ++i) rt.spawn({}, [&] { hits++; });
+    rt.taskwait();
+    EXPECT_EQ(hits.load(), 50);
+  });
+  t.join();
+  EXPECT_EQ(hits.load(), 50);
+}
+
+TEST(RuntimeBasic, TasksRunOnMultipleWorkers) {
+  // With enough tasks and a busy-wait inside, at least two workers should
+  // participate (statistical, but extremely robust with 500 tasks).
+  oss::Runtime rt(4);
+  for (int i = 0; i < 500; ++i) {
+    rt.spawn({}, [] {
+      volatile int x = 0;
+      for (int j = 0; j < 1000; ++j) x = x + j;
+    });
+  }
+  rt.taskwait();
+  const auto stats = rt.stats();
+  int active_workers = 0;
+  for (auto n : stats.per_worker_executed) {
+    if (n > 0) active_workers++;
+  }
+  EXPECT_GE(active_workers, 1);
+  EXPECT_EQ(stats.tasks_executed, 500u);
+}
+
+TEST(RuntimeBasic, PendingTasksReflectsOutstandingWork) {
+  oss::Runtime rt(1); // nothing executes until we wait
+  rt.spawn({}, [] {});
+  rt.spawn({}, [] {});
+  EXPECT_EQ(rt.pending_tasks(), 2u);
+  rt.barrier();
+  EXPECT_EQ(rt.pending_tasks(), 0u);
+}
+
+TEST(RuntimeBasic, GlobalRuntimeSpawnsAndShutsDown) {
+  oss::shutdown();
+  EXPECT_FALSE(oss::global_runtime_exists());
+  std::atomic<int> hits{0};
+  oss::spawn({}, [&] { hits++; });
+  oss::taskwait();
+  EXPECT_EQ(hits.load(), 1);
+  EXPECT_TRUE(oss::global_runtime_exists());
+  oss::shutdown();
+  EXPECT_FALSE(oss::global_runtime_exists());
+}
+
+TEST(RuntimeBasic, LabelsAreStored) {
+  oss::RuntimeConfig cfg = oss::RuntimeConfig::with_threads(2);
+  cfg.record_graph = true;
+  oss::Runtime rt(cfg);
+  rt.spawn({}, [] {}, "my_stage");
+  rt.taskwait();
+  EXPECT_NE(rt.export_graph_dot().find("my_stage"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,147 @@
+// Scheduler policy tests: correctness under every policy, locality placement,
+// stealing, and direct unit tests of the Scheduler class.
+#include "ompss/ompss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace {
+
+class SchedulerPolicyTest
+    : public ::testing::TestWithParam<oss::SchedulerPolicy> {};
+
+TEST_P(SchedulerPolicyTest, DependentChainsCorrectUnderEveryPolicy) {
+  oss::RuntimeConfig cfg = oss::RuntimeConfig::with_threads(4);
+  cfg.scheduler = GetParam();
+  oss::Runtime rt(cfg);
+
+  constexpr int kChains = 16;
+  constexpr int kLinks = 30;
+  std::vector<long> acc(kChains, 0);
+  for (int link = 0; link < kLinks; ++link) {
+    for (int c = 0; c < kChains; ++c) {
+      long* slot = &acc[c];
+      rt.spawn({oss::inout(*slot)}, [slot, link] { *slot = *slot * 3 + link; });
+    }
+  }
+  rt.taskwait();
+
+  long expected = 0;
+  for (int link = 0; link < kLinks; ++link) expected = expected * 3 + link;
+  for (int c = 0; c < kChains; ++c) EXPECT_EQ(acc[c], expected) << "chain " << c;
+}
+
+TEST_P(SchedulerPolicyTest, IndependentTasksAllRun) {
+  oss::RuntimeConfig cfg = oss::RuntimeConfig::with_threads(3);
+  cfg.scheduler = GetParam();
+  oss::Runtime rt(cfg);
+  std::atomic<int> hits{0};
+  for (int i = 0; i < 500; ++i) rt.spawn({}, [&] { hits++; });
+  rt.taskwait();
+  EXPECT_EQ(hits.load(), 500);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, SchedulerPolicyTest,
+                         ::testing::Values(oss::SchedulerPolicy::Fifo,
+                                           oss::SchedulerPolicy::Locality,
+                                           oss::SchedulerPolicy::WorkStealing),
+                         [](const auto& info) {
+                           return std::string(oss::to_string(info.param));
+                         });
+
+TEST(SchedulerStats, LocalityPolicyUsesLocalQueuesForChains) {
+  oss::RuntimeConfig cfg = oss::RuntimeConfig::with_threads(2);
+  cfg.scheduler = oss::SchedulerPolicy::Locality;
+  oss::Runtime rt(cfg);
+  int token = 0;
+  for (int i = 0; i < 100; ++i) {
+    rt.spawn({oss::inout(token)}, [] { for (int j = 0; j < 100; ++j) { volatile int sink = j; (void)sink; } });
+  }
+  rt.taskwait();
+  const auto stats = rt.stats();
+  // Each unblocked chain link lands in the finisher's local queue.
+  EXPECT_GT(stats.local_pops, 0u);
+}
+
+TEST(SchedulerStats, FifoPolicyNeverUsesLocalQueues) {
+  oss::RuntimeConfig cfg = oss::RuntimeConfig::with_threads(2);
+  cfg.scheduler = oss::SchedulerPolicy::Fifo;
+  oss::Runtime rt(cfg);
+  int token = 0;
+  for (int i = 0; i < 100; ++i) {
+    rt.spawn({oss::inout(token)}, [] {});
+  }
+  rt.taskwait();
+  const auto stats = rt.stats();
+  EXPECT_EQ(stats.local_pops, 0u);
+  EXPECT_EQ(stats.steals, 0u);
+  EXPECT_GT(stats.global_pops, 0u);
+}
+
+// --- direct Scheduler unit tests -------------------------------------------
+
+oss::TaskPtr dummy_task(std::uint64_t id) {
+  static auto ctx = std::make_shared<oss::TaskContext>();
+  return std::make_shared<oss::Task>(id, [] {}, oss::AccessList{}, ctx, "");
+}
+
+TEST(SchedulerUnit, FifoIsFirstInFirstOut) {
+  oss::Scheduler s(oss::SchedulerPolicy::Fifo, 2);
+  oss::Stats stats(2);
+  s.enqueue_spawned(dummy_task(1), 0);
+  s.enqueue_spawned(dummy_task(2), 0);
+  s.enqueue_unblocked(dummy_task(3), 1);
+  EXPECT_EQ(s.pick(0, stats)->id(), 1u);
+  EXPECT_EQ(s.pick(1, stats)->id(), 2u);
+  EXPECT_EQ(s.pick(0, stats)->id(), 3u);
+  EXPECT_EQ(s.pick(0, stats), nullptr);
+}
+
+TEST(SchedulerUnit, LocalityUnblockedGoesToFinisherFront) {
+  oss::Scheduler s(oss::SchedulerPolicy::Locality, 2);
+  oss::Stats stats(2);
+  s.enqueue_unblocked(dummy_task(10), 1);
+  s.enqueue_unblocked(dummy_task(11), 1);
+  // Worker 1 pops LIFO: most recently unblocked first.
+  EXPECT_EQ(s.pick(1, stats)->id(), 11u);
+  EXPECT_EQ(s.pick(1, stats)->id(), 10u);
+}
+
+TEST(SchedulerUnit, IdleWorkerStealsFromVictimBack) {
+  oss::Scheduler s(oss::SchedulerPolicy::Locality, 2);
+  oss::Stats stats(2);
+  s.enqueue_unblocked(dummy_task(20), 1);
+  s.enqueue_unblocked(dummy_task(21), 1);
+  // Worker 0 has nothing local and the global queue is empty: steals the
+  // oldest entry from worker 1.
+  const auto t = s.pick(0, stats);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->id(), 20u);
+  EXPECT_EQ(stats.snapshot().steals, 1u);
+}
+
+TEST(SchedulerUnit, NonWorkerThreadsUseGlobalAndSteal) {
+  oss::Scheduler s(oss::SchedulerPolicy::WorkStealing, 2);
+  oss::Stats stats(2);
+  s.enqueue_spawned(dummy_task(30), -1); // foreign spawner -> global
+  EXPECT_EQ(s.pick(-1, stats)->id(), 30u);
+  s.enqueue_unblocked(dummy_task(31), 0);
+  EXPECT_EQ(s.pick(-1, stats)->id(), 31u); // stolen
+}
+
+TEST(SchedulerUnit, QueuedCountsAllQueues) {
+  oss::Scheduler s(oss::SchedulerPolicy::WorkStealing, 2);
+  oss::Stats stats(2);
+  EXPECT_EQ(s.queued(), 0u);
+  s.enqueue_spawned(dummy_task(1), -1);
+  s.enqueue_unblocked(dummy_task(2), 0);
+  s.enqueue_unblocked(dummy_task(3), 1);
+  EXPECT_EQ(s.queued(), 3u);
+  (void)s.pick(0, stats);
+  EXPECT_EQ(s.queued(), 2u);
+}
+
+} // namespace

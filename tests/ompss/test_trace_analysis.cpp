@@ -1,0 +1,79 @@
+// Trace analysis: utilization, per-worker and per-label aggregates.
+#include "ompss/ompss.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(TraceAnalysis, EmptyTraceYieldsEmptySummary) {
+  oss::TraceRecorder rec;
+  const oss::TraceSummary s = oss::analyze_trace(rec);
+  EXPECT_EQ(s.events, 0u);
+  EXPECT_EQ(s.makespan_us, 0u);
+  EXPECT_DOUBLE_EQ(s.utilization(), 0.0);
+}
+
+TEST(TraceAnalysis, HandComputedSummary) {
+  oss::TraceRecorder rec;
+  rec.record(0, 1, "alpha", 0, 10);
+  rec.record(0, 2, "alpha", 10, 30);
+  rec.record(1, 3, "beta", 5, 25);
+
+  const oss::TraceSummary s = oss::analyze_trace(rec);
+  EXPECT_EQ(s.events, 3u);
+  EXPECT_EQ(s.makespan_us, 30u);
+  EXPECT_EQ(s.busy_us, 10u + 20u + 20u);
+
+  ASSERT_EQ(s.workers.size(), 2u);
+  EXPECT_EQ(s.workers[0].worker, 0);
+  EXPECT_EQ(s.workers[0].tasks, 2u);
+  EXPECT_EQ(s.workers[0].busy_us, 30u);
+  EXPECT_EQ(s.workers[1].busy_us, 20u);
+
+  ASSERT_EQ(s.labels.size(), 2u);
+  EXPECT_EQ(s.labels[0].label, "alpha"); // 30us total > beta's 20us
+  EXPECT_EQ(s.labels[0].count, 2u);
+  EXPECT_EQ(s.labels[0].min_us, 10u);
+  EXPECT_EQ(s.labels[0].max_us, 20u);
+  EXPECT_DOUBLE_EQ(s.labels[0].mean_us(), 15.0);
+
+  // utilization = 50 / (30 * 2)
+  EXPECT_NEAR(s.utilization(), 50.0 / 60.0, 1e-12);
+}
+
+TEST(TraceAnalysis, UnlabeledTasksGrouped) {
+  oss::TraceRecorder rec;
+  rec.record(0, 1, "", 0, 5);
+  rec.record(0, 2, "", 5, 9);
+  const oss::TraceSummary s = oss::analyze_trace(rec);
+  ASSERT_EQ(s.labels.size(), 1u);
+  EXPECT_EQ(s.labels[0].label, "(unlabeled)");
+  EXPECT_EQ(s.labels[0].count, 2u);
+}
+
+TEST(TraceAnalysis, EndToEndFromRuntime) {
+  oss::RuntimeConfig cfg = oss::RuntimeConfig::with_threads(2);
+  cfg.record_trace = true;
+  oss::Runtime rt(cfg);
+  for (int i = 0; i < 20; ++i) {
+    rt.spawn({}, [] { for (int j = 0; j < 5000; ++j) { volatile int sink = j; (void)sink; } }, "work");
+  }
+  rt.taskwait();
+  ASSERT_NE(rt.trace_recorder(), nullptr);
+  const oss::TraceSummary s = oss::analyze_trace(*rt.trace_recorder());
+  EXPECT_EQ(s.events, 20u);
+  EXPECT_GT(s.makespan_us, 0u);
+  ASSERT_FALSE(s.labels.empty());
+  EXPECT_EQ(s.labels[0].label, "work");
+  EXPECT_EQ(s.labels[0].count, 20u);
+  const std::string report = s.to_string();
+  EXPECT_NE(report.find("utilization"), std::string::npos);
+  EXPECT_NE(report.find("work"), std::string::npos);
+}
+
+TEST(TraceAnalysis, RecorderDisabledByDefault) {
+  oss::Runtime rt(2);
+  EXPECT_EQ(rt.trace_recorder(), nullptr);
+}
+
+} // namespace

@@ -1,0 +1,82 @@
+#include "raytrace/render.hpp"
+
+#include "img/synth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+TEST(Render, DeterministicAcrossRuns) {
+  const cray::Scene scene = cray::Scene::procedural(6, 1);
+  img::Image a(48, 32, 3), b(48, 32, 3);
+  cray::render(scene, a);
+  cray::render(scene, b);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(Render, RowRangesComposeToWholeImage) {
+  const cray::Scene scene = cray::Scene::procedural(6, 2);
+  cray::RenderOptions opts;
+  img::Image whole(40, 30, 3), pieces(40, 30, 3);
+  cray::render(scene, whole, opts);
+  cray::render_rows(scene, pieces, opts, 0, 11);
+  cray::render_rows(scene, pieces, opts, 11, 23);
+  cray::render_rows(scene, pieces, opts, 23, 30);
+  EXPECT_TRUE(whole == pieces);
+}
+
+TEST(Render, ProducesNonTrivialImage) {
+  const cray::Scene scene = cray::Scene::procedural(8, 5);
+  img::Image out(64, 48, 3);
+  cray::render(scene, out);
+  // Image must contain spread of intensities (sky, spheres, shadows).
+  int min = 255, max = 0;
+  for (std::size_t i = 0; i < out.size_bytes(); ++i) {
+    min = std::min<int>(min, out.data()[i]);
+    max = std::max<int>(max, out.data()[i]);
+  }
+  EXPECT_GT(max - min, 80);
+}
+
+TEST(Render, EmptySceneRendersSkyGradient) {
+  cray::Scene scene;
+  scene.camera.position = {0, 0, -5};
+  scene.camera.target = {0, 0, 0};
+  img::Image out(16, 16, 3);
+  cray::render(scene, out);
+  // Top of frame (sky up) must be brighter blue than bottom.
+  EXPECT_GT(out.at(8, 0, 2), out.at(8, 15, 2));
+}
+
+TEST(Render, ReflectiveSpheresChangeWithDepth) {
+  cray::Scene scene = cray::Scene::procedural(8, 5);
+  for (auto& s : scene.spheres) s.material.reflectivity = 0.6;
+  cray::RenderOptions shallow, deep;
+  shallow.max_depth = 1;
+  deep.max_depth = 4;
+  img::Image a(48, 32, 3), b(48, 32, 3);
+  cray::render(scene, a, shallow);
+  cray::render(scene, b, deep);
+  EXPECT_GT(img::max_abs_diff(a, b), 5) << "reflections must contribute";
+}
+
+TEST(Render, SupersamplingSmoothsEdges) {
+  const cray::Scene scene = cray::Scene::procedural(4, 9);
+  cray::RenderOptions ss1, ss2;
+  ss1.supersample = 1;
+  ss2.supersample = 2;
+  img::Image a(32, 24, 3), b(32, 24, 3);
+  cray::render(scene, a, ss1);
+  cray::render(scene, b, ss2);
+  EXPECT_GT(img::max_abs_diff(a, b), 0); // different sampling
+}
+
+TEST(Render, RequiresRgbOutput) {
+  const cray::Scene scene = cray::Scene::procedural(2, 1);
+  img::Image gray(8, 8, 1);
+  EXPECT_THROW(cray::render(scene, gray), std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,60 @@
+#include "raytrace/scene.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+TEST(Scene, ProceduralIsDeterministic) {
+  const cray::Scene a = cray::Scene::procedural(8, 3);
+  const cray::Scene b = cray::Scene::procedural(8, 3);
+  ASSERT_EQ(a.spheres.size(), b.spheres.size());
+  EXPECT_EQ(a.spheres.size(), 9u); // 8 + ground
+  for (std::size_t i = 0; i < a.spheres.size(); ++i) {
+    EXPECT_EQ(a.spheres[i].center, b.spheres[i].center);
+    EXPECT_EQ(a.spheres[i].radius, b.spheres[i].radius);
+  }
+  EXPECT_GE(a.lights.size(), 1u);
+}
+
+TEST(Scene, DifferentSeedsDiffer) {
+  const cray::Scene a = cray::Scene::procedural(8, 3);
+  const cray::Scene b = cray::Scene::procedural(8, 4);
+  EXPECT_FALSE(a.spheres[1].center == b.spheres[1].center);
+}
+
+TEST(Scene, ParseRoundTrip) {
+  const cray::Scene a = cray::Scene::procedural(5, 11);
+  const cray::Scene b = cray::Scene::parse(a.serialize());
+  ASSERT_EQ(a.spheres.size(), b.spheres.size());
+  ASSERT_EQ(a.lights.size(), b.lights.size());
+  for (std::size_t i = 0; i < a.spheres.size(); ++i) {
+    EXPECT_NEAR(a.spheres[i].center.x, b.spheres[i].center.x, 1e-4);
+    EXPECT_NEAR(a.spheres[i].radius, b.spheres[i].radius, 1e-4);
+    EXPECT_NEAR(a.spheres[i].material.reflectivity,
+                b.spheres[i].material.reflectivity, 1e-4);
+  }
+  EXPECT_NEAR(a.camera.fov_deg, b.camera.fov_deg, 1e-4);
+}
+
+TEST(Scene, ParseAcceptsCommentsAndBlankLines) {
+  const cray::Scene s = cray::Scene::parse(
+      "# a scene\n"
+      "\n"
+      "s 0 0 0 1  1 0 0  30 0.5\n"
+      "l 1 2 3\n"
+      "c 0 0 -5 45 0 0 0\n");
+  ASSERT_EQ(s.spheres.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.spheres[0].material.reflectivity, 0.5);
+  ASSERT_EQ(s.lights.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.camera.fov_deg, 45.0);
+}
+
+TEST(Scene, ParseRejectsMalformedRecords) {
+  EXPECT_THROW(cray::Scene::parse("s 1 2 3\n"), std::runtime_error);
+  EXPECT_THROW(cray::Scene::parse("q 1 2 3\n"), std::runtime_error);
+  EXPECT_THROW(cray::Scene::parse("l 1 2\n"), std::runtime_error);
+}
+
+} // namespace

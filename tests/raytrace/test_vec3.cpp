@@ -1,0 +1,52 @@
+#include "raytrace/vec3.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using cray::Vec3;
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_EQ(a + b, Vec3(5, 7, 9));
+  EXPECT_EQ(b - a, Vec3(3, 3, 3));
+  EXPECT_EQ(a * 2.0, Vec3(2, 4, 6));
+  EXPECT_EQ(2.0 * a, Vec3(2, 4, 6));
+  EXPECT_EQ(a / 2.0, Vec3(0.5, 1, 1.5));
+  EXPECT_EQ(-a, Vec3(-1, -2, -3));
+  EXPECT_EQ(a * b, Vec3(4, 10, 18)); // component-wise
+}
+
+TEST(Vec3, DotAndCross) {
+  const Vec3 x{1, 0, 0}, y{0, 1, 0}, z{0, 0, 1};
+  EXPECT_DOUBLE_EQ(x.dot(y), 0.0);
+  EXPECT_DOUBLE_EQ(Vec3(1, 2, 3).dot(Vec3(4, 5, 6)), 32.0);
+  EXPECT_EQ(x.cross(y), z);
+  EXPECT_EQ(y.cross(z), x);
+  EXPECT_EQ(z.cross(x), y);
+}
+
+TEST(Vec3, LengthAndNormalize) {
+  EXPECT_DOUBLE_EQ(Vec3(3, 4, 0).length(), 5.0);
+  const Vec3 n = Vec3(10, 0, 0).normalized();
+  EXPECT_EQ(n, Vec3(1, 0, 0));
+  EXPECT_EQ(Vec3{}.normalized(), Vec3{}); // zero-safe
+}
+
+TEST(Vec3, Reflection) {
+  // Incoming 45° ray off a floor normal flips its vertical component.
+  const Vec3 d = Vec3(1, -1, 0).normalized();
+  const Vec3 r = d.reflect(Vec3(0, 1, 0));
+  EXPECT_NEAR(r.x, d.x, 1e-12);
+  EXPECT_NEAR(r.y, -d.y, 1e-12);
+  EXPECT_NEAR(r.z, 0.0, 1e-12);
+}
+
+TEST(Vec3, PlusEquals) {
+  Vec3 acc;
+  acc += Vec3(1, 1, 1);
+  acc += Vec3(2, 0, -1);
+  EXPECT_EQ(acc, Vec3(3, 1, 0));
+}
+
+} // namespace

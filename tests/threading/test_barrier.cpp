@@ -1,0 +1,95 @@
+// Blocking and spinning barrier semantics.
+#include "threading/barrier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace {
+
+template <class Barrier>
+void phase_consistency_check(Barrier& bar, std::size_t threads, int phases) {
+  // Every thread increments a per-phase counter, then crosses the barrier;
+  // after the barrier the counter for the finished phase must equal the
+  // thread count — a direct detection of barrier leaks.
+  std::vector<std::atomic<int>> counts(static_cast<std::size_t>(phases));
+  std::vector<std::thread> ts;
+  std::atomic<bool> failed{false};
+  for (std::size_t t = 0; t < threads; ++t) {
+    ts.emplace_back([&] {
+      for (int p = 0; p < phases; ++p) {
+        counts[static_cast<std::size_t>(p)]++;
+        bar.wait();
+        if (counts[static_cast<std::size_t>(p)].load() !=
+            static_cast<int>(threads)) {
+          failed = true;
+        }
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_FALSE(failed.load());
+}
+
+TEST(BlockingBarrier, PhaseConsistencyAcrossIterations) {
+  pt::BlockingBarrier bar(4);
+  phase_consistency_check(bar, 4, 25);
+}
+
+TEST(SpinBarrier, PhaseConsistencyAcrossIterations) {
+  pt::SpinBarrier bar(4);
+  phase_consistency_check(bar, 4, 25);
+}
+
+TEST(BlockingBarrier, ExactlyOneSerialThreadPerGeneration) {
+  pt::BlockingBarrier bar(3);
+  std::atomic<int> serial_count{0};
+  std::vector<std::thread> ts;
+  constexpr int kGens = 20;
+  for (int t = 0; t < 3; ++t) {
+    ts.emplace_back([&] {
+      for (int g = 0; g < kGens; ++g) {
+        if (bar.wait()) serial_count++;
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(serial_count.load(), kGens);
+}
+
+TEST(SpinBarrier, ExactlyOneSerialThreadPerGeneration) {
+  pt::SpinBarrier bar(3);
+  std::atomic<int> serial_count{0};
+  std::vector<std::thread> ts;
+  constexpr int kGens = 20;
+  for (int t = 0; t < 3; ++t) {
+    ts.emplace_back([&] {
+      for (int g = 0; g < kGens; ++g) {
+        if (bar.wait()) serial_count++;
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(serial_count.load(), kGens);
+}
+
+TEST(BlockingBarrier, SinglePartyNeverBlocks) {
+  pt::BlockingBarrier bar(1);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(bar.wait());
+}
+
+TEST(SpinBarrier, SinglePartyNeverBlocks) {
+  pt::SpinBarrier bar(1);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(bar.wait());
+}
+
+TEST(Barriers, PartiesAccessors) {
+  pt::BlockingBarrier b(5);
+  pt::SpinBarrier s(7);
+  EXPECT_EQ(b.parties(), 5u);
+  EXPECT_EQ(s.parties(), 7u);
+}
+
+} // namespace

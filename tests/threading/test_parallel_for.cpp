@@ -1,0 +1,72 @@
+// parallel_for_static / parallel_for_dynamic coverage semantics.
+#include "threading/parallel_for.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace {
+
+TEST(ParallelForStatic, CoversRangeExactlyOnce) {
+  pt::ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(100);
+  pt::parallel_for_static(pool, 0, 100, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) touched[i]++;
+  });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ParallelForStatic, HandlesRangeSmallerThanThreadCount) {
+  pt::ThreadPool pool(8);
+  std::vector<std::atomic<int>> touched(3);
+  pt::parallel_for_static(pool, 0, 3, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) touched[i]++;
+  });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ParallelForStatic, EmptyRangeIsNoop) {
+  pt::ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pt::parallel_for_static(pool, 5, 5, [&](std::size_t, std::size_t) { calls++; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForStatic, NonZeroBase) {
+  pt::ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  pt::parallel_for_static(pool, 10, 20, [&](std::size_t lo, std::size_t hi) {
+    long s = 0;
+    for (std::size_t i = lo; i < hi; ++i) s += static_cast<long>(i);
+    sum += s;
+  });
+  EXPECT_EQ(sum.load(), 145); // 10+...+19
+}
+
+TEST(ParallelForDynamic, CoversRangeExactlyOnce) {
+  pt::ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(1000);
+  pt::parallel_for_dynamic(pool, 0, 1000, 7, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) touched[i]++;
+  });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ParallelForDynamic, ChunkZeroTreatedAsOne) {
+  pt::ThreadPool pool(2);
+  std::vector<std::atomic<int>> touched(10);
+  pt::parallel_for_dynamic(pool, 0, 10, 0, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) touched[i]++;
+  });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ParallelForDynamic, EmptyRangeIsNoop) {
+  pt::ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pt::parallel_for_dynamic(pool, 9, 3, 4, [&](std::size_t, std::size_t) { calls++; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+} // namespace

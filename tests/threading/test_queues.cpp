@@ -1,0 +1,148 @@
+// MpmcQueue, SpscRing, and Latch behaviour.
+#include "threading/latch.hpp"
+#include "threading/mpmc_queue.hpp"
+#include "threading/spsc_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace {
+
+TEST(MpmcQueue, FifoOrderSingleThread) {
+  pt::MpmcQueue<int> q;
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(q.push(i));
+  for (int i = 0; i < 10; ++i) {
+    auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(MpmcQueue, TryOpsRespectBounds) {
+  pt::MpmcQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3)); // full
+  EXPECT_EQ(q.try_pop().value(), 1);
+  EXPECT_TRUE(q.try_push(3));
+  EXPECT_FALSE(q.try_pop() == std::nullopt);
+}
+
+TEST(MpmcQueue, CloseDrainsThenSignalsEnd) {
+  pt::MpmcQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.close();
+  EXPECT_FALSE(q.push(3)); // rejected after close
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_EQ(q.pop(), std::nullopt); // drained + closed
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(MpmcQueue, CloseWakesBlockedConsumer) {
+  pt::MpmcQueue<int> q;
+  std::atomic<bool> got_nullopt{false};
+  std::thread consumer([&] {
+    auto v = q.pop(); // blocks until close
+    got_nullopt = !v.has_value();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  consumer.join();
+  EXPECT_TRUE(got_nullopt.load());
+}
+
+TEST(MpmcQueue, ManyProducersManyConsumersConserveItems) {
+  pt::MpmcQueue<int> q(64);
+  constexpr int kProducers = 3, kConsumers = 3, kPerProducer = 500;
+  std::atomic<long> sum{0};
+  std::atomic<int> popped{0};
+  std::vector<std::thread> ts;
+  for (int p = 0; p < kProducers; ++p) {
+    ts.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) q.push(p * kPerProducer + i);
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    ts.emplace_back([&] {
+      while (auto v = q.pop()) {
+        sum += *v;
+        popped++;
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) ts[static_cast<std::size_t>(p)].join();
+  q.close();
+  for (int c = kProducers; c < kProducers + kConsumers; ++c)
+    ts[static_cast<std::size_t>(c)].join();
+
+  const long n = kProducers * kPerProducer;
+  EXPECT_EQ(popped.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  pt::SpscRing<int> r(5);
+  EXPECT_EQ(r.capacity(), 8u);
+  pt::SpscRing<int> r2(16);
+  EXPECT_EQ(r2.capacity(), 16u);
+}
+
+TEST(SpscRing, OrderAndFullEmpty) {
+  pt::SpscRing<int> r(4);
+  EXPECT_EQ(r.try_pop(), std::nullopt);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(r.try_push(i));
+  EXPECT_FALSE(r.try_push(99)); // full
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(r.try_pop().value(), i);
+  EXPECT_EQ(r.try_pop(), std::nullopt);
+}
+
+TEST(SpscRing, ThreadedTransferPreservesSequence) {
+  pt::SpscRing<int> r(8);
+  constexpr int kItems = 20000;
+  std::atomic<bool> ok{true};
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) {
+      while (!r.try_push(i)) std::this_thread::yield();
+    }
+  });
+  std::thread consumer([&] {
+    for (int i = 0; i < kItems; ++i) {
+      std::optional<int> v;
+      while (!(v = r.try_pop())) std::this_thread::yield();
+      if (*v != i) ok = false;
+    }
+  });
+  producer.join();
+  consumer.join();
+  EXPECT_TRUE(ok.load());
+  EXPECT_EQ(r.size(), 0u);
+}
+
+TEST(Latch, CountdownReleasesWaiter) {
+  pt::Latch latch(3);
+  EXPECT_FALSE(latch.ready());
+  std::thread waiter([&] { latch.wait(); });
+  latch.count_down();
+  latch.count_down();
+  EXPECT_FALSE(latch.ready());
+  latch.count_down();
+  waiter.join();
+  EXPECT_TRUE(latch.ready());
+}
+
+TEST(Latch, ExtraCountDownsAreHarmless) {
+  pt::Latch latch(1);
+  latch.count_down();
+  latch.count_down(); // already zero: no underflow
+  EXPECT_TRUE(latch.ready());
+  latch.wait(); // returns immediately
+}
+
+} // namespace

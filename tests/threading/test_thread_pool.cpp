@@ -1,0 +1,75 @@
+// ThreadPool fork-join semantics.
+#include "threading/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+TEST(ThreadPool, RunsEveryTidExactlyOnce) {
+  pt::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(4);
+  pool.run([&](std::size_t tid) { hits[tid]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SizeReportsThreadCount) {
+  pt::ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, ZeroThreadsRejected) {
+  EXPECT_THROW(pt::ThreadPool(0), std::invalid_argument);
+}
+
+TEST(ThreadPool, ReusableAcrossManyEpochs) {
+  pt::ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int epoch = 0; epoch < 50; ++epoch) {
+    pool.run([&](std::size_t) { total++; });
+  }
+  EXPECT_EQ(total.load(), 150);
+}
+
+TEST(ThreadPool, DistinctTidsWithinEpoch) {
+  pt::ThreadPool pool(4);
+  std::mutex mu;
+  std::set<std::size_t> tids;
+  pool.run([&](std::size_t tid) {
+    std::lock_guard lock(mu);
+    tids.insert(tid);
+  });
+  EXPECT_EQ(tids.size(), 4u);
+  EXPECT_EQ(*tids.begin(), 0u);
+  EXPECT_EQ(*tids.rbegin(), 3u);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  pt::ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.run([](std::size_t tid) {
+        if (tid == 1) throw std::runtime_error("worker failed");
+      }),
+      std::runtime_error);
+  // Pool must remain usable after an exception.
+  std::atomic<int> ok{0};
+  pool.run([&](std::size_t) { ok++; });
+  EXPECT_EQ(ok.load(), 2);
+}
+
+TEST(ThreadPool, SingleThreadPoolWorks) {
+  pt::ThreadPool pool(1);
+  int x = 0;
+  pool.run([&](std::size_t tid) {
+    EXPECT_EQ(tid, 0u);
+    x = 7;
+  });
+  EXPECT_EQ(x, 7);
+}
+
+} // namespace

@@ -1,0 +1,113 @@
+#include "tracking/particle_filter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace tracking;
+
+TEST(ParticleFilter, PerturbIsDeterministicPerKey) {
+  TrackerConfig cfg;
+  BodyPose a = ground_truth_pose(0, 160, 120);
+  BodyPose b = a;
+  perturb_pose(a, cfg, 3, 1, 17);
+  perturb_pose(b, cfg, 3, 1, 17);
+  EXPECT_FLOAT_EQ(a.distance(b), 0.f);
+  BodyPose c = ground_truth_pose(0, 160, 120);
+  perturb_pose(c, cfg, 3, 1, 18); // different particle index
+  EXPECT_GT(a.distance(c), 0.f);
+}
+
+TEST(ParticleFilter, StepRangeComposes) {
+  TrackerConfig cfg;
+  cfg.num_particles = 32;
+  const BinaryMap obs = make_observation(1, 160, 120);
+
+  std::vector<BodyPose> whole(32, ground_truth_pose(0, 160, 120));
+  std::vector<double> w_whole(32, 0.0);
+  particles_step_range(whole, w_whole, obs, cfg, 1, 0, 0, 32);
+
+  std::vector<BodyPose> split(32, ground_truth_pose(0, 160, 120));
+  std::vector<double> w_split(32, 0.0);
+  particles_step_range(split, w_split, obs, cfg, 1, 0, 0, 10);
+  particles_step_range(split, w_split, obs, cfg, 1, 0, 10, 32);
+
+  EXPECT_EQ(w_whole, w_split);
+  for (std::size_t i = 0; i < whole.size(); ++i) {
+    EXPECT_FLOAT_EQ(whole[i].distance(split[i]), 0.f);
+  }
+}
+
+TEST(ParticleFilter, WeightsFavorPosesNearTruth) {
+  TrackerConfig cfg;
+  const BinaryMap obs = make_observation(2, 160, 120);
+  const BodyPose truth = ground_truth_pose(2, 160, 120);
+  BodyPose off = truth;
+  off.q[0] += 40.f;
+
+  std::vector<BodyPose> particles{truth, off};
+  std::vector<double> weights(2, 0.0);
+  // Use layer high enough that perturbation noise is small.
+  TrackerConfig tight = cfg;
+  tight.base_sigma_pos = 0.f;
+  tight.base_sigma_ang = 0.f;
+  particles_step_range(particles, weights, obs, tight, 2, 0, 0, 2);
+  EXPECT_GT(weights[0], weights[1] * 5);
+}
+
+TEST(ParticleFilter, ResampleConcentratesOnHeavyParticle) {
+  std::vector<BodyPose> particles(8);
+  for (std::size_t i = 0; i < 8; ++i) particles[i].q[0] = static_cast<float>(i);
+  std::vector<double> weights(8, 1e-12);
+  weights[5] = 1.0;
+  resample(particles, weights, 42);
+  int fives = 0;
+  for (const auto& p : particles) {
+    if (p.q[0] == 5.f) fives++;
+  }
+  EXPECT_GE(fives, 7); // nearly all copies of the heavy particle
+  for (double w : weights) EXPECT_EQ(w, 1.0);
+}
+
+TEST(ParticleFilter, ResampleHandlesDegenerateWeights) {
+  std::vector<BodyPose> particles(4);
+  std::vector<double> weights(4, 0.0);
+  resample(particles, weights, 1);
+  for (double w : weights) EXPECT_EQ(w, 1.0); // reset, no crash
+}
+
+TEST(ParticleFilter, WeightedMeanMatchesHandComputation) {
+  std::vector<BodyPose> particles(2);
+  particles[0].q[0] = 10.f;
+  particles[1].q[0] = 20.f;
+  std::vector<double> weights{3.0, 1.0};
+  const BodyPose mean = weighted_mean(particles, weights);
+  EXPECT_FLOAT_EQ(mean.q[0], 12.5f);
+}
+
+TEST(ParticleFilter, TrackerFollowsSyntheticMotion) {
+  TrackerConfig cfg;
+  cfg.num_particles = 96;
+  cfg.annealing_layers = 3;
+  const int frames = 6;
+  const auto estimates = track_seq(cfg, frames, 160, 120);
+  ASSERT_EQ(estimates.size(), static_cast<std::size_t>(frames));
+  // The tracked x position must follow the ground truth within a loose
+  // tolerance by the last frame.
+  const BodyPose truth = ground_truth_pose(frames - 1, 160, 120);
+  EXPECT_NEAR(estimates.back().q[0], truth.q[0], 12.0);
+  EXPECT_NEAR(estimates.back().q[1], truth.q[1], 12.0);
+}
+
+TEST(ParticleFilter, TrackerIsDeterministic) {
+  TrackerConfig cfg;
+  cfg.num_particles = 32;
+  const auto a = track_seq(cfg, 3, 160, 120);
+  const auto b = track_seq(cfg, 3, 160, 120);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(a[i].distance(b[i]), 0.f);
+  }
+}
+
+} // namespace

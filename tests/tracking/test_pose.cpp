@@ -1,0 +1,79 @@
+#include "tracking/pose.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace tracking;
+
+BodyPose centered_pose(int w, int h) {
+  BodyPose p;
+  p.q[0] = w / 2.f;
+  p.q[1] = h / 2.f;
+  p.q[7] = 1.f;
+  return p;
+}
+
+TEST(Pose, DistanceIsL1OverParameters) {
+  BodyPose a = centered_pose(100, 100);
+  BodyPose b = a;
+  EXPECT_FLOAT_EQ(a.distance(b), 0.f);
+  b.q[0] += 3.f;
+  b.q[3] -= 0.5f;
+  EXPECT_FLOAT_EQ(a.distance(b), 3.5f);
+}
+
+TEST(Pose, SamplePointsCoverSixSegments) {
+  std::vector<Pt> pts;
+  pose_sample_points(centered_pose(100, 100), 10, pts);
+  EXPECT_EQ(pts.size(), 60u);
+  pose_sample_points(centered_pose(100, 100), 1, pts); // clamped to 2
+  EXPECT_EQ(pts.size(), 12u);
+}
+
+TEST(Pose, RenderMarksPixels) {
+  const BinaryMap map = render_pose(centered_pose(120, 120), 120, 120);
+  std::size_t set = 0;
+  for (auto p : map.pixels) set += p;
+  EXPECT_GT(set, 50u);
+  EXPECT_LT(set, map.pixels.size() / 4);
+}
+
+TEST(Pose, DilationGrowsSetArea) {
+  const BinaryMap thin = render_pose(centered_pose(100, 100), 100, 100);
+  const BinaryMap thick = dilate(thin, 2);
+  std::size_t n_thin = 0, n_thick = 0;
+  for (auto p : thin.pixels) n_thin += p;
+  for (auto p : thick.pixels) n_thick += p;
+  EXPECT_GT(n_thick, n_thin * 2);
+  // Dilation is a superset.
+  for (int y = 0; y < 100; ++y) {
+    for (int x = 0; x < 100; ++x) {
+      if (thin.at(x, y)) ASSERT_TRUE(thick.at(x, y));
+    }
+  }
+}
+
+TEST(Pose, OverlapPerfectOnOwnDilatedRendering) {
+  const BodyPose pose = centered_pose(120, 120);
+  const BinaryMap obs = dilate(render_pose(pose, 120, 120), 2);
+  EXPECT_GT(pose_overlap(pose, obs, 24), 0.99);
+}
+
+TEST(Pose, OverlapDropsWhenPoseShifts) {
+  const BodyPose pose = centered_pose(120, 120);
+  const BinaryMap obs = dilate(render_pose(pose, 120, 120), 1);
+  BodyPose shifted = pose;
+  shifted.q[0] += 30.f;
+  EXPECT_LT(pose_overlap(shifted, obs, 24), pose_overlap(pose, obs, 24) - 0.3);
+}
+
+TEST(Pose, OutOfFramePoseHasLowOverlap) {
+  const BodyPose pose = centered_pose(100, 100);
+  const BinaryMap obs = dilate(render_pose(pose, 100, 100), 1);
+  BodyPose far = pose;
+  far.q[0] = -500.f;
+  EXPECT_LT(pose_overlap(far, obs, 16), 0.01);
+}
+
+} // namespace

@@ -1,0 +1,96 @@
+#include "video/bits.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace {
+
+using video::BitReader;
+using video::BitWriter;
+
+TEST(Bits, RawBitsRoundTrip) {
+  BitWriter bw;
+  bw.put_bits(0b101, 3);
+  bw.put_bits(0xFF, 8);
+  bw.put_bits(0, 5);
+  const auto bytes = bw.finish();
+  BitReader br(bytes);
+  EXPECT_EQ(br.get_bits(3), 0b101u);
+  EXPECT_EQ(br.get_bits(8), 0xFFu);
+  EXPECT_EQ(br.get_bits(5), 0u);
+}
+
+TEST(Bits, UeKnownCodes) {
+  // ue(0)=1, ue(1)=010, ue(2)=011, ue(3)=00100...
+  BitWriter bw;
+  bw.put_ue(0);
+  bw.put_ue(1);
+  bw.put_ue(2);
+  bw.put_ue(3);
+  EXPECT_EQ(bw.bit_count(), 1u + 3 + 3 + 5);
+  const auto bytes = bw.finish();
+  BitReader br(bytes);
+  EXPECT_EQ(br.get_ue(), 0u);
+  EXPECT_EQ(br.get_ue(), 1u);
+  EXPECT_EQ(br.get_ue(), 2u);
+  EXPECT_EQ(br.get_ue(), 3u);
+}
+
+TEST(Bits, SeMappingOrder) {
+  // H.264 mapping: 0, 1, -1, 2, -2, ...
+  BitWriter bw;
+  for (int v : {0, 1, -1, 2, -2, 7, -7}) bw.put_se(v);
+  const auto bytes = bw.finish();
+  BitReader br(bytes);
+  for (int v : {0, 1, -1, 2, -2, 7, -7}) EXPECT_EQ(br.get_se(), v);
+}
+
+TEST(Bits, RandomUeSeRoundTrip) {
+  std::mt19937 rng(99);
+  std::vector<std::uint32_t> ues;
+  std::vector<std::int32_t> ses;
+  BitWriter bw;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint32_t u = rng() % 100000;
+    const std::int32_t s = static_cast<std::int32_t>(rng() % 20001) - 10000;
+    ues.push_back(u);
+    ses.push_back(s);
+    bw.put_ue(u);
+    bw.put_se(s);
+  }
+  const auto bytes = bw.finish();
+  BitReader br(bytes);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(br.get_ue(), ues[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(br.get_se(), ses[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Bits, ReaderThrowsPastEnd) {
+  BitWriter bw;
+  bw.put_bits(0b1, 1);
+  const auto bytes = bw.finish(); // 1 byte after padding
+  BitReader br(bytes);
+  br.get_bits(8);
+  EXPECT_THROW(br.get_bits(1), std::out_of_range);
+}
+
+TEST(Bits, MalformedUeThrows) {
+  // 40 zero bits: longer than any legal ue prefix.
+  std::vector<std::uint8_t> zeros(5, 0);
+  BitReader br(zeros);
+  EXPECT_THROW(br.get_ue(), std::out_of_range);
+}
+
+TEST(Bits, BitPositionTracksConsumption) {
+  BitWriter bw;
+  bw.put_bits(0xABCD, 16);
+  const auto bytes = bw.finish();
+  BitReader br_bytes(bytes);
+  EXPECT_EQ(br_bytes.bit_position(), 0u);
+  br_bytes.get_bits(5);
+  EXPECT_EQ(br_bytes.bit_position(), 5u);
+}
+
+} // namespace

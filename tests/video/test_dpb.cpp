@@ -1,0 +1,62 @@
+#include "video/dpb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+using namespace video;
+
+TEST(Dpb, FetchReleaseCycle) {
+  DecodedPictureBuffer dpb(2, 16, 16);
+  EXPECT_EQ(dpb.slots(), 2u);
+  const int a = dpb.fetch_free();
+  const int b = dpb.fetch_free();
+  EXPECT_GE(a, 0);
+  EXPECT_GE(b, 0);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dpb.fetch_free(), -1); // exhausted
+  EXPECT_EQ(dpb.busy_count(), 2u);
+  dpb.release(a);
+  EXPECT_EQ(dpb.busy_count(), 1u);
+  EXPECT_EQ(dpb.fetch_free(), a); // slot reusable
+}
+
+TEST(Dpb, DoubleReleaseThrows) {
+  DecodedPictureBuffer dpb(1, 8, 8);
+  const int a = dpb.fetch_free();
+  dpb.release(a);
+  EXPECT_THROW(dpb.release(a), std::logic_error);
+  EXPECT_THROW(dpb.release(99), std::logic_error);
+  EXPECT_THROW(dpb.release(-1), std::logic_error);
+}
+
+TEST(Dpb, PicturesHaveRequestedShape) {
+  DecodedPictureBuffer dpb(3, 32, 16);
+  const int s = dpb.fetch_free();
+  VideoFrame& f = dpb.picture(s);
+  EXPECT_EQ(f.width, 32);
+  EXPECT_EQ(f.height, 16);
+  EXPECT_EQ(f.y.size(), 512u);
+  f.at(5, 5) = 77; // writable
+  EXPECT_EQ(dpb.picture(s).at(5, 5), 77);
+}
+
+TEST(Pib, AllocateRetireCycle) {
+  PictureInfoBuffer pib(2);
+  const int a = pib.allocate(PictureInfo{7, FrameType::I, 1});
+  const int b = pib.allocate(PictureInfo{8, FrameType::P, 2});
+  EXPECT_GE(a, 0);
+  EXPECT_GE(b, 0);
+  EXPECT_EQ(pib.allocate(PictureInfo{}), -1); // full
+  EXPECT_EQ(pib.live_count(), 2u);
+  EXPECT_EQ(pib.info(a).frame_num, 7u);
+  EXPECT_EQ(pib.info(b).type, FrameType::P);
+  pib.retire(a);
+  EXPECT_EQ(pib.live_count(), 1u);
+  EXPECT_THROW(pib.retire(a), std::logic_error);
+  EXPECT_GE(pib.allocate(PictureInfo{9, FrameType::I, 3}), 0);
+}
+
+} // namespace

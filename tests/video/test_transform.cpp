@@ -1,0 +1,88 @@
+#include "video/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace {
+
+using namespace video;
+
+TEST(Transform, DcOnlyBlockReconstructsFlat) {
+  // A flat residual becomes a pure DC coefficient and inverts exactly.
+  std::int16_t flat[16];
+  for (auto& v : flat) v = 10;
+  std::int32_t coeffs[16];
+  forward_transform4x4(flat, coeffs);
+  for (int i = 1; i < 16; ++i) EXPECT_EQ(coeffs[i], 0) << "AC leak at " << i;
+  EXPECT_EQ(coeffs[0], 160); // 16 * 10
+  std::int16_t back[16];
+  inverse_transform4x4(coeffs, back);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(back[i], 10);
+}
+
+TEST(Transform, ForwardInverseCloseToIdentity) {
+  // Without quantization the pair reconstructs within a small bound (the
+  // core transform pair scales exactly by 64 = 2^6, shifted out).
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::int16_t in[16];
+    for (auto& v : in) v = static_cast<std::int16_t>(rng() % 511) - 255;
+    std::int32_t coeffs[16];
+    forward_transform4x4(in, coeffs);
+    std::int16_t out[16];
+    inverse_transform4x4(coeffs, out);
+    for (int i = 0; i < 16; ++i) {
+      EXPECT_NEAR(out[i], in[i], 1) << "trial " << trial << " idx " << i;
+    }
+  }
+}
+
+TEST(Transform, QuantizationIsLossyButBounded) {
+  std::int32_t coeffs[16];
+  for (int i = 0; i < 16; ++i) coeffs[i] = i * 17 - 100;
+  std::int16_t levels[16];
+  quantize4x4(coeffs, levels, 8);
+  std::int32_t back[16];
+  dequantize4x4(levels, back, 8);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_LE(std::abs(back[i] - coeffs[i]), 4); // half step
+  }
+}
+
+TEST(Transform, QuantizeRoundsToNearest) {
+  const std::int32_t in[16] = {7, 8, 9, -7, -8, -9, 0, 4, -4, 12, 100, -100, 3, -3, 1, -1};
+  std::int16_t lv[16];
+  quantize4x4(in, lv, 8);
+  EXPECT_EQ(lv[0], 1);  // 7/8 rounds to 1 (7+4)/8
+  EXPECT_EQ(lv[1], 1);  // 8/8
+  EXPECT_EQ(lv[2], 1);  // 9/8
+  EXPECT_EQ(lv[3], -1);
+  EXPECT_EQ(lv[6], 0);
+  EXPECT_EQ(lv[7], 1);  // (4+4)/8
+  EXPECT_EQ(lv[10], 13); // (100+4)/8 = 13
+}
+
+TEST(Transform, QpToStepDoublesEverySix) {
+  EXPECT_EQ(qp_to_step(0), 1);
+  EXPECT_EQ(qp_to_step(6), 2);
+  EXPECT_EQ(qp_to_step(12), 4);
+  EXPECT_EQ(qp_to_step(18), 8);
+  EXPECT_EQ(qp_to_step(24), 16);
+  EXPECT_GE(qp_to_step(-5), 1);  // clamped
+  EXPECT_GT(qp_to_step(51), 300);
+}
+
+TEST(Transform, ZigzagIsAPermutation) {
+  bool seen[16] = {};
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_GE(kZigzag4x4[i], 0);
+    ASSERT_LT(kZigzag4x4[i], 16);
+    EXPECT_FALSE(seen[kZigzag4x4[i]]);
+    seen[kZigzag4x4[i]] = true;
+  }
+  EXPECT_EQ(kZigzag4x4[0], 0);  // starts at DC
+  EXPECT_EQ(kZigzag4x4[15], 15); // ends at highest frequency
+}
+
+} // namespace
