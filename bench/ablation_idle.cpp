@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
       // (b) wake-up latency: time to complete a burst after the idle spell.
       benchcore::WallTimer timer;
       for (int i = 0; i < 200; ++i) {
-        rt.spawn({}, [] { for (int j = 0; j < 200; ++j) { volatile int sink = j; (void)sink; } });
+        rt.task("burst").spawn([] { for (int j = 0; j < 200; ++j) { volatile int sink = j; (void)sink; } });
       }
       rt.taskwait();
       const double burst_ms = timer.millis();

@@ -28,7 +28,7 @@ void BM_reduce_inout_chain(benchmark::State& state) {
     oss::Runtime rt(threads);
     long sum = 0;
     for (int i = 0; i < kTasks; ++i) {
-      rt.spawn({oss::inout(sum)}, [&sum] {
+      rt.task("inout_add").inout(sum).spawn([&sum] {
         work();
         sum += 1;
       });
@@ -45,7 +45,7 @@ void BM_reduce_commutative(benchmark::State& state) {
     oss::Runtime rt(threads);
     long sum = 0;
     for (int i = 0; i < kTasks; ++i) {
-      rt.spawn({oss::commutative(sum)}, [&sum] {
+      rt.task("comm_add").commutative(sum).spawn([&sum] {
         work();
         sum += 1;
       });
@@ -62,7 +62,7 @@ void BM_reduce_concurrent(benchmark::State& state) {
     oss::Runtime rt(threads);
     std::atomic<long> sum{0};
     for (int i = 0; i < kTasks; ++i) {
-      rt.spawn({oss::concurrent(sum)}, [&sum] {
+      rt.task("conc_add").concurrent(sum).spawn([&sum] {
         work();
         sum.fetch_add(1, std::memory_order_relaxed);
       });

@@ -18,7 +18,7 @@ void BM_spawn_empty_tasks(benchmark::State& state) {
   const auto threads = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
     oss::Runtime rt(threads);
-    for (int i = 0; i < 2000; ++i) rt.spawn({}, [] {});
+    for (int i = 0; i < 2000; ++i) rt.task().spawn([] {});
     rt.taskwait();
   }
   state.SetItemsProcessed(state.iterations() * 2000);
@@ -29,7 +29,7 @@ void BM_dependency_chain(benchmark::State& state) {
   for (auto _ : state) {
     oss::Runtime rt(threads);
     int token = 0;
-    for (int i = 0; i < 1000; ++i) rt.spawn({oss::inout(token)}, [] {});
+    for (int i = 0; i < 1000; ++i) rt.task().inout(token).spawn([] {});
     rt.taskwait();
   }
   state.SetItemsProcessed(state.iterations() * 1000);
@@ -45,7 +45,7 @@ void BM_wide_access_lists(benchmark::State& state) {
       acc.reserve(static_cast<std::size_t>(naccesses));
       for (int i = 0; i < naccesses; ++i)
         acc.push_back(oss::inout(vars[static_cast<std::size_t>(i)]));
-      rt.spawn(std::move(acc), [] {});
+      rt.task().accesses(std::move(acc)).spawn([] {});
     }
     rt.taskwait();
   }
@@ -58,7 +58,7 @@ void BM_critical_throughput(benchmark::State& state) {
     oss::Runtime rt(threads);
     long counter = 0;
     for (int i = 0; i < 500; ++i) {
-      rt.spawn({}, [&rt, &counter] { rt.critical("c", [&] { counter++; }); });
+      rt.task().spawn([&rt, &counter] { rt.critical("c", [&] { counter++; }); });
     }
     rt.taskwait();
     benchmark::DoNotOptimize(counter);
@@ -71,7 +71,7 @@ void BM_taskwait_on_latency(benchmark::State& state) {
     oss::Runtime rt(2);
     int x = 0;
     for (int i = 0; i < 200; ++i) {
-      rt.spawn({oss::inout(x)}, [] {});
+      rt.task().inout(x).spawn([] {});
       rt.taskwait_on(x);
     }
   }

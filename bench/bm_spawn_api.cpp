@@ -1,0 +1,105 @@
+// bm_spawn_api — spawn-path overhead of the fluent TaskBuilder vs. the
+// legacy positional `spawn()` shim.  Both land in the same
+// `Runtime::spawn_task` core; the builder adds only the TaskSpec it
+// accumulates, so the two columns should be indistinguishable — this bench
+// exists to keep it that way.
+//
+// Shapes mirror bm_runtime_overhead: empty independent tasks (pure spawn
+// cost), an inout dependency chain (spawn + edge + wakeup), and a
+// four-access task (registration cost).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "ompss/ompss.hpp"
+
+namespace {
+
+constexpr int kTasks = 2000;
+constexpr int kChain = 1000;
+
+void BM_spawn_empty_legacy(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    oss::Runtime rt(threads);
+    for (int i = 0; i < kTasks; ++i) rt.spawn({}, [] {});
+    rt.taskwait();
+  }
+  state.SetItemsProcessed(state.iterations() * kTasks);
+}
+
+void BM_spawn_empty_builder(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    oss::Runtime rt(threads);
+    for (int i = 0; i < kTasks; ++i) rt.task().spawn([] {});
+    rt.taskwait();
+  }
+  state.SetItemsProcessed(state.iterations() * kTasks);
+}
+
+void BM_spawn_chain_legacy(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    oss::Runtime rt(threads);
+    int token = 0;
+    for (int i = 0; i < kChain; ++i) rt.spawn({oss::inout(token)}, [] {});
+    rt.taskwait();
+  }
+  state.SetItemsProcessed(state.iterations() * kChain);
+}
+
+void BM_spawn_chain_builder(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    oss::Runtime rt(threads);
+    int token = 0;
+    for (int i = 0; i < kChain; ++i) rt.task().inout(token).spawn([] {});
+    rt.taskwait();
+  }
+  state.SetItemsProcessed(state.iterations() * kChain);
+}
+
+void BM_spawn_four_accesses_legacy(benchmark::State& state) {
+  std::vector<int> vars(4);
+  for (auto _ : state) {
+    oss::Runtime rt(1);
+    for (int t = 0; t < 500; ++t) {
+      rt.spawn({oss::in(vars[0]), oss::in(vars[1]), oss::inout(vars[2]),
+                oss::out(vars[3])},
+               [] {});
+    }
+    rt.taskwait();
+  }
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+
+void BM_spawn_four_accesses_builder(benchmark::State& state) {
+  std::vector<int> vars(4);
+  for (auto _ : state) {
+    oss::Runtime rt(1);
+    for (int t = 0; t < 500; ++t) {
+      rt.task()
+          .in(vars[0])
+          .in(vars[1])
+          .inout(vars[2])
+          .out(vars[3])
+          .spawn([] {});
+    }
+    rt.taskwait();
+  }
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+
+constexpr int kIters = 3;
+
+BENCHMARK(BM_spawn_empty_legacy)->Arg(1)->Arg(4)->Iterations(kIters);
+BENCHMARK(BM_spawn_empty_builder)->Arg(1)->Arg(4)->Iterations(kIters);
+BENCHMARK(BM_spawn_chain_legacy)->Arg(1)->Arg(4)->Iterations(kIters);
+BENCHMARK(BM_spawn_chain_builder)->Arg(1)->Arg(4)->Iterations(kIters);
+BENCHMARK(BM_spawn_four_accesses_legacy)->Iterations(kIters);
+BENCHMARK(BM_spawn_four_accesses_builder)->Iterations(kIters);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -71,9 +71,9 @@ int main(int argc, char** argv) {
   constexpr int kBlock = 8;
   for (int lo = 0; lo < height; lo += kBlock) {
     const int hi = lo + kBlock < height ? lo + kBlock : height;
-    rt.spawn({oss::out(out.row(lo), static_cast<std::size_t>(hi - lo) * out.stride())},
-             [&, lo, hi] { cray::render_rows(scene, out, opts, lo, hi); },
-             "render_rows");
+    rt.task("render_rows")
+        .out(out.row(lo), static_cast<std::size_t>(hi - lo) * out.stride())
+        .spawn([&, lo, hi] { cray::render_rows(scene, out, opts, lo, hi); });
   }
   rt.taskwait();
   std::printf("rendered in %.1f ms\n", timer.millis());

@@ -1,8 +1,10 @@
-// quickstart — the smallest complete OmpSs-style program.
+// quickstart — the smallest complete OmpSs-style program, in the fluent
+// task-builder style.
 //
 // Builds a tiny dataflow: two producers, a combiner, and a chain, all
-// expressed purely through in/out/inout annotations — no explicit
-// synchronization.  Then prints the runtime's view of what happened.
+// expressed purely through in/out/inout declarations — no explicit
+// synchronization.  Shows the three ways to wait (a TaskHandle, a task
+// group, a taskwait) and prints the runtime's view of what happened.
 //
 //   $ ./quickstart
 #include <cstdio>
@@ -18,23 +20,40 @@ int main() {
   double a = 0, b = 0, sum = 0;
   std::printf("spawning a diamond: produce a, produce b, combine, scale...\n");
 
-  // Two independent producers — may run in parallel.
-  rt.spawn({oss::out(a)}, [&] { a = 20.0; }, "produce_a");
-  rt.spawn({oss::out(b)}, [&] { b = 22.0; }, "produce_b");
+  // Two independent producers — may run in parallel.  `task(label)` opens a
+  // declaration; each chained call is one OmpSs clause; `spawn` finalizes
+  // it and returns a first-class handle.
+  oss::TaskHandle ha =
+      rt.task("produce_a").out(a).spawn([&] { a = 20.0; });
+  rt.task("produce_b").out(b).spawn([&] { b = 22.0; });
 
   // Consumer of both — the runtime discovers the RAW dependencies from the
   // overlapping memory regions, no manual ordering needed.
-  rt.spawn({oss::in(a), oss::in(b), oss::out(sum)}, [&] { sum = a + b; },
-           "combine");
+  oss::TaskHandle combined =
+      rt.task("combine").in(a).in(b).out(sum).spawn([&] { sum = a + b; });
 
-  // A chain on `sum`: inout serializes the three scale steps.
-  for (int i = 0; i < 3; ++i) {
-    rt.spawn({oss::inout(sum)}, [&] { sum *= 1.0; }, "scale");
-  }
+  // A chain on `sum`: inout serializes the three scale steps.  A TaskGroup
+  // scopes them: leaving the block waits for exactly these tasks and
+  // rethrows the first exception any of them threw.  Group tasks only
+  // match accesses among themselves, so the first link bridges to the
+  // ambient combine task with an explicit `.after(handle)` edge.
+  {
+    oss::TaskGroup scaling(rt);
+    for (int i = 0; i < 3; ++i) {
+      scaling.task("scale").inout(sum).after(combined).spawn(
+          [&] { sum *= 1.0; });
+    }
+  } // joins here
 
-  // taskwait = wait for all the tasks spawned above (and rethrow errors).
+  // Handles support point waits (`ha.wait()`) and explicit edges: this task
+  // declares no region overlapping the producer, yet still runs after it.
+  bool a_was_done = false;
+  rt.task("audit").after(ha).spawn([&] { a_was_done = ha.done(); });
+
+  // taskwait = wait for all tasks spawned above (and rethrow errors).
   rt.taskwait();
-  std::printf("sum = %.1f (expected 42.0)\n\n", sum);
+  std::printf("sum = %.1f (expected 42.0), audit saw produce_a done: %s\n\n",
+              sum, a_was_done ? "yes" : "no");
 
   const oss::StatsSnapshot stats = rt.stats();
   std::printf("runtime statistics:\n%s\n", stats.to_string().c_str());

@@ -29,17 +29,17 @@ int main(int argc, char** argv) {
   const int block = w.block_rows;
   for (int lo = 0; lo < w.height; lo += block) {
     const int hi = std::min(w.height, lo + block);
-    rt.spawn({oss::out(rendered.row(lo), static_cast<std::size_t>(hi - lo) * rendered.stride())},
-             [&, lo, hi] { cray::render_rows(w.scene, rendered, w.opts, lo, hi); },
-             "render");
+    rt.task("render")
+        .out(rendered.row(lo), static_cast<std::size_t>(hi - lo) * rendered.stride())
+        .spawn([&, lo, hi] { cray::render_rows(w.scene, rendered, w.opts, lo, hi); });
   }
   for (int lo = 0; lo < w.height; lo += block) {
     const int hi = std::min(w.height, lo + block);
     const auto [blo, bhi] = apps::rotate_source_band(w.spec, w.width, w.height, lo, hi);
-    rt.spawn({oss::in(rendered.row(blo), static_cast<std::size_t>(bhi - blo) * rendered.stride()),
-              oss::out(rotated.row(lo), static_cast<std::size_t>(hi - lo) * rotated.stride())},
-             [&, lo, hi] { img::rotate_rows(rendered, rotated, w.spec, lo, hi); },
-             "rotate");
+    rt.task("rotate")
+        .in(rendered.row(blo), static_cast<std::size_t>(bhi - blo) * rendered.stride())
+        .out(rotated.row(lo), static_cast<std::size_t>(hi - lo) * rotated.stride())
+        .spawn([&, lo, hi] { img::rotate_rows(rendered, rotated, w.spec, lo, hi); });
   }
   rt.taskwait();
 

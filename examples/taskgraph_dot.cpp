@@ -28,8 +28,8 @@ std::string build_pipeline_graph(bool renamed) {
 
   for (int k = 0; k < kIters; ++k) {
     int& slot = renamed ? slots[static_cast<std::size_t>(k % N)] : single_slot;
-    rt.spawn({oss::inout(s1), oss::out(slot)}, [] {}, "produce");
-    rt.spawn({oss::inout(s2), oss::in(slot)}, [] {}, "consume");
+    rt.task("produce").inout(s1).out(slot).spawn([] {});
+    rt.task("consume").inout(s2).in(slot).spawn([] {});
   }
   rt.taskwait();
   return rt.export_graph_dot();

@@ -66,13 +66,13 @@ std::vector<BodyPose> bodytrack_ompss(const BodytrackWorkload& w,
     const BinaryMap obs = tracking::make_observation(f, w.width, w.height);
     for (int layer = 0; layer < w.cfg.annealing_layers; ++layer) {
       for (const auto& [lo, hi] : blocks) {
-        rt.spawn({oss::inout(&particles[lo], hi - lo),
-                  oss::out(&weights[lo], hi - lo)},
-                 [&, f, layer, lo = lo, hi = hi] {
-                   tracking::particles_step_range(particles, weights, obs,
-                                                  w.cfg, f, layer, lo, hi);
-                 },
-                 "particle_weights");
+        rt.task("particle_weights")
+            .inout(&particles[lo], hi - lo)
+            .out(&weights[lo], hi - lo)
+            .spawn([&, f, layer, lo = lo, hi = hi] {
+              tracking::particles_step_range(particles, weights, obs, w.cfg, f,
+                                             layer, lo, hi);
+            });
       }
       rt.taskwait(); // polling task barrier before the serial resample
       tracking::resample(particles, weights,

@@ -41,12 +41,12 @@ img::Image c_ray_ompss(const CRayWorkload& w, std::size_t threads) {
   oss::Runtime rt(threads);
   for (const auto& [lo, hi] : split_blocks(static_cast<std::size_t>(w.height),
                                            static_cast<std::size_t>(w.block_rows))) {
-    rt.spawn({oss::out(out.row(static_cast<int>(lo)), (hi - lo) * out.stride())},
-             [&w, &out, lo = lo, hi = hi] {
-               cray::render_rows(w.scene, out, w.opts, static_cast<int>(lo),
-                                 static_cast<int>(hi));
-             },
-             "render_rows");
+    rt.task("render_rows")
+        .out(out.row(static_cast<int>(lo)), (hi - lo) * out.stride())
+        .spawn([&w, &out, lo = lo, hi = hi] {
+          cray::render_rows(w.scene, out, w.opts, static_cast<int>(lo),
+                            static_cast<int>(hi));
+        });
   }
   rt.taskwait();
   return out;

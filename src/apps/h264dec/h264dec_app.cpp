@@ -195,28 +195,26 @@ void reconstruct_tiles_ompss(oss::Runtime& rt, const FrameHeader& hdr,
 
   for (int gy = 0; gy < gh; ++gy) {
     for (int gx = 0; gx < gw; ++gx) {
-      oss::AccessList acc;
-      acc.push_back(oss::out(tokens[static_cast<std::size_t>(gy) * gw + gx]));
+      oss::TaskBuilder tile = rt.task("recon_tile");
+      tile.out(tokens[static_cast<std::size_t>(gy) * gw + gx]);
       if (hdr.type == FrameType::I) {
         // Intra wavefront: left and top tiles must be reconstructed.
         if (gx > 0)
-          acc.push_back(oss::in(tokens[static_cast<std::size_t>(gy) * gw + gx - 1]));
+          tile.in(tokens[static_cast<std::size_t>(gy) * gw + gx - 1]);
         if (gy > 0)
-          acc.push_back(oss::in(tokens[static_cast<std::size_t>(gy - 1) * gw + gx]));
+          tile.in(tokens[static_cast<std::size_t>(gy - 1) * gw + gx]);
       }
-      rt.spawn(std::move(acc),
-               [&hdr, mbs, &cur, ref, gx, gy, group] {
-                 const int x0 = gx * group;
-                 const int y0 = gy * group;
-                 const int x1 = std::min(hdr.mb_w, x0 + group);
-                 const int y1 = std::min(hdr.mb_h, y0 + group);
-                 for (int y = y0; y < y1; ++y) {
-                   for (int x = x0; x < x1; ++x) {
-                     video::reconstruct_mb(hdr, mbs, x, y, cur, ref);
-                   }
-                 }
-               },
-               "recon_tile");
+      tile.spawn([&hdr, mbs, &cur, ref, gx, gy, group] {
+        const int x0 = gx * group;
+        const int y0 = gy * group;
+        const int x1 = std::min(hdr.mb_w, x0 + group);
+        const int y1 = std::min(hdr.mb_h, y0 + group);
+        for (int y = y0; y < y1; ++y) {
+          for (int x = x0; x < x1; ++x) {
+            video::reconstruct_mb(hdr, mbs, x, y, cur, ref);
+          }
+        }
+      });
     }
   }
   rt.taskwait(); // wait for this frame's tiles (children of the recon task)
@@ -250,94 +248,104 @@ std::vector<std::uint64_t> h264dec_ompss_grouped(const H264Workload& w,
     SliceSlot& slot = slots[k % N];
 
     // --- read stage: pull the next frame payload from the "file".
-    rt.spawn({oss::inout(rc), oss::out(slot.payload)},
-             [&w, &rc, &slot] {
-               if (rc.next_frame >= w.video.frames.size()) {
-                 rc.eof = true;
-                 slot.payload.payload.clear();
-                 return;
-               }
-               slot.payload = w.video.frames[rc.next_frame];
-               rc.next_frame++;
-               if (rc.next_frame >= w.video.frames.size()) rc.eof = true;
-             },
-             "read_frame");
+    rt.task("read_frame")
+        .inout(rc)
+        .out(slot.payload)
+        .spawn([&w, &rc, &slot] {
+          if (rc.next_frame >= w.video.frames.size()) {
+            rc.eof = true;
+            slot.payload.payload.clear();
+            return;
+          }
+          slot.payload = w.video.frames[rc.next_frame];
+          rc.next_frame++;
+          if (rc.next_frame >= w.video.frames.size()) rc.eof = true;
+        });
 
     // --- parse stage: header + PIB allocation (hidden dep, critical).
-    rt.spawn({oss::inout(nc), oss::in(slot.payload), oss::out(slot.hdr),
-              oss::out(slot.pib_slot)},
-             [&rt, &pib, &slot] {
-               if (slot.payload.payload.empty()) { // 0-frame stream guard
-                 slot.pib_slot = -1;
-                 return;
-               }
-               BitReader br(slot.payload.payload);
-               slot.hdr = video::parse_frame_header(br);
-               int pi = -1;
-               while (pi < 0) {
-                 rt.critical("pib", [&] {
-                   pi = pib.allocate(PictureInfo{slot.hdr.frame_num,
-                                                 slot.hdr.type, -1});
-                 });
-                 if (pi < 0) std::this_thread::yield();
-               }
-               slot.pib_slot = pi;
-             },
-             "parse_header");
+    rt.task("parse_header")
+        .inout(nc)
+        .in(slot.payload)
+        .out(slot.hdr)
+        .out(slot.pib_slot)
+        .spawn([&rt, &pib, &slot] {
+          if (slot.payload.payload.empty()) { // 0-frame stream guard
+            slot.pib_slot = -1;
+            return;
+          }
+          BitReader br(slot.payload.payload);
+          slot.hdr = video::parse_frame_header(br);
+          int pi = -1;
+          while (pi < 0) {
+            rt.critical("pib", [&] {
+              pi = pib.allocate(PictureInfo{slot.hdr.frame_num,
+                                            slot.hdr.type, -1});
+            });
+            if (pi < 0) std::this_thread::yield();
+          }
+          slot.pib_slot = pi;
+        });
 
     // --- entropy decode stage.
-    rt.spawn({oss::inout(ec), oss::in(slot.hdr), oss::in(slot.payload),
-              oss::out(slot.mbs)},
-             [&slot] {
-               if (slot.payload.payload.empty()) return;
-               BitReader br(slot.payload.payload);
-               (void)video::parse_frame_header(br); // skip header bits
-               slot.mbs.assign(slot.hdr.mb_count(), MbSyntax{});
-               video::entropy_decode_frame(br, slot.hdr, slot.mbs.data());
-             },
-             "entropy_decode");
+    rt.task("entropy_decode")
+        .inout(ec)
+        .in(slot.hdr)
+        .in(slot.payload)
+        .out(slot.mbs)
+        .spawn([&slot] {
+          if (slot.payload.payload.empty()) return;
+          BitReader br(slot.payload.payload);
+          (void)video::parse_frame_header(br); // skip header bits
+          slot.mbs.assign(slot.hdr.mb_count(), MbSyntax{});
+          video::entropy_decode_frame(br, slot.hdr, slot.mbs.data());
+        });
 
     // --- reconstruction stage: DPB fetch (hidden dep, critical) + tiles.
-    rt.spawn({oss::inout(mc), oss::in(slot.hdr), oss::in(slot.mbs),
-              oss::out(slot.pic_token), oss::out(slot.dpb_slot)},
-             [&rt, &dpb, &mc, &slot, mb_group] {
-               if (slot.hdr.mb_w == 0) { // 0-frame stream guard (hdr is `in`)
-                 slot.dpb_slot = -1;
-                 return;
-               }
-               int pic = -1;
-               while (pic < 0) {
-                 rt.critical("dpb", [&] { pic = dpb.fetch_free(); });
-                 if (pic < 0) std::this_thread::yield();
-               }
-               slot.dpb_slot = pic;
-               VideoFrame& cur = dpb.picture(pic);
-               const VideoFrame* ref =
-                   mc.prev_dpb_slot >= 0 ? &dpb.picture(mc.prev_dpb_slot) : nullptr;
-               reconstruct_tiles_ompss(rt, slot.hdr, slot.mbs.data(), cur, ref,
-                                       mb_group);
-               mc.prev_dpb_slot = pic;
-             },
-             "reconstruct");
+    rt.task("reconstruct")
+        .inout(mc)
+        .in(slot.hdr)
+        .in(slot.mbs)
+        .out(slot.pic_token)
+        .out(slot.dpb_slot)
+        .spawn([&rt, &dpb, &mc, &slot, mb_group] {
+          if (slot.hdr.mb_w == 0) { // 0-frame stream guard (hdr is `in`)
+            slot.dpb_slot = -1;
+            return;
+          }
+          int pic = -1;
+          while (pic < 0) {
+            rt.critical("dpb", [&] { pic = dpb.fetch_free(); });
+            if (pic < 0) std::this_thread::yield();
+          }
+          slot.dpb_slot = pic;
+          VideoFrame& cur = dpb.picture(pic);
+          const VideoFrame* ref =
+              mc.prev_dpb_slot >= 0 ? &dpb.picture(mc.prev_dpb_slot) : nullptr;
+          reconstruct_tiles_ompss(rt, slot.hdr, slot.mbs.data(), cur, ref,
+                                  mb_group);
+          mc.prev_dpb_slot = pic;
+        });
 
     // --- output stage: checksum in display order, release retired buffers.
-    rt.spawn({oss::inout(oc), oss::in(slot.pic_token), oss::in(slot.dpb_slot),
-              oss::in(slot.pib_slot)},
-             [&rt, &dpb, &pib, &oc, &slot] {
-               if (slot.dpb_slot < 0) return;
-               oc.sink->push_back(dpb.picture(slot.dpb_slot).checksum());
-               // The previous picture is no longer needed as a reference
-               // once this frame is reconstructed; release it now.
-               if (oc.prev_slot >= 0) {
-                 rt.critical("dpb", [&] { dpb.release(oc.prev_slot); });
-               }
-               if (oc.prev_pib >= 0) {
-                 rt.critical("pib", [&] { pib.retire(oc.prev_pib); });
-               }
-               oc.prev_slot = slot.dpb_slot;
-               oc.prev_pib = slot.pib_slot;
-             },
-             "output");
+    rt.task("output")
+        .inout(oc)
+        .in(slot.pic_token)
+        .in(slot.dpb_slot)
+        .in(slot.pib_slot)
+        .spawn([&rt, &dpb, &pib, &oc, &slot] {
+          if (slot.dpb_slot < 0) return;
+          oc.sink->push_back(dpb.picture(slot.dpb_slot).checksum());
+          // The previous picture is no longer needed as a reference
+          // once this frame is reconstructed; release it now.
+          if (oc.prev_slot >= 0) {
+            rt.critical("dpb", [&] { dpb.release(oc.prev_slot); });
+          }
+          if (oc.prev_pib >= 0) {
+            rt.critical("pib", [&] { pib.retire(oc.prev_pib); });
+          }
+          oc.prev_slot = slot.dpb_slot;
+          oc.prev_pib = slot.pib_slot;
+        });
 
     // Listing 1: ensure the read task ran before testing the loop condition.
     rt.taskwait_on(rc);

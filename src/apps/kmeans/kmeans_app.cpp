@@ -78,33 +78,35 @@ KmeansResult kmeans_app_ompss(const KmeansWorkload& w, std::size_t threads) {
   for (int it = 0; it < w.iters; ++it) {
     for (std::size_t b = 0; b < blocks.size(); ++b) {
       const auto [lo, hi] = blocks[b];
-      rt.spawn({oss::in(res.centroids.data(), res.centroids.size()),
-                oss::out(partials[b]), oss::out(inertia[b])},
-               [&, b, lo = lo, hi = hi] {
-                 partials[b].init(w.k, w.points.dim);
-                 inertia[b] = cluster::kmeans_assign_range(
-                     w.points, res.centroids, w.k, lo, hi,
-                     res.assignment.data(), partials[b]);
-               },
-               "kmeans_assign");
+      rt.task("kmeans_assign")
+          .in(res.centroids.data(), res.centroids.size())
+          .out(partials[b])
+          .out(inertia[b])
+          .spawn([&, b, lo = lo, hi = hi] {
+            partials[b].init(w.k, w.points.dim);
+            inertia[b] = cluster::kmeans_assign_range(w.points, res.centroids,
+                                                      w.k, lo, hi,
+                                                      res.assignment.data(),
+                                                      partials[b]);
+          });
     }
     // Reduction task: reads every partial, updates the centroids.
-    rt.spawn({oss::in(partials.data(), partials.size()),
-              oss::in(inertia.data(), inertia.size()),
-              oss::inout(res.centroids.data(), res.centroids.size())},
-             [&, it] {
-               KmeansPartial merged;
-               merged.init(w.k, w.points.dim);
-               double total = 0.0;
-               for (std::size_t b = 0; b < blocks.size(); ++b) {
-                 merged.merge(partials[b]);
-                 total += inertia[b];
-               }
-               cluster::kmeans_recompute(merged, w.k, w.points.dim, res.centroids);
-               res.inertia = total;
-               res.iterations = it + 1;
-             },
-             "kmeans_reduce");
+    rt.task("kmeans_reduce")
+        .in(partials.data(), partials.size())
+        .in(inertia.data(), inertia.size())
+        .inout(res.centroids.data(), res.centroids.size())
+        .spawn([&, it] {
+          KmeansPartial merged;
+          merged.init(w.k, w.points.dim);
+          double total = 0.0;
+          for (std::size_t b = 0; b < blocks.size(); ++b) {
+            merged.merge(partials[b]);
+            total += inertia[b];
+          }
+          cluster::kmeans_recompute(merged, w.k, w.points.dim, res.centroids);
+          res.inertia = total;
+          res.iterations = it + 1;
+        });
   }
   rt.taskwait();
   return res;

@@ -42,14 +42,14 @@ std::vector<hashing::Md5Digest> md5_ompss(const Md5Workload& w,
   std::vector<hashing::Md5Digest> out(w.buffers.size());
   oss::Runtime rt(threads);
   for (const auto& [lo, hi] : split_blocks(w.buffers.size(), w.group)) {
-    rt.spawn({oss::in(w.buffers[lo].data(), 1), // representative input region
-              oss::out(&out[lo], hi - lo)},
-             [&w, &out, lo = lo, hi = hi] {
-               for (std::size_t i = lo; i < hi; ++i) {
-                 out[i] = hashing::md5(w.buffers[i].data(), w.buffers[i].size());
-               }
-             },
-             "md5_group");
+    rt.task("md5_group")
+        .in(w.buffers[lo].data(), 1) // representative input region
+        .out(&out[lo], hi - lo)
+        .spawn([&w, &out, lo = lo, hi = hi] {
+          for (std::size_t i = lo; i < hi; ++i) {
+            out[i] = hashing::md5(w.buffers[i].data(), w.buffers[i].size());
+          }
+        });
   }
   rt.taskwait();
   return out;

@@ -85,28 +85,26 @@ img::Image ray_rot_ompss_with_policy(const RayRotWorkload& w,
                                    static_cast<std::size_t>(w.block_rows));
   // Producers: render blocks.
   for (const auto& [lo, hi] : blocks) {
-    rt.spawn({oss::out(rendered.row(static_cast<int>(lo)),
-                       (hi - lo) * rendered.stride())},
-             [&w, &rendered, lo = lo, hi = hi] {
-               cray::render_rows(w.scene, rendered, w.opts, static_cast<int>(lo),
-                                 static_cast<int>(hi));
-             },
-             "render");
+    rt.task("render")
+        .out(rendered.row(static_cast<int>(lo)), (hi - lo) * rendered.stride())
+        .spawn([&w, &rendered, lo = lo, hi = hi] {
+          cray::render_rows(w.scene, rendered, w.opts, static_cast<int>(lo),
+                            static_cast<int>(hi));
+        });
   }
   // Consumers: rotate blocks, each depending only on its source band —
   // the per-block chains the locality scheduler exploits.
   for (const auto& [lo, hi] : blocks) {
     const auto [band_lo, band_hi] = rotate_source_band(
         w.spec, w.width, w.height, static_cast<int>(lo), static_cast<int>(hi));
-    rt.spawn({oss::in(rendered.row(band_lo),
-                      static_cast<std::size_t>(band_hi - band_lo) * rendered.stride()),
-              oss::out(rotated.row(static_cast<int>(lo)),
-                       (hi - lo) * rotated.stride())},
-             [&w, &rendered, &rotated, lo = lo, hi = hi] {
-               img::rotate_rows(rendered, rotated, w.spec, static_cast<int>(lo),
-                                static_cast<int>(hi));
-             },
-             "rotate");
+    rt.task("rotate")
+        .in(rendered.row(band_lo),
+            static_cast<std::size_t>(band_hi - band_lo) * rendered.stride())
+        .out(rotated.row(static_cast<int>(lo)), (hi - lo) * rotated.stride())
+        .spawn([&w, &rendered, &rotated, lo = lo, hi = hi] {
+          img::rotate_rows(rendered, rotated, w.spec, static_cast<int>(lo),
+                           static_cast<int>(hi));
+        });
   }
   rt.taskwait();
   return rotated;

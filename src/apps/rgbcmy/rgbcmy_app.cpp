@@ -58,13 +58,13 @@ img::Image rgbcmy_ompss_with_policy(const RgbcmyWorkload& w, std::size_t threads
                                    static_cast<std::size_t>(w.block_rows));
   for (int it = 0; it < w.iters; ++it) {
     for (const auto& [lo, hi] : blocks) {
-      rt.spawn({oss::in(w.src.row(static_cast<int>(lo)), (hi - lo) * w.src.stride()),
-                oss::out(dst.row(static_cast<int>(lo)), (hi - lo) * dst.stride())},
-               [&w, &dst, lo = lo, hi = hi] {
-                 img::rgb_to_cmyk_rows(w.src, dst, static_cast<int>(lo),
-                                       static_cast<int>(hi));
-               },
-               "rgb_to_cmyk");
+      rt.task("rgb_to_cmyk")
+          .in(w.src.row(static_cast<int>(lo)), (hi - lo) * w.src.stride())
+          .out(dst.row(static_cast<int>(lo)), (hi - lo) * dst.stride())
+          .spawn([&w, &dst, lo = lo, hi = hi] {
+            img::rgb_to_cmyk_rows(w.src, dst, static_cast<int>(lo),
+                                  static_cast<int>(hi));
+          });
     }
     rt.barrier(); // polling task barrier (or blocking, for the ablation)
   }

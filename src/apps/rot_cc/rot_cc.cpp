@@ -52,22 +52,22 @@ img::Image rot_cc_ompss(const RotCcWorkload& w, std::size_t threads) {
   const auto blocks = split_blocks(static_cast<std::size_t>(w.src.height()),
                                    static_cast<std::size_t>(w.block_rows));
   for (const auto& [lo, hi] : blocks) {
-    rt.spawn({oss::in(w.src.data(), w.src.size_bytes()),
-              oss::out(rotated.row(static_cast<int>(lo)), (hi - lo) * rotated.stride())},
-             [&w, &rotated, lo = lo, hi = hi] {
-               img::rotate_rows(w.src, rotated, w.spec, static_cast<int>(lo),
-                                static_cast<int>(hi));
-             },
-             "rotate");
+    rt.task("rotate")
+        .in(w.src.data(), w.src.size_bytes())
+        .out(rotated.row(static_cast<int>(lo)), (hi - lo) * rotated.stride())
+        .spawn([&w, &rotated, lo = lo, hi = hi] {
+          img::rotate_rows(w.src, rotated, w.spec, static_cast<int>(lo),
+                           static_cast<int>(hi));
+        });
   }
   for (const auto& [lo, hi] : blocks) {
-    rt.spawn({oss::in(rotated.row(static_cast<int>(lo)), (hi - lo) * rotated.stride()),
-              oss::out(converted.row(static_cast<int>(lo)), (hi - lo) * converted.stride())},
-             [&rotated, &converted, lo = lo, hi = hi] {
-               img::rgb_to_ycbcr_rows(rotated, converted, static_cast<int>(lo),
-                                      static_cast<int>(hi));
-             },
-             "color_convert");
+    rt.task("color_convert")
+        .in(rotated.row(static_cast<int>(lo)), (hi - lo) * rotated.stride())
+        .out(converted.row(static_cast<int>(lo)), (hi - lo) * converted.stride())
+        .spawn([&rotated, &converted, lo = lo, hi = hi] {
+          img::rgb_to_ycbcr_rows(rotated, converted, static_cast<int>(lo),
+                                 static_cast<int>(hi));
+        });
   }
   rt.taskwait();
   return converted;

@@ -41,14 +41,13 @@ img::Image rotate_ompss(const RotateWorkload& w, std::size_t threads) {
   for (const auto& [lo, hi] :
        split_blocks(static_cast<std::size_t>(w.src.height()),
                     static_cast<std::size_t>(w.block_rows))) {
-    rt.spawn(
-        {oss::in(w.src.data(), w.src.size_bytes()),
-         oss::out(dst.row(static_cast<int>(lo)), (hi - lo) * dst.stride())},
-        [&w, &dst, lo = lo, hi = hi] {
+    rt.task("rotate_rows")
+        .in(w.src.data(), w.src.size_bytes())
+        .out(dst.row(static_cast<int>(lo)), (hi - lo) * dst.stride())
+        .spawn([&w, &dst, lo = lo, hi = hi] {
           img::rotate_rows(w.src, dst, w.spec, static_cast<int>(lo),
                            static_cast<int>(hi));
-        },
-        "rotate_rows");
+        });
   }
   rt.taskwait();
   return dst;

@@ -68,12 +68,12 @@ FacilitySolution streamcluster_app_ompss(const StreamclusterWorkload& w,
       std::vector<PGainPartial> partials(blocks.size());
       for (std::size_t b = 0; b < blocks.size(); ++b) {
         const auto [lo, hi] = blocks[b];
-        rt.spawn({oss::out(partials[b])},
-                 [&, b, lo = lo, hi = hi] {
-                   partials[b].init(sol.centers.size());
-                   cluster::pgain_range(w.points, sol, x, lo, hi, partials[b]);
-                 },
-                 "pgain_range");
+        rt.task("pgain_range")
+            .out(partials[b])
+            .spawn([&, b, lo = lo, hi = hi] {
+              partials[b].init(sol.centers.size());
+              cluster::pgain_range(w.points, sol, x, lo, hi, partials[b]);
+            });
       }
       rt.taskwait(); // task barrier before the serial reduce
       PGainPartial merged;

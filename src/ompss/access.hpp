@@ -151,6 +151,14 @@ template <class T>
 Access inout(std::span<T> s) noexcept {
   return inout(s.data(), s.size());
 }
+template <class T>
+Access commutative(std::span<T> s) noexcept {
+  return commutative(s.data(), s.size());
+}
+template <class T>
+Access concurrent(std::span<T> s) noexcept {
+  return concurrent(s.data(), s.size());
+}
 
 /// The access list attached to a task at spawn time.
 using AccessList = std::vector<Access>;

@@ -9,8 +9,19 @@ const char* to_string(DepKind k) noexcept {
     case DepKind::Raw: return "RAW";
     case DepKind::War: return "WAR";
     case DepKind::Waw: return "WAW";
+    case DepKind::Explicit: return "EXPLICIT";
   }
   return "?";
+}
+
+bool add_explicit_edge(const TaskPtr& producer, const TaskPtr& consumer,
+                       const EdgeSink& sink) {
+  if (!producer || producer.get() == consumer.get()) return false;
+  if (producer->finished()) return false; // already retired: no edge needed
+  producer->successors.push_back(consumer);
+  consumer->preds += 1;
+  if (sink) sink(producer, consumer, DepKind::Explicit);
+  return true;
 }
 
 DepDomain::DepDomain() = default;

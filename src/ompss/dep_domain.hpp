@@ -47,8 +47,10 @@
 
 namespace oss {
 
-/// Kind of dependency edge, for statistics and graph export.
-enum class DepKind : std::uint8_t { Raw, War, Waw };
+/// Kind of dependency edge, for statistics and graph export.  `Explicit`
+/// edges come from `TaskBuilder::after(handle)` rather than from region
+/// overlap.
+enum class DepKind : std::uint8_t { Raw, War, Waw, Explicit };
 
 const char* to_string(DepKind k) noexcept;
 
@@ -56,6 +58,15 @@ const char* to_string(DepKind k) noexcept;
 /// Arguments: producer, consumer, kind.  The producer is guaranteed
 /// unfinished at the time of the call (still under the graph mutex).
 using EdgeSink = std::function<void(const TaskPtr&, const TaskPtr&, DepKind)>;
+
+/// Registers the explicit (handle-declared) edge producer → consumer:
+/// increments `consumer->preds`, appends to the producer's successor list,
+/// and reports a `DepKind::Explicit` edge to `sink`.  Self-edges, null or
+/// already-finished producers are ignored.  Returns true if an edge was
+/// added.  Must be called under the runtime graph mutex, before the
+/// consumer becomes ready.
+bool add_explicit_edge(const TaskPtr& producer, const TaskPtr& consumer,
+                       const EdgeSink& sink);
 
 class DepDomain {
  public:

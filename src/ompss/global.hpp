@@ -5,7 +5,7 @@
 // just spawns tasks.  First use creates the runtime; `oss::shutdown()`
 // destroys it (mainly for tests that want to reconfigure).
 //
-//   oss::spawn({oss::in(a), oss::out(b)}, [&]{ b = f(a); });
+//   oss::task("stage").in(a).out(b).spawn([&]{ b = f(a); });
 //   oss::taskwait();
 //
 // Code that needs several differently-configured runtimes (the benchmark
@@ -13,6 +13,7 @@
 #pragma once
 
 #include "ompss/runtime.hpp"
+#include "ompss/task_builder.hpp"
 
 namespace oss {
 
@@ -27,6 +28,11 @@ void shutdown();
 /// True if the default runtime currently exists.
 bool global_runtime_exists();
 
+/// Starts a fluent task declaration on the default runtime.
+inline TaskBuilder task(std::string label = {}) {
+  return global_runtime().task(std::move(label));
+}
+
 inline std::uint64_t spawn(AccessList accesses, Task::Fn fn, std::string label = {}) {
   return global_runtime().spawn(std::move(accesses), std::move(fn), std::move(label));
 }
@@ -37,8 +43,14 @@ inline void taskwait_on(const void* p, std::size_t bytes = 1) {
   global_runtime().taskwait_on(p, bytes);
 }
 
+inline void taskwait_on(const TaskHandle& h) { global_runtime().taskwait_on(h); }
+
 template <class T>
 void taskwait_on(const T& obj) {
+  static_assert(!std::is_pointer_v<T>,
+                "taskwait_on(ptr) would wait on the sizeof(T*) bytes of the "
+                "pointer object itself; call taskwait_on(ptr, bytes) for a "
+                "region or taskwait_on(*ptr) for the pointee");
   global_runtime().taskwait_on(obj);
 }
 

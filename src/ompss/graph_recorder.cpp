@@ -41,6 +41,7 @@ const char* edge_style(DepKind k) {
     case DepKind::Raw: return "color=black";
     case DepKind::War: return "color=red,style=dashed";
     case DepKind::Waw: return "color=blue,style=dashed";
+    case DepKind::Explicit: return "color=darkgreen,style=dotted";
   }
   return "";
 }

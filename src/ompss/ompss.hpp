@@ -6,12 +6,14 @@
 //
 //   oss::Runtime rt(4);                       // 4 threads total
 //   double a = 1, b = 0, c = 0;
-//   rt.spawn({oss::in(a), oss::out(b)}, [&]{ b = a * 2; });
-//   rt.spawn({oss::in(b), oss::out(c)}, [&]{ c = b + 1; }); // runs after
+//   rt.task("double").in(a).out(b).spawn([&] { b = a * 2; });
+//   rt.task("inc").in(b).out(c).spawn([&] { c = b + 1; }); // runs after
 //   rt.taskwait();                            // c == 3
 //
-// See runtime.hpp for the full API and DESIGN.md for how this maps onto the
-// OmpSs programming model of the paper.
+// See task_builder.hpp for the fluent spawn API (TaskBuilder, TaskGroup),
+// task_handle.hpp for first-class task references, runtime.hpp for the
+// runtime itself, and docs/api.md for the pragma-clause → builder-method
+// mapping.
 #pragma once
 
 #include "ompss/access.hpp"
@@ -25,6 +27,8 @@
 #include "ompss/scheduler.hpp"
 #include "ompss/stats.hpp"
 #include "ompss/task.hpp"
+#include "ompss/task_builder.hpp"
+#include "ompss/task_handle.hpp"
 #include "ompss/taskloop.hpp"
 #include "ompss/trace.hpp"
 #include "ompss/trace_analysis.hpp"

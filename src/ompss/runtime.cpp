@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <stdexcept>
 #include <utility>
 
 namespace oss {
@@ -79,23 +80,34 @@ ContextPtr Runtime::current_spawn_context() {
 }
 
 std::uint64_t Runtime::spawn(AccessList accesses, Task::Fn fn, std::string label) {
-  TaskOptions opts;
-  opts.label = std::move(label);
-  return spawn(std::move(accesses), std::move(fn), std::move(opts));
+  TaskSpec spec;
+  spec.accesses = std::move(accesses);
+  spec.label = std::move(label);
+  return spawn_task(std::move(spec), std::move(fn)).id();
 }
 
 std::uint64_t Runtime::spawn(AccessList accesses, Task::Fn fn, TaskOptions opts) {
-  ContextPtr ctx = current_spawn_context();
+  TaskSpec spec;
+  spec.accesses = std::move(accesses);
+  spec.label = std::move(opts.label);
+  spec.priority = opts.priority;
+  spec.deferred = opts.deferred;
+  return spawn_task(std::move(spec), std::move(fn)).id();
+}
+
+TaskHandle Runtime::spawn_task(TaskSpec spec, Task::Fn fn) {
+  ContextPtr ctx = spec.context ? std::move(spec.context)
+                                : current_spawn_context();
   TaskPtr task;
   bool ready = false;
   std::uint64_t id = 0;
   {
     std::lock_guard lock(graph_mu_);
     id = ++next_task_id_;
-    task = std::make_shared<Task>(id, std::move(fn), std::move(accesses), ctx,
-                                  std::move(opts.label));
-    task->set_priority(opts.priority);
-    task->set_undeferred(!opts.deferred);
+    task = std::make_shared<Task>(id, std::move(fn), std::move(spec.accesses),
+                                  ctx, std::move(spec.label));
+    task->set_priority(spec.priority);
+    task->set_undeferred(!spec.deferred);
     ctx->live_children.fetch_add(1, std::memory_order_acq_rel);
     pending_.fetch_add(1, std::memory_order_acq_rel);
 
@@ -106,10 +118,23 @@ std::uint64_t Runtime::spawn(AccessList accesses, Task::Fn fn, TaskOptions opts)
         case DepKind::Raw: stats_.on_edge_raw(); break;
         case DepKind::War: stats_.on_edge_war(); break;
         case DepKind::Waw: stats_.on_edge_waw(); break;
+        case DepKind::Explicit: stats_.on_edge_explicit(); break;
       }
       if (graph_) graph_->add_edge(from->id(), to->id(), kind);
     };
     ctx->domain().register_task(task, sink);
+
+    // Explicit handle edges (TaskBuilder::after), deduplicated: one edge
+    // per distinct predecessor even if the same handle was passed twice.
+    for (std::size_t i = 0; i < spec.after.size(); ++i) {
+      const TaskPtr& pred = spec.after[i];
+      bool dup = false;
+      for (std::size_t j = 0; j < i && !dup; ++j) {
+        dup = (spec.after[j] == pred);
+      }
+      if (!dup) add_explicit_edge(pred, task, sink);
+    }
+
     ready = (task->preds == 0);
     if (ready) task->set_state(TaskState::Ready);
   }
@@ -133,17 +158,18 @@ std::uint64_t Runtime::spawn(AccessList accesses, Task::Fn fn, TaskOptions opts)
       }
     }
     execute(task, spawner);
-    return id;
+    return TaskHandle(this, std::move(task));
   }
 
   if (ready) {
-    scheduler_->enqueue_spawned(std::move(task), spawner);
+    TaskPtr to_run = task;
+    scheduler_->enqueue_spawned(std::move(to_run), spawner);
     if (blocked_waiters_.load(std::memory_order_acquire) > 0) {
       std::lock_guard lock(cv_mu_);
       cv_.notify_all();
     }
   }
-  return id;
+  return TaskHandle(this, std::move(task));
 }
 
 // ---------------------------------------------------------------------------
@@ -173,6 +199,7 @@ void Runtime::execute(const TaskPtr& t, int wid) {
     t->parent_context()->note_exception(std::current_exception());
   }
   for (auto it = locks.rbegin(); it != locks.rend(); ++it) (*it)->unlock();
+  t->release_body(); // handles may outlive the task; free captures now
   if (trace_) trace_->record(wid, t->id(), t->label(), t0, trace_->now_us());
 
   tl_binding = ThreadBinding{prev_rt, prev_wid, prev_task};
@@ -291,14 +318,7 @@ void Runtime::wait_until(const std::function<bool()>& done) {
   }
 }
 
-void Runtime::taskwait() {
-  stats_.on_taskwait();
-  ContextPtr ctx = current_spawn_context();
-  wait_until([&] {
-    return ctx->live_children.load(std::memory_order_acquire) == 0;
-  });
-  if (std::exception_ptr ep = ctx->take_exception()) std::rethrow_exception(ep);
-}
+void Runtime::taskwait() { taskwait_scope(current_spawn_context()); }
 
 void Runtime::taskwait_on(const void* p, std::size_t bytes) {
   ContextPtr ctx = current_spawn_context();
@@ -317,6 +337,24 @@ void Runtime::taskwait_on(const void* p, std::size_t bytes) {
   });
 }
 
+void Runtime::taskwait_on(const TaskHandle& h) {
+  const TaskPtr& t = h.task();
+  if (!t || t->finished()) return;
+  if (h.runtime() != this) {
+    throw std::invalid_argument(
+        "oss::Runtime::taskwait_on: handle belongs to a different runtime");
+  }
+  wait_until([&] { return t->finished(); });
+}
+
+void Runtime::taskwait_scope(const ContextPtr& ctx) {
+  stats_.on_taskwait();
+  wait_until([&] {
+    return ctx->live_children.load(std::memory_order_acquire) == 0;
+  });
+  if (std::exception_ptr ep = ctx->take_exception()) std::rethrow_exception(ep);
+}
+
 void Runtime::barrier() {
   stats_.on_barrier();
   wait_until([&] { return pending_.load(std::memory_order_acquire) == 0; });
@@ -327,6 +365,15 @@ void Runtime::barrier() {
 void Runtime::critical(std::string_view name, const std::function<void()>& fn) {
   std::lock_guard lock(criticals_.get(name));
   fn();
+}
+
+// ---------------------------------------------------------------------------
+// TaskHandle (declared in task_handle.hpp; needs the complete Runtime)
+// ---------------------------------------------------------------------------
+
+void TaskHandle::wait() const {
+  if (rt_ == nullptr || task_ == nullptr || task_->finished()) return;
+  rt_->taskwait_on(*this);
 }
 
 // ---------------------------------------------------------------------------

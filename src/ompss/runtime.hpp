@@ -3,10 +3,13 @@
 // `oss::Runtime` is the library embodiment of the OmpSs execution model the
 // paper evaluates:
 //
-//   * `spawn(accesses, fn)` corresponds to calling a function annotated with
-//     `#pragma omp task input(...) output(...) inout(...)`: the call is
-//     recorded in a task graph instead of executed, and dependencies are
-//     derived at runtime from the declared memory regions.
+//   * `rt.task("label").in(a).out(b).spawn(fn)` corresponds to calling a
+//     function annotated with `#pragma omp task input(...) output(...)`:
+//     the call is recorded in a task graph instead of executed, and
+//     dependencies are derived at runtime from the declared memory regions.
+//     The fluent builder lives in task_builder.hpp; it finalizes into a
+//     `TaskHandle` (task_handle.hpp).  The positional
+//     `spawn(accesses, fn, opts)` overloads remain as thin shims.
 //   * Tasks may be spawned long before their producers finish — this is what
 //     makes pipeline parallelism (the paper's H.264 case study) directly
 //     expressible.
@@ -37,6 +40,7 @@
 #include <string>
 #include <string_view>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "ompss/access.hpp"
@@ -47,9 +51,12 @@
 #include "ompss/scheduler.hpp"
 #include "ompss/stats.hpp"
 #include "ompss/task.hpp"
+#include "ompss/task_handle.hpp"
 #include "ompss/trace.hpp"
 
 namespace oss {
+
+class TaskBuilder;
 
 /// Per-spawn options (the OmpSs task clauses beyond the access list).
 struct TaskOptions {
@@ -57,6 +64,18 @@ struct TaskOptions {
   int priority = 0;   ///< OmpSs `priority` clause: >0 runs before normal tasks
   bool deferred = true; ///< false = OmpSs `if(0)`: the spawning thread waits
                         ///< for the task's dependencies and runs it inline
+};
+
+/// Everything a task declares at spawn time.  `TaskBuilder` accumulates one
+/// of these; the legacy `spawn()` overloads fill in the subset they expose.
+struct TaskSpec {
+  AccessList accesses;   ///< declared memory regions (dependency source)
+  std::string label;     ///< diagnostics name (graph/trace output)
+  int priority = 0;      ///< OmpSs `priority` clause
+  bool deferred = true;  ///< false = OmpSs `if(0)` inline execution
+  ContextPtr context;    ///< spawn into this context instead of the ambient
+                         ///< one (used by TaskGroup); null = ambient
+  std::vector<TaskPtr> after; ///< explicit predecessors (TaskBuilder::after)
 };
 
 class Runtime {
@@ -73,17 +92,33 @@ class Runtime {
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
 
-  /// Spawns a task.  `accesses` declares the regions the task body will
-  /// touch; `fn` runs once all hazards against earlier siblings are
-  /// resolved.  Returns the task id (usable to correlate graph/trace
-  /// output).  `label` is for diagnostics only.
+  /// Starts a fluent task declaration — the primary spawn API:
+  ///
+  ///   TaskHandle h = rt.task("stage")
+  ///                    .in(a).out(b)
+  ///                    .priority(1)
+  ///                    .spawn([&] { b = f(a); });
+  ///
+  /// Defined in task_builder.hpp (included by the ompss.hpp umbrella).
+  TaskBuilder task(std::string label = {});
+
+  /// Spawns a task from a fully-populated spec.  `fn` runs once all hazards
+  /// against earlier siblings and all `spec.after` predecessors resolved.
+  /// This is the single underlying spawn path: `TaskBuilder::spawn` and the
+  /// legacy `spawn()` shims both land here.
   ///
   /// May be called from the owning thread, from inside tasks (nested
   /// tasks), or from foreign threads (treated as spawning into the root
   /// context).
+  TaskHandle spawn_task(TaskSpec spec, Task::Fn fn);
+
+  /// Legacy positional spawn (shim over `spawn_task`).  `accesses` declares
+  /// the regions the task body will touch.  Returns the task id (usable to
+  /// correlate graph/trace output); prefer `task(...)` which returns a
+  /// first-class TaskHandle.
   std::uint64_t spawn(AccessList accesses, Task::Fn fn, std::string label = {});
 
-  /// Spawn with full task options (priority, undeferred execution).
+  /// Legacy spawn with full task options (shim over `spawn_task`).
   std::uint64_t spawn(AccessList accesses, Task::Fn fn, TaskOptions opts);
 
   /// Waits until all *direct children* of the current context finished.
@@ -97,8 +132,23 @@ class Runtime {
 
   template <class T>
   void taskwait_on(const T& obj) {
+    static_assert(!std::is_pointer_v<T>,
+                  "taskwait_on(ptr) would wait on the sizeof(T*) bytes of the "
+                  "pointer object itself; call taskwait_on(ptr, bytes) for a "
+                  "region or taskwait_on(*ptr) for the pointee");
     taskwait_on(static_cast<const void*>(&obj), sizeof(T));
   }
+
+  /// Waits until exactly the task referenced by `h` finished (per-task
+  /// `taskwait on`).  Empty handles and handles of other runtimes that
+  /// already finished return immediately; waiting on another runtime's
+  /// unfinished handle is an error (throws std::invalid_argument).
+  void taskwait_on(const TaskHandle& h);
+
+  /// Waits until every task spawned into `ctx` finished, then rethrows the
+  /// first exception any of them threw.  This is the TaskGroup wait hook;
+  /// `taskwait()` is the same operation on the ambient context.
+  void taskwait_scope(const ContextPtr& ctx);
 
   /// Waits until the runtime has no unfinished task at all, then rethrows
   /// any pending root-context exception.  The calling thread helps execute

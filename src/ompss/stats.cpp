@@ -11,6 +11,7 @@ StatsSnapshot Stats::snapshot() const {
   s.edges_raw = edges_raw_.load(std::memory_order_relaxed);
   s.edges_war = edges_war_.load(std::memory_order_relaxed);
   s.edges_waw = edges_waw_.load(std::memory_order_relaxed);
+  s.edges_explicit = edges_explicit_.load(std::memory_order_relaxed);
   s.local_pops = local_pops_.load(std::memory_order_relaxed);
   s.global_pops = global_pops_.load(std::memory_order_relaxed);
   s.steals = steals_.load(std::memory_order_relaxed);
@@ -26,7 +27,7 @@ std::string StatsSnapshot::to_string() const {
   std::ostringstream os;
   os << "tasks: spawned=" << tasks_spawned << " executed=" << tasks_executed << '\n'
      << "edges: RAW=" << edges_raw << " WAR=" << edges_war << " WAW=" << edges_waw
-     << " total=" << edges_total() << '\n'
+     << " explicit=" << edges_explicit << " total=" << edges_total() << '\n'
      << "queue: local=" << local_pops << " global=" << global_pops
      << " steals=" << steals << '\n'
      << "waits: taskwait=" << taskwaits << " barrier=" << barriers << '\n'

@@ -22,6 +22,7 @@ struct StatsSnapshot {
   std::uint64_t edges_raw = 0;
   std::uint64_t edges_war = 0;
   std::uint64_t edges_waw = 0;
+  std::uint64_t edges_explicit = 0; ///< handle edges from TaskBuilder::after
   std::uint64_t local_pops = 0;  ///< ready tasks taken from own local queue
   std::uint64_t global_pops = 0; ///< ready tasks taken from the global queue
   std::uint64_t steals = 0;      ///< ready tasks taken from another worker
@@ -30,7 +31,7 @@ struct StatsSnapshot {
   std::vector<std::uint64_t> per_worker_executed;
 
   [[nodiscard]] std::uint64_t edges_total() const {
-    return edges_raw + edges_war + edges_waw;
+    return edges_raw + edges_war + edges_waw + edges_explicit;
   }
 
   /// Multi-line human-readable rendering.
@@ -52,6 +53,7 @@ class Stats {
   void on_edge_raw() { inc(edges_raw_); }
   void on_edge_war() { inc(edges_war_); }
   void on_edge_waw() { inc(edges_waw_); }
+  void on_edge_explicit() { inc(edges_explicit_); }
   void on_local_pop() { inc(local_pops_); }
   void on_global_pop() { inc(global_pops_); }
   void on_steal() { inc(steals_); }
@@ -69,6 +71,7 @@ class Stats {
   Counter edges_raw_{0};
   Counter edges_war_{0};
   Counter edges_waw_{0};
+  Counter edges_explicit_{0};
   Counter local_pops_{0};
   Counter global_pops_{0};
   Counter steals_{0};

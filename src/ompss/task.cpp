@@ -45,6 +45,8 @@ Task::Task(std::uint64_t id, Fn fn, AccessList accesses, ContextPtr parent_ctx,
 
 Task::~Task() = default;
 
+void Task::release_body() noexcept { fn_ = nullptr; }
+
 const ContextPtr& Task::child_context() {
   if (!child_ctx_) child_ctx_ = std::make_shared<TaskContext>();
   return child_ctx_;

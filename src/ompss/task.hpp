@@ -102,6 +102,12 @@ class Task {
   /// Runs the task body (does not catch exceptions).
   void run() { fn_(); }
 
+  /// Drops the body closure.  Called by the runtime once the body returned:
+  /// TaskHandles keep the Task object alive arbitrarily long, and the
+  /// closure may hold large captures that should not live that long.
+  /// Only the executing thread may call this.
+  void release_body() noexcept;
+
   /// Atomic completion flag; set (release) after the body returns and
   /// before successors are notified.
   bool finished() const noexcept { return finished_.load(std::memory_order_acquire); }

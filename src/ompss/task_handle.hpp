@@ -1,0 +1,69 @@
+// task_handle.hpp — first-class references to spawned tasks.
+//
+// `Runtime::spawn(...)` historically returned a bare task id, good only for
+// correlating graph/trace output.  A `TaskHandle` is the typed upgrade: it
+// keeps the underlying task object alive and remembers which runtime spawned
+// it, so callers can
+//
+//   * poll completion (`done()`),
+//   * block on exactly this task (`wait()` — a per-task `taskwait on`, the
+//     waiting thread helps execute tasks under the polling policy), and
+//   * hand it to `TaskBuilder::after(...)` to add an explicit dependency
+//     edge that needs no overlapping memory regions.
+//
+// Handles are cheap to copy (one shared_ptr + one raw pointer) and remain
+// valid after the task finished; a default-constructed handle is empty
+// (`valid() == false`, `done() == true`, `wait()` is a no-op).
+#pragma once
+
+#include <cstdint>
+
+#include "ompss/task.hpp"
+
+namespace oss {
+
+class Runtime;
+
+class TaskHandle {
+ public:
+  /// Empty handle: refers to no task, behaves as already finished.
+  TaskHandle() = default;
+
+  /// True if the handle refers to a spawned task.
+  [[nodiscard]] bool valid() const noexcept { return task_ != nullptr; }
+
+  /// Id of the referenced task (0 for an empty handle).  Matches the ids in
+  /// graph/trace exports and the value legacy `spawn()` returns.
+  [[nodiscard]] std::uint64_t id() const noexcept {
+    return task_ ? task_->id() : 0;
+  }
+
+  /// True once the task body returned (or threw).  Empty handles are done.
+  [[nodiscard]] bool done() const noexcept {
+    return task_ == nullptr || task_->finished();
+  }
+
+  /// Waits until the task finished — a per-task `taskwait on`.  The calling
+  /// thread helps execute tasks while it waits (polling policy).  Safe to
+  /// call from inside other tasks of the same runtime and from foreign
+  /// threads.  No-op for empty or already-finished handles.
+  void wait() const;
+
+  /// Runtime that spawned the task (null for an empty handle).
+  [[nodiscard]] Runtime* runtime() const noexcept { return rt_; }
+
+ private:
+  friend class Runtime;
+  friend class TaskBuilder;
+
+  TaskHandle(Runtime* rt, TaskPtr task) : rt_(rt), task_(std::move(task)) {}
+
+  /// The referenced task (shared ownership keeps `done()` safe after the
+  /// runtime retired the task).
+  [[nodiscard]] const TaskPtr& task() const noexcept { return task_; }
+
+  Runtime* rt_ = nullptr;
+  TaskPtr task_;
+};
+
+} // namespace oss

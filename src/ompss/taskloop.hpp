@@ -19,6 +19,7 @@
 #include <string>
 
 #include "ompss/runtime.hpp"
+#include "ompss/task_builder.hpp"
 
 namespace oss {
 
@@ -37,9 +38,9 @@ inline void spawn_for(
           std::move(body));
   for (std::size_t lo = begin; lo < end; lo += chunk) {
     const std::size_t hi = lo + chunk < end ? lo + chunk : end;
-    AccessList acc = accesses ? accesses(lo, hi) : AccessList{};
-    rt.spawn(std::move(acc),
-             [shared_body, lo, hi] { (*shared_body)(lo, hi); }, label);
+    TaskBuilder b = rt.task(label);
+    if (accesses) b.accesses(accesses(lo, hi));
+    b.spawn([shared_body, lo, hi] { (*shared_body)(lo, hi); });
   }
 }
 

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "ompss/runtime.hpp"
+#include "ompss/task_builder.hpp"
 
 namespace oss {
 
@@ -40,12 +41,11 @@ inline void spawn_wavefront(Runtime& rt, std::size_t rows, std::size_t cols,
 
   for (std::size_t r = 0; r < rows; ++r) {
     for (std::size_t c = 0; c < cols; ++c) {
-      AccessList acc;
-      acc.push_back(oss::out((*tokens)[r * cols + c]));
-      if (c > 0) acc.push_back(oss::in((*tokens)[r * cols + c - 1]));
-      if (r > 0) acc.push_back(oss::in((*tokens)[(r - 1) * cols + c]));
-      rt.spawn(std::move(acc),
-               [tokens, shared_body, r, c] { (*shared_body)(r, c); }, label);
+      TaskBuilder b = rt.task(label);
+      b.out((*tokens)[r * cols + c]);
+      if (c > 0) b.in((*tokens)[r * cols + c - 1]);
+      if (r > 0) b.in((*tokens)[(r - 1) * cols + c]);
+      b.spawn([tokens, shared_body, r, c] { (*shared_body)(r, c); });
     }
   }
 }

@@ -1,0 +1,366 @@
+// The fluent task-builder API: TaskBuilder accesses vs. the legacy spawn
+// overloads, TaskHandle waits, explicit `.after()` edges, and TaskGroup
+// scoping/exception propagation.
+#include "ompss/ompss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Builder-declared accesses must derive the same hazards as the legacy API.
+// ---------------------------------------------------------------------------
+
+TEST(TaskBuilder, AccessesProduceSameEdgesAsLegacySpawn) {
+  // produce → consume (RAW), then overwrite (WAR vs consume, WAW vs
+  // produce).  Single thread: nothing retires early, every edge is real.
+  const auto run_legacy = [] {
+    oss::Runtime rt(1);
+    int x = 0, y = 0;
+    rt.spawn({oss::out(x)}, [&] { x = 1; });
+    rt.spawn({oss::in(x), oss::out(y)}, [&] { y = x; });
+    rt.spawn({oss::out(x)}, [&] { x = 2; });
+    rt.taskwait();
+    return rt.stats();
+  };
+  const auto run_builder = [] {
+    oss::Runtime rt(1);
+    int x = 0, y = 0;
+    rt.task("produce").out(x).spawn([&] { x = 1; });
+    rt.task("consume").in(x).out(y).spawn([&] { y = x; });
+    rt.task("overwrite").out(x).spawn([&] { x = 2; });
+    rt.taskwait();
+    return rt.stats();
+  };
+
+  const oss::StatsSnapshot legacy = run_legacy();
+  const oss::StatsSnapshot fluent = run_builder();
+  EXPECT_EQ(legacy.edges_raw, 1u);
+  EXPECT_EQ(fluent.edges_raw, legacy.edges_raw);
+  EXPECT_EQ(fluent.edges_war, legacy.edges_war);
+  EXPECT_EQ(fluent.edges_waw, legacy.edges_waw);
+  EXPECT_EQ(fluent.edges_explicit, 0u);
+  EXPECT_EQ(fluent.tasks_executed, legacy.tasks_executed);
+}
+
+TEST(TaskBuilder, ChainSerializesLikeLegacyInout) {
+  oss::Runtime rt(4);
+  int token = 0;
+  std::vector<int> order;
+  for (int i = 0; i < 32; ++i) {
+    rt.task("link").inout(token).spawn([&order, i] { order.push_back(i); });
+  }
+  rt.taskwait();
+  ASSERT_EQ(order.size(), 32u);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(TaskBuilder, PointerCountAndAccessListForms) {
+  oss::Runtime rt(2);
+  std::vector<int> data(64, 0);
+  rt.task("fill").out(data.data(), data.size()).spawn([&] {
+    for (auto& v : data) v = 1;
+  });
+  int sum = 0;
+  oss::AccessList acc{oss::in(data.data(), data.size())};
+  rt.task("sum").accesses(std::move(acc)).access(oss::out(sum)).spawn([&] {
+    for (int v : data) sum += v;
+  });
+  rt.taskwait();
+  EXPECT_EQ(sum, 64);
+}
+
+TEST(TaskBuilder, PriorityAndUndeferredApply) {
+  oss::Runtime rt(1); // nothing runs until the undeferred spawn helps
+  std::vector<int> order;
+  int gate = 0;
+  rt.task("low").inout(gate).spawn([&] { order.push_back(1); });
+  // Undeferred: the spawning thread resolves the chain inline.
+  rt.task("inline").inout(gate).priority(5).undeferred().spawn(
+      [&] { order.push_back(2); });
+  ASSERT_EQ(order.size(), 2u); // both ran before spawn returned
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+  rt.taskwait();
+}
+
+TEST(TaskBuilder, SecondSpawnOnSameBuilderThrows) {
+  oss::Runtime rt(2);
+  oss::TaskBuilder b = rt.task("once");
+  b.spawn([] {});
+  EXPECT_THROW(b.spawn([] {}), std::logic_error);
+  rt.taskwait();
+}
+
+// ---------------------------------------------------------------------------
+// TaskHandle
+// ---------------------------------------------------------------------------
+
+TEST(TaskHandle, EmptyHandleIsDoneAndWaitIsNoop) {
+  oss::TaskHandle h;
+  EXPECT_FALSE(h.valid());
+  EXPECT_TRUE(h.done());
+  EXPECT_EQ(h.id(), 0u);
+  h.wait(); // must not crash or hang
+}
+
+TEST(TaskHandle, DoneFlipsAfterWait) {
+  oss::Runtime rt(2);
+  std::atomic<bool> ran{false};
+  oss::TaskHandle h = rt.task("work").spawn([&] { ran = true; });
+  EXPECT_TRUE(h.valid());
+  EXPECT_GT(h.id(), 0u);
+  h.wait();
+  EXPECT_TRUE(h.done());
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(TaskHandle, WaitFromNestedTask) {
+  oss::Runtime rt(2);
+  int value = 0;
+  oss::TaskHandle producer =
+      rt.task("producer").out(value).spawn([&] { value = 7; });
+  std::atomic<int> seen{-1};
+  rt.task("nested_waiter").spawn([&] {
+    // Inside a task: wait() must help execute rather than deadlock.
+    producer.wait();
+    seen = value;
+  });
+  rt.taskwait();
+  EXPECT_EQ(seen.load(), 7);
+}
+
+TEST(TaskHandle, RuntimeTaskwaitOnHandle) {
+  oss::Runtime rt(2);
+  std::atomic<bool> ran{false};
+  oss::TaskHandle h = rt.task("work").spawn([&] { ran = true; });
+  rt.taskwait_on(h);
+  EXPECT_TRUE(h.done());
+  EXPECT_TRUE(ran.load());
+}
+
+// ---------------------------------------------------------------------------
+// Explicit .after() edges
+// ---------------------------------------------------------------------------
+
+TEST(TaskBuilderAfter, OrdersTasksWithoutRegionOverlap) {
+  // The two tasks share no declared memory; only the handle edge orders
+  // them.  Run many rounds so a scheduling accident cannot hide a miss.
+  for (int round = 0; round < 20; ++round) {
+    oss::Runtime rt(4);
+    std::atomic<bool> first_done{false};
+    std::atomic<bool> ordered{true};
+    oss::TaskHandle first = rt.task("first").spawn([&] {
+      for (volatile int i = 0; i < 1000; i = i + 1) {
+      }
+      first_done = true;
+    });
+    rt.task("second").after(first).spawn(
+        [&] { ordered = first_done.load(); });
+    rt.taskwait();
+    ASSERT_TRUE(ordered.load()) << "round " << round;
+  }
+}
+
+TEST(TaskBuilderAfter, CountsExplicitEdgeInStats) {
+  oss::Runtime rt(1); // predecessor cannot retire before registration
+  oss::TaskHandle a = rt.task("a").spawn([] {});
+  oss::TaskHandle b = rt.task("b").spawn([] {});
+  rt.task("join").after(a, b).spawn([] {});
+  rt.taskwait();
+  const auto s = rt.stats();
+  EXPECT_EQ(s.edges_explicit, 2u);
+  EXPECT_EQ(s.edges_total(), s.edges_raw + s.edges_war + s.edges_waw + 2u);
+}
+
+TEST(TaskBuilderAfter, DuplicateAndEmptyHandlesAreHarmless) {
+  oss::Runtime rt(1);
+  oss::TaskHandle a = rt.task("a").spawn([] {});
+  oss::TaskHandle empty;
+  int ran = 0;
+  rt.task("join").after(a).after(a).after(empty).spawn([&] { ran = 1; });
+  rt.taskwait();
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(rt.stats().edges_explicit, 1u); // deduplicated
+}
+
+TEST(TaskBuilderAfter, FinishedHandleAddsNoEdge) {
+  oss::Runtime rt(2);
+  oss::TaskHandle a = rt.task("a").spawn([] {});
+  a.wait();
+  rt.task("b").after(a).spawn([] {});
+  rt.taskwait();
+  EXPECT_EQ(rt.stats().edges_explicit, 0u);
+}
+
+TEST(TaskBuilderAfter, ForeignRuntimeUnfinishedHandleThrows) {
+  oss::Runtime rt_a(1); // holds the task unexecuted until a wait
+  oss::Runtime rt_b(2);
+  oss::TaskHandle h = rt_a.task("held").spawn([] {});
+  EXPECT_FALSE(h.done());
+  EXPECT_THROW(rt_b.task("x").after(h), std::invalid_argument);
+  rt_a.taskwait();
+  rt_b.taskwait();
+}
+
+TEST(TaskBuilderAfter, GraphExportShowsExplicitEdge) {
+  oss::RuntimeConfig cfg = oss::RuntimeConfig::with_threads(1);
+  cfg.record_graph = true;
+  oss::Runtime rt(cfg);
+  oss::TaskHandle a = rt.task("first").spawn([] {});
+  rt.task("second").after(a).spawn([] {});
+  rt.taskwait();
+  EXPECT_NE(rt.export_graph_dot().find("EXPLICIT"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// TaskGroup
+// ---------------------------------------------------------------------------
+
+TEST(TaskGroup, DestructorWaitsForExactlyTheGroup) {
+  oss::Runtime rt(4);
+  std::atomic<int> group_done{0};
+  {
+    oss::TaskGroup g(rt);
+    for (int i = 0; i < 50; ++i) {
+      g.task("member").spawn([&] { group_done++; });
+    }
+  }
+  // No taskwait: the group destructor alone must have joined its tasks.
+  EXPECT_EQ(group_done.load(), 50);
+}
+
+TEST(TaskGroup, WaitIsReusableAndPendingDrops) {
+  oss::Runtime rt(2);
+  oss::TaskGroup g(rt);
+  std::atomic<int> hits{0};
+  g.task("one").spawn([&] { hits++; });
+  g.wait();
+  EXPECT_EQ(hits.load(), 1);
+  EXPECT_EQ(g.pending(), 0u);
+  g.task("two").spawn([&] { hits++; });
+  g.wait();
+  EXPECT_EQ(hits.load(), 2);
+}
+
+TEST(TaskGroup, ScopesIndependentlyOfAmbientContext) {
+  oss::Runtime rt(2);
+  std::atomic<bool> outside_ran{false};
+  int gate = 0;
+  // An ambient chain that is still running when the group joins.
+  rt.task("outside").inout(gate).spawn([&] {
+    for (volatile int i = 0; i < 200000; i = i + 1) {
+    }
+    outside_ran = true;
+  });
+  std::atomic<int> group_hits{0};
+  {
+    oss::TaskGroup g(rt);
+    for (int i = 0; i < 8; ++i) g.task("in_group").spawn([&] { group_hits++; });
+  }
+  EXPECT_EQ(group_hits.load(), 8); // group joined its own tasks...
+  rt.taskwait();                   // ...the ambient chain joins here
+  EXPECT_TRUE(outside_ran.load());
+}
+
+TEST(TaskGroup, IsAPrivateDomainButAfterBridgesToAmbientTasks) {
+  // Documented semantics: declared accesses on group tasks only match
+  // against other group tasks.  With a 1-thread runtime nothing executes
+  // before the first wait, so edge counts at spawn time are exact: the
+  // group task reading x must NOT get a RAW edge from the ambient writer
+  // of x, while `.after` must add an explicit cross-boundary edge.
+  oss::Runtime rt(1);
+  int x = 0;
+  oss::TaskHandle producer = rt.task("produce").out(x).spawn([&] { x = 42; });
+
+  oss::TaskGroup g(rt);
+  g.task("isolated").in(x).spawn([] {});
+  EXPECT_EQ(rt.stats().edges_raw, 0u); // no cross-domain RAW edge
+
+  int seen = -1;
+  g.task("bridged").in(x).after(producer).spawn([&] { seen = x; });
+  EXPECT_EQ(rt.stats().edges_explicit, 1u); // the bridge edge exists
+  EXPECT_EQ(rt.stats().edges_raw, 0u);      // two in-group readers: no hazard
+
+  g.wait();
+  EXPECT_EQ(seen, 42); // producer ran first via the explicit edge
+  rt.taskwait();
+}
+
+TEST(TaskGroup, WaitRethrowsChildException) {
+  oss::Runtime rt(2);
+  oss::TaskGroup g(rt);
+  g.task("boom").spawn([] { throw std::runtime_error("group boom"); });
+  EXPECT_THROW(g.wait(), std::runtime_error);
+  // The exception was consumed; a later wait is clean.
+  g.wait();
+}
+
+TEST(TaskGroup, DestructorRethrowsChildException) {
+  oss::Runtime rt(2);
+  bool caught = false;
+  try {
+    oss::TaskGroup g(rt);
+    g.task("boom").spawn([] { throw std::logic_error("dtor boom"); });
+  } catch (const std::logic_error& e) {
+    caught = true;
+    EXPECT_STREQ(e.what(), "dtor boom");
+  }
+  EXPECT_TRUE(caught);
+}
+
+TEST(TaskGroup, DestructorDuringUnwindingStillDrains) {
+  oss::Runtime rt(2);
+  std::atomic<int> done{0};
+  try {
+    oss::TaskGroup g(rt);
+    for (int i = 0; i < 10; ++i) g.task("late").spawn([&] { done++; });
+    throw std::runtime_error("outer");
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "outer"); // outer exception survives
+  }
+  EXPECT_EQ(done.load(), 10); // and the group still joined its tasks
+}
+
+TEST(TaskGroup, HandlesAndAfterWorkInsideGroups) {
+  oss::Runtime rt(2);
+  std::atomic<bool> ordered{false};
+  std::atomic<bool> first_done{false};
+  {
+    oss::TaskGroup g(rt);
+    oss::TaskHandle first = g.task("first").spawn([&] { first_done = true; });
+    g.task("second").after(first).spawn([&] { ordered = first_done.load(); });
+  }
+  EXPECT_TRUE(ordered.load());
+}
+
+// ---------------------------------------------------------------------------
+// Legacy shims stay equivalent
+// ---------------------------------------------------------------------------
+
+TEST(LegacySpawnShim, ReturnsMonotonicIdsSharedWithBuilder) {
+  oss::Runtime rt(2);
+  const std::uint64_t id1 = rt.spawn({}, [] {});
+  oss::TaskHandle h = rt.task().spawn([] {});
+  const std::uint64_t id3 = rt.spawn({}, [] {});
+  EXPECT_LT(id1, h.id());
+  EXPECT_LT(h.id(), id3);
+  rt.taskwait();
+}
+
+TEST(LegacySpawnShim, OptionsOverloadStillApplies) {
+  oss::Runtime rt(1);
+  int ran = 0;
+  oss::TaskOptions opts;
+  opts.label = "legacy";
+  opts.deferred = false; // undeferred: runs inline
+  rt.spawn({}, [&] { ran = 1; }, opts);
+  EXPECT_EQ(ran, 1);
+  rt.taskwait();
+}
+
+} // namespace
