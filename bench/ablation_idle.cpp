@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
     t.set_header({"idle policy", "idle CPU (ms)", "CPU/window", "wakeup burst (ms)"});
 
     for (auto policy : {oss::IdlePolicy::Spin, oss::IdlePolicy::Yield,
-                        oss::IdlePolicy::Sleep}) {
+                        oss::IdlePolicy::Sleep, oss::IdlePolicy::Park}) {
       oss::RuntimeConfig cfg = oss::RuntimeConfig::with_threads(threads);
       cfg.idle = policy;
       oss::Runtime rt(cfg);
@@ -69,7 +69,9 @@ int main(int argc, char** argv) {
     std::fputs(t.render().c_str(), stdout);
     std::printf("\nshape: spin burns ~#workers×window of CPU while idle but "
                 "wakes instantly; sleep is near-zero idle cost with a "
-                "latency penalty — the paper's responsiveness/power point.\n");
+                "latency penalty — the paper's responsiveness/power point. "
+                "park (eventcount) combines near-zero idle cost with "
+                "notification-latency wakeup.\n");
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "ablation_idle: %s\n", e.what());

@@ -1,0 +1,145 @@
+// bm_scheduler — spawn/steal throughput of the scheduler core.
+//
+// Two tiers:
+//
+//   DequeChurn/<impl>/<threads>   — raw deque throughput under steal-heavy
+//     churn: one owner pushes/takes, the remaining threads steal.  Compares
+//     the lock-free Chase–Lev deque against the mutex baseline directly
+//     (both classes always exist; -DOSS_MUTEX_QUEUES only selects which one
+//     the *scheduler* uses).  The lock-free core must beat the mutex deque
+//     at 8 threads — that is the acceptance gate for the scheduler rework.
+//
+//   PolicyChurn/<policy>/<threads> — end-to-end Runtime spawn→drain
+//     throughput for fifo/locality/wsteal, tasks/second reported as the
+//     items_per_second counter.
+//
+// Run a quick smoke pass with --benchmark_min_time=0.01s (the CI job does);
+// full runs emit the table recorded by the next BENCH_*.json snapshot via
+// --benchmark_format=json.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "ompss/ompss.hpp"
+
+namespace {
+
+oss::TaskPtr make_task(std::uint64_t id) {
+  static auto ctx = std::make_shared<oss::TaskContext>();
+  return std::make_shared<oss::Task>(id, [] {}, oss::AccessList{}, ctx, "");
+}
+
+// --- tier 1: raw deque churn ----------------------------------------------
+
+constexpr std::size_t kChurnTasks = 8192;
+
+/// One owner pushes kChurnTasks (pre-created outside the timed region, so
+/// the measurement is queue operations, not task allocation) and takes from
+/// the hot end; `threads - 1` thieves hammer the cold end until everything
+/// is drained.  Thieves yield on every miss so the harness stays honest on
+/// oversubscribed machines.
+template <class Deque>
+void deque_churn(int threads, const std::vector<oss::TaskPtr>& pool) {
+  Deque dq;
+  std::atomic<std::size_t> drained{0};
+
+  std::vector<std::thread> thieves;
+  for (int i = 1; i < threads; ++i) {
+    thieves.emplace_back([&] {
+      while (drained.load(std::memory_order_relaxed) < kChurnTasks) {
+        if (oss::TaskPtr t = dq.steal()) {
+          drained.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  for (std::size_t i = 0; i < kChurnTasks; ++i) {
+    dq.push(pool[i]);
+    if ((i & 1) == 0) {
+      if (oss::TaskPtr t = dq.take()) {
+        drained.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  while (drained.load(std::memory_order_relaxed) < kChurnTasks) {
+    if (oss::TaskPtr t = dq.take()) {
+      drained.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  for (auto& th : thieves) th.join();
+}
+
+template <class Deque>
+void BM_DequeChurn(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  std::vector<oss::TaskPtr> pool;
+  pool.reserve(kChurnTasks);
+  for (std::size_t i = 0; i < kChurnTasks; ++i) pool.push_back(make_task(i));
+  for (auto _ : state) {
+    deque_churn<Deque>(threads, pool);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kChurnTasks));
+}
+
+// --- tier 2: end-to-end policy churn --------------------------------------
+
+constexpr int kPolicyTasks = 10000;
+
+void BM_PolicyChurn(benchmark::State& state) {
+  const auto policy = static_cast<oss::SchedulerPolicy>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  oss::RuntimeConfig cfg = oss::RuntimeConfig::with_threads(threads);
+  cfg.scheduler = policy;
+  oss::Runtime rt(cfg);
+
+  for (auto _ : state) {
+    std::atomic<int> hits{0};
+    for (int i = 0; i < kPolicyTasks; ++i) {
+      rt.spawn({}, [&hits] { hits.fetch_add(1, std::memory_order_relaxed); });
+    }
+    rt.taskwait();
+    if (hits.load() != kPolicyTasks) state.SkipWithError("lost tasks");
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kPolicyTasks);
+  state.SetLabel(std::string(oss::to_string(policy)) + "/" +
+                 std::to_string(threads) + "t");
+}
+
+} // namespace
+
+BENCHMARK_TEMPLATE(BM_DequeChurn, oss::MutexTaskDeque)
+    ->Name("DequeChurn/mutex")
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_TEMPLATE(BM_DequeChurn, oss::ChaseLevTaskDeque)
+    ->Name("DequeChurn/chase-lev")
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_PolicyChurn)
+    ->Name("PolicyChurn")
+    ->ArgsProduct({{static_cast<long>(oss::SchedulerPolicy::Fifo),
+                    static_cast<long>(oss::SchedulerPolicy::Locality),
+                    static_cast<long>(oss::SchedulerPolicy::WorkStealing)},
+                   {1, 4, 8}})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

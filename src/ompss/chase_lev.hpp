@@ -1,0 +1,157 @@
+// chase_lev.hpp — lock-free work-stealing deque (Chase & Lev, SPAA'05).
+//
+// One *owner* thread pushes and takes at the bottom (LIFO — the hot end);
+// any number of *thief* threads steal at the top (FIFO — the cold end).
+// Owner operations are wait-free except when the buffer grows; steals are
+// lock-free (a thief fails only when another thief or the owner won the
+// element).
+//
+// Memory-order rationale (see docs/scheduler.md for the long version):
+//
+//   * `push` publishes the element with a release store to `bottom_`; a
+//     thief's acquire/seq_cst load of `bottom_` therefore observes the slot
+//     write that preceded it.
+//   * `take` and `steal` race for the last element.  The classic algorithm
+//     separates the owner's `bottom_` store from its `top_` load with a
+//     seq_cst *fence*; ThreadSanitizer does not model standalone fences, so
+//     we put the ordering on the accesses themselves: the owner's
+//     `bottom_` store and `top_` load are seq_cst, as are the thief's
+//     `top_`/`bottom_` loads and the CAS.  The single total order over
+//     seq_cst operations restores the Dekker-style store/load guarantee
+//     (owner sees the thief's CAS, or the thief sees the decremented
+//     bottom — never neither).
+//   * Buffer slots are `std::atomic<T>` accessed relaxed: a doomed thief may
+//     read a slot concurrently with an owner overwrite after wrap-around;
+//     the value is discarded when the CAS fails, but the access must still
+//     be a data-race-free read.
+//   * Grown buffers are retired to an owner-only list and freed in the
+//     destructor: a stale thief may still be reading the old buffer, and
+//     the element values for still-valid indices are identical in both.
+//
+// T must be trivially copyable (the scheduler stores raw `Task*`; the owning
+// reference parks inside the task itself — see Task::anchor_queue_ref).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace oss {
+
+template <class T>
+class ChaseLevDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "ChaseLevDeque elements must be trivially copyable");
+
+ public:
+  explicit ChaseLevDeque(std::size_t initial_capacity = 256)
+      : buffer_(new Buffer(round_up_pow2(initial_capacity))) {
+    retired_.reserve(8);
+  }
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  ~ChaseLevDeque() {
+    delete buffer_.load(std::memory_order_relaxed);
+    for (Buffer* b : retired_) delete b;
+  }
+
+  /// Owner only: pushes at the bottom (hot end).  Grows when full.
+  void push(T x) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    if (b - t >= static_cast<std::int64_t>(buf->capacity)) {
+      buf = grow(buf, t, b);
+    }
+    buf->slot(b).store(x, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  /// Owner only: pops at the bottom (most recently pushed).  Returns T{}
+  /// (null for pointers) when empty.
+  T take() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {
+      // Deque was empty; undo the decrement.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return T{};
+    }
+    T x = buf->slot(b).load(std::memory_order_relaxed);
+    if (t == b) {
+      // Last element: race thieves for it via the top CAS.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        x = T{}; // a thief won
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return x;
+  }
+
+  /// Any thread: steals at the top (oldest element).  Returns T{} when the
+  /// deque is empty or the element was lost to a concurrent take/steal.
+  T steal() {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return T{};
+    Buffer* buf = buffer_.load(std::memory_order_acquire);
+    T x = buf->slot(t).load(std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return T{}; // lost the race; the value read above is discarded
+    }
+    return x;
+  }
+
+  /// Racy size estimate (idle heuristics / tests only).
+  [[nodiscard]] std::size_t size() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+ private:
+  struct Buffer {
+    explicit Buffer(std::size_t cap)
+        : capacity(cap), mask(cap - 1), slots(new std::atomic<T>[cap]) {}
+    std::atomic<T>& slot(std::int64_t i) {
+      return slots[static_cast<std::size_t>(i) & mask];
+    }
+    const std::size_t capacity;
+    const std::size_t mask;
+    std::unique_ptr<std::atomic<T>[]> slots;
+  };
+
+  static std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p < 2 ? 2 : p;
+  }
+
+  Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {
+    auto* bigger = new Buffer(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) {
+      bigger->slot(i).store(old->slot(i).load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+    }
+    buffer_.store(bigger, std::memory_order_release);
+    retired_.push_back(old); // thieves may still read it; freed in the dtor
+    return bigger;
+  }
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Buffer*> buffer_;
+  std::vector<Buffer*> retired_; // owner-only
+};
+
+} // namespace oss

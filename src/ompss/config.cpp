@@ -27,13 +27,15 @@ SchedulerPolicy parse_scheduler_policy(const std::string& name) {
   if (name == "fifo") return SchedulerPolicy::Fifo;
   if (name == "locality") return SchedulerPolicy::Locality;
   if (name == "wsteal" || name == "work-stealing") return SchedulerPolicy::WorkStealing;
-  throw std::invalid_argument("unknown scheduler policy: " + name);
+  throw std::invalid_argument("unknown scheduler policy '" + name +
+                              "' (valid: fifo, locality, wsteal) [OSS_SCHEDULER]");
 }
 
 WaitPolicy parse_wait_policy(const std::string& name) {
   if (name == "poll" || name == "polling") return WaitPolicy::Polling;
   if (name == "block" || name == "blocking") return WaitPolicy::Blocking;
-  throw std::invalid_argument("unknown wait policy: " + name);
+  throw std::invalid_argument("unknown wait policy '" + name +
+                              "' (valid: poll, block) [OSS_BARRIER]");
 }
 
 const char* to_string(IdlePolicy p) noexcept {
@@ -41,6 +43,7 @@ const char* to_string(IdlePolicy p) noexcept {
     case IdlePolicy::Spin: return "spin";
     case IdlePolicy::Yield: return "yield";
     case IdlePolicy::Sleep: return "sleep";
+    case IdlePolicy::Park: return "park";
   }
   return "?";
 }
@@ -49,7 +52,9 @@ IdlePolicy parse_idle_policy(const std::string& name) {
   if (name == "spin") return IdlePolicy::Spin;
   if (name == "yield") return IdlePolicy::Yield;
   if (name == "sleep") return IdlePolicy::Sleep;
-  throw std::invalid_argument("unknown idle policy: " + name);
+  if (name == "park") return IdlePolicy::Park;
+  throw std::invalid_argument("unknown idle policy '" + name +
+                              "' (valid: park, spin, yield, sleep) [OSS_IDLE]");
 }
 
 std::size_t RuntimeConfig::resolved_threads() const noexcept {
@@ -90,6 +95,10 @@ RuntimeConfig RuntimeConfig::from_env() {
   if (const char* v = env("OSS_BARRIER")) cfg.wait_policy = parse_wait_policy(v);
   if (const char* v = env("OSS_IDLE")) cfg.idle = parse_idle_policy(v);
   if (const char* v = env("OSS_SPIN_ROUNDS")) cfg.spin_rounds = parse_size("OSS_SPIN_ROUNDS", v);
+  if (const char* v = env("OSS_STEAL_TRIES")) {
+    cfg.steal_tries = parse_size("OSS_STEAL_TRIES", v);
+    if (cfg.steal_tries == 0) throw std::invalid_argument("OSS_STEAL_TRIES must be >= 1");
+  }
   if (const char* v = env("OSS_RECORD_GRAPH")) cfg.record_graph = parse_bool("OSS_RECORD_GRAPH", v);
   if (const char* v = env("OSS_TRACE")) cfg.record_trace = parse_bool("OSS_TRACE", v);
   return cfg;

@@ -10,10 +10,15 @@
 //                     concurrency.
 //   OSS_SCHEDULER     "locality" (default) | "fifo" | "wsteal".
 //   OSS_BARRIER       "poll" (default) | "block" — how taskwait/barrier wait.
-//   OSS_IDLE          "yield" (default) | "spin" | "sleep" — idle workers.
-//   OSS_SPIN_ROUNDS   busy-poll iterations before an idle worker yields.
+//   OSS_IDLE          "park" (default) | "spin" | "yield" | "sleep" — idle
+//                     workers.
+//   OSS_SPIN_ROUNDS   busy-poll iterations before an idle worker
+//                     parks/yields/sleeps.
+//   OSS_STEAL_TRIES   full victim sweeps per steal attempt (default 2).
 //   OSS_RECORD_GRAPH  "1" to record the task graph for DOT export.
 //   OSS_TRACE         "1" to record an execution trace (Chrome JSON).
+//
+// Unknown policy names fail fast with a message listing the valid options.
 #pragma once
 
 #include <cstddef>
@@ -42,8 +47,11 @@ enum class WaitPolicy {
 /// power efficiency — these policies span that trade-off space:
 enum class IdlePolicy {
   Spin,  ///< busy-poll continuously (the paper's observed behaviour)
-  Yield, ///< poll but yield the CPU between rounds (default; oversubscribe-safe)
+  Yield, ///< poll but yield the CPU between rounds (oversubscribe-safe)
   Sleep, ///< back off to short sleeps when idle (power-friendly, adds latency)
+  Park,  ///< park on an eventcount after a short spin; enqueues wake exactly
+         ///< one parked worker, stop wakes all (default: precise wakeup, no
+         ///< idle CPU burn, no sleep-loop latency)
 };
 
 const char* to_string(SchedulerPolicy p) noexcept;
@@ -65,10 +73,14 @@ struct RuntimeConfig {
 
   SchedulerPolicy scheduler = SchedulerPolicy::Locality;
   WaitPolicy wait_policy = WaitPolicy::Polling;
-  IdlePolicy idle = IdlePolicy::Yield;
+  IdlePolicy idle = IdlePolicy::Park;
 
-  /// Busy-poll iterations before an idle worker yields/sleeps.
+  /// Busy-poll iterations before an idle worker parks/yields/sleeps.
   std::size_t spin_rounds = 64;
+
+  /// Full sweeps over sibling deques a pick() makes before reporting a
+  /// failed steal (OSS_STEAL_TRIES; must be >= 1).
+  std::size_t steal_tries = 2;
 
   /// Record task-graph nodes/edges for `Runtime::export_graph_dot()`.
   bool record_graph = false;

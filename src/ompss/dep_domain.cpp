@@ -74,6 +74,8 @@ void DepDomain::register_task(const TaskPtr& task, const EdgeSink& sink) {
         writer_set_edges(e, DepKind::Raw);
         e.readers.push_back(task);
         e.group_open = false; // readers close groups (group stays as writer)
+        e.epoch_writers.clear(); // no more joiners: release the epoch refs
+        e.epoch_readers.clear();
         break;
 
       case Mode::Out:
@@ -85,17 +87,30 @@ void DepDomain::register_task(const TaskPtr& task, const EdgeSink& sink) {
         e.group_open = false;
         e.comm_lock.reset();
         e.readers.clear();
+        e.epoch_writers.clear();
+        e.epoch_readers.clear();
         break;
 
       case Mode::Commutative:
       case Mode::Concurrent:
         if (e.group_open && e.group_mode == m) {
-          // Join the open group: no ordering among members.
+          // Join the open group: unordered among members, but ordered after
+          // the epoch that preceded the group — replay the starter's edges.
+          for (const TaskPtr& w : e.epoch_writers)
+            add_edge(w, task, DepKind::Waw, dedup, sink);
+          for (const TaskPtr& r : e.epoch_readers)
+            add_edge(r, task, DepKind::War, dedup, sink);
           e.group.push_back(task);
         } else {
-          // Start a new group ordered after the previous epoch.
+          // Start a new group ordered after the previous epoch; snapshot
+          // that epoch so later joiners take the same edges.
+          std::vector<TaskPtr> writers;
+          if (e.last_writer) writers.push_back(e.last_writer);
+          for (const TaskPtr& g : e.group) writers.push_back(g);
           writer_set_edges(e, DepKind::Waw);
           for (const TaskPtr& r : e.readers) add_edge(r, task, DepKind::War, dedup, sink);
+          e.epoch_writers = std::move(writers);
+          e.epoch_readers = std::move(e.readers);
           e.last_writer.reset();
           e.group.clear();
           e.group.push_back(task);

@@ -114,6 +114,15 @@ class DepDomain {
 
     /// Readers since the current writer set was installed.
     std::vector<TaskPtr> readers;
+
+    /// Writer set and readers of the epoch *preceding* the open group.
+    /// Members joining the group later must take the same WAW/WAR edges the
+    /// group starter took: members are unordered among themselves, but the
+    /// whole group is ordered after the previous epoch.  (Without this, a
+    /// joiner had no predecessors at all and could run concurrently with
+    /// the previous epoch's writer.)  Cleared when the group closes.
+    std::vector<TaskPtr> epoch_writers;
+    std::vector<TaskPtr> epoch_readers;
   };
 
   /// Interval map: key is the interval start; intervals never overlap.

@@ -1,0 +1,83 @@
+// eventcount.hpp — park/unpark gate for idle workers.
+//
+// An eventcount decouples "is there work?" from "how do I sleep?": the
+// waiter registers interest (prepare_wait), re-checks the work queues, and
+// only then commits to sleeping; a producer that enqueues work afterwards is
+// guaranteed to either be seen by the re-check or to wake the sleeper.
+//
+// Protocol (worker):                      Protocol (producer):
+//   key = ec.prepare_wait();                enqueue(task);
+//   if (work available) ec.cancel_wait();   ec.notify_one();
+//   else                ec.wait(key);
+//
+// Correctness hinges on a Dekker-style store/load pairing: the waiter's
+// `waiters_` increment must be visible to a producer that bumped the epoch,
+// or the producer's epoch bump must be visible to the waiter's key/re-check.
+// All four accesses are seq_cst so the single total order forbids the
+// "neither sees the other" interleaving (lost wakeup).  The condition
+// variable is only the sleeping primitive underneath; notify_one() touches
+// the mutex solely to close the race against a waiter between its predicate
+// check and the actual cv sleep.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace oss {
+
+class EventCount {
+ public:
+  /// Registers the caller as a potential waiter and returns the ticket to
+  /// pass to wait().  Must be paired with exactly one wait() or
+  /// cancel_wait().
+  std::uint64_t prepare_wait() noexcept {
+    waiters_.fetch_add(1, std::memory_order_seq_cst);
+    return epoch_.load(std::memory_order_seq_cst);
+  }
+
+  /// Aborts a prepared wait (work was found during the re-check).
+  void cancel_wait() noexcept {
+    waiters_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+
+  /// Sleeps until the epoch moves past `key`.  Returns immediately if a
+  /// notify already happened since prepare_wait().
+  void wait(std::uint64_t key) {
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [&] {
+        return epoch_.load(std::memory_order_seq_cst) != key;
+      });
+    }
+    waiters_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+
+  /// Wakes one parked waiter.  Returns true if someone may have been
+  /// sleeping (i.e. a signal was actually issued).
+  bool notify_one() { return notify(false); }
+
+  /// Wakes every parked waiter (shutdown).
+  bool notify_all() { return notify(true); }
+
+ private:
+  bool notify(bool all) {
+    epoch_.fetch_add(1, std::memory_order_seq_cst);
+    if (waiters_.load(std::memory_order_seq_cst) == 0) return false;
+    std::lock_guard lock(mu_);
+    if (all) {
+      cv_.notify_all();
+    } else {
+      cv_.notify_one();
+    }
+    return true;
+  }
+
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint64_t> waiters_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+} // namespace oss

@@ -17,11 +17,14 @@
 #pragma once
 
 #include "ompss/access.hpp"
+#include "ompss/chase_lev.hpp"
 #include "ompss/config.hpp"
 #include "ompss/critical.hpp"
 #include "ompss/dep_domain.hpp"
+#include "ompss/eventcount.hpp"
 #include "ompss/global.hpp"
 #include "ompss/graph_recorder.hpp"
+#include "ompss/mpmc_queue.hpp"
 #include "ompss/queues.hpp"
 #include "ompss/runtime.hpp"
 #include "ompss/scheduler.hpp"

@@ -1,43 +1,81 @@
-// queues.hpp — ready-task queues used by the scheduler.
+// queues.hpp — per-worker ready-task deques used by the scheduler.
 //
-// A `TaskDeque` is a mutex-protected double-ended queue of ready tasks.
-// The double ends matter for policy: locality/work-stealing pop their own
-// queue from the front (LIFO — the task most recently made ready is the one
-// whose data is hot) and thieves steal from the back (FIFO — the coldest
+// The double ends matter for policy: a worker pops its own queue at the hot
+// end (LIFO — the task most recently made ready is the one whose data is
+// still in cache) and thieves steal at the cold end (FIFO — the oldest
 // task, minimizing interference with the victim).
+//
+// Two implementations share the owner-push/owner-take/steal interface:
+//
+//   ChaseLevTaskDeque  — lock-free Chase–Lev deque (chase_lev.hpp) storing
+//                        raw `Task*`, with the owning reference anchored
+//                        inside the task (Task::anchor_queue_ref).  Default.
+//   MutexTaskDeque     — the original mutex-protected std::deque, kept as a
+//                        compile-time baseline (-DOSS_MUTEX_QUEUES=ON) so
+//                        bench/bm_scheduler can quantify the lock-free win.
+//
+// Owner discipline: push() and take() may only be called by the worker that
+// owns the deque (the runtime guarantees this: unblocked tasks are enqueued
+// on the finishing worker's own thread, spawn-local tasks on the spawner's).
+// steal() is safe from any thread.
 #pragma once
 
 #include <cstddef>
 #include <deque>
 #include <mutex>
 
+#include "ompss/chase_lev.hpp"
 #include "ompss/task.hpp"
 
 namespace oss {
 
-class TaskDeque {
+/// Lock-free worker deque: Chase–Lev over raw Task*, references anchored in
+/// the tasks themselves (no allocation per push).
+class ChaseLevTaskDeque {
  public:
-  void push_front(TaskPtr t) {
-    std::lock_guard lock(mu_);
-    q_.push_front(std::move(t));
+  /// Owner only: push at the hot end.
+  void push(TaskPtr t) {
+    Task* raw = t.get();
+    raw->anchor_queue_ref(std::move(t));
+    dq_.push(raw);
   }
 
-  void push_back(TaskPtr t) {
+  /// Owner only: pop at the hot end (LIFO); null when empty.
+  TaskPtr take() {
+    Task* raw = dq_.take();
+    return raw != nullptr ? raw->take_queue_ref() : nullptr;
+  }
+
+  /// Any thread: steal at the cold end (FIFO); null when empty or lost race.
+  TaskPtr steal() {
+    Task* raw = dq_.steal();
+    return raw != nullptr ? raw->take_queue_ref() : nullptr;
+  }
+
+  [[nodiscard]] std::size_t size() const { return dq_.size(); }
+  [[nodiscard]] bool empty() const { return dq_.empty(); }
+
+  ~ChaseLevTaskDeque() {
+    // Release anchored references for anything still queued (the runtime
+    // drains before destruction; this is belt-and-braces against leaks).
+    while (Task* raw = dq_.take()) {
+      TaskPtr dropped = raw->take_queue_ref();
+    }
+  }
+
+ private:
+  ChaseLevDeque<Task*> dq_;
+};
+
+/// Mutex baseline with the same owner/thief interface.
+class MutexTaskDeque {
+ public:
+  void push(TaskPtr t) {
     std::lock_guard lock(mu_);
     q_.push_back(std::move(t));
   }
 
-  /// Pops from the front; returns null if empty.
-  TaskPtr pop_front() {
-    std::lock_guard lock(mu_);
-    if (q_.empty()) return nullptr;
-    TaskPtr t = std::move(q_.front());
-    q_.pop_front();
-    return t;
-  }
-
-  /// Pops from the back (steal end); returns null if empty.
-  TaskPtr pop_back() {
+  TaskPtr take() {
     std::lock_guard lock(mu_);
     if (q_.empty()) return nullptr;
     TaskPtr t = std::move(q_.back());
@@ -45,16 +83,31 @@ class TaskDeque {
     return t;
   }
 
-  std::size_t size() const {
+  TaskPtr steal() {
+    std::lock_guard lock(mu_);
+    if (q_.empty()) return nullptr;
+    TaskPtr t = std::move(q_.front());
+    q_.pop_front();
+    return t;
+  }
+
+  [[nodiscard]] std::size_t size() const {
     std::lock_guard lock(mu_);
     return q_.size();
   }
 
-  bool empty() const { return size() == 0; }
+  [[nodiscard]] bool empty() const { return size() == 0; }
 
  private:
   mutable std::mutex mu_;
   std::deque<TaskPtr> q_;
 };
+
+/// The deque the scheduler actually uses for per-worker queues.
+#if defined(OSS_MUTEX_QUEUES)
+using WorkerDeque = MutexTaskDeque;
+#else
+using WorkerDeque = ChaseLevTaskDeque;
+#endif
 
 } // namespace oss

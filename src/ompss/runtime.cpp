@@ -35,7 +35,7 @@ Runtime::Runtime(RuntimeConfig cfg)
     : cfg_(cfg),
       num_threads_(cfg.resolved_threads()),
       root_ctx_(std::make_shared<TaskContext>()),
-      scheduler_(std::make_unique<Scheduler>(cfg.scheduler, num_threads_)),
+      scheduler_(Scheduler::create(cfg.scheduler, num_threads_, cfg.steal_tries)),
       stats_(num_threads_) {
   if (cfg_.record_graph) graph_ = std::make_unique<GraphRecorder>();
   if (cfg_.record_trace) trace_ = std::make_unique<TraceRecorder>();
@@ -60,6 +60,7 @@ Runtime::~Runtime() {
     std::fprintf(stderr, "oss::Runtime: exception pending at destruction\n");
   }
   stop_.store(true, std::memory_order_release);
+  idle_gate_.notify_all();
   {
     std::lock_guard lock(cv_mu_);
     cv_.notify_all();
@@ -164,6 +165,7 @@ TaskHandle Runtime::spawn_task(TaskSpec spec, Task::Fn fn) {
   if (ready) {
     TaskPtr to_run = task;
     scheduler_->enqueue_spawned(std::move(to_run), spawner);
+    wake_one_worker();
     if (blocked_waiters_.load(std::memory_order_acquire) > 0) {
       std::lock_guard lock(cv_mu_);
       cv_.notify_all();
@@ -226,6 +228,9 @@ void Runtime::on_finished(const TaskPtr& t, int wid) {
 
   for (TaskPtr& s : newly_ready) {
     scheduler_->enqueue_unblocked(std::move(s), wid);
+    // One wakeup per enqueued task: the finisher itself continues with at
+    // most one of them, every additional ready task can feed a parked thief.
+    wake_one_worker();
   }
 
   // Child-count updates must happen after the graph bookkeeping so a
@@ -233,12 +238,9 @@ void Runtime::on_finished(const TaskPtr& t, int wid) {
   t->parent_context()->live_children.fetch_sub(1, std::memory_order_acq_rel);
   pending_.fetch_sub(1, std::memory_order_acq_rel);
 
-  if (blocked_waiters_.load(std::memory_order_acquire) > 0 ||
-      !newly_ready.empty()) {
-    if (blocked_waiters_.load(std::memory_order_acquire) > 0) {
-      std::lock_guard lock(cv_mu_);
-      cv_.notify_all();
-    }
+  if (blocked_waiters_.load(std::memory_order_acquire) > 0) {
+    std::lock_guard lock(cv_mu_);
+    cv_.notify_all();
   }
 }
 
@@ -280,9 +282,34 @@ void Runtime::worker_loop(int wid) {
           idle_rounds = 0;
         }
         break;
+      case IdlePolicy::Park:
+        // Eventcount protocol: register as a waiter, re-check for work,
+        // and only then sleep.  An enqueue between prepare and wait bumps
+        // the epoch, so wait() returns immediately — no lost wakeups, no
+        // sleep-loop latency, no idle CPU burn.  The re-check is a cheap
+        // emptiness probe (prepare_wait's seq_cst op makes earlier
+        // enqueues visible to it); actually picking the task happens back
+        // in the loop, outside the waiter window, so producers never see
+        // a phantom waiter while this worker is busy executing.
+        if (idle_rounds > cfg_.spin_rounds) {
+          const std::uint64_t key = idle_gate_.prepare_wait();
+          if (stop_.load(std::memory_order_acquire) ||
+              scheduler_->queued() != 0) {
+            idle_gate_.cancel_wait();
+          } else {
+            stats_.on_park();
+            idle_gate_.wait(key);
+          }
+          idle_rounds = 0;
+        }
+        break;
     }
   }
   tl_binding = ThreadBinding{};
+}
+
+void Runtime::wake_one_worker() {
+  if (idle_gate_.notify_one()) stats_.on_wakeup();
 }
 
 // ---------------------------------------------------------------------------

@@ -47,6 +47,7 @@
 #include "ompss/config.hpp"
 #include "ompss/critical.hpp"
 #include "ompss/dep_domain.hpp"
+#include "ompss/eventcount.hpp"
 #include "ompss/graph_recorder.hpp"
 #include "ompss/scheduler.hpp"
 #include "ompss/stats.hpp"
@@ -200,6 +201,10 @@ class Runtime {
   void on_finished(const TaskPtr& t, int wid);
   ContextPtr current_spawn_context();
 
+  /// Wakes one parked worker after a task was enqueued (no-op when nobody
+  /// is parked — a pair of uncontended atomic ops).
+  void wake_one_worker();
+
   /// Polls (executing tasks) or blocks until `done()` returns true.
   void wait_until(const std::function<bool()>& done);
 
@@ -218,6 +223,10 @@ class Runtime {
 
   std::atomic<std::size_t> pending_{0}; ///< spawned but not finished
   std::atomic<bool> stop_{false};
+
+  /// Park/unpark gate for idle workers (IdlePolicy::Park): every enqueue
+  /// wakes exactly one parked worker, stop wakes all.
+  EventCount idle_gate_;
 
   // Blocking-wait support: waiters sleep on cv_, completions notify when
   // blocked_waiters_ > 0 (so the polling fast path pays nothing).

@@ -1,96 +1,107 @@
 #include "ompss/scheduler.hpp"
 
+#include <stdexcept>
+
+#include "ompss/scheduler_impl.hpp"
+
 namespace oss {
 
-Scheduler::Scheduler(SchedulerPolicy policy, std::size_t num_workers)
-    : policy_(policy), local_(num_workers) {}
+namespace {
 
-void Scheduler::enqueue_spawned(TaskPtr t, int spawner_worker) {
-  if (t->priority() > 0) {
-    global_hi_.push_back(std::move(t));
-    return;
-  }
-  switch (policy_) {
-    case SchedulerPolicy::Fifo:
-    case SchedulerPolicy::Locality:
-      global_.push_back(std::move(t));
-      break;
-    case SchedulerPolicy::WorkStealing:
-      if (spawner_worker >= 0 &&
-          static_cast<std::size_t>(spawner_worker) < local_.size()) {
-        local_[static_cast<std::size_t>(spawner_worker)].push_back(std::move(t));
-      } else {
-        global_.push_back(std::move(t));
-      }
-      break;
+/// Shard the global queues by worker count: contention grows with workers,
+/// but more shards weaken cross-shard FIFO fairness, so scale gently.
+/// (<=2 workers get a single shard, preserving strict FIFO order there.)
+std::size_t shard_count(std::size_t num_workers) {
+  const std::size_t n = num_workers / 2;
+  if (n < 1) return 1;
+  return n > 8 ? 8 : n;
+}
+
+/// splitmix64 — turns small worker ids into well-mixed RNG seeds.
+std::uint64_t seed_from_id(std::uint64_t id) {
+  std::uint64_t z = (id + 1) * 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z = z ^ (z >> 31);
+  return z != 0 ? z : 1; // xorshift must not start at 0
+}
+
+} // namespace
+
+SchedulerBase::SchedulerBase(SchedulerPolicy policy, std::size_t num_workers,
+                             std::size_t steal_tries)
+    : Scheduler(policy),
+      num_workers_(num_workers),
+      steal_tries_(steal_tries == 0 ? 1 : steal_tries),
+      global_hi_(shard_count(num_workers)),
+      global_(shard_count(num_workers)),
+      workers_(std::make_unique<WorkerState[]>(num_workers)) {
+  for (std::size_t i = 0; i < num_workers_; ++i) {
+    workers_[i].rng = seed_from_id(i);
   }
 }
 
-void Scheduler::enqueue_unblocked(TaskPtr t, int finisher_worker) {
-  if (t->priority() > 0) {
-    global_hi_.push_back(std::move(t));
-    return;
-  }
-  switch (policy_) {
-    case SchedulerPolicy::Fifo:
-      global_.push_back(std::move(t));
-      break;
-    case SchedulerPolicy::Locality:
-    case SchedulerPolicy::WorkStealing:
-      if (finisher_worker >= 0 &&
-          static_cast<std::size_t>(finisher_worker) < local_.size()) {
-        // Front of the finisher's queue: runs next on the same worker,
-        // back-to-back with its producer (the paper's cache-locality win).
-        local_[static_cast<std::size_t>(finisher_worker)].push_front(std::move(t));
-      } else {
-        global_.push_back(std::move(t));
-      }
-      break;
-  }
-}
-
-TaskPtr Scheduler::pick(int worker, Stats& stats) {
-  const bool is_worker =
-      worker >= 0 && static_cast<std::size_t>(worker) < local_.size();
-
-  if (TaskPtr t = global_hi_.pop_front()) {
+TaskPtr SchedulerBase::pick_common(int worker, Stats& stats, bool use_local) {
+  if (TaskPtr t = global_hi_.pop()) {
     stats.on_global_pop();
     return t;
   }
-
-  if (is_worker && policy_ != SchedulerPolicy::Fifo) {
-    if (TaskPtr t = local_[static_cast<std::size_t>(worker)].pop_front()) {
+  if (use_local && is_worker(worker)) {
+    if (TaskPtr t = worker_state(worker).deque.take()) {
       stats.on_local_pop();
       return t;
     }
   }
-
-  if (TaskPtr t = global_.pop_front()) {
+  if (TaskPtr t = global_.pop()) {
     stats.on_global_pop();
     return t;
   }
+  return nullptr;
+}
 
-  if (policy_ != SchedulerPolicy::Fifo && !local_.empty()) {
-    // Steal scan starting from a rotating position to spread contention.
-    const std::uint32_t start =
-        steal_seed_.fetch_add(1, std::memory_order_relaxed);
-    const std::size_t n = local_.size();
+TaskPtr SchedulerBase::steal_from_siblings(int thief, Stats& stats) {
+  const std::size_t n = num_workers_;
+  const bool self_is_worker = is_worker(thief);
+  if (n == 0 || (self_is_worker && n == 1)) return nullptr;
+
+  for (std::size_t round = 0; round < steal_tries_; ++round) {
+    std::size_t start;
+    if (self_is_worker) {
+      start = static_cast<std::size_t>(next_rand(worker_state(thief).rng)) % n;
+    } else {
+      start = foreign_cursor_.fetch_add(1, std::memory_order_relaxed) % n;
+    }
     for (std::size_t i = 0; i < n; ++i) {
       const std::size_t victim = (start + i) % n;
-      if (is_worker && victim == static_cast<std::size_t>(worker)) continue;
-      if (TaskPtr t = local_[victim].pop_back()) {
+      if (self_is_worker && victim == static_cast<std::size_t>(thief)) continue;
+      if (TaskPtr t = workers_[victim].deque.steal()) {
         stats.on_steal();
         return t;
       }
     }
   }
+  stats.on_steal_failed();
   return nullptr;
 }
 
-std::size_t Scheduler::queued() const {
+std::size_t SchedulerBase::queued() const {
   std::size_t n = global_hi_.size() + global_.size();
-  for (const auto& q : local_) n += q.size();
+  for (std::size_t i = 0; i < num_workers_; ++i) n += workers_[i].deque.size();
   return n;
+}
+
+std::unique_ptr<Scheduler> Scheduler::create(SchedulerPolicy policy,
+                                             std::size_t num_workers,
+                                             std::size_t steal_tries) {
+  switch (policy) {
+    case SchedulerPolicy::Fifo:
+      return std::make_unique<FifoScheduler>(num_workers, steal_tries);
+    case SchedulerPolicy::Locality:
+      return std::make_unique<LocalityScheduler>(num_workers, steal_tries);
+    case SchedulerPolicy::WorkStealing:
+      return std::make_unique<WorkStealingScheduler>(num_workers, steal_tries);
+  }
+  throw std::invalid_argument("Scheduler::create: unknown policy");
 }
 
 } // namespace oss

@@ -1,28 +1,33 @@
-// scheduler.hpp — ready-task placement policies.
+// scheduler.hpp — pluggable ready-task placement policies.
 //
 // The paper attributes the ray-rot result to the runtime scheduler "placing
 // dependent tasks on the same core": when task B becomes ready because task A
-// (its producer) finished on worker W, B is pushed to the *front* of W's
-// local queue so W executes it back-to-back with A while A's output is still
-// in cache.  This class implements that policy plus two reference points:
+// (its producer) finished on worker W, B is pushed to the hot end of W's
+// local deque so W executes it back-to-back with A while A's output is still
+// in cache.  Three policies implement that idea plus two reference points:
 //
-//   Fifo          — one global FIFO; placement-oblivious baseline.
+//   Fifo          — one sharded global FIFO; placement-oblivious baseline.
 //   Locality      — unblocked tasks go to the finishing worker's local LIFO;
 //                   spawn-ready tasks go to the global queue.  (Default,
 //                   matches the Nanos++ behaviour the paper describes.)
 //   WorkStealing  — like Locality, but spawn-ready tasks also go to the
-//                   spawner's local queue when the spawner is a worker.
+//                   spawner's local deque when the spawner is a worker.
 //
 // Under every policy an idle worker falls back to the global queue and then
-// steals from the *back* of sibling queues, so no ready task can be stranded.
+// steals from the cold end of sibling deques, so no ready task can be
+// stranded.  The local deques are lock-free Chase–Lev (chase_lev.hpp) and
+// the global queues are sharded MPMC rings (mpmc_queue.hpp); build with
+// -DOSS_MUTEX_QUEUES=ON for the mutex-deque baseline.
+//
+// `Scheduler` is an abstract interface so the runtime can swap policies
+// without special-casing; implementations live in scheduler_impl.hpp and
+// the scheduler_*.cpp policy files, and are built via `Scheduler::create`.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
-#include <vector>
+#include <memory>
 
 #include "ompss/config.hpp"
-#include "ompss/queues.hpp"
 #include "ompss/stats.hpp"
 #include "ompss/task.hpp"
 
@@ -30,36 +35,45 @@ namespace oss {
 
 class Scheduler {
  public:
-  Scheduler(SchedulerPolicy policy, std::size_t num_workers);
+  /// Builds the scheduler implementing `policy` for `num_workers` workers.
+  /// `steal_tries` is the number of full victim sweeps an idle pick()
+  /// performs before giving up (the OSS_STEAL_TRIES knob).
+  static std::unique_ptr<Scheduler> create(SchedulerPolicy policy,
+                                           std::size_t num_workers,
+                                           std::size_t steal_tries = 2);
+
+  virtual ~Scheduler() = default;
 
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
   /// Places a task that was ready at spawn time (no unmet dependencies).
   /// `spawner_worker` is the worker id of the spawning thread, or -1 when
-  /// spawned from a non-worker thread.
-  void enqueue_spawned(TaskPtr t, int spawner_worker);
+  /// spawned from a non-worker thread.  When the policy routes the task to
+  /// the spawner's local deque, the call must happen on that worker's own
+  /// thread (the runtime always does; the deque owner ops require it).
+  virtual void enqueue_spawned(TaskPtr t, int spawner_worker) = 0;
 
   /// Places a task that became ready because a predecessor finished on
-  /// `finisher_worker` (-1 if the finisher is not a worker).
-  void enqueue_unblocked(TaskPtr t, int finisher_worker);
+  /// `finisher_worker` (-1 if the finisher is not a worker).  Same owner
+  /// discipline as enqueue_spawned.
+  virtual void enqueue_unblocked(TaskPtr t, int finisher_worker) = 0;
 
   /// Takes the next task for `worker` (-1 for non-worker threads helping
-  /// out): local queue first, then global, then steal.  Returns null if no
-  /// work was found.  Updates pop/steal statistics.
-  TaskPtr pick(int worker, Stats& stats);
+  /// out): priority queue, then local deque, then global, then steal.
+  /// Returns null if no work was found.  Updates pop/steal statistics.
+  virtual TaskPtr pick(int worker, Stats& stats) = 0;
 
   /// Approximate count of queued ready tasks (for idle heuristics/tests).
-  [[nodiscard]] std::size_t queued() const;
+  [[nodiscard]] virtual std::size_t queued() const = 0;
 
   [[nodiscard]] SchedulerPolicy policy() const noexcept { return policy_; }
 
+ protected:
+  explicit Scheduler(SchedulerPolicy policy) : policy_(policy) {}
+
  private:
   SchedulerPolicy policy_;
-  TaskDeque global_hi_; ///< tasks with priority > 0, served before all else
-  TaskDeque global_;
-  std::vector<TaskDeque> local_;
-  std::atomic<std::uint32_t> steal_seed_{0x9e3779b9u};
 };
 
 } // namespace oss

@@ -1,0 +1,22 @@
+// Fifo policy: one sharded global FIFO, no local deques, no stealing.
+// The placement-oblivious baseline the paper's locality results are
+// measured against — local_pops and steals stay exactly zero.
+#include "ompss/scheduler_impl.hpp"
+
+namespace oss {
+
+void FifoScheduler::enqueue_spawned(TaskPtr t, int /*spawner_worker*/) {
+  if (place_priority(t)) return;
+  global_.push(std::move(t));
+}
+
+void FifoScheduler::enqueue_unblocked(TaskPtr t, int /*finisher_worker*/) {
+  if (place_priority(t)) return;
+  global_.push(std::move(t));
+}
+
+TaskPtr FifoScheduler::pick(int worker, Stats& stats) {
+  return pick_common(worker, stats, /*use_local=*/false);
+}
+
+} // namespace oss

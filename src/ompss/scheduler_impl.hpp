@@ -1,0 +1,107 @@
+// scheduler_impl.hpp — shared machinery for the scheduler policies.
+//
+// `SchedulerBase` owns what every policy needs: the sharded global queues
+// (normal + priority), one cache-line-padded state block per worker (local
+// Chase–Lev deque + private steal RNG), and the common pick/steal skeleton.
+// The concrete policies (scheduler_fifo.cpp, scheduler_locality.cpp,
+// scheduler_wsteal.cpp) only decide *placement*; the drain side is shared.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "ompss/mpmc_queue.hpp"
+#include "ompss/queues.hpp"
+#include "ompss/scheduler.hpp"
+
+namespace oss {
+
+class SchedulerBase : public Scheduler {
+ protected:
+  SchedulerBase(SchedulerPolicy policy, std::size_t num_workers,
+                std::size_t steal_tries);
+
+ public:
+  [[nodiscard]] std::size_t queued() const override;
+
+ protected:
+  /// Per-worker state, padded so neighbouring workers never share a line.
+  /// The RNG is private to the owning worker (only the owner steals with
+  /// it), so steal attempts no longer contend on a shared seed.
+  struct alignas(64) WorkerState {
+    WorkerDeque deque;
+    std::uint64_t rng = 0;
+  };
+
+  /// Routes to the priority queue when applicable; returns true if consumed.
+  bool place_priority(TaskPtr& t) {
+    if (t->priority() <= 0) return false;
+    global_hi_.push(std::move(t));
+    return true;
+  }
+
+  /// Priority queue, then the caller's local deque, then the global queue.
+  /// `use_local` lets Fifo skip the local tier entirely.
+  TaskPtr pick_common(int worker, Stats& stats, bool use_local);
+
+  /// Random-start sweeps over sibling deques; counts one failed-steal per
+  /// pick that sweeps every victim `steal_tries` times and finds nothing.
+  TaskPtr steal_from_siblings(int thief, Stats& stats);
+
+  [[nodiscard]] bool is_worker(int w) const noexcept {
+    return w >= 0 && static_cast<std::size_t>(w) < num_workers_;
+  }
+
+  WorkerState& worker_state(int w) {
+    return workers_[static_cast<std::size_t>(w)];
+  }
+
+  /// xorshift64: cheap, decent-quality per-worker steal randomness.
+  static std::uint64_t next_rand(std::uint64_t& s) noexcept {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  }
+
+  std::size_t num_workers_;
+  std::size_t steal_tries_;
+  ShardedTaskQueue global_hi_; ///< priority > 0, served before all else
+  ShardedTaskQueue global_;
+  std::unique_ptr<WorkerState[]> workers_;
+  /// Sweep-start cursor for non-worker thieves (rare; workers use their
+  /// private RNG instead).
+  std::atomic<std::uint32_t> foreign_cursor_{0};
+};
+
+class FifoScheduler final : public SchedulerBase {
+ public:
+  FifoScheduler(std::size_t num_workers, std::size_t steal_tries)
+      : SchedulerBase(SchedulerPolicy::Fifo, num_workers, steal_tries) {}
+  void enqueue_spawned(TaskPtr t, int spawner_worker) override;
+  void enqueue_unblocked(TaskPtr t, int finisher_worker) override;
+  TaskPtr pick(int worker, Stats& stats) override;
+};
+
+class LocalityScheduler final : public SchedulerBase {
+ public:
+  LocalityScheduler(std::size_t num_workers, std::size_t steal_tries)
+      : SchedulerBase(SchedulerPolicy::Locality, num_workers, steal_tries) {}
+  void enqueue_spawned(TaskPtr t, int spawner_worker) override;
+  void enqueue_unblocked(TaskPtr t, int finisher_worker) override;
+  TaskPtr pick(int worker, Stats& stats) override;
+};
+
+class WorkStealingScheduler final : public SchedulerBase {
+ public:
+  WorkStealingScheduler(std::size_t num_workers, std::size_t steal_tries)
+      : SchedulerBase(SchedulerPolicy::WorkStealing, num_workers, steal_tries) {
+  }
+  void enqueue_spawned(TaskPtr t, int spawner_worker) override;
+  void enqueue_unblocked(TaskPtr t, int finisher_worker) override;
+  TaskPtr pick(int worker, Stats& stats) override;
+};
+
+} // namespace oss

@@ -1,0 +1,30 @@
+// Locality policy (default): a task unblocked by a completion is pushed to
+// the hot end of the finishing worker's deque, so the consumer runs
+// back-to-back with its producer while the produced data is still in cache
+// (the paper's ray-rot win).  Spawn-ready tasks go to the global queue.
+#include "ompss/scheduler_impl.hpp"
+
+namespace oss {
+
+void LocalityScheduler::enqueue_spawned(TaskPtr t, int /*spawner_worker*/) {
+  if (place_priority(t)) return;
+  global_.push(std::move(t));
+}
+
+void LocalityScheduler::enqueue_unblocked(TaskPtr t, int finisher_worker) {
+  if (place_priority(t)) return;
+  if (is_worker(finisher_worker)) {
+    // Hot end of the finisher's deque: runs next on the same worker,
+    // back-to-back with its producer (the paper's cache-locality win).
+    worker_state(finisher_worker).deque.push(std::move(t));
+  } else {
+    global_.push(std::move(t));
+  }
+}
+
+TaskPtr LocalityScheduler::pick(int worker, Stats& stats) {
+  if (TaskPtr t = pick_common(worker, stats, /*use_local=*/true)) return t;
+  return steal_from_siblings(worker, stats);
+}
+
+} // namespace oss

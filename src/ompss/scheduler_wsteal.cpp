@@ -1,0 +1,32 @@
+// WorkStealing policy: like Locality, but spawn-ready tasks also go to the
+// spawning worker's own deque (Cilk-style LIFO spawn order), so a worker
+// producing a burst of tasks keeps them hot locally and idle siblings pull
+// the oldest ones from the cold end.
+#include "ompss/scheduler_impl.hpp"
+
+namespace oss {
+
+void WorkStealingScheduler::enqueue_spawned(TaskPtr t, int spawner_worker) {
+  if (place_priority(t)) return;
+  if (is_worker(spawner_worker)) {
+    worker_state(spawner_worker).deque.push(std::move(t));
+  } else {
+    global_.push(std::move(t));
+  }
+}
+
+void WorkStealingScheduler::enqueue_unblocked(TaskPtr t, int finisher_worker) {
+  if (place_priority(t)) return;
+  if (is_worker(finisher_worker)) {
+    worker_state(finisher_worker).deque.push(std::move(t));
+  } else {
+    global_.push(std::move(t));
+  }
+}
+
+TaskPtr WorkStealingScheduler::pick(int worker, Stats& stats) {
+  if (TaskPtr t = pick_common(worker, stats, /*use_local=*/true)) return t;
+  return steal_from_siblings(worker, stats);
+}
+
+} // namespace oss

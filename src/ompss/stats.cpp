@@ -15,6 +15,9 @@ StatsSnapshot Stats::snapshot() const {
   s.local_pops = local_pops_.load(std::memory_order_relaxed);
   s.global_pops = global_pops_.load(std::memory_order_relaxed);
   s.steals = steals_.load(std::memory_order_relaxed);
+  s.steals_failed = steals_failed_.load(std::memory_order_relaxed);
+  s.parks = parks_.load(std::memory_order_relaxed);
+  s.wakeups = wakeups_.load(std::memory_order_relaxed);
   s.taskwaits = taskwaits_.load(std::memory_order_relaxed);
   s.barriers = barriers_.load(std::memory_order_relaxed);
   s.per_worker_executed.reserve(per_worker_executed_.size());
@@ -29,7 +32,8 @@ std::string StatsSnapshot::to_string() const {
      << "edges: RAW=" << edges_raw << " WAR=" << edges_war << " WAW=" << edges_waw
      << " explicit=" << edges_explicit << " total=" << edges_total() << '\n'
      << "queue: local=" << local_pops << " global=" << global_pops
-     << " steals=" << steals << '\n'
+     << " steals=" << steals << " steal-fails=" << steals_failed << '\n'
+     << "idle: parks=" << parks << " wakeups=" << wakeups << '\n'
      << "waits: taskwait=" << taskwaits << " barrier=" << barriers << '\n'
      << "per-worker executed:";
   for (std::size_t i = 0; i < per_worker_executed.size(); ++i)

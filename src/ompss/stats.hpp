@@ -26,6 +26,9 @@ struct StatsSnapshot {
   std::uint64_t local_pops = 0;  ///< ready tasks taken from own local queue
   std::uint64_t global_pops = 0; ///< ready tasks taken from the global queue
   std::uint64_t steals = 0;      ///< ready tasks taken from another worker
+  std::uint64_t steals_failed = 0; ///< picks that swept every victim empty
+  std::uint64_t parks = 0;       ///< times an idle worker parked on the gate
+  std::uint64_t wakeups = 0;     ///< notifications that signalled a parked worker
   std::uint64_t taskwaits = 0;
   std::uint64_t barriers = 0;
   std::vector<std::uint64_t> per_worker_executed;
@@ -57,6 +60,9 @@ class Stats {
   void on_local_pop() { inc(local_pops_); }
   void on_global_pop() { inc(global_pops_); }
   void on_steal() { inc(steals_); }
+  void on_steal_failed() { inc(steals_failed_); }
+  void on_park() { inc(parks_); }
+  void on_wakeup() { inc(wakeups_); }
   void on_taskwait() { inc(taskwaits_); }
   void on_barrier() { inc(barriers_); }
 
@@ -75,6 +81,9 @@ class Stats {
   Counter local_pops_{0};
   Counter global_pops_{0};
   Counter steals_{0};
+  Counter steals_failed_{0};
+  Counter parks_{0};
+  Counter wakeups_{0};
   Counter taskwaits_{0};
   Counter barriers_{0};
   std::vector<Counter> per_worker_executed_;

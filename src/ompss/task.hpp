@@ -136,6 +136,22 @@ class Task {
     return exclusion_locks_;
   }
 
+  // ---- lock-free ready-queue anchor -----------------------------------
+  // The lock-free queues (chase_lev.hpp, mpmc_queue.hpp) store tasks as raw
+  // `Task*`; the queue's owning reference parks in this slot while the task
+  // is enqueued.  The enqueuer writes it before the queue publishes the
+  // pointer and the single dequeuer that wins the element takes it back —
+  // the queue's release/acquire (or CAS) handshake orders the two, and a
+  // ready task sits in at most one queue, so one slot suffices.
+
+  void anchor_queue_ref(TaskPtr self) noexcept {
+    queue_ref_ = std::move(self);
+  }
+
+  [[nodiscard]] TaskPtr take_queue_ref() noexcept {
+    return std::move(queue_ref_);
+  }
+
   // ---- fields guarded by the runtime graph mutex ----------------------
 
   /// Unfinished predecessors; the task becomes ready when this hits zero.
@@ -154,6 +170,7 @@ class Task {
   int priority_ = 0;
   bool undeferred_ = false;
   std::vector<std::shared_ptr<std::mutex>> exclusion_locks_;
+  TaskPtr queue_ref_; // owning self-reference while in a lock-free queue
   std::atomic<bool> finished_{false};
   std::atomic<TaskState> state_{TaskState::Created};
 };

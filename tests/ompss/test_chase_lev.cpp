@@ -1,0 +1,242 @@
+// Chase–Lev deque tests: single-thread semantics, growth, owner/thief
+// interleaving stress (run under TSan in CI), and a policy-parity churn test
+// asserting every scheduler drains a 10k-task workload with nothing
+// stranded.
+#include "ompss/ompss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace {
+
+oss::TaskPtr make_task(std::uint64_t id) {
+  static auto ctx = std::make_shared<oss::TaskContext>();
+  return std::make_shared<oss::Task>(id, [] {}, oss::AccessList{}, ctx, "");
+}
+
+// --- raw deque semantics ---------------------------------------------------
+
+TEST(ChaseLev, OwnerTakesLifoThievesStealFifo) {
+  oss::ChaseLevDeque<int*> dq;
+  int a = 1, b = 2, c = 3;
+  dq.push(&a);
+  dq.push(&b);
+  dq.push(&c);
+  EXPECT_EQ(dq.steal(), &a); // cold end: oldest
+  EXPECT_EQ(dq.take(), &c);  // hot end: newest
+  EXPECT_EQ(dq.take(), &b);
+  EXPECT_EQ(dq.take(), nullptr);
+  EXPECT_EQ(dq.steal(), nullptr);
+}
+
+TEST(ChaseLev, GrowsBeyondInitialCapacity) {
+  oss::ChaseLevDeque<std::size_t*> dq(4);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::size_t> vals(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    vals[i] = i;
+    dq.push(&vals[i]);
+  }
+  EXPECT_EQ(dq.size(), kN);
+  // Everything must come back exactly once, LIFO from the owner end.
+  for (std::size_t i = kN; i-- > 0;) {
+    std::size_t* p = dq.take();
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(*p, i);
+  }
+  EXPECT_EQ(dq.take(), nullptr);
+}
+
+TEST(ChaseLevTaskDeque, AnchorsAndReleasesTaskReferences) {
+  oss::ChaseLevTaskDeque dq;
+  oss::TaskPtr t = make_task(7);
+  const auto before = t.use_count();
+  dq.push(t); // copy anchored inside the task
+  oss::TaskPtr back = dq.take();
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->id(), 7u);
+  back.reset();
+  EXPECT_EQ(t.use_count(), before); // no leaked queue reference
+}
+
+TEST(ChaseLevTaskDeque, DestructorReleasesQueuedTasks) {
+  oss::TaskPtr t = make_task(8);
+  {
+    oss::ChaseLevTaskDeque dq;
+    dq.push(t);
+  } // deque destroyed with the task still inside
+  EXPECT_EQ(t.use_count(), 1); // our reference is the only one left
+}
+
+// --- owner/thief interleaving stress (the TSan target) ---------------------
+
+template <class Deque>
+void owner_thief_stress() {
+  constexpr std::size_t kTasks = 20000;
+  constexpr int kThieves = 3;
+
+  Deque dq;
+  std::vector<std::atomic<int>> seen(kTasks);
+  for (auto& s : seen) s.store(0, std::memory_order_relaxed);
+  std::atomic<std::size_t> drained{0};
+  std::atomic<bool> done_pushing{false};
+
+  auto consume = [&](oss::TaskPtr t) {
+    seen[static_cast<std::size_t>(t->id())].fetch_add(1,
+                                                      std::memory_order_relaxed);
+    drained.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  std::vector<std::thread> thieves;
+  thieves.reserve(kThieves);
+  for (int i = 0; i < kThieves; ++i) {
+    thieves.emplace_back([&] {
+      while (drained.load(std::memory_order_relaxed) < kTasks) {
+        if (oss::TaskPtr t = dq.steal()) {
+          consume(std::move(t));
+        } else if (done_pushing.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  // Owner: pushes everything, interleaving takes so both ends stay busy.
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    dq.push(make_task(i));
+    if ((i & 3) == 0) {
+      if (oss::TaskPtr t = dq.take()) consume(std::move(t));
+    }
+  }
+  done_pushing.store(true, std::memory_order_release);
+  while (drained.load(std::memory_order_relaxed) < kTasks) {
+    if (oss::TaskPtr t = dq.take()) consume(std::move(t));
+  }
+  for (auto& th : thieves) th.join();
+
+  EXPECT_EQ(drained.load(), kTasks);
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(seen[i].load(), 1) << "task " << i << " lost or duplicated";
+  }
+  EXPECT_EQ(dq.take(), nullptr);
+}
+
+TEST(ChaseLevTaskDeque, OwnerThiefStress) {
+  owner_thief_stress<oss::ChaseLevTaskDeque>();
+}
+
+TEST(MutexTaskDeque, OwnerThiefStressParity) {
+  owner_thief_stress<oss::MutexTaskDeque>();
+}
+
+// --- sharded global queue --------------------------------------------------
+
+TEST(ShardedTaskQueue, SingleShardIsStrictFifo) {
+  oss::ShardedTaskQueue q(1);
+  for (std::uint64_t i = 0; i < 100; ++i) q.push(make_task(i));
+  EXPECT_EQ(q.size(), 100u);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    oss::TaskPtr t = q.pop();
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(t->id(), i);
+  }
+  EXPECT_EQ(q.pop(), nullptr);
+}
+
+TEST(ShardedTaskQueue, OverflowBeyondRingCapacityLosesNothing) {
+  oss::ShardedTaskQueue q(2, /*ring_capacity=*/16);
+  constexpr std::uint64_t kN = 5000;
+  std::vector<int> seen(kN, 0);
+  for (std::uint64_t i = 0; i < kN; ++i) q.push(make_task(i));
+  while (oss::TaskPtr t = q.pop()) seen[t->id()]++;
+  for (std::uint64_t i = 0; i < kN; ++i) EXPECT_EQ(seen[i], 1) << i;
+}
+
+TEST(ShardedTaskQueue, ConcurrentProducersConsumersDrainExactlyOnce) {
+  constexpr std::uint64_t kPerProducer = 5000;
+  constexpr int kProducers = 2;
+  constexpr int kConsumers = 2;
+  oss::ShardedTaskQueue q(4, /*ring_capacity=*/64);
+  std::vector<std::atomic<int>> seen(kPerProducer * kProducers);
+  for (auto& s : seen) s.store(0, std::memory_order_relaxed);
+  std::atomic<std::uint64_t> drained{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        q.push(make_task(static_cast<std::uint64_t>(p) * kPerProducer + i));
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (drained.load(std::memory_order_relaxed) <
+             kPerProducer * kProducers) {
+        if (oss::TaskPtr t = q.pop()) {
+          seen[t->id()].fetch_add(1, std::memory_order_relaxed);
+          drained.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].load(), 1) << "task " << i;
+  }
+}
+
+// --- policy parity under churn ---------------------------------------------
+
+class PolicyChurnTest : public ::testing::TestWithParam<oss::SchedulerPolicy> {
+};
+
+TEST_P(PolicyChurnTest, TenThousandTaskChurnLeavesNothingStranded) {
+  oss::RuntimeConfig cfg = oss::RuntimeConfig::with_threads(4);
+  cfg.scheduler = GetParam();
+  oss::Runtime rt(cfg);
+
+  constexpr int kTasks = 10000;
+  constexpr int kChains = 8;
+  std::atomic<int> hits{0};
+  std::vector<long> tokens(kChains, 0);
+  std::vector<long> expected(kChains, 0);
+  for (int i = 0; i < kTasks; ++i) {
+    if (i % 4 == 0) {
+      // A quarter of the load forms dependent chains (exercises
+      // enqueue_unblocked placement), the rest is independent churn.
+      const auto chain = static_cast<std::size_t>(i / 4 % kChains);
+      ++expected[chain];
+      long* slot = &tokens[chain];
+      rt.spawn({oss::inout(*slot)}, [&hits, slot] {
+        ++*slot;
+        hits.fetch_add(1, std::memory_order_relaxed);
+      });
+    } else {
+      rt.spawn({}, [&hits] { hits.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }
+  rt.taskwait();
+
+  EXPECT_EQ(hits.load(), kTasks);
+  EXPECT_EQ(rt.pending_tasks(), 0u);
+  for (int c = 0; c < kChains; ++c) {
+    EXPECT_EQ(tokens[c], expected[c]) << "chain " << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyChurnTest,
+                         ::testing::Values(oss::SchedulerPolicy::Fifo,
+                                           oss::SchedulerPolicy::Locality,
+                                           oss::SchedulerPolicy::WorkStealing),
+                         [](const auto& info) {
+                           return std::string(oss::to_string(info.param));
+                         });
+
+} // namespace

@@ -51,6 +51,42 @@ TEST(Config, WaitPolicyNamesRoundTrip) {
 TEST(Config, UnknownPolicyThrows) {
   EXPECT_THROW(oss::parse_scheduler_policy("bogus"), std::invalid_argument);
   EXPECT_THROW(oss::parse_wait_policy("bogus"), std::invalid_argument);
+  EXPECT_THROW(oss::parse_idle_policy("bogus"), std::invalid_argument);
+}
+
+TEST(Config, UnknownPolicyErrorsListTheValidOptions) {
+  try {
+    oss::parse_scheduler_policy("bogus");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("bogus"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("fifo"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("locality"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("wsteal"), std::string::npos) << msg;
+  }
+  try {
+    oss::parse_idle_policy("nap");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("nap"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("park"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("spin"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("yield"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("sleep"), std::string::npos) << msg;
+  }
+}
+
+TEST(Config, FromEnvRejectsUnknownPolicyValues) {
+  {
+    ScopedEnv e("OSS_SCHEDULER", "round-robin");
+    EXPECT_THROW(oss::RuntimeConfig::from_env(), std::invalid_argument);
+  }
+  {
+    ScopedEnv e("OSS_IDLE", "nap");
+    EXPECT_THROW(oss::RuntimeConfig::from_env(), std::invalid_argument);
+  }
 }
 
 TEST(Config, ResolvedThreadsUsesHardwareWhenZero) {
@@ -68,6 +104,8 @@ TEST(Config, FromEnvReadsAllKnobs) {
   ScopedEnv e4("OSS_SPIN_ROUNDS", "17");
   ScopedEnv e5("OSS_RECORD_GRAPH", "1");
   ScopedEnv e6("OSS_TRACE", "true");
+  ScopedEnv e7("OSS_IDLE", "sleep");
+  ScopedEnv e8("OSS_STEAL_TRIES", "4");
   const oss::RuntimeConfig cfg = oss::RuntimeConfig::from_env();
   EXPECT_EQ(cfg.num_threads, 5u);
   EXPECT_EQ(cfg.scheduler, oss::SchedulerPolicy::Fifo);
@@ -75,6 +113,26 @@ TEST(Config, FromEnvReadsAllKnobs) {
   EXPECT_EQ(cfg.spin_rounds, 17u);
   EXPECT_TRUE(cfg.record_graph);
   EXPECT_TRUE(cfg.record_trace);
+  EXPECT_EQ(cfg.idle, oss::IdlePolicy::Sleep);
+  EXPECT_EQ(cfg.steal_tries, 4u);
+}
+
+TEST(Config, StealTriesMustBePositive) {
+  {
+    ScopedEnv e("OSS_STEAL_TRIES", "0");
+    EXPECT_THROW(oss::RuntimeConfig::from_env(), std::invalid_argument);
+  }
+  {
+    ScopedEnv e("OSS_STEAL_TRIES", "two");
+    EXPECT_THROW(oss::RuntimeConfig::from_env(), std::invalid_argument);
+  }
+}
+
+TEST(Config, ParkIsTheDefaultIdlePolicy) {
+  const oss::RuntimeConfig cfg;
+  EXPECT_EQ(cfg.idle, oss::IdlePolicy::Park);
+  EXPECT_EQ(oss::parse_idle_policy("park"), oss::IdlePolicy::Park);
+  EXPECT_STREQ(oss::to_string(oss::IdlePolicy::Park), "park");
 }
 
 TEST(Config, FromEnvRejectsMalformedValues) {

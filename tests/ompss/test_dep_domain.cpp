@@ -232,4 +232,47 @@ TEST_F(DepDomainTest, ManyInterleavedWindowsMaintainConsistentEntryCount) {
   }
 }
 
+TEST_F(DepDomainTest, GroupJoinersAreOrderedAfterThePreviousEpoch) {
+  // Regression: a commutative task that *joins* an open group must take the
+  // same WAW edge against the previous writer that the group starter took —
+  // otherwise it has no predecessors and can run concurrently with that
+  // writer (caught by TSan in the runtime stress suite).
+  auto w = make_task({oss::region(buf_, 8, Mode::InOut)});
+  reg(w);
+  auto c1 = make_task({oss::region(buf_, 8, Mode::Commutative)});
+  auto e1 = reg(c1);
+  ASSERT_EQ(e1.size(), 1u); // starter: edge from the writer
+  EXPECT_EQ(e1[0].from, w->id());
+
+  auto c2 = make_task({oss::region(buf_, 8, Mode::Commutative)});
+  auto e2 = reg(c2);
+  ASSERT_EQ(e2.size(), 1u) << "joiner must also depend on the previous epoch";
+  EXPECT_EQ(e2[0].from, w->id());
+  EXPECT_EQ(e2[0].kind, DepKind::Waw);
+  EXPECT_EQ(c2->preds, 1);
+
+  // Members stay unordered among themselves: no c1 -> c2 edge.
+  for (const auto& e : e2) EXPECT_NE(e.from, c1->id());
+}
+
+TEST_F(DepDomainTest, GroupJoinersAreOrderedAfterPreviousReaders) {
+  auto w = make_task({oss::region(buf_, 8, Mode::Out)});
+  reg(w);
+  auto r = make_task({oss::region(buf_, 8, Mode::In)});
+  reg(r);
+  auto c1 = make_task({oss::region(buf_, 8, Mode::Concurrent)});
+  reg(c1);
+  auto c2 = make_task({oss::region(buf_, 8, Mode::Concurrent)});
+  auto e2 = reg(c2);
+  // Joiner must carry the WAR edge from the reader (and the WAW from the
+  // writer), exactly like the starter.
+  bool war_from_reader = false;
+  for (const auto& e : e2) {
+    if (e.from == r->id() && e.kind == DepKind::War) war_from_reader = true;
+    EXPECT_NE(e.from, c1->id()); // still unordered within the group
+  }
+  EXPECT_TRUE(war_from_reader);
+  EXPECT_EQ(c2->preds, 2); // writer + reader
+}
+
 } // namespace

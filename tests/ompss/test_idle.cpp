@@ -46,7 +46,8 @@ TEST_P(IdlePolicyTest, DependentChainsCompleteUnderEveryIdlePolicy) {
 INSTANTIATE_TEST_SUITE_P(AllIdlePolicies, IdlePolicyTest,
                          ::testing::Values(oss::IdlePolicy::Spin,
                                            oss::IdlePolicy::Yield,
-                                           oss::IdlePolicy::Sleep),
+                                           oss::IdlePolicy::Sleep,
+                                           oss::IdlePolicy::Park),
                          [](const auto& info) {
                            return std::string(oss::to_string(info.param));
                          });
@@ -84,6 +85,35 @@ TEST(IdlePolicy, SleepingWorkersBurnLessCpuWhenIdle) {
   const double sleep_cpu = measure(oss::IdlePolicy::Sleep);
   EXPECT_LT(sleep_cpu, 0.12)
       << "sleeping idle workers should be mostly off-CPU over a 150 ms window";
+}
+
+TEST(IdlePolicy, ParkedWorkersBurnNoCpuWhenIdle) {
+  oss::RuntimeConfig cfg = oss::RuntimeConfig::with_threads(3);
+  cfg.idle = oss::IdlePolicy::Park;
+  oss::Runtime rt(cfg);
+  // Let the workers run out of spin budget and park.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double before = process_cpu_seconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  const double burned = process_cpu_seconds() - before;
+  EXPECT_LT(burned, 0.05)
+      << "parked workers should be fully off-CPU over a 150 ms idle window";
+}
+
+TEST(IdlePolicy, ParkAndWakeupCountersMove) {
+  oss::RuntimeConfig cfg = oss::RuntimeConfig::with_threads(3);
+  cfg.idle = oss::IdlePolicy::Park;
+  oss::Runtime rt(cfg);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30)); // workers park
+  EXPECT_GT(rt.stats().parks, 0u);
+
+  // A spawn burst after an idle period must wake parked workers and drain.
+  std::atomic<int> hits{0};
+  for (int i = 0; i < 200; ++i) rt.spawn({}, [&] { hits++; });
+  rt.taskwait();
+  EXPECT_EQ(hits.load(), 200);
+  EXPECT_GT(rt.stats().wakeups, 0u);
+  EXPECT_EQ(rt.pending_tasks(), 0u);
 }
 
 } // namespace

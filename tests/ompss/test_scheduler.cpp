@@ -82,6 +82,11 @@ TEST(SchedulerStats, FifoPolicyNeverUsesLocalQueues) {
 }
 
 // --- direct Scheduler unit tests -------------------------------------------
+//
+// These drive the policy objects single-threadedly through the factory; the
+// owner-thread discipline of the lock-free deques is irrelevant without
+// concurrency, so calling enqueue/pick for several worker ids from this one
+// thread is fine.
 
 oss::TaskPtr dummy_task(std::uint64_t id) {
   static auto ctx = std::make_shared<oss::TaskContext>();
@@ -89,59 +94,78 @@ oss::TaskPtr dummy_task(std::uint64_t id) {
 }
 
 TEST(SchedulerUnit, FifoIsFirstInFirstOut) {
-  oss::Scheduler s(oss::SchedulerPolicy::Fifo, 2);
+  auto s = oss::Scheduler::create(oss::SchedulerPolicy::Fifo, 2);
   oss::Stats stats(2);
-  s.enqueue_spawned(dummy_task(1), 0);
-  s.enqueue_spawned(dummy_task(2), 0);
-  s.enqueue_unblocked(dummy_task(3), 1);
-  EXPECT_EQ(s.pick(0, stats)->id(), 1u);
-  EXPECT_EQ(s.pick(1, stats)->id(), 2u);
-  EXPECT_EQ(s.pick(0, stats)->id(), 3u);
-  EXPECT_EQ(s.pick(0, stats), nullptr);
+  s->enqueue_spawned(dummy_task(1), 0);
+  s->enqueue_spawned(dummy_task(2), 0);
+  s->enqueue_unblocked(dummy_task(3), 1);
+  EXPECT_EQ(s->pick(0, stats)->id(), 1u);
+  EXPECT_EQ(s->pick(1, stats)->id(), 2u);
+  EXPECT_EQ(s->pick(0, stats)->id(), 3u);
+  EXPECT_EQ(s->pick(0, stats), nullptr);
 }
 
-TEST(SchedulerUnit, LocalityUnblockedGoesToFinisherFront) {
-  oss::Scheduler s(oss::SchedulerPolicy::Locality, 2);
+TEST(SchedulerUnit, LocalityUnblockedGoesToFinisherHotEnd) {
+  auto s = oss::Scheduler::create(oss::SchedulerPolicy::Locality, 2);
   oss::Stats stats(2);
-  s.enqueue_unblocked(dummy_task(10), 1);
-  s.enqueue_unblocked(dummy_task(11), 1);
+  s->enqueue_unblocked(dummy_task(10), 1);
+  s->enqueue_unblocked(dummy_task(11), 1);
   // Worker 1 pops LIFO: most recently unblocked first.
-  EXPECT_EQ(s.pick(1, stats)->id(), 11u);
-  EXPECT_EQ(s.pick(1, stats)->id(), 10u);
+  EXPECT_EQ(s->pick(1, stats)->id(), 11u);
+  EXPECT_EQ(s->pick(1, stats)->id(), 10u);
 }
 
-TEST(SchedulerUnit, IdleWorkerStealsFromVictimBack) {
-  oss::Scheduler s(oss::SchedulerPolicy::Locality, 2);
+TEST(SchedulerUnit, IdleWorkerStealsFromVictimColdEnd) {
+  auto s = oss::Scheduler::create(oss::SchedulerPolicy::Locality, 2);
   oss::Stats stats(2);
-  s.enqueue_unblocked(dummy_task(20), 1);
-  s.enqueue_unblocked(dummy_task(21), 1);
+  s->enqueue_unblocked(dummy_task(20), 1);
+  s->enqueue_unblocked(dummy_task(21), 1);
   // Worker 0 has nothing local and the global queue is empty: steals the
   // oldest entry from worker 1.
-  const auto t = s.pick(0, stats);
+  const auto t = s->pick(0, stats);
   ASSERT_NE(t, nullptr);
   EXPECT_EQ(t->id(), 20u);
   EXPECT_EQ(stats.snapshot().steals, 1u);
 }
 
 TEST(SchedulerUnit, NonWorkerThreadsUseGlobalAndSteal) {
-  oss::Scheduler s(oss::SchedulerPolicy::WorkStealing, 2);
+  auto s = oss::Scheduler::create(oss::SchedulerPolicy::WorkStealing, 2);
   oss::Stats stats(2);
-  s.enqueue_spawned(dummy_task(30), -1); // foreign spawner -> global
-  EXPECT_EQ(s.pick(-1, stats)->id(), 30u);
-  s.enqueue_unblocked(dummy_task(31), 0);
-  EXPECT_EQ(s.pick(-1, stats)->id(), 31u); // stolen
+  s->enqueue_spawned(dummy_task(30), -1); // foreign spawner -> global
+  EXPECT_EQ(s->pick(-1, stats)->id(), 30u);
+  s->enqueue_unblocked(dummy_task(31), 0);
+  EXPECT_EQ(s->pick(-1, stats)->id(), 31u); // stolen
 }
 
 TEST(SchedulerUnit, QueuedCountsAllQueues) {
-  oss::Scheduler s(oss::SchedulerPolicy::WorkStealing, 2);
+  auto s = oss::Scheduler::create(oss::SchedulerPolicy::WorkStealing, 2);
   oss::Stats stats(2);
-  EXPECT_EQ(s.queued(), 0u);
-  s.enqueue_spawned(dummy_task(1), -1);
-  s.enqueue_unblocked(dummy_task(2), 0);
-  s.enqueue_unblocked(dummy_task(3), 1);
-  EXPECT_EQ(s.queued(), 3u);
-  (void)s.pick(0, stats);
-  EXPECT_EQ(s.queued(), 2u);
+  EXPECT_EQ(s->queued(), 0u);
+  s->enqueue_spawned(dummy_task(1), -1);
+  s->enqueue_unblocked(dummy_task(2), 0);
+  s->enqueue_unblocked(dummy_task(3), 1);
+  EXPECT_EQ(s->queued(), 3u);
+  (void)s->pick(0, stats);
+  EXPECT_EQ(s->queued(), 2u);
+}
+
+TEST(SchedulerUnit, FailedStealSweepIsCounted) {
+  auto s = oss::Scheduler::create(oss::SchedulerPolicy::WorkStealing, 2,
+                                  /*steal_tries=*/3);
+  oss::Stats stats(2);
+  EXPECT_EQ(s->pick(0, stats), nullptr); // nothing anywhere
+  EXPECT_EQ(stats.snapshot().steals_failed, 1u);
+  EXPECT_EQ(stats.snapshot().steals, 0u);
+}
+
+TEST(SchedulerUnit, SpawnedTaskGoesToSpawnerDequeUnderWorkStealing) {
+  auto s = oss::Scheduler::create(oss::SchedulerPolicy::WorkStealing, 2);
+  oss::Stats stats(2);
+  s->enqueue_spawned(dummy_task(40), 0);
+  // Worker 0 takes it from its own deque (local pop, not a global pop).
+  EXPECT_EQ(s->pick(0, stats)->id(), 40u);
+  EXPECT_EQ(stats.snapshot().local_pops, 1u);
+  EXPECT_EQ(stats.snapshot().global_pops, 0u);
 }
 
 } // namespace
