@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Scheduler bench regression gate.
+
+Compares a google-benchmark JSON run of bm_scheduler against the recorded
+baseline (bench/baseline_scheduler.json) and fails on regressions of the
+DequeChurn/PolicyChurn cases beyond a tolerance band.
+
+Raw times are machine-dependent, so the comparison is *normalized*: within
+each file, every benchmark's items_per_second is divided by the file's
+reference benchmark (DequeChurn/mutex/1 by default — single-threaded
+mutex-deque churn, a decent proxy for the machine's uncontended speed).
+The gate then compares normalized scores baseline-vs-current, which makes a
+baseline recorded on one machine meaningful on another: what is gated is the
+*shape* of the scheduler's scaling (lock-free vs mutex ratio, per-policy
+throughput relative to raw queue ops), not absolute nanoseconds.
+
+Contention-sensitive multi-thread cases do NOT transfer across different
+core counts (4 threads on 1 core serialize; on 4 cores they contend), so
+when the two files report different context.num_cpus the script prints the
+comparison for information but exits 0 — the gate is only armed between
+like machines.  Refresh the baseline from a CI runner with --update (run
+the job, download the bench_current.json artifact, commit it) to arm the
+gate in CI.
+
+Exit status: 0 when every matched benchmark is within tolerance (or the
+machines differ), 1 on any regression or when the files share no
+benchmarks.
+
+Usage:
+  bm_scheduler --benchmark_format=json --benchmark_out=current.json ...
+  python3 bench/compare_bench.py bench/baseline_scheduler.json current.json
+  python3 bench/compare_bench.py baseline.json current.json --tolerance 0.25
+  python3 bench/compare_bench.py baseline.json current.json --update
+      # rewrite the baseline with the current run (after a verified win)
+"""
+
+import argparse
+import json
+import re
+import shutil
+import sys
+
+
+def load_num_cpus(path):
+    with open(path) as f:
+        return json.load(f).get("context", {}).get("num_cpus")
+
+
+def load_scores(path, pattern, reference):
+    """Returns {name: items_per_second} for matching benchmarks, normalized
+    by the reference benchmark's items_per_second within the same file."""
+    with open(path) as f:
+        data = json.load(f)
+    rx = re.compile(pattern)
+    raw = {}
+    ref_score = None
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b.get("name", "")
+        ips = b.get("items_per_second")
+        if ips is None or ips <= 0:
+            continue
+        if name.startswith(reference):
+            ref_score = ips
+        if rx.search(name):
+            raw[name] = ips
+    if not raw:
+        return {}
+    if ref_score is None:
+        # No reference in the file: fall back to un-normalized comparison
+        # (both files must then come from the same machine).
+        print(f"note: reference '{reference}' not found in {path}; "
+              "comparing un-normalized items_per_second")
+        ref_score = 1.0
+    return {name: ips / ref_score for name, ips in raw.items()}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed normalized-throughput drop (default 0.25)")
+    ap.add_argument("--filter", default=r"^(DequeChurn|PolicyChurn)",
+                    help="regex of benchmark names to gate")
+    ap.add_argument("--reference", default="DequeChurn/mutex/1",
+                    help="benchmark used to normalize each file")
+    ap.add_argument("--update", action="store_true",
+                    help="copy current over the baseline instead of comparing")
+    args = ap.parse_args()
+
+    if args.update:
+        shutil.copyfile(args.current, args.baseline)
+        print(f"baseline updated: {args.baseline} <- {args.current}")
+        return 0
+
+    base = load_scores(args.baseline, args.filter, args.reference)
+    curr = load_scores(args.current, args.filter, args.reference)
+    shared = sorted(set(base) & set(curr))
+    if not shared:
+        print("error: baseline and current share no gated benchmarks")
+        return 1
+
+    failures = []
+    width = max(len(n) for n in shared)
+    print(f"{'benchmark':<{width}}  baseline   current    ratio")
+    for name in shared:
+        ratio = curr[name] / base[name]
+        flag = ""
+        if ratio < 1.0 - args.tolerance:
+            flag = "  REGRESSION"
+            failures.append((name, ratio))
+        print(f"{name:<{width}}  {base[name]:8.3f}  {curr[name]:8.3f}  "
+              f"{ratio:6.2f}x{flag}")
+
+    only = sorted((set(base) | set(curr)) - set(shared))
+    for name in only:
+        print(f"{name:<{width}}  (present in only one file; skipped)")
+
+    base_cpus = load_num_cpus(args.baseline)
+    curr_cpus = load_num_cpus(args.current)
+    if base_cpus != curr_cpus:
+        print(f"\nnote: baseline recorded on {base_cpus} cpus, current run "
+              f"on {curr_cpus} — contention-sensitive cases do not transfer "
+              "across core counts, gate NOT armed (informational only).\n"
+              "Refresh the baseline on this machine class with --update to "
+              "arm it.")
+        return 0
+
+    if failures:
+        print(f"\n{len(failures)} regression(s) beyond "
+              f"{args.tolerance:.0%} tolerance:")
+        for name, ratio in failures:
+            print(f"  {name}: {1 - ratio:.1%} below baseline")
+        return 1
+    print(f"\nOK: {len(shared)} benchmark(s) within {args.tolerance:.0%} "
+          "of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,11 @@
 //
 // T must be trivially copyable (the scheduler stores raw `Task*`; the owning
 // reference parks inside the task itself — see Task::anchor_queue_ref).
+//
+// A deque may be bound to a NUMA node (`numa_node >= 0`): ring buffers are
+// then allocated through numa_raw_alloc so the owner's hot push/take slots
+// live on the owner's memory node.  Binding is allocation-only — it changes
+// nothing about the concurrency protocol above.
 #pragma once
 
 #include <atomic>
@@ -37,6 +42,8 @@
 #include <cstdint>
 #include <memory>
 #include <vector>
+
+#include "ompss/numa_alloc.hpp"
 
 namespace oss {
 
@@ -46,8 +53,10 @@ class ChaseLevDeque {
                 "ChaseLevDeque elements must be trivially copyable");
 
  public:
-  explicit ChaseLevDeque(std::size_t initial_capacity = 256)
-      : buffer_(new Buffer(round_up_pow2(initial_capacity))) {
+  explicit ChaseLevDeque(std::size_t initial_capacity = 256,
+                         int numa_node = -1)
+      : numa_node_(numa_node),
+        buffer_(new Buffer(round_up_pow2(initial_capacity), numa_node)) {
     retired_.reserve(8);
   }
 
@@ -121,14 +130,26 @@ class ChaseLevDeque {
 
  private:
   struct Buffer {
-    explicit Buffer(std::size_t cap)
-        : capacity(cap), mask(cap - 1), slots(new std::atomic<T>[cap]) {}
+    Buffer(std::size_t cap, int numa_node)
+        : capacity(cap),
+          mask(cap - 1),
+          slots(static_cast<std::atomic<T>*>(
+              numa_raw_alloc(cap * sizeof(std::atomic<T>), numa_node))) {
+      for (std::size_t i = 0; i < cap; ++i) new (&slots[i]) std::atomic<T>{};
+    }
+    ~Buffer() {
+      // std::atomic<T> of a trivially-copyable T is trivially destructible;
+      // releasing the pages is all that is needed.
+      numa_raw_free(slots, capacity * sizeof(std::atomic<T>));
+    }
+    Buffer(const Buffer&) = delete;
+    Buffer& operator=(const Buffer&) = delete;
     std::atomic<T>& slot(std::int64_t i) {
       return slots[static_cast<std::size_t>(i) & mask];
     }
     const std::size_t capacity;
     const std::size_t mask;
-    std::unique_ptr<std::atomic<T>[]> slots;
+    std::atomic<T>* const slots;
   };
 
   static std::size_t round_up_pow2(std::size_t n) {
@@ -138,7 +159,7 @@ class ChaseLevDeque {
   }
 
   Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {
-    auto* bigger = new Buffer(old->capacity * 2);
+    auto* bigger = new Buffer(old->capacity * 2, numa_node_);
     for (std::int64_t i = t; i < b; ++i) {
       bigger->slot(i).store(old->slot(i).load(std::memory_order_relaxed),
                             std::memory_order_relaxed);
@@ -148,6 +169,7 @@ class ChaseLevDeque {
     return bigger;
   }
 
+  const int numa_node_;
   std::atomic<std::int64_t> top_{0};
   std::atomic<std::int64_t> bottom_{0};
   std::atomic<Buffer*> buffer_;

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "ompss/topology.hpp"
+
 namespace oss {
 
 const char* to_string(SchedulerPolicy p) noexcept {
@@ -57,6 +59,23 @@ IdlePolicy parse_idle_policy(const std::string& name) {
                               "' (valid: park, spin, yield, sleep) [OSS_IDLE]");
 }
 
+const char* to_string(NumaMode m) noexcept {
+  switch (m) {
+    case NumaMode::Bind: return "bind";
+    case NumaMode::Interleave: return "interleave";
+    case NumaMode::Off: return "off";
+  }
+  return "?";
+}
+
+NumaMode parse_numa_mode(const std::string& name) {
+  if (name == "bind") return NumaMode::Bind;
+  if (name == "interleave") return NumaMode::Interleave;
+  if (name == "off") return NumaMode::Off;
+  throw std::invalid_argument("unknown NUMA mode '" + name +
+                              "' (valid: bind, interleave, off) [OSS_NUMA]");
+}
+
 std::size_t RuntimeConfig::resolved_threads() const noexcept {
   if (num_threads > 0) return num_threads;
   const unsigned hw = std::thread::hardware_concurrency();
@@ -98,6 +117,11 @@ RuntimeConfig RuntimeConfig::from_env() {
   if (const char* v = env("OSS_STEAL_TRIES")) {
     cfg.steal_tries = parse_size("OSS_STEAL_TRIES", v);
     if (cfg.steal_tries == 0) throw std::invalid_argument("OSS_STEAL_TRIES must be >= 1");
+  }
+  if (const char* v = env("OSS_NUMA")) cfg.numa = parse_numa_mode(v);
+  if (const char* v = env("OSS_TOPOLOGY")) {
+    (void)Topology::detect(v); // validate eagerly: malformed specs fail here
+    cfg.topology = v;
   }
   if (const char* v = env("OSS_RECORD_GRAPH")) cfg.record_graph = parse_bool("OSS_RECORD_GRAPH", v);
   if (const char* v = env("OSS_TRACE")) cfg.record_trace = parse_bool("OSS_TRACE", v);

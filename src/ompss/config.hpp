@@ -14,7 +14,13 @@
 //                     workers.
 //   OSS_SPIN_ROUNDS   busy-poll iterations before an idle worker
 //                     parks/yields/sleeps.
-//   OSS_STEAL_TRIES   full victim sweeps per steal attempt (default 2).
+//   OSS_STEAL_TRIES   *ceiling* of victim sweeps per steal attempt
+//                     (default 2); the scheduler adapts the actual sweep
+//                     count to the observed failed-steal rate.
+//   OSS_NUMA          "bind" (default) | "interleave" | "off" — NUMA
+//                     placement mode (see docs/numa.md).
+//   OSS_TOPOLOGY      "flat" | "numa" | fake spec ("2x4", "0:0-3;1:4-7") —
+//                     override hardware-topology discovery.
 //   OSS_RECORD_GRAPH  "1" to record the task graph for DOT export.
 //   OSS_TRACE         "1" to record an execution trace (Chrome JSON).
 //
@@ -54,14 +60,26 @@ enum class IdlePolicy {
          ///< idle CPU burn, no sleep-loop latency)
 };
 
+/// NUMA placement mode (docs/numa.md).  On single-node machines every mode
+/// behaves identically (placement is a no-op).
+enum class NumaMode {
+  Bind,       ///< bind per-worker scheduler state to the owning worker's
+              ///< node and honor task affinity hints (default)
+  Interleave, ///< honor affinity hints but leave runtime state interleaved
+              ///< (first-touch); app helpers allocate interleaved by default
+  Off,        ///< ignore topology entirely: flat scheduling, no binding
+};
+
 const char* to_string(SchedulerPolicy p) noexcept;
 const char* to_string(WaitPolicy p) noexcept;
 const char* to_string(IdlePolicy p) noexcept;
+const char* to_string(NumaMode m) noexcept;
 
 /// Parses a policy name; throws std::invalid_argument on unknown names.
 SchedulerPolicy parse_scheduler_policy(const std::string& name);
 WaitPolicy parse_wait_policy(const std::string& name);
 IdlePolicy parse_idle_policy(const std::string& name);
+NumaMode parse_numa_mode(const std::string& name);
 
 /// Complete configuration of a `Runtime`.
 struct RuntimeConfig {
@@ -78,9 +96,19 @@ struct RuntimeConfig {
   /// Busy-poll iterations before an idle worker parks/yields/sleeps.
   std::size_t spin_rounds = 64;
 
-  /// Full sweeps over sibling deques a pick() makes before reporting a
-  /// failed steal (OSS_STEAL_TRIES; must be >= 1).
+  /// Ceiling of full sweeps over sibling deques a pick() makes before
+  /// reporting a failed steal (OSS_STEAL_TRIES; must be >= 1).  The actual
+  /// per-worker sweep count adapts downward with the observed failed-steal
+  /// rate and recovers on successful steals.
   std::size_t steal_tries = 2;
+
+  /// NUMA placement mode (OSS_NUMA).
+  NumaMode numa = NumaMode::Bind;
+
+  /// Topology override (OSS_TOPOLOGY): "" = sysfs discovery with a flat
+  /// fallback, "flat", "numa", or a fake spec like "2x4" / "0:0-3;1:4-7"
+  /// (validated by Topology::detect at runtime construction).
+  std::string topology;
 
   /// Record task-graph nodes/edges for `Runtime::export_graph_dot()`.
   bool record_graph = false;

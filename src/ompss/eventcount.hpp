@@ -56,23 +56,46 @@ class EventCount {
 
   /// Wakes one parked waiter.  Returns true if someone may have been
   /// sleeping (i.e. a signal was actually issued).
-  bool notify_one() { return notify(false); }
+  bool notify_one() { return notify_many(1) != 0; }
+
+  /// Batch wakeup: wakes up to `n` parked waiters in ONE epoch bump —
+  /// a burst of N newly-ready tasks releases min(N, parked) workers with a
+  /// single pass instead of N serial notify_one calls.  Returns the number
+  /// of waiters signalled (0 when nobody was parked).  Waiters between
+  /// prepare_wait() and wait() are covered by the epoch bump exactly as in
+  /// notify_one: their wait() returns immediately.
+  std::size_t notify_many(std::size_t n) {
+    if (n == 0) return 0;
+    epoch_.fetch_add(1, std::memory_order_seq_cst);
+    const std::uint64_t w = waiters_.load(std::memory_order_seq_cst);
+    if (w == 0) return 0;
+    const std::size_t k = n < w ? n : static_cast<std::size_t>(w);
+    std::lock_guard lock(mu_);
+    if (k >= w) {
+      cv_.notify_all();
+    } else {
+      for (std::size_t i = 0; i < k; ++i) cv_.notify_one();
+    }
+    return k;
+  }
+
+  /// Registered waiters right now (between prepare_wait and wake) —
+  /// diagnostics/tests; inherently racy as a predicate.
+  [[nodiscard]] std::size_t waiters() const noexcept {
+    return static_cast<std::size_t>(
+        waiters_.load(std::memory_order_seq_cst));
+  }
 
   /// Wakes every parked waiter (shutdown).
-  bool notify_all() { return notify(true); }
-
- private:
-  bool notify(bool all) {
+  bool notify_all() {
     epoch_.fetch_add(1, std::memory_order_seq_cst);
     if (waiters_.load(std::memory_order_seq_cst) == 0) return false;
     std::lock_guard lock(mu_);
-    if (all) {
-      cv_.notify_all();
-    } else {
-      cv_.notify_one();
-    }
+    cv_.notify_all();
     return true;
   }
+
+ private:
 
   std::atomic<std::uint64_t> epoch_{0};
   std::atomic<std::uint64_t> waiters_{0};

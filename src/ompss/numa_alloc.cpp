@@ -1,0 +1,225 @@
+#include "ompss/numa_alloc.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <new>
+#include <shared_mutex>
+
+#if defined(__linux__)
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace oss {
+
+namespace {
+
+// mbind policy constants (from <numaif.h>, which ships with libnuma-dev; we
+// define them locally so the runtime needs no extra dependency).
+constexpr int kMpolPreferred = 1;
+constexpr int kMpolInterleave = 3;
+
+/// Best-effort kernel binding; every failure path is silent by design
+/// (single-node machines, seccomp sandboxes, kernels without NUMA).
+void try_mbind(void* p, std::size_t bytes, int policy, unsigned long nodemask) {
+#if defined(__linux__) && defined(SYS_mbind)
+  if (nodemask == 0) return;
+  // maxnode counts bits and the kernel wants one past the highest; 64 covers
+  // the single-word mask we pass.
+  (void)syscall(SYS_mbind, p, bytes, policy, &nodemask,
+                static_cast<unsigned long>(sizeof(nodemask) * 8 + 1),
+                static_cast<unsigned>(0));
+#else
+  (void)p;
+  (void)bytes;
+  (void)policy;
+  (void)nodemask;
+#endif
+}
+
+/// A registered range.  Non-interleaved ranges have nodes == 1 and `node`
+/// is the binding; interleaved ranges map page k to node k % nodes.
+struct RangeInfo {
+  std::uintptr_t end = 0;
+  int node = -1;
+  std::size_t nodes = 1; ///< >1 means page-interleaved over 0..nodes-1
+};
+
+struct Registry {
+  std::shared_mutex mu;
+  std::map<std::uintptr_t, RangeInfo> ranges; // keyed by range begin
+  /// Bumped on every mutation; thread-local caches self-invalidate on it.
+  std::atomic<std::uint64_t> epoch{0};
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+/// Thread-local direct-mapped page→node cache.  An entry is valid only when
+/// stamped with the current registry epoch, so unregistering a buffer (or
+/// re-registering it elsewhere) invalidates every thread's cache at the cost
+/// of one relaxed load per lookup.
+struct PageCacheEntry {
+  std::uintptr_t page = 0;
+  std::uint64_t epoch = ~std::uint64_t{0};
+  int node = -1;
+};
+constexpr std::size_t kPageCacheSize = 64; // power of two
+
+thread_local PageCacheEntry tl_page_cache[kPageCacheSize];
+
+int lookup_slow(std::uintptr_t addr) {
+  Registry& r = registry();
+  std::shared_lock lock(r.mu);
+  auto it = r.ranges.upper_bound(addr);
+  if (it == r.ranges.begin()) return -1;
+  --it;
+  if (addr >= it->second.end) return -1;
+  if (it->second.nodes <= 1) return it->second.node;
+  const std::size_t page = (addr - it->first) / numa_page_size();
+  return static_cast<int>(page % it->second.nodes);
+}
+
+void registry_insert(const void* p, std::size_t bytes, int node,
+                     std::size_t interleave_nodes) {
+  if (p == nullptr || bytes == 0) return;
+  const auto begin = reinterpret_cast<std::uintptr_t>(p);
+  const std::uintptr_t end = begin + bytes;
+  Registry& r = registry();
+  std::unique_lock lock(r.mu);
+  // Drop any stale range overlapping the new one (freed-then-reallocated
+  // memory must not resurrect an old mapping).
+  auto it = r.ranges.upper_bound(begin);
+  if (it != r.ranges.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.end > begin) it = prev;
+  }
+  while (it != r.ranges.end() && it->first < end) {
+    it = r.ranges.erase(it);
+  }
+  r.ranges[begin] = RangeInfo{end, node, interleave_nodes};
+  r.epoch.fetch_add(1, std::memory_order_release);
+}
+
+} // namespace
+
+std::size_t numa_page_size() noexcept {
+#if defined(__linux__)
+  static const std::size_t sz = [] {
+    const long v = ::sysconf(_SC_PAGESIZE);
+    return v > 0 ? static_cast<std::size_t>(v) : std::size_t{4096};
+  }();
+  return sz;
+#else
+  return 4096;
+#endif
+}
+
+void* numa_raw_alloc(std::size_t bytes, int node) {
+  const std::size_t page = numa_page_size();
+  if (bytes == 0) bytes = 1;
+  const std::size_t rounded = (bytes + page - 1) / page * page;
+  void* p = std::aligned_alloc(page, rounded);
+  if (p == nullptr) throw std::bad_alloc{};
+  if (node >= 0 && node < 64) {
+    try_mbind(p, rounded, kMpolPreferred, 1ul << node);
+  }
+  return p;
+}
+
+void numa_raw_free(void* p, std::size_t /*bytes*/) noexcept { std::free(p); }
+
+void numa_register_range(const void* p, std::size_t bytes, int node) {
+  registry_insert(p, bytes, node, 1);
+}
+
+void numa_register_interleaved(const void* p, std::size_t bytes,
+                               std::size_t num_nodes) {
+  registry_insert(p, bytes, -1, num_nodes > 1 ? num_nodes : 1);
+}
+
+void numa_unregister_range(const void* p) noexcept {
+  const auto addr = reinterpret_cast<std::uintptr_t>(p);
+  Registry& r = registry();
+  std::unique_lock lock(r.mu);
+  auto it = r.ranges.upper_bound(addr);
+  if (it == r.ranges.begin()) return;
+  --it;
+  if (addr >= it->second.end) return;
+  r.ranges.erase(it);
+  r.epoch.fetch_add(1, std::memory_order_release);
+}
+
+int numa_node_of(const void* p) noexcept {
+  if (p == nullptr) return -1;
+  const auto addr = reinterpret_cast<std::uintptr_t>(p);
+  const std::size_t page_sz = numa_page_size();
+  const std::uintptr_t page = addr / page_sz;
+  const std::uint64_t epoch =
+      registry().epoch.load(std::memory_order_acquire);
+  PageCacheEntry& e = tl_page_cache[page & (kPageCacheSize - 1)];
+  if (e.page == page && e.epoch == epoch) return e.node;
+  const int node = lookup_slow(addr);
+  // Cache positive *and* negative results; the epoch stamp keeps both honest.
+  e = PageCacheEntry{page, epoch, node};
+  return node;
+}
+
+std::size_t numa_registered_ranges() noexcept {
+  Registry& r = registry();
+  std::shared_lock lock(r.mu);
+  return r.ranges.size();
+}
+
+void* numa_alloc_onnode(std::size_t bytes, int node) {
+  void* p = numa_raw_alloc(bytes, node);
+  numa_register_range(p, bytes, node);
+  return p;
+}
+
+void* numa_alloc_interleaved(std::size_t bytes, std::size_t num_nodes) {
+  void* p = numa_raw_alloc(bytes, -1);
+  if (num_nodes > 1 && num_nodes <= 64) {
+    const unsigned long mask = num_nodes >= 64
+                                   ? ~0ul
+                                   : ((1ul << num_nodes) - 1);
+    try_mbind(p, bytes, kMpolInterleave, mask);
+  }
+  numa_register_interleaved(p, bytes, num_nodes);
+  return p;
+}
+
+void numa_free(void* p, std::size_t bytes) noexcept {
+  if (p == nullptr) return;
+  numa_unregister_range(p);
+  numa_raw_free(p, bytes);
+}
+
+void numa_first_touch(void* p, std::size_t bytes) noexcept {
+  if (p == nullptr || bytes == 0) return;
+  auto* bytes_p = static_cast<volatile unsigned char*>(p);
+  const std::size_t page = numa_page_size();
+  for (std::size_t off = 0; off < bytes; off += page) bytes_p[off] = 0;
+  bytes_p[bytes - 1] = 0;
+}
+
+int home_node_of(const AccessList& accesses) noexcept {
+  std::size_t best_size = 0;
+  int best_node = -1;
+  for (const Access& a : accesses) {
+    if (a.empty() || a.size() <= best_size) continue;
+    const int node = numa_node_of(reinterpret_cast<const void*>(a.begin));
+    if (node >= 0) {
+      best_size = a.size();
+      best_node = node;
+    }
+  }
+  return best_node;
+}
+
+} // namespace oss

@@ -1,0 +1,168 @@
+// numa_alloc.hpp — node-bound allocation and the page→node registry.
+//
+// Two layers:
+//
+//   * Raw page allocation (`numa_raw_alloc` / `numa_raw_free`): page-aligned
+//     storage, kernel-bound to a NUMA node with a best-effort mbind
+//     (MPOL_PREFERRED) when the platform has one.  Binding failures are
+//     silent — on single-node machines, sandboxes, or kernels without mbind
+//     the allocation simply stays wherever first touch lands it.  The
+//     scheduler's per-worker state blocks and Chase–Lev ring buffers use
+//     this layer directly.
+//
+//   * Registered application buffers (`numa_alloc_onnode` /
+//     `numa_alloc_interleaved` / `numa_free`): raw allocation plus an entry
+//     in the process-wide page→node registry, which is what makes
+//     `TaskBuilder::affinity_auto()` work — the runtime derives a task's
+//     home node by looking up its largest declared access region here.
+//     Lookups go through a small thread-local page cache, so the per-spawn
+//     cost is one hash-free array probe in the common case.
+//
+// `numa_first_touch` walks a buffer page-by-page writing one byte per page:
+// with the kernel's default first-touch policy this places each page on the
+// node of the touching thread — the classic OpenMP/OmpSs idiom for
+// partitioned data.  `NumaBuffer` wraps allocate/register/free RAII-style.
+//
+// Node ids are the *dense* topology indices (see topology.hpp).  This header
+// stays dependency-light (no topology include) so the lock-free queue
+// headers can use the raw layer.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#include "ompss/access.hpp"
+
+namespace oss {
+
+/// System page size (cached; 4096 when sysconf is unavailable).
+std::size_t numa_page_size() noexcept;
+
+// --- raw layer -------------------------------------------------------------
+
+/// Page-aligned allocation of at least `bytes`, best-effort bound to `node`
+/// (kernel mbind with MPOL_PREFERRED).  `node < 0` skips binding entirely.
+/// Throws std::bad_alloc on exhaustion.  Free with numa_raw_free.
+void* numa_raw_alloc(std::size_t bytes, int node);
+
+void numa_raw_free(void* p, std::size_t bytes) noexcept;
+
+// --- page→node registry ----------------------------------------------------
+
+/// Records [p, p+bytes) as living on `node`.  Overlapping re-registration
+/// replaces the overlapped ranges.
+void numa_register_range(const void* p, std::size_t bytes, int node);
+
+/// Records [p, p+bytes) as page-interleaved over nodes 0..num_nodes-1
+/// (page k of the range maps to node k % num_nodes).
+void numa_register_interleaved(const void* p, std::size_t bytes,
+                               std::size_t num_nodes);
+
+/// Drops the registration whose range contains `p` (no-op when unknown).
+void numa_unregister_range(const void* p) noexcept;
+
+/// Dense node index recorded for the page containing `p`, or -1 when the
+/// address was never registered.  Thread-safe; hot path served from a
+/// thread-local page cache.
+int numa_node_of(const void* p) noexcept;
+
+/// Registry entries (diagnostics / tests).
+std::size_t numa_registered_ranges() noexcept;
+
+// --- registered application buffers ----------------------------------------
+
+/// Allocates `bytes` bound to `node` and registers the range.
+void* numa_alloc_onnode(std::size_t bytes, int node);
+
+/// Allocates `bytes` page-interleaved over nodes 0..num_nodes-1 and
+/// registers the range as interleaved.
+void* numa_alloc_interleaved(std::size_t bytes, std::size_t num_nodes);
+
+/// Unregisters and frees a buffer from either allocation helper.
+void numa_free(void* p, std::size_t bytes) noexcept;
+
+/// Writes one byte per page (and the last byte) so the kernel commits the
+/// pages under the first-touch policy of the calling thread's node.
+void numa_first_touch(void* p, std::size_t bytes) noexcept;
+
+/// Home node for a task's access list: the node recorded for the largest
+/// *registered* declared region (ties: first declared wins), or -1 when no
+/// region is registered.  This is the `.affinity_auto()` derivation.
+int home_node_of(const AccessList& accesses) noexcept;
+
+// --- RAII buffer ------------------------------------------------------------
+
+/// Move-only owner of a node-bound (or interleaved) registered buffer.
+class NumaBuffer {
+ public:
+  NumaBuffer() = default;
+
+  /// Node-bound buffer: `node >= 0` binds + registers; `node < 0` allocates
+  /// unbound and unregistered (plain page-aligned storage).
+  NumaBuffer(std::size_t bytes, int node)
+      : p_(node >= 0 ? numa_alloc_onnode(bytes, node)
+                     : numa_raw_alloc(bytes, -1)),
+        bytes_(bytes),
+        node_(node),
+        registered_(node >= 0) {}
+
+  /// Page-interleaved buffer over nodes 0..num_nodes-1.
+  static NumaBuffer interleaved(std::size_t bytes, std::size_t num_nodes) {
+    NumaBuffer b;
+    b.p_ = numa_alloc_interleaved(bytes, num_nodes);
+    b.bytes_ = bytes;
+    b.node_ = -1;
+    b.registered_ = true;
+    return b;
+  }
+
+  NumaBuffer(NumaBuffer&& o) noexcept
+      : p_(std::exchange(o.p_, nullptr)),
+        bytes_(std::exchange(o.bytes_, 0)),
+        node_(std::exchange(o.node_, -1)),
+        registered_(std::exchange(o.registered_, false)) {}
+
+  NumaBuffer& operator=(NumaBuffer&& o) noexcept {
+    if (this != &o) {
+      release();
+      p_ = std::exchange(o.p_, nullptr);
+      bytes_ = std::exchange(o.bytes_, 0);
+      node_ = std::exchange(o.node_, -1);
+      registered_ = std::exchange(o.registered_, false);
+    }
+    return *this;
+  }
+
+  NumaBuffer(const NumaBuffer&) = delete;
+  NumaBuffer& operator=(const NumaBuffer&) = delete;
+
+  ~NumaBuffer() { release(); }
+
+  [[nodiscard]] void* data() const noexcept { return p_; }
+  [[nodiscard]] std::size_t size() const noexcept { return bytes_; }
+  [[nodiscard]] int node() const noexcept { return node_; }
+  [[nodiscard]] explicit operator bool() const noexcept { return p_ != nullptr; }
+
+  template <class T>
+  [[nodiscard]] T* as() const noexcept {
+    return static_cast<T*>(p_);
+  }
+
+ private:
+  void release() noexcept {
+    if (p_ == nullptr) return;
+    if (registered_) {
+      numa_free(p_, bytes_);
+    } else {
+      numa_raw_free(p_, bytes_);
+    }
+    p_ = nullptr;
+  }
+
+  void* p_ = nullptr;
+  std::size_t bytes_ = 0;
+  int node_ = -1;
+  bool registered_ = false;
+};
+
+} // namespace oss

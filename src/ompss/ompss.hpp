@@ -25,6 +25,7 @@
 #include "ompss/global.hpp"
 #include "ompss/graph_recorder.hpp"
 #include "ompss/mpmc_queue.hpp"
+#include "ompss/numa_alloc.hpp"
 #include "ompss/queues.hpp"
 #include "ompss/runtime.hpp"
 #include "ompss/scheduler.hpp"
@@ -33,6 +34,7 @@
 #include "ompss/task_builder.hpp"
 #include "ompss/task_handle.hpp"
 #include "ompss/taskloop.hpp"
+#include "ompss/topology.hpp"
 #include "ompss/trace.hpp"
 #include "ompss/trace_analysis.hpp"
 #include "ompss/wavefront.hpp"

@@ -33,6 +33,11 @@ namespace oss {
 /// the tasks themselves (no allocation per push).
 class ChaseLevTaskDeque {
  public:
+  /// `numa_node >= 0` binds the ring buffers to that memory node
+  /// (allocation-only; see chase_lev.hpp).
+  explicit ChaseLevTaskDeque(int numa_node = -1)
+      : dq_(/*initial_capacity=*/256, numa_node) {}
+
   /// Owner only: push at the hot end.
   void push(TaskPtr t) {
     Task* raw = t.get();
@@ -70,6 +75,9 @@ class ChaseLevTaskDeque {
 /// Mutex baseline with the same owner/thief interface.
 class MutexTaskDeque {
  public:
+  /// Accepts (and ignores) the numa node so both deques construct alike.
+  explicit MutexTaskDeque(int /*numa_node*/ = -1) {}
+
   void push(TaskPtr t) {
     std::lock_guard lock(mu_);
     q_.push_back(std::move(t));

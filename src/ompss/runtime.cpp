@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "ompss/numa_alloc.hpp"
+
 namespace oss {
 
 // ---------------------------------------------------------------------------
@@ -35,7 +37,10 @@ Runtime::Runtime(RuntimeConfig cfg)
     : cfg_(cfg),
       num_threads_(cfg.resolved_threads()),
       root_ctx_(std::make_shared<TaskContext>()),
-      scheduler_(Scheduler::create(cfg.scheduler, num_threads_, cfg.steal_tries)),
+      topo_(cfg.numa == NumaMode::Off ? Topology::flat(cfg.resolved_threads())
+                                      : Topology::detect(cfg.topology)),
+      scheduler_(Scheduler::create(cfg.scheduler, num_threads_,
+                                   cfg.steal_tries, topo_, cfg.numa)),
       stats_(num_threads_) {
   if (cfg_.record_graph) graph_ = std::make_unique<GraphRecorder>();
   if (cfg_.record_trace) trace_ = std::make_unique<TraceRecorder>();
@@ -136,6 +141,18 @@ TaskHandle Runtime::spawn_task(TaskSpec spec, Task::Fn fn) {
       if (!dup) add_explicit_edge(pred, task, sink);
     }
 
+    // NUMA home node: the explicit hint, or the node of the largest
+    // registered access region (.affinity_auto()).  Hints naming a node
+    // the topology does not have are ignored, so affinity-annotated code
+    // runs unchanged on smaller machines.  Must be set before the task is
+    // published to the scheduler.
+    int home = spec.affinity;
+    if (spec.affinity_auto) home = home_node_of(task->accesses());
+    if (home >= 0 && static_cast<std::size_t>(home) < topo_.num_nodes() &&
+        !topo_.single_node()) {
+      task->set_home_node(home);
+    }
+
     ready = (task->preds == 0);
     if (ready) task->set_state(TaskState::Ready);
   }
@@ -226,12 +243,15 @@ void Runtime::on_finished(const TaskPtr& t, int wid) {
     t->successors.clear();
   }
 
+  // Batch wakeup: enqueue the whole burst first, then release min(N, parked)
+  // workers in one eventcount pass — one epoch bump instead of N serial
+  // notify_one calls.  The finisher itself continues with at most one of
+  // the tasks; every additional one can feed a woken thief.
+  const std::size_t burst = newly_ready.size();
   for (TaskPtr& s : newly_ready) {
     scheduler_->enqueue_unblocked(std::move(s), wid);
-    // One wakeup per enqueued task: the finisher itself continues with at
-    // most one of them, every additional ready task can feed a parked thief.
-    wake_one_worker();
   }
+  wake_workers(burst);
 
   // Child-count updates must happen after the graph bookkeeping so a
   // taskwait that observes zero children also observes the final graph.
@@ -308,8 +328,12 @@ void Runtime::worker_loop(int wid) {
   tl_binding = ThreadBinding{};
 }
 
-void Runtime::wake_one_worker() {
-  if (idle_gate_.notify_one()) stats_.on_wakeup();
+void Runtime::wake_one_worker() { wake_workers(1); }
+
+void Runtime::wake_workers(std::size_t n) {
+  if (n == 0) return;
+  const std::size_t woken = idle_gate_.notify_many(n);
+  if (woken > 0) stats_.on_wakeup(woken);
 }
 
 // ---------------------------------------------------------------------------

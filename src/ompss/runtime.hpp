@@ -53,6 +53,7 @@
 #include "ompss/stats.hpp"
 #include "ompss/task.hpp"
 #include "ompss/task_handle.hpp"
+#include "ompss/topology.hpp"
 #include "ompss/trace.hpp"
 
 namespace oss {
@@ -74,6 +75,10 @@ struct TaskSpec {
   std::string label;     ///< diagnostics name (graph/trace output)
   int priority = 0;      ///< OmpSs `priority` clause
   bool deferred = true;  ///< false = OmpSs `if(0)` inline execution
+  int affinity = -1;     ///< NUMA home node hint (TaskBuilder::affinity);
+                         ///< out-of-range nodes are ignored at spawn
+  bool affinity_auto = false; ///< derive the home node from the largest
+                              ///< registered access region (numa_alloc)
   ContextPtr context;    ///< spawn into this context instead of the ambient
                          ///< one (used by TaskGroup); null = ambient
   std::vector<TaskPtr> after; ///< explicit predecessors (TaskBuilder::after)
@@ -164,6 +169,17 @@ class Runtime {
 
   [[nodiscard]] const RuntimeConfig& config() const noexcept { return cfg_; }
 
+  /// The machine topology this runtime schedules against: discovered from
+  /// sysfs, overridden by `RuntimeConfig::topology` / OSS_TOPOLOGY, or flat
+  /// when `OSS_NUMA=off`.  Node indices accepted by `TaskBuilder::affinity`
+  /// are indices into `topology().nodes()`.
+  [[nodiscard]] const Topology& topology() const noexcept { return topo_; }
+
+  /// The scheduler (topology queries, steal-budget diagnostics).
+  [[nodiscard]] const Scheduler& scheduler() const noexcept {
+    return *scheduler_;
+  }
+
   [[nodiscard]] StatsSnapshot stats() const { return stats_.snapshot(); }
 
   /// DOT rendering of the recorded task graph.  Empty unless
@@ -205,6 +221,10 @@ class Runtime {
   /// is parked — a pair of uncontended atomic ops).
   void wake_one_worker();
 
+  /// Batch wakeup: after an enqueue burst of `n` tasks, wakes min(n, parked)
+  /// workers in one eventcount pass instead of n serial notify_one calls.
+  void wake_workers(std::size_t n);
+
   /// Polls (executing tasks) or blocks until `done()` returns true.
   void wait_until(const std::function<bool()>& done);
 
@@ -215,6 +235,7 @@ class Runtime {
   std::uint64_t next_task_id_ = 0;
 
   ContextPtr root_ctx_;
+  Topology topo_; ///< declared before scheduler_: create() reads it
   std::unique_ptr<Scheduler> scheduler_;
   mutable Stats stats_;
   CriticalRegistry criticals_;

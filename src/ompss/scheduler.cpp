@@ -1,7 +1,9 @@
 #include "ompss/scheduler.hpp"
 
+#include <new>
 #include <stdexcept>
 
+#include "ompss/numa_alloc.hpp"
 #include "ompss/scheduler_impl.hpp"
 
 namespace oss {
@@ -29,16 +31,67 @@ std::uint64_t seed_from_id(std::uint64_t id) {
 } // namespace
 
 SchedulerBase::SchedulerBase(SchedulerPolicy policy, std::size_t num_workers,
-                             std::size_t steal_tries)
+                             std::size_t steal_tries, const Topology& topo,
+                             NumaMode numa)
     : Scheduler(policy),
       num_workers_(num_workers),
       steal_tries_(steal_tries == 0 ? 1 : steal_tries),
+      topo_(topo),
+      numa_mode_(numa),
       global_hi_(shard_count(num_workers)),
-      global_(shard_count(num_workers)),
-      workers_(std::make_unique<WorkerState[]>(num_workers)) {
-  for (std::size_t i = 0; i < num_workers_; ++i) {
-    workers_[i].rng = seed_from_id(i);
+      global_(shard_count(num_workers)) {
+  const bool multi_node = numa_mode_ != NumaMode::Off && !topo_.single_node();
+
+  worker_node_.resize(num_workers_, 0);
+  node_workers_.resize(multi_node ? topo_.num_nodes() : 1);
+  for (std::size_t w = 0; w < num_workers_; ++w) {
+    const int node = multi_node
+                         ? topo_.node_of_worker(static_cast<int>(w), num_workers_)
+                         : 0;
+    worker_node_[w] = node;
+    node_workers_[static_cast<std::size_t>(node)].push_back(static_cast<int>(w));
   }
+
+  if (multi_node) {
+    node_queues_.reserve(topo_.num_nodes());
+    for (std::size_t n = 0; n < topo_.num_nodes(); ++n) {
+      node_queues_.push_back(std::make_unique<ShardedTaskQueue>(
+          shard_count(num_workers_)));
+    }
+  }
+
+  // State blocks: one node-bound page-backed allocation per worker, so the
+  // deque control words and ring buffers live on the owning worker's node.
+  // Binding only happens under NumaMode::Bind on a real multi-node
+  // topology; otherwise numa_raw_alloc degrades to plain aligned pages.
+  workers_.reserve(num_workers_);
+  for (std::size_t i = 0; i < num_workers_; ++i) {
+    const int bind_node =
+        (multi_node && numa_mode_ == NumaMode::Bind) ? worker_node_[i] : -1;
+    void* mem = numa_raw_alloc(sizeof(WorkerState), bind_node);
+    WorkerState* ws = new (mem) WorkerState(bind_node);
+    ws->rng = seed_from_id(i);
+    ws->steal_budget.store(steal_tries_, std::memory_order_relaxed);
+    workers_.push_back(ws);
+  }
+}
+
+SchedulerBase::~SchedulerBase() {
+  for (WorkerState* ws : workers_) {
+    ws->~WorkerState();
+    numa_raw_free(ws, sizeof(WorkerState));
+  }
+}
+
+int SchedulerBase::worker_node(int worker) const noexcept {
+  if (!is_worker(worker)) return -1;
+  return worker_node_[static_cast<std::size_t>(worker)];
+}
+
+std::size_t SchedulerBase::steal_budget(int worker) const noexcept {
+  if (!is_worker(worker)) return steal_tries_;
+  return workers_[static_cast<std::size_t>(worker)]->steal_budget.load(
+      std::memory_order_relaxed);
 }
 
 TaskPtr SchedulerBase::pick_common(int worker, Stats& stats, bool use_local) {
@@ -52,11 +105,43 @@ TaskPtr SchedulerBase::pick_common(int worker, Stats& stats, bool use_local) {
       return t;
     }
   }
+  // Own node's affinity queue before the global queue: home-node tasks are
+  // the ones whose data is on this socket.
+  const int my_node = is_worker(worker)
+                          ? worker_node_[static_cast<std::size_t>(worker)]
+                          : -1;
+  if (my_node >= 0 && !node_queues_.empty()) {
+    if (TaskPtr t = node_queues_[static_cast<std::size_t>(my_node)]->pop()) {
+      stats.on_global_pop();
+      return t;
+    }
+  }
   if (TaskPtr t = global_.pop()) {
     stats.on_global_pop();
     return t;
   }
+  // Foreign node queues last: work conservation beats placement — a task is
+  // better executed remotely than stranded (its home node may not even have
+  // a worker).
+  for (std::size_t n = 0; n < node_queues_.size(); ++n) {
+    if (static_cast<int>(n) == my_node) continue;
+    if (TaskPtr t = node_queues_[n]->pop()) {
+      stats.on_global_pop();
+      return t;
+    }
+  }
   return nullptr;
+}
+
+TaskPtr SchedulerBase::try_steal(std::size_t victim, int thief, Stats& stats) {
+  TaskPtr t = workers_[victim]->deque.steal();
+  if (!t) return nullptr;
+  stats.on_steal();
+  if (!node_queues_.empty() && is_worker(thief) &&
+      worker_node_[victim] != worker_node_[static_cast<std::size_t>(thief)]) {
+    stats.on_steal_remote();
+  }
+  return t;
 }
 
 TaskPtr SchedulerBase::steal_from_siblings(int thief, Stats& stats) {
@@ -64,42 +149,96 @@ TaskPtr SchedulerBase::steal_from_siblings(int thief, Stats& stats) {
   const bool self_is_worker = is_worker(thief);
   if (n == 0 || (self_is_worker && n == 1)) return nullptr;
 
-  for (std::size_t round = 0; round < steal_tries_; ++round) {
-    std::size_t start;
-    if (self_is_worker) {
-      start = static_cast<std::size_t>(next_rand(worker_state(thief).rng)) % n;
+  WorkerState* st = self_is_worker ? &worker_state(thief) : nullptr;
+  const std::size_t rounds =
+      st != nullptr ? st->steal_budget.load(std::memory_order_relaxed)
+                    : steal_tries_;
+  const int my_node =
+      self_is_worker ? worker_node_[static_cast<std::size_t>(thief)] : -1;
+  const std::vector<int>* mates =
+      (st != nullptr && !node_queues_.empty())
+          ? &node_workers_[static_cast<std::size_t>(my_node)]
+          : nullptr;
+
+  for (std::size_t round = 0; round < rounds; ++round) {
+    if (mates != nullptr) {
+      // Same-socket pass first: stealing from a sibling on the same node
+      // keeps the task's working set on this socket's memory.
+      if (mates->size() > 1) {
+        const std::size_t m = mates->size();
+        const std::size_t start =
+            static_cast<std::size_t>(next_rand(st->rng)) % m;
+        for (std::size_t i = 0; i < m; ++i) {
+          const int victim = (*mates)[(start + i) % m];
+          if (victim == thief) continue;
+          if (TaskPtr t = try_steal(static_cast<std::size_t>(victim), thief,
+                                    stats)) {
+            grow_budget(st);
+            return t;
+          }
+        }
+      }
+      // Remote pass: cross-socket victims only.
+      const std::size_t start =
+          static_cast<std::size_t>(next_rand(st->rng)) % n;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t victim = (start + i) % n;
+        if (worker_node_[victim] == my_node) continue;
+        if (TaskPtr t = try_steal(victim, thief, stats)) {
+          grow_budget(st);
+          return t;
+        }
+      }
     } else {
-      start = foreign_cursor_.fetch_add(1, std::memory_order_relaxed) % n;
-    }
-    for (std::size_t i = 0; i < n; ++i) {
-      const std::size_t victim = (start + i) % n;
-      if (self_is_worker && victim == static_cast<std::size_t>(thief)) continue;
-      if (TaskPtr t = workers_[victim].deque.steal()) {
-        stats.on_steal();
-        return t;
+      // Flat sweep (single-node topologies and non-worker thieves).
+      std::size_t start;
+      if (st != nullptr) {
+        start = static_cast<std::size_t>(next_rand(st->rng)) % n;
+      } else {
+        start = foreign_cursor_.fetch_add(1, std::memory_order_relaxed) % n;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t victim = (start + i) % n;
+        if (self_is_worker && victim == static_cast<std::size_t>(thief)) {
+          continue;
+        }
+        if (TaskPtr t = try_steal(victim, thief, stats)) {
+          grow_budget(st);
+          return t;
+        }
       }
     }
   }
   stats.on_steal_failed();
+  // Adaptive back-off: sustained failed sweeps halve the budget towards a
+  // single sweep, cutting useless cold-end probing (and cross-socket
+  // traffic) when the system is genuinely out of stealable work.
+  decay_budget(st);
   return nullptr;
 }
 
 std::size_t SchedulerBase::queued() const {
   std::size_t n = global_hi_.size() + global_.size();
-  for (std::size_t i = 0; i < num_workers_; ++i) n += workers_[i].deque.size();
+  for (const auto& q : node_queues_) n += q->size();
+  for (std::size_t i = 0; i < num_workers_; ++i) n += workers_[i]->deque.size();
   return n;
 }
 
 std::unique_ptr<Scheduler> Scheduler::create(SchedulerPolicy policy,
                                              std::size_t num_workers,
-                                             std::size_t steal_tries) {
+                                             std::size_t steal_tries,
+                                             const Topology& topo,
+                                             NumaMode numa) {
   switch (policy) {
     case SchedulerPolicy::Fifo:
-      return std::make_unique<FifoScheduler>(num_workers, steal_tries);
+      return std::make_unique<FifoScheduler>(num_workers, steal_tries, topo,
+                                             numa);
     case SchedulerPolicy::Locality:
-      return std::make_unique<LocalityScheduler>(num_workers, steal_tries);
+      return std::make_unique<LocalityScheduler>(num_workers, steal_tries,
+                                                 topo, numa);
     case SchedulerPolicy::WorkStealing:
-      return std::make_unique<WorkStealingScheduler>(num_workers, steal_tries);
+      return std::make_unique<WorkStealingScheduler>(num_workers, steal_tries,
+                                                     topo, numa);
   }
   throw std::invalid_argument("Scheduler::create: unknown policy");
 }

@@ -19,6 +19,14 @@
 // the global queues are sharded MPMC rings (mpmc_queue.hpp); build with
 // -DOSS_MUTEX_QUEUES=ON for the mutex-deque baseline.
 //
+// NUMA awareness (docs/numa.md): on multi-node topologies every policy
+// routes tasks carrying a home-node hint (`Task::home_node`) to a per-node
+// ready queue drained preferentially by that node's workers; victim sweeps
+// try same-socket deques before crossing the interconnect; and each
+// worker's state block + deque buffers are allocated on its own node
+// (NumaMode::Bind).  On a single-node topology all of this collapses to
+// exactly the topology-blind behaviour.
+//
 // `Scheduler` is an abstract interface so the runtime can swap policies
 // without special-casing; implementations live in scheduler_impl.hpp and
 // the scheduler_*.cpp policy files, and are built via `Scheduler::create`.
@@ -30,17 +38,22 @@
 #include "ompss/config.hpp"
 #include "ompss/stats.hpp"
 #include "ompss/task.hpp"
+#include "ompss/topology.hpp"
 
 namespace oss {
 
 class Scheduler {
  public:
   /// Builds the scheduler implementing `policy` for `num_workers` workers.
-  /// `steal_tries` is the number of full victim sweeps an idle pick()
-  /// performs before giving up (the OSS_STEAL_TRIES knob).
-  static std::unique_ptr<Scheduler> create(SchedulerPolicy policy,
-                                           std::size_t num_workers,
-                                           std::size_t steal_tries = 2);
+  /// `steal_tries` is the ceiling of full victim sweeps an idle pick()
+  /// performs before giving up (the OSS_STEAL_TRIES knob; the per-worker
+  /// sweep count adapts below it — see steal_budget).  `topo` describes the
+  /// machine (default: a blind single-node topology) and `numa` selects how
+  /// aggressively the scheduler binds its own state to it.
+  static std::unique_ptr<Scheduler> create(
+      SchedulerPolicy policy, std::size_t num_workers,
+      std::size_t steal_tries = 2, const Topology& topo = Topology(),
+      NumaMode numa = NumaMode::Bind);
 
   virtual ~Scheduler() = default;
 
@@ -66,6 +79,14 @@ class Scheduler {
 
   /// Approximate count of queued ready tasks (for idle heuristics/tests).
   [[nodiscard]] virtual std::size_t queued() const = 0;
+
+  /// Dense NUMA node index of a worker (0 on single-node topologies, -1
+  /// for non-worker ids).  Matches Topology::node_of_worker.
+  [[nodiscard]] virtual int worker_node(int worker) const noexcept = 0;
+
+  /// Current adaptive sweep count of a worker's steal loop, in
+  /// [1, steal_tries ceiling].  Diagnostics/tests.
+  [[nodiscard]] virtual std::size_t steal_budget(int worker) const noexcept = 0;
 
   [[nodiscard]] SchedulerPolicy policy() const noexcept { return policy_; }
 

@@ -1,22 +1,29 @@
 // Fifo policy: one sharded global FIFO, no local deques, no stealing.
 // The placement-oblivious baseline the paper's locality results are
-// measured against — local_pops and steals stay exactly zero.
+// measured against — local_pops and steals stay exactly zero.  Affinity is
+// the one placement concession every policy shares: a home-node task goes
+// to that node's queue (still FIFO within it) so `.affinity()` means the
+// same thing whichever policy is active.
 #include "ompss/scheduler_impl.hpp"
 
 namespace oss {
 
 void FifoScheduler::enqueue_spawned(TaskPtr t, int /*spawner_worker*/) {
   if (place_priority(t)) return;
+  if (place_home(t)) return;
   global_.push(std::move(t));
 }
 
 void FifoScheduler::enqueue_unblocked(TaskPtr t, int /*finisher_worker*/) {
   if (place_priority(t)) return;
+  if (place_home(t)) return;
   global_.push(std::move(t));
 }
 
 TaskPtr FifoScheduler::pick(int worker, Stats& stats) {
-  return pick_common(worker, stats, /*use_local=*/false);
+  TaskPtr t = pick_common(worker, stats, /*use_local=*/false);
+  account_pick(worker, t, stats);
+  return t;
 }
 
 } // namespace oss

@@ -2,15 +2,24 @@
 //
 // `SchedulerBase` owns what every policy needs: the sharded global queues
 // (normal + priority), one cache-line-padded state block per worker (local
-// Chase–Lev deque + private steal RNG), and the common pick/steal skeleton.
-// The concrete policies (scheduler_fifo.cpp, scheduler_locality.cpp,
-// scheduler_wsteal.cpp) only decide *placement*; the drain side is shared.
+// Chase–Lev deque + private steal RNG + adaptive steal budget), the
+// per-NUMA-node ready queues and worker↔node maps on multi-node topologies,
+// and the common pick/steal skeleton.  The concrete policies
+// (scheduler_fifo.cpp, scheduler_locality.cpp, scheduler_wsteal.cpp) only
+// decide *placement*; the drain side is shared.
+//
+// NUMA layout: on a multi-node topology each worker's state block (and its
+// deque ring buffers) is placement-new'ed into pages bound to the worker's
+// node (NumaMode::Bind), and one extra ShardedTaskQueue per node holds the
+// tasks whose home-node hint points there.  Single-node topologies build
+// none of this and behave exactly like the topology-blind scheduler.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "ompss/mpmc_queue.hpp"
 #include "ompss/queues.hpp"
@@ -21,41 +30,92 @@ namespace oss {
 class SchedulerBase : public Scheduler {
  protected:
   SchedulerBase(SchedulerPolicy policy, std::size_t num_workers,
-                std::size_t steal_tries);
+                std::size_t steal_tries, const Topology& topo, NumaMode numa);
 
  public:
+  ~SchedulerBase() override;
+
   [[nodiscard]] std::size_t queued() const override;
+  [[nodiscard]] int worker_node(int worker) const noexcept override;
+  [[nodiscard]] std::size_t steal_budget(int worker) const noexcept override;
 
  protected:
-  /// Per-worker state, padded so neighbouring workers never share a line.
+  /// Per-worker state, padded so neighbouring workers never share a line
+  /// and node-bound so the hot deque words live on the owner's socket.
   /// The RNG is private to the owning worker (only the owner steals with
   /// it), so steal attempts no longer contend on a shared seed.
   struct alignas(64) WorkerState {
+    explicit WorkerState(int numa_node) : deque(numa_node) {}
     WorkerDeque deque;
     std::uint64_t rng = 0;
+    /// Adaptive sweep count: halves after a fully-failed steal sweep,
+    /// creeps back up on success, always within [1, steal_tries ceiling].
+    /// Written only by the owning worker; atomic (relaxed) because the
+    /// public steal_budget() accessor may read it from any thread.
+    std::atomic<std::size_t> steal_budget{1};
   };
 
   /// Routes to the priority queue when applicable; returns true if consumed.
+  /// Priority outranks affinity: a priority task goes to the global
+  /// priority tier even when it carries a home-node hint.
   bool place_priority(TaskPtr& t) {
     if (t->priority() <= 0) return false;
     global_hi_.push(std::move(t));
     return true;
   }
 
-  /// Priority queue, then the caller's local deque, then the global queue.
-  /// `use_local` lets Fifo skip the local tier entirely.
+  /// Routes a task carrying a valid home-node hint to that node's queue;
+  /// returns true if consumed.  Always false on single-node topologies.
+  bool place_home(TaskPtr& t) {
+    const int home = t->home_node();
+    if (home < 0 || static_cast<std::size_t>(home) >= node_queues_.size()) {
+      return false;
+    }
+    node_queues_[static_cast<std::size_t>(home)]->push(std::move(t));
+    return true;
+  }
+
+  /// True when `w` is a worker whose node matches the task's home hint, or
+  /// the task has no (valid) hint — i.e. placing on `w`'s deque respects
+  /// affinity.
+  [[nodiscard]] bool node_matches(int w, const TaskPtr& t) const noexcept {
+    const int home = t->home_node();
+    if (home < 0 || static_cast<std::size_t>(home) >= node_queues_.size()) {
+      return true;
+    }
+    return is_worker(w) && worker_node_[static_cast<std::size_t>(w)] == home;
+  }
+
+  /// Priority queue, the caller's local deque, the caller's node queue,
+  /// the global queue, then foreign node queues.  `use_local` lets Fifo
+  /// skip the local-deque tier entirely.
   TaskPtr pick_common(int worker, Stats& stats, bool use_local);
 
-  /// Random-start sweeps over sibling deques; counts one failed-steal per
-  /// pick that sweeps every victim `steal_tries` times and finds nothing.
+  /// Victim sweeps over sibling deques, same-socket victims first; the
+  /// per-worker sweep count adapts to the failed-steal rate (capped by
+  /// steal_tries).  Counts one failed-steal per pick that finds nothing.
   TaskPtr steal_from_siblings(int thief, Stats& stats);
+
+  /// Attributes an affinity task to tasks_local/tasks_remote at pick time
+  /// (the counters that prove the routing).  No-op for tasks without a
+  /// hint, on single-node topologies, and for non-worker pickers.
+  void account_pick(int worker, const TaskPtr& t, Stats& stats) const {
+    if (!t || node_queues_.empty() || !is_worker(worker)) return;
+    const int home = t->home_node();
+    if (home < 0) return;
+    if (worker_node_[static_cast<std::size_t>(worker)] == home) {
+      stats.on_task_local();
+    } else {
+      stats.on_task_remote();
+    }
+  }
 
   [[nodiscard]] bool is_worker(int w) const noexcept {
     return w >= 0 && static_cast<std::size_t>(w) < num_workers_;
   }
 
   WorkerState& worker_state(int w) {
-    return workers_[static_cast<std::size_t>(w)];
+    return *workers_[static_cast<std::size_t>(w)];
   }
 
   /// xorshift64: cheap, decent-quality per-worker steal randomness.
@@ -67,19 +127,46 @@ class SchedulerBase : public Scheduler {
   }
 
   std::size_t num_workers_;
-  std::size_t steal_tries_;
+  std::size_t steal_tries_; ///< adaptive-budget ceiling (OSS_STEAL_TRIES)
+  Topology topo_;
+  NumaMode numa_mode_;
+  std::vector<int> worker_node_;               ///< worker id → dense node
+  std::vector<std::vector<int>> node_workers_; ///< dense node → worker ids
   ShardedTaskQueue global_hi_; ///< priority > 0, served before all else
   ShardedTaskQueue global_;
-  std::unique_ptr<WorkerState[]> workers_;
+  /// One ready queue per node for home-node tasks; empty on single-node
+  /// topologies (the whole NUMA path compiles down to two empty checks).
+  std::vector<std::unique_ptr<ShardedTaskQueue>> node_queues_;
+  /// State blocks, placement-new'ed into node-bound pages (see ctor).
+  std::vector<WorkerState*> workers_;
   /// Sweep-start cursor for non-worker thieves (rare; workers use their
   /// private RNG instead).
   std::atomic<std::uint32_t> foreign_cursor_{0};
+
+ private:
+  TaskPtr try_steal(std::size_t victim, int thief, Stats& stats);
+
+  /// Budget updates: owner-only writes, relaxed (see WorkerState).
+  void grow_budget(WorkerState* st) const noexcept {
+    if (st == nullptr) return;
+    const std::size_t b = st->steal_budget.load(std::memory_order_relaxed);
+    if (b < steal_tries_) {
+      st->steal_budget.store(b + 1, std::memory_order_relaxed);
+    }
+  }
+  static void decay_budget(WorkerState* st) noexcept {
+    if (st == nullptr) return;
+    const std::size_t b = st->steal_budget.load(std::memory_order_relaxed);
+    if (b > 1) st->steal_budget.store(b / 2, std::memory_order_relaxed);
+  }
 };
 
 class FifoScheduler final : public SchedulerBase {
  public:
-  FifoScheduler(std::size_t num_workers, std::size_t steal_tries)
-      : SchedulerBase(SchedulerPolicy::Fifo, num_workers, steal_tries) {}
+  FifoScheduler(std::size_t num_workers, std::size_t steal_tries,
+                const Topology& topo, NumaMode numa)
+      : SchedulerBase(SchedulerPolicy::Fifo, num_workers, steal_tries, topo,
+                      numa) {}
   void enqueue_spawned(TaskPtr t, int spawner_worker) override;
   void enqueue_unblocked(TaskPtr t, int finisher_worker) override;
   TaskPtr pick(int worker, Stats& stats) override;
@@ -87,8 +174,10 @@ class FifoScheduler final : public SchedulerBase {
 
 class LocalityScheduler final : public SchedulerBase {
  public:
-  LocalityScheduler(std::size_t num_workers, std::size_t steal_tries)
-      : SchedulerBase(SchedulerPolicy::Locality, num_workers, steal_tries) {}
+  LocalityScheduler(std::size_t num_workers, std::size_t steal_tries,
+                    const Topology& topo, NumaMode numa)
+      : SchedulerBase(SchedulerPolicy::Locality, num_workers, steal_tries,
+                      topo, numa) {}
   void enqueue_spawned(TaskPtr t, int spawner_worker) override;
   void enqueue_unblocked(TaskPtr t, int finisher_worker) override;
   TaskPtr pick(int worker, Stats& stats) override;
@@ -96,9 +185,10 @@ class LocalityScheduler final : public SchedulerBase {
 
 class WorkStealingScheduler final : public SchedulerBase {
  public:
-  WorkStealingScheduler(std::size_t num_workers, std::size_t steal_tries)
-      : SchedulerBase(SchedulerPolicy::WorkStealing, num_workers, steal_tries) {
-  }
+  WorkStealingScheduler(std::size_t num_workers, std::size_t steal_tries,
+                        const Topology& topo, NumaMode numa)
+      : SchedulerBase(SchedulerPolicy::WorkStealing, num_workers, steal_tries,
+                      topo, numa) {}
   void enqueue_spawned(TaskPtr t, int spawner_worker) override;
   void enqueue_unblocked(TaskPtr t, int finisher_worker) override;
   TaskPtr pick(int worker, Stats& stats) override;

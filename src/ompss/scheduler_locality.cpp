@@ -2,29 +2,38 @@
 // the hot end of the finishing worker's deque, so the consumer runs
 // back-to-back with its producer while the produced data is still in cache
 // (the paper's ray-rot win).  Spawn-ready tasks go to the global queue.
+//
+// A home-node hint refines both paths: the finisher keeps the task only
+// when it sits on the task's home node (cache affinity and memory affinity
+// agree); otherwise the task crosses to its home node's queue, where that
+// node's workers drain it before touching the global tier.
 #include "ompss/scheduler_impl.hpp"
 
 namespace oss {
 
 void LocalityScheduler::enqueue_spawned(TaskPtr t, int /*spawner_worker*/) {
   if (place_priority(t)) return;
+  if (place_home(t)) return;
   global_.push(std::move(t));
 }
 
 void LocalityScheduler::enqueue_unblocked(TaskPtr t, int finisher_worker) {
   if (place_priority(t)) return;
-  if (is_worker(finisher_worker)) {
+  if (is_worker(finisher_worker) && node_matches(finisher_worker, t)) {
     // Hot end of the finisher's deque: runs next on the same worker,
     // back-to-back with its producer (the paper's cache-locality win).
     worker_state(finisher_worker).deque.push(std::move(t));
-  } else {
-    global_.push(std::move(t));
+    return;
   }
+  if (place_home(t)) return;
+  global_.push(std::move(t));
 }
 
 TaskPtr LocalityScheduler::pick(int worker, Stats& stats) {
-  if (TaskPtr t = pick_common(worker, stats, /*use_local=*/true)) return t;
-  return steal_from_siblings(worker, stats);
+  TaskPtr t = pick_common(worker, stats, /*use_local=*/true);
+  if (!t) t = steal_from_siblings(worker, stats);
+  account_pick(worker, t, stats);
+  return t;
 }
 
 } // namespace oss

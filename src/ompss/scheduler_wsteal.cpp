@@ -1,32 +1,41 @@
 // WorkStealing policy: like Locality, but spawn-ready tasks also go to the
 // spawning worker's own deque (Cilk-style LIFO spawn order), so a worker
 // producing a burst of tasks keeps them hot locally and idle siblings pull
-// the oldest ones from the cold end.
+// the oldest ones from the cold end.  Victim sweeps are same-socket-first
+// (see SchedulerBase::steal_from_siblings); home-node hints additionally
+// reroute off-node spawns/unblocks to their home node's queue.
 #include "ompss/scheduler_impl.hpp"
 
 namespace oss {
 
 void WorkStealingScheduler::enqueue_spawned(TaskPtr t, int spawner_worker) {
   if (place_priority(t)) return;
-  if (is_worker(spawner_worker)) {
+  // node_matches is true whenever the task has no valid home hint, so a
+  // worker spawner always keeps hint-less tasks; place_home consumes
+  // exactly the off-node hinted ones.
+  if (is_worker(spawner_worker) && node_matches(spawner_worker, t)) {
     worker_state(spawner_worker).deque.push(std::move(t));
-  } else {
-    global_.push(std::move(t));
+    return;
   }
+  if (place_home(t)) return;
+  global_.push(std::move(t));
 }
 
 void WorkStealingScheduler::enqueue_unblocked(TaskPtr t, int finisher_worker) {
   if (place_priority(t)) return;
-  if (is_worker(finisher_worker)) {
+  if (is_worker(finisher_worker) && node_matches(finisher_worker, t)) {
     worker_state(finisher_worker).deque.push(std::move(t));
-  } else {
-    global_.push(std::move(t));
+    return;
   }
+  if (place_home(t)) return;
+  global_.push(std::move(t));
 }
 
 TaskPtr WorkStealingScheduler::pick(int worker, Stats& stats) {
-  if (TaskPtr t = pick_common(worker, stats, /*use_local=*/true)) return t;
-  return steal_from_siblings(worker, stats);
+  TaskPtr t = pick_common(worker, stats, /*use_local=*/true);
+  if (!t) t = steal_from_siblings(worker, stats);
+  account_pick(worker, t, stats);
+  return t;
 }
 
 } // namespace oss

@@ -16,6 +16,9 @@ StatsSnapshot Stats::snapshot() const {
   s.global_pops = global_pops_.load(std::memory_order_relaxed);
   s.steals = steals_.load(std::memory_order_relaxed);
   s.steals_failed = steals_failed_.load(std::memory_order_relaxed);
+  s.steals_remote = steals_remote_.load(std::memory_order_relaxed);
+  s.tasks_local = tasks_local_.load(std::memory_order_relaxed);
+  s.tasks_remote = tasks_remote_.load(std::memory_order_relaxed);
   s.parks = parks_.load(std::memory_order_relaxed);
   s.wakeups = wakeups_.load(std::memory_order_relaxed);
   s.taskwaits = taskwaits_.load(std::memory_order_relaxed);
@@ -33,6 +36,8 @@ std::string StatsSnapshot::to_string() const {
      << " explicit=" << edges_explicit << " total=" << edges_total() << '\n'
      << "queue: local=" << local_pops << " global=" << global_pops
      << " steals=" << steals << " steal-fails=" << steals_failed << '\n'
+     << "numa: local=" << tasks_local << " remote=" << tasks_remote
+     << " remote-steals=" << steals_remote << '\n'
      << "idle: parks=" << parks << " wakeups=" << wakeups << '\n'
      << "waits: taskwait=" << taskwaits << " barrier=" << barriers << '\n'
      << "per-worker executed:";

@@ -27,8 +27,13 @@ struct StatsSnapshot {
   std::uint64_t global_pops = 0; ///< ready tasks taken from the global queue
   std::uint64_t steals = 0;      ///< ready tasks taken from another worker
   std::uint64_t steals_failed = 0; ///< picks that swept every victim empty
+  std::uint64_t steals_remote = 0; ///< steals whose victim sat on another
+                                   ///< NUMA node (subset of steals)
+  std::uint64_t tasks_local = 0;  ///< affinity tasks picked on their home node
+  std::uint64_t tasks_remote = 0; ///< affinity tasks picked on a foreign node
   std::uint64_t parks = 0;       ///< times an idle worker parked on the gate
-  std::uint64_t wakeups = 0;     ///< notifications that signalled a parked worker
+  std::uint64_t wakeups = 0;     ///< parked workers signalled awake (batch
+                                 ///< wakeups count every worker they released)
   std::uint64_t taskwaits = 0;
   std::uint64_t barriers = 0;
   std::vector<std::uint64_t> per_worker_executed;
@@ -61,8 +66,13 @@ class Stats {
   void on_global_pop() { inc(global_pops_); }
   void on_steal() { inc(steals_); }
   void on_steal_failed() { inc(steals_failed_); }
+  void on_steal_remote() { inc(steals_remote_); }
+  void on_task_local() { inc(tasks_local_); }
+  void on_task_remote() { inc(tasks_remote_); }
   void on_park() { inc(parks_); }
-  void on_wakeup() { inc(wakeups_); }
+  void on_wakeup(std::uint64_t count = 1) {
+    wakeups_.fetch_add(count, std::memory_order_relaxed);
+  }
   void on_taskwait() { inc(taskwaits_); }
   void on_barrier() { inc(barriers_); }
 
@@ -82,6 +92,9 @@ class Stats {
   Counter global_pops_{0};
   Counter steals_{0};
   Counter steals_failed_{0};
+  Counter steals_remote_{0};
+  Counter tasks_local_{0};
+  Counter tasks_remote_{0};
   Counter parks_{0};
   Counter wakeups_{0};
   Counter taskwaits_{0};

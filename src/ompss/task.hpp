@@ -125,6 +125,12 @@ class Task {
   bool undeferred() const noexcept { return undeferred_; }
   void set_undeferred(bool v) noexcept { undeferred_ = v; }
 
+  /// NUMA home node (dense topology index) the scheduler should place this
+  /// task on, or -1 for no affinity.  Set before the task is published to
+  /// any ready queue (the queue handshake orders it for readers).
+  int home_node() const noexcept { return home_node_; }
+  void set_home_node(int n) noexcept { home_node_ = n; }
+
   /// Attaches a commutative-region exclusion lock (called during
   /// registration, under the graph mutex).
   void add_exclusion_lock(std::shared_ptr<std::mutex> m) {
@@ -168,6 +174,7 @@ class Task {
   ContextPtr child_ctx_; // lazily created; touched only by the executing thread
   std::string label_;
   int priority_ = 0;
+  int home_node_ = -1;
   bool undeferred_ = false;
   std::vector<std::shared_ptr<std::mutex>> exclusion_locks_;
   TaskPtr queue_ref_; // owning self-reference while in a lock-free queue

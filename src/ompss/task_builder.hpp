@@ -141,6 +141,30 @@ class TaskBuilder {
     return *this;
   }
 
+  /// NUMA affinity hint: prefer running the task on a worker of memory node
+  /// `node` (dense topology index, see docs/numa.md).  A node the current
+  /// topology does not have is ignored at spawn time — code written for a
+  /// multi-socket box runs unchanged on a laptop.  Negative nodes throw.
+  TaskBuilder& affinity(int node) {
+    if (node < 0) {
+      throw std::invalid_argument(
+          "oss::TaskBuilder::affinity: node must be >= 0");
+    }
+    spec_.affinity = node;
+    spec_.affinity_auto = false;
+    return *this;
+  }
+
+  /// Derives the affinity hint from the task's data: the home node is the
+  /// node of the largest declared access region that was allocated through
+  /// oss::numa_alloc_onnode / NumaBuffer (unregistered regions contribute
+  /// nothing; no registered region means no affinity).
+  TaskBuilder& affinity_auto() {
+    spec_.affinity = -1;
+    spec_.affinity_auto = true;
+    return *this;
+  }
+
   /// Adds an explicit dependency edge: this task will not start before the
   /// task referenced by `h` finished, regardless of declared regions.
   /// Empty and already-finished handles are no-ops; an unfinished handle of

@@ -49,6 +49,14 @@ class TaskHandle {
   /// threads.  No-op for empty or already-finished handles.
   void wait() const;
 
+  /// NUMA home node the runtime resolved for the task at spawn time
+  /// (TaskBuilder::affinity / affinity_auto), or -1 when the task has no
+  /// affinity — including hints the topology could not honor and empty
+  /// handles.
+  [[nodiscard]] int home_node() const noexcept {
+    return task_ ? task_->home_node() : -1;
+  }
+
   /// Runtime that spawned the task (null for an empty handle).
   [[nodiscard]] Runtime* runtime() const noexcept { return rt_; }
 

@@ -1,0 +1,237 @@
+#include "ompss/topology.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+namespace oss {
+
+namespace {
+
+std::size_t hardware_cpus() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+[[noreturn]] void bad_spec(const std::string& spec, const std::string& why) {
+  throw std::invalid_argument(
+      "malformed topology spec '" + spec + "': " + why +
+      " (expected \"NxM\" — N nodes of M cpus — or \"osid:cpulist;...\" like "
+      "\"0:0-3;1:4-7\") [OSS_TOPOLOGY]");
+}
+
+/// Parses a non-negative integer at `s[pos...]`; advances pos past it.
+/// Returns -1 when no digit is present.
+long parse_int(const std::string& s, std::size_t& pos) {
+  if (pos >= s.size() || !std::isdigit(static_cast<unsigned char>(s[pos]))) {
+    return -1;
+  }
+  long v = 0;
+  while (pos < s.size() && std::isdigit(static_cast<unsigned char>(s[pos]))) {
+    v = v * 10 + (s[pos] - '0');
+    if (v > 1'000'000) return -1; // reject absurd values before overflow
+    ++pos;
+  }
+  return v;
+}
+
+/// Parses a kernel cpulist ("0-3,8,10-11") into ascending cpu ids.
+/// Returns false on malformed input.
+bool parse_cpulist(const std::string& list, std::vector<int>& out) {
+  std::size_t pos = 0;
+  while (pos < list.size()) {
+    const long lo = parse_int(list, pos);
+    if (lo < 0) return false;
+    long hi = lo;
+    if (pos < list.size() && list[pos] == '-') {
+      ++pos;
+      hi = parse_int(list, pos);
+      if (hi < lo) return false;
+    }
+    if (hi - lo > 4096) return false; // sanity bound for fake specs/sysfs
+    for (long c = lo; c <= hi; ++c) out.push_back(static_cast<int>(c));
+    if (pos < list.size()) {
+      if (list[pos] != ',') return false;
+      ++pos;
+      if (pos == list.size()) return false; // trailing comma
+    }
+  }
+  return !out.empty();
+}
+
+/// Finalizes a node list: sorts by os_id, assigns dense ids, validates
+/// uniqueness.  Returns false (leaving `nodes` unspecified) on duplicates.
+bool finalize(std::vector<TopologyNode>& nodes) {
+  if (nodes.empty()) return false;
+  std::sort(nodes.begin(), nodes.end(),
+            [](const TopologyNode& a, const TopologyNode& b) {
+              return a.os_id < b.os_id;
+            });
+  std::vector<int> all_cpus;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (i > 0 && nodes[i].os_id == nodes[i - 1].os_id) return false;
+    nodes[i].id = static_cast<int>(i);
+    std::sort(nodes[i].cpus.begin(), nodes[i].cpus.end());
+    all_cpus.insert(all_cpus.end(), nodes[i].cpus.begin(), nodes[i].cpus.end());
+  }
+  std::sort(all_cpus.begin(), all_cpus.end());
+  return std::adjacent_find(all_cpus.begin(), all_cpus.end()) == all_cpus.end();
+}
+
+} // namespace
+
+Topology::Topology(std::vector<TopologyNode> nodes) : nodes_(std::move(nodes)) {}
+
+Topology Topology::flat(std::size_t ncpus) {
+  TopologyNode n;
+  n.id = 0;
+  n.os_id = 0;
+  n.cpus.reserve(ncpus);
+  for (std::size_t c = 0; c < ncpus; ++c) n.cpus.push_back(static_cast<int>(c));
+  return Topology(std::vector<TopologyNode>{std::move(n)});
+}
+
+Topology Topology::from_spec(const std::string& spec) {
+  if (spec.empty()) bad_spec(spec, "empty spec");
+
+  // Shorthand: "NxM" — N nodes of M cpus each, cpus numbered node-major.
+  {
+    std::size_t pos = 0;
+    const long n = parse_int(spec, pos);
+    if (n > 0 && pos < spec.size() && spec[pos] == 'x') {
+      ++pos;
+      const long m = parse_int(spec, pos);
+      if (m <= 0 || pos != spec.size()) bad_spec(spec, "bad NxM shorthand");
+      std::vector<TopologyNode> nodes;
+      int cpu = 0;
+      for (long i = 0; i < n; ++i) {
+        TopologyNode node;
+        node.os_id = static_cast<int>(i);
+        for (long c = 0; c < m; ++c) node.cpus.push_back(cpu++);
+        nodes.push_back(std::move(node));
+      }
+      if (!finalize(nodes)) bad_spec(spec, "bad NxM shorthand");
+      return Topology(std::move(nodes));
+    }
+  }
+
+  // Full form: "osid:cpulist;osid:cpulist;..."
+  std::vector<TopologyNode> nodes;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t semi = spec.find(';', start);
+    const std::string entry =
+        spec.substr(start, semi == std::string::npos ? semi : semi - start);
+    if (entry.empty()) bad_spec(spec, "empty node entry");
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos) bad_spec(spec, "missing ':' in node entry");
+    std::size_t pos = 0;
+    const long os_id = parse_int(entry, pos);
+    if (os_id < 0 || pos != colon) bad_spec(spec, "bad node id");
+    TopologyNode node;
+    node.os_id = static_cast<int>(os_id);
+    if (!parse_cpulist(entry.substr(colon + 1), node.cpus)) {
+      bad_spec(spec, "bad cpulist");
+    }
+    nodes.push_back(std::move(node));
+    if (semi == std::string::npos) break;
+    start = semi + 1;
+  }
+  if (!finalize(nodes)) bad_spec(spec, "duplicate node id or cpu");
+  return Topology(std::move(nodes));
+}
+
+Topology Topology::from_sysfs(const std::string& root) {
+  namespace fs = std::filesystem;
+  std::vector<TopologyNode> nodes;
+  std::error_code ec;
+  fs::directory_iterator it(root, ec);
+  if (ec) return flat(hardware_cpus());
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("node", 0) != 0) continue;
+    std::size_t pos = 4;
+    const long os_id = parse_int(name, pos);
+    if (os_id < 0 || pos != name.size()) continue;
+    std::ifstream in(entry.path() / "cpulist");
+    if (!in) return flat(hardware_cpus());
+    std::string list;
+    std::getline(in, list);
+    // Trim trailing whitespace (sysfs files end with '\n'; getline strips
+    // it, but be lenient about stray spaces in fake trees).
+    while (!list.empty() &&
+           std::isspace(static_cast<unsigned char>(list.back()))) {
+      list.pop_back();
+    }
+    TopologyNode node;
+    node.os_id = static_cast<int>(os_id);
+    if (list.empty()) continue; // memory-only node: no cpus, skip
+    if (!parse_cpulist(list, node.cpus)) return flat(hardware_cpus());
+    nodes.push_back(std::move(node));
+  }
+  if (!finalize(nodes)) return flat(hardware_cpus());
+  return Topology(std::move(nodes));
+}
+
+Topology Topology::detect(const std::string& value) {
+  if (value.empty() || value == "numa") return from_sysfs();
+  if (value == "flat") return flat(hardware_cpus());
+  return from_spec(value);
+}
+
+std::size_t Topology::num_cpus() const noexcept {
+  std::size_t n = 0;
+  for (const auto& node : nodes_) n += node.cpus.size();
+  return n;
+}
+
+int Topology::node_of_cpu(int cpu) const noexcept {
+  for (const auto& node : nodes_) {
+    if (std::binary_search(node.cpus.begin(), node.cpus.end(), cpu)) {
+      return node.id;
+    }
+  }
+  return -1;
+}
+
+int Topology::node_of_worker(int worker,
+                             std::size_t num_workers) const noexcept {
+  if (worker < 0 || num_workers == 0 || nodes_.size() <= 1) return 0;
+  const std::size_t total = num_cpus();
+  if (total == 0) return 0;
+  const std::size_t w = static_cast<std::size_t>(worker) % num_workers;
+  // Block-wise proportional spread: worker w sits at cpu position
+  // w*total/num_workers in node-major cpu order.
+  const std::size_t pos = (w * total) / num_workers;
+  std::size_t acc = 0;
+  for (const auto& node : nodes_) {
+    acc += node.cpus.size();
+    if (pos < acc) return node.id;
+  }
+  return nodes_.back().id;
+}
+
+std::string Topology::spec() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (i > 0) os << ';';
+    os << nodes_[i].os_id << ':';
+    // Render cpus as compact ranges.
+    const auto& cpus = nodes_[i].cpus;
+    for (std::size_t j = 0; j < cpus.size();) {
+      std::size_t k = j;
+      while (k + 1 < cpus.size() && cpus[k + 1] == cpus[k] + 1) ++k;
+      if (j > 0) os << ',';
+      os << cpus[j];
+      if (k > j) os << '-' << cpus[k];
+      j = k + 1;
+    }
+  }
+  return os.str();
+}
+
+} // namespace oss

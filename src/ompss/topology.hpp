@@ -1,0 +1,93 @@
+// topology.hpp — hardware-topology discovery for locality placement.
+//
+// The paper's runtime keeps ready tasks close to the data they touch; doing
+// that on a real machine needs to know which cores share a memory node.
+// `Topology` answers exactly that: the machine as a list of NUMA nodes, each
+// owning a set of CPUs.  Discovery sources, in order of precedence:
+//
+//   1. an explicit spec string (the `OSS_TOPOLOGY` override, forwarded via
+//      `RuntimeConfig::topology`) — either the shorthand `"NxM"` (N nodes of
+//      M cpus) or the full form `"0:0-3;1:4-7"` (node:cpulist pairs, cpulist
+//      in the kernel's `0-3,8,10-11` syntax).  Malformed specs throw.
+//   2. `"flat"` — force the single-node fallback (placement disabled).
+//   3. `"numa"` or empty — read `/sys/devices/system/node/node*/cpulist`.
+//      Any read or parse problem degrades to the flat fallback: topology
+//      discovery must never stop a runtime from starting.
+//
+// Node identifiers used throughout the runtime (`TaskBuilder::affinity`,
+// `Task::home_node`, scheduler routing) are *dense indices* `0..num_nodes-1`
+// in ascending OS-node order; `TopologyNode::os_id` keeps the kernel's
+// number for diagnostics and mbind calls.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace oss {
+
+/// One memory node: a dense runtime index, the kernel's node number, and the
+/// CPUs attached to it (ascending).
+struct TopologyNode {
+  int id = 0;    ///< dense index used by the runtime (0..num_nodes-1)
+  int os_id = 0; ///< kernel node number (sysfs `nodeN`)
+  std::vector<int> cpus;
+};
+
+class Topology {
+ public:
+  /// Default: a single node with no known CPUs (the "blind" topology the
+  /// scheduler used before this subsystem existed).
+  Topology() : Topology(flat(0)) {}
+
+  /// Single node owning cpus 0..ncpus-1 (placement-free fallback).
+  static Topology flat(std::size_t ncpus);
+
+  /// Parses a spec string: `"NxM"` shorthand or `"osid:cpulist;..."` full
+  /// form.  Throws std::invalid_argument (message shows both forms) on
+  /// malformed input, duplicate nodes/cpus, or an empty topology.
+  static Topology from_spec(const std::string& spec);
+
+  /// Reads `root/node*/cpulist` (default: the real sysfs node directory).
+  /// Returns the flat fallback on any error — missing directory, no node
+  /// entries, unreadable or malformed cpulist files.
+  static Topology from_sysfs(const std::string& root = kSysfsNodeRoot);
+
+  /// Resolves a `RuntimeConfig::topology` / `OSS_TOPOLOGY` value:
+  ///   ""      — sysfs discovery with flat fallback
+  ///   "flat"  — flat fallback, placement disabled
+  ///   "numa"  — sysfs discovery with flat fallback
+  ///   spec    — from_spec (throws on malformed input)
+  static Topology detect(const std::string& value = {});
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return nodes_.size(); }
+  [[nodiscard]] bool single_node() const noexcept { return nodes_.size() <= 1; }
+  [[nodiscard]] std::size_t num_cpus() const noexcept;
+  [[nodiscard]] const std::vector<TopologyNode>& nodes() const noexcept {
+    return nodes_;
+  }
+
+  /// Dense node index owning `cpu`, or -1 when the cpu is unknown.
+  [[nodiscard]] int node_of_cpu(int cpu) const noexcept;
+
+  /// Dense node index a worker thread should consider home.  Workers are
+  /// spread block-wise and proportionally to node CPU counts: with 2 nodes
+  /// of 4 cpus and 4 workers, workers {0,1} map to node 0 and {2,3} to
+  /// node 1 — adjacent worker ids share a socket, matching the scheduler's
+  /// same-socket victim sweeps.  Always a valid index (0 when the topology
+  /// has a single node or no known cpus).
+  [[nodiscard]] int node_of_worker(int worker,
+                                   std::size_t num_workers) const noexcept;
+
+  /// Renders the topology in the full spec form (parseable by from_spec).
+  [[nodiscard]] std::string spec() const;
+
+  static constexpr const char* kSysfsNodeRoot = "/sys/devices/system/node";
+
+ private:
+  explicit Topology(std::vector<TopologyNode> nodes);
+
+  std::vector<TopologyNode> nodes_;
+};
+
+} // namespace oss

@@ -156,4 +156,51 @@ TEST(Config, WithThreadsFactory) {
   EXPECT_EQ(cfg.scheduler, oss::SchedulerPolicy::Locality); // default
 }
 
+TEST(Config, NumaModeNamesRoundTrip) {
+  using oss::NumaMode;
+  EXPECT_EQ(oss::parse_numa_mode("bind"), NumaMode::Bind);
+  EXPECT_EQ(oss::parse_numa_mode("interleave"), NumaMode::Interleave);
+  EXPECT_EQ(oss::parse_numa_mode("off"), NumaMode::Off);
+  EXPECT_STREQ(oss::to_string(NumaMode::Bind), "bind");
+  EXPECT_STREQ(oss::to_string(NumaMode::Interleave), "interleave");
+  EXPECT_STREQ(oss::to_string(NumaMode::Off), "off");
+  const oss::RuntimeConfig cfg;
+  EXPECT_EQ(cfg.numa, NumaMode::Bind); // default
+  EXPECT_TRUE(cfg.topology.empty());   // default: sysfs discovery
+}
+
+TEST(Config, UnknownNumaModeListsValidOptions) {
+  try {
+    oss::parse_numa_mode("strict");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("strict"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("bind"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("interleave"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("off"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("OSS_NUMA"), std::string::npos) << msg;
+  }
+}
+
+TEST(Config, FromEnvReadsNumaKnobs) {
+  ScopedEnv e1("OSS_NUMA", "interleave");
+  ScopedEnv e2("OSS_TOPOLOGY", "2x4");
+  const oss::RuntimeConfig cfg = oss::RuntimeConfig::from_env();
+  EXPECT_EQ(cfg.numa, oss::NumaMode::Interleave);
+  EXPECT_EQ(cfg.topology, "2x4");
+}
+
+TEST(Config, FromEnvRejectsBadNumaValues) {
+  {
+    ScopedEnv e("OSS_NUMA", "strict");
+    EXPECT_THROW(oss::RuntimeConfig::from_env(), std::invalid_argument);
+  }
+  {
+    // Malformed topology specs fail at from_env, not at first Runtime use.
+    ScopedEnv e("OSS_TOPOLOGY", "not-a-spec");
+    EXPECT_THROW(oss::RuntimeConfig::from_env(), std::invalid_argument);
+  }
+}
+
 } // namespace

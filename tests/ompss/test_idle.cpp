@@ -6,8 +6,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <sys/resource.h>
 #include <thread>
+#include <vector>
 
 namespace {
 
@@ -98,6 +100,66 @@ TEST(IdlePolicy, ParkedWorkersBurnNoCpuWhenIdle) {
   const double burned = process_cpu_seconds() - before;
   EXPECT_LT(burned, 0.05)
       << "parked workers should be fully off-CPU over a 150 ms idle window";
+}
+
+TEST(EventCount, NotifyManyWakesAtMostNAndReportsZeroWhenIdle) {
+  oss::EventCount ec;
+  EXPECT_EQ(ec.notify_many(4), 0u) << "no waiters, nothing to signal";
+
+  std::atomic<int> awake{0};
+  std::vector<std::thread> sleepers;
+  for (int i = 0; i < 3; ++i) {
+    sleepers.emplace_back([&] {
+      const std::uint64_t key = ec.prepare_wait();
+      ec.wait(key);
+      awake.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  // Wait until all three are registered before the batch pass, so the
+  // min(n, waiters) arithmetic is deterministic.  (prepare_wait precedes
+  // the cv sleep; the epoch bump covers that window by design.)
+  for (int spin = 0; spin < 2000 && ec.waiters() < 3; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(ec.waiters(), 3u);
+  EXPECT_EQ(ec.notify_many(2), 2u)
+      << "batch pass must report min(n, waiters)";
+  // Release everyone and join; all three must eventually run.
+  for (int spin = 0; spin < 2000 && awake.load() < 3; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ec.notify_all();
+  }
+  for (auto& t : sleepers) t.join();
+  EXPECT_EQ(awake.load(), 3);
+}
+
+TEST(IdlePolicy, BatchUnblockWakesParkedWorkersInOnePass) {
+  // A producer whose completion readies N dependents at once must wake
+  // min(N, parked) workers via one eventcount pass (not N serial
+  // notify_one calls) — and all dependents must run.
+  oss::RuntimeConfig cfg = oss::RuntimeConfig::with_threads(4);
+  cfg.idle = oss::IdlePolicy::Park;
+  cfg.spin_rounds = 4; // park quickly so the burst actually finds sleepers
+  oss::Runtime rt(cfg);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(30)); // workers park
+  const auto before = rt.stats();
+  EXPECT_GT(before.parks, 0u);
+
+  std::atomic<int> hits{0};
+  auto producer = rt.task("producer").spawn(
+      [] { std::this_thread::sleep_for(std::chrono::milliseconds(5)); });
+  constexpr int kBurst = 8;
+  for (int i = 0; i < kBurst; ++i) {
+    rt.task("burst").after(producer).spawn(
+        [&] { hits.fetch_add(1, std::memory_order_relaxed); });
+  }
+  rt.taskwait();
+  EXPECT_EQ(hits.load(), kBurst);
+
+  const auto after = rt.stats();
+  EXPECT_GT(after.wakeups, before.wakeups)
+      << "the unblock burst must have signalled parked workers";
 }
 
 TEST(IdlePolicy, ParkAndWakeupCountersMove) {

@@ -4,24 +4,35 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <thread>
 
 namespace {
 
 TEST(Stats, CountsSpawnedExecutedAndEdges) {
   oss::Runtime rt(2);
   int a = 0, b = 0;
-  rt.spawn({oss::out(a)}, [&] { a = 1; });          // no edge
+  // Edges are only recorded for *unfinished* predecessors, so hold the
+  // first writer hostage until all three tasks are spawned — otherwise a
+  // fast worker can retire it between two spawns and the expected edge
+  // counts become a scheduling race (flaky on small machines).
+  std::atomic<bool> gate{false};
+  rt.spawn({oss::out(a)}, [&] {
+    while (!gate.load(std::memory_order_acquire)) std::this_thread::yield();
+    a = 1;
+  });
   rt.spawn({oss::in(a), oss::out(b)}, [&] { b = a; }); // 1 RAW
-  rt.spawn({oss::out(a)}, [&] { a = 2; });          // WAR vs reader + WAW vs writer
+  rt.spawn({oss::out(a)}, [&] { a = 2; }); // WAR vs reader + WAW vs writer
+  gate.store(true, std::memory_order_release);
   rt.taskwait();
 
   const auto s = rt.stats();
   EXPECT_EQ(s.tasks_spawned, 3u);
   EXPECT_EQ(s.tasks_executed, 3u);
   EXPECT_EQ(s.edges_raw, 1u);
-  // Task 3 vs task 1 (WAW) and vs task 2 (WAR) — but dedup may drop one if
-  // task 1 already finished when task 3 was spawned; so only bound it.
-  EXPECT_GE(s.edges_war + s.edges_waw, 0u);
+  // Both predecessors of task 3 are unfinished while it registers (task 1
+  // is gated, task 2 waits on task 1), so both hazard edges are recorded.
+  EXPECT_EQ(s.edges_war, 1u);
+  EXPECT_EQ(s.edges_waw, 1u);
   EXPECT_EQ(s.taskwaits, 1u);
   EXPECT_EQ(s.edges_total(), s.edges_raw + s.edges_war + s.edges_waw);
 }

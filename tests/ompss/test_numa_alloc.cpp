@@ -1,0 +1,131 @@
+// numa_alloc: the page→node registry, node-bound / interleaved allocation,
+// the NumaBuffer RAII wrapper, first-touch, and the `.affinity_auto()` home
+// derivation (home_node_of).  On this machine the kernel binding is a
+// silent no-op; the registry semantics are what the runtime relies on.
+#include "ompss/numa_alloc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace {
+
+TEST(NumaAlloc, OnNodeAllocRegistersAndFreesUnregister) {
+  const std::size_t before = oss::numa_registered_ranges();
+  void* p = oss::numa_alloc_onnode(3 * oss::numa_page_size(), 1);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(oss::numa_registered_ranges(), before + 1);
+
+  // Every byte of the range resolves to the bound node.
+  auto* bytes = static_cast<unsigned char*>(p);
+  EXPECT_EQ(oss::numa_node_of(bytes), 1);
+  EXPECT_EQ(oss::numa_node_of(bytes + oss::numa_page_size()), 1);
+  EXPECT_EQ(oss::numa_node_of(bytes + 3 * oss::numa_page_size() - 1), 1);
+
+  oss::numa_free(p, 3 * oss::numa_page_size());
+  EXPECT_EQ(oss::numa_registered_ranges(), before);
+  EXPECT_EQ(oss::numa_node_of(bytes), -1) << "freed range must not linger";
+}
+
+TEST(NumaAlloc, UnregisteredAddressesAreUnknown) {
+  int on_stack = 0;
+  EXPECT_EQ(oss::numa_node_of(&on_stack), -1);
+  EXPECT_EQ(oss::numa_node_of(nullptr), -1);
+}
+
+TEST(NumaAlloc, AllocationIsPageAlignedAndWritable) {
+  void* p = oss::numa_alloc_onnode(100, 0); // sub-page size rounds up
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % oss::numa_page_size(), 0u);
+  std::memset(p, 0xab, 100);
+  oss::numa_free(p, 100);
+}
+
+TEST(NumaAlloc, InterleavedRangeMapsPagesRoundRobin) {
+  const std::size_t page = oss::numa_page_size();
+  void* p = oss::numa_alloc_interleaved(4 * page, 2);
+  auto* bytes = static_cast<unsigned char*>(p);
+  EXPECT_EQ(oss::numa_node_of(bytes), 0);
+  EXPECT_EQ(oss::numa_node_of(bytes + page), 1);
+  EXPECT_EQ(oss::numa_node_of(bytes + 2 * page), 0);
+  EXPECT_EQ(oss::numa_node_of(bytes + 3 * page), 1);
+  EXPECT_EQ(oss::numa_node_of(bytes + page + 17), 1) << "mid-page offsets too";
+  oss::numa_free(p, 4 * page);
+}
+
+TEST(NumaAlloc, ReallocatedMemoryDoesNotResurrectOldMapping) {
+  const std::size_t page = oss::numa_page_size();
+  void* p = oss::numa_alloc_onnode(page, 1);
+  // Re-register the same storage as node 0 without unregistering first
+  // (what a free-then-alloc recycle looks like to the registry).
+  oss::numa_register_range(p, page, 0);
+  EXPECT_EQ(oss::numa_node_of(p), 0);
+  oss::numa_free(p, page);
+  EXPECT_EQ(oss::numa_node_of(p), -1);
+}
+
+TEST(NumaAlloc, FirstTouchCommitsWholeBuffer) {
+  const std::size_t page = oss::numa_page_size();
+  oss::NumaBuffer buf(2 * page + 7, 0);
+  oss::numa_first_touch(buf.data(), buf.size());
+  // All bytes readable/writable after the touch.
+  auto* bytes = buf.as<unsigned char>();
+  bytes[0] = 1;
+  bytes[buf.size() - 1] = 2;
+  EXPECT_EQ(bytes[0], 1);
+  EXPECT_EQ(bytes[buf.size() - 1], 2);
+}
+
+TEST(NumaAlloc, NumaBufferRaiiAndMove) {
+  const std::size_t before = oss::numa_registered_ranges();
+  {
+    oss::NumaBuffer a(oss::numa_page_size(), 1);
+    EXPECT_TRUE(static_cast<bool>(a));
+    EXPECT_EQ(a.node(), 1);
+    EXPECT_EQ(oss::numa_node_of(a.data()), 1);
+    EXPECT_EQ(oss::numa_registered_ranges(), before + 1);
+
+    oss::NumaBuffer b = std::move(a);
+    EXPECT_FALSE(static_cast<bool>(a));
+    EXPECT_TRUE(static_cast<bool>(b));
+    EXPECT_EQ(oss::numa_registered_ranges(), before + 1);
+
+    oss::NumaBuffer c = oss::NumaBuffer::interleaved(oss::numa_page_size(), 2);
+    EXPECT_EQ(oss::numa_registered_ranges(), before + 2);
+    c = std::move(b); // frees the interleaved buffer
+    EXPECT_EQ(oss::numa_registered_ranges(), before + 1);
+  }
+  EXPECT_EQ(oss::numa_registered_ranges(), before);
+}
+
+TEST(NumaAlloc, HomeNodeOfPicksLargestRegisteredRegion) {
+  const std::size_t page = oss::numa_page_size();
+  oss::NumaBuffer small(page, 0);
+  oss::NumaBuffer big(4 * page, 1);
+  int unregistered = 0;
+
+  // Largest registered region wins.
+  oss::AccessList list{
+      oss::in(small.as<char>(), page),
+      oss::inout(big.as<char>(), 4 * page),
+      oss::out(unregistered),
+  };
+  EXPECT_EQ(oss::home_node_of(list), 1);
+
+  // An even larger *unregistered* region does not mask the registered one.
+  std::vector<char> heap(8 * page);
+  oss::AccessList with_heap{
+      oss::in(heap.data(), heap.size()),
+      oss::in(small.as<char>(), page),
+  };
+  EXPECT_EQ(oss::home_node_of(with_heap), 0);
+
+  // Nothing registered → no home.
+  oss::AccessList none{oss::out(unregistered)};
+  EXPECT_EQ(oss::home_node_of(none), -1);
+  EXPECT_EQ(oss::home_node_of(oss::AccessList{}), -1);
+}
+
+} // namespace

@@ -1,0 +1,194 @@
+// Topology discovery: spec parsing (shorthand + full form), sysfs reading
+// with the flat fallback, malformed-input behaviour, and the worker→node
+// distribution the scheduler builds its NUMA maps from.
+#include "ompss/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <unistd.h>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(Topology, DefaultAndFlatAreSingleNode) {
+  const oss::Topology def;
+  EXPECT_EQ(def.num_nodes(), 1u);
+  EXPECT_TRUE(def.single_node());
+
+  const oss::Topology t = oss::Topology::flat(8);
+  EXPECT_EQ(t.num_nodes(), 1u);
+  EXPECT_TRUE(t.single_node());
+  EXPECT_EQ(t.num_cpus(), 8u);
+  EXPECT_EQ(t.node_of_cpu(0), 0);
+  EXPECT_EQ(t.node_of_cpu(7), 0);
+  EXPECT_EQ(t.node_of_cpu(8), -1);
+  for (int w = 0; w < 8; ++w) EXPECT_EQ(t.node_of_worker(w, 8), 0);
+}
+
+TEST(Topology, ShorthandSpecParses) {
+  const oss::Topology t = oss::Topology::from_spec("2x4");
+  EXPECT_EQ(t.num_nodes(), 2u);
+  EXPECT_FALSE(t.single_node());
+  EXPECT_EQ(t.num_cpus(), 8u);
+  EXPECT_EQ(t.node_of_cpu(0), 0);
+  EXPECT_EQ(t.node_of_cpu(3), 0);
+  EXPECT_EQ(t.node_of_cpu(4), 1);
+  EXPECT_EQ(t.node_of_cpu(7), 1);
+}
+
+TEST(Topology, FullSpecParsesRangesAndSingles) {
+  const oss::Topology t = oss::Topology::from_spec("0:0-2,6;1:3-5,7");
+  ASSERT_EQ(t.num_nodes(), 2u);
+  EXPECT_EQ(t.nodes()[0].cpus, (std::vector<int>{0, 1, 2, 6}));
+  EXPECT_EQ(t.nodes()[1].cpus, (std::vector<int>{3, 4, 5, 7}));
+  EXPECT_EQ(t.node_of_cpu(6), 0);
+  EXPECT_EQ(t.node_of_cpu(7), 1);
+  EXPECT_EQ(t.node_of_cpu(8), -1);
+}
+
+TEST(Topology, DenseIdsFollowOsIdOrder) {
+  // Non-contiguous, out-of-order OS node ids get dense runtime indices.
+  const oss::Topology t = oss::Topology::from_spec("4:4-7;2:0-3");
+  ASSERT_EQ(t.num_nodes(), 2u);
+  EXPECT_EQ(t.nodes()[0].id, 0);
+  EXPECT_EQ(t.nodes()[0].os_id, 2);
+  EXPECT_EQ(t.nodes()[1].id, 1);
+  EXPECT_EQ(t.nodes()[1].os_id, 4);
+  EXPECT_EQ(t.node_of_cpu(0), 0);
+  EXPECT_EQ(t.node_of_cpu(5), 1);
+}
+
+TEST(Topology, SpecRendersAndRoundTrips) {
+  const oss::Topology t = oss::Topology::from_spec("0:0-2,6;1:3-5,7");
+  EXPECT_EQ(t.spec(), "0:0-2,6;1:3-5,7");
+  const oss::Topology again = oss::Topology::from_spec(t.spec());
+  EXPECT_EQ(again.num_nodes(), t.num_nodes());
+  EXPECT_EQ(again.spec(), t.spec());
+  EXPECT_EQ(oss::Topology::from_spec("2x2").spec(), "0:0-1;1:2-3");
+}
+
+TEST(Topology, MalformedSpecsThrowAndNameTheFormat) {
+  for (const char* bad :
+       {"", "bogus", "2x", "x4", "0x4", "2x0", "0:", "0:a-b", ":0-3",
+        "0:0-3;;1:4-7", "0:3-1", "0:0-3;0:4-7" /* dup node */,
+        "0:0-3;1:2-5" /* dup cpu */, "0:0-3,", "1:-3"}) {
+    EXPECT_THROW(oss::Topology::from_spec(bad), std::invalid_argument)
+        << "spec '" << bad << "' should be rejected";
+  }
+  try {
+    oss::Topology::from_spec("garbage");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("garbage"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("NxM"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("OSS_TOPOLOGY"), std::string::npos) << msg;
+  }
+}
+
+TEST(Topology, WorkersSpreadProportionallyAndBlockwise) {
+  const oss::Topology t = oss::Topology::from_spec("2x4");
+  // 4 workers over 2x4: two per node, adjacent ids share a socket.
+  EXPECT_EQ(t.node_of_worker(0, 4), 0);
+  EXPECT_EQ(t.node_of_worker(1, 4), 0);
+  EXPECT_EQ(t.node_of_worker(2, 4), 1);
+  EXPECT_EQ(t.node_of_worker(3, 4), 1);
+  // 8 workers: 4 + 4.
+  for (int w = 0; w < 4; ++w) EXPECT_EQ(t.node_of_worker(w, 8), 0);
+  for (int w = 4; w < 8; ++w) EXPECT_EQ(t.node_of_worker(w, 8), 1);
+  // 2 workers: one per node.
+  EXPECT_EQ(t.node_of_worker(0, 2), 0);
+  EXPECT_EQ(t.node_of_worker(1, 2), 1);
+  // Oversubscribed (16 workers on 8 cpus): still a 8/8 block split.
+  EXPECT_EQ(t.node_of_worker(7, 16), 0);
+  EXPECT_EQ(t.node_of_worker(8, 16), 1);
+
+  // Asymmetric nodes get proportional shares: 6 cpus vs 2 cpus, 4 workers
+  // → 3 on node 0, 1 on node 1.
+  const oss::Topology asym = oss::Topology::from_spec("0:0-5;1:6-7");
+  EXPECT_EQ(asym.node_of_worker(0, 4), 0);
+  EXPECT_EQ(asym.node_of_worker(1, 4), 0);
+  EXPECT_EQ(asym.node_of_worker(2, 4), 0);
+  EXPECT_EQ(asym.node_of_worker(3, 4), 1);
+}
+
+TEST(Topology, SysfsMissingDirectoryFallsBackFlat) {
+  const oss::Topology t =
+      oss::Topology::from_sysfs("/nonexistent/oss-topo-test");
+  EXPECT_TRUE(t.single_node());
+  EXPECT_GE(t.num_cpus(), 1u);
+}
+
+class SysfsTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("oss_topo_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  void write_node(int os_id, const std::string& cpulist) {
+    const fs::path dir = root_ / ("node" + std::to_string(os_id));
+    fs::create_directories(dir);
+    std::ofstream(dir / "cpulist") << cpulist << "\n";
+  }
+
+  fs::path root_;
+};
+
+TEST_F(SysfsTreeTest, TwoNodeTreeParses) {
+  write_node(0, "0-1");
+  write_node(1, "2-3");
+  // Non-node entries must be ignored (the real directory has online,
+  // possible, power, ...).
+  std::ofstream(root_ / "online") << "0-1\n";
+  fs::create_directories(root_ / "power");
+
+  const oss::Topology t = oss::Topology::from_sysfs(root_.string());
+  ASSERT_EQ(t.num_nodes(), 2u);
+  EXPECT_EQ(t.nodes()[0].cpus, (std::vector<int>{0, 1}));
+  EXPECT_EQ(t.nodes()[1].cpus, (std::vector<int>{2, 3}));
+}
+
+TEST_F(SysfsTreeTest, MalformedCpulistFallsBackFlat) {
+  write_node(0, "0-1");
+  write_node(1, "zork");
+  const oss::Topology t = oss::Topology::from_sysfs(root_.string());
+  EXPECT_TRUE(t.single_node());
+}
+
+TEST_F(SysfsTreeTest, MemoryOnlyNodesAreSkipped) {
+  write_node(0, "0-3");
+  write_node(1, ""); // CPU-less memory node (e.g. CXL expander)
+  const oss::Topology t = oss::Topology::from_sysfs(root_.string());
+  ASSERT_EQ(t.num_nodes(), 1u);
+  EXPECT_EQ(t.num_cpus(), 4u);
+}
+
+TEST_F(SysfsTreeTest, EmptyTreeFallsBackFlat) {
+  const oss::Topology t = oss::Topology::from_sysfs(root_.string());
+  EXPECT_TRUE(t.single_node());
+  EXPECT_GE(t.num_cpus(), 1u);
+}
+
+TEST(Topology, DetectResolvesTheConfigValues) {
+  EXPECT_TRUE(oss::Topology::detect("flat").single_node());
+  EXPECT_EQ(oss::Topology::detect("2x4").num_nodes(), 2u);
+  // "numa" and "" read the real sysfs; whatever the machine is, the result
+  // must be a usable topology.
+  EXPECT_GE(oss::Topology::detect("numa").num_nodes(), 1u);
+  EXPECT_GE(oss::Topology::detect("").num_nodes(), 1u);
+  EXPECT_THROW(oss::Topology::detect("definitely-not-a-spec"),
+               std::invalid_argument);
+}
+
+} // namespace
