@@ -25,6 +25,9 @@
 #include <string>
 #include <vector>
 
+#include "apps/kmeans/kmeans_app.hpp"
+#include "apps/streamcluster/streamcluster_app.hpp"
+#include "bench_core/workload.hpp"
 #include "ompss/ompss.hpp"
 
 namespace {
@@ -92,11 +95,78 @@ void BM_PartitionChurn(benchmark::State& state) {
                  "node");
 }
 
+// --- app-suite auto-affinity (registry-backed placement end to end) ---------
+//
+// The real PARSEC-style apps, with their partitioned data allocated through
+// NumaBuffer and tasks spawned `.affinity_auto()` (kmeans_app_ompss /
+// streamcluster_app_ompss).  place:on vs place:off contrasts the identical
+// task graph with and without the hints; the reported tasks_local /
+// tasks_remote counters are the acceptance signal — under a multi-node
+// topology (real or OSS_TOPOLOGY=2x2) placement-on must show
+// tasks_local > tasks_remote, and per-iteration stats come straight from the
+// app's own runtime.
+
+void report_app_stats(benchmark::State& state, const oss::StatsSnapshot& acc,
+                      const char* label, bool place,
+                      std::size_t threads) {
+  const auto iters = static_cast<double>(state.iterations());
+  state.counters["tasks_local"] =
+      benchmark::Counter(static_cast<double>(acc.tasks_local) / iters);
+  state.counters["tasks_remote"] =
+      benchmark::Counter(static_cast<double>(acc.tasks_remote) / iters);
+  state.counters["overflow"] =
+      benchmark::Counter(static_cast<double>(acc.overflow_placements) / iters);
+  state.SetLabel(std::string(label) + "/" +
+                 (place ? "place:on" : "place:off") + "/" +
+                 std::to_string(threads) + "t");
+}
+
+void BM_KmeansAuto(benchmark::State& state) {
+  const bool place = state.range(0) != 0;
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const auto w = apps::KmeansWorkload::make(benchcore::Scale::Tiny);
+  oss::StatsSnapshot acc, s;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(apps::kmeans_app_ompss(w, threads, place, &s));
+    acc.tasks_local += s.tasks_local;
+    acc.tasks_remote += s.tasks_remote;
+    acc.overflow_placements += s.overflow_placements;
+  }
+  report_app_stats(state, acc, "kmeans", place, threads);
+}
+
+void BM_StreamclusterAuto(benchmark::State& state) {
+  const bool place = state.range(0) != 0;
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const auto w = apps::StreamclusterWorkload::make(benchcore::Scale::Tiny);
+  oss::StatsSnapshot acc, s;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        apps::streamcluster_app_ompss(w, threads, place, &s));
+    acc.tasks_local += s.tasks_local;
+    acc.tasks_remote += s.tasks_remote;
+    acc.overflow_placements += s.overflow_placements;
+  }
+  report_app_stats(state, acc, "streamcluster", place, threads);
+}
+
 } // namespace
 
 BENCHMARK(BM_PartitionChurn)
     ->Name("PartitionChurn")
     ->ArgsProduct({{0, 1}, {1, 4, 8}})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_KmeansAuto)
+    ->Name("KmeansAuto")
+    ->ArgsProduct({{0, 1}, {4}})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_StreamclusterAuto)
+    ->Name("StreamclusterAuto")
+    ->ArgsProduct({{0, 1}, {4}})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

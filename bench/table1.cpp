@@ -17,6 +17,7 @@
 
 #include "apps/apps.hpp"
 #include "bench_core/bench_core.hpp"
+#include "ompss/ompss.hpp"
 
 namespace {
 
@@ -95,8 +96,21 @@ int main(int argc, char** argv) {
     const auto only = args.get_list("only");
 
     std::printf("Table 1 reproduction — OmpSs-over-Pthreads speedup factors\n");
-    std::printf("scale=%s reps=%zu (median); >1.00 means OmpSs is faster\n\n",
+    std::printf("scale=%s reps=%zu (median); >1.00 means OmpSs is faster\n",
                 benchcore::to_string(scale), reps);
+
+    // NUMA context of the run: kmeans/streamcluster allocate their
+    // partitions through NumaBuffer and spawn .affinity_auto(), so on a
+    // multi-node topology (real or OSS_TOPOLOGY=...) their OmpSs columns
+    // include the placement machinery end to end.
+    {
+      const oss::RuntimeConfig rcfg = oss::RuntimeConfig::from_env();
+      const oss::Topology topo = rcfg.resolved_topology();
+      std::printf("numa: %zu node(s), mode=%s, pin=%s — "
+                  "kmeans/streamcluster run registry-backed auto-affinity\n\n",
+                  topo.num_nodes(), oss::to_string(rcfg.numa),
+                  rcfg.pin ? "on" : "off");
+    }
 
     Suite suite(scale);
     Table1Harness harness(cores, reps);

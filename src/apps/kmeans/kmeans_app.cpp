@@ -1,6 +1,7 @@
 #include "apps/kmeans/kmeans_app.hpp"
 
 #include "apps/common/blocks.hpp"
+#include "apps/common/numa_points.hpp"
 #include "ompss/ompss.hpp"
 #include "threading/threading.hpp"
 
@@ -65,32 +66,41 @@ KmeansResult kmeans_app_pthreads(const KmeansWorkload& w, std::size_t threads) {
   return res;
 }
 
-KmeansResult kmeans_app_ompss(const KmeansWorkload& w, std::size_t threads) {
+KmeansResult kmeans_app_ompss(const KmeansWorkload& w, std::size_t threads,
+                              bool numa_place, oss::StatsSnapshot* stats) {
   KmeansResult res;
   res.centroids = cluster::kmeans_init_centroids(w.points, w.k);
   res.assignment.assign(w.points.count, 0);
 
-  oss::Runtime rt(threads);
-  const auto blocks = split_blocks(w.points.count, w.block_points);
-  std::vector<KmeansPartial> partials(blocks.size());
-  std::vector<double> inertia(blocks.size(), 0.0);
+  oss::RuntimeConfig cfg = oss::RuntimeConfig::from_env();
+  cfg.num_threads = threads;
+  oss::Runtime rt(cfg);
+
+  // Registry-backed placement: one node-bound copy per block (one-time
+  // setup cost), tasks derive their home from their block.
+  NumaPartitions parts(w.points, w.block_points,
+                       rt.topology().num_nodes());
+  std::vector<KmeansPartial> partials(parts.blocks());
+  std::vector<double> inertia(parts.blocks(), 0.0);
 
   for (int it = 0; it < w.iters; ++it) {
-    for (std::size_t b = 0; b < blocks.size(); ++b) {
-      const auto [lo, hi] = blocks[b];
-      rt.task("kmeans_assign")
+    for (std::size_t b = 0; b < parts.blocks(); ++b) {
+      auto builder = rt.task("kmeans_assign");
+      builder.in(parts.coords(b), parts.floats(b))
           .in(res.centroids.data(), res.centroids.size())
           .out(partials[b])
-          .out(inertia[b])
-          .spawn([&, b, lo = lo, hi = hi] {
-            partials[b].init(w.k, w.points.dim);
-            inertia[b] = cluster::kmeans_assign_range(w.points, res.centroids,
-                                                      w.k, lo, hi,
-                                                      res.assignment.data(),
-                                                      partials[b]);
-          });
+          .out(inertia[b]);
+      if (numa_place) builder.affinity_auto();
+      builder.spawn([&, b] {
+        partials[b].init(w.k, w.points.dim);
+        inertia[b] = cluster::kmeans_assign_block(
+            parts.coords(b), parts.count(b), w.points.dim, res.centroids,
+            w.k, res.assignment.data() + parts.lo(b), partials[b]);
+      });
     }
-    // Reduction task: reads every partial, updates the centroids.
+    // Reduction task: reads every partial, updates the centroids.  No hint
+    // of its own — chain inheritance resolves it to its first predecessor's
+    // home, keeping the reduce on-socket with the partials it merges.
     rt.task("kmeans_reduce")
         .in(partials.data(), partials.size())
         .in(inertia.data(), inertia.size())
@@ -99,7 +109,7 @@ KmeansResult kmeans_app_ompss(const KmeansWorkload& w, std::size_t threads) {
           KmeansPartial merged;
           merged.init(w.k, w.points.dim);
           double total = 0.0;
-          for (std::size_t b = 0; b < blocks.size(); ++b) {
+          for (std::size_t b = 0; b < parts.blocks(); ++b) {
             merged.merge(partials[b]);
             total += inertia[b];
           }
@@ -109,6 +119,7 @@ KmeansResult kmeans_app_ompss(const KmeansWorkload& w, std::size_t threads) {
         });
   }
   rt.taskwait();
+  if (stats != nullptr) *stats = rt.stats();
   return res;
 }
 

@@ -3,6 +3,7 @@
 
 #include "bench_core/workload.hpp"
 #include "cluster/cluster.hpp"
+#include "ompss/stats.hpp"
 
 namespace apps {
 
@@ -18,7 +19,20 @@ struct KmeansWorkload {
 cluster::KmeansResult kmeans_app_seq(const KmeansWorkload& w);
 cluster::KmeansResult kmeans_app_pthreads(const KmeansWorkload& w,
                                           std::size_t threads);
+
+/// OmpSs variant with registry-backed NUMA placement: the point blocks are
+/// copied into node-bound NumaBuffers (round-robin over the runtime's
+/// topology) and each assignment task spawns with `.affinity_auto()`, so
+/// its home node is the node that holds its block.  The runtime is built
+/// from `RuntimeConfig::from_env()` (threads overridden), so OSS_SCHEDULER /
+/// OSS_TOPOLOGY / OSS_NUMA / OSS_PIN steer the run — on single-node
+/// machines or under OSS_NUMA=off the placement structurally dissolves.
+/// `numa_place=false` keeps the same task graph but spawns without hints
+/// (the bm_numa placement-off baseline).  `stats`, when non-null, receives
+/// the runtime's counter snapshot (tasks_local/tasks_remote prove routing).
 cluster::KmeansResult kmeans_app_ompss(const KmeansWorkload& w,
-                                       std::size_t threads);
+                                       std::size_t threads,
+                                       bool numa_place = true,
+                                       oss::StatsSnapshot* stats = nullptr);
 
 } // namespace apps

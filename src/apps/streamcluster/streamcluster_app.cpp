@@ -1,6 +1,7 @@
 #include "apps/streamcluster/streamcluster_app.hpp"
 
 #include "apps/common/blocks.hpp"
+#include "apps/common/numa_points.hpp"
 #include "ompss/ompss.hpp"
 #include "threading/threading.hpp"
 
@@ -56,24 +57,40 @@ FacilitySolution streamcluster_app_pthreads(const StreamclusterWorkload& w,
 }
 
 FacilitySolution streamcluster_app_ompss(const StreamclusterWorkload& w,
-                                         std::size_t threads) {
+                                         std::size_t threads, bool numa_place,
+                                         oss::StatsSnapshot* stats) {
   FacilitySolution sol;
-  oss::Runtime rt(threads);
+  oss::RuntimeConfig cfg = oss::RuntimeConfig::from_env();
+  cfg.num_threads = threads;
+  oss::Runtime rt(cfg);
+
+  // Node-bound partition copies over the whole set; a stream prefix of
+  // `count` points covers blocks with lo < count (the last one clamped).
+  NumaPartitions parts(w.points, w.block_points, rt.topology().num_nodes());
+
   for (std::size_t consumed = w.chunk;; consumed += w.chunk) {
     const std::size_t count =
         consumed < w.points.count ? consumed : w.points.count;
     sol = cluster::initial_solution(w.points, count, w.facility_cost);
+    // Blocks covering the stream prefix: a contiguous run (the partitions
+    // are consecutive), so one task per block in [0, live).
+    std::size_t live = 0;
+    while (live < parts.blocks() && parts.lo(live) < count) ++live;
     for (std::size_t x : cluster::candidate_sequence(count, w.rounds, w.seed)) {
-      const auto blocks = split_blocks(count, w.block_points);
-      std::vector<PGainPartial> partials(blocks.size());
-      for (std::size_t b = 0; b < blocks.size(); ++b) {
-        const auto [lo, hi] = blocks[b];
-        rt.task("pgain_range")
-            .out(partials[b])
-            .spawn([&, b, lo = lo, hi = hi] {
-              partials[b].init(sol.centers.size());
-              cluster::pgain_range(w.points, sol, x, lo, hi, partials[b]);
-            });
+      std::vector<PGainPartial> partials(live);
+      const float* px = w.points.point(x);
+      for (std::size_t b = 0; b < live; ++b) {
+        const std::size_t lo = parts.lo(b);
+        const std::size_t n = (parts.hi(b) < count ? parts.hi(b) : count) - lo;
+        auto builder = rt.task("pgain_range");
+        builder.in(parts.coords(b), n * w.points.dim).out(partials[b]);
+        if (numa_place) builder.affinity_auto();
+        builder.spawn([&, b, lo, n, px] {
+          partials[b].init(sol.centers.size());
+          cluster::pgain_block(parts.coords(b), n, w.points.dim, px,
+                               sol.assignment.data() + lo,
+                               sol.dist.data() + lo, partials[b]);
+        });
       }
       rt.taskwait(); // task barrier before the serial reduce
       PGainPartial merged;
@@ -83,6 +100,7 @@ FacilitySolution streamcluster_app_ompss(const StreamclusterWorkload& w,
     }
     if (count == w.points.count) break;
   }
+  if (stats != nullptr) *stats = rt.stats();
   return sol;
 }
 

@@ -4,6 +4,7 @@
 
 #include "bench_core/workload.hpp"
 #include "cluster/cluster.hpp"
+#include "ompss/stats.hpp"
 
 namespace apps {
 
@@ -21,7 +22,13 @@ struct StreamclusterWorkload {
 cluster::FacilitySolution streamcluster_app_seq(const StreamclusterWorkload& w);
 cluster::FacilitySolution streamcluster_app_pthreads(
     const StreamclusterWorkload& w, std::size_t threads);
+/// OmpSs variant with registry-backed NUMA placement: point blocks are
+/// copied into node-bound NumaBuffers and each pgain task spawns with
+/// `.affinity_auto()` (see kmeans_app_ompss — same protocol, same knobs).
+/// `numa_place=false` spawns the same task graph without hints; `stats`
+/// receives the runtime counter snapshot when non-null.
 cluster::FacilitySolution streamcluster_app_ompss(
-    const StreamclusterWorkload& w, std::size_t threads);
+    const StreamclusterWorkload& w, std::size_t threads,
+    bool numa_place = true, oss::StatsSnapshot* stats = nullptr);
 
 } // namespace apps

@@ -28,14 +28,13 @@ std::vector<float> kmeans_init_centroids(const PointSet& points, std::size_t k) 
   return centroids;
 }
 
-double kmeans_assign_range(const PointSet& points,
-                           const std::vector<float>& centroids, std::size_t k,
-                           std::size_t begin, std::size_t end,
-                           std::uint32_t* assignment, KmeansPartial& partial) {
-  const std::size_t dim = points.dim;
+double kmeans_assign_block(const float* coords, std::size_t count,
+                           std::size_t dim, const std::vector<float>& centroids,
+                           std::size_t k, std::uint32_t* assignment,
+                           KmeansPartial& partial) {
   double inertia = 0.0;
-  for (std::size_t i = begin; i < end; ++i) {
-    const float* p = points.point(i);
+  for (std::size_t i = 0; i < count; ++i) {
+    const float* p = coords + i * dim;
     float best = std::numeric_limits<float>::max();
     std::size_t best_c = 0;
     for (std::size_t c = 0; c < k; ++c) {
@@ -51,6 +50,15 @@ double kmeans_assign_range(const PointSet& points,
     inertia += best;
   }
   return inertia;
+}
+
+double kmeans_assign_range(const PointSet& points,
+                           const std::vector<float>& centroids, std::size_t k,
+                           std::size_t begin, std::size_t end,
+                           std::uint32_t* assignment, KmeansPartial& partial) {
+  if (begin >= end) return 0.0;
+  return kmeans_assign_block(points.point(begin), end - begin, points.dim,
+                             centroids, k, assignment + begin, partial);
 }
 
 void kmeans_recompute(const KmeansPartial& merged, std::size_t k,

@@ -46,6 +46,16 @@ double kmeans_assign_range(const PointSet& points,
                            std::size_t begin, std::size_t end,
                            std::uint32_t* assignment, KmeansPartial& partial);
 
+/// Assignment phase over a raw coordinate block (`count` points of `dim`
+/// floats, row-major).  The pointer form lets callers hand in node-bound
+/// partition copies (oss::NumaBuffer) instead of slices of one big vector —
+/// the NUMA-aware task variant's kernel.  `assignment` receives the block's
+/// `count` entries.  Returns the block's inertia contribution.
+double kmeans_assign_block(const float* coords, std::size_t count,
+                           std::size_t dim, const std::vector<float>& centroids,
+                           std::size_t k, std::uint32_t* assignment,
+                           KmeansPartial& partial);
+
 /// Update phase: recomputes centroids from a fully merged partial.  Empty
 /// clusters keep their previous centroid.
 void kmeans_recompute(const KmeansPartial& merged, std::size_t k,

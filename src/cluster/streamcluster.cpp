@@ -57,21 +57,28 @@ void PGainPartial::merge(const PGainPartial& other) {
   }
 }
 
-void pgain_range(const PointSet& points, const FacilitySolution& sol,
-                 std::size_t x, std::size_t begin, std::size_t end,
-                 PGainPartial& partial) {
-  const float* px = points.point(x);
-  for (std::size_t i = begin; i < end; ++i) {
-    const float dx = dist2(points.point(i), px, points.dim);
-    const double delta = static_cast<double>(dx) - static_cast<double>(sol.dist[i]);
+void pgain_block(const float* coords, std::size_t count, std::size_t dim,
+                 const float* candidate, const std::uint32_t* assignment,
+                 const float* dist, PGainPartial& partial) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const float dx = dist2(coords + i * dim, candidate, dim);
+    const double delta = static_cast<double>(dx) - static_cast<double>(dist[i]);
     if (delta < 0) {
       // The point prefers x regardless of closures.
       partial.switch_gain += -delta;
     } else {
       // If this point's center closes, moving it to x costs `delta` extra.
-      partial.center_extra[sol.assignment[i]] += delta;
+      partial.center_extra[assignment[i]] += delta;
     }
   }
+}
+
+void pgain_range(const PointSet& points, const FacilitySolution& sol,
+                 std::size_t x, std::size_t begin, std::size_t end,
+                 PGainPartial& partial) {
+  if (begin >= end) return;
+  pgain_block(points.point(begin), end - begin, points.dim, points.point(x),
+              sol.assignment.data() + begin, sol.dist.data() + begin, partial);
 }
 
 double pgain_apply(const PointSet& points, FacilitySolution& sol, std::size_t x,

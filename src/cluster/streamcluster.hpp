@@ -58,6 +58,15 @@ void pgain_range(const PointSet& points, const FacilitySolution& sol,
                  std::size_t x, std::size_t begin, std::size_t end,
                  PGainPartial& partial);
 
+/// pgain over a raw coordinate block: `count` points of `dim` floats with
+/// their slice of the solution's assignment/dist arrays.  `candidate` points
+/// at the candidate facility's coordinates.  The pointer form is the kernel
+/// of the NUMA-aware task variant, which streams over node-bound partition
+/// copies (oss::NumaBuffer) instead of the shared point array.
+void pgain_block(const float* coords, std::size_t count, std::size_t dim,
+                 const float* candidate, const std::uint32_t* assignment,
+                 const float* dist, PGainPartial& partial);
+
 /// Reduces a merged partial: returns the gain of opening `x` (possibly
 /// closing centers), and if the gain is positive applies the move to `sol`
 /// (reassigning points).  `count` is the stream prefix length.

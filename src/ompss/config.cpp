@@ -82,6 +82,11 @@ std::size_t RuntimeConfig::resolved_threads() const noexcept {
   return hw > 0 ? hw : 1;
 }
 
+Topology RuntimeConfig::resolved_topology() const {
+  if (numa == NumaMode::Off) return Topology::flat(resolved_threads());
+  return Topology::detect(topology);
+}
+
 namespace {
 
 const char* env(const char* name) { return std::getenv(name); }
@@ -119,6 +124,8 @@ RuntimeConfig RuntimeConfig::from_env() {
     if (cfg.steal_tries == 0) throw std::invalid_argument("OSS_STEAL_TRIES must be >= 1");
   }
   if (const char* v = env("OSS_NUMA")) cfg.numa = parse_numa_mode(v);
+  if (const char* v = env("OSS_PIN")) cfg.pin = parse_bool("OSS_PIN", v);
+  if (const char* v = env("OSS_PRESSURE")) cfg.pressure = parse_size("OSS_PRESSURE", v);
   if (const char* v = env("OSS_TOPOLOGY")) {
     (void)Topology::detect(v); // validate eagerly: malformed specs fail here
     cfg.topology = v;

@@ -21,6 +21,16 @@
 //                     placement mode (see docs/numa.md).
 //   OSS_TOPOLOGY      "flat" | "numa" | fake spec ("2x4", "0:0-3;1:4-7") —
 //                     override hardware-topology discovery.
+//   OSS_PIN           "1" to pin each worker thread to its home node's CPU
+//                     set (pthread_setaffinity_np), making first-touch
+//                     placement reliable.  Degrades to unpinned — one
+//                     warning line, never an abort — when the process cpu
+//                     mask does not cover the topology (cpuset-restricted
+//                     containers).
+//   OSS_PRESSURE      home-queue depth at which `.affinity_auto()` /
+//                     inherited placements widen to the global tier while
+//                     another node has parked workers (default 8; 0
+//                     disables the feedback).
 //   OSS_RECORD_GRAPH  "1" to record the task graph for DOT export.
 //   OSS_TRACE         "1" to record an execution trace (Chrome JSON).
 //
@@ -31,6 +41,8 @@
 #include <string>
 
 namespace oss {
+
+class Topology;
 
 /// Scheduling policy for ready tasks (Section 4 of the paper credits the
 /// locality-aware policy for the `ray-rot` result).
@@ -110,6 +122,18 @@ struct RuntimeConfig {
   /// (validated by Topology::detect at runtime construction).
   std::string topology;
 
+  /// Pin each worker thread to the CPU set of its home node (OSS_PIN).
+  /// Only takes effect on multi-node topologies; workers whose node CPUs
+  /// fall outside the process affinity mask stay unpinned (one warning
+  /// line, never an abort).
+  bool pin = false;
+
+  /// Home-queue pressure feedback threshold (OSS_PRESSURE): when a node's
+  /// ready queue holds at least this many tasks while another node has
+  /// parked workers, soft (auto/inherited) placements temporarily widen to
+  /// the global tier.  0 disables the feedback.
+  std::size_t pressure = 8;
+
   /// Record task-graph nodes/edges for `Runtime::export_graph_dot()`.
   bool record_graph = false;
 
@@ -118,6 +142,12 @@ struct RuntimeConfig {
 
   /// Resolves `num_threads == 0` to the hardware concurrency (min 1).
   [[nodiscard]] std::size_t resolved_threads() const noexcept;
+
+  /// The topology a Runtime built from this config schedules against:
+  /// flat when `numa == Off` (placement structurally dissolved), otherwise
+  /// `Topology::detect(topology)`.  The single source of the rule — the
+  /// Runtime constructor and diagnostics (table1's NUMA header) share it.
+  [[nodiscard]] Topology resolved_topology() const;
 
   /// Reads OSS_* environment variables; unset variables keep defaults.
   /// Malformed values throw std::invalid_argument.

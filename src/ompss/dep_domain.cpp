@@ -14,9 +14,29 @@ const char* to_string(DepKind k) noexcept {
   return "?";
 }
 
+namespace {
+
+/// Chain affinity inheritance (docs/numa.md): the first dependency
+/// predecessor with a resolved home node donates it to the consumer's
+/// `inherited_node` slot.  Runs for *every* discovered hazard, even when the
+/// producer already finished (no scheduling edge needed, but the data the
+/// chain streams through still lives on the producer's node) — that keeps
+/// the resolution deterministic when producers retire while their
+/// successors are still being spawned.  Caller holds the graph mutex.
+void inherit_home(const TaskPtr& producer, const TaskPtr& consumer) {
+  if (!producer || producer.get() == consumer.get()) return;
+  if (consumer->inherited_node() >= 0) return; // first predecessor wins
+  if (producer->home_node() >= 0) {
+    consumer->set_inherited_node(producer->home_node());
+  }
+}
+
+} // namespace
+
 bool add_explicit_edge(const TaskPtr& producer, const TaskPtr& consumer,
                        const EdgeSink& sink) {
   if (!producer || producer.get() == consumer.get()) return false;
+  inherit_home(producer, consumer);
   if (producer->finished()) return false; // already retired: no edge needed
   producer->successors.push_back(consumer);
   consumer->preds += 1;
@@ -49,6 +69,7 @@ struct EdgeDedup {
 void add_edge(const TaskPtr& producer, const TaskPtr& consumer, DepKind kind,
               EdgeDedup& dedup, const EdgeSink& sink) {
   if (!producer || producer.get() == consumer.get()) return;
+  inherit_home(producer, consumer);
   if (producer->finished()) return; // already retired: no edge needed
   if (!dedup.insert(producer.get())) return;
   producer->successors.push_back(consumer);

@@ -26,6 +26,7 @@
 #include "ompss/graph_recorder.hpp"
 #include "ompss/mpmc_queue.hpp"
 #include "ompss/numa_alloc.hpp"
+#include "ompss/pinning.hpp"
 #include "ompss/queues.hpp"
 #include "ompss/runtime.hpp"
 #include "ompss/scheduler.hpp"

@@ -1,0 +1,77 @@
+#include "ompss/pinning.hpp"
+
+#include <algorithm>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace oss {
+
+#if defined(__linux__)
+
+bool pinning_supported() noexcept { return true; }
+
+std::vector<int> allowed_cpus() {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (pthread_getaffinity_np(pthread_self(), sizeof(set), &set) != 0) {
+    return {};
+  }
+  std::vector<int> out;
+  for (int c = 0; c < CPU_SETSIZE; ++c) {
+    if (CPU_ISSET(c, &set)) out.push_back(c);
+  }
+  return out;
+}
+
+namespace {
+
+bool pin_handle(pthread_t handle, const std::vector<int>& cpus) noexcept {
+  if (cpus.empty()) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  bool any = false;
+  for (int c : cpus) {
+    if (c >= 0 && c < CPU_SETSIZE) {
+      CPU_SET(c, &set);
+      any = true;
+    }
+  }
+  if (!any) return false;
+  return pthread_setaffinity_np(handle, sizeof(set), &set) == 0;
+}
+
+} // namespace
+
+bool pin_thread(std::thread::native_handle_type handle,
+                const std::vector<int>& cpus) noexcept {
+  return pin_handle(handle, cpus);
+}
+
+bool pin_current_thread(const std::vector<int>& cpus) noexcept {
+  return pin_handle(pthread_self(), cpus);
+}
+
+#else // !__linux__
+
+bool pinning_supported() noexcept { return false; }
+std::vector<int> allowed_cpus() { return {}; }
+bool pin_thread(std::thread::native_handle_type,
+                const std::vector<int>&) noexcept {
+  return false;
+}
+bool pin_current_thread(const std::vector<int>&) noexcept { return false; }
+
+#endif
+
+std::vector<int> intersect_cpus(const std::vector<int>& cpus,
+                                const std::vector<int>& allowed) {
+  std::vector<int> out;
+  std::set_intersection(cpus.begin(), cpus.end(), allowed.begin(),
+                        allowed.end(), std::back_inserter(out));
+  return out;
+}
+
+} // namespace oss

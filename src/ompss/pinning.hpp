@@ -1,0 +1,49 @@
+// pinning.hpp — worker→CPU pinning with a capability probe.
+//
+// The topology (topology.hpp) knows which CPUs belong to which memory node,
+// but without pinning the kernel is free to migrate a worker off its "home"
+// node mid-run, silently breaking first-touch placement and the scheduler's
+// locality assumptions.  `OSS_PIN=1` closes that loop: each worker thread is
+// bound (pthread_setaffinity_np) to the CPU *set* of its home node — node-set
+// pinning rather than one-CPU pinning, so the kernel can still balance
+// workers within a socket and oversubscribed runs never stack two workers on
+// one forced CPU.
+//
+// The capability probe makes this safe everywhere: containers, cpusets and
+// taskset-restricted shells expose only a subset of the machine's CPUs, and a
+// setaffinity call naming a forbidden CPU fails with EINVAL.  `allowed_cpus`
+// reads the caller's current mask; pin targets are intersected with it before
+// any syscall, and a worker whose node has no allowed CPU simply stays
+// unpinned (the runtime prints one warning line and carries on — pinning is
+// an optimization, never a startup requirement).
+//
+// Non-Linux platforms compile to stubs (`pinning_supported() == false`).
+#pragma once
+
+#include <thread>
+#include <vector>
+
+namespace oss {
+
+/// True when the platform has thread affinity syscalls at all.
+bool pinning_supported() noexcept;
+
+/// CPU ids the calling thread is currently allowed to run on, ascending.
+/// Empty when the mask cannot be read (treat as "unknown": skip pinning).
+std::vector<int> allowed_cpus();
+
+/// Binds `handle` (a std::thread native handle) to `cpus`.  Returns false —
+/// never throws, never aborts — on empty cpu lists, syscall failure, or
+/// unsupported platforms.
+bool pin_thread(std::thread::native_handle_type handle,
+                const std::vector<int>& cpus) noexcept;
+
+/// Binds the calling thread to `cpus` (same contract as pin_thread).
+bool pin_current_thread(const std::vector<int>& cpus) noexcept;
+
+/// Intersection of `cpus` with `allowed`, both ascending (the pin target a
+/// capability-restricted process may legally request).
+std::vector<int> intersect_cpus(const std::vector<int>& cpus,
+                                const std::vector<int>& allowed);
+
+} // namespace oss

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "ompss/numa_alloc.hpp"
+#include "ompss/pinning.hpp"
 
 namespace oss {
 
@@ -37,10 +38,10 @@ Runtime::Runtime(RuntimeConfig cfg)
     : cfg_(cfg),
       num_threads_(cfg.resolved_threads()),
       root_ctx_(std::make_shared<TaskContext>()),
-      topo_(cfg.numa == NumaMode::Off ? Topology::flat(cfg.resolved_threads())
-                                      : Topology::detect(cfg.topology)),
+      topo_(cfg.resolved_topology()),
       scheduler_(Scheduler::create(cfg.scheduler, num_threads_,
-                                   cfg.steal_tries, topo_, cfg.numa)),
+                                   cfg.steal_tries, topo_, cfg.numa,
+                                   cfg.pressure)),
       stats_(num_threads_) {
   if (cfg_.record_graph) graph_ = std::make_unique<GraphRecorder>();
   if (cfg_.record_trace) trace_ = std::make_unique<TraceRecorder>();
@@ -52,6 +53,58 @@ Runtime::Runtime(RuntimeConfig cfg)
   workers_.reserve(num_threads_ - 1);
   for (std::size_t i = 1; i < num_threads_; ++i) {
     workers_.emplace_back([this, i] { worker_loop(static_cast<int>(i)); });
+  }
+
+  if (cfg_.pin) apply_pinning();
+}
+
+void Runtime::apply_pinning() {
+  // Single-node topologies (including OSS_NUMA=off) would pin every worker
+  // to the same full CPU set — a no-op; the knob structurally dissolves
+  // like the rest of the NUMA subsystem.
+  if (topo_.single_node()) return;
+  if (!pinning_supported()) {
+    std::fprintf(stderr,
+                 "oss: OSS_PIN=1 ignored: thread affinity is not supported "
+                 "on this platform\n");
+    return;
+  }
+
+  const std::vector<int> allowed = allowed_cpus();
+  std::size_t skipped = 0;
+  if (allowed.empty()) {
+    skipped = num_threads_;
+  } else {
+    for (std::size_t w = 0; w < num_threads_; ++w) {
+      const int node = scheduler_->worker_node(static_cast<int>(w));
+      const std::vector<int> target = intersect_cpus(
+          topo_.nodes()[static_cast<std::size_t>(node)].cpus, allowed);
+      if (target.empty()) {
+        ++skipped;
+        continue;
+      }
+      bool ok;
+      if (w == 0) {
+        ok = pin_current_thread(target);
+        if (ok) {
+          owner_prev_cpus_ = allowed;
+          owner_tid_ = std::this_thread::get_id();
+        }
+      } else {
+        ok = pin_thread(workers_[w - 1].native_handle(), target);
+      }
+      if (ok) {
+        ++pinned_workers_;
+      } else {
+        ++skipped;
+      }
+    }
+  }
+  if (skipped > 0) {
+    std::fprintf(stderr,
+                 "oss: OSS_PIN=1: process cpu mask does not cover the "
+                 "topology; %zu of %zu workers left unpinned\n",
+                 skipped, num_threads_);
   }
 }
 
@@ -71,6 +124,16 @@ Runtime::~Runtime() {
     cv_.notify_all();
   }
   for (auto& w : workers_) w.join();
+  // Hand the owning thread back with its pre-pin affinity mask: the caller
+  // outlives the runtime, and a thread silently left pinned to one node
+  // would be a surprising parting gift.  Only when the destructor runs on
+  // the thread that was pinned (restoring through a stored handle would
+  // dereference a possibly-dead pthread_t when the owner exited first);
+  // a runtime destroyed cross-thread leaves that thread's pinned mask in
+  // place.
+  if (!owner_prev_cpus_.empty() && std::this_thread::get_id() == owner_tid_) {
+    pin_current_thread(owner_prev_cpus_);
+  }
   if (tl_binding.rt == this) tl_binding = ThreadBinding{};
 }
 
@@ -141,16 +204,35 @@ TaskHandle Runtime::spawn_task(TaskSpec spec, Task::Fn fn) {
       if (!dup) add_explicit_edge(pred, task, sink);
     }
 
-    // NUMA home node: the explicit hint, or the node of the largest
-    // registered access region (.affinity_auto()).  Hints naming a node
-    // the topology does not have are ignored, so affinity-annotated code
-    // runs unchanged on smaller machines.  Must be set before the task is
-    // published to the scheduler.
-    int home = spec.affinity;
-    if (spec.affinity_auto) home = home_node_of(task->accesses());
-    if (home >= 0 && static_cast<std::size_t>(home) < topo_.num_nodes() &&
-        !topo_.single_node()) {
-      task->set_home_node(home);
+    // NUMA home node, resolved in precedence order: the explicit hint, the
+    // node of the largest registered access region (.affinity_auto()), then
+    // the chain-inherited node (first dependency predecessor with a
+    // resolved home, recorded by dep_domain during registration above).
+    // Hints naming a node the topology does not have are ignored, so
+    // affinity-annotated code runs unchanged on smaller machines.  Derived
+    // homes (auto/inherited) are marked *soft*: the scheduler's pressure
+    // feedback may widen them, never an explicit hint.  Must be set before
+    // the task is published to the scheduler.
+    const auto valid_node = [this](int n) {
+      return n >= 0 && static_cast<std::size_t>(n) < topo_.num_nodes();
+    };
+    int home = -1;
+    bool soft = false;
+    if (valid_node(spec.affinity)) {
+      home = spec.affinity;
+    } else if (spec.affinity_auto) {
+      const int derived = home_node_of(task->accesses());
+      if (valid_node(derived)) {
+        home = derived;
+        soft = true;
+      }
+    }
+    if (home < 0 && valid_node(task->inherited_node())) {
+      home = task->inherited_node();
+      soft = true;
+    }
+    if (home >= 0 && !topo_.single_node()) {
+      task->set_home_node(home, soft);
     }
 
     ready = (task->preds == 0);
@@ -318,7 +400,11 @@ void Runtime::worker_loop(int wid) {
             idle_gate_.cancel_wait();
           } else {
             stats_.on_park();
+            // The scheduler's per-node parked counts feed the home-queue
+            // pressure feedback ("is another node idle?").
+            scheduler_->on_worker_park(wid);
             idle_gate_.wait(key);
+            scheduler_->on_worker_unpark(wid);
           }
           idle_rounds = 0;
         }

@@ -180,7 +180,21 @@ class Runtime {
     return *scheduler_;
   }
 
-  [[nodiscard]] StatsSnapshot stats() const { return stats_.snapshot(); }
+  /// Workers successfully pinned to their home node's CPU set (OSS_PIN).
+  /// 0 when pinning is off, structurally dissolved (single-node topology),
+  /// unsupported, or fully blocked by the process cpu mask.  Deterministic
+  /// once the constructor returned — pinning is applied synchronously.
+  [[nodiscard]] std::size_t pinned_workers() const noexcept {
+    return pinned_workers_;
+  }
+
+  /// Counter snapshot; scheduler-owned counters (overflow_placements) are
+  /// merged in.
+  [[nodiscard]] StatsSnapshot stats() const {
+    StatsSnapshot s = stats_.snapshot();
+    s.overflow_placements = scheduler_->overflow_placements();
+    return s;
+  }
 
   /// DOT rendering of the recorded task graph.  Empty unless
   /// `config().record_graph` was set.
@@ -212,6 +226,13 @@ class Runtime {
 
  private:
   void worker_loop(int wid);
+  /// OSS_PIN: binds every worker thread (including the owning thread,
+  /// worker 0) to its home node's CPU set, intersected with the process
+  /// affinity mask.  Workers the mask cannot cover stay unpinned; one
+  /// warning line total, never an abort.  Called from the constructor
+  /// after the pool threads exist (pthread_setaffinity_np targets them by
+  /// native handle, so the count is final when construction returns).
+  void apply_pinning();
   bool try_execute_one(int wid);
   void execute(const TaskPtr& t, int wid);
   void on_finished(const TaskPtr& t, int wid);
@@ -244,6 +265,16 @@ class Runtime {
 
   std::atomic<std::size_t> pending_{0}; ///< spawned but not finished
   std::atomic<bool> stop_{false};
+
+  std::size_t pinned_workers_ = 0; ///< workers OSS_PIN actually bound
+  /// Worker 0 is the caller's thread: its pre-pin affinity mask and thread
+  /// id are saved so a destructor running on that same thread hands it
+  /// back unpinned (cross-thread destruction keeps the pinned mask —
+  /// restoring through a stored pthread handle would risk a dead
+  /// pthread_t; the id comparison has no such lifetime hazard and, unlike
+  /// tl_binding, survives nested runtimes on one thread).
+  std::vector<int> owner_prev_cpus_;
+  std::thread::id owner_tid_;
 
   /// Park/unpark gate for idle workers (IdlePolicy::Park): every enqueue
   /// wakes exactly one parked worker, stop wakes all.

@@ -2,6 +2,7 @@
 
 #include <new>
 #include <stdexcept>
+#include <thread>
 
 #include "ompss/numa_alloc.hpp"
 #include "ompss/scheduler_impl.hpp"
@@ -32,10 +33,11 @@ std::uint64_t seed_from_id(std::uint64_t id) {
 
 SchedulerBase::SchedulerBase(SchedulerPolicy policy, std::size_t num_workers,
                              std::size_t steal_tries, const Topology& topo,
-                             NumaMode numa)
+                             NumaMode numa, std::size_t pressure)
     : Scheduler(policy),
       num_workers_(num_workers),
       steal_tries_(steal_tries == 0 ? 1 : steal_tries),
+      pressure_threshold_(pressure),
       topo_(topo),
       numa_mode_(numa),
       global_hi_(shard_count(num_workers)),
@@ -44,6 +46,10 @@ SchedulerBase::SchedulerBase(SchedulerPolicy policy, std::size_t num_workers,
 
   worker_node_.resize(num_workers_, 0);
   node_workers_.resize(multi_node ? topo_.num_nodes() : 1);
+  node_parked_ = std::make_unique<std::atomic<int>[]>(node_workers_.size());
+  for (std::size_t n = 0; n < node_workers_.size(); ++n) {
+    node_parked_[n].store(0, std::memory_order_relaxed);
+  }
   for (std::size_t w = 0; w < num_workers_; ++w) {
     const int node = multi_node
                          ? topo_.node_of_worker(static_cast<int>(w), num_workers_)
@@ -94,6 +100,29 @@ std::size_t SchedulerBase::steal_budget(int worker) const noexcept {
       std::memory_order_relaxed);
 }
 
+void SchedulerBase::on_worker_park(int worker) noexcept {
+  if (!is_worker(worker)) return;
+  const auto node =
+      static_cast<std::size_t>(worker_node_[static_cast<std::size_t>(worker)]);
+  node_parked_[node].fetch_add(1, std::memory_order_relaxed);
+}
+
+void SchedulerBase::on_worker_unpark(int worker) noexcept {
+  if (!is_worker(worker)) return;
+  const auto node =
+      static_cast<std::size_t>(worker_node_[static_cast<std::size_t>(worker)]);
+  node_parked_[node].fetch_sub(1, std::memory_order_relaxed);
+}
+
+std::size_t SchedulerBase::parked_on_node(int node) const noexcept {
+  if (node < 0 || static_cast<std::size_t>(node) >= node_workers_.size()) {
+    return 0;
+  }
+  const int n =
+      node_parked_[static_cast<std::size_t>(node)].load(std::memory_order_relaxed);
+  return n > 0 ? static_cast<std::size_t>(n) : 0;
+}
+
 TaskPtr SchedulerBase::pick_common(int worker, Stats& stats, bool use_local) {
   if (TaskPtr t = global_hi_.pop()) {
     stats.on_global_pop();
@@ -122,15 +151,66 @@ TaskPtr SchedulerBase::pick_common(int worker, Stats& stats, bool use_local) {
   }
   // Foreign node queues last: work conservation beats placement — a task is
   // better executed remotely than stranded (its home node may not even have
-  // a worker).
-  for (std::size_t n = 0; n < node_queues_.size(); ++n) {
-    if (static_cast<int>(n) == my_node) continue;
-    if (TaskPtr t = node_queues_[n]->pop()) {
-      stats.on_global_pop();
-      return t;
+  // a worker).  One refinement (the drain-side dual of the enqueue-side
+  // pressure feedback): when the foreign queue's home node has *parked*
+  // workers — idle capacity that a wakeup is already racing towards — a
+  // worker skips the raid for exactly one pick (patience token), giving the
+  // home node one scheduling quantum to claim its own work.  The very next
+  // pick drains unconditionally, so nothing can strand; on oversubscribed
+  // machines this one yield is what lets home workers run at all.
+  if (!node_queues_.empty()) {
+    WorkerState* const st =
+        is_worker(worker) ? &worker_state(worker) : nullptr;
+    bool deferred = false;
+    for (std::size_t n = 0; n < node_queues_.size(); ++n) {
+      if (static_cast<int>(n) == my_node) continue;
+      // Same knob as the enqueue-side widening: OSS_PRESSURE=0 turns the
+      // whole pressure feedback off, patience included.
+      if (st != nullptr && pressure_threshold_ > 0 &&
+          st->foreign_deferrals < kForeignPatience &&
+          node_parked_[n].load(std::memory_order_relaxed) > 0 &&
+          node_queues_[n]->size() > 0) {
+        deferred = true;
+        continue;
+      }
+      if (TaskPtr t = node_queues_[n]->pop()) {
+        if (st != nullptr) st->foreign_deferrals = 0;
+        stats.on_global_pop();
+        return t;
+      }
+    }
+    if (st != nullptr) {
+      st->deferred_this_pick = deferred;
+      if (deferred) {
+        ++st->foreign_deferrals;
+      } else {
+        st->foreign_deferrals = 0;
+      }
     }
   }
   return nullptr;
+}
+
+TaskPtr SchedulerBase::common_pick(int worker, Stats& stats, bool use_local,
+                                   bool steal) {
+  TaskPtr t = pick_common(worker, stats, use_local);
+  if (!t && steal) t = steal_from_siblings(worker, stats);
+  // Patience epilogue, multi-node only (single-node topologies build no
+  // node queues and must stay byte-for-byte on the old pick path).
+  if (!node_queues_.empty() && is_worker(worker)) {
+    WorkerState& st = worker_state(worker);
+    if (st.deferred_this_pick) {
+      st.deferred_this_pick = false;
+      // The patience only means something if the skipped node's woken
+      // workers can actually run — but never at the cost of work this
+      // worker could have stolen: yield only when the whole pick (steal
+      // tier included) found nothing.  One ~µs syscall, taken only while
+      // another node has both queued work and idle workers.
+      if (!t) std::this_thread::yield();
+    }
+  }
+  account_pick(worker, t, stats);
+  return t;
 }
 
 TaskPtr SchedulerBase::try_steal(std::size_t victim, int thief, Stats& stats) {
@@ -228,17 +308,18 @@ std::unique_ptr<Scheduler> Scheduler::create(SchedulerPolicy policy,
                                              std::size_t num_workers,
                                              std::size_t steal_tries,
                                              const Topology& topo,
-                                             NumaMode numa) {
+                                             NumaMode numa,
+                                             std::size_t pressure) {
   switch (policy) {
     case SchedulerPolicy::Fifo:
       return std::make_unique<FifoScheduler>(num_workers, steal_tries, topo,
-                                             numa);
+                                             numa, pressure);
     case SchedulerPolicy::Locality:
       return std::make_unique<LocalityScheduler>(num_workers, steal_tries,
-                                                 topo, numa);
+                                                 topo, numa, pressure);
     case SchedulerPolicy::WorkStealing:
       return std::make_unique<WorkStealingScheduler>(num_workers, steal_tries,
-                                                     topo, numa);
+                                                     topo, numa, pressure);
   }
   throw std::invalid_argument("Scheduler::create: unknown policy");
 }

@@ -33,6 +33,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 
 #include "ompss/config.hpp"
@@ -49,11 +50,14 @@ class Scheduler {
   /// performs before giving up (the OSS_STEAL_TRIES knob; the per-worker
   /// sweep count adapts below it — see steal_budget).  `topo` describes the
   /// machine (default: a blind single-node topology) and `numa` selects how
-  /// aggressively the scheduler binds its own state to it.
+  /// aggressively the scheduler binds its own state to it.  `pressure` is
+  /// the home-queue depth at which soft (auto/inherited) placements widen
+  /// to the global tier while another node has parked workers
+  /// (OSS_PRESSURE; 0 disables the feedback).
   static std::unique_ptr<Scheduler> create(
       SchedulerPolicy policy, std::size_t num_workers,
       std::size_t steal_tries = 2, const Topology& topo = Topology(),
-      NumaMode numa = NumaMode::Bind);
+      NumaMode numa = NumaMode::Bind, std::size_t pressure = 8);
 
   virtual ~Scheduler() = default;
 
@@ -87,6 +91,20 @@ class Scheduler {
   /// Current adaptive sweep count of a worker's steal loop, in
   /// [1, steal_tries ceiling].  Diagnostics/tests.
   [[nodiscard]] virtual std::size_t steal_budget(int worker) const noexcept = 0;
+
+  /// Park/unpark notifications from the runtime's idle loop.  The scheduler
+  /// keeps per-node parked-worker counts out of them; they are what the
+  /// home-queue pressure feedback consults ("is another node idle?").
+  /// Non-worker ids are ignored.
+  virtual void on_worker_park(int worker) noexcept = 0;
+  virtual void on_worker_unpark(int worker) noexcept = 0;
+
+  /// Times the pressure feedback diverted a soft home-node placement to the
+  /// global tier (mirrored into StatsSnapshot::overflow_placements).
+  [[nodiscard]] virtual std::uint64_t overflow_placements() const noexcept = 0;
+
+  /// Parked workers currently registered on `node` (diagnostics/tests).
+  [[nodiscard]] virtual std::size_t parked_on_node(int node) const noexcept = 0;
 
   [[nodiscard]] SchedulerPolicy policy() const noexcept { return policy_; }
 

@@ -21,9 +21,7 @@ void FifoScheduler::enqueue_unblocked(TaskPtr t, int /*finisher_worker*/) {
 }
 
 TaskPtr FifoScheduler::pick(int worker, Stats& stats) {
-  TaskPtr t = pick_common(worker, stats, /*use_local=*/false);
-  account_pick(worker, t, stats);
-  return t;
+  return common_pick(worker, stats, /*use_local=*/false, /*steal=*/false);
 }
 
 } // namespace oss

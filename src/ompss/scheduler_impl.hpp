@@ -30,7 +30,8 @@ namespace oss {
 class SchedulerBase : public Scheduler {
  protected:
   SchedulerBase(SchedulerPolicy policy, std::size_t num_workers,
-                std::size_t steal_tries, const Topology& topo, NumaMode numa);
+                std::size_t steal_tries, const Topology& topo, NumaMode numa,
+                std::size_t pressure);
 
  public:
   ~SchedulerBase() override;
@@ -38,6 +39,13 @@ class SchedulerBase : public Scheduler {
   [[nodiscard]] std::size_t queued() const override;
   [[nodiscard]] int worker_node(int worker) const noexcept override;
   [[nodiscard]] std::size_t steal_budget(int worker) const noexcept override;
+
+  void on_worker_park(int worker) noexcept override;
+  void on_worker_unpark(int worker) noexcept override;
+  [[nodiscard]] std::uint64_t overflow_placements() const noexcept override {
+    return overflow_placements_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t parked_on_node(int node) const noexcept override;
 
  protected:
   /// Per-worker state, padded so neighbouring workers never share a line
@@ -48,6 +56,15 @@ class SchedulerBase : public Scheduler {
     explicit WorkerState(int numa_node) : deque(numa_node) {}
     WorkerDeque deque;
     std::uint64_t rng = 0;
+    /// Patience budget for foreign-node-queue drains: consecutive picks
+    /// this worker has skipped a foreign queue whose home node had parked
+    /// workers.  At kForeignPatience the raid proceeds unconditionally, so
+    /// nothing strands.  Owner-only, like rng.
+    std::uint32_t foreign_deferrals = 0;
+    /// Set by pick_common when this pick skipped a foreign queue; if the
+    /// whole pick (steal tier included) then comes up empty, common_pick
+    /// yields the OS quantum to the skipped node's waking workers.
+    bool deferred_this_pick = false;
     /// Adaptive sweep count: halves after a fully-failed steal sweep,
     /// creeps back up on success, always within [1, steal_tries ceiling].
     /// Written only by the owning worker; atomic (relaxed) because the
@@ -66,13 +83,40 @@ class SchedulerBase : public Scheduler {
 
   /// Routes a task carrying a valid home-node hint to that node's queue;
   /// returns true if consumed.  Always false on single-node topologies.
+  ///
+  /// Pressure feedback (work-first fallback): a *soft* hint — derived by
+  /// affinity_auto or chain inheritance, never an explicit `.affinity()` —
+  /// is diverted to the caller's fallthrough (the global tier) when the
+  /// home queue is already `pressure_threshold_` deep while another node
+  /// has parked workers.  Locality-first placement is only worth queueing
+  /// delay while the home node keeps up; once it backs up and other
+  /// sockets idle, running remotely now beats running locally later.
   bool place_home(TaskPtr& t) {
     const int home = t->home_node();
     if (home < 0 || static_cast<std::size_t>(home) >= node_queues_.size()) {
       return false;
     }
+    if (t->home_soft() && pressure_threshold_ > 0 &&
+        node_queues_[static_cast<std::size_t>(home)]->size() >=
+            pressure_threshold_ &&
+        parked_elsewhere(home)) {
+      overflow_placements_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
     node_queues_[static_cast<std::size_t>(home)]->push(std::move(t));
     return true;
+  }
+
+  /// True when a node other than `home` currently has parked workers —
+  /// the "someone idles across the interconnect" half of the pressure
+  /// condition.  Relaxed reads: the feedback is a heuristic, a stale count
+  /// costs at most one mis-widened (or mis-kept) placement.
+  [[nodiscard]] bool parked_elsewhere(int home) const noexcept {
+    for (std::size_t n = 0; n < node_workers_.size(); ++n) {
+      if (static_cast<int>(n) == home) continue;
+      if (node_parked_[n].load(std::memory_order_relaxed) > 0) return true;
+    }
+    return false;
   }
 
   /// True when `w` is a worker whose node matches the task's home hint, or
@@ -90,6 +134,13 @@ class SchedulerBase : public Scheduler {
   /// the global queue, then foreign node queues.  `use_local` lets Fifo
   /// skip the local-deque tier entirely.
   TaskPtr pick_common(int worker, Stats& stats, bool use_local);
+
+  /// The full pick skeleton every policy shares: queue tiers, then (for
+  /// stealing policies) the victim sweep, then — only if the entire pick
+  /// came up empty after a foreign-raid deferral — one OS yield so the
+  /// skipped node's waking workers can claim their queue; finally the
+  /// local/remote accounting.
+  TaskPtr common_pick(int worker, Stats& stats, bool use_local, bool steal);
 
   /// Victim sweeps over sibling deques, same-socket victims first; the
   /// per-worker sweep count adapts to the failed-steal rate (capped by
@@ -126,12 +177,22 @@ class SchedulerBase : public Scheduler {
     return s;
   }
 
+  /// Consecutive picks a worker defers a foreign-node-queue raid while the
+  /// home node has parked workers (see pick_common).  Small and fixed: the
+  /// patience must stay invisible next to any real task's runtime.
+  static constexpr std::uint32_t kForeignPatience = 4;
+
   std::size_t num_workers_;
   std::size_t steal_tries_; ///< adaptive-budget ceiling (OSS_STEAL_TRIES)
+  std::size_t pressure_threshold_; ///< OSS_PRESSURE (0 = feedback off)
   Topology topo_;
   NumaMode numa_mode_;
   std::vector<int> worker_node_;               ///< worker id → dense node
   std::vector<std::vector<int>> node_workers_; ///< dense node → worker ids
+  /// Parked workers per node (runtime park/unpark hooks); sized like
+  /// node_workers_.
+  std::unique_ptr<std::atomic<int>[]> node_parked_;
+  std::atomic<std::uint64_t> overflow_placements_{0};
   ShardedTaskQueue global_hi_; ///< priority > 0, served before all else
   ShardedTaskQueue global_;
   /// One ready queue per node for home-node tasks; empty on single-node
@@ -164,9 +225,9 @@ class SchedulerBase : public Scheduler {
 class FifoScheduler final : public SchedulerBase {
  public:
   FifoScheduler(std::size_t num_workers, std::size_t steal_tries,
-                const Topology& topo, NumaMode numa)
+                const Topology& topo, NumaMode numa, std::size_t pressure)
       : SchedulerBase(SchedulerPolicy::Fifo, num_workers, steal_tries, topo,
-                      numa) {}
+                      numa, pressure) {}
   void enqueue_spawned(TaskPtr t, int spawner_worker) override;
   void enqueue_unblocked(TaskPtr t, int finisher_worker) override;
   TaskPtr pick(int worker, Stats& stats) override;
@@ -175,9 +236,9 @@ class FifoScheduler final : public SchedulerBase {
 class LocalityScheduler final : public SchedulerBase {
  public:
   LocalityScheduler(std::size_t num_workers, std::size_t steal_tries,
-                    const Topology& topo, NumaMode numa)
+                    const Topology& topo, NumaMode numa, std::size_t pressure)
       : SchedulerBase(SchedulerPolicy::Locality, num_workers, steal_tries,
-                      topo, numa) {}
+                      topo, numa, pressure) {}
   void enqueue_spawned(TaskPtr t, int spawner_worker) override;
   void enqueue_unblocked(TaskPtr t, int finisher_worker) override;
   TaskPtr pick(int worker, Stats& stats) override;
@@ -186,9 +247,10 @@ class LocalityScheduler final : public SchedulerBase {
 class WorkStealingScheduler final : public SchedulerBase {
  public:
   WorkStealingScheduler(std::size_t num_workers, std::size_t steal_tries,
-                        const Topology& topo, NumaMode numa)
+                        const Topology& topo, NumaMode numa,
+                        std::size_t pressure)
       : SchedulerBase(SchedulerPolicy::WorkStealing, num_workers, steal_tries,
-                      topo, numa) {}
+                      topo, numa, pressure) {}
   void enqueue_spawned(TaskPtr t, int spawner_worker) override;
   void enqueue_unblocked(TaskPtr t, int finisher_worker) override;
   TaskPtr pick(int worker, Stats& stats) override;

@@ -30,10 +30,7 @@ void LocalityScheduler::enqueue_unblocked(TaskPtr t, int finisher_worker) {
 }
 
 TaskPtr LocalityScheduler::pick(int worker, Stats& stats) {
-  TaskPtr t = pick_common(worker, stats, /*use_local=*/true);
-  if (!t) t = steal_from_siblings(worker, stats);
-  account_pick(worker, t, stats);
-  return t;
+  return common_pick(worker, stats, /*use_local=*/true, /*steal=*/true);
 }
 
 } // namespace oss

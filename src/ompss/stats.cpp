@@ -37,7 +37,8 @@ std::string StatsSnapshot::to_string() const {
      << "queue: local=" << local_pops << " global=" << global_pops
      << " steals=" << steals << " steal-fails=" << steals_failed << '\n'
      << "numa: local=" << tasks_local << " remote=" << tasks_remote
-     << " remote-steals=" << steals_remote << '\n'
+     << " remote-steals=" << steals_remote
+     << " overflow=" << overflow_placements << '\n'
      << "idle: parks=" << parks << " wakeups=" << wakeups << '\n'
      << "waits: taskwait=" << taskwaits << " barrier=" << barriers << '\n'
      << "per-worker executed:";

@@ -31,6 +31,10 @@ struct StatsSnapshot {
                                    ///< NUMA node (subset of steals)
   std::uint64_t tasks_local = 0;  ///< affinity tasks picked on their home node
   std::uint64_t tasks_remote = 0; ///< affinity tasks picked on a foreign node
+  std::uint64_t overflow_placements = 0; ///< soft home placements widened to
+                                         ///< the global tier by the pressure
+                                         ///< feedback (filled from the
+                                         ///< scheduler by Runtime::stats())
   std::uint64_t parks = 0;       ///< times an idle worker parked on the gate
   std::uint64_t wakeups = 0;     ///< parked workers signalled awake (batch
                                  ///< wakeups count every worker they released)

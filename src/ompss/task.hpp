@@ -127,9 +127,24 @@ class Task {
 
   /// NUMA home node (dense topology index) the scheduler should place this
   /// task on, or -1 for no affinity.  Set before the task is published to
-  /// any ready queue (the queue handshake orders it for readers).
+  /// any ready queue (the queue handshake orders it for readers).  `soft`
+  /// marks a runtime-derived home (affinity_auto / chain inheritance) the
+  /// scheduler may widen under queue pressure; explicit `.affinity(node)`
+  /// hints are hard and never widened.
   int home_node() const noexcept { return home_node_; }
-  void set_home_node(int n) noexcept { home_node_ = n; }
+  void set_home_node(int n, bool soft = false) noexcept {
+    home_node_ = n;
+    home_soft_ = soft;
+  }
+  bool home_soft() const noexcept { return home_soft_; }
+
+  /// Chain affinity inheritance: the resolved home node of the first
+  /// dependency predecessor that had one, recorded while the task's edges
+  /// are discovered (dep_domain) and consulted at spawn-time home
+  /// resolution when the task carries no hint of its own.  -1 = nothing to
+  /// inherit.  Guarded by the runtime graph mutex like preds/successors.
+  int inherited_node() const noexcept { return inherited_node_; }
+  void set_inherited_node(int n) noexcept { inherited_node_ = n; }
 
   /// Attaches a commutative-region exclusion lock (called during
   /// registration, under the graph mutex).
@@ -175,6 +190,8 @@ class Task {
   std::string label_;
   int priority_ = 0;
   int home_node_ = -1;
+  int inherited_node_ = -1;
+  bool home_soft_ = false;
   bool undeferred_ = false;
   std::vector<std::shared_ptr<std::mutex>> exclusion_locks_;
   TaskPtr queue_ref_; // owning self-reference while in a lock-free queue

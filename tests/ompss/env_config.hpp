@@ -1,0 +1,38 @@
+// env_config.hpp — shared test-config helper for the env-matrix harness.
+//
+// tests/run_matrix.sh reruns the stress / affinity / runtime-semantics
+// suites across the cross-product of the runtime's knobs
+// (OSS_SCHEDULER × OSS_IDLE × OSS_NUMA × OSS_TOPOLOGY).  For the matrix to
+// mean anything the suites must *honor* those variables — so tests build
+// their RuntimeConfig through these helpers instead of the env-blind
+// `Runtime(threads)` shortcut.  A test that requires a specific knob value
+// (e.g. a forced "2x2" fake topology for multi-node assertions) overrides
+// the field after calling the helper; the matrix then varies everything the
+// test left free.
+#pragma once
+
+#include "ompss/config.hpp"
+
+namespace oss_test {
+
+/// RuntimeConfig from the OSS_* environment with the thread count pinned
+/// (tests need deterministic worker counts; everything else stays steerable
+/// by the matrix).
+inline oss::RuntimeConfig env_config(std::size_t threads) {
+  oss::RuntimeConfig cfg = oss::RuntimeConfig::from_env();
+  cfg.num_threads = threads;
+  return cfg;
+}
+
+/// env_config with a forced topology, keeping NUMA placement alive even
+/// when the matrix sets OSS_NUMA=off — the shared base of every test that
+/// asserts multi-node behavior against a fake spec ("2x2", ...).
+inline oss::RuntimeConfig forced_topology_config(std::size_t threads,
+                                                 const char* spec) {
+  oss::RuntimeConfig cfg = env_config(threads);
+  cfg.topology = spec;
+  if (cfg.numa == oss::NumaMode::Off) cfg.numa = oss::NumaMode::Bind;
+  return cfg;
+}
+
+} // namespace oss_test

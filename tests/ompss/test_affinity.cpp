@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "env_config.hpp"
+
 namespace {
 
 oss::TaskPtr dummy_task(std::uint64_t id, int home = -1) {
@@ -147,9 +149,11 @@ TEST(AffinitySteal, BudgetDecaysOnFailureAndRecoversOnSuccess) {
 // --- end-to-end Runtime tests ----------------------------------------------
 
 oss::RuntimeConfig fake_numa_config(oss::SchedulerPolicy policy) {
-  oss::RuntimeConfig cfg = oss::RuntimeConfig::with_threads(4);
+  // Env base (idle policy, steal tries, ... stay matrix-steerable); the
+  // multi-node assertions below force the fake 2-node topology they
+  // depend on.
+  oss::RuntimeConfig cfg = oss_test::forced_topology_config(4, "2x2");
   cfg.scheduler = policy;
-  cfg.topology = "2x2";
   return cfg;
 }
 
@@ -230,7 +234,7 @@ TEST(Affinity, NegativeNodeThrows) {
 TEST(Affinity, SingleNodeMachinesBehaveExactlyAsWithoutAffinity) {
   // Default topology on this machine may be anything; force flat to model
   // the single-node case the acceptance criteria name.
-  oss::RuntimeConfig cfg = oss::RuntimeConfig::with_threads(2);
+  oss::RuntimeConfig cfg = oss_test::env_config(2);
   cfg.topology = "flat";
   oss::Runtime rt(cfg);
   ASSERT_TRUE(rt.topology().single_node());
@@ -248,11 +252,186 @@ TEST(Affinity, SingleNodeMachinesBehaveExactlyAsWithoutAffinity) {
 }
 
 TEST(Affinity, NumaOffForcesFlatTopology) {
-  oss::RuntimeConfig cfg = oss::RuntimeConfig::with_threads(2);
+  oss::RuntimeConfig cfg = oss_test::env_config(2);
   cfg.topology = "2x2"; // would be multi-node...
   cfg.numa = oss::NumaMode::Off; // ...but off wins
   oss::Runtime rt(cfg);
   EXPECT_TRUE(rt.topology().single_node());
+}
+
+// --- chain affinity inheritance ---------------------------------------------
+
+TEST_P(AffinityPolicyTest, UnhintedChainInheritsHeadHomeNode) {
+  // The acceptance shape: one hinted head, then a chain of 8 dependent
+  // unhinted tasks (inout on the same slot).  Every link must resolve to
+  // the head's home node — pipelines stay on-socket without per-task hints.
+  oss::Runtime rt(fake_numa_config(GetParam()));
+  ASSERT_EQ(rt.topology().num_nodes(), 2u);
+  long slot = 0;
+  auto head = rt.task("head").inout(slot).affinity(1).spawn([&] { slot = 1; });
+  std::vector<oss::TaskHandle> links;
+  for (int i = 0; i < 8; ++i) {
+    links.push_back(
+        rt.task("link").inout(slot).spawn([&] { slot = slot * 2 + 1; }));
+  }
+  rt.taskwait();
+  EXPECT_EQ(head.home_node(), 1);
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    EXPECT_EQ(links[i].home_node(), 1) << "link " << i;
+  }
+  EXPECT_EQ(slot, (1L << 9) - 1); // the chain also ran in order
+}
+
+TEST(AffinityInheritance, ExplicitHintOverridesInheritance) {
+  oss::Runtime rt(fake_numa_config(oss::SchedulerPolicy::Locality));
+  int slot = 0;
+  rt.task("head").inout(slot).affinity(0).spawn([] {});
+  auto rehint = rt.task("rehint").inout(slot).affinity(1).spawn([] {});
+  auto tail = rt.task("tail").inout(slot).spawn([] {});
+  rt.taskwait();
+  // The re-hinted middle wins over what it would inherit, and the tail
+  // inherits from its *nearest* hinted ancestor, not the chain head.
+  EXPECT_EQ(rehint.home_node(), 1);
+  EXPECT_EQ(tail.home_node(), 1);
+}
+
+TEST(AffinityInheritance, FlowsThroughExplicitAfterEdges) {
+  oss::Runtime rt(fake_numa_config(oss::SchedulerPolicy::Locality));
+  // Gate the head so it cannot finish before `.after(head)` is declared
+  // (a done handle is a no-op edge, by design).
+  std::atomic<bool> go{false};
+  auto head = rt.task("head").affinity(1).spawn([&] {
+    while (!go.load()) std::this_thread::yield();
+  });
+  auto next = rt.task("next").after(head).spawn([] {});
+  go = true;
+  rt.taskwait();
+  EXPECT_EQ(next.home_node(), 1);
+}
+
+TEST(AffinityInheritance, SurvivesFinishedPredecessors) {
+  // A producer that already retired creates no scheduling edge, but its
+  // home node must still flow: the data the chain streams over does not
+  // move when the producer finishes.
+  oss::Runtime rt(fake_numa_config(oss::SchedulerPolicy::Locality));
+  int slot = 0;
+  auto head = rt.task("head").inout(slot).affinity(1).spawn([] {});
+  head.wait(); // head is finished before the successor is even spawned
+  auto tail = rt.task("tail").inout(slot).spawn([] {});
+  rt.taskwait();
+  EXPECT_EQ(tail.home_node(), 1);
+}
+
+TEST(AffinityInheritance, NothingToInheritStaysUnhinted) {
+  oss::Runtime rt(fake_numa_config(oss::SchedulerPolicy::Locality));
+  int slot = 0;
+  rt.task("head").inout(slot).spawn([] {}); // no hint anywhere
+  auto tail = rt.task("tail").inout(slot).spawn([] {});
+  rt.taskwait();
+  EXPECT_EQ(tail.home_node(), -1);
+}
+
+// --- home-queue pressure feedback -------------------------------------------
+
+oss::TaskPtr soft_task(std::uint64_t id, int home) {
+  oss::TaskPtr t = dummy_task(id);
+  t->set_home_node(home, /*soft=*/true);
+  return t;
+}
+
+TEST_P(AffinityPolicyTest, PressureWidensSoftPlacementsWhenOtherNodeParked) {
+  auto s = oss::Scheduler::create(GetParam(), 4, 2,
+                                  oss::Topology::from_spec("2x2"),
+                                  oss::NumaMode::Bind, /*pressure=*/2);
+  oss::Stats stats(4);
+  s->on_worker_park(2); // a node-1 worker idles
+  ASSERT_EQ(s->parked_on_node(1), 1u);
+  // Fill node 0's queue to the threshold, then keep pushing soft tasks:
+  // the overflow must divert to the global tier and be counted.
+  for (int i = 0; i < 5; ++i) s->enqueue_spawned(soft_task(1 + i, 0), -1);
+  EXPECT_EQ(s->overflow_placements(), 3u) << "pushes past depth 2 divert";
+  // Hard hints never widen, whatever the pressure.
+  s->enqueue_spawned(dummy_task(10, /*home=*/0), -1);
+  EXPECT_EQ(s->overflow_placements(), 3u);
+}
+
+TEST(AffinityPressure, NoFeedbackWithoutParkedWorkersElsewhere) {
+  auto s = oss::Scheduler::create(oss::SchedulerPolicy::Locality, 4, 2,
+                                  oss::Topology::from_spec("2x2"),
+                                  oss::NumaMode::Bind, /*pressure=*/1);
+  for (int i = 0; i < 8; ++i) s->enqueue_spawned(soft_task(1 + i, 0), -1);
+  EXPECT_EQ(s->overflow_placements(), 0u) << "nobody idles: keep locality";
+  // Parked workers on the task's own node don't count either.
+  s->on_worker_park(0);
+  s->enqueue_spawned(soft_task(20, 0), -1);
+  EXPECT_EQ(s->overflow_placements(), 0u);
+  // ...but an unpark/park pair on the other node flips the condition.
+  s->on_worker_park(2);
+  s->enqueue_spawned(soft_task(21, 0), -1);
+  EXPECT_EQ(s->overflow_placements(), 1u);
+}
+
+TEST(AffinityPressure, ZeroThresholdDisablesFeedback) {
+  // OSS_PRESSURE=0 turns the whole feedback off: no enqueue-side widening
+  // AND no drain-side patience.
+  auto s = oss::Scheduler::create(oss::SchedulerPolicy::Locality, 4, 2,
+                                  oss::Topology::from_spec("2x2"),
+                                  oss::NumaMode::Bind, /*pressure=*/0);
+  oss::Stats stats(4);
+  s->on_worker_park(2);
+  for (int i = 0; i < 8; ++i) s->enqueue_spawned(soft_task(1 + i, 0), -1);
+  EXPECT_EQ(s->overflow_placements(), 0u);
+  // Drain-side patience is off too: node 1 has a parked worker and queued
+  // work, yet worker 0's foreign raid succeeds on the very first pick.
+  auto t = oss::Scheduler::create(oss::SchedulerPolicy::Locality, 4, 2,
+                                  oss::Topology::from_spec("2x2"),
+                                  oss::NumaMode::Bind, /*pressure=*/0);
+  t->on_worker_park(2);
+  t->enqueue_spawned(soft_task(200, 1), -1);
+  const oss::TaskPtr raided = t->pick(0, stats);
+  ASSERT_NE(raided, nullptr) << "OSS_PRESSURE=0 must disable raid patience";
+  EXPECT_EQ(raided->id(), 200u);
+}
+
+TEST(AffinityPressure, ParkCountsTrackParkUnpark) {
+  auto s = make_2x2(oss::SchedulerPolicy::Locality);
+  EXPECT_EQ(s->parked_on_node(0), 0u);
+  s->on_worker_park(0);
+  s->on_worker_park(1);
+  s->on_worker_park(2);
+  EXPECT_EQ(s->parked_on_node(0), 2u);
+  EXPECT_EQ(s->parked_on_node(1), 1u);
+  s->on_worker_unpark(0);
+  s->on_worker_unpark(2);
+  EXPECT_EQ(s->parked_on_node(0), 1u);
+  EXPECT_EQ(s->parked_on_node(1), 0u);
+  EXPECT_EQ(s->parked_on_node(-1), 0u);
+  EXPECT_EQ(s->parked_on_node(9), 0u);
+}
+
+TEST(AffinityPressure, ForeignRaidWaitsOutParkedHomeWorkers) {
+  // Drain-side patience: a worker raiding another node's queue while that
+  // node has parked workers defers (bounded) before taking the task, and
+  // the task is never stranded.
+  auto s = make_2x2(oss::SchedulerPolicy::Locality);
+  oss::Stats stats(4);
+  s->on_worker_park(2); // node 1 has an idle worker...
+  s->enqueue_spawned(dummy_task(1, /*home=*/1), -1); // ...and queued work
+  // Worker 0 (node 0) defers a few picks, then work conservation wins.
+  int deferred = 0;
+  oss::TaskPtr got;
+  for (int i = 0; i < 16 && !got; ++i) {
+    got = s->pick(0, stats);
+    if (!got) ++deferred;
+  }
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->id(), 1u);
+  EXPECT_GE(deferred, 1) << "at least one pick of patience";
+  EXPECT_LE(deferred, 8) << "patience is bounded";
+  // Without parked workers on the home node the raid is immediate.
+  s->on_worker_unpark(2);
+  s->enqueue_spawned(dummy_task(2, /*home=*/1), -1);
+  EXPECT_NE(s->pick(0, stats), nullptr);
 }
 
 TEST(Affinity, UndeferredTasksIgnoreAffinity) {

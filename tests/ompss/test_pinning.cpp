@@ -1,0 +1,119 @@
+// OSS_PIN worker→CPU pinning and its capability probe.  The contract under
+// test: pinning is an optimization that may only ever degrade — a topology
+// the process cpu mask cannot cover leaves workers unpinned with a warning,
+// never aborts, and the runtime keeps executing tasks; the owning thread
+// gets its original mask back at destruction.
+#include "ompss/ompss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "env_config.hpp"
+
+namespace {
+
+oss::RuntimeConfig pin_config(const char* topology) {
+  oss::RuntimeConfig cfg = oss_test::forced_topology_config(4, topology);
+  cfg.pin = true;
+  return cfg;
+}
+
+TEST(Pinning, HelpersRoundTrip) {
+  if (!oss::pinning_supported()) GTEST_SKIP() << "no thread affinity here";
+  const std::vector<int> allowed = oss::allowed_cpus();
+  ASSERT_FALSE(allowed.empty());
+  // Re-pinning to the full allowed set is always legal and a no-op.
+  EXPECT_TRUE(oss::pin_current_thread(allowed));
+  EXPECT_EQ(oss::allowed_cpus(), allowed);
+  // Empty and fully-out-of-range targets fail cleanly instead of throwing.
+  EXPECT_FALSE(oss::pin_current_thread({}));
+  EXPECT_TRUE(oss::intersect_cpus({1, 2, 3}, {2, 3, 4}) ==
+              (std::vector<int>{2, 3}));
+  EXPECT_TRUE(oss::intersect_cpus({1, 2}, {}).empty());
+}
+
+TEST(Pinning, SingleNodeTopologyDissolves) {
+  oss::RuntimeConfig cfg = pin_config("flat");
+  oss::Runtime rt(cfg);
+  EXPECT_EQ(rt.pinned_workers(), 0u);
+  std::atomic<int> hits{0};
+  for (int i = 0; i < 16; ++i) rt.task("t").spawn([&] { hits++; });
+  rt.taskwait();
+  EXPECT_EQ(hits.load(), 16);
+}
+
+TEST(Pinning, FakeTopologyPinsOnlyCoveredWorkers) {
+  if (!oss::pinning_supported()) GTEST_SKIP() << "no thread affinity here";
+  const std::vector<int> allowed = oss::allowed_cpus();
+  ASSERT_FALSE(allowed.empty());
+  // A 2x2 fake topology claims cpus 0..3; how many workers the probe can
+  // cover depends on this machine's mask.  Workers 0,1 live on node 0
+  // (cpus {0,1}), workers 2,3 on node 1 (cpus {2,3}).
+  const bool node0_covered = !oss::intersect_cpus({0, 1}, allowed).empty();
+  const bool node1_covered = !oss::intersect_cpus({2, 3}, allowed).empty();
+  const std::size_t expect =
+      (node0_covered ? 2u : 0u) + (node1_covered ? 2u : 0u);
+
+  oss::Runtime rt(pin_config("2x2"));
+  EXPECT_EQ(rt.pinned_workers(), expect);
+  std::atomic<int> hits{0};
+  for (int i = 0; i < 32; ++i) {
+    rt.task("t").affinity(i % 2).spawn([&] { hits++; });
+  }
+  rt.taskwait();
+  EXPECT_EQ(hits.load(), 32) << "degraded pinning must not lose tasks";
+}
+
+TEST(Pinning, RestrictedMaskDegradesToUnpinnedNeverAborts) {
+  // The capability-probe acceptance case: shrink the test process's own
+  // mask to a single cpu, then ask for pinning on a topology that mostly
+  // lies outside it.  Construction must succeed, uncoverable workers stay
+  // unpinned (one warning line on stderr), tasks run, and our mask comes
+  // back intact.
+  if (!oss::pinning_supported()) GTEST_SKIP() << "no thread affinity here";
+  const std::vector<int> original = oss::allowed_cpus();
+  ASSERT_FALSE(original.empty());
+  ASSERT_TRUE(oss::pin_current_thread({original.front()}));
+
+  {
+    oss::Runtime rt(pin_config("2x8")); // wants cpus 0..15
+    // Only node 0 can possibly intersect a one-cpu mask; nodes whose cpu
+    // lists miss it stay unpinned.  With cpu0 allowed, workers 0,1 (node 0)
+    // pin; with any other single cpu, possibly nobody does.
+    EXPECT_LE(rt.pinned_workers(), 2u);
+    std::atomic<int> hits{0};
+    for (int i = 0; i < 24; ++i) {
+      rt.task("t").affinity(i % 2).spawn([&] { hits++; });
+    }
+    rt.taskwait();
+    EXPECT_EQ(hits.load(), 24);
+  }
+
+  // The runtime restored what it changed; undo our own shrink regardless.
+  EXPECT_TRUE(oss::pin_current_thread(original));
+  EXPECT_EQ(oss::allowed_cpus(), original);
+}
+
+TEST(Pinning, OwnerMaskRestoredAfterRuntimePinnedIt) {
+  if (!oss::pinning_supported()) GTEST_SKIP() << "no thread affinity here";
+  const std::vector<int> original = oss::allowed_cpus();
+  {
+    oss::Runtime rt(pin_config("2x2"));
+    if (rt.pinned_workers() == 0) GTEST_SKIP() << "mask covers no node";
+    // While the runtime lives, worker 0 (this thread) may be pinned to a
+    // subset of the original mask.
+    EXPECT_LE(oss::allowed_cpus().size(), original.size());
+  }
+  EXPECT_EQ(oss::allowed_cpus(), original);
+}
+
+TEST(Pinning, OffByDefault) {
+  oss::RuntimeConfig cfg = oss_test::forced_topology_config(2, "2x2");
+  cfg.pin = false;
+  oss::Runtime rt(cfg);
+  EXPECT_EQ(rt.pinned_workers(), 0u);
+}
+
+} // namespace

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "env_config.hpp"
+
 #include <atomic>
 #include <array>
 #include <chrono>
@@ -16,7 +18,7 @@
 namespace {
 
 TEST(Semantics, RawChainExecutesInOrder) {
-  oss::Runtime rt(4);
+  oss::Runtime rt(oss_test::env_config(4));
   double a = 1, b = 0, c = 0;
   rt.spawn({oss::in(a), oss::out(b)}, [&] { b = a * 2; });
   rt.spawn({oss::in(b), oss::out(c)}, [&] { c = b + 1; });
@@ -25,7 +27,7 @@ TEST(Semantics, RawChainExecutesInOrder) {
 }
 
 TEST(Semantics, LongChainPreservesOrder) {
-  oss::Runtime rt(4);
+  oss::Runtime rt(oss_test::env_config(4));
   constexpr int kLen = 200;
   std::vector<int> order;
   int token = 0;
@@ -38,7 +40,7 @@ TEST(Semantics, LongChainPreservesOrder) {
 }
 
 TEST(Semantics, ConcurrentReadersRunWithoutMutualOrdering) {
-  oss::Runtime rt(4);
+  oss::Runtime rt(oss_test::env_config(4));
   int shared = 7;
   std::atomic<int> sum{0};
   rt.spawn({oss::out(shared)}, [&] { shared = 10; });
@@ -50,7 +52,7 @@ TEST(Semantics, ConcurrentReadersRunWithoutMutualOrdering) {
 }
 
 TEST(Semantics, WarHazardOrdersReaderBeforeWriter) {
-  oss::Runtime rt(4);
+  oss::Runtime rt(oss_test::env_config(4));
   int x = 5;
   int seen = 0;
   rt.spawn({oss::in(x)}, [&] {
@@ -65,7 +67,7 @@ TEST(Semantics, WarHazardOrdersReaderBeforeWriter) {
 }
 
 TEST(Semantics, WawHazardKeepsLastWriterLast) {
-  oss::Runtime rt(4);
+  oss::Runtime rt(oss_test::env_config(4));
   int x = 0;
   rt.spawn({oss::out(x)}, [&] {
     for (int i = 0; i < 50000; ++i) { volatile int sink = i; (void)sink; }
@@ -77,7 +79,7 @@ TEST(Semantics, WawHazardKeepsLastWriterLast) {
 }
 
 TEST(Semantics, DiamondDependency) {
-  oss::Runtime rt(4);
+  oss::Runtime rt(oss_test::env_config(4));
   int a = 0, b = 0, c = 0, d = 0;
   rt.spawn({oss::out(a)}, [&] { a = 1; });
   rt.spawn({oss::in(a), oss::out(b)}, [&] { b = a + 10; });
@@ -88,7 +90,7 @@ TEST(Semantics, DiamondDependency) {
 }
 
 TEST(Semantics, DisjointArrayBlocksRunIndependently) {
-  oss::Runtime rt(4);
+  oss::Runtime rt(oss_test::env_config(4));
   std::vector<int> data(64, 0);
   for (int blk = 0; blk < 4; ++blk) {
     int* p = data.data() + blk * 16;
@@ -104,7 +106,7 @@ TEST(Semantics, DisjointArrayBlocksRunIndependently) {
 
 TEST(Semantics, OverlappingArrayWindowsAreOrdered) {
   // Writer covers [0,32); reader of [16,48) must see the written prefix.
-  oss::Runtime rt(4);
+  oss::Runtime rt(oss_test::env_config(4));
   std::vector<int> data(48, -1);
   rt.spawn({oss::out(data.data(), 32)}, [&] {
     for (int i = 0; i < 20000; ++i) { volatile int sink = i; (void)sink; }
@@ -126,7 +128,7 @@ TEST(Semantics, OverlappingArrayWindowsAreOrdered) {
 // variants produce the right data) and the concurrency half via max-in-flight
 // counters.
 TEST(Semantics, SingleBufferSerializesPipeline) {
-  oss::Runtime rt(4);
+  oss::Runtime rt(oss_test::env_config(4));
   std::atomic<int> in_flight{0};
   std::atomic<int> max_in_flight{0};
   int buffer = 0;
@@ -152,7 +154,7 @@ TEST(Semantics, CircularBufferRenamingExposesParallelism) {
   // runtime allows them to be in flight together.  A serializing runtime
   // (the single-buffer case above) would run them one after the other and
   // the first would wait out the full deadline alone.
-  oss::Runtime rt(4);
+  oss::Runtime rt(oss_test::env_config(4));
   std::array<int, 2> buffers{};
   std::atomic<int> arrived{0};
   std::atomic<bool> overlapped{false};
@@ -176,7 +178,7 @@ TEST(Semantics, CircularBufferRenamingExposesParallelism) {
 // Observation 3: dependencies deliberately hidden from the access lists are
 // invisible to the runtime and must be protected by critical sections.
 TEST(Semantics, HiddenDependenciesNeedCritical) {
-  oss::Runtime rt(4);
+  oss::Runtime rt(oss_test::env_config(4));
   int counter = 0; // not declared in any access list
   for (int i = 0; i < 200; ++i) {
     rt.spawn({}, [&] {
@@ -191,7 +193,7 @@ TEST(Semantics, HiddenDependenciesNeedCritical) {
 // instances of the same stage are chained via their inout context, and the
 // whole loop can be spawned ahead of execution.
 TEST(Semantics, TwoStagePipelineProducesCorrectResults) {
-  oss::Runtime rt(4);
+  oss::Runtime rt(oss_test::env_config(4));
   constexpr int kIters = 24;
   constexpr int N = 4; // circular buffer depth
   struct Ctx { int count = 0; } stage1_ctx, stage2_ctx;
@@ -211,7 +213,7 @@ TEST(Semantics, TwoStagePipelineProducesCorrectResults) {
 TEST(Semantics, SpawnBeforeProducerFinishes) {
   // The consumer is spawned while the producer is still running — the
   // defining capability the paper contrasts with Cilk++/OpenMP-3 tasks.
-  oss::Runtime rt(2);
+  oss::Runtime rt(oss_test::env_config(2));
   std::atomic<bool> producer_started{false};
   std::atomic<bool> consumer_spawned{false};
   int data = 0;

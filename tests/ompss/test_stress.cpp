@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "env_config.hpp"
+
 #include <atomic>
 #include <random>
 #include <vector>
@@ -11,7 +13,7 @@
 namespace {
 
 TEST(Stress, DeepNestedSpawnChain) {
-  oss::Runtime rt(2);
+  oss::Runtime rt(oss_test::env_config(2));
   std::atomic<int> depth_reached{0};
   constexpr int kDepth = 50;
 
@@ -28,7 +30,7 @@ TEST(Stress, DeepNestedSpawnChain) {
 }
 
 TEST(Stress, WideNestedFanout) {
-  oss::Runtime rt(4);
+  oss::Runtime rt(oss_test::env_config(4));
   std::atomic<int> leaves{0};
   constexpr int kOuter = 16;
   constexpr int kInner = 16;
@@ -49,7 +51,7 @@ TEST(Stress, SiblingScopedDependencyDomains) {
   // OmpSs scopes dependencies to siblings of one context: children of
   // *different* parents are NOT ordered even when they declare the same
   // region.  (That is why hidden cross-context state needs criticals.)
-  oss::Runtime rt(4);
+  oss::Runtime rt(oss_test::env_config(4));
   std::atomic<int> concurrent_pairs{0};
   std::atomic<int> in_flight{0};
   static int shared_token = 0; // same address declared in both subtrees
@@ -78,7 +80,7 @@ TEST(Stress, SiblingScopedDependencyDomains) {
 TEST(Stress, RuntimeChurn) {
   // Create and destroy many runtimes back to back (thread lifecycle).
   for (int round = 0; round < 25; ++round) {
-    oss::Runtime rt(3);
+    oss::Runtime rt(oss_test::env_config(3));
     std::atomic<int> hits{0};
     for (int i = 0; i < 20; ++i) rt.spawn({}, [&] { hits++; });
     rt.taskwait();
@@ -87,7 +89,7 @@ TEST(Stress, RuntimeChurn) {
 }
 
 TEST(Stress, ExceptionStormWithDependencies) {
-  oss::Runtime rt(4);
+  oss::Runtime rt(oss_test::env_config(4));
   int token = 0;
   std::atomic<int> executed{0};
   for (int i = 0; i < 100; ++i) {
@@ -120,7 +122,7 @@ TEST_P(ModeFuzzTest, MixedModeReductionsSumExactly) {
   std::vector<Counter> counters(kCounters);
   std::vector<long> expected(kCounters, 0);
 
-  oss::Runtime rt(threads);
+  oss::Runtime rt(oss_test::env_config(threads));
   std::uniform_int_distribution<int> which(0, kCounters - 1);
   std::uniform_int_distribution<int> mech(0, 2);
   std::uniform_int_distribution<int> amount(1, 9);

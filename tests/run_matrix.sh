@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# run_matrix.sh — env-matrix test harness for the runtime's knob space.
+#
+# The scheduler grew knobs faster than any single test run covers them:
+# policy × idle behaviour × NUMA mode × topology all interact (a parked
+# worker is what arms the pressure feedback, a fake multi-node topology is
+# what arms placement, ...).  This harness reruns the three suites that
+# drive the runtime hardest across the full cross-product, so knob
+# *interactions* get coverage instead of only the defaults:
+#
+#   OSS_SCHEDULER ∈ {fifo, locality, wsteal}
+#   OSS_IDLE      ∈ {park, yield}
+#   OSS_NUMA      ∈ {bind, off}
+#   OSS_TOPOLOGY  ∈ {flat, 2x2}
+#
+# = 24 environments × 3 test binaries.  The suites read the environment
+# through tests/ompss/env_config.hpp; tests that require a specific knob
+# value (e.g. multi-node assertions) force it and are exercised for "does
+# the forced path survive this environment" instead.
+#
+# Usage:
+#   tests/run_matrix.sh [build-dir]          (default: ./build)
+#
+# Overrides (space-separated lists):
+#   MATRIX_BINARIES MATRIX_SCHEDULERS MATRIX_IDLES MATRIX_NUMAS
+#   MATRIX_TOPOLOGIES MATRIX_GTEST_ARGS
+set -u
+
+BUILD_DIR=${1:-build}
+BINARIES=${MATRIX_BINARIES:-"ompss_test_stress ompss_test_affinity ompss_test_runtime_semantics"}
+SCHEDULERS=${MATRIX_SCHEDULERS:-"fifo locality wsteal"}
+IDLES=${MATRIX_IDLES:-"park yield"}
+NUMAS=${MATRIX_NUMAS:-"bind off"}
+TOPOLOGIES=${MATRIX_TOPOLOGIES:-"flat 2x2"}
+GTEST_ARGS=${MATRIX_GTEST_ARGS:-"--gtest_brief=1"}
+
+for bin in $BINARIES; do
+  if [ ! -x "$BUILD_DIR/$bin" ]; then
+    echo "run_matrix: missing binary $BUILD_DIR/$bin (build first)" >&2
+    exit 2
+  fi
+done
+
+log=$(mktemp)
+trap 'rm -f "$log"' EXIT
+
+runs=0
+failures=0
+for sched in $SCHEDULERS; do
+  for idle in $IDLES; do
+    for numa in $NUMAS; do
+      for topo in $TOPOLOGIES; do
+        combo="OSS_SCHEDULER=$sched OSS_IDLE=$idle OSS_NUMA=$numa OSS_TOPOLOGY=$topo"
+        for bin in $BINARIES; do
+          runs=$((runs + 1))
+          # The suites read the whole OSS_* family via from_env; unset the
+          # knobs the matrix does not control so ambient shell exports
+          # cannot skew (or break) a supposedly-controlled environment.
+          if env -u OSS_NUM_THREADS -u OSS_BARRIER -u OSS_SPIN_ROUNDS \
+                 -u OSS_STEAL_TRIES -u OSS_PIN -u OSS_PRESSURE \
+                 -u OSS_RECORD_GRAPH -u OSS_TRACE \
+                 OSS_SCHEDULER="$sched" OSS_IDLE="$idle" OSS_NUMA="$numa" \
+                 OSS_TOPOLOGY="$topo" "$BUILD_DIR/$bin" $GTEST_ARGS \
+                 >"$log" 2>&1; then
+            printf 'ok   %-38s %s\n' "$bin" "$combo"
+          else
+            failures=$((failures + 1))
+            printf 'FAIL %-38s %s\n' "$bin" "$combo"
+            sed 's/^/     | /' "$log"
+          fi
+        done
+      done
+    done
+  done
+done
+
+echo "run_matrix: $runs runs, $failures failures"
+[ "$failures" -eq 0 ]
