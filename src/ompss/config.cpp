@@ -126,6 +126,15 @@ RuntimeConfig RuntimeConfig::from_env() {
   if (const char* v = env("OSS_NUMA")) cfg.numa = parse_numa_mode(v);
   if (const char* v = env("OSS_PIN")) cfg.pin = parse_bool("OSS_PIN", v);
   if (const char* v = env("OSS_PRESSURE")) cfg.pressure = parse_size("OSS_PRESSURE", v);
+  if (const char* v = env("OSS_DEP_SHARDS")) {
+    cfg.dep_shards = parse_size("OSS_DEP_SHARDS", v);
+    if (cfg.dep_shards < 1 || cfg.dep_shards > 256 ||
+        (cfg.dep_shards & (cfg.dep_shards - 1)) != 0) {
+      throw std::invalid_argument(
+          "OSS_DEP_SHARDS must be a power of two in [1, 256], got '" +
+          std::string(v) + "'");
+    }
+  }
   if (const char* v = env("OSS_TOPOLOGY")) {
     (void)Topology::detect(v); // validate eagerly: malformed specs fail here
     cfg.topology = v;

@@ -31,6 +31,11 @@
 //                     inherited placements widen to the global tier while
 //                     another node has parked workers (default 8; 0
 //                     disables the feedback).
+//   OSS_DEP_SHARDS    power-of-two number of dependency-domain shards
+//                     (default 8).  Concurrent spawners registering
+//                     disjoint regions lock different shards; 1 restores
+//                     the single-lock domain of earlier releases
+//                     (bit-exact edge sets, see docs/dependencies.md).
 //   OSS_RECORD_GRAPH  "1" to record the task graph for DOT export.
 //   OSS_TRACE         "1" to record an execution trace (Chrome JSON).
 //
@@ -133,6 +138,14 @@ struct RuntimeConfig {
   /// parked workers, soft (auto/inherited) placements temporarily widen to
   /// the global tier.  0 disables the feedback.
   std::size_t pressure = 8;
+
+  /// Dependency-domain shard count (OSS_DEP_SHARDS): declared address
+  /// ranges hash to this many independently-locked interval maps, so
+  /// concurrent spawners touching disjoint regions register without
+  /// contending.  Must be a power of two in [1, 256]; 1 collapses to the
+  /// classic single-lock domain (bit-exact edge sets — the escape hatch).
+  /// See docs/dependencies.md for the hashing and lock-ordering protocol.
+  std::size_t dep_shards = 8;
 
   /// Record task-graph nodes/edges for `Runtime::export_graph_dot()`.
   bool record_graph = false;

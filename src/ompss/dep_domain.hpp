@@ -1,4 +1,4 @@
-// dep_domain.hpp — address-range dependency tracking.
+// dep_domain.hpp — sharded address-range dependency tracking.
 //
 // This is the mechanism behind the paper's central claim: "task dependencies
 // are resolved at runtime, using the input/output specification of the
@@ -26,13 +26,23 @@
 // WAR and WAW are *real* edges here — which is exactly why the H.264 decoder
 // needs manual renaming through circular buffers to pipeline.
 //
-// The domain is an interval map keyed by region start.  Partially
+// Concurrency (docs/dependencies.md): the address space is divided into
+// fixed stripes of 2^kStripeShift bytes; each stripe hashes to one of a
+// power-of-two number of *shards*, and each shard owns an interval map plus
+// its own lock.  Registering a task splits its accesses at stripe
+// boundaries, sorts the touched shard set, and locks the shards in shard-id
+// order — the whole registration is atomic (no cyclic edge sets between
+// concurrent spawners), deadlock-free, and the common single-shard case
+// pays exactly one uncontended lock.  Overlapping byte ranges always share
+// the stripes they overlap in, hence the shard, hence the lock — no hazard
+// can be missed across shards.  With one shard no splitting happens at all
+// and the domain behaves bit-exactly like the classic single-lock design
+// (the OSS_DEP_SHARDS=1 escape hatch).
+//
+// Within each shard the interval map is keyed by region start.  Partially
 // overlapping declarations split entries so each maximal sub-range carries
 // its own history; this supports tasks declaring overlapping windows of the
 // same array (e.g. halo exchanges).
-//
-// Locking: the domain has no internal synchronization; the owning runtime
-// serializes all calls with its graph mutex.
 #pragma once
 
 #include <cstdint>
@@ -55,22 +65,37 @@ enum class DepKind : std::uint8_t { Raw, War, Waw, Explicit };
 const char* to_string(DepKind k) noexcept;
 
 /// Callback invoked for every edge discovered during registration.
-/// Arguments: producer, consumer, kind.  The producer is guaranteed
-/// unfinished at the time of the call (still under the graph mutex).
+/// Arguments: producer, consumer, kind.  The edge was inserted while the
+/// producer was unfinished (the per-task successor lock linearizes edge
+/// insertion against retirement), but the sink itself runs after that
+/// lock is released — a racing producer may already be Finished when the
+/// sink observes it, so sinks must not assume producer liveness beyond
+/// the ids/kind they are passed.  Called while the registering thread
+/// holds the shard locks of the consumer's regions, so sinks must not
+/// re-enter the domain.
 using EdgeSink = std::function<void(const TaskPtr&, const TaskPtr&, DepKind)>;
 
 /// Registers the explicit (handle-declared) edge producer → consumer:
 /// increments `consumer->preds`, appends to the producer's successor list,
 /// and reports a `DepKind::Explicit` edge to `sink`.  Self-edges, null or
 /// already-finished producers are ignored.  Returns true if an edge was
-/// added.  Must be called under the runtime graph mutex, before the
-/// consumer becomes ready.
+/// added.  Thread-safe via the producer's successor lock; the consumer must
+/// still be unpublished (spawn guard held).
 bool add_explicit_edge(const TaskPtr& producer, const TaskPtr& consumer,
                        const EdgeSink& sink);
 
+/// What one registration did, for the runtime's contention counters.
+struct RegisterReceipt {
+  std::uint32_t shards_touched = 0; ///< distinct shard locks taken
+  bool contended = false;           ///< ≥1 lock was held by another spawner
+};
+
 class DepDomain {
  public:
-  DepDomain();
+  /// `shards` must be a power of two in [1, 256] (validated by
+  /// RuntimeConfig; direct constructions round invalid counts up to the
+  /// next power of two and clamp).  1 = classic single-lock domain.
+  explicit DepDomain(std::size_t shards = 1);
   ~DepDomain();
 
   DepDomain(const DepDomain&) = delete;
@@ -81,19 +106,39 @@ class DepDomain {
   /// producer's successor list, and calls `sink` (if non-null).  Edges are
   /// deduplicated per (producer, consumer) pair within one registration.
   /// Commutative accesses additionally attach the region's exclusion lock
-  /// to the task.
+  /// to the task.  Predecessors with a resolved home node vote for the
+  /// task's `inherited_node`, weighted by overlap bytes (max total wins;
+  /// docs/numa.md).
   ///
-  /// Must be called under the runtime graph mutex.
-  void register_task(const TaskPtr& task, const EdgeSink& sink);
+  /// Thread-safe: locks the touched shards in shard-id order for the whole
+  /// registration.  Concurrent registrations of disjoint regions proceed in
+  /// parallel.  The caller must hold the task's spawn guard (preds ≥ 1)
+  /// until after this returns.
+  RegisterReceipt register_task(const TaskPtr& task, const EdgeSink& sink);
 
   /// Collects every unfinished task recorded for bytes overlapping
-  /// [p, p+bytes) — the wait set of `taskwait on`.  Must be called under the
-  /// runtime graph mutex.
+  /// [p, p+bytes) — the wait set of `taskwait on`.  Locks each shard in
+  /// turn; tasks registered concurrently with the call may or may not be
+  /// included (same contract callers already had: `taskwait on` covers
+  /// previously spawned siblings).
   void collect_overlapping(std::uintptr_t begin, std::uintptr_t end,
                            std::vector<TaskPtr>& out) const;
 
   /// Number of distinct interval entries currently tracked (for tests).
-  std::size_t entry_count() const noexcept { return map_.size(); }
+  std::size_t entry_count() const;
+
+  /// Shards this domain hashes to.
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+
+  /// Shard index of an address under this domain's hash (tests/bench).
+  [[nodiscard]] std::size_t shard_of(std::uintptr_t addr) const noexcept;
+
+  /// Stripe granularity of the shard hash: addresses within the same
+  /// 2^kStripeShift-byte stripe always share a shard, so typical task-sized
+  /// regions touch exactly one shard.
+  static constexpr unsigned kStripeShift = 20; // 1 MiB
 
  private:
   struct Entry {
@@ -127,12 +172,29 @@ class DepDomain {
 
   /// Interval map: key is the interval start; intervals never overlap.
   using Map = std::map<std::uintptr_t, Entry>;
-  Map map_;
+
+  /// One shard: its slice of the address space (the stripes hashing here)
+  /// and the lock serializing access to it.
+  struct Shard {
+    mutable std::mutex mu;
+    Map map;
+  };
+
+  struct RegCtx; // per-registration state (dedup, home votes)
 
   /// Splits the entry at `it` so that one piece ends exactly at `at`
   /// (which must lie strictly inside the entry); returns the iterator to
   /// the piece beginning at `at`.
-  Map::iterator split(Map::iterator it, std::uintptr_t at);
+  static Map::iterator split(Map& map, Map::iterator it, std::uintptr_t at);
+
+  /// Registers one mode over [begin, end) against one shard's map.
+  /// Caller holds the shard lock.
+  void register_range(Map& map, std::uintptr_t begin, std::uintptr_t end,
+                      Mode mode, RegCtx& ctx);
+
+  /// Shard pointers are stable (never reallocated after construction).
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t mask_; ///< shard_count - 1 (power of two)
 };
 
 } // namespace oss

@@ -24,6 +24,20 @@ std::size_t GraphRecorder::edge_count() const {
   return edges_.size();
 }
 
+std::size_t GraphRecorder::edge_count(DepKind kind) const {
+  std::lock_guard lock(mu_);
+  std::size_t n = 0;
+  for (const Edge& e : edges_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::vector<GraphRecorder::Edge> GraphRecorder::edges() const {
+  std::lock_guard lock(mu_);
+  return edges_;
+}
+
 namespace {
 
 std::string escape(const std::string& s) {

@@ -19,6 +19,17 @@ namespace oss {
 
 class GraphRecorder {
  public:
+  struct Node {
+    std::uint64_t id;
+    std::string label;
+  };
+  struct Edge {
+    std::uint64_t from;
+    std::uint64_t to;
+    DepKind kind;
+    friend bool operator==(const Edge&, const Edge&) = default;
+  };
+
   void add_node(std::uint64_t id, std::string label);
   void add_edge(std::uint64_t from, std::uint64_t to, DepKind kind);
 
@@ -28,17 +39,16 @@ class GraphRecorder {
   [[nodiscard]] std::size_t node_count() const;
   [[nodiscard]] std::size_t edge_count() const;
 
- private:
-  struct Node {
-    std::uint64_t id;
-    std::string label;
-  };
-  struct Edge {
-    std::uint64_t from;
-    std::uint64_t to;
-    DepKind kind;
-  };
+  /// Edges of one hazard kind (shard-parity diagnostics: sharding must
+  /// never change how many RAW/WAR/WAW/explicit edges a program has).
+  [[nodiscard]] std::size_t edge_count(DepKind kind) const;
 
+  /// Snapshot of the recorded edges, in recording order.  With concurrent
+  /// spawners the order is a valid interleaving, not deterministic; the
+  /// edge *multiset* is what parity tests compare.
+  [[nodiscard]] std::vector<Edge> edges() const;
+
+ private:
   mutable std::mutex mu_;
   std::vector<Node> nodes_;
   std::vector<Edge> edges_;

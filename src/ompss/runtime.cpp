@@ -37,7 +37,7 @@ int Runtime::current_worker() noexcept { return tl_binding.worker; }
 Runtime::Runtime(RuntimeConfig cfg)
     : cfg_(cfg),
       num_threads_(cfg.resolved_threads()),
-      root_ctx_(std::make_shared<TaskContext>()),
+      root_ctx_(std::make_shared<TaskContext>(cfg.dep_shards)),
       topo_(cfg.resolved_topology()),
       scheduler_(Scheduler::create(cfg.scheduler, num_threads_,
                                    cfg.steal_tries, topo_, cfg.numa,
@@ -45,6 +45,17 @@ Runtime::Runtime(RuntimeConfig cfg)
       stats_(num_threads_) {
   if (cfg_.record_graph) graph_ = std::make_unique<GraphRecorder>();
   if (cfg_.record_trace) trace_ = std::make_unique<TraceRecorder>();
+
+  // One idle gate per NUMA node so home-node enqueues wake same-node
+  // parked workers (node-aware wakeup); single-node topologies get exactly
+  // one gate — the pre-NUMA behaviour.
+  const std::size_t gates =
+      (cfg_.numa != NumaMode::Off && !topo_.single_node()) ? topo_.num_nodes()
+                                                           : 1;
+  idle_gates_.reserve(gates);
+  for (std::size_t g = 0; g < gates; ++g) {
+    idle_gates_.push_back(std::make_unique<EventCount>());
+  }
 
   // The constructing thread becomes worker 0 for the lifetime of the
   // runtime (it executes tasks whenever it waits).
@@ -118,7 +129,7 @@ Runtime::~Runtime() {
     std::fprintf(stderr, "oss::Runtime: exception pending at destruction\n");
   }
   stop_.store(true, std::memory_order_release);
-  idle_gate_.notify_all();
+  for (auto& gate : idle_gates_) gate->notify_all();
   {
     std::lock_guard lock(cv_mu_);
     cv_.notify_all();
@@ -167,80 +178,90 @@ std::uint64_t Runtime::spawn(AccessList accesses, Task::Fn fn, TaskOptions opts)
 TaskHandle Runtime::spawn_task(TaskSpec spec, Task::Fn fn) {
   ContextPtr ctx = spec.context ? std::move(spec.context)
                                 : current_spawn_context();
-  TaskPtr task;
-  bool ready = false;
-  std::uint64_t id = 0;
-  {
-    std::lock_guard lock(graph_mu_);
-    id = ++next_task_id_;
-    task = std::make_shared<Task>(id, std::move(fn), std::move(spec.accesses),
-                                  ctx, std::move(spec.label));
-    task->set_priority(spec.priority);
-    task->set_undeferred(!spec.deferred);
-    ctx->live_children.fetch_add(1, std::memory_order_acq_rel);
-    pending_.fetch_add(1, std::memory_order_acq_rel);
+  const std::uint64_t id =
+      next_task_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  TaskPtr task = std::make_shared<Task>(id, std::move(fn),
+                                        std::move(spec.accesses), ctx,
+                                        std::move(spec.label));
+  task->set_priority(spec.priority);
+  task->set_undeferred(!spec.deferred);
+  ctx->live_children.fetch_add(1, std::memory_order_acq_rel);
+  pending_.fetch_add(1, std::memory_order_acq_rel);
 
-    if (graph_) graph_->add_node(id, task->label());
+  if (graph_) graph_->add_node(id, task->label());
 
-    EdgeSink sink = [this](const TaskPtr& from, const TaskPtr& to, DepKind kind) {
-      switch (kind) {
-        case DepKind::Raw: stats_.on_edge_raw(); break;
-        case DepKind::War: stats_.on_edge_war(); break;
-        case DepKind::Waw: stats_.on_edge_waw(); break;
-        case DepKind::Explicit: stats_.on_edge_explicit(); break;
-      }
-      if (graph_) graph_->add_edge(from->id(), to->id(), kind);
-    };
-    ctx->domain().register_task(task, sink);
+  // Spawn guard: hold one phantom predecessor while edges materialize so a
+  // burst of concurrently finishing producers cannot publish (or worse,
+  // publish twice) a half-registered task.  Released below; whoever brings
+  // preds to zero — this thread or a finisher — owns the Ready transition.
+  task->preds.store(1, std::memory_order_relaxed);
 
-    // Explicit handle edges (TaskBuilder::after), deduplicated: one edge
-    // per distinct predecessor even if the same handle was passed twice.
-    for (std::size_t i = 0; i < spec.after.size(); ++i) {
-      const TaskPtr& pred = spec.after[i];
-      bool dup = false;
-      for (std::size_t j = 0; j < i && !dup; ++j) {
-        dup = (spec.after[j] == pred);
-      }
-      if (!dup) add_explicit_edge(pred, task, sink);
+  EdgeSink sink = [this](const TaskPtr& from, const TaskPtr& to, DepKind kind) {
+    switch (kind) {
+      case DepKind::Raw: stats_.on_edge_raw(); break;
+      case DepKind::War: stats_.on_edge_war(); break;
+      case DepKind::Waw: stats_.on_edge_waw(); break;
+      case DepKind::Explicit: stats_.on_edge_explicit(); break;
     }
+    if (graph_) graph_->add_edge(from->id(), to->id(), kind);
+  };
+  const RegisterReceipt receipt = ctx->domain().register_task(task, sink);
+  stats_.on_dep_registration(receipt.shards_touched, receipt.contended);
 
-    // NUMA home node, resolved in precedence order: the explicit hint, the
-    // node of the largest registered access region (.affinity_auto()), then
-    // the chain-inherited node (first dependency predecessor with a
-    // resolved home, recorded by dep_domain during registration above).
-    // Hints naming a node the topology does not have are ignored, so
-    // affinity-annotated code runs unchanged on smaller machines.  Derived
-    // homes (auto/inherited) are marked *soft*: the scheduler's pressure
-    // feedback may widen them, never an explicit hint.  Must be set before
-    // the task is published to the scheduler.
-    const auto valid_node = [this](int n) {
-      return n >= 0 && static_cast<std::size_t>(n) < topo_.num_nodes();
-    };
-    int home = -1;
-    bool soft = false;
-    if (valid_node(spec.affinity)) {
-      home = spec.affinity;
-    } else if (spec.affinity_auto) {
-      const int derived = home_node_of(task->accesses());
-      if (valid_node(derived)) {
-        home = derived;
-        soft = true;
-      }
+  // Explicit handle edges (TaskBuilder::after), deduplicated: one edge
+  // per distinct predecessor even if the same handle was passed twice.
+  for (std::size_t i = 0; i < spec.after.size(); ++i) {
+    const TaskPtr& pred = spec.after[i];
+    bool dup = false;
+    for (std::size_t j = 0; j < i && !dup; ++j) {
+      dup = (spec.after[j] == pred);
     }
-    if (home < 0 && valid_node(task->inherited_node())) {
-      home = task->inherited_node();
+    if (!dup) add_explicit_edge(pred, task, sink);
+  }
+
+  // NUMA home node, resolved in precedence order: the explicit hint, the
+  // node of the largest registered access region (.affinity_auto()), then
+  // the chain-inherited node (max-bytes vote over dependency predecessors
+  // with a resolved home, recorded by dep_domain during registration
+  // above).  Hints naming a node the topology does not have are ignored,
+  // so affinity-annotated code runs unchanged on smaller machines.
+  // Derived homes (auto/inherited) are marked *soft*: the scheduler's
+  // pressure feedback may widen them, never an explicit hint.  Must be set
+  // before the spawn guard is released — a finisher may publish the task
+  // to the scheduler the instant preds can reach zero.
+  const auto valid_node = [this](int n) {
+    return n >= 0 && static_cast<std::size_t>(n) < topo_.num_nodes();
+  };
+  int home = -1;
+  bool soft = false;
+  if (valid_node(spec.affinity)) {
+    home = spec.affinity;
+  } else if (spec.affinity_auto) {
+    const int derived = home_node_of(task->accesses());
+    if (valid_node(derived)) {
+      home = derived;
       soft = true;
     }
-    if (home >= 0 && !topo_.single_node()) {
-      task->set_home_node(home, soft);
-    }
-
-    ready = (task->preds == 0);
-    if (ready) task->set_state(TaskState::Ready);
   }
+  if (home < 0 && valid_node(task->inherited_node())) {
+    home = task->inherited_node();
+    soft = true;
+  }
+  if (home >= 0 && !topo_.single_node()) {
+    task->set_home_node(home, soft);
+  }
+
   stats_.on_spawn();
 
   const int spawner = (tl_binding.rt == this) ? tl_binding.worker : -1;
+
+  // Release the spawn guard.  acq_rel: the release half publishes the
+  // registration (accesses, locks, home node) to the finisher that later
+  // zeroes preds; the acquire half, when *we* zero it, synchronizes with
+  // every producer that already finished and decremented.
+  const bool ready =
+      task->preds.fetch_sub(1, std::memory_order_acq_rel) == 1;
+  if (ready) task->set_state(TaskState::Ready);
 
   if (task->undeferred()) {
     // OmpSs if(0): the spawning thread waits for the dependencies itself
@@ -262,9 +283,14 @@ TaskHandle Runtime::spawn_task(TaskSpec spec, Task::Fn fn) {
   }
 
   if (ready) {
+    // Node-aware wakeup: prefer a worker parked on the task's home node,
+    // else one on the spawner's node (warm cache), else anyone.
+    const int wake_node =
+        task->home_node() >= 0 ? task->home_node()
+                               : scheduler_->worker_node(spawner);
     TaskPtr to_run = task;
     scheduler_->enqueue_spawned(std::move(to_run), spawner);
-    wake_one_worker();
+    wake_one_worker(wake_node);
     if (blocked_waiters_.load(std::memory_order_acquire) > 0) {
       std::lock_guard lock(cv_mu_);
       cv_.notify_all();
@@ -309,31 +335,63 @@ void Runtime::execute(const TaskPtr& t, int wid) {
 }
 
 void Runtime::on_finished(const TaskPtr& t, int wid) {
+  // Retirement takes only the finished task's own successor lock — no
+  // dependency-shard lock is ever re-entered here, so a finish never
+  // serializes against in-flight registrations of unrelated regions.
+  // finish_take_successors marks the task finished and drains the list as
+  // one atomic step: an edge racing in either lands in `succs` or observes
+  // `finished` and is skipped by the registrant.
+  std::vector<TaskPtr> succs = t->finish_take_successors();
+  t->set_state(TaskState::Finished);
+
   std::vector<TaskPtr> newly_ready;
-  {
-    std::lock_guard lock(graph_mu_);
-    t->mark_finished();
-    t->set_state(TaskState::Finished);
-    for (TaskPtr& s : t->successors) {
-      if (--s->preds == 0) {
-        s->set_state(TaskState::Ready);
-        // Undeferred tasks are claimed by their (polling) spawner and must
-        // not be enqueued; the Ready state transition is their signal.
-        if (!s->undeferred()) newly_ready.push_back(std::move(s));
-      }
+  for (TaskPtr& s : succs) {
+    // acq_rel: acquire pairs with the producers' release decrements (their
+    // outputs are visible to the task body) and with the spawner's guard
+    // release (the registration is complete when we publish).
+    if (s->preds.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      s->set_state(TaskState::Ready);
+      // Undeferred tasks are claimed by their (polling) spawner and must
+      // not be enqueued; the Ready state transition is their signal.
+      if (!s->undeferred()) newly_ready.push_back(std::move(s));
     }
-    t->successors.clear();
   }
 
   // Batch wakeup: enqueue the whole burst first, then release min(N, parked)
-  // workers in one eventcount pass — one epoch bump instead of N serial
-  // notify_one calls.  The finisher itself continues with at most one of
-  // the tasks; every additional one can feed a woken thief.
-  const std::size_t burst = newly_ready.size();
-  for (TaskPtr& s : newly_ready) {
-    scheduler_->enqueue_unblocked(std::move(s), wid);
+  // workers in one eventcount pass per node gate instead of N serial
+  // notify_one calls.  On multi-node topologies the burst is bucketed by
+  // home node so each bucket's wakeup starts at the gate whose workers own
+  // the data (node-aware wakeup); tasks without a home count towards the
+  // finisher's node.  The single-gate (single-node) case skips the
+  // bucketing entirely — this path runs once per task completion and must
+  // not allocate.  The finisher itself continues with at most one of the
+  // tasks; every additional one can feed a woken thief.
+  const std::size_t gates = idle_gates_.size();
+  if (gates == 1) {
+    for (TaskPtr& s : newly_ready) {
+      scheduler_->enqueue_unblocked(std::move(s), wid);
+    }
+    wake_workers(newly_ready.size(), 0);
+  } else {
+    constexpr std::size_t kInlineGates = 16;
+    std::size_t inline_counts[kInlineGates] = {};
+    std::vector<std::size_t> spill;
+    if (gates > kInlineGates) spill.resize(gates, 0);
+    std::size_t* per_gate = gates > kInlineGates ? spill.data() : inline_counts;
+    const std::size_t finisher_gate = gate_index(wid);
+    for (TaskPtr& s : newly_ready) {
+      const int home = s->home_node();
+      const std::size_t g =
+          (home >= 0 && static_cast<std::size_t>(home) < gates)
+              ? static_cast<std::size_t>(home)
+              : finisher_gate;
+      ++per_gate[g];
+      scheduler_->enqueue_unblocked(std::move(s), wid);
+    }
+    for (std::size_t g = 0; g < gates; ++g) {
+      if (per_gate[g] > 0) wake_workers(per_gate[g], static_cast<int>(g));
+    }
   }
-  wake_workers(burst);
 
   // Child-count updates must happen after the graph bookkeeping so a
   // taskwait that observes zero children also observes the final graph.
@@ -357,6 +415,10 @@ void Runtime::worker_loop(int wid) {
   tl_binding = ThreadBinding{this, wid, nullptr};
   std::size_t idle_rounds = 0;
   std::size_t sleep_us = 20;
+  // Park on the own node's gate (node-aware wakeup): home-node enqueues
+  // bump this gate first, so the worker that wakes is one whose socket
+  // already holds the task's data.
+  EventCount& gate = *idle_gates_[gate_index(wid)];
   while (!stop_.load(std::memory_order_acquire)) {
     if (try_execute_one(wid)) {
       idle_rounds = 0;
@@ -394,16 +456,16 @@ void Runtime::worker_loop(int wid) {
         // in the loop, outside the waiter window, so producers never see
         // a phantom waiter while this worker is busy executing.
         if (idle_rounds > cfg_.spin_rounds) {
-          const std::uint64_t key = idle_gate_.prepare_wait();
+          const std::uint64_t key = gate.prepare_wait();
           if (stop_.load(std::memory_order_acquire) ||
               scheduler_->queued() != 0) {
-            idle_gate_.cancel_wait();
+            gate.cancel_wait();
           } else {
             stats_.on_park();
             // The scheduler's per-node parked counts feed the home-queue
             // pressure feedback ("is another node idle?").
             scheduler_->on_worker_park(wid);
-            idle_gate_.wait(key);
+            gate.wait(key);
             scheduler_->on_worker_unpark(wid);
           }
           idle_rounds = 0;
@@ -414,11 +476,36 @@ void Runtime::worker_loop(int wid) {
   tl_binding = ThreadBinding{};
 }
 
-void Runtime::wake_one_worker() { wake_workers(1); }
+std::size_t Runtime::gate_index(int wid) const noexcept {
+  if (idle_gates_.size() == 1) return 0;
+  const int node = scheduler_->worker_node(wid);
+  return (node >= 0 && static_cast<std::size_t>(node) < idle_gates_.size())
+             ? static_cast<std::size_t>(node)
+             : 0;
+}
 
-void Runtime::wake_workers(std::size_t n) {
+void Runtime::wake_one_worker(int preferred_node) {
+  wake_workers(1, preferred_node);
+}
+
+void Runtime::wake_workers(std::size_t n, int preferred_node) {
   if (n == 0) return;
-  const std::size_t woken = idle_gate_.notify_many(n);
+  const std::size_t gates = idle_gates_.size();
+  // Start at the preferred node's gate; fall back round-robin over the
+  // rest until `n` workers were signalled or every gate was tried, so a
+  // wakeup can never be lost to node preference (work conservation).
+  std::size_t start;
+  if (preferred_node >= 0 && static_cast<std::size_t>(preferred_node) < gates) {
+    start = static_cast<std::size_t>(preferred_node);
+  } else {
+    start = gates == 1
+                ? 0
+                : wake_cursor_.fetch_add(1, std::memory_order_relaxed) % gates;
+  }
+  std::size_t woken = 0;
+  for (std::size_t i = 0; i < gates && woken < n; ++i) {
+    woken += idle_gates_[(start + i) % gates]->notify_many(n - woken);
+  }
   if (woken > 0) stats_.on_wakeup(woken);
 }
 
@@ -461,10 +548,9 @@ void Runtime::taskwait_on(const void* p, std::size_t bytes) {
   ContextPtr ctx = current_spawn_context();
   const auto begin = reinterpret_cast<std::uintptr_t>(p);
   std::vector<TaskPtr> waitees;
-  {
-    std::lock_guard lock(graph_mu_);
-    ctx->domain().collect_overlapping(begin, begin + bytes, waitees);
-  }
+  // The domain locks its own shards; as before, the wait set covers
+  // previously spawned siblings (spawns racing this call are not covered).
+  ctx->domain().collect_overlapping(begin, begin + bytes, waitees);
   if (waitees.empty()) return;
   wait_until([&] {
     for (const TaskPtr& t : waitees) {
@@ -516,6 +602,17 @@ void TaskHandle::wait() const {
 // ---------------------------------------------------------------------------
 // Introspection
 // ---------------------------------------------------------------------------
+
+StatsSnapshot Runtime::stats() const {
+  // The single coherent merge of runtime-owned and scheduler-owned
+  // counters (see the header for the relaxed-read contract).  Counters are
+  // sampled in one pass here so every consumer — table1, the apps'
+  // StatsSnapshot out-params, tests — sees the same merge, rather than
+  // each call site stitching its own.
+  StatsSnapshot s = stats_.snapshot();
+  s.overflow_placements = scheduler_->overflow_placements();
+  return s;
+}
 
 std::string Runtime::export_graph_dot() const {
   return graph_ ? graph_->to_dot() : std::string{};

@@ -188,13 +188,18 @@ class Runtime {
     return pinned_workers_;
   }
 
-  /// Counter snapshot; scheduler-owned counters (overflow_placements) are
-  /// merged in.
-  [[nodiscard]] StatsSnapshot stats() const {
-    StatsSnapshot s = stats_.snapshot();
-    s.overflow_placements = scheduler_->overflow_placements();
-    return s;
-  }
+  /// Counter snapshot — the single merge point for runtime-owned and
+  /// scheduler-owned counters (table1 and the apps' StatsSnapshot
+  /// out-params all read through here).
+  ///
+  /// Read contract: every counter is a relaxed atomic read; the snapshot
+  /// is *per-counter coherent* (each value existed at some point) but not
+  /// cross-counter consistent while workers are in flight — e.g.
+  /// tasks_executed may momentarily trail tasks_spawned.  Snapshots taken
+  /// at a quiescent point (after `barrier()` / the destructor's drain, or
+  /// a `taskwait()` with no unrelated tasks) are exact: every counter
+  /// update happens-before the completion the wait observed.
+  [[nodiscard]] StatsSnapshot stats() const;
 
   /// DOT rendering of the recorded task graph.  Empty unless
   /// `config().record_graph` was set.
@@ -206,6 +211,12 @@ class Runtime {
   /// The trace recorder, for `analyze_trace` (null unless tracing enabled).
   [[nodiscard]] const TraceRecorder* trace_recorder() const noexcept {
     return trace_.get();
+  }
+
+  /// The graph recorder (null unless `config().record_graph`); exposes the
+  /// recorded edge multiset for parity tests and tooling beyond DOT export.
+  [[nodiscard]] const GraphRecorder* graph_recorder() const noexcept {
+    return graph_.get();
   }
 
   /// Unfinished tasks currently known to the runtime (diagnostics).
@@ -238,13 +249,24 @@ class Runtime {
   void on_finished(const TaskPtr& t, int wid);
   ContextPtr current_spawn_context();
 
-  /// Wakes one parked worker after a task was enqueued (no-op when nobody
-  /// is parked — a pair of uncontended atomic ops).
-  void wake_one_worker();
+  /// Wakes one parked worker after a task was enqueued.  `preferred_node`
+  /// (dense topology index, -1 = none) is tried first — a home-node
+  /// enqueue should release a same-node parked worker, not ship the task
+  /// across the interconnect to whoever wakes.  When nobody is parked the
+  /// cost is a pair of uncontended atomic ops per gate scanned (one gate
+  /// on single-node topologies; every gate must still bump its epoch — a
+  /// waiter between prepare_wait and wait is only covered by the bump, so
+  /// skipping "empty" gates would reintroduce lost wakeups).
+  void wake_one_worker(int preferred_node = -1);
 
   /// Batch wakeup: after an enqueue burst of `n` tasks, wakes min(n, parked)
-  /// workers in one eventcount pass instead of n serial notify_one calls.
-  void wake_workers(std::size_t n);
+  /// workers in one eventcount pass per node gate instead of n serial
+  /// notify_one calls, starting at `preferred_node`.
+  void wake_workers(std::size_t n, int preferred_node = -1);
+
+  /// Index into idle_gates_ for a worker (node gate on multi-node
+  /// topologies, the single gate otherwise).
+  [[nodiscard]] std::size_t gate_index(int wid) const noexcept;
 
   /// Polls (executing tasks) or blocks until `done()` returns true.
   void wait_until(const std::function<bool()>& done);
@@ -252,8 +274,11 @@ class Runtime {
   RuntimeConfig cfg_;
   std::size_t num_threads_;
 
-  std::mutex graph_mu_; ///< guards dep domains, preds, successors
-  std::uint64_t next_task_id_ = 0;
+  // There is deliberately no runtime-wide graph mutex: dependency state is
+  // sharded inside each context's DepDomain (docs/dependencies.md), and
+  // per-task bookkeeping (preds, successors) carries its own
+  // synchronization — spawn and finish scale with the thread count.
+  std::atomic<std::uint64_t> next_task_id_{0};
 
   ContextPtr root_ctx_;
   Topology topo_; ///< declared before scheduler_: create() reads it
@@ -276,9 +301,18 @@ class Runtime {
   std::vector<int> owner_prev_cpus_;
   std::thread::id owner_tid_;
 
-  /// Park/unpark gate for idle workers (IdlePolicy::Park): every enqueue
-  /// wakes exactly one parked worker, stop wakes all.
-  EventCount idle_gate_;
+  /// Park/unpark gates for idle workers (IdlePolicy::Park), one per NUMA
+  /// node (a single gate on single-node topologies, where the whole
+  /// node-awareness structurally dissolves).  A worker parks on its own
+  /// node's gate; an enqueue wakes a worker parked on the task's home node
+  /// first and falls back to the other gates, so a home-node task is
+  /// claimed by a same-node worker instead of whoever happens to wake.
+  /// Stop wakes all gates.
+  std::vector<std::unique_ptr<EventCount>> idle_gates_;
+
+  /// Rotates the fallback start gate for wakeups without a node
+  /// preference, so node 0 doesn't absorb every anonymous wakeup.
+  std::atomic<std::uint32_t> wake_cursor_{0};
 
   // Blocking-wait support: waiters sleep on cv_, completions notify when
   // blocked_waiters_ > 0 (so the polling fast path pays nothing).

@@ -21,6 +21,9 @@ StatsSnapshot Stats::snapshot() const {
   s.tasks_remote = tasks_remote_.load(std::memory_order_relaxed);
   s.parks = parks_.load(std::memory_order_relaxed);
   s.wakeups = wakeups_.load(std::memory_order_relaxed);
+  s.dep_single_shard = dep_single_shard_.load(std::memory_order_relaxed);
+  s.dep_multi_shard = dep_multi_shard_.load(std::memory_order_relaxed);
+  s.dep_contended = dep_contended_.load(std::memory_order_relaxed);
   s.taskwaits = taskwaits_.load(std::memory_order_relaxed);
   s.barriers = barriers_.load(std::memory_order_relaxed);
   s.per_worker_executed.reserve(per_worker_executed_.size());
@@ -40,6 +43,9 @@ std::string StatsSnapshot::to_string() const {
      << " remote-steals=" << steals_remote
      << " overflow=" << overflow_placements << '\n'
      << "idle: parks=" << parks << " wakeups=" << wakeups << '\n'
+     << "deps: single-shard=" << dep_single_shard
+     << " multi-shard=" << dep_multi_shard
+     << " contended=" << dep_contended << '\n'
      << "waits: taskwait=" << taskwaits << " barrier=" << barriers << '\n'
      << "per-worker executed:";
   for (std::size_t i = 0; i < per_worker_executed.size(); ++i)

@@ -38,6 +38,13 @@ struct StatsSnapshot {
   std::uint64_t parks = 0;       ///< times an idle worker parked on the gate
   std::uint64_t wakeups = 0;     ///< parked workers signalled awake (batch
                                  ///< wakeups count every worker they released)
+  std::uint64_t dep_single_shard = 0; ///< registrations that locked at most
+                                      ///< one dependency shard (fast path;
+                                      ///< access-free tasks lock none)
+  std::uint64_t dep_multi_shard = 0;  ///< registrations spanning ≥2 shards
+                                      ///< (sorted multi-lock path)
+  std::uint64_t dep_contended = 0;    ///< registrations that found ≥1 shard
+                                      ///< lock held by another spawner
   std::uint64_t taskwaits = 0;
   std::uint64_t barriers = 0;
   std::vector<std::uint64_t> per_worker_executed;
@@ -77,6 +84,16 @@ class Stats {
   void on_wakeup(std::uint64_t count = 1) {
     wakeups_.fetch_add(count, std::memory_order_relaxed);
   }
+  /// One dependency registration: how many shards it locked and whether
+  /// any of those locks were contended (DepDomain::RegisterReceipt).
+  void on_dep_registration(std::uint32_t shards_touched, bool contended) {
+    if (shards_touched > 1) {
+      inc(dep_multi_shard_);
+    } else {
+      inc(dep_single_shard_);
+    }
+    if (contended) inc(dep_contended_);
+  }
   void on_taskwait() { inc(taskwaits_); }
   void on_barrier() { inc(barriers_); }
 
@@ -101,6 +118,9 @@ class Stats {
   Counter tasks_remote_{0};
   Counter parks_{0};
   Counter wakeups_{0};
+  Counter dep_single_shard_{0};
+  Counter dep_multi_shard_{0};
+  Counter dep_contended_{0};
   Counter taskwaits_{0};
   Counter barriers_{0};
   std::vector<Counter> per_worker_executed_;

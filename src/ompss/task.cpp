@@ -16,7 +16,9 @@ const char* to_string(TaskState s) noexcept {
   return "?";
 }
 
-TaskContext::TaskContext() : domain_(std::make_unique<DepDomain>()) {}
+TaskContext::TaskContext(std::size_t dep_shards)
+    : domain_(std::make_unique<DepDomain>(dep_shards)),
+      dep_shards_(dep_shards) {}
 
 TaskContext::~TaskContext() = default;
 
@@ -48,7 +50,11 @@ Task::~Task() = default;
 void Task::release_body() noexcept { fn_ = nullptr; }
 
 const ContextPtr& Task::child_context() {
-  if (!child_ctx_) child_ctx_ = std::make_shared<TaskContext>();
+  // Children inherit the parent context's dependency-shard count, so one
+  // RuntimeConfig::dep_shards setting propagates down the task tree.
+  if (!child_ctx_) {
+    child_ctx_ = std::make_shared<TaskContext>(parent_ctx_->dep_shards());
+  }
   return child_ctx_;
 }
 

@@ -1,9 +1,15 @@
 // task.hpp — task objects and per-parent task contexts.
 //
 // A `Task` is a deferred function call plus the access list declared at spawn
-// time.  Tasks move through Created → Ready → Running → Finished.  Dependency
-// bookkeeping (predecessor counts, successor lists) is guarded by the owning
-// runtime's graph mutex; only `finished` is independently readable.
+// time.  Tasks move through Created → Ready → Running → Finished.
+//
+// Dependency bookkeeping is designed for *concurrent* spawn and finish
+// (docs/dependencies.md): `preds` is an atomic count of unfinished
+// predecessors, the successor list is guarded by a per-task mutex, and the
+// finish side (`finish_take_successors`) linearizes against edge insertion
+// (`add_successor_edge`) through that mutex — a producer either accepts the
+// edge before retiring or the consumer sees it already finished and skips
+// the edge.  No runtime-wide lock is involved.
 //
 // Every task that spawns children owns a `TaskContext`: it counts live direct
 // children (what `taskwait` waits on), holds the dependency domain in which
@@ -42,7 +48,10 @@ const char* to_string(TaskState s) noexcept;
 /// Shared bookkeeping for the children of one parent (a task or the root).
 class TaskContext {
  public:
-  TaskContext();
+  /// `dep_shards` sizes the context's dependency domain (power of two;
+  /// RuntimeConfig::dep_shards).  Child contexts inherit their parent's
+  /// count — see Task::child_context.
+  explicit TaskContext(std::size_t dep_shards = 1);
   ~TaskContext();
 
   TaskContext(const TaskContext&) = delete;
@@ -51,10 +60,13 @@ class TaskContext {
   /// Direct children spawned into this context that have not yet finished.
   std::atomic<std::size_t> live_children{0};
 
-  /// Dependency domain for sibling tasks of this context.  Guarded by the
-  /// runtime graph mutex (the domain itself has no internal locking).
+  /// Dependency domain for sibling tasks of this context.  Internally
+  /// sharded and locked; callers need no external synchronization.
   DepDomain& domain() noexcept { return *domain_; }
   const DepDomain& domain() const noexcept { return *domain_; }
+
+  /// Shard count of this context's domain (inherited by child contexts).
+  [[nodiscard]] std::size_t dep_shards() const noexcept { return dep_shards_; }
 
   /// Records the first exception escaping a child task.  Thread-safe.
   void note_exception(std::exception_ptr ep);
@@ -67,6 +79,7 @@ class TaskContext {
 
  private:
   std::unique_ptr<DepDomain> domain_;
+  std::size_t dep_shards_;
   mutable std::mutex mu_;
   std::exception_ptr first_exception_;
 };
@@ -131,23 +144,39 @@ class Task {
   /// marks a runtime-derived home (affinity_auto / chain inheritance) the
   /// scheduler may widen under queue pressure; explicit `.affinity(node)`
   /// hints are hard and never widened.
-  int home_node() const noexcept { return home_node_; }
-  void set_home_node(int n, bool soft = false) noexcept {
-    home_node_ = n;
-    home_soft_ = soft;
+  ///
+  /// Relaxed atomics: the spawner writes the home while other spawners may
+  /// concurrently read it for chain inheritance (they discovered an edge
+  /// from this task in a dependency shard this task no longer holds).  The
+  /// home is a *hint* — a torn decision is impossible (single word) and a
+  /// stale read costs at most one inheritance vote.
+  int home_node() const noexcept {
+    return home_node_.load(std::memory_order_relaxed);
   }
-  bool home_soft() const noexcept { return home_soft_; }
+  void set_home_node(int n, bool soft = false) noexcept {
+    home_node_.store(n, std::memory_order_relaxed);
+    home_soft_.store(soft, std::memory_order_relaxed);
+  }
+  bool home_soft() const noexcept {
+    return home_soft_.load(std::memory_order_relaxed);
+  }
 
-  /// Chain affinity inheritance: the resolved home node of the first
-  /// dependency predecessor that had one, recorded while the task's edges
-  /// are discovered (dep_domain) and consulted at spawn-time home
+  /// Chain affinity inheritance: the home node that won the max-bytes vote
+  /// over this task's dependency predecessors, recorded while the task's
+  /// edges are discovered (dep_domain) and consulted at spawn-time home
   /// resolution when the task carries no hint of its own.  -1 = nothing to
-  /// inherit.  Guarded by the runtime graph mutex like preds/successors.
-  int inherited_node() const noexcept { return inherited_node_; }
-  void set_inherited_node(int n) noexcept { inherited_node_ = n; }
+  /// inherit.  Written only by the spawning thread during registration;
+  /// atomic because diagnostics may read it from other threads.
+  int inherited_node() const noexcept {
+    return inherited_node_.load(std::memory_order_relaxed);
+  }
+  void set_inherited_node(int n) noexcept {
+    inherited_node_.store(n, std::memory_order_relaxed);
+  }
 
-  /// Attaches a commutative-region exclusion lock (called during
-  /// registration, under the graph mutex).
+  /// Attaches a commutative-region exclusion lock (called only by the
+  /// spawning thread during registration, under the region's shard lock;
+  /// published to the executing worker by the ready-queue handshake).
   void add_exclusion_lock(std::shared_ptr<std::mutex> m) {
     exclusion_locks_.push_back(std::move(m));
   }
@@ -173,15 +202,55 @@ class Task {
     return std::move(queue_ref_);
   }
 
-  // ---- fields guarded by the runtime graph mutex ----------------------
+  // ---- concurrent spawn/finish protocol -------------------------------
+  //
+  // Edges materialize from several dependency shards (and several spawning
+  // threads' registrations) concurrently with producers finishing, so the
+  // per-task bookkeeping carries its own synchronization:
+  //
+  //   * `preds` counts unfinished predecessors, plus one *spawn guard* the
+  //     runtime holds while the consumer's own registration is in flight
+  //     (so a burst of concurrent finishes cannot publish a half-registered
+  //     task).  The release half of the protocol is the finisher's
+  //     fetch_sub; the acquire half is whoever brings it to zero.
+  //   * the successor list is guarded by `succ_mu_`; `add_successor_edge`
+  //     (producer side of edge insertion) and `finish_take_successors`
+  //     (retirement) linearize through it.
 
-  /// Unfinished predecessors; the task becomes ready when this hits zero.
-  int preds = 0;
+  /// Unfinished predecessors (+1 while the spawn guard is held); the task
+  /// becomes ready when this hits zero.
+  std::atomic<int> preds{0};
 
   /// Tasks whose `preds` must be decremented when this task finishes.
+  /// Guarded by succ_mu_; test-only direct reads require quiescence.
   std::vector<TaskPtr> successors;
 
+  /// Producer side of edge insertion: unless this task already finished,
+  /// atomically increments `consumer->preds` and appends the consumer to
+  /// the successor list.  Returns false when this task already retired (no
+  /// edge needed — its effects are visible).  The consumer must still be
+  /// guarded (unpublished) so the increment cannot race its readiness.
+  bool add_successor_edge(const TaskPtr& consumer) {
+    std::lock_guard lock(succ_mu_);
+    if (finished()) return false;
+    consumer->preds.fetch_add(1, std::memory_order_relaxed);
+    successors.push_back(consumer);
+    return true;
+  }
+
+  /// Retirement: marks the task finished and takes the successor list, as
+  /// one atomic step against add_successor_edge — a concurrent edge either
+  /// lands in the returned list or observes `finished` and is skipped.
+  [[nodiscard]] std::vector<TaskPtr> finish_take_successors() {
+    std::vector<TaskPtr> out;
+    std::lock_guard lock(succ_mu_);
+    mark_finished();
+    out.swap(successors);
+    return out;
+  }
+
  private:
+  std::mutex succ_mu_; ///< guards `successors` and orders it vs `finished_`
   const std::uint64_t id_;
   Fn fn_;
   AccessList accesses_;
@@ -189,9 +258,9 @@ class Task {
   ContextPtr child_ctx_; // lazily created; touched only by the executing thread
   std::string label_;
   int priority_ = 0;
-  int home_node_ = -1;
-  int inherited_node_ = -1;
-  bool home_soft_ = false;
+  std::atomic<int> home_node_{-1};
+  std::atomic<int> inherited_node_{-1};
+  std::atomic<bool> home_soft_{false};
   bool undeferred_ = false;
   std::vector<std::shared_ptr<std::mutex>> exclusion_locks_;
   TaskPtr queue_ref_; // owning self-reference while in a lock-free queue

@@ -249,7 +249,8 @@ class TaskGroup {
  public:
   explicit TaskGroup(Runtime& rt)
       : rt_(&rt),
-        ctx_(std::make_shared<TaskContext>()),
+        // The group's private domain shards like the runtime's contexts do.
+        ctx_(std::make_shared<TaskContext>(rt.config().dep_shards)),
         uncaught_on_entry_(std::uncaught_exceptions()) {}
 
   TaskGroup(const TaskGroup&) = delete;

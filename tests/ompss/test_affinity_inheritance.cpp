@@ -3,6 +3,14 @@
 // task's resolved home_node() equals the nearest hinted ancestor's home
 // (or -1 when no ancestor carries a hint).  Failures print the generating
 // seed so the exact chain can be replayed.
+//
+// Inheritance is a *max-bytes vote* over the dependency predecessors that
+// donate a home (docs/numa.md): with several hinted predecessors, the node
+// backing the most overlap bytes wins (ties keep the first discovered).
+// For a chain every link has exactly one predecessor, so the vote
+// degenerates to "inherit the previous link's resolved home" and the
+// nearest-hinted-ancestor invariant below is unchanged; the
+// AffinityInheritanceVoting tests pin the multi-predecessor behaviour.
 #include "ompss/ompss.hpp"
 
 #include <gtest/gtest.h>
@@ -90,6 +98,73 @@ TEST(AffinityInheritanceProperty, RandomSeeds) {
     const std::uint32_t seed = rd();
     run_chain_property(seed, 4, 3, 30, 120'000);
   }
+}
+
+TEST(AffinityInheritanceVoting, MaxBytesPredecessorWins) {
+  // Two hinted producers of different region sizes; the unhinted consumer
+  // reading both must inherit the node backing the most bytes — even
+  // though the smaller producer's edge is discovered first.
+  oss::Runtime rt(two_node_config(2));
+  ASSERT_EQ(rt.topology().num_nodes(), 2u);
+  std::vector<char> small(64), large(256);
+  auto a = rt.task("small")
+               .out(small.data(), small.size())
+               .affinity(0)
+               .spawn([] {});
+  auto b = rt.task("large")
+               .out(large.data(), large.size())
+               .affinity(1)
+               .spawn([] {});
+  auto c = rt.task("reduce")
+               .in(small.data(), small.size()) // node-0 donor found first
+               .in(large.data(), large.size())
+               .spawn([] {});
+  rt.taskwait();
+  EXPECT_EQ(a.home_node(), 0);
+  EXPECT_EQ(b.home_node(), 1);
+  EXPECT_EQ(c.home_node(), 1) << "256 donated bytes must outvote 64";
+}
+
+TEST(AffinityInheritanceVoting, TieKeepsFirstDiscoveredPredecessor) {
+  oss::Runtime rt(two_node_config(2));
+  ASSERT_EQ(rt.topology().num_nodes(), 2u);
+  std::vector<char> left(128), right(128);
+  auto a = rt.task("left")
+               .out(left.data(), left.size())
+               .affinity(1)
+               .spawn([] {});
+  auto b = rt.task("right")
+               .out(right.data(), right.size())
+               .affinity(0)
+               .spawn([] {});
+  auto c = rt.task("consumer")
+               .in(left.data(), left.size())
+               .in(right.data(), right.size())
+               .spawn([] {});
+  rt.taskwait();
+  (void)a;
+  (void)b;
+  EXPECT_EQ(c.home_node(), 1) << "equal bytes: first discovered donor wins";
+}
+
+TEST(AffinityInheritanceVoting, ExplicitHandleEdgeDonatesOnlyAsFallback) {
+  // A handle edge has no overlap bytes; it donates a home only when the
+  // region vote produced nothing.
+  oss::Runtime rt(two_node_config(2));
+  ASSERT_EQ(rt.topology().num_nodes(), 2u);
+  long slot = 0;
+  auto hinted = rt.task("hinted").affinity(1).spawn([] {});
+  auto fallback = rt.task("fallback").after(hinted).spawn([] {});
+  rt.taskwait();
+  EXPECT_EQ(fallback.home_node(), 1) << "no region donors: handle edge wins";
+
+  auto writer = rt.task("writer").inout(slot).affinity(0).spawn([] {});
+  auto hinted2 = rt.task("hinted2").affinity(1).spawn([] {});
+  auto both = rt.task("both").inout(slot).after(hinted2).spawn([] {});
+  rt.taskwait();
+  (void)writer;
+  EXPECT_EQ(both.home_node(), 0)
+      << "a region donor must outrank the explicit-edge fallback";
 }
 
 TEST(AffinityInheritanceProperty, HintsDissolveOnFlatTopology) {

@@ -156,6 +156,27 @@ TEST(Config, WithThreadsFactory) {
   EXPECT_EQ(cfg.scheduler, oss::SchedulerPolicy::Locality); // default
 }
 
+TEST(Config, DepShardsDefaultsAndEnv) {
+  const oss::RuntimeConfig def;
+  EXPECT_EQ(def.dep_shards, 8u); // power-of-two default
+  ScopedEnv e("OSS_DEP_SHARDS", "32");
+  const oss::RuntimeConfig cfg = oss::RuntimeConfig::from_env();
+  EXPECT_EQ(cfg.dep_shards, 32u);
+}
+
+TEST(Config, DepShardsMustBeSmallPowerOfTwo) {
+  for (const char* bad : {"0", "3", "12", "512", "eight"}) {
+    ScopedEnv e("OSS_DEP_SHARDS", bad);
+    EXPECT_THROW(oss::RuntimeConfig::from_env(), std::invalid_argument)
+        << "OSS_DEP_SHARDS=" << bad;
+  }
+  for (const char* good : {"1", "2", "8", "256"}) {
+    ScopedEnv e("OSS_DEP_SHARDS", good);
+    EXPECT_NO_THROW(oss::RuntimeConfig::from_env())
+        << "OSS_DEP_SHARDS=" << good;
+  }
+}
+
 TEST(Config, NumaModeNamesRoundTrip) {
   using oss::NumaMode;
   EXPECT_EQ(oss::parse_numa_mode("bind"), NumaMode::Bind);

@@ -1,10 +1,14 @@
 // Unit tests for the interval-map dependency domain: hazard discovery,
-// interval splitting, edge deduplication, and taskwait-on wait sets.
+// interval splitting, edge deduplication, taskwait-on wait sets, the
+// sharded (multi-lock) registration path, and home-node inheritance votes.
 #include "ompss/dep_domain.hpp"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
+#include <tuple>
 #include <vector>
 
 namespace {
@@ -253,6 +257,251 @@ TEST_F(DepDomainTest, GroupJoinersAreOrderedAfterThePreviousEpoch) {
 
   // Members stay unordered among themselves: no c1 -> c2 edge.
   for (const auto& e : e2) EXPECT_NE(e.from, c1->id());
+}
+
+// ---------------------------------------------------------------------------
+// Inheritance voting: predecessors with resolved homes vote for the
+// consumer's inherited_node, weighted by overlap bytes.
+// ---------------------------------------------------------------------------
+
+TEST_F(DepDomainTest, InheritanceVotePicksMaxBytesPredecessor) {
+  auto small = make_task({oss::region(buf_, 16, Mode::Out)});
+  auto large = make_task({oss::region(buf_ + 16, 64, Mode::Out)});
+  small->set_home_node(0);
+  large->set_home_node(1);
+  reg(small);
+  reg(large);
+  // Consumer overlaps 16 bytes of node 0 and 64 bytes of node 1.
+  auto r = make_task({oss::region(buf_, 80, Mode::In)});
+  reg(r);
+  EXPECT_EQ(r->inherited_node(), 1) << "max-bytes predecessor must win";
+}
+
+TEST_F(DepDomainTest, InheritanceVoteTieKeepsFirstSeenPredecessor) {
+  auto a = make_task({oss::region(buf_, 32, Mode::Out)});
+  auto b = make_task({oss::region(buf_ + 32, 32, Mode::Out)});
+  a->set_home_node(1);
+  b->set_home_node(0);
+  reg(a);
+  reg(b);
+  auto r = make_task({oss::region(buf_, 64, Mode::In)});
+  reg(r);
+  EXPECT_EQ(r->inherited_node(), 1) << "equal bytes: first discovered wins";
+}
+
+TEST_F(DepDomainTest, FinishedPredecessorsStillVote) {
+  // Retired producers donate no edge, but the data still lives on their
+  // node — the vote must count them (chain inheritance through retirement).
+  auto w = make_task({oss::region(buf_, 16, Mode::Out)});
+  w->set_home_node(1);
+  reg(w);
+  w->mark_finished();
+  auto r = make_task({oss::region(buf_, 16, Mode::In)});
+  EXPECT_TRUE(reg(r).empty());
+  EXPECT_EQ(r->inherited_node(), 1);
+}
+
+TEST_F(DepDomainTest, RepeatOverlapsAccumulateVoteBytes) {
+  // One producer overlapping through two entries outvotes a single larger
+  // entry of another node when its *total* bytes are larger.
+  auto a = make_task({oss::region(buf_, 24, Mode::Out),
+                      oss::region(buf_ + 64, 24, Mode::Out)});
+  auto b = make_task({oss::region(buf_ + 32, 32, Mode::Out)});
+  a->set_home_node(0);
+  b->set_home_node(1);
+  reg(a);
+  reg(b);
+  auto r = make_task({oss::region(buf_, 96, Mode::In)});
+  reg(r);
+  EXPECT_EQ(r->inherited_node(), 0) << "48 accumulated bytes beat 32";
+}
+
+// ---------------------------------------------------------------------------
+// Sharded domains: stripes hash to independently-locked shards; semantics
+// (edge sets, group exclusion) must not change.
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kStripe = std::size_t{1} << DepDomain::kStripeShift;
+
+class ShardedDomainTest : public ::testing::Test {
+ protected:
+  ShardedDomainTest() : big_(4 * kStripe) {}
+
+  TaskPtr make_task(AccessList accesses) {
+    return std::make_shared<Task>(++next_id_, [] {}, std::move(accesses), ctx_,
+                                  "");
+  }
+
+  std::vector<EdgeRec> reg(DepDomain& d, const TaskPtr& t) {
+    std::vector<EdgeRec> edges;
+    d.register_task(t, [&](const TaskPtr& f, const TaskPtr& to, DepKind k) {
+      edges.push_back({f->id(), to->id(), k});
+    });
+    return edges;
+  }
+
+  char* big() { return big_.data(); }
+
+  /// Precondition of the multi-shard assertions: big_'s stripes hash to at
+  /// least two distinct shards under `d`.  The heap base is ASLR-dependent,
+  /// so with 8 shards all ~4 stripes collide on one shard roughly once in
+  /// 10^4 runs — the affected tests skip instead of failing spuriously.
+  bool spans_shards(const DepDomain& d) const {
+    const auto base = reinterpret_cast<std::uintptr_t>(big_.data());
+    const auto end = base + big_.size();
+    const std::size_t first = d.shard_of(base);
+    for (std::uintptr_t p = (base / kStripe + 1) * kStripe; p < end;
+         p += kStripe) {
+      if (d.shard_of(p) != first) return true;
+    }
+    return false;
+  }
+
+  oss::ContextPtr ctx_ = std::make_shared<oss::TaskContext>();
+  std::uint64_t next_id_ = 0;
+  std::vector<char> big_; ///< spans ≥3 stripe boundaries
+};
+
+TEST_F(ShardedDomainTest, ShardOfIsStableWithinAStripe) {
+  DepDomain d(8);
+  EXPECT_EQ(d.shard_count(), 8u);
+  const auto base = reinterpret_cast<std::uintptr_t>(big());
+  const std::uintptr_t stripe_start = (base / kStripe + 1) * kStripe;
+  EXPECT_EQ(d.shard_of(stripe_start), d.shard_of(stripe_start + kStripe - 1));
+}
+
+TEST_F(ShardedDomainTest, CrossStripeHazardIsOneDedupedEdge) {
+  DepDomain d(8);
+  if (!spans_shards(d)) GTEST_SKIP() << "ASLR put every stripe on one shard";
+  auto w = make_task({oss::region(big(), big_.size(), Mode::Out)});
+  auto receipt = d.register_task(w, nullptr);
+  EXPECT_GE(receipt.shards_touched, 2u) << "a 4-stripe access must span shards";
+  auto r = make_task({oss::region(big(), big_.size(), Mode::In)});
+  auto edges = reg(d, r);
+  ASSERT_EQ(edges.size(), 1u) << "same producer found in several shards: dedup";
+  EXPECT_EQ(edges[0].kind, DepKind::Raw);
+  EXPECT_EQ(r->preds, 1);
+}
+
+TEST_F(ShardedDomainTest, SingleStripeAccessTouchesOneShard) {
+  DepDomain d(8);
+  auto t = make_task({oss::region(big(), 64, Mode::InOut)});
+  auto receipt = d.register_task(t, nullptr);
+  EXPECT_EQ(receipt.shards_touched, 1u);
+  EXPECT_FALSE(receipt.contended);
+}
+
+TEST_F(ShardedDomainTest, PartialOverlapAcrossStripeBoundary) {
+  DepDomain d(8);
+  const auto base = reinterpret_cast<std::uintptr_t>(big());
+  // A window straddling the first stripe boundary inside the buffer.
+  const std::uintptr_t boundary = (base / kStripe + 1) * kStripe;
+  char* left = big() + (boundary - base - 32);
+  auto w = make_task({oss::region(left, 64, Mode::Out)});
+  reg(d, w);
+  // Reader of only the right half (second stripe).
+  auto r = make_task({oss::region(left + 32, 32, Mode::In)});
+  auto edges = reg(d, r);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].from, w->id());
+  // Writer of only the left half must depend on w but NOT on r.
+  auto w2 = make_task({oss::region(left, 32, Mode::Out)});
+  auto edges2 = reg(d, w2);
+  ASSERT_EQ(edges2.size(), 1u);
+  EXPECT_EQ(edges2[0].from, w->id());
+  EXPECT_EQ(edges2[0].kind, DepKind::Waw);
+}
+
+TEST_F(ShardedDomainTest, CommutativeGroupSpanningShardsStaysExclusive) {
+  DepDomain d(8);
+  if (!spans_shards(d)) GTEST_SKIP() << "ASLR put every stripe on one shard";
+  auto c1 = make_task({oss::region(big(), big_.size(), Mode::Commutative)});
+  auto c2 = make_task({oss::region(big(), big_.size(), Mode::Commutative)});
+  auto e1 = reg(d, c1);
+  auto e2 = reg(d, c2);
+  EXPECT_TRUE(e1.empty());
+  EXPECT_TRUE(e2.empty()) << "group members are unordered among themselves";
+  // Every per-shard sub-range contributes its exclusion lock, and both
+  // members hold the same set — they can never run concurrently.
+  EXPECT_GE(c1->exclusion_locks().size(), 2u);
+  EXPECT_EQ(c1->exclusion_locks().size(), c2->exclusion_locks().size());
+  auto sorted_locks = [](const TaskPtr& t) {
+    std::vector<std::mutex*> v;
+    for (const auto& sp : t->exclusion_locks()) v.push_back(sp.get());
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(sorted_locks(c1), sorted_locks(c2));
+  // A reader after the group depends on both members.
+  auto r = make_task({oss::region(big(), big_.size(), Mode::In)});
+  auto edges = reg(d, r);
+  EXPECT_EQ(edges.size(), 2u);
+  EXPECT_EQ(r->preds, 2);
+}
+
+TEST_F(ShardedDomainTest, CollectOverlappingSpansShards) {
+  DepDomain d(8);
+  auto w = make_task({oss::region(big(), big_.size(), Mode::Out)});
+  reg(d, w);
+  std::vector<TaskPtr> hits;
+  const auto base = reinterpret_cast<std::uintptr_t>(big());
+  d.collect_overlapping(base, base + big_.size(), hits);
+  ASSERT_FALSE(hits.empty());
+  for (const auto& h : hits) EXPECT_EQ(h.get(), w.get());
+}
+
+// Edge parity: the same deterministic spawn sequence must produce the same
+// edge multiset under 1 shard (the classic single-lock domain) and under
+// many shards — sharding changes locking, never semantics.
+TEST_F(ShardedDomainTest, EdgeParityAcrossShardCounts) {
+  using EdgeKey = std::tuple<std::uint64_t, std::uint64_t, int>;
+  auto run = [&](std::size_t shards) {
+    DepDomain d(shards);
+    next_id_ = 0; // identical task ids across runs
+    std::vector<EdgeKey> edges;
+    auto reg_collect = [&](const TaskPtr& t) {
+      d.register_task(t,
+                      [&](const TaskPtr& f, const TaskPtr& to, DepKind k) {
+                        edges.emplace_back(f->id(), to->id(),
+                                           static_cast<int>(k));
+                      });
+    };
+    // A mixed sequence exercising every mode, partial overlaps, stripe
+    // crossings, and group open/close transitions.
+    char* p = big();
+    reg_collect(make_task({oss::region(p, big_.size(), Mode::Out)}));
+    reg_collect(make_task({oss::region(p, kStripe + 512, Mode::In)}));
+    reg_collect(make_task({oss::region(p + kStripe, kStripe, Mode::In)}));
+    reg_collect(make_task({oss::region(p + 512, 2 * kStripe, Mode::InOut)}));
+    reg_collect(
+        make_task({oss::region(p, big_.size(), Mode::Commutative)}));
+    reg_collect(
+        make_task({oss::region(p, big_.size(), Mode::Commutative)}));
+    reg_collect(make_task({oss::region(p + 7, 15, Mode::Concurrent)}));
+    reg_collect(make_task({oss::region(p, 3 * kStripe, Mode::Out)}));
+    reg_collect(make_task({oss::region(p + kStripe / 2, kStripe, Mode::In),
+                           oss::region(p + 3 * kStripe, 64, Mode::Out)}));
+    std::sort(edges.begin(), edges.end());
+    return edges;
+  };
+  const auto single = run(1);
+  const auto sharded = run(8);
+  EXPECT_EQ(single, sharded);
+  EXPECT_FALSE(single.empty());
+}
+
+TEST_F(ShardedDomainTest, OneShardMatchesLegacyEntryLayout) {
+  // The escape hatch: shards=1 must not split accesses at stripe
+  // boundaries — entry counts stay what the classic domain produced.
+  DepDomain d1(1);
+  auto t = make_task({oss::region(big(), big_.size(), Mode::Out)});
+  d1.register_task(t, nullptr);
+  EXPECT_EQ(d1.entry_count(), 1u);
+  DepDomain d8(8);
+  if (!spans_shards(d8)) GTEST_SKIP() << "ASLR put every stripe on one shard";
+  auto t8 = make_task({oss::region(big(), big_.size(), Mode::Out)});
+  d8.register_task(t8, nullptr);
+  EXPECT_GE(d8.entry_count(), 2u) << "sharded path splits at stripe runs";
 }
 
 TEST_F(DepDomainTest, GroupJoinersAreOrderedAfterPreviousReaders) {

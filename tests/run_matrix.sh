@@ -18,12 +18,19 @@
 # value (e.g. multi-node assertions) force it and are exercised for "does
 # the forced path survive this environment" instead.
 #
+# A second, dedicated phase sweeps the dependency-domain sharding axis
+# (OSS_DEP_SHARDS ∈ {1, 8} × OSS_SCHEDULER) over the concurrent-spawner
+# stress suite — the two structurally different registration paths
+# (single-lock fallback vs sorted multi-lock) under every scheduler,
+# without doubling the full cross product.
+#
 # Usage:
 #   tests/run_matrix.sh [build-dir]          (default: ./build)
 #
 # Overrides (space-separated lists):
 #   MATRIX_BINARIES MATRIX_SCHEDULERS MATRIX_IDLES MATRIX_NUMAS
-#   MATRIX_TOPOLOGIES MATRIX_GTEST_ARGS
+#   MATRIX_TOPOLOGIES MATRIX_DEP_SHARDS MATRIX_SHARD_BINARIES
+#   MATRIX_GTEST_ARGS
 set -u
 
 BUILD_DIR=${1:-build}
@@ -32,9 +39,11 @@ SCHEDULERS=${MATRIX_SCHEDULERS:-"fifo locality wsteal"}
 IDLES=${MATRIX_IDLES:-"park yield"}
 NUMAS=${MATRIX_NUMAS:-"bind off"}
 TOPOLOGIES=${MATRIX_TOPOLOGIES:-"flat 2x2"}
+DEP_SHARDS=${MATRIX_DEP_SHARDS:-"1 8"}
+SHARD_BINARIES=${MATRIX_SHARD_BINARIES:-"ompss_test_concurrent_spawn"}
 GTEST_ARGS=${MATRIX_GTEST_ARGS:-"--gtest_brief=1"}
 
-for bin in $BINARIES; do
+for bin in $BINARIES $SHARD_BINARIES; do
   if [ ! -x "$BUILD_DIR/$bin" ]; then
     echo "run_matrix: missing binary $BUILD_DIR/$bin (build first)" >&2
     exit 2
@@ -58,7 +67,7 @@ for sched in $SCHEDULERS; do
           # cannot skew (or break) a supposedly-controlled environment.
           if env -u OSS_NUM_THREADS -u OSS_BARRIER -u OSS_SPIN_ROUNDS \
                  -u OSS_STEAL_TRIES -u OSS_PIN -u OSS_PRESSURE \
-                 -u OSS_RECORD_GRAPH -u OSS_TRACE \
+                 -u OSS_RECORD_GRAPH -u OSS_TRACE -u OSS_DEP_SHARDS \
                  OSS_SCHEDULER="$sched" OSS_IDLE="$idle" OSS_NUMA="$numa" \
                  OSS_TOPOLOGY="$topo" "$BUILD_DIR/$bin" $GTEST_ARGS \
                  >"$log" 2>&1; then
@@ -70,6 +79,30 @@ for sched in $SCHEDULERS; do
           fi
         done
       done
+    done
+  done
+done
+
+# Phase 2: dependency-shard axis.  OSS_DEP_SHARDS=1 is the single-lock
+# fallback, 8 the sharded default; both must survive every scheduler with
+# concurrent spawners hammering the domain.
+for shards in $DEP_SHARDS; do
+  for sched in $SCHEDULERS; do
+    combo="OSS_DEP_SHARDS=$shards OSS_SCHEDULER=$sched"
+    for bin in $SHARD_BINARIES; do
+      runs=$((runs + 1))
+      if env -u OSS_NUM_THREADS -u OSS_BARRIER -u OSS_SPIN_ROUNDS \
+             -u OSS_STEAL_TRIES -u OSS_PIN -u OSS_PRESSURE \
+             -u OSS_RECORD_GRAPH -u OSS_TRACE -u OSS_IDLE -u OSS_NUMA \
+             -u OSS_TOPOLOGY \
+             OSS_DEP_SHARDS="$shards" OSS_SCHEDULER="$sched" \
+             "$BUILD_DIR/$bin" $GTEST_ARGS >"$log" 2>&1; then
+        printf 'ok   %-38s %s\n' "$bin" "$combo"
+      else
+        failures=$((failures + 1))
+        printf 'FAIL %-38s %s\n' "$bin" "$combo"
+        sed 's/^/     | /' "$log"
+      fi
     done
   done
 done
