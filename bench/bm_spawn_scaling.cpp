@@ -99,7 +99,10 @@ void BM_SpawnScaling(benchmark::State& state) {
   const int threads = static_cast<int>(state.range(1));
   auto arenas = make_arenas(threads);
 
-  oss::RuntimeConfig cfg = oss::RuntimeConfig::with_threads(2);
+  // Env-derived base so OSS_TRACE / OSS_PIN sweeps apply to this bench
+  // (the tracing-overhead acceptance runs it with OSS_TRACE=full).
+  oss::RuntimeConfig cfg = oss::RuntimeConfig::from_env();
+  cfg.num_threads = 2;
   cfg.dep_shards = shards;
   oss::Runtime rt(cfg);
 

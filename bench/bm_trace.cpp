@@ -1,0 +1,109 @@
+// bm_trace — tracing-overhead acceptance bench for oss::trace v2
+// (docs/observability.md).
+//
+//   TraceChurn/<mode>  — spawn-churn throughput with tracing off (0),
+//     exec (1), and full (2).  2000 no-dep tasks per iteration drained by
+//     a barrier: the pure per-task cost of the emission path (label
+//     intern, spawn/place/run-span events, ring pushes).
+//
+//   TraceChurnDeps/<mode> — the same sweep over a dependency chain, adding
+//     the dep layer's edge/ready events to the full-mode bill.
+//
+// The acceptance target: full-mode normalized throughput within 3% of off
+// (the ratio IS the normalized score — compare_bench.py divides every case
+// by TraceChurn/0, so baseline_trace.json gates the off/exec/full *shape*,
+// not machine-dependent nanoseconds).  CI runs this in bench-smoke; refresh
+// the baseline with compare_bench.py --update after a verified change.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstddef>
+
+#include "ompss/ompss.hpp"
+
+namespace {
+
+constexpr int kTasks = 2000;
+
+oss::TraceMode mode_of(int idx) {
+  switch (idx) {
+    case 1: return oss::TraceMode::Exec;
+    case 2: return oss::TraceMode::Full;
+    default: return oss::TraceMode::Off;
+  }
+}
+
+oss::Runtime make_runtime(int mode_idx) {
+  // Env-derived base (scheduler/idle/NUMA knobs stay steerable) with the
+  // trace mode forced per benchmark case; 2 threads like bm_spawn_scaling.
+  oss::RuntimeConfig cfg = oss::RuntimeConfig::from_env();
+  cfg.num_threads = 2;
+  cfg.record_trace = false;
+  cfg.trace_mode = mode_of(mode_idx);
+  return oss::Runtime(cfg);
+}
+
+void BM_TraceChurn(benchmark::State& state) {
+  const int mode_idx = static_cast<int>(state.range(0));
+  oss::Runtime rt = make_runtime(mode_idx);
+
+  std::atomic<long> hits{0};
+  for (auto _ : state) {
+    hits.store(0, std::memory_order_relaxed);
+    for (int i = 0; i < kTasks; ++i) {
+      rt.task("churn").spawn(
+          [&hits] { hits.fetch_add(1, std::memory_order_relaxed); });
+    }
+    rt.barrier();
+    if (hits.load() != kTasks) state.SkipWithError("lost tasks");
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kTasks);
+  state.SetLabel(oss::to_string(mode_of(mode_idx)));
+  if (mode_idx != 0) {
+    state.counters["trace_dropped"] =
+        static_cast<double>(rt.stats().trace_dropped);
+  }
+}
+
+void BM_TraceChurnDeps(benchmark::State& state) {
+  const int mode_idx = static_cast<int>(state.range(0));
+  oss::Runtime rt = make_runtime(mode_idx);
+
+  int cell = 0;
+  std::atomic<long> hits{0};
+  for (auto _ : state) {
+    hits.store(0, std::memory_order_relaxed);
+    for (int i = 0; i < kTasks; ++i) {
+      // inout chain: every task after the first registers one WAW edge, so
+      // full mode pays the Edge + Ready emission on top of the lifecycle.
+      rt.task("chain").inout(cell).spawn(
+          [&hits] { hits.fetch_add(1, std::memory_order_relaxed); });
+    }
+    rt.barrier();
+    if (hits.load() != kTasks) state.SkipWithError("lost tasks");
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kTasks);
+  state.SetLabel(oss::to_string(mode_of(mode_idx)));
+}
+
+} // namespace
+
+BENCHMARK(BM_TraceChurn)
+    ->Name("TraceChurn")
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_TraceChurnDeps)
+    ->Name("TraceChurnDeps")
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -107,9 +107,14 @@ int main(int argc, char** argv) {
       const oss::RuntimeConfig rcfg = oss::RuntimeConfig::from_env();
       const oss::Topology topo = rcfg.resolved_topology();
       std::printf("numa: %zu node(s), mode=%s, pin=%s — "
-                  "kmeans/streamcluster run registry-backed auto-affinity\n\n",
+                  "kmeans/streamcluster run registry-backed auto-affinity\n",
                   topo.num_nodes(), oss::to_string(rcfg.numa),
-                  rcfg.pin ? "on" : "off");
+                  oss::to_string(rcfg.resolved_pin_mode()));
+      if (oss::stats_footer_enabled()) {
+        std::printf("stats: OSS_STATS=1 — every OmpSs app run prints a "
+                    "[oss-stats] footer to stderr\n");
+      }
+      std::printf("\n");
     }
 
     Suite suite(scale);

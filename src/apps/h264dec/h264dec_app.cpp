@@ -1,6 +1,7 @@
 #include "apps/h264dec/h264dec_app.hpp"
 
 #include <atomic>
+#include <cstdio>
 #include <memory>
 #include <thread>
 
@@ -227,7 +228,12 @@ std::vector<std::uint64_t> h264dec_ompss_grouped(const H264Workload& w,
                                                  int mb_group) {
   const std::size_t N = static_cast<std::size_t>(
       w.pipeline_depth < 2 ? 2 : w.pipeline_depth); // renaming depth
-  oss::Runtime rt(threads);
+  // Env-derived config (OSS_TRACE, OSS_PIN, ...) with the caller's thread
+  // count pinned on top, so `OSS_TRACE=full examples/h264_pipeline out.json`
+  // traces the decode without a recompile.
+  oss::RuntimeConfig cfg = oss::RuntimeConfig::from_env();
+  cfg.num_threads = threads;
+  oss::Runtime rt(cfg);
 
   std::vector<std::uint64_t> checksums;
   checksums.reserve(w.video.frames.size());
@@ -356,6 +362,9 @@ std::vector<std::uint64_t> h264dec_ompss_grouped(const H264Workload& w,
   // Release the last picture's buffers.
   if (oc.prev_slot >= 0) dpb.release(oc.prev_slot);
   if (oc.prev_pib >= 0) pib.retire(oc.prev_pib);
+  if (oss::stats_footer_enabled()) {
+    std::fprintf(stderr, "%s\n", rt.stats().footer("h264dec").c_str());
+  }
   return checksums;
 }
 

@@ -1,5 +1,7 @@
 #include "apps/kmeans/kmeans_app.hpp"
 
+#include <cstdio>
+
 #include "apps/common/blocks.hpp"
 #include "apps/common/numa_points.hpp"
 #include "ompss/ompss.hpp"
@@ -120,6 +122,9 @@ KmeansResult kmeans_app_ompss(const KmeansWorkload& w, std::size_t threads,
   }
   rt.taskwait();
   if (stats != nullptr) *stats = rt.stats();
+  if (oss::stats_footer_enabled()) {
+    std::fprintf(stderr, "%s\n", rt.stats().footer("kmeans").c_str());
+  }
   return res;
 }
 

@@ -1,5 +1,7 @@
 #include "apps/streamcluster/streamcluster_app.hpp"
 
+#include <cstdio>
+
 #include "apps/common/blocks.hpp"
 #include "apps/common/numa_points.hpp"
 #include "ompss/ompss.hpp"
@@ -101,6 +103,9 @@ FacilitySolution streamcluster_app_ompss(const StreamclusterWorkload& w,
     if (count == w.points.count) break;
   }
   if (stats != nullptr) *stats = rt.stats();
+  if (oss::stats_footer_enabled()) {
+    std::fprintf(stderr, "%s\n", rt.stats().footer("streamcluster").c_str());
+  }
   return sol;
 }
 

@@ -76,6 +76,56 @@ NumaMode parse_numa_mode(const std::string& name) {
                               "' (valid: bind, interleave, off) [OSS_NUMA]");
 }
 
+const char* to_string(TraceMode m) noexcept {
+  switch (m) {
+    case TraceMode::Off: return "off";
+    case TraceMode::Exec: return "exec";
+    case TraceMode::Full: return "full";
+  }
+  return "?";
+}
+
+TraceMode parse_trace_mode(const std::string& name) {
+  // Legacy boolean spellings (OSS_TRACE used to be a plain bool) keep
+  // working: truthy = exec, falsy = off.
+  if (name == "exec" || name == "1" || name == "true" || name == "yes" ||
+      name == "on") {
+    return TraceMode::Exec;
+  }
+  if (name == "off" || name == "0" || name == "false" || name == "no") {
+    return TraceMode::Off;
+  }
+  if (name == "full") return TraceMode::Full;
+  throw std::invalid_argument("unknown trace mode '" + name +
+                              "' (valid: off, exec, full) [OSS_TRACE]");
+}
+
+const char* to_string(PinMode m) noexcept {
+  switch (m) {
+    case PinMode::Off: return "off";
+    case PinMode::Node: return "node";
+    case PinMode::Compact: return "compact";
+    case PinMode::Scatter: return "scatter";
+  }
+  return "?";
+}
+
+PinMode parse_pin_mode(const std::string& name) {
+  // OSS_PIN used to be a plain bool; truthy = the node layout.
+  if (name == "node" || name == "1" || name == "true" || name == "yes" ||
+      name == "on") {
+    return PinMode::Node;
+  }
+  if (name == "off" || name == "0" || name == "false" || name == "no") {
+    return PinMode::Off;
+  }
+  if (name == "compact") return PinMode::Compact;
+  if (name == "scatter") return PinMode::Scatter;
+  throw std::invalid_argument(
+      "unknown pin mode '" + name +
+      "' (valid: off, node, compact, scatter) [OSS_PIN]");
+}
+
 std::size_t RuntimeConfig::resolved_threads() const noexcept {
   if (num_threads > 0) return num_threads;
   const unsigned hw = std::thread::hardware_concurrency();
@@ -124,7 +174,10 @@ RuntimeConfig RuntimeConfig::from_env() {
     if (cfg.steal_tries == 0) throw std::invalid_argument("OSS_STEAL_TRIES must be >= 1");
   }
   if (const char* v = env("OSS_NUMA")) cfg.numa = parse_numa_mode(v);
-  if (const char* v = env("OSS_PIN")) cfg.pin = parse_bool("OSS_PIN", v);
+  if (const char* v = env("OSS_PIN")) {
+    cfg.pin_mode = parse_pin_mode(v);
+    cfg.pin = cfg.pin_mode != PinMode::Off; // keep the legacy bool in sync
+  }
   if (const char* v = env("OSS_PRESSURE")) cfg.pressure = parse_size("OSS_PRESSURE", v);
   if (const char* v = env("OSS_DEP_SHARDS")) {
     cfg.dep_shards = parse_size("OSS_DEP_SHARDS", v);
@@ -140,7 +193,16 @@ RuntimeConfig RuntimeConfig::from_env() {
     cfg.topology = v;
   }
   if (const char* v = env("OSS_RECORD_GRAPH")) cfg.record_graph = parse_bool("OSS_RECORD_GRAPH", v);
-  if (const char* v = env("OSS_TRACE")) cfg.record_trace = parse_bool("OSS_TRACE", v);
+  if (const char* v = env("OSS_TRACE")) {
+    cfg.trace_mode = parse_trace_mode(v);
+    cfg.record_trace = cfg.trace_mode != TraceMode::Off; // legacy bool view
+  }
+  if (const char* v = env("OSS_TRACE_OUT")) cfg.trace_out = v;
+  if (const char* v = env("OSS_TRACE_BUF")) {
+    cfg.trace_buffer = parse_size("OSS_TRACE_BUF", v);
+    if (cfg.trace_buffer == 0) throw std::invalid_argument("OSS_TRACE_BUF must be >= 1");
+  }
+  if (const char* v = env("OSS_STATS_EVERY_MS")) cfg.stats_every_ms = parse_size("OSS_STATS_EVERY_MS", v);
   return cfg;
 }
 

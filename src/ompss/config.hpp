@@ -21,12 +21,13 @@
 //                     placement mode (see docs/numa.md).
 //   OSS_TOPOLOGY      "flat" | "numa" | fake spec ("2x4", "0:0-3;1:4-7") —
 //                     override hardware-topology discovery.
-//   OSS_PIN           "1" to pin each worker thread to its home node's CPU
-//                     set (pthread_setaffinity_np), making first-touch
-//                     placement reliable.  Degrades to unpinned — one
-//                     warning line, never an abort — when the process cpu
-//                     mask does not cover the topology (cpuset-restricted
-//                     containers).
+//   OSS_PIN           "node" (or "1") to pin each worker thread to its home
+//                     node's CPU set, "compact" / "scatter" for per-worker
+//                     single-CPU layouts (pthread_setaffinity_np), making
+//                     first-touch placement reliable.  Degrades to unpinned
+//                     — one warning line, never an abort — when the process
+//                     cpu mask does not cover the topology
+//                     (cpuset-restricted containers).
 //   OSS_PRESSURE      home-queue depth at which `.affinity_auto()` /
 //                     inherited placements widen to the global tier while
 //                     another node has parked workers (default 8; 0
@@ -37,7 +38,23 @@
 //                     the single-lock domain of earlier releases
 //                     (bit-exact edge sets, see docs/dependencies.md).
 //   OSS_RECORD_GRAPH  "1" to record the task graph for DOT export.
-//   OSS_TRACE         "1" to record an execution trace (Chrome JSON).
+//   OSS_TRACE         "off" | "exec" | "full" — execution tracing into the
+//                     per-worker ring buffers (docs/observability.md).
+//                     "exec" records one event per executed task (the
+//                     classic TraceRecorder view), "full" the whole task
+//                     lifecycle (spawn/ready/run plus steal, park/unpark,
+//                     overflow, dependency edges).  Boolean spellings keep
+//                     working: "1"/"true" = exec, "0"/"false" = off.
+//   OSS_TRACE_OUT     path: export the trace when the runtime shuts down
+//                     (".prv" suffix = Paraver, anything else = Chrome
+//                     trace-event JSON).
+//   OSS_TRACE_BUF     per-thread trace ring capacity in events (rounded up
+//                     to a power of two; default 32768).  When a ring fills
+//                     between drains, events drop and `trace_dropped`
+//                     counts them — emission never blocks.
+//   OSS_STATS_EVERY_MS period of the optional collector thread: every N ms
+//                     it drains the trace rings and prints a StatsSnapshot
+//                     delta line to stderr.  0 (default) = no collector.
 //
 // Unknown policy names fail fast with a message listing the valid options.
 #pragma once
@@ -87,16 +104,39 @@ enum class NumaMode {
   Off,        ///< ignore topology entirely: flat scheduling, no binding
 };
 
+/// Execution-tracing mode (OSS_TRACE, docs/observability.md).
+enum class TraceMode {
+  Off,  ///< no tracing, zero overhead
+  Exec, ///< one run-span event per executed task (classic TraceRecorder view)
+  Full, ///< full lifecycle: spawn/ready/run + steal, park/unpark, overflow
+        ///< placements, dependency edges — still lock-free, drop-on-full
+};
+
+/// Worker→CPU pinning layout (OSS_PIN).
+enum class PinMode {
+  Off,     ///< no pinning
+  Node,    ///< each worker pinned to its home node's whole CPU set; dissolves
+           ///< on single-node topologies (classic OSS_PIN=1)
+  Compact, ///< worker i pinned to the i-th CPU in node-major enumeration —
+           ///< fills one node before spilling to the next
+  Scatter, ///< worker i pinned to node (i mod nodes) — round-robins workers
+           ///< across nodes, one CPU each
+};
+
 const char* to_string(SchedulerPolicy p) noexcept;
 const char* to_string(WaitPolicy p) noexcept;
 const char* to_string(IdlePolicy p) noexcept;
 const char* to_string(NumaMode m) noexcept;
+const char* to_string(TraceMode m) noexcept;
+const char* to_string(PinMode m) noexcept;
 
 /// Parses a policy name; throws std::invalid_argument on unknown names.
 SchedulerPolicy parse_scheduler_policy(const std::string& name);
 WaitPolicy parse_wait_policy(const std::string& name);
 IdlePolicy parse_idle_policy(const std::string& name);
 NumaMode parse_numa_mode(const std::string& name);
+TraceMode parse_trace_mode(const std::string& name);
+PinMode parse_pin_mode(const std::string& name);
 
 /// Complete configuration of a `Runtime`.
 struct RuntimeConfig {
@@ -128,10 +168,14 @@ struct RuntimeConfig {
   std::string topology;
 
   /// Pin each worker thread to the CPU set of its home node (OSS_PIN).
-  /// Only takes effect on multi-node topologies; workers whose node CPUs
-  /// fall outside the process affinity mask stay unpinned (one warning
-  /// line, never an abort).
+  /// Legacy boolean view of `pin_mode`; true is equivalent to
+  /// PinMode::Node.  Workers whose target CPUs fall outside the process
+  /// affinity mask stay unpinned (one warning line, never an abort).
   bool pin = false;
+
+  /// Pinning layout (OSS_PIN=node|compact|scatter).  When Off, the legacy
+  /// `pin` bool decides (true = Node); see `resolved_pin_mode()`.
+  PinMode pin_mode = PinMode::Off;
 
   /// Home-queue pressure feedback threshold (OSS_PRESSURE): when a node's
   /// ready queue holds at least this many tasks while another node has
@@ -151,10 +195,46 @@ struct RuntimeConfig {
   bool record_graph = false;
 
   /// Record per-task execution events for `Runtime::export_trace_json()`.
+  /// Legacy boolean view of `trace_mode`; true is equivalent to
+  /// TraceMode::Exec.
   bool record_trace = false;
+
+  /// Tracing mode (OSS_TRACE=off|exec|full).  When Off, the legacy
+  /// `record_trace` bool decides (true = Exec); see `resolved_trace_mode()`.
+  TraceMode trace_mode = TraceMode::Off;
+
+  /// Per-thread trace ring capacity in events (OSS_TRACE_BUF; rounded up to
+  /// a power of two by the ring).  Sized so a spawn burst between two
+  /// quiescent points fits; overflow drops events and bumps `trace_dropped`.
+  std::size_t trace_buffer = 32768;
+
+  /// Export the trace here when the runtime is destroyed (OSS_TRACE_OUT).
+  /// ".prv" suffix selects the Paraver format (a matching ".row"/".pcf"
+  /// pair is written next to it), anything else Chrome trace-event JSON.
+  /// Empty = no automatic export.
+  std::string trace_out;
+
+  /// Period in milliseconds of the optional stats/trace collector thread
+  /// (OSS_STATS_EVERY_MS): every period it drains the trace rings and
+  /// prints a StatsSnapshot delta line to stderr.  0 = no collector.
+  std::size_t stats_every_ms = 0;
 
   /// Resolves `num_threads == 0` to the hardware concurrency (min 1).
   [[nodiscard]] std::size_t resolved_threads() const noexcept;
+
+  /// Effective tracing mode: `trace_mode` when set, else the legacy
+  /// `record_trace` bool mapped to Exec.
+  [[nodiscard]] TraceMode resolved_trace_mode() const noexcept {
+    if (trace_mode != TraceMode::Off) return trace_mode;
+    return record_trace ? TraceMode::Exec : TraceMode::Off;
+  }
+
+  /// Effective pinning layout: `pin_mode` when set, else the legacy `pin`
+  /// bool mapped to Node.
+  [[nodiscard]] PinMode resolved_pin_mode() const noexcept {
+    if (pin_mode != PinMode::Off) return pin_mode;
+    return pin ? PinMode::Node : PinMode::Off;
+  }
 
   /// The topology a Runtime built from this config schedules against:
   /// flat when `numa == Off` (placement structurally dissolved), otherwise

@@ -2,6 +2,8 @@
 
 #include <unordered_set>
 
+#include "ompss/trace.hpp"
+
 namespace oss {
 
 const char* to_string(DepKind k) noexcept {
@@ -15,7 +17,7 @@ const char* to_string(DepKind k) noexcept {
 }
 
 bool add_explicit_edge(const TaskPtr& producer, const TaskPtr& consumer,
-                       const EdgeSink& sink) {
+                       const EdgeSink& sink, TraceSystem* trace) {
   if (!producer || producer.get() == consumer.get()) return false;
   // Chain affinity inheritance: a handle edge donates its producer's home
   // only when the region edges donated nothing — the max-bytes vote
@@ -27,6 +29,10 @@ bool add_explicit_edge(const TaskPtr& producer, const TaskPtr& consumer,
     return false; // already retired: no edge needed
   }
   if (sink) sink(producer, consumer, DepKind::Explicit);
+  if (trace) {
+    trace->emit_edge(producer->id(), consumer->id(),
+                     static_cast<std::uint8_t>(DepKind::Explicit));
+  }
   return true;
 }
 
@@ -54,6 +60,7 @@ std::size_t round_up_pow2(std::size_t n) {
 struct DepDomain::RegCtx {
   const TaskPtr& task;
   const EdgeSink& sink;
+  TraceSystem* trace;
 
   /// A new task may overlap many sub-intervals (possibly in different
   /// shards) with the same producer; only one edge is needed.
@@ -85,6 +92,10 @@ struct DepDomain::RegCtx {
       return; // already retired: no edge needed
     }
     if (sink) sink(producer, task, kind);
+    if (trace) {
+      trace->emit_edge(producer->id(), task->id(),
+                       static_cast<std::uint8_t>(kind));
+    }
   }
 
   /// Applies the vote: the max-bytes node becomes the task's inherited
@@ -247,8 +258,9 @@ void DepDomain::register_range(Map& map, std::uintptr_t begin,
 }
 
 RegisterReceipt DepDomain::register_task(const TaskPtr& task,
-                                         const EdgeSink& sink) {
-  RegCtx ctx{task, sink, {}, {}};
+                                         const EdgeSink& sink,
+                                         TraceSystem* trace) {
+  RegCtx ctx{task, sink, trace, {}, {}};
   RegisterReceipt receipt;
 
   // Access-free tasks (pure .after() chains, fire-and-forget bodies) have
@@ -286,6 +298,7 @@ RegisterReceipt DepDomain::register_task(const TaskPtr& task,
       throw;
     }
     sh.mu.unlock();
+    if (trace && receipt.contended) trace->emit_dep_contended(task->id());
     return receipt;
   }
 
@@ -388,6 +401,7 @@ RegisterReceipt DepDomain::register_task(const TaskPtr& task,
   }
 
   unlock_all();
+  if (trace && receipt.contended) trace->emit_dep_contended(task->id());
   return receipt;
 }
 

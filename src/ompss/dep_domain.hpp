@@ -75,14 +75,17 @@ const char* to_string(DepKind k) noexcept;
 /// re-enter the domain.
 using EdgeSink = std::function<void(const TaskPtr&, const TaskPtr&, DepKind)>;
 
+class TraceSystem;
+
 /// Registers the explicit (handle-declared) edge producer → consumer:
 /// increments `consumer->preds`, appends to the producer's successor list,
-/// and reports a `DepKind::Explicit` edge to `sink`.  Self-edges, null or
+/// and reports a `DepKind::Explicit` edge to `sink` (and, when `trace` is
+/// non-null and in full mode, to the trace stream).  Self-edges, null or
 /// already-finished producers are ignored.  Returns true if an edge was
 /// added.  Thread-safe via the producer's successor lock; the consumer must
 /// still be unpublished (spawn guard held).
 bool add_explicit_edge(const TaskPtr& producer, const TaskPtr& consumer,
-                       const EdgeSink& sink);
+                       const EdgeSink& sink, TraceSystem* trace = nullptr);
 
 /// What one registration did, for the runtime's contention counters.
 struct RegisterReceipt {
@@ -114,7 +117,11 @@ class DepDomain {
   /// registration.  Concurrent registrations of disjoint regions proceed in
   /// parallel.  The caller must hold the task's spawn guard (preds ≥ 1)
   /// until after this returns.
-  RegisterReceipt register_task(const TaskPtr& task, const EdgeSink& sink);
+  ///
+  /// When `trace` is non-null and in full mode, every discovered edge and
+  /// any shard-lock contention are emitted to the trace stream.
+  RegisterReceipt register_task(const TaskPtr& task, const EdgeSink& sink,
+                                TraceSystem* trace = nullptr);
 
   /// Collects every unfinished task recorded for bytes overlapping
   /// [p, p+bytes) — the wait set of `taskwait on`.  Locks each shard in

@@ -74,4 +74,35 @@ std::vector<int> intersect_cpus(const std::vector<int>& cpus,
   return out;
 }
 
+std::vector<std::vector<int>> pin_layout(const Topology& topo, PinMode mode,
+                                         std::size_t workers) {
+  std::vector<std::vector<int>> out(workers);
+  if (mode != PinMode::Compact && mode != PinMode::Scatter) return out;
+  const auto& nodes = topo.nodes();
+  const std::size_t nnodes = nodes.size();
+  if (nnodes == 0) return out;
+
+  if (mode == PinMode::Compact) {
+    std::vector<int> flat;
+    for (const auto& n : nodes) {
+      flat.insert(flat.end(), n.cpus.begin(), n.cpus.end());
+    }
+    if (flat.empty()) return out;
+    for (std::size_t w = 0; w < workers; ++w) {
+      out[w] = {flat[w % flat.size()]};
+    }
+    return out;
+  }
+
+  // Scatter: worker i lands on node i % nnodes; oversubscription cycles
+  // through that node's CPUs so two rounds of workers never share one CPU
+  // while a sibling CPU sits empty.
+  for (std::size_t w = 0; w < workers; ++w) {
+    const auto& cpus = nodes[w % nnodes].cpus;
+    if (cpus.empty()) continue;
+    out[w] = {cpus[(w / nnodes) % cpus.size()]};
+  }
+  return out;
+}
+
 } // namespace oss

@@ -17,11 +17,20 @@
 // unpinned (the runtime prints one warning line and carries on — pinning is
 // an optimization, never a startup requirement).
 //
+// `OSS_PIN=compact|scatter` instead bind every worker to a *single* CPU
+// (`pin_layout`): `compact` fills nodes in order (workers 0..k-1 on node 0's
+// CPUs, then node 1's, ...) for cache sharing between neighbours; `scatter`
+// round-robins workers across nodes (worker i on node i % nnodes) for
+// maximum aggregate memory bandwidth — the classic OpenMP PROC_BIND pair.
+//
 // Non-Linux platforms compile to stubs (`pinning_supported() == false`).
 #pragma once
 
 #include <thread>
 #include <vector>
+
+#include "ompss/config.hpp"
+#include "ompss/topology.hpp"
 
 namespace oss {
 
@@ -45,5 +54,16 @@ bool pin_current_thread(const std::vector<int>& cpus) noexcept;
 /// capability-restricted process may legally request).
 std::vector<int> intersect_cpus(const std::vector<int>& cpus,
                                 const std::vector<int>& allowed);
+
+/// Single-CPU pin targets for `workers` workers under `compact` or `scatter`
+/// (PinMode::Node is node-*set* pinning and is resolved by the runtime,
+/// which owns the worker→node mapping; passing it here returns empty lists).
+/// Compact walks the topology's CPUs node-major and assigns worker i the
+/// i-th CPU (mod total); scatter gives worker i a CPU on node i % nnodes,
+/// cycling within the node for oversubscribed runs.  Pure function of the
+/// topology — unit-testable without threads; targets are NOT yet intersected
+/// with the process affinity mask.
+std::vector<std::vector<int>> pin_layout(const Topology& topo, PinMode mode,
+                                         std::size_t workers);
 
 } // namespace oss

@@ -44,7 +44,15 @@ Runtime::Runtime(RuntimeConfig cfg)
                                    cfg.pressure)),
       stats_(num_threads_) {
   if (cfg_.record_graph) graph_ = std::make_unique<GraphRecorder>();
-  if (cfg_.record_trace) trace_ = std::make_unique<TraceRecorder>();
+  if (cfg_.resolved_trace_mode() != TraceMode::Off) {
+    trace_ = std::make_unique<TraceSystem>(cfg_.resolved_trace_mode(),
+                                           cfg_.trace_buffer);
+    trace_->bind_worker(0);
+    // Wired before the pool threads exist, so the very first enqueue any
+    // worker performs already traces.
+    scheduler_->set_trace(trace_.get());
+    trace_out_ = cfg_.trace_out;
+  }
 
   // One idle gate per NUMA node so home-node enqueues wake same-node
   // parked workers (node-aware wakeup); single-node topologies get exactly
@@ -66,20 +74,63 @@ Runtime::Runtime(RuntimeConfig cfg)
     workers_.emplace_back([this, i] { worker_loop(static_cast<int>(i)); });
   }
 
-  if (cfg_.pin) apply_pinning();
+  if (cfg_.resolved_pin_mode() != PinMode::Off) apply_pinning();
+
+  if (cfg_.stats_every_ms > 0) {
+    collector_ = std::thread(
+        [this, every = cfg_.stats_every_ms] { collector_loop(every); });
+  }
+}
+
+void Runtime::collector_loop(std::uint64_t every_ms) {
+  // OSS_STATS_EVERY_MS: a low-duty background thread that drains the trace
+  // rings (bounding drop pressure in apps that never reach a barrier) and
+  // prints the StatsSnapshot *delta* since its last tick, so a long run
+  // reads as a rate log rather than ever-growing totals.
+  StatsSnapshot prev = stats();
+  std::unique_lock lock(collector_mu_);
+  while (!collector_stop_) {
+    collector_cv_.wait_for(lock, std::chrono::milliseconds(every_ms),
+                           [this] { return collector_stop_; });
+    if (collector_stop_) break;
+    lock.unlock();
+    if (trace_) trace_->drain();
+    const StatsSnapshot cur = stats();
+    std::fprintf(stderr,
+                 "[oss-stats tick] +tasks=%llu +steals=%llu +parks=%llu "
+                 "+overflow=%llu trace_dropped=%llu\n",
+                 static_cast<unsigned long long>(cur.tasks_executed -
+                                                 prev.tasks_executed),
+                 static_cast<unsigned long long>(cur.steals - prev.steals),
+                 static_cast<unsigned long long>(cur.parks - prev.parks),
+                 static_cast<unsigned long long>(cur.overflow_placements -
+                                                 prev.overflow_placements),
+                 static_cast<unsigned long long>(cur.trace_dropped));
+    prev = cur;
+    lock.lock();
+  }
 }
 
 void Runtime::apply_pinning() {
-  // Single-node topologies (including OSS_NUMA=off) would pin every worker
-  // to the same full CPU set — a no-op; the knob structurally dissolves
-  // like the rest of the NUMA subsystem.
-  if (topo_.single_node()) return;
+  const PinMode mode = cfg_.resolved_pin_mode();
+  // Node-set pinning on a single-node topology (including OSS_NUMA=off)
+  // would pin every worker to the same full CPU set — a no-op; the knob
+  // structurally dissolves like the rest of the NUMA subsystem.  The
+  // single-CPU layouts (compact/scatter) stay meaningful on one node: they
+  // stop the kernel migrating workers between cores mid-run.
+  if (mode == PinMode::Node && topo_.single_node()) return;
   if (!pinning_supported()) {
     std::fprintf(stderr,
-                 "oss: OSS_PIN=1 ignored: thread affinity is not supported "
-                 "on this platform\n");
+                 "oss: OSS_PIN=%s ignored: thread affinity is not supported "
+                 "on this platform\n",
+                 to_string(mode));
     return;
   }
+
+  // Compact/scatter targets come from the pure layout function; node mode
+  // keeps the per-worker node lookup (the scheduler owns that mapping).
+  const std::vector<std::vector<int>> layout =
+      pin_layout(topo_, mode, num_threads_);
 
   const std::vector<int> allowed = allowed_cpus();
   std::size_t skipped = 0;
@@ -87,9 +138,18 @@ void Runtime::apply_pinning() {
     skipped = num_threads_;
   } else {
     for (std::size_t w = 0; w < num_threads_; ++w) {
-      const int node = scheduler_->worker_node(static_cast<int>(w));
-      const std::vector<int> target = intersect_cpus(
-          topo_.nodes()[static_cast<std::size_t>(node)].cpus, allowed);
+      std::vector<int> want;
+      if (mode == PinMode::Node) {
+        const int node = scheduler_->worker_node(static_cast<int>(w));
+        want = topo_.nodes()[static_cast<std::size_t>(node)].cpus;
+      } else {
+        want = layout[w];
+        // Flat/blind topologies discover no CPUs; lay the workers out over
+        // the process mask instead so compact/scatter still pin one CPU
+        // each rather than silently skipping everyone.
+        if (want.empty()) want = {allowed[w % allowed.size()]};
+      }
+      const std::vector<int> target = intersect_cpus(want, allowed);
       if (target.empty()) {
         ++skipped;
         continue;
@@ -113,9 +173,9 @@ void Runtime::apply_pinning() {
   }
   if (skipped > 0) {
     std::fprintf(stderr,
-                 "oss: OSS_PIN=1: process cpu mask does not cover the "
-                 "topology; %zu of %zu workers left unpinned\n",
-                 skipped, num_threads_);
+                 "oss: OSS_PIN=%s: process cpu mask does not cover the "
+                 "requested layout; %zu of %zu workers left unpinned\n",
+                 to_string(mode), skipped, num_threads_);
   }
 }
 
@@ -128,6 +188,14 @@ Runtime::~Runtime() {
   } catch (...) {
     std::fprintf(stderr, "oss::Runtime: exception pending at destruction\n");
   }
+  if (collector_.joinable()) {
+    {
+      std::lock_guard lock(collector_mu_);
+      collector_stop_ = true;
+    }
+    collector_cv_.notify_all();
+    collector_.join();
+  }
   stop_.store(true, std::memory_order_release);
   for (auto& gate : idle_gates_) gate->notify_all();
   {
@@ -135,6 +203,22 @@ Runtime::~Runtime() {
     cv_.notify_all();
   }
   for (auto& w : workers_) w.join();
+  // Final drain after every producer thread is gone, then the deferred
+  // export (trace_to / OSS_TRACE_OUT).  Failures warn — a missing trace
+  // file must never take the process down in a destructor.
+  if (trace_) {
+    trace_->drain();
+    if (!trace_out_.empty()) {
+      const bool prv = trace_out_.size() >= 4 &&
+                       trace_out_.compare(trace_out_.size() - 4, 4, ".prv") == 0;
+      const bool ok = prv ? trace_->write_paraver(trace_out_)
+                          : trace_->write_chrome_json(trace_out_);
+      if (!ok) {
+        std::fprintf(stderr, "oss: could not write trace to '%s'\n",
+                     trace_out_.c_str());
+      }
+    }
+  }
   // Hand the owning thread back with its pre-pin affinity mask: the caller
   // outlives the runtime, and a thread silently left pinned to one node
   // would be a surprising parting gift.  Only when the destructor runs on
@@ -189,6 +273,7 @@ TaskHandle Runtime::spawn_task(TaskSpec spec, Task::Fn fn) {
   pending_.fetch_add(1, std::memory_order_acq_rel);
 
   if (graph_) graph_->add_node(id, task->label());
+  if (trace_) task->set_trace_label(trace_->intern(task->label()));
 
   // Spawn guard: hold one phantom predecessor while edges materialize so a
   // burst of concurrently finishing producers cannot publish (or worse,
@@ -205,7 +290,8 @@ TaskHandle Runtime::spawn_task(TaskSpec spec, Task::Fn fn) {
     }
     if (graph_) graph_->add_edge(from->id(), to->id(), kind);
   };
-  const RegisterReceipt receipt = ctx->domain().register_task(task, sink);
+  const RegisterReceipt receipt =
+      ctx->domain().register_task(task, sink, trace_.get());
   stats_.on_dep_registration(receipt.shards_touched, receipt.contended);
 
   // Explicit handle edges (TaskBuilder::after), deduplicated: one edge
@@ -216,7 +302,7 @@ TaskHandle Runtime::spawn_task(TaskSpec spec, Task::Fn fn) {
     for (std::size_t j = 0; j < i && !dup; ++j) {
       dup = (spec.after[j] == pred);
     }
-    if (!dup) add_explicit_edge(pred, task, sink);
+    if (!dup) add_explicit_edge(pred, task, sink, trace_.get());
   }
 
   // NUMA home node, resolved in precedence order: the explicit hint, the
@@ -262,6 +348,7 @@ TaskHandle Runtime::spawn_task(TaskSpec spec, Task::Fn fn) {
   const bool ready =
       task->preds.fetch_sub(1, std::memory_order_acq_rel) == 1;
   if (ready) task->set_state(TaskState::Ready);
+  if (trace_) trace_->emit_spawn(id, task->trace_label(), ready);
 
   if (task->undeferred()) {
     // OmpSs if(0): the spawning thread waits for the dependencies itself
@@ -319,7 +406,9 @@ void Runtime::execute(const TaskPtr& t, int wid) {
   locks.erase(std::unique(locks.begin(), locks.end()), locks.end());
   for (std::mutex* m : locks) m->lock();
 
-  const std::uint64_t t0 = trace_ ? trace_->now_us() : 0;
+  // Raw-tick timestamps: one rdtsc here, one inside emit_run; the ns
+  // conversion happens at drain time, off the execution path.
+  const std::uint64_t t0 = trace_ ? TraceSystem::clock() : 0;
   try {
     t->run();
   } catch (...) {
@@ -327,7 +416,7 @@ void Runtime::execute(const TaskPtr& t, int wid) {
   }
   for (auto it = locks.rbegin(); it != locks.rend(); ++it) (*it)->unlock();
   t->release_body(); // handles may outlive the task; free captures now
-  if (trace_) trace_->record(wid, t->id(), t->label(), t0, trace_->now_us());
+  if (trace_) trace_->emit_run(t->id(), t->trace_label(), t0);
 
   tl_binding = ThreadBinding{prev_rt, prev_wid, prev_task};
   stats_.on_execute(wid);
@@ -351,6 +440,7 @@ void Runtime::on_finished(const TaskPtr& t, int wid) {
     // release (the registration is complete when we publish).
     if (s->preds.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       s->set_state(TaskState::Ready);
+      if (trace_) trace_->emit_ready(s->id());
       // Undeferred tasks are claimed by their (polling) spawner and must
       // not be enqueued; the Ready state transition is their signal.
       if (!s->undeferred()) newly_ready.push_back(std::move(s));
@@ -413,6 +503,7 @@ bool Runtime::try_execute_one(int wid) {
 
 void Runtime::worker_loop(int wid) {
   tl_binding = ThreadBinding{this, wid, nullptr};
+  if (trace_) trace_->bind_worker(wid);
   std::size_t idle_rounds = 0;
   std::size_t sleep_us = 20;
   // Park on the own node's gate (node-aware wakeup): home-node enqueues
@@ -462,11 +553,13 @@ void Runtime::worker_loop(int wid) {
             gate.cancel_wait();
           } else {
             stats_.on_park();
+            if (trace_) trace_->emit_park();
             // The scheduler's per-node parked counts feed the home-queue
             // pressure feedback ("is another node idle?").
             scheduler_->on_worker_park(wid);
             gate.wait(key);
             scheduler_->on_worker_unpark(wid);
+            if (trace_) trace_->emit_unpark();
           }
           idle_rounds = 0;
         }
@@ -581,6 +674,11 @@ void Runtime::taskwait_scope(const ContextPtr& ctx) {
 void Runtime::barrier() {
   stats_.on_barrier();
   wait_until([&] { return pending_.load(std::memory_order_acquire) == 0; });
+  // Quiescent point: relieve any ring at half capacity so iterative apps
+  // (barrier per frame/phase) never drop events between real drains.  Rings
+  // below the threshold are left alone — an empty-handed check is two loads
+  // per ring, so tight barrier loops stay cheap.
+  if (trace_) trace_->drain_if_pressed();
   if (std::exception_ptr ep = root_ctx_->take_exception())
     std::rethrow_exception(ep);
 }
@@ -611,6 +709,7 @@ StatsSnapshot Runtime::stats() const {
   // each call site stitching its own.
   StatsSnapshot s = stats_.snapshot();
   s.overflow_placements = scheduler_->overflow_placements();
+  if (trace_) s.trace_dropped = trace_->dropped();
   return s;
 }
 
@@ -619,7 +718,19 @@ std::string Runtime::export_graph_dot() const {
 }
 
 std::string Runtime::export_trace_json() const {
-  return trace_ ? trace_->to_json() : std::string{};
+  return trace_ ? trace_->to_chrome_json() : std::string{};
+}
+
+void Runtime::trace_to(std::string path) {
+  if (!trace_) {
+    std::fprintf(stderr,
+                 "oss: trace_to(\"%s\") ignored: tracing is off (set "
+                 "OSS_TRACE=exec|full or RuntimeConfig::trace_mode before "
+                 "constructing the runtime)\n",
+                 path.c_str());
+    return;
+  }
+  trace_out_ = std::move(path);
 }
 
 } // namespace oss

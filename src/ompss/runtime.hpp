@@ -205,12 +205,31 @@ class Runtime {
   /// `config().record_graph` was set.
   [[nodiscard]] std::string export_graph_dot() const;
 
-  /// Chrome trace-event JSON.  Empty unless `config().record_trace` was set.
+  /// Chrome trace-event JSON.  Empty unless tracing is enabled
+  /// (OSS_TRACE=exec|full / `config().record_trace`).  Exec mode reproduces
+  /// the classic one-event-per-task format; full mode adds named worker
+  /// rows, spawn→run flow arrows, and scheduler instants.
   [[nodiscard]] std::string export_trace_json() const;
 
-  /// The trace recorder, for `analyze_trace` (null unless tracing enabled).
-  [[nodiscard]] const TraceRecorder* trace_recorder() const noexcept {
+  /// Writes the trace to `path` at the next quiescent point — actually at
+  /// destruction, after the final drain (so the export covers everything).
+  /// A ".prv" suffix selects the Paraver format (".row"/".pcf" written next
+  /// to it), anything else Chrome JSON.  Overrides `config().trace_out`.
+  /// A warning is printed (and nothing recorded) when tracing is off —
+  /// enable it at construction, the rings cannot appear retroactively.
+  void trace_to(std::string path);
+
+  /// The trace system itself (null unless tracing enabled): merged events,
+  /// drop counters, on-demand exports.
+  [[nodiscard]] TraceSystem* trace_system() const noexcept {
     return trace_.get();
+  }
+
+  /// The legacy run-span view for `analyze_trace` (null unless tracing
+  /// enabled).  Thin shim: rebuilt from the ring-buffer event stream on
+  /// each call — take it once, at a quiescent point.
+  [[nodiscard]] const TraceRecorder* trace_recorder() const {
+    return trace_ ? &trace_->legacy_recorder() : nullptr;
   }
 
   /// The graph recorder (null unless `config().record_graph`); exposes the
@@ -238,12 +257,15 @@ class Runtime {
  private:
   void worker_loop(int wid);
   /// OSS_PIN: binds every worker thread (including the owning thread,
-  /// worker 0) to its home node's CPU set, intersected with the process
-  /// affinity mask.  Workers the mask cannot cover stay unpinned; one
-  /// warning line total, never an abort.  Called from the constructor
-  /// after the pool threads exist (pthread_setaffinity_np targets them by
-  /// native handle, so the count is final when construction returns).
+  /// worker 0) to its pinning target, intersected with the process
+  /// affinity mask — the home node's whole CPU set for `node`, a single
+  /// CPU per worker for `compact`/`scatter` (see pin_layout()).  Workers
+  /// the mask cannot cover stay unpinned; one warning line total, never
+  /// an abort.  Called from the constructor after the pool threads exist
+  /// (pthread_setaffinity_np targets them by native handle, so the count
+  /// is final when construction returns).
   void apply_pinning();
+  void collector_loop(std::uint64_t every_ms);
   bool try_execute_one(int wid);
   void execute(const TaskPtr& t, int wid);
   void on_finished(const TaskPtr& t, int wid);
@@ -286,7 +308,16 @@ class Runtime {
   mutable Stats stats_;
   CriticalRegistry criticals_;
   std::unique_ptr<GraphRecorder> graph_;
-  std::unique_ptr<TraceRecorder> trace_;
+  std::unique_ptr<TraceSystem> trace_;
+  std::string trace_out_; ///< destructor export target ("" = none)
+
+  /// Optional collector thread (OSS_STATS_EVERY_MS): periodically drains
+  /// the trace rings and prints a StatsSnapshot delta, so long-running
+  /// apps bound ring pressure without reaching a barrier.
+  std::thread collector_;
+  std::mutex collector_mu_;
+  std::condition_variable collector_cv_;
+  bool collector_stop_ = false;
 
   std::atomic<std::size_t> pending_{0}; ///< spawned but not finished
   std::atomic<bool> stop_{false};

@@ -217,6 +217,9 @@ TaskPtr SchedulerBase::try_steal(std::size_t victim, int thief, Stats& stats) {
   TaskPtr t = workers_[victim]->deque.steal();
   if (!t) return nullptr;
   stats.on_steal();
+  if (trace_ != nullptr) {
+    trace_->emit_steal(t->id(), static_cast<int>(victim));
+  }
   if (!node_queues_.empty() && is_worker(thief) &&
       worker_node_[victim] != worker_node_[static_cast<std::size_t>(thief)]) {
     stats.on_steal_remote();

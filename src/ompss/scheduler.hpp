@@ -43,6 +43,8 @@
 
 namespace oss {
 
+class TraceSystem;
+
 class Scheduler {
  public:
   /// Builds the scheduler implementing `policy` for `num_workers` workers.
@@ -108,8 +110,15 @@ class Scheduler {
 
   [[nodiscard]] SchedulerPolicy policy() const noexcept { return policy_; }
 
+  /// Attaches the trace stream (owned by the Runtime; may be null).  Called
+  /// once right after construction, before any worker runs — placement,
+  /// steal, and overflow events are emitted through it in full mode.
+  void set_trace(TraceSystem* trace) noexcept { trace_ = trace; }
+
  protected:
   explicit Scheduler(SchedulerPolicy policy) : policy_(policy) {}
+
+  TraceSystem* trace_ = nullptr;
 
  private:
   SchedulerPolicy policy_;

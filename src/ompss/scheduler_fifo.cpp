@@ -11,13 +11,17 @@ namespace oss {
 void FifoScheduler::enqueue_spawned(TaskPtr t, int /*spawner_worker*/) {
   if (place_priority(t)) return;
   if (place_home(t)) return;
+  const std::uint64_t id = t->id();
   global_.push(std::move(t));
+  trace_place(id, PlaceTier::Global);
 }
 
 void FifoScheduler::enqueue_unblocked(TaskPtr t, int /*finisher_worker*/) {
   if (place_priority(t)) return;
   if (place_home(t)) return;
+  const std::uint64_t id = t->id();
   global_.push(std::move(t));
+  trace_place(id, PlaceTier::Global);
 }
 
 TaskPtr FifoScheduler::pick(int worker, Stats& stats) {

@@ -24,6 +24,7 @@
 #include "ompss/mpmc_queue.hpp"
 #include "ompss/queues.hpp"
 #include "ompss/scheduler.hpp"
+#include "ompss/trace.hpp"
 
 namespace oss {
 
@@ -77,8 +78,16 @@ class SchedulerBase : public Scheduler {
   /// priority tier even when it carries a home-node hint.
   bool place_priority(TaskPtr& t) {
     if (t->priority() <= 0) return false;
+    const std::uint64_t id = t->id();
     global_hi_.push(std::move(t));
+    trace_place(id, PlaceTier::Priority);
     return true;
+  }
+
+  /// Full-mode trace hook for placement decisions (ts-free structural
+  /// event: one ring push, nothing else).
+  void trace_place(std::uint64_t task_id, PlaceTier tier) {
+    if (trace_ != nullptr) trace_->emit_place(task_id, tier);
   }
 
   /// Routes a task carrying a valid home-node hint to that node's queue;
@@ -101,9 +110,12 @@ class SchedulerBase : public Scheduler {
             pressure_threshold_ &&
         parked_elsewhere(home)) {
       overflow_placements_.fetch_add(1, std::memory_order_relaxed);
+      if (trace_ != nullptr) trace_->emit_overflow(t->id());
       return false;
     }
+    const std::uint64_t id = t->id();
     node_queues_[static_cast<std::size_t>(home)]->push(std::move(t));
+    trace_place(id, PlaceTier::Home);
     return true;
   }
 

@@ -14,7 +14,9 @@ namespace oss {
 void LocalityScheduler::enqueue_spawned(TaskPtr t, int /*spawner_worker*/) {
   if (place_priority(t)) return;
   if (place_home(t)) return;
+  const std::uint64_t id = t->id();
   global_.push(std::move(t));
+  trace_place(id, PlaceTier::Global);
 }
 
 void LocalityScheduler::enqueue_unblocked(TaskPtr t, int finisher_worker) {
@@ -22,11 +24,15 @@ void LocalityScheduler::enqueue_unblocked(TaskPtr t, int finisher_worker) {
   if (is_worker(finisher_worker) && node_matches(finisher_worker, t)) {
     // Hot end of the finisher's deque: runs next on the same worker,
     // back-to-back with its producer (the paper's cache-locality win).
+    const std::uint64_t id = t->id();
     worker_state(finisher_worker).deque.push(std::move(t));
+    trace_place(id, PlaceTier::Local);
     return;
   }
   if (place_home(t)) return;
+  const std::uint64_t id = t->id();
   global_.push(std::move(t));
+  trace_place(id, PlaceTier::Global);
 }
 
 TaskPtr LocalityScheduler::pick(int worker, Stats& stats) {

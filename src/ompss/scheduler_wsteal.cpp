@@ -14,21 +14,29 @@ void WorkStealingScheduler::enqueue_spawned(TaskPtr t, int spawner_worker) {
   // worker spawner always keeps hint-less tasks; place_home consumes
   // exactly the off-node hinted ones.
   if (is_worker(spawner_worker) && node_matches(spawner_worker, t)) {
+    const std::uint64_t id = t->id();
     worker_state(spawner_worker).deque.push(std::move(t));
+    trace_place(id, PlaceTier::Local);
     return;
   }
   if (place_home(t)) return;
+  const std::uint64_t id = t->id();
   global_.push(std::move(t));
+  trace_place(id, PlaceTier::Global);
 }
 
 void WorkStealingScheduler::enqueue_unblocked(TaskPtr t, int finisher_worker) {
   if (place_priority(t)) return;
   if (is_worker(finisher_worker) && node_matches(finisher_worker, t)) {
+    const std::uint64_t id = t->id();
     worker_state(finisher_worker).deque.push(std::move(t));
+    trace_place(id, PlaceTier::Local);
     return;
   }
   if (place_home(t)) return;
+  const std::uint64_t id = t->id();
   global_.push(std::move(t));
+  trace_place(id, PlaceTier::Global);
 }
 
 TaskPtr WorkStealingScheduler::pick(int worker, Stats& stats) {

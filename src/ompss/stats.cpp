@@ -1,5 +1,6 @@
 #include "ompss/stats.hpp"
 
+#include <cstdlib>
 #include <sstream>
 
 namespace oss {
@@ -47,11 +48,30 @@ std::string StatsSnapshot::to_string() const {
      << " multi-shard=" << dep_multi_shard
      << " contended=" << dep_contended << '\n'
      << "waits: taskwait=" << taskwaits << " barrier=" << barriers << '\n'
+     << "trace: dropped=" << trace_dropped << '\n'
      << "per-worker executed:";
   for (std::size_t i = 0; i < per_worker_executed.size(); ++i)
     os << " w" << i << '=' << per_worker_executed[i];
   os << '\n';
   return os.str();
+}
+
+std::string StatsSnapshot::footer(const std::string& tag) const {
+  std::ostringstream os;
+  os << "[oss-stats " << tag << "] tasks=" << tasks_executed
+     << " (local=" << tasks_local << " remote=" << tasks_remote
+     << ") steals=" << steals << " parks=" << parks
+     << " deps(single=" << dep_single_shard << " multi=" << dep_multi_shard
+     << " contended=" << dep_contended << ") overflow=" << overflow_placements
+     << " trace_dropped=" << trace_dropped;
+  return os.str();
+}
+
+bool stats_footer_enabled() {
+  const char* v = std::getenv("OSS_STATS");
+  if (v == nullptr) return false;
+  const std::string s(v);
+  return s == "1" || s == "true" || s == "yes" || s == "on";
 }
 
 } // namespace oss

@@ -47,6 +47,9 @@ struct StatsSnapshot {
                                       ///< lock held by another spawner
   std::uint64_t taskwaits = 0;
   std::uint64_t barriers = 0;
+  std::uint64_t trace_dropped = 0; ///< trace events lost to ring overflow
+                                   ///< (filled from the TraceSystem by
+                                   ///< Runtime::stats(); 0 when tracing off)
   std::vector<std::uint64_t> per_worker_executed;
 
   [[nodiscard]] std::uint64_t edges_total() const {
@@ -55,7 +58,16 @@ struct StatsSnapshot {
 
   /// Multi-line human-readable rendering.
   [[nodiscard]] std::string to_string() const;
+
+  /// One-line summary for bench footers: task placement, steals, dep-shard
+  /// traffic, trace drops.  `tag` names the run (benchmark/app name).
+  [[nodiscard]] std::string footer(const std::string& tag) const;
 };
+
+/// True when OSS_STATS is set to a truthy value ("1"/"true"/"yes"/"on") —
+/// the benches and apps print a `StatsSnapshot::footer` line to stderr so
+/// runs are self-describing.
+bool stats_footer_enabled();
 
 class Stats {
  public:

@@ -133,6 +133,11 @@ class Task {
   int priority() const noexcept { return priority_; }
   void set_priority(int p) noexcept { priority_ = p; }
 
+  /// Interned trace-label hash (TraceSystem::intern), set once at spawn
+  /// when tracing is on so the execution path never hashes the label.
+  std::uint32_t trace_label() const noexcept { return trace_label_; }
+  void set_trace_label(std::uint32_t h) noexcept { trace_label_ = h; }
+
   /// Undeferred (`if(0)`) task: the spawning thread executes it inline once
   /// its dependencies resolve; it is never enqueued.
   bool undeferred() const noexcept { return undeferred_; }
@@ -258,6 +263,7 @@ class Task {
   ContextPtr child_ctx_; // lazily created; touched only by the executing thread
   std::string label_;
   int priority_ = 0;
+  std::uint32_t trace_label_ = 0;
   std::atomic<int> home_node_{-1};
   std::atomic<int> inherited_node_{-1};
   std::atomic<bool> home_soft_{false};

@@ -117,6 +117,90 @@ TEST(Config, FromEnvReadsAllKnobs) {
   EXPECT_EQ(cfg.steal_tries, 4u);
 }
 
+TEST(Config, TraceModeKnobAndLegacySpellings) {
+  // New spellings select the mode directly...
+  {
+    ScopedEnv e("OSS_TRACE", "full");
+    const oss::RuntimeConfig cfg = oss::RuntimeConfig::from_env();
+    EXPECT_EQ(cfg.trace_mode, oss::TraceMode::Full);
+    EXPECT_EQ(cfg.resolved_trace_mode(), oss::TraceMode::Full);
+    EXPECT_TRUE(cfg.record_trace); // legacy bool stays in sync
+  }
+  {
+    ScopedEnv e("OSS_TRACE", "exec");
+    const oss::RuntimeConfig cfg = oss::RuntimeConfig::from_env();
+    EXPECT_EQ(cfg.trace_mode, oss::TraceMode::Exec);
+  }
+  // ...and the historical boolean spellings still work (OSS_TRACE=1 was
+  // "record run spans" — that is exactly exec mode).
+  {
+    ScopedEnv e("OSS_TRACE", "1");
+    EXPECT_EQ(oss::RuntimeConfig::from_env().resolved_trace_mode(),
+              oss::TraceMode::Exec);
+  }
+  {
+    ScopedEnv e("OSS_TRACE", "off");
+    const oss::RuntimeConfig cfg = oss::RuntimeConfig::from_env();
+    EXPECT_EQ(cfg.resolved_trace_mode(), oss::TraceMode::Off);
+    EXPECT_FALSE(cfg.record_trace);
+  }
+  {
+    ScopedEnv e("OSS_TRACE", "verbose");
+    EXPECT_THROW(oss::RuntimeConfig::from_env(), std::invalid_argument);
+  }
+  // The legacy field alone resolves too (programmatic configs).
+  oss::RuntimeConfig cfg;
+  EXPECT_EQ(cfg.resolved_trace_mode(), oss::TraceMode::Off);
+  cfg.record_trace = true;
+  EXPECT_EQ(cfg.resolved_trace_mode(), oss::TraceMode::Exec);
+}
+
+TEST(Config, PinModeKnobAndLegacySpellings) {
+  {
+    ScopedEnv e("OSS_PIN", "compact");
+    const oss::RuntimeConfig cfg = oss::RuntimeConfig::from_env();
+    EXPECT_EQ(cfg.pin_mode, oss::PinMode::Compact);
+    EXPECT_TRUE(cfg.pin); // legacy bool stays in sync
+  }
+  {
+    ScopedEnv e("OSS_PIN", "scatter");
+    EXPECT_EQ(oss::RuntimeConfig::from_env().pin_mode, oss::PinMode::Scatter);
+  }
+  {
+    ScopedEnv e("OSS_PIN", "1"); // historical boolean: node-set pinning
+    EXPECT_EQ(oss::RuntimeConfig::from_env().resolved_pin_mode(),
+              oss::PinMode::Node);
+  }
+  {
+    ScopedEnv e("OSS_PIN", "diagonal");
+    EXPECT_THROW(oss::RuntimeConfig::from_env(), std::invalid_argument);
+  }
+  oss::RuntimeConfig cfg;
+  EXPECT_EQ(cfg.resolved_pin_mode(), oss::PinMode::Off);
+  cfg.pin = true;
+  EXPECT_EQ(cfg.resolved_pin_mode(), oss::PinMode::Node);
+}
+
+TEST(Config, TraceBufferAndCollectorKnobs) {
+  {
+    ScopedEnv e1("OSS_TRACE_BUF", "1024");
+    ScopedEnv e2("OSS_TRACE_OUT", "/tmp/oss-test-trace.json");
+    ScopedEnv e3("OSS_STATS_EVERY_MS", "250");
+    const oss::RuntimeConfig cfg = oss::RuntimeConfig::from_env();
+    EXPECT_EQ(cfg.trace_buffer, 1024u);
+    EXPECT_EQ(cfg.trace_out, "/tmp/oss-test-trace.json");
+    EXPECT_EQ(cfg.stats_every_ms, 250u);
+  }
+  {
+    ScopedEnv e("OSS_TRACE_BUF", "0");
+    EXPECT_THROW(oss::RuntimeConfig::from_env(), std::invalid_argument);
+  }
+  const oss::RuntimeConfig defaults;
+  EXPECT_EQ(defaults.trace_buffer, 32768u);
+  EXPECT_TRUE(defaults.trace_out.empty());
+  EXPECT_EQ(defaults.stats_every_ms, 0u);
+}
+
 TEST(Config, StealTriesMustBePositive) {
   {
     ScopedEnv e("OSS_STEAL_TRIES", "0");

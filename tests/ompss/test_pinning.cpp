@@ -116,4 +116,100 @@ TEST(Pinning, OffByDefault) {
   EXPECT_EQ(rt.pinned_workers(), 0u);
 }
 
+// --- OSS_PIN=compact|scatter single-CPU layouts --------------------------
+
+TEST(Pinning, CompactLayoutFillsNodesInOrder) {
+  // 2x2: node 0 = {0,1}, node 1 = {2,3}.  Compact walks the CPUs
+  // node-major and wraps for oversubscribed worker counts.
+  const oss::Topology topo =
+      oss_test::forced_topology_config(1, "2x2").resolved_topology();
+  const auto lay = oss::pin_layout(topo, oss::PinMode::Compact, 6);
+  ASSERT_EQ(lay.size(), 6u);
+  const std::vector<std::vector<int>> expect{{0}, {1}, {2}, {3}, {0}, {1}};
+  EXPECT_EQ(lay, expect);
+}
+
+TEST(Pinning, ScatterLayoutRoundRobinsNodes) {
+  // Scatter alternates nodes (0,1,0,1,...) and cycles within each node's
+  // CPU list as it wraps: bandwidth first, then core spreading.
+  const oss::Topology topo =
+      oss_test::forced_topology_config(1, "2x2").resolved_topology();
+  const auto lay = oss::pin_layout(topo, oss::PinMode::Scatter, 6);
+  ASSERT_EQ(lay.size(), 6u);
+  const std::vector<std::vector<int>> expect{{0}, {2}, {1}, {3}, {0}, {2}};
+  EXPECT_EQ(lay, expect);
+}
+
+TEST(Pinning, NodeModeHasNoPrecomputedLayout) {
+  // PinMode::Node is node-set pinning resolved by the runtime (it owns the
+  // worker→node mapping); the pure layout function returns empty targets.
+  const oss::Topology topo =
+      oss_test::forced_topology_config(1, "2x2").resolved_topology();
+  for (const auto& row : oss::pin_layout(topo, oss::PinMode::Node, 4)) {
+    EXPECT_TRUE(row.empty());
+  }
+}
+
+TEST(Pinning, CompactModePinsCoveredWorkersToSingleCpus) {
+  if (!oss::pinning_supported()) GTEST_SKIP() << "no thread affinity here";
+  const std::vector<int> allowed = oss::allowed_cpus();
+  ASSERT_FALSE(allowed.empty());
+  // Compact on 2x2 targets cpu w for worker w; a worker pins iff its one
+  // CPU is in this process's mask.
+  std::size_t expect = 0;
+  for (int w = 0; w < 4; ++w) {
+    if (!oss::intersect_cpus({w}, allowed).empty()) ++expect;
+  }
+
+  oss::RuntimeConfig cfg = oss_test::forced_topology_config(4, "2x2");
+  cfg.pin_mode = oss::PinMode::Compact;
+  oss::Runtime rt(cfg);
+  EXPECT_EQ(rt.pinned_workers(), expect);
+  std::atomic<int> hits{0};
+  for (int i = 0; i < 16; ++i) rt.task("t").spawn([&] { hits++; });
+  rt.taskwait();
+  EXPECT_EQ(hits.load(), 16);
+}
+
+TEST(Pinning, ScatterModePinsCoveredWorkersToSingleCpus) {
+  if (!oss::pinning_supported()) GTEST_SKIP() << "no thread affinity here";
+  const std::vector<int> allowed = oss::allowed_cpus();
+  ASSERT_FALSE(allowed.empty());
+  // Scatter on 2x2: worker 0→cpu0, 1→cpu2, 2→cpu1, 3→cpu3.
+  const std::vector<int> targets{0, 2, 1, 3};
+  std::size_t expect = 0;
+  for (int t : targets) {
+    if (!oss::intersect_cpus({t}, allowed).empty()) ++expect;
+  }
+
+  oss::RuntimeConfig cfg = oss_test::forced_topology_config(4, "2x2");
+  cfg.pin_mode = oss::PinMode::Scatter;
+  oss::Runtime rt(cfg);
+  EXPECT_EQ(rt.pinned_workers(), expect);
+  std::atomic<int> hits{0};
+  for (int i = 0; i < 16; ++i) rt.task("t").affinity(i % 2).spawn([&] { hits++; });
+  rt.taskwait();
+  EXPECT_EQ(hits.load(), 16);
+}
+
+TEST(Pinning, SingleCpuLayoutsDoNotDissolveOnFlatTopology) {
+  // Unlike node-set pinning, compact/scatter stay meaningful with no NUMA
+  // information: the layout falls back to the process mask, one CPU per
+  // worker, so every worker pins.
+  if (!oss::pinning_supported()) GTEST_SKIP() << "no thread affinity here";
+  const std::vector<int> original = oss::allowed_cpus();
+  ASSERT_FALSE(original.empty());
+  {
+    oss::RuntimeConfig cfg = oss_test::forced_topology_config(4, "flat");
+    cfg.pin_mode = oss::PinMode::Scatter;
+    oss::Runtime rt(cfg);
+    EXPECT_EQ(rt.pinned_workers(), 4u);
+    std::atomic<int> hits{0};
+    for (int i = 0; i < 8; ++i) rt.task("t").spawn([&] { hits++; });
+    rt.taskwait();
+    EXPECT_EQ(hits.load(), 8);
+  }
+  EXPECT_EQ(oss::allowed_cpus(), original);
+}
+
 } // namespace

@@ -68,6 +68,8 @@ for sched in $SCHEDULERS; do
           if env -u OSS_NUM_THREADS -u OSS_BARRIER -u OSS_SPIN_ROUNDS \
                  -u OSS_STEAL_TRIES -u OSS_PIN -u OSS_PRESSURE \
                  -u OSS_RECORD_GRAPH -u OSS_TRACE -u OSS_DEP_SHARDS \
+                 -u OSS_TRACE_BUF -u OSS_TRACE_OUT -u OSS_STATS \
+                 -u OSS_STATS_EVERY_MS \
                  OSS_SCHEDULER="$sched" OSS_IDLE="$idle" OSS_NUMA="$numa" \
                  OSS_TOPOLOGY="$topo" "$BUILD_DIR/$bin" $GTEST_ARGS \
                  >"$log" 2>&1; then
@@ -94,7 +96,8 @@ for shards in $DEP_SHARDS; do
       if env -u OSS_NUM_THREADS -u OSS_BARRIER -u OSS_SPIN_ROUNDS \
              -u OSS_STEAL_TRIES -u OSS_PIN -u OSS_PRESSURE \
              -u OSS_RECORD_GRAPH -u OSS_TRACE -u OSS_IDLE -u OSS_NUMA \
-             -u OSS_TOPOLOGY \
+             -u OSS_TOPOLOGY -u OSS_TRACE_BUF -u OSS_TRACE_OUT \
+             -u OSS_STATS -u OSS_STATS_EVERY_MS \
              OSS_DEP_SHARDS="$shards" OSS_SCHEDULER="$sched" \
              "$BUILD_DIR/$bin" $GTEST_ARGS >"$log" 2>&1; then
         printf 'ok   %-38s %s\n' "$bin" "$combo"
