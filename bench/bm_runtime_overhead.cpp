@@ -1,45 +1,97 @@
-// bm_runtime_overhead — microbenchmarks of the `oss` runtime itself (A4 in
-// DESIGN.md): the per-task costs that make task granularity matter for
-// h264dec (§4 of the paper).
+// bm_runtime_overhead — single-thread spawn+join latency of the runtime
+// itself, the acceptance bench for the allocation-free steady-state spawn
+// path (docs/memory.md).  Per-task cost is what makes task granularity
+// matter for h264dec (§4 of the paper): the cheaper a spawn, the finer the
+// tasks an application can afford.
 //
-//   * spawn+drain of empty independent tasks (pure runtime overhead)
-//   * dependency-chain latency (spawn + RAW edge + wakeup per link)
-//   * access registration cost as a function of access-list length
-//   * critical-section throughput
+// The gated cases sweep OSS_POOL off(0)/on(1) on one worker thread, with
+// the Runtime constructed outside the timing loop and the pool warmed
+// first — what is measured is the steady-state spawn→execute→retire cycle,
+// not startup or cold-cache allocation:
+//
+//   Overhead/empty/<pool>   — independent empty tasks (pure spawn+join)
+//   Overhead/chain/<pool>   — 1-dep chain (spawn + RAW edge + wakeup/link)
+//   Overhead/fanin8/<pool>  — 8 producers + 1 consumer with an 8-entry
+//                             access list (fan-in edge insertion)
+//
+// The CI bench-smoke job gates Overhead/* against baseline_overhead.json,
+// normalized by Overhead/empty/1 (see bench/compare_bench.py — the gate
+// only arms between like machines).  The ungated extras below keep the old
+// coverage of wide access lists and critical sections.
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
 #include <vector>
 
 #include "ompss/ompss.hpp"
 
 namespace {
 
-void BM_spawn_empty_tasks(benchmark::State& state) {
-  const auto threads = static_cast<std::size_t>(state.range(0));
-  for (auto _ : state) {
-    oss::Runtime rt(threads);
-    for (int i = 0; i < 2000; ++i) rt.task().spawn([] {});
-    rt.taskwait();
-  }
-  state.SetItemsProcessed(state.iterations() * 2000);
+oss::RuntimeConfig overhead_config(bool pool) {
+  oss::RuntimeConfig cfg;
+  cfg.num_threads = 1;
+  cfg.pool = pool;
+  return cfg;
 }
 
-void BM_dependency_chain(benchmark::State& state) {
-  const auto threads = static_cast<std::size_t>(state.range(0));
-  for (auto _ : state) {
-    oss::Runtime rt(threads);
-    int token = 0;
-    for (int i = 0; i < 1000; ++i) rt.task().inout(token).spawn([] {});
+constexpr int kBatch = 256;
+
+void BM_overhead_empty(benchmark::State& state) {
+  oss::Runtime rt(overhead_config(state.range(0) != 0));
+  auto round = [&] {
+    for (int i = 0; i < kBatch; ++i) rt.task().spawn([] {});
     rt.taskwait();
-  }
-  state.SetItemsProcessed(state.iterations() * 1000);
+  };
+  for (int r = 0; r < 8; ++r) round(); // warm the pool and the scheduler
+  for (auto _ : state) round();
+  state.SetItemsProcessed(state.iterations() * kBatch);
 }
+
+void BM_overhead_chain(benchmark::State& state) {
+  oss::Runtime rt(overhead_config(state.range(0) != 0));
+  int token = 0;
+  auto round = [&] {
+    for (int i = 0; i < kBatch; ++i) rt.task().inout(token).spawn([] {});
+    rt.taskwait();
+  };
+  for (int r = 0; r < 8; ++r) round();
+  for (auto _ : state) round();
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+
+void BM_overhead_fanin8(benchmark::State& state) {
+  oss::Runtime rt(overhead_config(state.range(0) != 0));
+  std::vector<int> v(8, 0);
+  int sum = 0;
+  constexpr int kGroups = kBatch / 9;
+  auto round = [&] {
+    for (int g = 0; g < kGroups; ++g) {
+      for (std::size_t i = 0; i < 8; ++i)
+        rt.task().out(v[i]).spawn([] {});
+      rt.task()
+          .in(v[0]).in(v[1]).in(v[2]).in(v[3])
+          .in(v[4]).in(v[5]).in(v[6]).in(v[7])
+          .inout(sum)
+          .spawn([&] { ++sum; });
+    }
+    rt.taskwait();
+  };
+  for (int r = 0; r < 8; ++r) round();
+  for (auto _ : state) round();
+  state.SetItemsProcessed(state.iterations() * kGroups * 9);
+}
+
+BENCHMARK(BM_overhead_empty)->Name("Overhead/empty")->Arg(0)->Arg(1);
+BENCHMARK(BM_overhead_chain)->Name("Overhead/chain")->Arg(0)->Arg(1);
+BENCHMARK(BM_overhead_fanin8)->Name("Overhead/fanin8")->Arg(0)->Arg(1);
+
+// --- ungated extras (coverage kept from the pre-pool bench) ----------------
 
 void BM_wide_access_lists(benchmark::State& state) {
   const int naccesses = static_cast<int>(state.range(0));
   std::vector<int> vars(static_cast<std::size_t>(naccesses));
+  oss::Runtime rt(overhead_config(true));
   for (auto _ : state) {
-    oss::Runtime rt(1);
     for (int t = 0; t < 500; ++t) {
       oss::AccessList acc;
       acc.reserve(static_cast<std::size_t>(naccesses));
@@ -80,8 +132,6 @@ void BM_taskwait_on_latency(benchmark::State& state) {
 
 constexpr int kIters = 3;
 
-BENCHMARK(BM_spawn_empty_tasks)->Arg(1)->Arg(2)->Arg(4)->Iterations(kIters);
-BENCHMARK(BM_dependency_chain)->Arg(1)->Arg(2)->Arg(4)->Iterations(kIters);
 BENCHMARK(BM_wide_access_lists)->Arg(1)->Arg(4)->Arg(16)->Iterations(kIters);
 BENCHMARK(BM_critical_throughput)->Arg(1)->Arg(4)->Iterations(kIters);
 BENCHMARK(BM_taskwait_on_latency)->Iterations(kIters);

@@ -69,7 +69,7 @@ void BM_DomainChurn(benchmark::State& state) {
           const std::size_t off =
               (static_cast<std::size_t>(i) * (kRegionBytes / 2)) %
               (kArenaBytes - kRegionBytes);
-          auto task = std::make_shared<oss::Task>(
+          auto task = oss::make_task(
               ids.fetch_add(1, std::memory_order_relaxed) + 1, [] {},
               oss::AccessList{oss::region(arena + off, kRegionBytes,
                                           oss::Mode::InOut)},

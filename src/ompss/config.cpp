@@ -179,6 +179,7 @@ RuntimeConfig RuntimeConfig::from_env() {
     cfg.pin = cfg.pin_mode != PinMode::Off; // keep the legacy bool in sync
   }
   if (const char* v = env("OSS_PRESSURE")) cfg.pressure = parse_size("OSS_PRESSURE", v);
+  if (const char* v = env("OSS_POOL")) cfg.pool = parse_bool("OSS_POOL", v);
   if (const char* v = env("OSS_DEP_SHARDS")) {
     cfg.dep_shards = parse_size("OSS_DEP_SHARDS", v);
     if (cfg.dep_shards < 1 || cfg.dep_shards > 256 ||

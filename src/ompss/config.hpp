@@ -55,12 +55,19 @@
 //   OSS_STATS_EVERY_MS period of the optional collector thread: every N ms
 //                     it drains the trace rings and prints a StatsSnapshot
 //                     delta line to stderr.  0 (default) = no collector.
+//   OSS_POOL          "on" (default) | "off" — allocation recycling
+//                     (docs/memory.md): intrusive task pooling, pooled
+//                     dependency-map nodes.  "off" restores per-spawn
+//                     `new`/`delete` with bit-exact dependency semantics —
+//                     the escape hatch and the A/B baseline.
 //
 // Unknown policy names fail fast with a message listing the valid options.
 #pragma once
 
 #include <cstddef>
 #include <string>
+
+#include "ompss/task_pool.hpp" // pool::enabled_by_default (OSS_POOL)
 
 namespace oss {
 
@@ -190,6 +197,14 @@ struct RuntimeConfig {
   /// classic single-lock domain (bit-exact edge sets — the escape hatch).
   /// See docs/dependencies.md for the hashing and lock-ordering protocol.
   std::size_t dep_shards = 8;
+
+  /// Allocation recycling (OSS_POOL, docs/memory.md): pooled Task objects
+  /// with intrusive refcounts and pooled dependency-map nodes, making the
+  /// warmed spawn→execute→retire cycle allocation-free.  false restores
+  /// plain `new`/`delete` per task (bit-exact dependency semantics).  The
+  /// default is environment-sensitive so suites constructing RuntimeConfig
+  /// directly still honor an OSS_POOL=off sweep.
+  bool pool = pool::enabled_by_default();
 
   /// Record task-graph nodes/edges for `Runtime::export_graph_dot()`.
   bool record_graph = false;

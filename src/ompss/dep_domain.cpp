@@ -57,37 +57,82 @@ std::size_t round_up_pow2(std::size_t n) {
 /// Per-registration state shared across all shards a task touches: edge
 /// dedup per (producer, consumer) pair, and the byte-weighted home-node
 /// vote for chain affinity inheritance.
+///
+/// Both containers are inline-first: typical tasks see a handful of
+/// producers and one or two home nodes, and RegCtx sits on the spawn fast
+/// path — the spill containers only materialize for pathological fan-ins,
+/// so a steady-state registration allocates nothing.  The dedup stays
+/// *exact* in both regimes (the inline scan checks every recorded pointer,
+/// the spill set is authoritative beyond that), which the OSS_POOL=off
+/// parity guarantee depends on.
+///
+/// Producer pointers are compared, never dereferenced, after add_edge —
+/// and no producer can retire *and be recycled into a new task visible to
+/// this registration* while it runs: every shard the registration touches
+/// stays locked for its whole duration, so no concurrent registration can
+/// install a recycled task into an entry this one will visit.
 struct DepDomain::RegCtx {
+  RegCtx(const TaskPtr& t, const EdgeSink& s, TraceSystem* tr)
+      : task(t), sink(s), trace(tr) {}
+
   const TaskPtr& task;
   const EdgeSink& sink;
   TraceSystem* trace;
 
   /// A new task may overlap many sub-intervals (possibly in different
   /// shards) with the same producer; only one edge is needed.
-  std::unordered_set<const Task*> seen;
+  static constexpr std::size_t kInlineSeen = 32;
+  const Task* seen_inline[kInlineSeen];
+  std::size_t seen_n = 0;
+  std::unordered_set<const Task*> seen_spill;
+
+  /// True when `p` was not recorded yet (and records it).
+  bool seen_insert(const Task* p) {
+    for (std::size_t i = 0; i < seen_n; ++i) {
+      if (seen_inline[i] == p) return false;
+    }
+    if (seen_n < kInlineSeen) {
+      seen_inline[seen_n++] = p;
+      return true;
+    }
+    return seen_spill.insert(p).second;
+  }
 
   /// Home-node votes: every discovered hazard whose producer has a
   /// resolved home donates that node, weighted by the overlap bytes of the
   /// entry the hazard was found on.  Finished producers vote too — the
   /// data the chain streams through still lives on their node.  The node
   /// with the largest byte total wins (first seen wins ties).
-  std::vector<std::pair<int, std::uint64_t>> votes;
+  static constexpr std::size_t kInlineVotes = 8;
+  std::pair<int, std::uint64_t> votes_inline[kInlineVotes];
+  std::size_t votes_n = 0;
+  std::vector<std::pair<int, std::uint64_t>> votes_spill;
 
   void vote(int node, std::uint64_t bytes) {
     if (node < 0) return;
-    for (auto& [n, b] : votes) {
+    for (std::size_t i = 0; i < votes_n; ++i) {
+      if (votes_inline[i].first == node) {
+        votes_inline[i].second += bytes;
+        return;
+      }
+    }
+    for (auto& [n, b] : votes_spill) {
       if (n == node) {
         b += bytes;
         return;
       }
     }
-    votes.emplace_back(node, bytes);
+    if (votes_n < kInlineVotes) {
+      votes_inline[votes_n++] = {node, bytes};
+    } else {
+      votes_spill.emplace_back(node, bytes);
+    }
   }
 
   void add_edge(const TaskPtr& producer, DepKind kind, std::uint64_t bytes) {
     if (!producer || producer.get() == task.get()) return;
     vote(producer->home_node(), bytes);
-    if (!seen.insert(producer.get()).second) return;
+    if (!seen_insert(producer.get())) return;
     if (!producer->add_successor_edge(task)) {
       return; // already retired: no edge needed
     }
@@ -100,29 +145,37 @@ struct DepDomain::RegCtx {
 
   /// Applies the vote: the max-bytes node becomes the task's inherited
   /// home (consulted at spawn-time resolution when the task carries no
-  /// hint of its own).
+  /// hint of its own).  First seen wins ties — inline votes precede spill
+  /// votes in recording order, so the scan preserves that.
   void finalize_inheritance() const {
-    if (votes.empty()) return;
-    int best = votes.front().first;
-    std::uint64_t best_bytes = votes.front().second;
-    for (std::size_t i = 1; i < votes.size(); ++i) {
-      if (votes[i].second > best_bytes) {
-        best = votes[i].first;
-        best_bytes = votes[i].second;
+    if (votes_n == 0) return;
+    int best = votes_inline[0].first;
+    std::uint64_t best_bytes = votes_inline[0].second;
+    for (std::size_t i = 1; i < votes_n; ++i) {
+      if (votes_inline[i].second > best_bytes) {
+        best = votes_inline[i].first;
+        best_bytes = votes_inline[i].second;
+      }
+    }
+    for (const auto& [n, b] : votes_spill) {
+      if (b > best_bytes) {
+        best = n;
+        best_bytes = b;
       }
     }
     task->set_inherited_node(best);
   }
 };
 
-DepDomain::DepDomain(std::size_t shards) {
+DepDomain::DepDomain(std::size_t shards, bool pooled) {
   // Clamp BEFORE rounding: rounding first would loop forever for counts
   // above 2^63 (p doubles past the top bit and wraps to 0).
   std::size_t n = shards == 0 ? 1 : shards;
   if (n > 256) n = 256;
   n = round_up_pow2(n);
   shards_.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+  for (std::size_t i = 0; i < n; ++i)
+    shards_.push_back(std::make_unique<Shard>(pooled));
   mask_ = n - 1;
 }
 
@@ -193,14 +246,16 @@ void DepDomain::register_range(Map& map, std::uintptr_t begin,
           e.group.push_back(task);
         } else {
           // Start a new group ordered after the previous epoch; snapshot
-          // that epoch so later joiners take the same edges.
-          std::vector<TaskPtr> writers;
-          if (e.last_writer) writers.push_back(e.last_writer);
-          for (const TaskPtr& g : e.group) writers.push_back(g);
+          // that epoch so later joiners take the same edges.  The epoch
+          // vectors are rebuilt in place (clear + swap, not move-assign)
+          // so the entry's buffers keep their capacity across epochs —
+          // steady-state group churn stays allocation-free.
+          e.epoch_writers.clear();
+          if (e.last_writer) e.epoch_writers.push_back(e.last_writer);
+          for (const TaskPtr& g : e.group) e.epoch_writers.push_back(g);
           writer_set_edges(e, DepKind::Waw, bytes);
           for (const TaskPtr& r : e.readers) ctx.add_edge(r, DepKind::War, bytes);
-          e.epoch_writers = std::move(writers);
-          e.epoch_readers = std::move(e.readers);
+          e.epoch_readers.swap(e.readers);
           e.last_writer.reset();
           e.group.clear();
           e.group.push_back(task);
@@ -260,7 +315,7 @@ void DepDomain::register_range(Map& map, std::uintptr_t begin,
 RegisterReceipt DepDomain::register_task(const TaskPtr& task,
                                          const EdgeSink& sink,
                                          TraceSystem* trace) {
-  RegCtx ctx{task, sink, trace, {}, {}};
+  RegCtx ctx{task, sink, trace};
   RegisterReceipt receipt;
 
   // Access-free tasks (pure .after() chains, fire-and-forget bodies) have

@@ -54,6 +54,7 @@
 
 #include "ompss/access.hpp"
 #include "ompss/task.hpp"
+#include "ompss/task_pool.hpp"
 
 namespace oss {
 
@@ -98,7 +99,11 @@ class DepDomain {
   /// `shards` must be a power of two in [1, 256] (validated by
   /// RuntimeConfig; direct constructions round invalid counts up to the
   /// next power of two and clamp).  1 = classic single-lock domain.
-  explicit DepDomain(std::size_t shards = 1);
+  /// `pooled` backs each shard's interval map with a per-shard node pool
+  /// (freed nodes recycle under the shard lock instead of returning to the
+  /// allocator); off = plain heap nodes, identical behavior otherwise.
+  explicit DepDomain(std::size_t shards = 1,
+                     bool pooled = pool::enabled_by_default());
   ~DepDomain();
 
   DepDomain(const DepDomain&) = delete;
@@ -178,12 +183,21 @@ class DepDomain {
   };
 
   /// Interval map: key is the interval start; intervals never overlap.
-  using Map = std::map<std::uintptr_t, Entry>;
+  /// The allocator recycles tree nodes through the shard's NodePool when
+  /// the domain is pooled (null pool = plain operator new, the OSS_POOL=off
+  /// path) — interval split/merge churn stops hitting the global allocator
+  /// once a shard is warm.
+  using MapAlloc = pool::PoolAllocator<std::pair<const std::uintptr_t, Entry>>;
+  using Map = std::map<std::uintptr_t, Entry, std::less<std::uintptr_t>, MapAlloc>;
 
   /// One shard: its slice of the address space (the stripes hashing here)
-  /// and the lock serializing access to it.
+  /// and the lock serializing access to it.  The node pool is declared
+  /// before the map so the map (which frees into it) destructs first; it
+  /// is synchronized by `mu`, which every map mutation already holds.
   struct Shard {
+    explicit Shard(bool pooled) : map(MapAlloc(pooled ? &node_pool : nullptr)) {}
     mutable std::mutex mu;
+    pool::NodePool node_pool;
     Map map;
   };
 

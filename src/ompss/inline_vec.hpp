@@ -1,0 +1,144 @@
+#pragma once
+// inline_vec.hpp — a small-buffer vector for the spawn fast path.
+//
+// TaskSpec carries two lists through every spawn: the access list and
+// the explicit-predecessor list.  Both are tiny in practice (h264dec's
+// macroblock tasks have 4 accesses; most tasks have 0–2 explicit
+// predecessors), yet std::vector heap-allocates for the first element.
+// InlineVec keeps up to N elements in an inline buffer and only spills
+// to a std::vector beyond that — so the common spawn never touches the
+// allocator for either list.
+//
+// The inline slots are raw storage, not a std::array: element lifetimes
+// start at push_back and end at clear/destruction.  A default-
+// constructed InlineVec therefore costs two stores, not N value-
+// initializations — TaskSpec construction is itself on the per-spawn
+// fast path.
+//
+// Invariant: before the first spill ALL elements live in the inline
+// buffer; after it ALL elements live in the spill vector (no split
+// storage, so iteration is a single contiguous range either way).
+// Move-only, like the TaskSpec it serves.
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace oss {
+
+template <class T, std::size_t N>
+class InlineVec {
+ public:
+  InlineVec() = default;
+
+  InlineVec(InlineVec&& other) noexcept : spill_(std::move(other.spill_)) {
+    n_ = other.n_;
+    spilled_ = other.spilled_;
+    for (std::size_t i = 0; i < other.n_; ++i) {
+      ::new (slot(i)) T(std::move(other.slot_ref(i)));
+      other.slot_ref(i).~T();
+    }
+    other.n_ = 0;
+    other.spilled_ = false;
+  }
+
+  InlineVec& operator=(InlineVec&& other) noexcept {
+    if (this != &other) {
+      destroy_inline();
+      spill_ = std::move(other.spill_);
+      n_ = other.n_;
+      spilled_ = other.spilled_;
+      for (std::size_t i = 0; i < other.n_; ++i) {
+        ::new (slot(i)) T(std::move(other.slot_ref(i)));
+        other.slot_ref(i).~T();
+      }
+      other.n_ = 0;
+      other.spilled_ = false;
+    }
+    return *this;
+  }
+
+  InlineVec(const InlineVec&) = delete;
+  InlineVec& operator=(const InlineVec&) = delete;
+
+  ~InlineVec() { destroy_inline(); }
+
+  void push_back(T v) {
+    if (!spilled_) {
+      if (n_ < N) {
+        ::new (slot(n_)) T(std::move(v));
+        ++n_;
+        return;
+      }
+      spill();
+    }
+    spill_.push_back(std::move(v));
+  }
+
+  // Take ownership of an already-built vector wholesale (the legacy
+  // spawn shims hand us one); no per-element copy, no allocation.
+  void adopt(std::vector<T>&& v) {
+    if (empty()) {
+      spill_ = std::move(v);
+      spilled_ = true;
+    } else {
+      for (auto& e : v) push_back(std::move(e));
+      v.clear();
+    }
+  }
+
+  T* data() noexcept {
+    return spilled_ ? spill_.data() : std::launder(slot_ptr(0));
+  }
+  const T* data() const noexcept {
+    return spilled_ ? spill_.data() : std::launder(slot_cptr(0));
+  }
+  std::size_t size() const noexcept { return spilled_ ? spill_.size() : n_; }
+  bool empty() const noexcept { return size() == 0; }
+
+  T& operator[](std::size_t i) noexcept { return data()[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data()[i]; }
+
+  T* begin() noexcept { return data(); }
+  T* end() noexcept { return data() + size(); }
+  const T* begin() const noexcept { return data(); }
+  const T* end() const noexcept { return data() + size(); }
+
+  void clear() noexcept {
+    if (spilled_) spill_.clear();
+    destroy_inline();
+    spilled_ = false;
+  }
+
+ private:
+  void* slot(std::size_t i) noexcept { return buf_ + i * sizeof(T); }
+  T* slot_ptr(std::size_t i) noexcept {
+    return reinterpret_cast<T*>(buf_ + i * sizeof(T));
+  }
+  const T* slot_cptr(std::size_t i) const noexcept {
+    return reinterpret_cast<const T*>(buf_ + i * sizeof(T));
+  }
+  T& slot_ref(std::size_t i) noexcept { return *std::launder(slot_ptr(i)); }
+
+  void destroy_inline() noexcept {
+    for (std::size_t i = 0; i < n_; ++i) slot_ref(i).~T();
+    n_ = 0;
+  }
+
+  void spill() {
+    spill_.reserve(N * 2);
+    for (std::size_t i = 0; i < n_; ++i)
+      spill_.push_back(std::move(slot_ref(i)));
+    destroy_inline();
+    spilled_ = true;
+  }
+
+  std::size_t n_ = 0;
+  bool spilled_ = false;
+  alignas(T) unsigned char buf_[sizeof(T) * N];
+  std::vector<T> spill_;
+};
+
+}  // namespace oss

@@ -8,6 +8,7 @@
 
 #include "ompss/numa_alloc.hpp"
 #include "ompss/pinning.hpp"
+#include "ompss/task_pool.hpp"
 
 namespace oss {
 
@@ -25,6 +26,52 @@ struct Runtime::ThreadBinding {
 
 namespace {
 thread_local Runtime::ThreadBinding tl_binding;
+
+/// RAII loan of a per-thread scratch std::vector<TaskPtr> — the successor
+/// and newly-ready lists in on_finished() used to be fresh vectors per
+/// retirement, i.e. one or two heap allocations per task.  A small
+/// free-stack (not a single slot) because retirement can nest: a polling
+/// taskwait inside a task body executes further tasks, whose on_finished
+/// needs its own scratch while the outer one is live.
+class ScratchTaskVec {
+ public:
+  ScratchTaskVec() {
+    auto& s = stack();
+    if (!s.free.empty()) {
+      v_ = s.free.back();
+      s.free.pop_back();
+    } else {
+      v_ = new std::vector<TaskPtr>();
+    }
+  }
+  ~ScratchTaskVec() {
+    v_->clear();
+    auto& s = stack();
+    if (s.free.size() < kMaxCached) {
+      s.free.push_back(v_);
+    } else {
+      delete v_;
+    }
+  }
+  ScratchTaskVec(const ScratchTaskVec&) = delete;
+  ScratchTaskVec& operator=(const ScratchTaskVec&) = delete;
+
+  std::vector<TaskPtr>& get() noexcept { return *v_; }
+
+ private:
+  static constexpr std::size_t kMaxCached = 8;
+  struct Stack {
+    std::vector<std::vector<TaskPtr>*> free;
+    ~Stack() {
+      for (auto* p : free) delete p;
+    }
+  };
+  static Stack& stack() {
+    thread_local Stack s;
+    return s;
+  }
+  std::vector<TaskPtr>* v_;
+};
 } // namespace
 
 Runtime* Runtime::current() noexcept { return tl_binding.rt; }
@@ -37,12 +84,25 @@ int Runtime::current_worker() noexcept { return tl_binding.worker; }
 Runtime::Runtime(RuntimeConfig cfg)
     : cfg_(cfg),
       num_threads_(cfg.resolved_threads()),
-      root_ctx_(std::make_shared<TaskContext>(cfg.dep_shards)),
+      root_ctx_(std::make_shared<TaskContext>(cfg.dep_shards, cfg.pool)),
       topo_(cfg.resolved_topology()),
       scheduler_(Scheduler::create(cfg.scheduler, num_threads_,
                                    cfg.steal_tries, topo_, cfg.numa,
                                    cfg.pressure)),
       stats_(num_threads_) {
+  pool_overflow_base_ = pool::overflow_total();
+  // Built once, not per spawn: the sink is the same closure for the life
+  // of the runtime and EdgeSink is a std::function (capture copy + possible
+  // heap box on every construction).
+  edge_sink_ = [this](const TaskPtr& from, const TaskPtr& to, DepKind kind) {
+    switch (kind) {
+      case DepKind::Raw: stats_.on_edge_raw(); break;
+      case DepKind::War: stats_.on_edge_war(); break;
+      case DepKind::Waw: stats_.on_edge_waw(); break;
+      case DepKind::Explicit: stats_.on_edge_explicit(); break;
+    }
+    if (graph_) graph_->add_edge(from->id(), to->id(), kind);
+  };
   if (cfg_.record_graph) graph_ = std::make_unique<GraphRecorder>();
   if (cfg_.resolved_trace_mode() != TraceMode::Off) {
     trace_ = std::make_unique<TraceSystem>(cfg_.resolved_trace_mode(),
@@ -243,16 +303,21 @@ ContextPtr Runtime::current_spawn_context() {
   return root_ctx_;
 }
 
+// The legacy positional shims route through the exact spec (and thus the
+// same inline-closure slot and pooled task path) the builder uses: the
+// vector argument is adopted wholesale, and `fn` is already a SmallFn by
+// the time it arrives — a shim spawn and a builder spawn of the same body
+// perform identical allocations (test_task_pool.cpp holds that parity).
 std::uint64_t Runtime::spawn(AccessList accesses, Task::Fn fn, std::string label) {
   TaskSpec spec;
-  spec.accesses = std::move(accesses);
+  spec.accesses.adopt(std::move(accesses));
   spec.label = std::move(label);
   return spawn_task(std::move(spec), std::move(fn)).id();
 }
 
 std::uint64_t Runtime::spawn(AccessList accesses, Task::Fn fn, TaskOptions opts) {
   TaskSpec spec;
-  spec.accesses = std::move(accesses);
+  spec.accesses.adopt(std::move(accesses));
   spec.label = std::move(opts.label);
   spec.priority = opts.priority;
   spec.deferred = opts.deferred;
@@ -264,9 +329,24 @@ TaskHandle Runtime::spawn_task(TaskSpec spec, Task::Fn fn) {
                                 : current_spawn_context();
   const std::uint64_t id =
       next_task_id_.fetch_add(1, std::memory_order_relaxed) + 1;
-  TaskPtr task = std::make_shared<Task>(id, std::move(fn),
-                                        std::move(spec.accesses), ctx,
-                                        std::move(spec.label));
+  TaskPtr task;
+  if (cfg_.pool) {
+    // Steady-state path: a recycled task object, its containers still
+    // holding last life's capacity.  prepare() + set_accesses() touch no
+    // allocator once the pool and the task's buffers are warm.
+    const pool::AcquireResult a = pool::acquire();
+    stats_.on_pool_acquire(a.recycled);
+    a.task->prepare(id, std::move(fn), ctx, std::move(spec.label));
+    a.task->set_accesses(spec.accesses.data(), spec.accesses.size());
+    task = TaskPtr::adopt(a.task);
+  } else {
+    // OSS_POOL=off: one fresh allocation per task, deleted at final
+    // release — the pre-pool behavior.
+    task = TaskPtr::adopt(
+        new Task(id, std::move(fn),
+                 AccessList(spec.accesses.begin(), spec.accesses.end()), ctx,
+                 std::move(spec.label)));
+  }
   task->set_priority(spec.priority);
   task->set_undeferred(!spec.deferred);
   ctx->live_children.fetch_add(1, std::memory_order_acq_rel);
@@ -281,17 +361,8 @@ TaskHandle Runtime::spawn_task(TaskSpec spec, Task::Fn fn) {
   // preds to zero — this thread or a finisher — owns the Ready transition.
   task->preds.store(1, std::memory_order_relaxed);
 
-  EdgeSink sink = [this](const TaskPtr& from, const TaskPtr& to, DepKind kind) {
-    switch (kind) {
-      case DepKind::Raw: stats_.on_edge_raw(); break;
-      case DepKind::War: stats_.on_edge_war(); break;
-      case DepKind::Waw: stats_.on_edge_waw(); break;
-      case DepKind::Explicit: stats_.on_edge_explicit(); break;
-    }
-    if (graph_) graph_->add_edge(from->id(), to->id(), kind);
-  };
   const RegisterReceipt receipt =
-      ctx->domain().register_task(task, sink, trace_.get());
+      ctx->domain().register_task(task, edge_sink_, trace_.get());
   stats_.on_dep_registration(receipt.shards_touched, receipt.contended);
 
   // Explicit handle edges (TaskBuilder::after), deduplicated: one edge
@@ -302,7 +373,7 @@ TaskHandle Runtime::spawn_task(TaskSpec spec, Task::Fn fn) {
     for (std::size_t j = 0; j < i && !dup; ++j) {
       dup = (spec.after[j] == pred);
     }
-    if (!dup) add_explicit_edge(pred, task, sink, trace_.get());
+    if (!dup) add_explicit_edge(pred, task, edge_sink_, trace_.get());
   }
 
   // NUMA home node, resolved in precedence order: the explicit hint, the
@@ -429,11 +500,16 @@ void Runtime::on_finished(const TaskPtr& t, int wid) {
   // serializes against in-flight registrations of unrelated regions.
   // finish_take_successors marks the task finished and drains the list as
   // one atomic step: an edge racing in either lands in `succs` or observes
-  // `finished` and is skipped by the registrant.
-  std::vector<TaskPtr> succs = t->finish_take_successors();
+  // `finished` and is skipped by the registrant.  Both lists are borrowed
+  // per-thread scratch vectors — retirement runs once per task and must
+  // not allocate (ScratchTaskVec above).
+  ScratchTaskVec succs_scratch;
+  std::vector<TaskPtr>& succs = succs_scratch.get();
+  t->finish_take_successors(succs);
   t->set_state(TaskState::Finished);
 
-  std::vector<TaskPtr> newly_ready;
+  ScratchTaskVec ready_scratch;
+  std::vector<TaskPtr>& newly_ready = ready_scratch.get();
   for (TaskPtr& s : succs) {
     // acq_rel: acquire pairs with the producers' release decrements (their
     // outputs are visible to the task body) and with the spawner's guard
@@ -710,6 +786,10 @@ StatsSnapshot Runtime::stats() const {
   StatsSnapshot s = stats_.snapshot();
   s.overflow_placements = scheduler_->overflow_placements();
   if (trace_) s.trace_dropped = trace_->dropped();
+  // The task pool is process-wide; report the overflow delta since this
+  // runtime was constructed (approximate when runtimes overlap, exact for
+  // the usual one-runtime-at-a-time case).
+  s.pool_overflow = pool::overflow_total() - pool_overflow_base_;
   return s;
 }
 

@@ -49,6 +49,7 @@
 #include "ompss/dep_domain.hpp"
 #include "ompss/eventcount.hpp"
 #include "ompss/graph_recorder.hpp"
+#include "ompss/inline_vec.hpp"
 #include "ompss/scheduler.hpp"
 #include "ompss/stats.hpp"
 #include "ompss/task.hpp"
@@ -70,8 +71,13 @@ struct TaskOptions {
 
 /// Everything a task declares at spawn time.  `TaskBuilder` accumulates one
 /// of these; the legacy `spawn()` overloads fill in the subset they expose.
+/// The two lists are inline-first (InlineVec): a typical declaration — a
+/// handful of accesses, zero-to-few explicit predecessors — never touches
+/// the allocator on its way through spawn_task.
 struct TaskSpec {
-  AccessList accesses;   ///< declared memory regions (dependency source)
+  InlineVec<Access, 8> accesses; ///< declared memory regions (dependency
+                                 ///< source); 8 inline covers every task in
+                                 ///< src/apps and bench
   std::string label;     ///< diagnostics name (graph/trace output)
   int priority = 0;      ///< OmpSs `priority` clause
   bool deferred = true;  ///< false = OmpSs `if(0)` inline execution
@@ -81,7 +87,7 @@ struct TaskSpec {
                               ///< registered access region (numa_alloc)
   ContextPtr context;    ///< spawn into this context instead of the ambient
                          ///< one (used by TaskGroup); null = ambient
-  std::vector<TaskPtr> after; ///< explicit predecessors (TaskBuilder::after)
+  InlineVec<TaskPtr, 4> after; ///< explicit predecessors (TaskBuilder::after)
 };
 
 class Runtime {
@@ -303,6 +309,17 @@ class Runtime {
   std::atomic<std::uint64_t> next_task_id_{0};
 
   ContextPtr root_ctx_;
+
+  /// Edge-discovery callback handed to every registration, built once at
+  /// construction — spawn_task used to materialize a fresh std::function
+  /// per spawn, a capture-copy on the hottest path for nothing.
+  EdgeSink edge_sink_;
+
+  /// oss::pool::overflow_total() at construction; stats() reports the
+  /// delta so a runtime's snapshot reflects (approximately, the pool is
+  /// process-wide) its own overflow traffic.
+  std::uint64_t pool_overflow_base_ = 0;
+
   Topology topo_; ///< declared before scheduler_: create() reads it
   std::unique_ptr<Scheduler> scheduler_;
   mutable Stats stats_;

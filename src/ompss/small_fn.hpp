@@ -1,0 +1,161 @@
+#pragma once
+// small_fn.hpp — move-only type-erased `void()` callable with a large
+// inline buffer.
+//
+// The task body is the one closure every spawn must store.  libstdc++'s
+// std::function only keeps 16 bytes inline, so any capture beyond two
+// pointers heap-allocates — on the spawn fast path, that is one
+// guaranteed operator new per task.  SmallFn keeps 64 bytes inline
+// (every capture list in src/apps and bench fits) and only falls back
+// to the heap for outsized callables.
+//
+// Contract:
+//   - move-only (tasks are not copied; copyability would force every
+//     callable to be copy-constructible for nothing)
+//   - a callable is stored inline iff
+//       sizeof(D)  <= kInlineBytes
+//       alignof(D) <= alignof(std::max_align_t)
+//       std::is_nothrow_move_constructible_v<D>
+//     otherwise it is boxed on the heap (tracked by the ops vtable, so
+//     moves stay pointer swaps either way)
+//   - invoking an empty SmallFn is a no-op (the runtime clears the body
+//     after execution; a defensive re-run must not crash)
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace oss {
+
+class SmallFn {
+ public:
+  static constexpr std::size_t kInlineBytes = 64;
+  static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
+  SmallFn() noexcept = default;
+  SmallFn(std::nullptr_t) noexcept {}
+
+  template <class F,
+            class D = std::decay_t<F>,
+            class = std::enable_if_t<!std::is_same_v<D, SmallFn> &&
+                                     std::is_invocable_r_v<void, D&>>>
+  SmallFn(F&& f) {
+    emplace<D>(std::forward<F>(f));
+  }
+
+  SmallFn(SmallFn&& other) noexcept { move_from(other); }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  SmallFn& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  template <class F,
+            class D = std::decay_t<F>,
+            class = std::enable_if_t<!std::is_same_v<D, SmallFn> &&
+                                     std::is_invocable_r_v<void, D&>>>
+  SmallFn& operator=(F&& f) {
+    reset();
+    emplace<D>(std::forward<F>(f));
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  void operator()() {
+    if (ops_) ops_->invoke(buf_);
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  bool is_inline() const noexcept { return ops_ != nullptr && !ops_->heap; }
+
+  void reset() noexcept {
+    if (ops_) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+    bool heap;
+  };
+
+  template <class D>
+  static constexpr bool fits_inline_v =
+      sizeof(D) <= kInlineBytes && alignof(D) <= kInlineAlign &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  template <class D>
+  static void invoke_inline(void* p) {
+    (*static_cast<D*>(p))();
+  }
+  template <class D>
+  static void relocate_inline(void* dst, void* src) noexcept {
+    ::new (dst) D(std::move(*static_cast<D*>(src)));
+    static_cast<D*>(src)->~D();
+  }
+  template <class D>
+  static void destroy_inline(void* p) noexcept {
+    static_cast<D*>(p)->~D();
+  }
+
+  template <class D>
+  static void invoke_heap(void* p) {
+    (**static_cast<D**>(p))();
+  }
+  static void relocate_ptr(void* dst, void* src) noexcept {
+    *static_cast<void**>(dst) = *static_cast<void**>(src);
+  }
+  template <class D>
+  static void destroy_heap(void* p) noexcept {
+    delete *static_cast<D**>(p);
+  }
+
+  template <class D>
+  static constexpr Ops inline_ops_v = {&invoke_inline<D>, &relocate_inline<D>,
+                                       &destroy_inline<D>, false};
+  template <class D>
+  static constexpr Ops heap_ops_v = {&invoke_heap<D>, &relocate_ptr,
+                                     &destroy_heap<D>, true};
+
+  template <class D, class F>
+  void emplace(F&& f) {
+    if constexpr (fits_inline_v<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &inline_ops_v<D>;
+    } else {
+      *reinterpret_cast<D**>(buf_) = new D(std::forward<F>(f));
+      ops_ = &heap_ops_v<D>;
+    }
+  }
+
+  void move_from(SmallFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(kInlineAlign) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace oss

@@ -27,6 +27,8 @@ StatsSnapshot Stats::snapshot() const {
   s.dep_contended = dep_contended_.load(std::memory_order_relaxed);
   s.taskwaits = taskwaits_.load(std::memory_order_relaxed);
   s.barriers = barriers_.load(std::memory_order_relaxed);
+  s.tasks_recycled = tasks_recycled_.load(std::memory_order_relaxed);
+  s.pool_misses = pool_misses_.load(std::memory_order_relaxed);
   s.per_worker_executed.reserve(per_worker_executed_.size());
   for (const auto& c : per_worker_executed_)
     s.per_worker_executed.push_back(c.load(std::memory_order_relaxed));
@@ -49,6 +51,8 @@ std::string StatsSnapshot::to_string() const {
      << " contended=" << dep_contended << '\n'
      << "waits: taskwait=" << taskwaits << " barrier=" << barriers << '\n'
      << "trace: dropped=" << trace_dropped << '\n'
+     << "pool: recycled=" << tasks_recycled << " misses=" << pool_misses
+     << " overflow=" << pool_overflow << '\n'
      << "per-worker executed:";
   for (std::size_t i = 0; i < per_worker_executed.size(); ++i)
     os << " w" << i << '=' << per_worker_executed[i];
@@ -63,6 +67,8 @@ std::string StatsSnapshot::footer(const std::string& tag) const {
      << ") steals=" << steals << " parks=" << parks
      << " deps(single=" << dep_single_shard << " multi=" << dep_multi_shard
      << " contended=" << dep_contended << ") overflow=" << overflow_placements
+     << " pool(recycled=" << tasks_recycled << " misses=" << pool_misses
+     << " overflow=" << pool_overflow << ")"
      << " trace_dropped=" << trace_dropped;
   return os.str();
 }

@@ -50,6 +50,14 @@ struct StatsSnapshot {
   std::uint64_t trace_dropped = 0; ///< trace events lost to ring overflow
                                    ///< (filled from the TraceSystem by
                                    ///< Runtime::stats(); 0 when tracing off)
+  std::uint64_t tasks_recycled = 0; ///< spawns served from the task pool
+                                    ///< instead of the allocator (OSS_POOL)
+  std::uint64_t pool_misses = 0;    ///< spawns that found both the thread
+                                    ///< cache and the global pool empty and
+                                    ///< allocated a fresh slab batch
+  std::uint64_t pool_overflow = 0;  ///< retired tasks a full thread cache
+                                    ///< spilled to the global pool (filled
+                                    ///< from oss::pool by Runtime::stats())
   std::vector<std::uint64_t> per_worker_executed;
 
   [[nodiscard]] std::uint64_t edges_total() const {
@@ -108,6 +116,11 @@ class Stats {
   }
   void on_taskwait() { inc(taskwaits_); }
   void on_barrier() { inc(barriers_); }
+  /// One pooled-task acquisition: recycled (pool hit) or a fresh slab
+  /// allocation (pool miss).  Not called when OSS_POOL=off.
+  void on_pool_acquire(bool recycled) {
+    inc(recycled ? tasks_recycled_ : pool_misses_);
+  }
 
   [[nodiscard]] StatsSnapshot snapshot() const;
 
@@ -135,6 +148,8 @@ class Stats {
   Counter dep_contended_{0};
   Counter taskwaits_{0};
   Counter barriers_{0};
+  Counter tasks_recycled_{0};
+  Counter pool_misses_{0};
   std::vector<Counter> per_worker_executed_;
 };
 

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "ompss/dep_domain.hpp"
+#include "ompss/task_pool.hpp"
 
 namespace oss {
 
@@ -16,9 +17,10 @@ const char* to_string(TaskState s) noexcept {
   return "?";
 }
 
-TaskContext::TaskContext(std::size_t dep_shards)
-    : domain_(std::make_unique<DepDomain>(dep_shards)),
-      dep_shards_(dep_shards) {}
+TaskContext::TaskContext(std::size_t dep_shards, bool pooled)
+    : domain_(std::make_unique<DepDomain>(dep_shards, pooled)),
+      dep_shards_(dep_shards),
+      pooled_(pooled) {}
 
 TaskContext::~TaskContext() = default;
 
@@ -47,13 +49,22 @@ Task::Task(std::uint64_t id, Fn fn, AccessList accesses, ContextPtr parent_ctx,
 
 Task::~Task() = default;
 
+void Task::destroy_or_recycle() noexcept {
+  if (pooled_) {
+    pool::recycle(this);
+  } else {
+    delete this;
+  }
+}
+
 void Task::release_body() noexcept { fn_ = nullptr; }
 
 const ContextPtr& Task::child_context() {
-  // Children inherit the parent context's dependency-shard count, so one
-  // RuntimeConfig::dep_shards setting propagates down the task tree.
+  // Children inherit the parent context's dependency-shard count and pool
+  // mode, so one RuntimeConfig setting propagates down the task tree.
   if (!child_ctx_) {
-    child_ctx_ = std::make_shared<TaskContext>(parent_ctx_->dep_shards());
+    child_ctx_ = std::make_shared<TaskContext>(parent_ctx_->dep_shards(),
+                                               parent_ctx_->pooled());
   }
   return child_ctx_;
 }

@@ -11,6 +11,13 @@
 // edge before retiring or the consumer sees it already finished and skips
 // the edge.  No runtime-wide lock is involved.
 //
+// Lifetime is an intrusive refcount (`TaskPtr`), not std::shared_ptr: the
+// final release of a pooled task routes through oss::pool::recycle instead
+// of the allocator, which is what makes a steady-state spawn→execute→retire
+// cycle allocation-free (docs/memory.md).  The decrement uses acq_rel, so
+// whichever thread performs the final release observes every prior
+// release's writes before recycling or deleting the task.
+//
 // Every task that spawns children owns a `TaskContext`: it counts live direct
 // children (what `taskwait` waits on), holds the dependency domain in which
 // the children's accesses are matched against each other, and stores the
@@ -21,19 +28,92 @@
 #include <atomic>
 #include <cstdint>
 #include <exception>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ompss/access.hpp"
+#include "ompss/small_fn.hpp"
+#include "ompss/task_pool.hpp"
 
 namespace oss {
 
 class Task;
 class DepDomain;
-using TaskPtr = std::shared_ptr<Task>;
+
+/// Intrusive smart pointer over Task's embedded refcount.  Drop-in for the
+/// former std::shared_ptr<Task> uses (copy/move/reset/get/use_count), minus
+/// the separately-allocated control block — the count lives in the Task, so
+/// creating the first handle costs nothing.
+class TaskPtr {
+ public:
+  TaskPtr() noexcept = default;
+  TaskPtr(std::nullptr_t) noexcept {}
+
+  TaskPtr(const TaskPtr& o) noexcept : p_(o.p_) {
+    if (p_) retain(p_);
+  }
+  TaskPtr(TaskPtr&& o) noexcept : p_(o.p_) { o.p_ = nullptr; }
+
+  TaskPtr& operator=(const TaskPtr& o) noexcept {
+    TaskPtr tmp(o);
+    swap(tmp);
+    return *this;
+  }
+  TaskPtr& operator=(TaskPtr&& o) noexcept {
+    TaskPtr tmp(std::move(o));
+    swap(tmp);
+    return *this;
+  }
+  TaskPtr& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  ~TaskPtr() {
+    if (p_) release(p_);
+  }
+
+  /// Wraps a task whose refcount is already set for this handle (fresh
+  /// allocation or pool::acquire + prepare).  Does not retain.
+  static TaskPtr adopt(Task* t) noexcept {
+    TaskPtr p;
+    p.p_ = t;
+    return p;
+  }
+
+  void reset() noexcept {
+    if (p_) {
+      release(p_);
+      p_ = nullptr;
+    }
+  }
+
+  void swap(TaskPtr& o) noexcept { std::swap(p_, o.p_); }
+
+  Task* get() const noexcept { return p_; }
+  Task* operator->() const noexcept { return p_; }
+  Task& operator*() const noexcept { return *p_; }
+  explicit operator bool() const noexcept { return p_ != nullptr; }
+
+  /// Current refcount (approximate under concurrency, like shared_ptr).
+  long use_count() const noexcept;
+
+  friend bool operator==(const TaskPtr& a, const TaskPtr& b) noexcept {
+    return a.p_ == b.p_;
+  }
+  friend bool operator==(const TaskPtr& a, std::nullptr_t) noexcept {
+    return a.p_ == nullptr;
+  }
+
+ private:
+  static void retain(Task* t) noexcept;
+  static void release(Task* t) noexcept;
+
+  Task* p_ = nullptr;
+};
 
 /// Lifecycle states of a task.
 enum class TaskState : std::uint8_t {
@@ -50,8 +130,10 @@ class TaskContext {
  public:
   /// `dep_shards` sizes the context's dependency domain (power of two;
   /// RuntimeConfig::dep_shards).  Child contexts inherit their parent's
-  /// count — see Task::child_context.
-  explicit TaskContext(std::size_t dep_shards = 1);
+  /// count — see Task::child_context.  `pooled` selects the per-shard
+  /// node pools for the domain's interval maps (RuntimeConfig::pool).
+  explicit TaskContext(std::size_t dep_shards = 1,
+                       bool pooled = pool::enabled_by_default());
   ~TaskContext();
 
   TaskContext(const TaskContext&) = delete;
@@ -68,6 +150,9 @@ class TaskContext {
   /// Shard count of this context's domain (inherited by child contexts).
   [[nodiscard]] std::size_t dep_shards() const noexcept { return dep_shards_; }
 
+  /// Whether this context's domain uses pooled map nodes (inherited).
+  [[nodiscard]] bool pooled() const noexcept { return pooled_; }
+
   /// Records the first exception escaping a child task.  Thread-safe.
   void note_exception(std::exception_ptr ep);
 
@@ -80,6 +165,7 @@ class TaskContext {
  private:
   std::unique_ptr<DepDomain> domain_;
   std::size_t dep_shards_;
+  bool pooled_;
   mutable std::mutex mu_;
   std::exception_ptr first_exception_;
 };
@@ -89,14 +175,78 @@ using ContextPtr = std::shared_ptr<TaskContext>;
 /// A spawned task.
 class Task {
  public:
-  using Fn = std::function<void()>;
+  using Fn = SmallFn;
 
   Task(std::uint64_t id, Fn fn, AccessList accesses, ContextPtr parent_ctx,
        std::string label);
+
+  /// Dormant task for the pool: no id, no body, refcount 1.  Must be
+  /// prepare()d before use.  Only oss::pool constructs these.
+  Task() = default;
   ~Task();
 
   Task(const Task&) = delete;
   Task& operator=(const Task&) = delete;
+
+  // ---- pooled lifecycle -----------------------------------------------
+
+  /// (Re)initializes a dormant task for a new spawn.  Every field a spawn
+  /// sets is reset here; containers keep their capacity from the previous
+  /// life — that retained capacity is the pool's whole point.
+  void prepare(std::uint64_t id, Fn fn, ContextPtr parent_ctx,
+               std::string label) {
+    id_ = id;
+    fn_ = std::move(fn);
+    parent_ctx_ = std::move(parent_ctx);
+    label_ = std::move(label);
+    priority_ = 0;
+    trace_label_ = 0;
+    home_node_.store(-1, std::memory_order_relaxed);
+    inherited_node_.store(-1, std::memory_order_relaxed);
+    home_soft_.store(false, std::memory_order_relaxed);
+    undeferred_ = false;
+    finished_.store(false, std::memory_order_relaxed);
+    state_.store(TaskState::Created, std::memory_order_relaxed);
+    preds.store(0, std::memory_order_relaxed);
+    refs_.store(1, std::memory_order_relaxed);
+  }
+
+  /// Copies the access list into the task's recycled storage.
+  void set_accesses(const Access* p, std::size_t n) {
+    accesses_.assign(p, p + n);
+  }
+
+  /// Drops every owning/heavy member before the task re-enters the pool.
+  /// Containers are cleared, not destroyed, so their buffers survive into
+  /// the next life.  Called with refcount 0 (no handle can observe it).
+  void recycle_clear() noexcept {
+    fn_.reset();
+    accesses_.clear();
+    parent_ctx_.reset();
+    child_ctx_.reset();
+    label_.clear();
+    exclusion_locks_.clear();
+    queue_ref_.reset();
+    successors.clear();
+  }
+
+  void retain() noexcept { refs_.fetch_add(1, std::memory_order_relaxed); }
+  void release() noexcept {
+    if (refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) destroy_or_recycle();
+  }
+  long refcount() const noexcept {
+    return static_cast<long>(refs_.load(std::memory_order_relaxed));
+  }
+
+  /// True for pool-owned tasks (final release recycles instead of deletes).
+  bool pooled() const noexcept { return pooled_; }
+  void mark_pooled() noexcept { pooled_ = true; }
+
+  /// Pool-internal freelist link; owned by oss::pool while the task is
+  /// dormant, dead storage while it is live.
+  Task* pool_next = nullptr;
+
+  // ---------------------------------------------------------------------
 
   std::uint64_t id() const noexcept { return id_; }
   const std::string& label() const noexcept { return label_; }
@@ -243,20 +393,25 @@ class Task {
     return true;
   }
 
-  /// Retirement: marks the task finished and takes the successor list, as
-  /// one atomic step against add_successor_edge — a concurrent edge either
-  /// lands in the returned list or observes `finished` and is skipped.
-  [[nodiscard]] std::vector<TaskPtr> finish_take_successors() {
-    std::vector<TaskPtr> out;
+  /// Retirement: marks the task finished and drains the successor list into
+  /// `out`, as one atomic step against add_successor_edge — a concurrent
+  /// edge either lands in `out` or observes `finished` and is skipped.
+  /// `out` is appended to (callers pass a cleared scratch vector); the
+  /// task's own list keeps its capacity for the next life.
+  void finish_take_successors(std::vector<TaskPtr>& out) {
     std::lock_guard lock(succ_mu_);
     mark_finished();
-    out.swap(successors);
-    return out;
+    for (auto& s : successors) out.push_back(std::move(s));
+    successors.clear();
   }
 
  private:
+  /// Final-release path: pooled tasks go back to the freelist, plain tasks
+  /// are deleted.  Out of line — task.cpp knows the pool.
+  void destroy_or_recycle() noexcept;
+
   std::mutex succ_mu_; ///< guards `successors` and orders it vs `finished_`
-  const std::uint64_t id_;
+  std::uint64_t id_ = 0;
   Fn fn_;
   AccessList accesses_;
   ContextPtr parent_ctx_;
@@ -268,10 +423,26 @@ class Task {
   std::atomic<int> inherited_node_{-1};
   std::atomic<bool> home_soft_{false};
   bool undeferred_ = false;
+  bool pooled_ = false;
   std::vector<std::shared_ptr<std::mutex>> exclusion_locks_;
   TaskPtr queue_ref_; // owning self-reference while in a lock-free queue
   std::atomic<bool> finished_{false};
   std::atomic<TaskState> state_{TaskState::Created};
+  std::atomic<std::uint32_t> refs_{1};
 };
+
+inline void TaskPtr::retain(Task* t) noexcept { t->retain(); }
+inline void TaskPtr::release(Task* t) noexcept { t->release(); }
+inline long TaskPtr::use_count() const noexcept {
+  return p_ ? p_->refcount() : 0;
+}
+
+/// Builds a fresh (non-pooled) task and wraps it — the test/bench-facing
+/// replacement for the former std::make_shared<Task>(...).
+inline TaskPtr make_task(std::uint64_t id, Task::Fn fn, AccessList accesses,
+                         ContextPtr parent_ctx, std::string label) {
+  return TaskPtr::adopt(new Task(id, std::move(fn), std::move(accesses),
+                                 std::move(parent_ctx), std::move(label)));
+}
 
 } // namespace oss

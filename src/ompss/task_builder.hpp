@@ -113,17 +113,13 @@ class TaskBuilder {
 
   /// Appends a whole pre-built access list.
   TaskBuilder& accesses(const AccessList& list) {
-    spec_.accesses.insert(spec_.accesses.end(), list.begin(), list.end());
+    for (const Access& a : list) spec_.accesses.push_back(a);
     return *this;
   }
 
   /// Move form: adopts the list wholesale when nothing was declared yet.
   TaskBuilder& accesses(AccessList&& list) {
-    if (spec_.accesses.empty()) {
-      spec_.accesses = std::move(list);
-    } else {
-      spec_.accesses.insert(spec_.accesses.end(), list.begin(), list.end());
-    }
+    spec_.accesses.adopt(std::move(list));
     return *this;
   }
 
@@ -249,8 +245,10 @@ class TaskGroup {
  public:
   explicit TaskGroup(Runtime& rt)
       : rt_(&rt),
-        // The group's private domain shards like the runtime's contexts do.
-        ctx_(std::make_shared<TaskContext>(rt.config().dep_shards)),
+        // The group's private domain shards (and pools) like the runtime's
+        // contexts do.
+        ctx_(std::make_shared<TaskContext>(rt.config().dep_shards,
+                                           rt.config().pool)),
         uncaught_on_entry_(std::uncaught_exceptions()) {}
 
   TaskGroup(const TaskGroup&) = delete;

@@ -19,7 +19,7 @@ namespace {
 
 oss::TaskPtr dummy_task(std::uint64_t id, int home = -1) {
   static auto ctx = std::make_shared<oss::TaskContext>();
-  auto t = std::make_shared<oss::Task>(id, [] {}, oss::AccessList{}, ctx, "");
+  auto t = oss::make_task(id, [] {}, oss::AccessList{}, ctx, "");
   t->set_home_node(home);
   return t;
 }

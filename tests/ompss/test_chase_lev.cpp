@@ -15,7 +15,7 @@ namespace {
 
 oss::TaskPtr make_task(std::uint64_t id) {
   static auto ctx = std::make_shared<oss::TaskContext>();
-  return std::make_shared<oss::Task>(id, [] {}, oss::AccessList{}, ctx, "");
+  return oss::make_task(id, [] {}, oss::AccessList{}, ctx, "");
 }
 
 // --- raw deque semantics ---------------------------------------------------

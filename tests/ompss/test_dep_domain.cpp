@@ -30,7 +30,7 @@ struct EdgeRec {
 class DepDomainTest : public ::testing::Test {
  protected:
   TaskPtr make_task(AccessList accesses) {
-    return std::make_shared<Task>(++next_id_, [] {}, std::move(accesses), ctx_,
+    return oss::make_task(++next_id_, [] {}, std::move(accesses), ctx_,
                                   "");
   }
 
@@ -328,7 +328,7 @@ class ShardedDomainTest : public ::testing::Test {
   ShardedDomainTest() : big_(4 * kStripe) {}
 
   TaskPtr make_task(AccessList accesses) {
-    return std::make_shared<Task>(++next_id_, [] {}, std::move(accesses), ctx_,
+    return oss::make_task(++next_id_, [] {}, std::move(accesses), ctx_,
                                   "");
   }
 

@@ -123,7 +123,7 @@ TEST_P(DomainFuzzTest, EdgeGraphCoversEveryByteLevelHazard) {
     for (const auto& a : prog[i].accesses) {
       acc.push_back(oss::region(arena_storage + a.begin, a.end - a.begin, a.mode));
     }
-    auto t = std::make_shared<oss::Task>(i + 1, [] {}, std::move(acc), ctx, "");
+    auto t = oss::make_task(i + 1, [] {}, std::move(acc), ctx, "");
     domain.register_task(t, [&](const oss::TaskPtr& from, const oss::TaskPtr& to,
                                 oss::DepKind) {
       succ[from->id() - 1].push_back(to->id() - 1);

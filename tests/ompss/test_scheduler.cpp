@@ -90,7 +90,7 @@ TEST(SchedulerStats, FifoPolicyNeverUsesLocalQueues) {
 
 oss::TaskPtr dummy_task(std::uint64_t id) {
   static auto ctx = std::make_shared<oss::TaskContext>();
-  return std::make_shared<oss::Task>(id, [] {}, oss::AccessList{}, ctx, "");
+  return oss::make_task(id, [] {}, oss::AccessList{}, ctx, "");
 }
 
 TEST(SchedulerUnit, FifoIsFirstInFirstOut) {

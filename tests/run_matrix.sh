@@ -19,9 +19,10 @@
 # the forced path survive this environment" instead.
 #
 # A second, dedicated phase sweeps the dependency-domain sharding axis
-# (OSS_DEP_SHARDS ∈ {1, 8} × OSS_SCHEDULER) over the concurrent-spawner
-# stress suite — the two structurally different registration paths
-# (single-lock fallback vs sorted multi-lock) under every scheduler,
+# (OSS_DEP_SHARDS ∈ {1, 8} × OSS_POOL ∈ {on, off} × OSS_SCHEDULER) over
+# the concurrent-spawner stress suite — the two structurally different
+# registration paths (single-lock fallback vs sorted multi-lock), with
+# task/node pooling both armed and disarmed, under every scheduler,
 # without doubling the full cross product.
 #
 # Usage:
@@ -29,8 +30,8 @@
 #
 # Overrides (space-separated lists):
 #   MATRIX_BINARIES MATRIX_SCHEDULERS MATRIX_IDLES MATRIX_NUMAS
-#   MATRIX_TOPOLOGIES MATRIX_DEP_SHARDS MATRIX_SHARD_BINARIES
-#   MATRIX_GTEST_ARGS
+#   MATRIX_TOPOLOGIES MATRIX_DEP_SHARDS MATRIX_POOLS
+#   MATRIX_SHARD_BINARIES MATRIX_GTEST_ARGS
 set -u
 
 BUILD_DIR=${1:-build}
@@ -40,6 +41,7 @@ IDLES=${MATRIX_IDLES:-"park yield"}
 NUMAS=${MATRIX_NUMAS:-"bind off"}
 TOPOLOGIES=${MATRIX_TOPOLOGIES:-"flat 2x2"}
 DEP_SHARDS=${MATRIX_DEP_SHARDS:-"1 8"}
+POOLS=${MATRIX_POOLS:-"on off"}
 SHARD_BINARIES=${MATRIX_SHARD_BINARIES:-"ompss_test_concurrent_spawn"}
 GTEST_ARGS=${MATRIX_GTEST_ARGS:-"--gtest_brief=1"}
 
@@ -69,7 +71,7 @@ for sched in $SCHEDULERS; do
                  -u OSS_STEAL_TRIES -u OSS_PIN -u OSS_PRESSURE \
                  -u OSS_RECORD_GRAPH -u OSS_TRACE -u OSS_DEP_SHARDS \
                  -u OSS_TRACE_BUF -u OSS_TRACE_OUT -u OSS_STATS \
-                 -u OSS_STATS_EVERY_MS \
+                 -u OSS_STATS_EVERY_MS -u OSS_POOL \
                  OSS_SCHEDULER="$sched" OSS_IDLE="$idle" OSS_NUMA="$numa" \
                  OSS_TOPOLOGY="$topo" "$BUILD_DIR/$bin" $GTEST_ARGS \
                  >"$log" 2>&1; then
@@ -85,27 +87,31 @@ for sched in $SCHEDULERS; do
   done
 done
 
-# Phase 2: dependency-shard axis.  OSS_DEP_SHARDS=1 is the single-lock
-# fallback, 8 the sharded default; both must survive every scheduler with
-# concurrent spawners hammering the domain.
+# Phase 2: dependency-shard × pool axis.  OSS_DEP_SHARDS=1 is the
+# single-lock fallback, 8 the sharded default; OSS_POOL=on recycles tasks
+# and map nodes, off is the plain-allocator path.  Every combination must
+# survive every scheduler with concurrent spawners hammering the domain.
 for shards in $DEP_SHARDS; do
-  for sched in $SCHEDULERS; do
-    combo="OSS_DEP_SHARDS=$shards OSS_SCHEDULER=$sched"
-    for bin in $SHARD_BINARIES; do
-      runs=$((runs + 1))
-      if env -u OSS_NUM_THREADS -u OSS_BARRIER -u OSS_SPIN_ROUNDS \
-             -u OSS_STEAL_TRIES -u OSS_PIN -u OSS_PRESSURE \
-             -u OSS_RECORD_GRAPH -u OSS_TRACE -u OSS_IDLE -u OSS_NUMA \
-             -u OSS_TOPOLOGY -u OSS_TRACE_BUF -u OSS_TRACE_OUT \
-             -u OSS_STATS -u OSS_STATS_EVERY_MS \
-             OSS_DEP_SHARDS="$shards" OSS_SCHEDULER="$sched" \
-             "$BUILD_DIR/$bin" $GTEST_ARGS >"$log" 2>&1; then
-        printf 'ok   %-38s %s\n' "$bin" "$combo"
-      else
-        failures=$((failures + 1))
-        printf 'FAIL %-38s %s\n' "$bin" "$combo"
-        sed 's/^/     | /' "$log"
-      fi
+  for pool in $POOLS; do
+    for sched in $SCHEDULERS; do
+      combo="OSS_DEP_SHARDS=$shards OSS_POOL=$pool OSS_SCHEDULER=$sched"
+      for bin in $SHARD_BINARIES; do
+        runs=$((runs + 1))
+        if env -u OSS_NUM_THREADS -u OSS_BARRIER -u OSS_SPIN_ROUNDS \
+               -u OSS_STEAL_TRIES -u OSS_PIN -u OSS_PRESSURE \
+               -u OSS_RECORD_GRAPH -u OSS_TRACE -u OSS_IDLE -u OSS_NUMA \
+               -u OSS_TOPOLOGY -u OSS_TRACE_BUF -u OSS_TRACE_OUT \
+               -u OSS_STATS -u OSS_STATS_EVERY_MS \
+               OSS_DEP_SHARDS="$shards" OSS_POOL="$pool" \
+               OSS_SCHEDULER="$sched" \
+               "$BUILD_DIR/$bin" $GTEST_ARGS >"$log" 2>&1; then
+          printf 'ok   %-38s %s\n' "$bin" "$combo"
+        else
+          failures=$((failures + 1))
+          printf 'FAIL %-38s %s\n' "$bin" "$combo"
+          sed 's/^/     | /' "$log"
+        fi
+      done
     done
   done
 done
