@@ -112,7 +112,8 @@ int main(int argc, char** argv) {
                   oss::to_string(rcfg.resolved_pin_mode()));
       if (oss::stats_footer_enabled()) {
         std::printf("stats: OSS_STATS=1 — every OmpSs app run prints a "
-                    "[oss-stats] footer to stderr\n");
+                    "[oss-stats] footer to stderr, plus an [oss-span] "
+                    "work/span/parallelism line where the app reports it\n");
       }
       std::printf("\n");
     }

@@ -6,6 +6,11 @@
 // task graphs as Graphviz DOT.  The visual difference is the paper's
 // second observation (§3) in one picture.
 //
+// Recording a graph also turns on critical-path tracking (oss::prof), so
+// the nodes and edges on the span — the longest dependency chain — come
+// out filled crimson: in graph 1 that chain threads through every task,
+// in graph 2 it collapses to one stage's RAW backbone.
+//
 //   $ ./taskgraph_dot > graphs.dot && dot -Tpng -O graphs.dot
 #include <array>
 #include <cstdio>

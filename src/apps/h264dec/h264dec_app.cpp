@@ -233,6 +233,8 @@ std::vector<std::uint64_t> h264dec_ompss_grouped(const H264Workload& w,
   // traces the decode without a recompile.
   oss::RuntimeConfig cfg = oss::RuntimeConfig::from_env();
   cfg.num_threads = threads;
+  // OSS_STATS=1 also reports work/span below, which needs the profiler on.
+  cfg.prof = cfg.prof || oss::stats_footer_enabled();
   oss::Runtime rt(cfg);
 
   std::vector<std::uint64_t> checksums;
@@ -364,6 +366,7 @@ std::vector<std::uint64_t> h264dec_ompss_grouped(const H264Workload& w,
   if (oc.prev_pib >= 0) pib.retire(oc.prev_pib);
   if (oss::stats_footer_enabled()) {
     std::fprintf(stderr, "%s\n", rt.stats().footer("h264dec").c_str());
+    std::fprintf(stderr, "%s\n", rt.profile().span_line("h264dec").c_str());
   }
   return checksums;
 }

@@ -76,6 +76,7 @@ KmeansResult kmeans_app_ompss(const KmeansWorkload& w, std::size_t threads,
 
   oss::RuntimeConfig cfg = oss::RuntimeConfig::from_env();
   cfg.num_threads = threads;
+  cfg.prof = cfg.prof || oss::stats_footer_enabled(); // work/span footer
   oss::Runtime rt(cfg);
 
   // Registry-backed placement: one node-bound copy per block (one-time
@@ -124,6 +125,7 @@ KmeansResult kmeans_app_ompss(const KmeansWorkload& w, std::size_t threads,
   if (stats != nullptr) *stats = rt.stats();
   if (oss::stats_footer_enabled()) {
     std::fprintf(stderr, "%s\n", rt.stats().footer("kmeans").c_str());
+    std::fprintf(stderr, "%s\n", rt.profile().span_line("kmeans").c_str());
   }
   return res;
 }

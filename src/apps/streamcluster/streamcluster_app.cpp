@@ -64,6 +64,7 @@ FacilitySolution streamcluster_app_ompss(const StreamclusterWorkload& w,
   FacilitySolution sol;
   oss::RuntimeConfig cfg = oss::RuntimeConfig::from_env();
   cfg.num_threads = threads;
+  cfg.prof = cfg.prof || oss::stats_footer_enabled(); // work/span footer
   oss::Runtime rt(cfg);
 
   // Node-bound partition copies over the whole set; a stream prefix of
@@ -105,6 +106,8 @@ FacilitySolution streamcluster_app_ompss(const StreamclusterWorkload& w,
   if (stats != nullptr) *stats = rt.stats();
   if (oss::stats_footer_enabled()) {
     std::fprintf(stderr, "%s\n", rt.stats().footer("streamcluster").c_str());
+    std::fprintf(stderr, "%s\n",
+                 rt.profile().span_line("streamcluster").c_str());
   }
   return sol;
 }

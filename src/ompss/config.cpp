@@ -204,6 +204,9 @@ RuntimeConfig RuntimeConfig::from_env() {
     if (cfg.trace_buffer == 0) throw std::invalid_argument("OSS_TRACE_BUF must be >= 1");
   }
   if (const char* v = env("OSS_STATS_EVERY_MS")) cfg.stats_every_ms = parse_size("OSS_STATS_EVERY_MS", v);
+  if (const char* v = env("OSS_PROF")) cfg.prof = parse_bool("OSS_PROF", v);
+  if (const char* v = env("OSS_PROF_EVERY_MS")) cfg.prof_every_ms = parse_size("OSS_PROF_EVERY_MS", v);
+  if (const char* v = env("OSS_WATCHDOG")) cfg.watchdog_ms = parse_size("OSS_WATCHDOG", v);
   return cfg;
 }
 

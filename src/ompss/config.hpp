@@ -55,6 +55,16 @@
 //   OSS_STATS_EVERY_MS period of the optional collector thread: every N ms
 //                     it drains the trace rings and prints a StatsSnapshot
 //                     delta line to stderr.  0 (default) = no collector.
+//   OSS_PROF          "1" to collect per-label task profiles and the
+//                     work/span critical path; a sorted profile table is
+//                     printed at shutdown (docs/observability.md).
+//   OSS_PROF_EVERY_MS period of periodic profile delta lines on the
+//                     collector thread.  0 (default) = footer only.
+//   OSS_WATCHDOG      health-watchdog interval in ms: the collector thread
+//                     checks for no-progress intervals (tasks in flight,
+//                     zero retirements) and dumps queue depths, parked
+//                     workers and the oldest in-flight tasks to stderr;
+//                     the same dump answers SIGUSR1.  0 (default) = off.
 //   OSS_POOL          "on" (default) | "off" — allocation recycling
 //                     (docs/memory.md): intrusive task pooling, pooled
 //                     dependency-map nodes.  "off" restores per-spawn
@@ -233,6 +243,23 @@ struct RuntimeConfig {
   /// (OSS_STATS_EVERY_MS): every period it drains the trace rings and
   /// prints a StatsSnapshot delta line to stderr.  0 = no collector.
   std::size_t stats_every_ms = 0;
+
+  /// Collect per-label task profiles and the work/span critical path
+  /// (OSS_PROF, docs/observability.md).  When set, `Runtime::profile()`
+  /// returns live data and the OSS_PROF=1 footer table prints at shutdown.
+  bool prof = false;
+
+  /// Period in milliseconds of periodic profile delta lines on the
+  /// collector thread (OSS_PROF_EVERY_MS).  Implies profile collection.
+  /// 0 = footer only.
+  std::size_t prof_every_ms = 0;
+
+  /// Health-watchdog interval in milliseconds (OSS_WATCHDOG): the collector
+  /// thread flags intervals with tasks in flight but zero retirements and
+  /// dumps runtime state (`Runtime::dump_health`); SIGUSR1 triggers the
+  /// same dump on demand.  Implies profile collection (the dump reports
+  /// task ages from the profiling timestamps).  0 = off.
+  std::size_t watchdog_ms = 0;
 
   /// Resolves `num_threads == 0` to the hardware concurrency (min 1).
   [[nodiscard]] std::size_t resolved_threads() const noexcept;

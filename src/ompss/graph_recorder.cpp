@@ -1,12 +1,23 @@
 #include "ompss/graph_recorder.hpp"
 
 #include <sstream>
+#include <unordered_set>
 
 namespace oss {
 
 void GraphRecorder::add_node(std::uint64_t id, std::string label) {
   std::lock_guard lock(mu_);
+  index_.emplace(id, nodes_.size());
   nodes_.push_back(Node{id, std::move(label)});
+}
+
+void GraphRecorder::set_node_path(std::uint64_t id, std::uint64_t path_weight,
+                                  std::uint64_t crit_pred) {
+  std::lock_guard lock(mu_);
+  const auto it = index_.find(id);
+  if (it == index_.end()) return;
+  nodes_[it->second].path_weight = path_weight;
+  nodes_[it->second].crit_pred = crit_pred;
 }
 
 void GraphRecorder::add_edge(std::uint64_t from, std::uint64_t to, DepKind kind) {
@@ -64,16 +75,48 @@ const char* edge_style(DepKind k) {
 
 std::string GraphRecorder::to_dot() const {
   std::lock_guard lock(mu_);
+
+  // Critical-path chain: start at the node carrying the largest recorded
+  // path weight (the span's endpoint) and walk the crit_pred links back to
+  // a root.  Weights come from the runtime's on_finished (oss::prof);
+  // graphs recorded without profiling have no weights and no highlight.
+  std::unordered_set<std::uint64_t> on_path;
+  {
+    const Node* tip = nullptr;
+    for (const Node& n : nodes_) {
+      if (n.path_weight > 0 && (tip == nullptr || n.path_weight > tip->path_weight)) {
+        tip = &n;
+      }
+    }
+    std::uint64_t cursor = tip != nullptr ? tip->id : 0;
+    while (cursor != 0 && on_path.insert(cursor).second) {
+      const auto it = index_.find(cursor);
+      cursor = it != index_.end() ? nodes_[it->second].crit_pred : 0;
+    }
+  }
+
   std::ostringstream os;
   os << "digraph taskgraph {\n  rankdir=TB;\n  node [shape=box,fontname=\"monospace\"];\n";
   for (const Node& n : nodes_) {
     os << "  t" << n.id << " [label=\"#" << n.id;
     if (!n.label.empty()) os << "\\n" << escape(n.label);
-    os << "\"];\n";
+    os << "\"";
+    if (on_path.count(n.id) != 0) {
+      os << ",style=filled,fillcolor=\"#ffd0d0\",color=crimson,penwidth=2";
+    }
+    os << "];\n";
   }
   for (const Edge& e : edges_) {
-    os << "  t" << e.from << " -> t" << e.to << " [" << edge_style(e.kind)
-       << ",label=\"" << to_string(e.kind) << "\"];\n";
+    // An edge lies on the critical path when both ends do and the target
+    // names the source as the predecessor its longest path arrived through.
+    bool crit = false;
+    if (on_path.count(e.from) != 0 && on_path.count(e.to) != 0) {
+      const auto it = index_.find(e.to);
+      crit = it != index_.end() && nodes_[it->second].crit_pred == e.from;
+    }
+    os << "  t" << e.from << " -> t" << e.to << " [" << edge_style(e.kind);
+    if (crit) os << ",color=crimson,penwidth=2";
+    os << ",label=\"" << to_string(e.kind) << "\"];\n";
   }
   os << "}\n";
   return os.str();

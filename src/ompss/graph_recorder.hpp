@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "ompss/dep_domain.hpp"
@@ -22,6 +23,9 @@ class GraphRecorder {
   struct Node {
     std::uint64_t id;
     std::string label;
+    std::uint64_t path_weight = 0; ///< critical-path length ending here
+                                   ///< (raw ticks; 0 = not recorded)
+    std::uint64_t crit_pred = 0;   ///< predecessor on that path (0 = none)
   };
   struct Edge {
     std::uint64_t from;
@@ -32,6 +36,12 @@ class GraphRecorder {
 
   void add_node(std::uint64_t id, std::string label);
   void add_edge(std::uint64_t from, std::uint64_t to, DepKind kind);
+
+  /// Records a finished task's critical-path length and the predecessor
+  /// the path arrived through (runtime's on_finished; see oss::prof).
+  /// to_dot() uses it to highlight the span chain.
+  void set_node_path(std::uint64_t id, std::uint64_t path_weight,
+                     std::uint64_t crit_pred);
 
   /// Graphviz rendering of everything recorded so far.  Thread-safe.
   [[nodiscard]] std::string to_dot() const;
@@ -52,6 +62,7 @@ class GraphRecorder {
   mutable std::mutex mu_;
   std::vector<Node> nodes_;
   std::vector<Edge> edges_;
+  std::unordered_map<std::uint64_t, std::size_t> index_; ///< id → nodes_ slot
 };
 
 } // namespace oss

@@ -27,6 +27,7 @@
 #include "ompss/mpmc_queue.hpp"
 #include "ompss/numa_alloc.hpp"
 #include "ompss/pinning.hpp"
+#include "ompss/prof.hpp"
 #include "ompss/queues.hpp"
 #include "ompss/runtime.hpp"
 #include "ompss/scheduler.hpp"

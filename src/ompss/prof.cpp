@@ -1,0 +1,295 @@
+#include "ompss/prof.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+namespace oss {
+
+namespace {
+
+/// Same FNV-1a as the trace layer (trace.cpp): the two systems must agree
+/// on the hash so one Task::trace_label slot serves both.
+std::uint32_t fnv1a(const std::string& s) {
+  std::uint32_t h = 2166136261u;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 16777619u;
+  }
+  return h != 0 ? h : 0x9e3779b1u; // 0 is reserved for "unlabeled"
+}
+
+/// Key stored for label-less tasks: slot keys must be nonzero (0 = empty),
+/// and 0x9e3779b1 is what an unlucky real label hashing to 0 remaps to —
+/// keep "unlabeled" distinct from it.
+constexpr std::uint32_t kUnlabeledKey = 1u;
+
+std::size_t hist_bucket(std::uint64_t ticks) noexcept {
+  if (ticks == 0) return 0;
+  const unsigned b = static_cast<unsigned>(std::bit_width(ticks)) - 1u;
+  return b < ProfSystem::kHistBuckets ? b : ProfSystem::kHistBuckets - 1;
+}
+
+void fetch_min(std::atomic<std::uint64_t>& a, std::uint64_t v) noexcept {
+  std::uint64_t cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void fetch_max(std::atomic<std::uint64_t>& a, std::uint64_t v) noexcept {
+  std::uint64_t cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::string ms_str(std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+std::string us_str(std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f", static_cast<double>(ns) / 1e3);
+  return buf;
+}
+
+} // namespace
+
+bool prof_footer_enabled() {
+  const char* v = std::getenv("OSS_PROF");
+  if (v == nullptr) return false;
+  const std::string s(v);
+  return s == "1" || s == "true" || s == "yes" || s == "on";
+}
+
+ProfSystem::ProfSystem(std::size_t num_workers)
+    : num_workers_(num_workers),
+      shards_(new Shard[num_workers + 1]),
+      t0_ticks_(clock()),
+      t0_wall_(std::chrono::steady_clock::now()) {}
+
+std::uint32_t ProfSystem::intern(const std::string& label) {
+  if (label.empty()) return 0;
+  const std::uint32_t h = fnv1a(label);
+  // Per-thread recently-seen cache, same shape as TraceSystem::intern: the
+  // steady state (spawn loops reusing a handful of labels) takes no lock.
+  struct Cache {
+    const ProfSystem* sys = nullptr;
+    std::uint32_t seen[8] = {};
+    unsigned next = 0;
+  };
+  static thread_local Cache cache;
+  if (cache.sys == this) {
+    for (std::uint32_t s : cache.seen)
+      if (s == h) return h;
+  } else {
+    cache = Cache{};
+    cache.sys = this;
+  }
+  {
+    std::lock_guard lock(mu_);
+    labels_.emplace(h, label); // first string wins on a hash collision
+  }
+  cache.seen[cache.next++ % 8] = h;
+  return h;
+}
+
+std::string ProfSystem::label_name(std::uint32_t hash) const {
+  if (hash == 0 || hash == kUnlabeledKey) return "(unlabeled)";
+  std::lock_guard lock(mu_);
+  const auto it = labels_.find(hash);
+  if (it != labels_.end()) return it->second;
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "#%08x", hash);
+  return buf;
+}
+
+void ProfSystem::record(int wid, std::uint32_t label, std::uint64_t exec_ticks,
+                        std::uint64_t wait_ticks,
+                        std::uint64_t queue_ticks) noexcept {
+  Shard& sh = shards_[shard_index(wid)];
+  const std::uint32_t key = label != 0 ? label : kUnlabeledKey;
+  Slot* slot = nullptr;
+  std::size_t i = key & (kSlots - 1);
+  for (std::size_t probe = 0; probe < kSlots; ++probe) {
+    Slot& s = sh.slots[i];
+    std::uint32_t k = s.key.load(std::memory_order_relaxed);
+    if (k == 0) {
+      // Claim the empty slot; a racing claim of the same key also wins.
+      if (s.key.compare_exchange_strong(k, key, std::memory_order_relaxed) ||
+          k == key) {
+        slot = &s;
+        break;
+      }
+      // Claimed by a different label between load and CAS: keep probing.
+    } else if (k == key) {
+      slot = &s;
+      break;
+    }
+    i = (i + 1) & (kSlots - 1);
+  }
+  if (slot == nullptr) {
+    // More distinct labels than the table holds: count, never block.
+    sh.overflow.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  slot->count.fetch_add(1, std::memory_order_relaxed);
+  slot->exec_sum.fetch_add(exec_ticks, std::memory_order_relaxed);
+  fetch_min(slot->exec_min, exec_ticks);
+  fetch_max(slot->exec_max, exec_ticks);
+  slot->wait_sum.fetch_add(wait_ticks, std::memory_order_relaxed);
+  slot->queue_sum.fetch_add(queue_ticks, std::memory_order_relaxed);
+  slot->hist[hist_bucket(exec_ticks)].fetch_add(1, std::memory_order_relaxed);
+}
+
+void ProfSystem::note_path(std::uint64_t path_ticks,
+                           const PathAttr& attr) noexcept {
+  // Screening load: the overwhelmingly common losing candidate pays one
+  // relaxed read.  Winners re-check under the mutex so the (length,
+  // attribution) pair stays consistent.
+  if (path_ticks <= span_ticks_.load(std::memory_order_relaxed)) return;
+  std::lock_guard lock(mu_);
+  if (path_ticks > span_ticks_.load(std::memory_order_relaxed)) {
+    span_ticks_.store(path_ticks, std::memory_order_relaxed);
+    span_attr_ = attr;
+  }
+}
+
+double ProfSystem::ns_per_tick() const {
+  const std::uint64_t now_ticks = clock();
+  const auto now_wall = std::chrono::steady_clock::now();
+  const double dticks = static_cast<double>(now_ticks - t0_ticks_);
+  const double dns =
+      std::chrono::duration<double, std::nano>(now_wall - t0_wall_).count();
+  if (dticks <= 0.0 || dns <= 0.0) return 1.0;
+  return dns / dticks;
+}
+
+ProfileSnapshot ProfSystem::snapshot() const {
+  ProfileSnapshot out;
+  const double rate = ns_per_tick();
+  out.ns_per_tick = rate;
+  const auto to_ns = [&](std::uint64_t ticks) {
+    return static_cast<std::uint64_t>(static_cast<double>(ticks) * rate);
+  };
+
+  struct Agg {
+    std::uint64_t count = 0;
+    std::uint64_t exec = 0;
+    std::uint64_t min = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t max = 0;
+    std::uint64_t wait = 0;
+    std::uint64_t queue = 0;
+    std::array<std::uint64_t, kHistBuckets> hist{};
+  };
+  std::unordered_map<std::uint32_t, Agg> agg;
+  for (std::size_t sh = 0; sh <= num_workers_; ++sh) {
+    const Shard& shard = shards_[sh];
+    out.overflowed += shard.overflow.load(std::memory_order_relaxed);
+    for (const Slot& s : shard.slots) {
+      const std::uint32_t key = s.key.load(std::memory_order_relaxed);
+      if (key == 0) continue;
+      const std::uint64_t n = s.count.load(std::memory_order_relaxed);
+      if (n == 0) continue;
+      Agg& a = agg[key];
+      a.count += n;
+      a.exec += s.exec_sum.load(std::memory_order_relaxed);
+      a.min = std::min(a.min, s.exec_min.load(std::memory_order_relaxed));
+      a.max = std::max(a.max, s.exec_max.load(std::memory_order_relaxed));
+      a.wait += s.wait_sum.load(std::memory_order_relaxed);
+      a.queue += s.queue_sum.load(std::memory_order_relaxed);
+      for (std::size_t b = 0; b < kHistBuckets; ++b) {
+        a.hist[b] += s.hist[b].load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  out.labels.reserve(agg.size());
+  for (const auto& [key, a] : agg) {
+    ProfileSnapshot::Label l;
+    l.name = label_name(key);
+    l.hash = key;
+    l.count = a.count;
+    l.exec_ns = to_ns(a.exec);
+    l.exec_min_ns = to_ns(a.min == std::numeric_limits<std::uint64_t>::max()
+                              ? 0
+                              : a.min);
+    l.exec_max_ns = to_ns(a.max);
+    l.wait_ns = to_ns(a.wait);
+    l.queue_ns = to_ns(a.queue);
+    l.hist = a.hist;
+    out.tasks += l.count;
+    out.work_ns += l.exec_ns;
+    out.labels.push_back(std::move(l));
+  }
+  std::sort(out.labels.begin(), out.labels.end(),
+            [](const ProfileSnapshot::Label& a, const ProfileSnapshot::Label& b) {
+              return a.exec_ns > b.exec_ns;
+            });
+
+  out.span_ns = to_ns(span_ticks_.load(std::memory_order_relaxed));
+  PathAttr attr;
+  {
+    // Copy out, resolve names unlocked: label_name takes mu_ itself.
+    std::lock_guard lock(mu_);
+    attr = span_attr_;
+  }
+  for (std::size_t i = 0; i < PathAttr::kTop; ++i) {
+    if (attr.ticks[i] == 0) continue;
+    out.critical_ns.emplace_back(label_name(attr.label[i]),
+                                 to_ns(attr.ticks[i]));
+  }
+  std::sort(out.critical_ns.begin(), out.critical_ns.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return out;
+}
+
+std::string ProfileSnapshot::span_line(const std::string& tag) const {
+  std::ostringstream os;
+  os << "[oss-span " << tag << "] work=" << ms_str(work_ns)
+     << "ms span=" << ms_str(span_ns) << "ms parallelism=";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", parallelism());
+  os << buf;
+  if (!critical_ns.empty()) {
+    os << " critical:";
+    for (const auto& [name, ns] : critical_ns) {
+      os << ' ' << name << '=' << ms_str(ns) << "ms";
+    }
+  }
+  return os.str();
+}
+
+std::string ProfileSnapshot::to_table(const std::string& tag) const {
+  std::ostringstream os;
+  os << span_line(tag) << '\n';
+  os << "[oss-prof " << tag << "] " << tasks << " tasks, " << labels.size()
+     << " labels";
+  if (overflowed > 0) os << " (" << overflowed << " records overflowed)";
+  os << '\n';
+  char line[256];
+  std::snprintf(line, sizeof line, "  %-24s %10s %12s %10s %10s %10s %12s %12s\n",
+                "label", "count", "exec_ms", "mean_us", "min_us", "max_us",
+                "wait_ms", "queue_ms");
+  os << line;
+  for (const Label& l : labels) {
+    std::snprintf(line, sizeof line,
+                  "  %-24s %10llu %12s %10.1f %10s %10s %12s %12s\n",
+                  l.name.size() <= 24 ? l.name.c_str()
+                                      : l.name.substr(0, 24).c_str(),
+                  static_cast<unsigned long long>(l.count),
+                  ms_str(l.exec_ns).c_str(), l.mean_ns() / 1e3,
+                  us_str(l.exec_min_ns).c_str(), us_str(l.exec_max_ns).c_str(),
+                  ms_str(l.wait_ns).c_str(), ms_str(l.queue_ns).c_str());
+    os << line;
+  }
+  return os.str();
+}
+
+} // namespace oss

@@ -1,0 +1,174 @@
+// prof.hpp — work/span profiling and per-label task latency profiles
+// (oss::prof, docs/observability.md "Profiling and diagnosis").
+//
+// Where oss::trace answers "what happened, event by event", oss::prof
+// answers "where did the time go" without a 2M-event trace: per-label
+// accumulators (count, exec sum/min/max + log2 histogram, spawn→ready wait,
+// ready→run queue delay) updated lock-free on the execution path, plus a
+// critical-path length (span) propagated along the successor-release path so
+// at any barrier the runtime can report
+//
+//   work        = Σ task execution time
+//   span        = longest dependency chain (critical path)
+//   parallelism = work / span   (the graph's inherent speedup ceiling)
+//
+// together with the top-k labels *on* the critical path (PathAttr).  The
+// recording side is sharded per worker — a `record()` is a handful of
+// relaxed atomic adds into the worker's own shard, no locks, no allocation —
+// and `snapshot()` merges the shards cold.
+//
+// Enabled by OSS_PROF=1 (footer table at shutdown), OSS_PROF_EVERY_MS
+// (periodic deltas on the collector thread), or OSS_WATCHDOG (the health
+// watchdog needs the same timestamps).  All off = the runtime never reads
+// the clock for it.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "ompss/task.hpp"  // PathAttr
+#include "ompss/trace.hpp" // TraceSystem::clock()
+
+namespace oss {
+
+/// Plain-value profiling snapshot (Runtime::profile()): per-label profiles
+/// sorted by total execution time, plus the work/span summary.  All times in
+/// nanoseconds; histograms stay in raw log2(tick) buckets (convert bucket
+/// bounds with `ns_per_tick`).
+struct ProfileSnapshot {
+  static constexpr std::size_t kHistBuckets = 32;
+
+  struct Label {
+    std::string name;          ///< "(unlabeled)" for label-less tasks
+    std::uint32_t hash = 0;    ///< interned label hash (Task::trace_label)
+    std::uint64_t count = 0;
+    std::uint64_t exec_ns = 0; ///< Σ execution time
+    std::uint64_t exec_min_ns = 0;
+    std::uint64_t exec_max_ns = 0;
+    std::uint64_t wait_ns = 0;  ///< Σ spawn→ready dependency wait
+    std::uint64_t queue_ns = 0; ///< Σ ready→run queue delay
+    std::array<std::uint64_t, kHistBuckets> hist{}; ///< count per log2(ticks)
+
+    [[nodiscard]] double mean_ns() const {
+      return count ? static_cast<double>(exec_ns) / static_cast<double>(count)
+                   : 0.0;
+    }
+  };
+
+  std::vector<Label> labels; ///< sorted by exec_ns, descending
+  std::uint64_t tasks = 0;   ///< Σ label counts
+  std::uint64_t work_ns = 0; ///< Σ label exec_ns
+  std::uint64_t span_ns = 0; ///< critical-path length
+  /// Top labels on the critical path (name, ns), descending — at most
+  /// PathAttr::kTop entries, approximate beyond that many distinct labels.
+  std::vector<std::pair<std::string, std::uint64_t>> critical_ns;
+  std::uint64_t overflowed = 0; ///< records dropped (per-shard table full)
+  double ns_per_tick = 1.0;     ///< tick→ns rate used for the conversion
+
+  /// work / span; 0 when no task carried timing.
+  [[nodiscard]] double parallelism() const {
+    return span_ns ? static_cast<double>(work_ns) /
+                         static_cast<double>(span_ns)
+                   : 0.0;
+  }
+
+  /// Multi-line footer table (the OSS_PROF=1 shutdown print): one row per
+  /// label plus the work/span summary line.  `tag` names the run.
+  [[nodiscard]] std::string to_table(const std::string& tag) const;
+
+  /// One-line work/span/parallelism summary (the OSS_STATS=1 app footer).
+  [[nodiscard]] std::string span_line(const std::string& tag) const;
+};
+
+/// True when OSS_PROF is set to a truthy value — the runtime prints the
+/// profile footer table at destruction (mirrors stats_footer_enabled()).
+bool prof_footer_enabled();
+
+/// The recording side.  One shard per worker plus one shared "foreign"
+/// shard; each shard is a small open-addressing table of per-label counter
+/// rows (relaxed atomics).  Workers only ever touch their own shard, so the
+/// common case is contention-free; the foreign shard serves wid -1 spawner
+/// threads and is merely lock-free.
+class ProfSystem {
+ public:
+  static constexpr std::size_t kSlots = 128; ///< per-shard labels (power of 2)
+  static constexpr std::size_t kHistBuckets = ProfileSnapshot::kHistBuckets;
+
+  explicit ProfSystem(std::size_t num_workers);
+
+  ProfSystem(const ProfSystem&) = delete;
+  ProfSystem& operator=(const ProfSystem&) = delete;
+
+  /// Same raw tick source as the trace layer — one calibration suffices.
+  static std::uint64_t clock() noexcept { return TraceSystem::clock(); }
+
+  /// Interns a label (FNV-1a, identical hash to TraceSystem::intern so
+  /// Task::trace_label can serve both).  Called once per spawn.
+  std::uint32_t intern(const std::string& label);
+
+  /// Resolves an interned hash ("(unlabeled)" for 0, "#hex" if unknown).
+  [[nodiscard]] std::string label_name(std::uint32_t hash) const;
+
+  /// Records one executed task: all durations in raw ticks.  Lock-free,
+  /// allocation-free; called once per retirement from the hot path.
+  void record(int wid, std::uint32_t label, std::uint64_t exec_ticks,
+              std::uint64_t wait_ticks, std::uint64_t queue_ticks) noexcept;
+
+  /// Offers a completed path as a span candidate.  The fast path is one
+  /// relaxed load (losing candidates pay nothing); a new maximum takes a
+  /// mutex to update the attribution atomically with the length.
+  void note_path(std::uint64_t path_ticks, const PathAttr& attr) noexcept;
+
+  /// Merges every shard into a ProfileSnapshot (ticks → ns).  Cold path.
+  [[nodiscard]] ProfileSnapshot snapshot() const;
+
+  /// Current tick→ns conversion rate (diagnostics: task ages in dumps).
+  [[nodiscard]] double ns_per_tick() const;
+
+ private:
+  struct Slot {
+    std::atomic<std::uint32_t> key{0}; ///< label hash; 0 = empty
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> exec_sum{0};
+    std::atomic<std::uint64_t> exec_min{~std::uint64_t{0}};
+    std::atomic<std::uint64_t> exec_max{0};
+    std::atomic<std::uint64_t> wait_sum{0};
+    std::atomic<std::uint64_t> queue_sum{0};
+    std::atomic<std::uint64_t> hist[kHistBuckets] = {};
+  };
+  struct alignas(64) Shard {
+    Slot slots[kSlots];
+    std::atomic<std::uint64_t> overflow{0}; ///< records with no free slot
+  };
+
+  [[nodiscard]] std::size_t shard_index(int wid) const noexcept {
+    return (wid >= 0 && static_cast<std::size_t>(wid) < num_workers_)
+               ? static_cast<std::size_t>(wid)
+               : num_workers_; // the shared foreign shard
+  }
+
+  std::size_t num_workers_;
+  std::unique_ptr<Shard[]> shards_; ///< num_workers_ + 1 entries
+
+  // Calibration origin, same scheme as TraceSystem: (ticks, wall) at
+  // construction, rate measured against steady_clock at snapshot.
+  std::uint64_t t0_ticks_;
+  std::chrono::steady_clock::time_point t0_wall_;
+
+  /// Running span maximum.  Relaxed loads screen candidates; mu_ orders the
+  /// (length, attribution) pair for winners and guards the label map.
+  std::atomic<std::uint64_t> span_ticks_{0};
+  mutable std::mutex mu_;
+  PathAttr span_attr_; ///< attribution of the current span holder (mu_)
+  std::unordered_map<std::uint32_t, std::string> labels_; ///< hash → name
+};
+
+} // namespace oss

@@ -3,8 +3,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <ostream>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <csignal>
+#endif
 
 #include "ompss/numa_alloc.hpp"
 #include "ompss/pinning.hpp"
@@ -72,6 +78,41 @@ class ScratchTaskVec {
   }
   std::vector<TaskPtr>* v_;
 };
+
+#if defined(__unix__) || defined(__APPLE__)
+// SIGUSR1 → health dump (OSS_WATCHDOG).  The handler only sets a flag; the
+// collector thread polls it and does the actual (non-async-signal-safe)
+// dump.  Installation is refcounted so overlapping watchdog runtimes share
+// the handler and the last destructor restores whatever was there before.
+std::atomic<bool> g_sigusr1{false};
+std::mutex g_sigusr1_mu;
+int g_sigusr1_users = 0;
+struct sigaction g_sigusr1_prev;
+
+void sigusr1_handler(int) { g_sigusr1.store(true, std::memory_order_relaxed); }
+
+void install_sigusr1() {
+  std::lock_guard lock(g_sigusr1_mu);
+  if (++g_sigusr1_users > 1) return;
+  struct sigaction sa {};
+  sa.sa_handler = &sigusr1_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  sigaction(SIGUSR1, &sa, &g_sigusr1_prev);
+}
+
+void uninstall_sigusr1() {
+  std::lock_guard lock(g_sigusr1_mu);
+  if (--g_sigusr1_users > 0) return;
+  sigaction(SIGUSR1, &g_sigusr1_prev, nullptr);
+}
+
+bool take_sigusr1() { return g_sigusr1.exchange(false, std::memory_order_relaxed); }
+#else
+void install_sigusr1() {}
+void uninstall_sigusr1() {}
+bool take_sigusr1() { return false; }
+#endif
 } // namespace
 
 Runtime* Runtime::current() noexcept { return tl_binding.rt; }
@@ -113,6 +154,13 @@ Runtime::Runtime(RuntimeConfig cfg)
     scheduler_->set_trace(trace_.get());
     trace_out_ = cfg_.trace_out;
   }
+  if (cfg_.prof || cfg_.prof_every_ms > 0 || cfg_.watchdog_ms > 0) {
+    prof_ = std::make_unique<ProfSystem>(num_threads_);
+    run_slots_.reset(new RunSlot[num_threads_]);
+  }
+  // Critical-path propagation is shared by the profiler and the graph
+  // recorder (DOT critical-path coloring); trace-only runs skip it.
+  path_track_ = prof_ != nullptr || graph_ != nullptr;
 
   // One idle gate per NUMA node so home-node enqueues wake same-node
   // parked workers (node-aware wakeup); single-node topologies get exactly
@@ -136,37 +184,111 @@ Runtime::Runtime(RuntimeConfig cfg)
 
   if (cfg_.resolved_pin_mode() != PinMode::Off) apply_pinning();
 
-  if (cfg_.stats_every_ms > 0) {
-    collector_ = std::thread(
-        [this, every = cfg_.stats_every_ms] { collector_loop(every); });
+  if (cfg_.watchdog_ms > 0) install_sigusr1();
+
+  if (cfg_.stats_every_ms > 0 || cfg_.prof_every_ms > 0 ||
+      cfg_.watchdog_ms > 0) {
+    collector_ = std::thread([this] { collector_loop(); });
   }
 }
 
-void Runtime::collector_loop(std::uint64_t every_ms) {
-  // OSS_STATS_EVERY_MS: a low-duty background thread that drains the trace
-  // rings (bounding drop pressure in apps that never reach a barrier) and
-  // prints the StatsSnapshot *delta* since its last tick, so a long run
-  // reads as a rate log rather than ever-growing totals.
+void Runtime::collector_loop() {
+  // The shared low-duty background thread: OSS_STATS_EVERY_MS drains the
+  // trace rings (bounding drop pressure in apps that never reach a barrier)
+  // and prints the StatsSnapshot *delta* since its last tick, so a long run
+  // reads as a rate log rather than ever-growing totals; OSS_PROF_EVERY_MS
+  // prints profile deltas the same way; OSS_WATCHDOG flags intervals where
+  // tasks are in flight but nothing retired and dumps the runtime state.
+  // One thread, one tick period (the minimum of the armed knobs), each
+  // purpose firing on its own schedule.
+  using steady = std::chrono::steady_clock;
+  const auto period = [](std::size_t v) {
+    return std::chrono::milliseconds(v);
+  };
+  std::size_t tick_ms = ~std::size_t{0};
+  if (cfg_.stats_every_ms > 0) tick_ms = std::min(tick_ms, cfg_.stats_every_ms);
+  if (cfg_.prof_every_ms > 0) tick_ms = std::min(tick_ms, cfg_.prof_every_ms);
+  if (cfg_.watchdog_ms > 0) tick_ms = std::min(tick_ms, cfg_.watchdog_ms);
+
   StatsSnapshot prev = stats();
+  ProfileSnapshot prev_prof;
+  if (prof_ && cfg_.prof_every_ms > 0) prev_prof = prof_->snapshot();
+  const auto start = steady::now();
+  auto stats_due = start + period(cfg_.stats_every_ms);
+  auto prof_due = start + period(cfg_.prof_every_ms);
+  auto watch_due = start + period(cfg_.watchdog_ms);
+  std::uint64_t watch_last_executed = prev.tasks_executed;
+  bool stall_reported = false;
+
   std::unique_lock lock(collector_mu_);
-  while (!collector_stop_) {
-    collector_cv_.wait_for(lock, std::chrono::milliseconds(every_ms),
-                           [this] { return collector_stop_; });
-    if (collector_stop_) break;
+  while (!collector_stop_.load(std::memory_order_acquire)) {
+    collector_cv_.wait_for(lock, period(tick_ms), [this] {
+      return collector_stop_.load(std::memory_order_acquire);
+    });
+    if (collector_stop_.load(std::memory_order_acquire)) break;
     lock.unlock();
-    if (trace_) trace_->drain();
-    const StatsSnapshot cur = stats();
-    std::fprintf(stderr,
-                 "[oss-stats tick] +tasks=%llu +steals=%llu +parks=%llu "
-                 "+overflow=%llu trace_dropped=%llu\n",
-                 static_cast<unsigned long long>(cur.tasks_executed -
-                                                 prev.tasks_executed),
-                 static_cast<unsigned long long>(cur.steals - prev.steals),
-                 static_cast<unsigned long long>(cur.parks - prev.parks),
-                 static_cast<unsigned long long>(cur.overflow_placements -
-                                                 prev.overflow_placements),
-                 static_cast<unsigned long long>(cur.trace_dropped));
-    prev = cur;
+    const auto now = steady::now();
+
+    if (take_sigusr1()) {
+      std::ostringstream os;
+      dump_health(os);
+      std::fputs(os.str().c_str(), stderr);
+      health_dumps_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    if (cfg_.stats_every_ms > 0 && now >= stats_due) {
+      if (trace_) trace_->drain();
+      const StatsSnapshot cur = stats();
+      std::fprintf(stderr,
+                   "[oss-stats tick] +tasks=%llu +steals=%llu +parks=%llu "
+                   "+overflow=%llu trace_dropped=%llu\n",
+                   static_cast<unsigned long long>(cur.tasks_executed -
+                                                   prev.tasks_executed),
+                   static_cast<unsigned long long>(cur.steals - prev.steals),
+                   static_cast<unsigned long long>(cur.parks - prev.parks),
+                   static_cast<unsigned long long>(cur.overflow_placements -
+                                                   prev.overflow_placements),
+                   static_cast<unsigned long long>(cur.trace_dropped));
+      prev = cur;
+      stats_due = now + period(cfg_.stats_every_ms);
+    }
+
+    if (cfg_.prof_every_ms > 0 && prof_ && now >= prof_due) {
+      const ProfileSnapshot cur = prof_->snapshot();
+      const char* top = cur.labels.empty() ? "-" : cur.labels[0].name.c_str();
+      std::fprintf(stderr,
+                   "[oss-prof tick] +tasks=%llu +work=%.3fms span=%.3fms "
+                   "parallelism=%.2f top=%s\n",
+                   static_cast<unsigned long long>(cur.tasks - prev_prof.tasks),
+                   static_cast<double>(cur.work_ns - prev_prof.work_ns) / 1e6,
+                   static_cast<double>(cur.span_ns) / 1e6, cur.parallelism(),
+                   top);
+      prev_prof = cur;
+      prof_due = now + period(cfg_.prof_every_ms);
+    }
+
+    if (cfg_.watchdog_ms > 0 && now >= watch_due) {
+      const std::uint64_t executed = stats_.snapshot().tasks_executed;
+      const std::size_t inflight = pending_.load(std::memory_order_acquire);
+      if (inflight > 0 && executed == watch_last_executed) {
+        // Tasks in flight, zero retirements for a whole interval: stalled.
+        // One dump per stall episode — the flag resets on any progress.
+        if (!stall_reported) {
+          stall_reported = true;
+          std::ostringstream os;
+          os << "[oss-watchdog] no task retired for " << cfg_.watchdog_ms
+             << " ms with " << inflight << " in flight\n";
+          dump_health(os);
+          std::fputs(os.str().c_str(), stderr);
+          health_dumps_.fetch_add(1, std::memory_order_relaxed);
+        }
+      } else {
+        stall_reported = false;
+      }
+      watch_last_executed = executed;
+      watch_due = now + period(cfg_.watchdog_ms);
+    }
+
     lock.lock();
   }
 }
@@ -240,6 +362,18 @@ void Runtime::apply_pinning() {
 }
 
 Runtime::~Runtime() {
+  // Stop the collector before *anything* else is torn down: its ticks call
+  // stats()/dump_health() against live runtime state, so joining it first
+  // (atomic stop flag + cv handshake) guarantees no tick can land
+  // mid-destruction.  The empty lock_guard orders the store against a
+  // concurrent wait_for predicate check — a collector between its predicate
+  // and its sleep observes either the flag or the notify.
+  if (collector_.joinable()) {
+    collector_stop_.store(true, std::memory_order_release);
+    { std::lock_guard lock(collector_mu_); }
+    collector_cv_.notify_all();
+    collector_.join();
+  }
   try {
     barrier();
   } catch (const std::exception& e) {
@@ -247,14 +381,6 @@ Runtime::~Runtime() {
                  e.what());
   } catch (...) {
     std::fprintf(stderr, "oss::Runtime: exception pending at destruction\n");
-  }
-  if (collector_.joinable()) {
-    {
-      std::lock_guard lock(collector_mu_);
-      collector_stop_ = true;
-    }
-    collector_cv_.notify_all();
-    collector_.join();
   }
   stop_.store(true, std::memory_order_release);
   for (auto& gate : idle_gates_) gate->notify_all();
@@ -279,6 +405,12 @@ Runtime::~Runtime() {
       }
     }
   }
+  // OSS_PROF=1 footer: the sorted per-label table + work/span summary,
+  // printed after the workers joined (every record is in).
+  if (prof_ && prof_footer_enabled()) {
+    std::fputs(prof_->snapshot().to_table("runtime").c_str(), stderr);
+  }
+  if (cfg_.watchdog_ms > 0) uninstall_sigusr1();
   // Hand the owning thread back with its pre-pin affinity mask: the caller
   // outlives the runtime, and a thread silently left pinned to one node
   // would be a surprising parting gift.  Only when the destructor runs on
@@ -354,6 +486,12 @@ TaskHandle Runtime::spawn_task(TaskSpec spec, Task::Fn fn) {
 
   if (graph_) graph_->add_node(id, task->label());
   if (trace_) task->set_trace_label(trace_->intern(task->label()));
+  if (prof_) {
+    // Same FNV-1a hash as the trace intern, so one trace_label slot serves
+    // both; when both are on the second intern is a TLS-cache hit.
+    task->set_trace_label(prof_->intern(task->label()));
+    task->set_spawn_ts(ProfSystem::clock());
+  }
 
   // Spawn guard: hold one phantom predecessor while edges materialize so a
   // burst of concurrently finishing producers cannot publish (or worse,
@@ -418,7 +556,11 @@ TaskHandle Runtime::spawn_task(TaskSpec spec, Task::Fn fn) {
   // every producer that already finished and decremented.
   const bool ready =
       task->preds.fetch_sub(1, std::memory_order_acq_rel) == 1;
-  if (ready) task->set_state(TaskState::Ready);
+  if (ready) {
+    task->set_state(TaskState::Ready);
+    // Ready at spawn: no dependency wait (ready_ts == spawn_ts).
+    if (prof_) task->set_ready_ts(task->spawn_ts());
+  }
   if (trace_) trace_->emit_spawn(id, task->trace_label(), ready);
 
   if (task->undeferred()) {
@@ -477,9 +619,17 @@ void Runtime::execute(const TaskPtr& t, int wid) {
   locks.erase(std::unique(locks.begin(), locks.end()), locks.end());
   for (std::mutex* m : locks) m->lock();
 
-  // Raw-tick timestamps: one rdtsc here, one inside emit_run; the ns
-  // conversion happens at drain time, off the execution path.
-  const std::uint64_t t0 = trace_ ? TraceSystem::clock() : 0;
+  // Raw-tick timestamps: one rdtsc here, one after the body; the ns
+  // conversion happens at drain/snapshot time, off the execution path.
+  const std::uint64_t t0 = (trace_ || path_track_) ? TraceSystem::clock() : 0;
+  if (prof_ && wid >= 0) {
+    // Watchdog view: what this worker is running right now.  Relaxed
+    // stores — the collector's read is an approximate snapshot by design.
+    RunSlot& slot = run_slots_[static_cast<std::size_t>(wid)];
+    slot.label.store(t->trace_label(), std::memory_order_relaxed);
+    slot.start_ticks.store(t0, std::memory_order_relaxed);
+    slot.task_id.store(t->id(), std::memory_order_relaxed);
+  }
   try {
     t->run();
   } catch (...) {
@@ -489,12 +639,31 @@ void Runtime::execute(const TaskPtr& t, int wid) {
   t->release_body(); // handles may outlive the task; free captures now
   if (trace_) trace_->emit_run(t->id(), t->trace_label(), t0);
 
+  std::uint64_t exec_ticks = 0;
+  if (path_track_) {
+    const std::uint64_t t1 = TraceSystem::clock();
+    exec_ticks = t1 > t0 ? t1 - t0 : 0;
+  }
+  if (prof_) {
+    if (wid >= 0) {
+      run_slots_[static_cast<std::size_t>(wid)].task_id.store(
+          0, std::memory_order_relaxed);
+    }
+    const std::uint64_t spawn_ts = t->spawn_ts();
+    std::uint64_t ready_ts = t->ready_ts();
+    if (ready_ts == 0) ready_ts = spawn_ts;
+    const std::uint64_t wait = ready_ts > spawn_ts ? ready_ts - spawn_ts : 0;
+    const std::uint64_t queue = t0 > ready_ts ? t0 - ready_ts : 0;
+    prof_->record(wid, t->trace_label(), exec_ticks, wait, queue);
+  }
+
   tl_binding = ThreadBinding{prev_rt, prev_wid, prev_task};
   stats_.on_execute(wid);
-  on_finished(t, wid);
+  on_finished(t, wid, exec_ticks);
 }
 
-void Runtime::on_finished(const TaskPtr& t, int wid) {
+void Runtime::on_finished(const TaskPtr& t, int wid,
+                          std::uint64_t exec_ticks) {
   // Retirement takes only the finished task's own successor lock — no
   // dependency-shard lock is ever re-entered here, so a finish never
   // serializes against in-flight registrations of unrelated regions.
@@ -508,13 +677,39 @@ void Runtime::on_finished(const TaskPtr& t, int wid) {
   t->finish_take_successors(succs);
   t->set_state(TaskState::Finished);
 
+  // Critical-path bookkeeping (oss::prof / graph coloring): this task's
+  // path length is the longest predecessor path plus its own execution.
+  // Reading the pred-path fields plain is safe here: every offer to them
+  // happened under this task's succ_mu_ before the offering predecessor
+  // decremented preds, and finish_take_successors just took that mutex.
+  std::uint64_t path_ticks = 0;
+  PathAttr path_attr{};
+  if (path_track_) {
+    path_ticks = t->pred_path_ticks() + exec_ticks;
+    path_attr = t->pred_attr();
+    path_attr.add(t->trace_label(), exec_ticks);
+    t->set_path_ticks(path_ticks);
+    if (prof_) prof_->note_path(path_ticks, path_attr);
+    if (graph_) graph_->set_node_path(t->id(), path_ticks, t->crit_pred());
+  }
+
   ScratchTaskVec ready_scratch;
   std::vector<TaskPtr>& newly_ready = ready_scratch.get();
+  std::uint64_t ready_now = 0; // one clock read shared by the whole burst
   for (TaskPtr& s : succs) {
+    // The offer must precede the decrement: the successor reads its pred
+    // path plain once ITS preds hit zero, relying on exactly this order.
+    if (path_track_) s->offer_pred_path(path_ticks, t->id(), path_attr);
     // acq_rel: acquire pairs with the producers' release decrements (their
     // outputs are visible to the task body) and with the spawner's guard
     // release (the registration is complete when we publish).
     if (s->preds.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // ready_ts before the Ready store: an undeferred spawner acquires the
+      // state and may read the timestamp immediately.
+      if (prof_) {
+        if (ready_now == 0) ready_now = ProfSystem::clock();
+        s->set_ready_ts(ready_now);
+      }
       s->set_state(TaskState::Ready);
       if (trace_) trace_->emit_ready(s->id());
       // Undeferred tasks are claimed by their (polling) spawner and must
@@ -791,6 +986,79 @@ StatsSnapshot Runtime::stats() const {
   // the usual one-runtime-at-a-time case).
   s.pool_overflow = pool::overflow_total() - pool_overflow_base_;
   return s;
+}
+
+ProfileSnapshot Runtime::profile() const {
+  return prof_ ? prof_->snapshot() : ProfileSnapshot{};
+}
+
+void Runtime::dump_health(std::ostream& os) const {
+  const StatsSnapshot s = stats();
+  const std::size_t inflight = pending_.load(std::memory_order_acquire);
+  os << "[oss-health] pending=" << inflight << " spawned=" << s.tasks_spawned
+     << " executed=" << s.tasks_executed << " queued=" << scheduler_->queued()
+     << "\n";
+
+  const QueueDepths qd = scheduler_->queue_depths();
+  os << "[oss-health] queues: priority=" << qd.priority
+     << " global=" << qd.global;
+  for (std::size_t n = 0; n < qd.per_node.size(); ++n) {
+    os << " node" << n << "=" << qd.per_node[n]
+       << "(parked=" << scheduler_->parked_on_node(static_cast<int>(n)) << ")";
+  }
+  os << "\n";
+
+  // What every worker is doing right now (racy snapshot; a task may retire
+  // between the id load and the print — ages are approximate).
+  const double rate = prof_ ? prof_->ns_per_tick() : 1.0;
+  const std::uint64_t now = ProfSystem::clock();
+  for (std::size_t w = 0; w < num_threads_; ++w) {
+    os << "[oss-health] worker " << w << ": ";
+    const std::uint64_t id =
+        run_slots_ ? run_slots_[w].task_id.load(std::memory_order_relaxed) : 0;
+    if (id != 0) {
+      const std::uint32_t lab =
+          run_slots_[w].label.load(std::memory_order_relaxed);
+      const std::uint64_t start =
+          run_slots_[w].start_ticks.load(std::memory_order_relaxed);
+      const double ms =
+          now > start ? static_cast<double>(now - start) * rate / 1e6 : 0.0;
+      os << "running #" << id << " '"
+         << (prof_ ? prof_->label_name(lab) : std::string("?")) << "' for "
+         << static_cast<std::uint64_t>(ms) << " ms";
+    } else {
+      os << "idle";
+    }
+    if (w < qd.per_worker.size()) os << ", deque=" << qd.per_worker[w];
+    os << "\n";
+  }
+
+  // Oldest unfinished tasks still registered in the root dependency domain
+  // (tasks declaring no accesses are invisible here).  The TaskPtr refs
+  // keep them alive and un-recycled while we print.
+  std::vector<TaskPtr> unfinished;
+  root_ctx_->domain().collect_overlapping(0, ~std::uintptr_t{0}, unfinished);
+  std::sort(unfinished.begin(), unfinished.end(),
+            [](const TaskPtr& a, const TaskPtr& b) {
+              return a->spawn_ts() < b->spawn_ts();
+            });
+  const std::size_t show = std::min<std::size_t>(unfinished.size(), 5);
+  if (show > 0) {
+    os << "[oss-health] oldest unfinished tasks (" << unfinished.size()
+       << " total):\n";
+  }
+  for (std::size_t i = 0; i < show; ++i) {
+    const TaskPtr& t = unfinished[i];
+    const std::uint64_t spawn = t->spawn_ts();
+    const double age_ms =
+        (spawn != 0 && now > spawn)
+            ? static_cast<double>(now - spawn) * rate / 1e6
+            : 0.0;
+    os << "[oss-health]   #" << t->id() << " '" << t->label() << "' "
+       << to_string(t->state())
+       << " preds=" << t->preds.load(std::memory_order_relaxed) << " age="
+       << static_cast<std::uint64_t>(age_ms) << " ms\n";
+  }
 }
 
 std::string Runtime::export_graph_dot() const {

@@ -35,6 +35,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -50,6 +51,7 @@
 #include "ompss/eventcount.hpp"
 #include "ompss/graph_recorder.hpp"
 #include "ompss/inline_vec.hpp"
+#include "ompss/prof.hpp"
 #include "ompss/scheduler.hpp"
 #include "ompss/stats.hpp"
 #include "ompss/task.hpp"
@@ -238,6 +240,30 @@ class Runtime {
     return trace_ ? &trace_->legacy_recorder() : nullptr;
   }
 
+  /// Per-label profiling snapshot + work/span/parallelism summary
+  /// (docs/observability.md).  Empty unless profiling is enabled
+  /// (RuntimeConfig::prof / prof_every_ms / watchdog_ms — the OSS_PROF,
+  /// OSS_PROF_EVERY_MS, OSS_WATCHDOG knobs).  Same coherence contract as
+  /// stats(): exact at quiescent points, per-counter coherent in flight.
+  [[nodiscard]] ProfileSnapshot profile() const;
+
+  /// The profiling system itself (null unless profiling enabled).
+  [[nodiscard]] ProfSystem* prof_system() const noexcept {
+    return prof_.get();
+  }
+
+  /// Writes the health dump — queue depths per tier/node, parked-worker
+  /// counts, what every worker is running right now, the oldest unfinished
+  /// tasks — to `os`.  Safe from any thread at any time; this is what the
+  /// OSS_WATCHDOG stall detector and the SIGUSR1 handler print.
+  void dump_health(std::ostream& os) const;
+
+  /// Health dumps emitted by the runtime itself so far (watchdog stalls +
+  /// SIGUSR1 requests); regression hook for the watchdog tests.
+  [[nodiscard]] std::uint64_t health_dumps() const noexcept {
+    return health_dumps_.load(std::memory_order_relaxed);
+  }
+
   /// The graph recorder (null unless `config().record_graph`); exposes the
   /// recorded edge multiset for parity tests and tooling beyond DOT export.
   [[nodiscard]] const GraphRecorder* graph_recorder() const noexcept {
@@ -271,10 +297,13 @@ class Runtime {
   /// (pthread_setaffinity_np targets them by native handle, so the count
   /// is final when construction returns).
   void apply_pinning();
-  void collector_loop(std::uint64_t every_ms);
+  void collector_loop();
   bool try_execute_one(int wid);
   void execute(const TaskPtr& t, int wid);
-  void on_finished(const TaskPtr& t, int wid);
+  /// `exec_ticks` is the task body's raw-tick duration (0 when neither
+  /// profiling nor graph recording needs it) — it extends the critical
+  /// path the finished task hands to its successors.
+  void on_finished(const TaskPtr& t, int wid, std::uint64_t exec_ticks);
   ContextPtr current_spawn_context();
 
   /// Wakes one parked worker after a task was enqueued.  `preferred_node`
@@ -328,13 +357,38 @@ class Runtime {
   std::unique_ptr<TraceSystem> trace_;
   std::string trace_out_; ///< destructor export target ("" = none)
 
-  /// Optional collector thread (OSS_STATS_EVERY_MS): periodically drains
-  /// the trace rings and prints a StatsSnapshot delta, so long-running
-  /// apps bound ring pressure without reaching a barrier.
+  /// oss::prof (docs/observability.md): per-label task profiles and
+  /// work/span critical-path attribution.  Null when OSS_PROF,
+  /// OSS_PROF_EVERY_MS and OSS_WATCHDOG are all off — the execution path
+  /// then never reads the clock on profiling's behalf.
+  std::unique_ptr<ProfSystem> prof_;
+
+  /// True when anything consumes per-task critical-path bookkeeping
+  /// (prof_ or graph_); gates the successor path offers in on_finished so
+  /// trace-only runs pay nothing new.
+  bool path_track_ = false;
+
+  /// What each worker is running right now (null unless prof_): relaxed
+  /// stores around the task body, read by the watchdog/dump — an
+  /// approximate, racy view by design.
+  struct RunSlot {
+    std::atomic<std::uint64_t> task_id{0}; ///< 0 = idle
+    std::atomic<std::uint32_t> label{0};
+    std::atomic<std::uint64_t> start_ticks{0};
+  };
+  std::unique_ptr<RunSlot[]> run_slots_; ///< num_threads_ entries
+
+  std::atomic<std::uint64_t> health_dumps_{0};
+
+  /// Optional collector thread (OSS_STATS_EVERY_MS / OSS_PROF_EVERY_MS /
+  /// OSS_WATCHDOG): periodically drains the trace rings, prints stats and
+  /// profile deltas, and runs the no-progress watchdog.  The stop flag is
+  /// atomic and the destructor joins the thread *before* starting any
+  /// teardown, so a tick can never land mid-destruction.
   std::thread collector_;
   std::mutex collector_mu_;
   std::condition_variable collector_cv_;
-  bool collector_stop_ = false;
+  std::atomic<bool> collector_stop_{false};
 
   std::atomic<std::size_t> pending_{0}; ///< spawned but not finished
   std::atomic<bool> stop_{false};

@@ -307,6 +307,19 @@ std::size_t SchedulerBase::queued() const {
   return n;
 }
 
+QueueDepths SchedulerBase::queue_depths() const {
+  QueueDepths d;
+  d.priority = global_hi_.size();
+  d.global = global_.size();
+  d.per_node.reserve(node_queues_.size());
+  for (const auto& q : node_queues_) d.per_node.push_back(q->size());
+  d.per_worker.reserve(num_workers_);
+  for (std::size_t i = 0; i < num_workers_; ++i) {
+    d.per_worker.push_back(workers_[i]->deque.size());
+  }
+  return d;
+}
+
 std::unique_ptr<Scheduler> Scheduler::create(SchedulerPolicy policy,
                                              std::size_t num_workers,
                                              std::size_t steal_tries,

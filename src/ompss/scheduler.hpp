@@ -35,6 +35,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "ompss/config.hpp"
 #include "ompss/stats.hpp"
@@ -44,6 +45,16 @@
 namespace oss {
 
 class TraceSystem;
+
+/// Per-tier queue-depth breakdown (Scheduler::queue_depths) — the health
+/// dump's view of where ready tasks are waiting.  All counts approximate
+/// (racy snapshot of concurrently mutated queues).
+struct QueueDepths {
+  std::size_t priority = 0;            ///< global high-priority tier
+  std::size_t global = 0;              ///< global spawn-ready tier
+  std::vector<std::size_t> per_node;   ///< per-NUMA-node home queues
+  std::vector<std::size_t> per_worker; ///< per-worker local deques
+};
 
 class Scheduler {
  public:
@@ -85,6 +96,9 @@ class Scheduler {
 
   /// Approximate count of queued ready tasks (for idle heuristics/tests).
   [[nodiscard]] virtual std::size_t queued() const = 0;
+
+  /// Per-tier breakdown of `queued()` (health dumps, docs/observability.md).
+  [[nodiscard]] virtual QueueDepths queue_depths() const = 0;
 
   /// Dense NUMA node index of a worker (0 on single-node topologies, -1
   /// for non-worker ids).  Matches Topology::node_of_worker.

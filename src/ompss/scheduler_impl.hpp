@@ -38,6 +38,7 @@ class SchedulerBase : public Scheduler {
   ~SchedulerBase() override;
 
   [[nodiscard]] std::size_t queued() const override;
+  [[nodiscard]] QueueDepths queue_depths() const override;
   [[nodiscard]] int worker_node(int worker) const noexcept override;
   [[nodiscard]] std::size_t steal_budget(int worker) const noexcept override;
 

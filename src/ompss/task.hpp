@@ -125,6 +125,41 @@ enum class TaskState : std::uint8_t {
 
 const char* to_string(TaskState s) noexcept;
 
+/// Fixed-size top-K label attribution of a critical path (oss::prof): which
+/// task labels contribute how many raw clock ticks along the heaviest
+/// predecessor chain ending at some task.  Carried by value per task — the
+/// winning predecessor's attribution is copied forward at its finish, the
+/// task's own execution added — so the span's composition is known at any
+/// barrier without keeping retired tasks alive or walking a graph.
+struct PathAttr {
+  static constexpr std::size_t kTop = 4;
+  std::uint32_t label[kTop] = {0, 0, 0, 0}; ///< interned label hashes
+  std::uint64_t ticks[kTop] = {0, 0, 0, 0}; ///< 0 = slot empty
+
+  /// Adds `t` ticks to `lab`'s entry: merges into a matching slot, claims an
+  /// empty one, or evicts the smallest entry when `t` beats it.  Top-K with
+  /// eviction, not exact — good enough to name the dominant span labels.
+  void add(std::uint32_t lab, std::uint64_t t) noexcept {
+    std::size_t min_i = 0;
+    for (std::size_t i = 0; i < kTop; ++i) {
+      if (ticks[i] != 0 && label[i] == lab) {
+        ticks[i] += t;
+        return;
+      }
+      if (ticks[i] == 0) {
+        label[i] = lab;
+        ticks[i] = t;
+        return;
+      }
+      if (ticks[i] < ticks[min_i]) min_i = i;
+    }
+    if (t > ticks[min_i]) {
+      label[min_i] = lab;
+      ticks[min_i] = t;
+    }
+  }
+};
+
 /// Shared bookkeeping for the children of one parent (a task or the root).
 class TaskContext {
  public:
@@ -205,6 +240,12 @@ class Task {
     inherited_node_.store(-1, std::memory_order_relaxed);
     home_soft_.store(false, std::memory_order_relaxed);
     undeferred_ = false;
+    spawn_ts_ = 0;
+    ready_ts_ = 0;
+    pred_path_ticks_ = 0;
+    crit_pred_ = 0;
+    pred_attr_ = PathAttr{};
+    path_ticks_.store(0, std::memory_order_relaxed);
     finished_.store(false, std::memory_order_relaxed);
     state_.store(TaskState::Created, std::memory_order_relaxed);
     preds.store(0, std::memory_order_relaxed);
@@ -341,6 +382,50 @@ class Task {
     return exclusion_locks_;
   }
 
+  // ---- profiling / critical-path bookkeeping (oss::prof) ---------------
+  // All timestamps are raw TraceSystem::clock() ticks, converted to ns only
+  // at snapshot time.  The plain (non-atomic) fields ride existing
+  // happens-before edges: spawn_ts is written by the spawner before the
+  // spawn-guard release; ready_ts by whichever thread zeroes `preds`,
+  // before the queue publish (or state release) the executor acquires; the
+  // pred-path fields are written under `succ_mu_` by finishing producers
+  // and read plainly by the consumer only at its own retirement — by then
+  // every producer's offer happened-before the consumer's readiness.
+  // When the runtime's timing gate is off, none of this is ever touched.
+
+  std::uint64_t spawn_ts() const noexcept { return spawn_ts_; }
+  void set_spawn_ts(std::uint64_t t) noexcept { spawn_ts_ = t; }
+  std::uint64_t ready_ts() const noexcept { return ready_ts_; }
+  void set_ready_ts(std::uint64_t t) noexcept { ready_ts_ = t; }
+
+  /// Producer-side critical-path offer: each finishing predecessor calls
+  /// this (before decrementing `preds`) with its own completed path length
+  /// and attribution; the heaviest offer wins.  `succ_mu_` serializes
+  /// concurrent producers.
+  void offer_pred_path(std::uint64_t path_ticks, std::uint64_t pred_id,
+                       const PathAttr& attr) {
+    std::lock_guard lock(succ_mu_);
+    if (path_ticks > pred_path_ticks_) {
+      pred_path_ticks_ = path_ticks;
+      crit_pred_ = pred_id;
+      pred_attr_ = attr;
+    }
+  }
+  std::uint64_t pred_path_ticks() const noexcept { return pred_path_ticks_; }
+  /// Id of the predecessor whose path won (0 = none) — the back-pointer the
+  /// graph recorder walks to color the critical chain.
+  std::uint64_t crit_pred() const noexcept { return crit_pred_; }
+  const PathAttr& pred_attr() const noexcept { return pred_attr_; }
+
+  /// Completed path length in ticks (max over predecessors + own exec),
+  /// stored at retirement; read by diagnostics and the graph recorder.
+  std::uint64_t path_ticks() const noexcept {
+    return path_ticks_.load(std::memory_order_relaxed);
+  }
+  void set_path_ticks(std::uint64_t t) noexcept {
+    path_ticks_.store(t, std::memory_order_relaxed);
+  }
+
   // ---- lock-free ready-queue anchor -----------------------------------
   // The lock-free queues (chase_lev.hpp, mpmc_queue.hpp) store tasks as raw
   // `Task*`; the queue's owning reference parks in this slot while the task
@@ -424,6 +509,12 @@ class Task {
   std::atomic<bool> home_soft_{false};
   bool undeferred_ = false;
   bool pooled_ = false;
+  std::uint64_t spawn_ts_ = 0;      ///< raw ticks at spawn (prof on only)
+  std::uint64_t ready_ts_ = 0;      ///< raw ticks when preds hit zero
+  std::uint64_t pred_path_ticks_ = 0; ///< heaviest predecessor path (succ_mu_)
+  std::uint64_t crit_pred_ = 0;       ///< id of the winning predecessor
+  PathAttr pred_attr_;                ///< its label attribution (succ_mu_)
+  std::atomic<std::uint64_t> path_ticks_{0}; ///< own completed path length
   std::vector<std::shared_ptr<std::mutex>> exclusion_locks_;
   TaskPtr queue_ref_; // owning self-reference while in a lock-free queue
   std::atomic<bool> finished_{false};

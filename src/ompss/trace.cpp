@@ -348,9 +348,12 @@ std::string TraceSystem::to_chrome_json() {
         os << "{\"name\":\"" << (label.empty() ? "task" : escape(label)) << " #"
            << e.task << "\",\"cat\":\"task\",\"ph\":\"X\",\"ts\":" << us3(e.arg)
            << ",\"dur\":" << us3(e.ts - e.arg) << ",\"pid\":0,\"tid\":" << m.tid;
+        // args.task lets offline tools (analyze_trace --span) identify the
+        // span without parsing the display name.
+        os << ",\"args\":{\"task\":" << e.task;
         const auto t = tier.find(e.task);
-        if (t != tier.end()) os << ",\"args\":{\"tier\":\"" << t->second << "\"}";
-        os << "}";
+        if (t != tier.end()) os << ",\"tier\":\"" << t->second << "\"";
+        os << "}}";
         break;
       }
       case TraceEventKind::Spawn: {
@@ -405,7 +408,8 @@ std::string TraceSystem::to_chrome_json() {
         sep();
         os << "{\"name\":\"dep\",\"cat\":\"dep\",\"ph\":\"s\",\"id\":" << dep_id
            << ",\"ts\":" << us3(p->second.end_ns) << ",\"pid\":0,\"tid\":"
-           << p->second.tid << "}";
+           << p->second.tid << ",\"args\":{\"from\":" << e.arg
+           << ",\"to\":" << e.task << "}}";
         sep();
         os << "{\"name\":\"dep\",\"cat\":\"dep\",\"ph\":\"f\",\"bp\":\"e\",\"id\":"
            << dep_id << ",\"ts\":" << us3(c->second.begin_ns)

@@ -1,9 +1,14 @@
 #include "ompss/trace_analysis.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <deque>
 #include <limits>
 #include <map>
 #include <sstream>
+#include <stdexcept>
+#include <unordered_map>
 
 #include "ompss/trace.hpp"
 
@@ -58,6 +63,257 @@ TraceSummary analyze_trace(const TraceRecorder& trace) {
               return a.total_us > b.total_us;
             });
   return s;
+}
+
+// ---------------------------------------------------------------------------
+// Work/span (critical path) — offline counterpart of oss::prof
+// ---------------------------------------------------------------------------
+
+SpanSummary compute_work_span(const std::vector<SpanTask>& tasks,
+                              const std::vector<SpanEdge>& edges) {
+  SpanSummary s;
+  s.tasks = tasks.size();
+  if (tasks.empty()) return s;
+
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  index.reserve(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) index.emplace(tasks[i].id, i);
+
+  std::vector<std::uint64_t> dur(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const SpanTask& t = tasks[i];
+    dur[i] = t.end_ns > t.begin_ns ? t.end_ns - t.begin_ns : 0;
+    s.work_ns += dur[i];
+  }
+
+  // Adjacency + indegrees; edges naming tasks the trace never ran (dropped
+  // events, foreign producers) are skipped — they cannot carry time.
+  std::vector<std::vector<std::size_t>> out(tasks.size());
+  std::vector<std::size_t> indeg(tasks.size(), 0);
+  for (const SpanEdge& e : edges) {
+    const auto f = index.find(e.from);
+    const auto t = index.find(e.to);
+    if (f == index.end() || t == index.end()) continue;
+    out[f->second].push_back(t->second);
+    ++indeg[t->second];
+    ++s.edges;
+  }
+
+  // Kahn longest path: path[i] = longest chain ending at i (inclusive).
+  std::vector<std::uint64_t> path(dur);
+  std::vector<std::size_t> crit_pred(tasks.size(), tasks.size()); // = none
+  std::deque<std::size_t> queue;
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    if (indeg[i] == 0) queue.push_back(i);
+  std::size_t processed = 0;
+  std::size_t tip = 0;
+  while (!queue.empty()) {
+    const std::size_t u = queue.front();
+    queue.pop_front();
+    ++processed;
+    if (path[u] > path[tip]) tip = u;
+    for (const std::size_t v : out[u]) {
+      if (path[u] + dur[v] > path[v]) {
+        path[v] = path[u] + dur[v];
+        crit_pred[v] = u;
+      }
+      if (--indeg[v] == 0) queue.push_back(v);
+    }
+  }
+  // processed < tasks.size() would mean a cycle — structurally impossible
+  // for a recorded dependency graph; the unprocessed remainder keeps its
+  // initial own-duration path and simply cannot win the span.
+  s.span_ns = path[tip];
+
+  // Walk the winning chain back for exact per-label attribution.
+  std::map<std::string, std::uint64_t> by_label;
+  for (std::size_t cur = tip; cur != tasks.size(); cur = crit_pred[cur]) {
+    const std::string& l = tasks[cur].label;
+    by_label[l.empty() ? "(unlabeled)" : l] += dur[cur];
+    if (crit_pred[cur] == cur) break; // self-loop guard (malformed input)
+  }
+  s.critical_ns.assign(by_label.begin(), by_label.end());
+  std::sort(s.critical_ns.begin(), s.critical_ns.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return s;
+}
+
+SpanSummary compute_work_span(TraceSystem& trace) {
+  std::vector<SpanTask> tasks;
+  std::vector<SpanEdge> edges;
+  for (const TraceSystem::Merged& m : trace.merged_events()) {
+    if (m.ev.kind == TraceEventKind::RunSpan) {
+      // RunSpan: arg = begin, ts = end (already ns after the drain).
+      tasks.push_back(SpanTask{m.ev.task, trace.label_name(m.ev.label),
+                               m.ev.arg, m.ev.ts});
+    } else if (m.ev.kind == TraceEventKind::Edge) {
+      // Edge: arg = producer, task = consumer.
+      edges.push_back(SpanEdge{m.ev.arg, m.ev.task});
+    }
+  }
+  return compute_work_span(tasks, edges);
+}
+
+std::string SpanSummary::to_string() const {
+  std::ostringstream os;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2f", parallelism());
+  os << "span: " << tasks << " tasks, " << edges << " edges, work "
+     << work_ns / 1000 << " us, span " << span_ns / 1000
+     << " us, parallelism " << buf << "\n";
+  if (!critical_ns.empty()) {
+    os << "critical path (by label):\n";
+    for (const auto& [label, ns] : critical_ns) {
+      os << "  " << label << ": " << ns / 1000 << " us\n";
+    }
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event JSON → span inputs
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Reads the string literal starting at json[i] (which must be '"'),
+/// unescaping \" and \\; leaves `i` past the closing quote.
+std::string read_string(const std::string& json, std::size_t& i) {
+  std::string out;
+  ++i; // opening quote
+  while (i < json.size() && json[i] != '"') {
+    if (json[i] == '\\' && i + 1 < json.size()) {
+      out.push_back(json[i + 1]);
+      i += 2;
+    } else {
+      out.push_back(json[i++]);
+    }
+  }
+  if (i >= json.size()) throw std::invalid_argument("unterminated string");
+  ++i; // closing quote
+  return out;
+}
+
+/// Finds `"key":` at object level in `obj` (a single JSON object's text)
+/// and returns the index just past the colon, or npos.  String values are
+/// skipped while scanning, so a label containing a key-like substring
+/// cannot fool it.
+std::size_t find_key(const std::string& obj, const std::string& key) {
+  const std::string pat = "\"" + key + "\"";
+  bool in_str = false;
+  for (std::size_t i = 0; i < obj.size(); ++i) {
+    const char c = obj[i];
+    if (in_str) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_str = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      if (obj.compare(i, pat.size(), pat) == 0) {
+        std::size_t j = i + pat.size();
+        while (j < obj.size() && (obj[j] == ' ' || obj[j] == '\t')) ++j;
+        if (j < obj.size() && obj[j] == ':') return j + 1;
+      }
+      in_str = true;
+    }
+  }
+  return std::string::npos;
+}
+
+/// String value of `"key"` in `obj`, or "" when absent / not a string.
+std::string string_field(const std::string& obj, const std::string& key) {
+  std::size_t i = find_key(obj, key);
+  if (i == std::string::npos) return {};
+  while (i < obj.size() && (obj[i] == ' ' || obj[i] == '\t')) ++i;
+  if (i >= obj.size() || obj[i] != '"') return {};
+  return read_string(obj, i);
+}
+
+/// Numeric value of `"key"` in `obj` (bare JSON number), or NaN.
+double number_field(const std::string& obj, const std::string& key) {
+  std::size_t i = find_key(obj, key);
+  if (i == std::string::npos) return std::nan("");
+  while (i < obj.size() && (obj[i] == ' ' || obj[i] == '\t')) ++i;
+  const char* begin = obj.c_str() + i;
+  char* end = nullptr;
+  const double v = std::strtod(begin, &end);
+  if (end == begin) return std::nan("");
+  return v;
+}
+
+std::uint64_t us_to_ns(double us) {
+  return us > 0 ? static_cast<std::uint64_t>(std::llround(us * 1000.0)) : 0;
+}
+
+} // namespace
+
+ParsedTrace parse_chrome_trace(const std::string& json) {
+  ParsedTrace out;
+  // Event objects sit at brace depth 2 ({"traceEvents":[{...},{...}]});
+  // anything deeper ("args" sub-objects) stays inside its event.  The
+  // depth counter ignores braces inside string literals — labels are
+  // arbitrary user text.
+  int depth = 0;
+  bool in_str = false;
+  std::size_t obj_start = 0;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_str) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_str = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_str = true;
+    } else if (c == '{') {
+      if (++depth == 2) obj_start = i;
+    } else if (c == '}') {
+      if (depth <= 0) throw std::invalid_argument("unbalanced braces");
+      if (depth-- != 2) continue;
+      const std::string obj = json.substr(obj_start, i - obj_start + 1);
+
+      const std::string cat = string_field(obj, "cat");
+      const std::string ph = string_field(obj, "ph");
+      if (cat == "task" && ph == "X") {
+        SpanTask t;
+        std::string label = string_field(obj, "name");
+        const double id_num = number_field(obj, "task"); // args.task
+        // The display name carries a " #<id>" suffix; strip it, and use it
+        // as the id fallback for exec-mode traces without args.
+        const std::size_t hash = label.rfind(" #");
+        if (hash != std::string::npos) {
+          if (std::isnan(id_num)) {
+            t.id = std::strtoull(label.c_str() + hash + 2, nullptr, 10);
+          }
+          label.resize(hash);
+        }
+        if (!std::isnan(id_num)) t.id = static_cast<std::uint64_t>(id_num);
+        t.label = label == "task" ? std::string{} : label;
+        const double ts = number_field(obj, "ts");
+        const double dur = number_field(obj, "dur");
+        if (t.id != 0 && !std::isnan(ts) && !std::isnan(dur)) {
+          t.begin_ns = us_to_ns(ts);
+          t.end_ns = t.begin_ns + us_to_ns(dur);
+          out.tasks.push_back(std::move(t));
+        }
+      } else if (cat == "dep" && ph == "s") {
+        const double from = number_field(obj, "from");
+        const double to = number_field(obj, "to");
+        if (!std::isnan(from) && !std::isnan(to)) {
+          out.edges.push_back(SpanEdge{static_cast<std::uint64_t>(from),
+                                       static_cast<std::uint64_t>(to)});
+        }
+      }
+    }
+  }
+  if (depth != 0 || in_str) throw std::invalid_argument("truncated JSON");
+  return out;
 }
 
 std::string TraceSummary::to_string() const {

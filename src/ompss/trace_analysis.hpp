@@ -9,11 +9,13 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace oss {
 
 class TraceRecorder;
+class TraceSystem;
 
 /// Aggregate statistics over one label (task kind).
 struct LabelStats {
@@ -52,5 +54,73 @@ struct TraceSummary {
 
 /// Analyzes a recorder's events (empty summary if tracing was disabled).
 TraceSummary analyze_trace(const TraceRecorder& trace);
+
+// ---------------------------------------------------------------------------
+// Offline work/span analysis (analyze_trace --span): recompute the numbers
+// oss::prof maintains online — work = Σ durations, span = longest dependency
+// chain, parallelism = work/span — from a recorded task graph.  The online
+// and offline results are parity-tested against each other (test_prof.cpp).
+// ---------------------------------------------------------------------------
+
+/// One executed task as the span analysis sees it.
+struct SpanTask {
+  std::uint64_t id = 0;
+  std::string label;
+  std::uint64_t begin_ns = 0;
+  std::uint64_t end_ns = 0;
+};
+
+/// One dependency edge (producer → consumer, task ids).
+struct SpanEdge {
+  std::uint64_t from = 0;
+  std::uint64_t to = 0;
+};
+
+/// Work/span result.
+struct SpanSummary {
+  std::uint64_t tasks = 0;
+  std::uint64_t edges = 0;   ///< edges that joined two known tasks
+  std::uint64_t work_ns = 0; ///< Σ task durations
+  std::uint64_t span_ns = 0; ///< longest dependency chain
+  /// Exact per-label time on the critical path, sorted descending (the
+  /// offline counterpart of ProfileSnapshot::critical_ns, which keeps only
+  /// the top PathAttr::kTop labels).
+  std::vector<std::pair<std::string, std::uint64_t>> critical_ns;
+
+  [[nodiscard]] double parallelism() const {
+    return span_ns ? static_cast<double>(work_ns) /
+                         static_cast<double>(span_ns)
+                   : 0.0;
+  }
+
+  /// Multi-line human-readable report.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Longest-path (Kahn topological) work/span over an explicit task set.
+/// Edges naming unknown task ids are skipped; tasks caught in a cycle
+/// (malformed input — dependency graphs are acyclic) contribute work but
+/// not span.
+SpanSummary compute_work_span(const std::vector<SpanTask>& tasks,
+                              const std::vector<SpanEdge>& edges);
+
+/// Same analysis straight off a live TraceSystem's merged events (full
+/// mode records the dependency edges; exec mode yields zero edges and
+/// span == longest single task).
+SpanSummary compute_work_span(TraceSystem& trace);
+
+/// A Chrome trace-event JSON export reduced to the span analysis inputs.
+struct ParsedTrace {
+  std::vector<SpanTask> tasks;
+  std::vector<SpanEdge> edges;
+};
+
+/// Parses a Chrome trace-event JSON string produced by
+/// `TraceSystem::to_chrome_json` (either mode): "X" events with cat "task"
+/// become SpanTasks (id from args.task, falling back to the "#N" name
+/// suffix), dep-flow "s" events with args.from/to become SpanEdges.
+/// Tolerant of unknown events; throws std::invalid_argument only on
+/// structurally broken JSON.
+ParsedTrace parse_chrome_trace(const std::string& json);
 
 } // namespace oss

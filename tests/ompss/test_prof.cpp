@@ -1,0 +1,375 @@
+// oss::prof — per-label profiles, work/span attribution, the health
+// watchdog, and the collector-thread shutdown handshake.
+#include "ompss/ompss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+
+namespace {
+
+using namespace std::chrono_literals;
+
+// Deterministic task weight: spin (not sleep) so the execution time the
+// profiler measures is really spent executing.
+void busy_for(std::chrono::microseconds us) {
+  const auto until = std::chrono::steady_clock::now() + us;
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+oss::RuntimeConfig prof_config(std::size_t threads) {
+  oss::RuntimeConfig cfg = oss::RuntimeConfig::with_threads(threads);
+  cfg.prof = true;
+  return cfg;
+}
+
+const oss::ProfileSnapshot::Label* find_label(const oss::ProfileSnapshot& p,
+                                              const std::string& name) {
+  for (const auto& l : p.labels)
+    if (l.name == name) return &l;
+  return nullptr;
+}
+
+TEST(Prof, CountsMatchStatsCounters) {
+  oss::Runtime rt(prof_config(2));
+  for (int i = 0; i < 40; ++i) rt.spawn({}, [] {}, "forty");
+  for (int i = 0; i < 3; ++i) rt.spawn({}, [] {}, "three");
+  rt.spawn({}, [] {}); // unlabeled
+  rt.taskwait();
+
+  const oss::ProfileSnapshot p = rt.profile();
+  EXPECT_EQ(p.tasks, rt.stats().tasks_executed);
+  EXPECT_EQ(p.tasks, 44u);
+
+  const auto* forty = find_label(p, "forty");
+  const auto* three = find_label(p, "three");
+  const auto* none = find_label(p, "(unlabeled)");
+  ASSERT_NE(forty, nullptr);
+  ASSERT_NE(three, nullptr);
+  ASSERT_NE(none, nullptr);
+  EXPECT_EQ(forty->count, 40u);
+  EXPECT_EQ(three->count, 3u);
+  EXPECT_EQ(none->count, 1u);
+
+  std::uint64_t label_sum = 0, work_sum = 0;
+  for (const auto& l : p.labels) {
+    label_sum += l.count;
+    work_sum += l.exec_ns;
+    EXPECT_LE(l.exec_min_ns, l.exec_max_ns) << l.name;
+    EXPECT_LE(l.exec_max_ns, l.exec_ns) << l.name;
+  }
+  EXPECT_EQ(label_sum, p.tasks);
+  EXPECT_EQ(work_sum, p.work_ns);
+}
+
+TEST(Prof, DisabledByDefaultAndEmptySnapshotIsSane) {
+  oss::Runtime rt(2);
+  rt.spawn({}, [] {}, "x");
+  rt.taskwait();
+  EXPECT_EQ(rt.prof_system(), nullptr);
+  const oss::ProfileSnapshot p = rt.profile();
+  EXPECT_EQ(p.tasks, 0u);
+  EXPECT_EQ(p.span_ns, 0u);
+  EXPECT_EQ(p.parallelism(), 0.0);
+  // The footer renderers must not choke on an empty snapshot.
+  EXPECT_FALSE(p.span_line("empty").empty());
+  EXPECT_FALSE(p.to_table("empty").empty());
+}
+
+TEST(Prof, HistogramBucketsSumToCountAndOrderByDuration) {
+  oss::Runtime rt(prof_config(2));
+  for (int i = 0; i < 64; ++i) rt.spawn({}, [] {}, "short");
+  rt.spawn({}, [] { busy_for(5000us); }, "long");
+  rt.taskwait();
+
+  const oss::ProfileSnapshot p = rt.profile();
+  const auto* sh = find_label(p, "short");
+  const auto* lo = find_label(p, "long");
+  ASSERT_NE(sh, nullptr);
+  ASSERT_NE(lo, nullptr);
+
+  const auto hist_sum = [](const oss::ProfileSnapshot::Label& l) {
+    std::uint64_t n = 0;
+    for (std::uint64_t b : l.hist) n += b;
+    return n;
+  };
+  EXPECT_EQ(hist_sum(*sh), sh->count);
+  EXPECT_EQ(hist_sum(*lo), lo->count);
+
+  // A 5 ms task lands in a strictly higher log2 bucket than a no-op body.
+  std::size_t short_lowest = p.kHistBuckets, long_highest = 0;
+  for (std::size_t b = 0; b < p.kHistBuckets; ++b) {
+    if (sh->hist[b] != 0 && b < short_lowest) short_lowest = b;
+    if (lo->hist[b] != 0) long_highest = b;
+  }
+  EXPECT_GT(long_highest, short_lowest);
+}
+
+// A gated serial chain: every task is the other's sole predecessor, so the
+// critical path runs through all of them and span == work.
+TEST(Prof, ChainSpanEqualsWork) {
+  oss::Runtime rt(prof_config(2));
+  std::atomic<bool> gate{false};
+  int x = 0;
+  rt.spawn({oss::out(x)}, [&] {
+    while (!gate.load(std::memory_order_acquire)) std::this_thread::yield();
+    busy_for(1000us);
+  }, "head");
+  for (int i = 0; i < 3; ++i)
+    rt.spawn({oss::inout(x)}, [] { busy_for(1000us); }, "link");
+  gate.store(true, std::memory_order_release);
+  rt.taskwait();
+
+  const oss::ProfileSnapshot p = rt.profile();
+  ASSERT_GT(p.work_ns, 0u);
+  ASSERT_GT(p.span_ns, 0u);
+  // Span and work sum the same per-task ticks; only conversion rounding
+  // separates them.
+  EXPECT_NEAR(static_cast<double>(p.span_ns), static_cast<double>(p.work_ns),
+              0.01 * static_cast<double>(p.work_ns));
+  EXPECT_NEAR(p.parallelism(), 1.0, 0.05);
+  // All four tasks lie on the critical path.
+  std::uint64_t crit = 0;
+  for (const auto& [name, ns] : p.critical_ns) crit += ns;
+  EXPECT_NEAR(static_cast<double>(crit), static_cast<double>(p.span_ns),
+              0.01 * static_cast<double>(p.span_ns));
+}
+
+// Diamond: a → {b, c} → d.  Span = a + max(b,c) + d regardless of how the
+// scheduler packs it, so span < work by roughly one branch.
+TEST(Prof, DiamondSpanBelowWork) {
+  oss::Runtime rt(prof_config(2));
+  std::atomic<bool> gate{false};
+  int x = 0, y1 = 0, y2 = 0;
+  rt.spawn({oss::out(x)}, [&] {
+    while (!gate.load(std::memory_order_acquire)) std::this_thread::yield();
+    busy_for(2000us);
+  }, "a");
+  rt.spawn({oss::in(x), oss::out(y1)}, [] { busy_for(2000us); }, "b");
+  rt.spawn({oss::in(x), oss::out(y2)}, [] { busy_for(2000us); }, "c");
+  rt.spawn({oss::in(y1), oss::in(y2)}, [] { busy_for(2000us); }, "d");
+  gate.store(true, std::memory_order_release);
+  rt.taskwait();
+
+  const oss::ProfileSnapshot p = rt.profile();
+  // Work ≈ 4 × 2 ms, span ≈ 3 × 2 ms: strictly apart even with timing noise.
+  EXPECT_LT(static_cast<double>(p.span_ns),
+            0.9 * static_cast<double>(p.work_ns));
+  EXPECT_GT(static_cast<double>(p.span_ns),
+            0.6 * static_cast<double>(p.work_ns));
+  EXPECT_GT(p.parallelism(), 1.05);
+}
+
+// Online (Runtime::profile) vs offline (compute_work_span over the full
+// trace, and again over its Chrome JSON export round-tripped through the
+// parser) must agree on work and span.
+TEST(Prof, OnlineAndOfflineSpanAgree) {
+  oss::RuntimeConfig cfg = prof_config(2);
+  cfg.trace_mode = oss::TraceMode::Full;
+  oss::Runtime rt(cfg);
+
+  std::atomic<bool> gate{false};
+  int x = 0, y1 = 0, y2 = 0;
+  rt.spawn({oss::out(x)}, [&] {
+    while (!gate.load(std::memory_order_acquire)) std::this_thread::yield();
+    busy_for(1500us);
+  }, "a");
+  rt.spawn({oss::in(x), oss::out(y1)}, [] { busy_for(1500us); }, "b");
+  rt.spawn({oss::in(x), oss::out(y2)}, [] { busy_for(1500us); }, "c");
+  rt.spawn({oss::inout(y1), oss::in(y2)}, [] { busy_for(1500us); }, "d");
+  rt.spawn({oss::inout(y1)}, [] { busy_for(1500us); }, "e");
+  gate.store(true, std::memory_order_release);
+  rt.taskwait();
+
+  const oss::ProfileSnapshot online = rt.profile();
+  ASSERT_NE(rt.trace_system(), nullptr);
+  const oss::SpanSummary offline = oss::compute_work_span(*rt.trace_system());
+
+  ASSERT_EQ(offline.tasks, 5u);
+  ASSERT_GE(offline.edges, 4u); // a→b, a→c, b|c→d, d→e at minimum
+  ASSERT_GT(online.span_ns, 0u);
+  ASSERT_GT(offline.span_ns, 0u);
+  // Same tick source, independent tick→ns calibrations: generous 15%.
+  EXPECT_NEAR(static_cast<double>(offline.work_ns),
+              static_cast<double>(online.work_ns),
+              0.15 * static_cast<double>(online.work_ns));
+  EXPECT_NEAR(static_cast<double>(offline.span_ns),
+              static_cast<double>(online.span_ns),
+              0.15 * static_cast<double>(online.span_ns));
+
+  // JSON round trip: parse the export and recompute — ns-precision ts/dur,
+  // so the parsed numbers track the in-memory ones tightly.
+  const oss::ParsedTrace parsed = oss::parse_chrome_trace(rt.export_trace_json());
+  EXPECT_EQ(parsed.tasks.size(), 5u);
+  EXPECT_EQ(parsed.edges.size(), offline.edges);
+  const oss::SpanSummary reparsed =
+      oss::compute_work_span(parsed.tasks, parsed.edges);
+  EXPECT_NEAR(static_cast<double>(reparsed.span_ns),
+              static_cast<double>(offline.span_ns),
+              0.01 * static_cast<double>(offline.span_ns) + 10000.0);
+  EXPECT_FALSE(reparsed.critical_ns.empty());
+}
+
+TEST(Prof, ParseChromeTraceRejectsGarbageAndHandlesExecMode) {
+  EXPECT_THROW(oss::parse_chrome_trace("{\"traceEvents\":[{"),
+               std::invalid_argument);
+  // Exec-mode export: integer µs, ids only in the "#N" name suffix, no
+  // edges — parsing degrades gracefully instead of failing.
+  oss::RuntimeConfig cfg = oss::RuntimeConfig::with_threads(2);
+  cfg.record_trace = true;
+  oss::Runtime rt(cfg);
+  for (int i = 0; i < 4; ++i) rt.spawn({}, [] { busy_for(200us); }, "w");
+  rt.taskwait();
+  const oss::ParsedTrace parsed = oss::parse_chrome_trace(rt.export_trace_json());
+  EXPECT_EQ(parsed.tasks.size(), 4u);
+  EXPECT_TRUE(parsed.edges.empty());
+  const oss::SpanSummary s = oss::compute_work_span(parsed.tasks, parsed.edges);
+  EXPECT_GT(s.work_ns, s.span_ns); // span degrades to the longest task
+}
+
+TEST(Prof, WatchdogFiresOnStallAndDumpNamesBlockedTask) {
+  oss::RuntimeConfig cfg = oss::RuntimeConfig::with_threads(2);
+  cfg.watchdog_ms = 25;
+  oss::Runtime rt(cfg);
+
+  std::atomic<bool> release{false};
+  int x = 0;
+  rt.spawn({oss::out(x)}, [&] {
+    while (!release.load(std::memory_order_acquire))
+      std::this_thread::sleep_for(1ms);
+  }, "stuck_producer");
+  rt.spawn({oss::in(x)}, [] {}, "starved_consumer");
+
+  // The stall: tasks in flight, nothing retiring.  The watchdog must bark
+  // within a few periods.
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (rt.health_dumps() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_GT(rt.health_dumps(), 0u) << "watchdog never fired on a stalled run";
+
+  // The on-demand dump names both the running culprit and the blocked task.
+  std::ostringstream os;
+  rt.dump_health(os);
+  const std::string dump = os.str();
+  EXPECT_NE(dump.find("[oss-health]"), std::string::npos);
+  EXPECT_NE(dump.find("stuck_producer"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("starved_consumer"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("preds="), std::string::npos) << dump;
+
+  release.store(true, std::memory_order_release);
+  rt.taskwait();
+}
+
+TEST(Prof, WatchdogSilentOnHealthyRun) {
+  oss::RuntimeConfig cfg = oss::RuntimeConfig::with_threads(2);
+  cfg.watchdog_ms = 40;
+  oss::Runtime rt(cfg);
+  // Keep retirements flowing for several watchdog periods.
+  const auto until = std::chrono::steady_clock::now() + 250ms;
+  while (std::chrono::steady_clock::now() < until) {
+    for (int i = 0; i < 8; ++i) rt.spawn({}, [] { busy_for(300us); }, "hum");
+    rt.taskwait();
+  }
+  EXPECT_EQ(rt.health_dumps(), 0u);
+}
+
+// Regression: the collector thread used to race runtime teardown (notify
+// before the sleeper re-checked the stop flag under the lock).  Hammer
+// short-lived runtimes with 1 ms ticks so construct/collect/destruct
+// overlap; the test passes by not hanging or crashing.
+TEST(Prof, CollectorShutdownHandshake) {
+  for (int i = 0; i < 20; ++i) {
+    oss::RuntimeConfig cfg = oss::RuntimeConfig::with_threads(2);
+    if (i % 2 == 0) {
+      cfg.watchdog_ms = 1;
+    } else {
+      cfg.prof_every_ms = 1;
+    }
+    oss::Runtime rt(cfg);
+    for (int j = 0; j < 4; ++j) rt.spawn({}, [] {}, "churn");
+    rt.taskwait();
+    if (i % 4 == 0) std::this_thread::sleep_for(2ms); // let a tick land
+  }
+  SUCCEED();
+}
+
+TEST(Prof, WaitAndQueueTimesAccumulate) {
+  oss::Runtime rt(prof_config(2));
+  std::atomic<bool> gate{false};
+  int x = 0;
+  rt.spawn({oss::out(x)}, [&] {
+    while (!gate.load(std::memory_order_acquire)) std::this_thread::yield();
+  }, "holder");
+  // Spends its whole life waiting on the dependency — several ms of
+  // spawn→ready wait must show up.
+  rt.spawn({oss::in(x)}, [] {}, "waiter");
+  std::this_thread::sleep_for(5ms);
+  gate.store(true, std::memory_order_release);
+  rt.taskwait();
+
+  const oss::ProfileSnapshot p = rt.profile();
+  const auto* waiter = find_label(p, "waiter");
+  ASSERT_NE(waiter, nullptr);
+  EXPECT_GT(waiter->wait_ns, 2u * 1000u * 1000u) << "dependency wait not seen";
+  const auto* holder = find_label(p, "holder");
+  ASSERT_NE(holder, nullptr);
+  EXPECT_LT(holder->wait_ns, waiter->wait_ns);
+}
+
+TEST(Prof, SpanLineAndTableFormat) {
+  oss::Runtime rt(prof_config(2));
+  std::atomic<bool> gate{false};
+  int x = 0;
+  rt.spawn({oss::out(x)}, [&] {
+    while (!gate.load(std::memory_order_acquire)) std::this_thread::yield();
+    busy_for(500us);
+  }, "fmt");
+  rt.spawn({oss::in(x)}, [] { busy_for(500us); }, "fmt");
+  gate.store(true, std::memory_order_release);
+  rt.taskwait();
+
+  const oss::ProfileSnapshot p = rt.profile();
+  const std::string line = p.span_line("demo");
+  EXPECT_NE(line.find("[oss-span demo]"), std::string::npos);
+  EXPECT_NE(line.find("work="), std::string::npos);
+  EXPECT_NE(line.find("span="), std::string::npos);
+  EXPECT_NE(line.find("parallelism="), std::string::npos);
+  EXPECT_NE(line.find("critical:"), std::string::npos);
+  EXPECT_NE(line.find("fmt="), std::string::npos);
+
+  const std::string table = p.to_table("demo");
+  EXPECT_NE(table.find("[oss-prof demo]"), std::string::npos);
+  EXPECT_NE(table.find("label"), std::string::npos);
+  EXPECT_NE(table.find("fmt"), std::string::npos);
+}
+
+// Graph recording alone also enables path tracking, and the DOT export
+// highlights the critical chain.
+TEST(Prof, GraphDotHighlightsCriticalPath) {
+  oss::RuntimeConfig cfg = oss::RuntimeConfig::with_threads(2);
+  cfg.record_graph = true;
+  oss::Runtime rt(cfg);
+  std::atomic<bool> gate{false};
+  int x = 0, y = 0;
+  rt.spawn({oss::out(x)}, [&] {
+    while (!gate.load(std::memory_order_acquire)) std::this_thread::yield();
+    busy_for(300us);
+  }, "p");
+  rt.spawn({oss::in(x), oss::out(y)}, [] { busy_for(300us); }, "q");
+  gate.store(true, std::memory_order_release);
+  rt.taskwait();
+
+  const std::string dot = rt.export_graph_dot();
+  EXPECT_NE(dot.find("crimson"), std::string::npos) << dot;
+  EXPECT_NE(dot.find("fillcolor"), std::string::npos) << dot;
+}
+
+} // namespace

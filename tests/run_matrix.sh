@@ -72,6 +72,7 @@ for sched in $SCHEDULERS; do
                  -u OSS_RECORD_GRAPH -u OSS_TRACE -u OSS_DEP_SHARDS \
                  -u OSS_TRACE_BUF -u OSS_TRACE_OUT -u OSS_STATS \
                  -u OSS_STATS_EVERY_MS -u OSS_POOL \
+                 -u OSS_PROF -u OSS_PROF_EVERY_MS -u OSS_WATCHDOG \
                  OSS_SCHEDULER="$sched" OSS_IDLE="$idle" OSS_NUMA="$numa" \
                  OSS_TOPOLOGY="$topo" "$BUILD_DIR/$bin" $GTEST_ARGS \
                  >"$log" 2>&1; then
@@ -102,6 +103,7 @@ for shards in $DEP_SHARDS; do
                -u OSS_RECORD_GRAPH -u OSS_TRACE -u OSS_IDLE -u OSS_NUMA \
                -u OSS_TOPOLOGY -u OSS_TRACE_BUF -u OSS_TRACE_OUT \
                -u OSS_STATS -u OSS_STATS_EVERY_MS \
+               -u OSS_PROF -u OSS_PROF_EVERY_MS -u OSS_WATCHDOG \
                OSS_DEP_SHARDS="$shards" OSS_POOL="$pool" \
                OSS_SCHEDULER="$sched" \
                "$BUILD_DIR/$bin" $GTEST_ARGS >"$log" 2>&1; then

@@ -1,0 +1,123 @@
+// analyze_trace — offline analysis of Chrome trace-event JSON exports
+// (OSS_TRACE_OUT / Runtime::trace_to / TraceSystem::write_chrome_json).
+//
+//   analyze_trace trace.json          per-label / per-worker style summary
+//   analyze_trace --span trace.json   work/span/parallelism (critical path),
+//                                     recomputed offline from the recorded
+//                                     run spans and dependency edges — the
+//                                     numbers oss::prof maintains online
+//
+// The --span output's last line is machine-parseable:
+//
+//   work_ns=<N> span_ns=<N> parallelism=<F>
+//
+// and is what tests/test_prof.cpp checks against Runtime::profile().
+// Dependency edges are only present in OSS_TRACE=full exports; on an
+// exec-mode trace the tool warns and the "span" degrades to the longest
+// single task.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "ompss/trace_analysis.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s [--span] trace.json\n", argv0);
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  bool span_mode = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--span") == 0) {
+      span_mode = true;
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      return usage(argv[0]);
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (path == nullptr) return usage(argv[0]);
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "analyze_trace: cannot open '%s'\n", path);
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  oss::ParsedTrace parsed;
+  try {
+    parsed = oss::parse_chrome_trace(buf.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "analyze_trace: '%s' is not a Chrome trace: %s\n",
+                 path, e.what());
+    return 1;
+  }
+  if (parsed.tasks.empty()) {
+    std::fprintf(stderr, "analyze_trace: '%s' holds no task spans\n", path);
+    return 1;
+  }
+  if (parsed.edges.empty()) {
+    std::fprintf(stderr,
+                 "analyze_trace: warning: no dependency edges in '%s' "
+                 "(exec-mode trace?) — span degrades to the longest task; "
+                 "record with OSS_TRACE=full for the real critical path\n",
+                 path);
+  }
+
+  const oss::SpanSummary s = oss::compute_work_span(parsed.tasks, parsed.edges);
+  if (span_mode) {
+    std::fputs(s.to_string().c_str(), stdout);
+    std::printf("work_ns=%llu span_ns=%llu parallelism=%.4f\n",
+                static_cast<unsigned long long>(s.work_ns),
+                static_cast<unsigned long long>(s.span_ns), s.parallelism());
+    return 0;
+  }
+
+  // Default view: per-label aggregates over the parsed spans (the classic
+  // analyze_trace report), followed by the one-line span verdict.
+  struct Agg {
+    std::uint64_t count = 0, total = 0, min = ~std::uint64_t{0}, max = 0;
+  };
+  std::map<std::string, Agg> labels;
+  std::uint64_t first = ~std::uint64_t{0}, last = 0;
+  for (const oss::SpanTask& t : parsed.tasks) {
+    const std::uint64_t dur = t.end_ns - t.begin_ns;
+    Agg& a = labels[t.label.empty() ? "(unlabeled)" : t.label];
+    ++a.count;
+    a.total += dur;
+    a.min = std::min(a.min, dur);
+    a.max = std::max(a.max, dur);
+    first = std::min(first, t.begin_ns);
+    last = std::max(last, t.end_ns);
+  }
+  std::printf("trace: %zu tasks, %zu edges, makespan %llu us\n",
+              parsed.tasks.size(), parsed.edges.size(),
+              static_cast<unsigned long long>((last - first) / 1000));
+  std::printf("labels (by total time):\n");
+  for (const auto& [label, a] : labels) {
+    std::printf("  %s: n=%llu total=%lluus mean=%lluus min=%lluus max=%lluus\n",
+                label.c_str(), static_cast<unsigned long long>(a.count),
+                static_cast<unsigned long long>(a.total / 1000),
+                static_cast<unsigned long long>(a.total / a.count / 1000),
+                static_cast<unsigned long long>(a.min / 1000),
+                static_cast<unsigned long long>(a.max / 1000));
+  }
+  std::fputs(s.to_string().c_str(), stdout);
+  return 0;
+}
