@@ -1,0 +1,129 @@
+// bm_service — multi-stream decode-service load test (docs/service.md).
+//
+//   ServiceFrames/<streams>/<workers> — one long-lived Runtime serving
+//     <streams> concurrent H.264 sessions, one submitter thread per stream
+//     pumping the Tiny workload twice per iteration under Submit::Block.
+//     The per-stream window (depth 3 < frames per rep) keeps backpressure
+//     engaged the whole run: submitters are paced by decode completion, so
+//     memory stays bounded — the bench asserts peak in-flight never exceeds
+//     the window and that every stream's checksums match the sequential
+//     decoder.
+//
+// Reported: frames/s (items_per_second, real time) and submit→output frame
+// latency percentiles across all streams (p50_ms / p95_ms / p99_ms), plus
+// blocked-acquire and peak-in-flight counters as the backpressure proof.
+//
+// compare_bench.py normalizes by ServiceFrames/1/2, so baseline_service.json
+// gates the scaling *shape* (how throughput moves with streams × workers),
+// not machine-dependent frame rates.  CI runs this in bench-smoke; refresh
+// the baseline with compare_bench.py --update after a verified change.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/h264dec/h264dec_service.hpp"
+
+namespace {
+
+constexpr int kReps = 2; ///< workload passes per stream per iteration
+
+double percentile(std::vector<std::uint64_t>& ns, double p) {
+  if (ns.empty()) return 0.0;
+  std::sort(ns.begin(), ns.end());
+  const auto idx = static_cast<std::size_t>(
+      p / 100.0 * static_cast<double>(ns.size() - 1) + 0.5);
+  return static_cast<double>(ns[std::min(idx, ns.size() - 1)]);
+}
+
+void ServiceFrames(benchmark::State& state) {
+  const auto streams = static_cast<std::size_t>(state.range(0));
+  const auto workers = static_cast<std::size_t>(state.range(1));
+  const auto w = apps::H264Workload::make(benchcore::Scale::Tiny);
+  const auto expected = apps::h264dec_seq(w);
+
+  oss::RuntimeConfig rcfg = oss::RuntimeConfig::from_env();
+  rcfg.num_threads = workers;
+  oss::Runtime rt(rcfg);
+
+  oss::service::Config scfg;
+  scfg.max_streams = streams;
+  scfg.window = 3; // < frames per rep: backpressure engaged throughout
+  apps::H264DecService svc(rt, scfg);
+
+  std::vector<std::uint64_t> latencies;
+  std::uint64_t blocked = 0;
+  std::size_t peak = 0;
+  bool ok = true;
+
+  for (auto _ : state) {
+    std::vector<apps::H264DecSessionPtr> sessions;
+    sessions.reserve(streams);
+    for (std::size_t i = 0; i < streams; ++i) {
+      auto s = svc.open("s" + std::to_string(i), w);
+      if (!s) {
+        state.SkipWithError("admission rejected below capacity");
+        return;
+      }
+      sessions.push_back(std::move(s));
+    }
+
+    std::vector<std::thread> submitters;
+    submitters.reserve(streams);
+    for (auto& s : sessions) {
+      submitters.emplace_back([&s, &w] {
+        for (int rep = 0; rep < kReps; ++rep) {
+          for (const auto& frame : w.video.frames) {
+            if (!s->submit(frame, oss::service::Submit::Block)) return;
+          }
+        }
+        s->finish();
+      });
+    }
+    for (auto& t : submitters) t.join();
+
+    for (auto& s : sessions) {
+      const auto& sums = s->checksums();
+      ok = ok && sums.size() == kReps * expected.size();
+      for (std::size_t i = 0; ok && i < sums.size(); ++i) {
+        ok = sums[i] == expected[i % expected.size()];
+      }
+      ok = ok && s->window().peak() <= s->window().depth();
+      peak = std::max(peak, s->window().peak());
+      blocked += s->window().blocked();
+      latencies.insert(latencies.end(), s->latencies_ns().begin(),
+                       s->latencies_ns().end());
+      s->close();
+    }
+    if (!ok) {
+      state.SkipWithError("stream checksum/backpressure mismatch");
+      return;
+    }
+  }
+
+  const auto frames_per_iter =
+      static_cast<std::int64_t>(streams * kReps * w.video.frames.size());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          frames_per_iter);
+  state.counters["p50_ms"] = percentile(latencies, 50.0) * 1e-6;
+  state.counters["p95_ms"] = percentile(latencies, 95.0) * 1e-6;
+  state.counters["p99_ms"] = percentile(latencies, 99.0) * 1e-6;
+  state.counters["peak_in_flight"] = static_cast<double>(peak);
+  state.counters["blocked_acquires"] = static_cast<double>(blocked);
+  state.SetLabel(std::to_string(streams) + " streams / " +
+                 std::to_string(workers) + " workers");
+}
+
+} // namespace
+
+BENCHMARK(ServiceFrames)
+    ->Args({1, 2})
+    ->Args({4, 2})
+    ->Args({4, 4})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -109,12 +109,19 @@ std::vector<std::uint64_t> h264dec_pthreads(const H264Workload& w,
 
 std::vector<std::uint64_t> h264dec_pthreads_pipeline(const H264Workload& w,
                                                      std::size_t threads) {
-  // One parsed+entropy-decoded frame in flight between the stages.
+  // Parsed+entropy-decoded frames in flight between the stages.  The bound
+  // mirrors the OmpSs side's renaming depth: with `pipeline_depth` frames in
+  // flight total and one of them being reconstructed, the queue holds at
+  // most `pipeline_depth - 1` — so the ablation's depth sweep varies both
+  // decoders, not just the OmpSs one.
   struct Job {
     FrameHeader hdr;
     std::vector<MbSyntax> mbs;
   };
-  pt::MpmcQueue<std::unique_ptr<Job>> queue(3); // bounded: backpressure
+  const std::size_t bound =
+      w.pipeline_depth > 1 ? static_cast<std::size_t>(w.pipeline_depth) - 1
+                           : 1;
+  pt::MpmcQueue<std::unique_ptr<Job>> queue(bound); // bounded: backpressure
 
   // Front stage: read + parse + entropy decode, running ahead.
   std::thread front([&] {
@@ -183,12 +190,11 @@ struct SliceSlot {
   char pic_token = 0; ///< renamed "picture ready" dependency carrier
 };
 
-/// Nested reconstruction: tiles of `group`×`group` macroblocks with
-/// wavefront dependencies through a token matrix.  Runs inside the
-/// reconstruct task; uses the ambient runtime via Runtime::current().
-void reconstruct_tiles_ompss(oss::Runtime& rt, const FrameHeader& hdr,
-                             const MbSyntax* mbs, VideoFrame& cur,
-                             const VideoFrame* ref, int group) {
+} // namespace
+
+void h264dec_reconstruct_tiles(oss::Runtime& rt, const FrameHeader& hdr,
+                               const MbSyntax* mbs, video::VideoFrame& cur,
+                               const video::VideoFrame* ref, int group) {
   if (group < 1) group = 1;
   const int gw = (hdr.mb_w + group - 1) / group;
   const int gh = (hdr.mb_h + group - 1) / group;
@@ -220,8 +226,6 @@ void reconstruct_tiles_ompss(oss::Runtime& rt, const FrameHeader& hdr,
   }
   rt.taskwait(); // wait for this frame's tiles (children of the recon task)
 }
-
-} // namespace
 
 std::vector<std::uint64_t> h264dec_ompss_grouped(const H264Workload& w,
                                                  std::size_t threads,
@@ -329,8 +333,8 @@ std::vector<std::uint64_t> h264dec_ompss_grouped(const H264Workload& w,
           VideoFrame& cur = dpb.picture(pic);
           const VideoFrame* ref =
               mc.prev_dpb_slot >= 0 ? &dpb.picture(mc.prev_dpb_slot) : nullptr;
-          reconstruct_tiles_ompss(rt, slot.hdr, slot.mbs.data(), cur, ref,
-                                  mb_group);
+          h264dec_reconstruct_tiles(rt, slot.hdr, slot.mbs.data(), cur, ref,
+                                    mb_group);
           mc.prev_dpb_slot = pic;
         });
 

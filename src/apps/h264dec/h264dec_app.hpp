@@ -28,6 +28,10 @@
 #include "bench_core/workload.hpp"
 #include "video/video.hpp"
 
+namespace oss {
+class Runtime;
+}
+
 namespace apps {
 
 struct H264Workload {
@@ -57,5 +61,15 @@ std::vector<std::uint64_t> h264dec_ompss(const H264Workload& w,
 std::vector<std::uint64_t> h264dec_ompss_grouped(const H264Workload& w,
                                                  std::size_t threads,
                                                  int mb_group);
+
+/// The Listing-1 nested reconstruction stage: tiles of `group`×`group`
+/// macroblocks spawned as child tasks with wavefront dependencies through a
+/// token matrix, taskwait'ed before returning.  Shared by the one-shot
+/// decoder above and the decode service (h264dec_service.hpp), so both run
+/// the identical reconstruction task graph.
+void h264dec_reconstruct_tiles(oss::Runtime& rt, const video::FrameHeader& hdr,
+                               const video::MbSyntax* mbs,
+                               video::VideoFrame& cur,
+                               const video::VideoFrame* ref, int group);
 
 } // namespace apps

@@ -1,0 +1,233 @@
+#include "apps/h264dec/h264dec_service.hpp"
+
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "ompss/ompss.hpp"
+
+namespace apps {
+
+using video::BitReader;
+using video::EncodedFrame;
+using video::FrameHeader;
+using video::MbSyntax;
+using video::PictureInfo;
+using video::VideoFrame;
+
+/// Per-frame circular-buffer entry — the service spelling of the one-shot
+/// decoder's SliceSlot.  Lives in node-bound registered pages (NodeArray),
+/// so stage tasks declaring these members resolve `.affinity_auto()` to the
+/// session's home node.
+struct H264DecSession::Slot {
+  EncodedFrame payload;
+  FrameHeader hdr{};
+  std::vector<MbSyntax> mbs;
+  int dpb_slot = -1;
+  int pib_slot = -1;
+  char pic_token = 0; ///< renamed "picture ready" dependency carrier
+};
+
+/// Stage contexts: inout chaining on these serializes instances of the same
+/// stage across frames (the Listing-1 pipeline skeleton).
+struct H264DecSession::StageCtx {
+  struct {
+    std::size_t frames = 0;
+  } ic; ///< ingest
+  struct {
+    int dummy = 0;
+  } pc; ///< parse
+  struct {
+    int dummy = 0;
+  } ec; ///< entropy decode
+  struct {
+    int prev_dpb_slot = -1; ///< reference picture of frame k-1
+  } mc; ///< reconstruct
+  struct {
+    int prev_slot = -1; ///< DPB slot to release after the next display
+    int prev_pib = -1;
+  } oc; ///< output
+};
+
+H264DecSession::H264DecSession(oss::Runtime& rt,
+                               oss::service::StreamPtr stream, int width,
+                               int height, int mb_group)
+    : rt_(rt),
+      stream_(std::move(stream)),
+      mb_group_(mb_group),
+      depth_(stream_->window().depth()),
+      // N frames in flight + the displayed picture + its reference.
+      dpb_(depth_ + 2, width, height),
+      pib_(depth_ + 2),
+      slots_(depth_, stream_->node()),
+      ctx_(stream_->node()),
+      dpb_crit_("svc" + std::to_string(stream_->id()) + ":dpb"),
+      pib_crit_("svc" + std::to_string(stream_->id()) + ":pib") {}
+
+H264DecSession::~H264DecSession() {
+  try {
+    close();
+  } catch (...) {
+    // A frame-task exception has nowhere to go from a destructor; explicit
+    // close() is the path that propagates it.
+  }
+}
+
+bool H264DecSession::submit(const EncodedFrame& frame,
+                            oss::service::Submit policy) {
+  if (frame.payload.empty()) {
+    throw std::invalid_argument(
+        "apps::H264DecSession::submit: empty frame payload");
+  }
+  // Backpressure gate: at most `depth_` frames in flight.  The window slot
+  // is released by this frame's output task, so an admitted frame also owns
+  // circular-buffer slot seq % depth_ — the renamed regions below handle
+  // WAR ordering against the previous occupant, the window bounds memory.
+  if (!stream_->window().acquire(policy)) return false;
+
+  const std::size_t k = seq_++;
+  Slot& slot = slots_[k % depth_];
+  StageCtx& cx = *ctx_;
+  const auto submitted = std::chrono::steady_clock::now();
+
+  // --- ingest: copy the payload into the slot (the read stage of the
+  // one-shot decoder; as a task so the slot's payload region gets a writer
+  // per frame and renames cleanly).
+  stream_->task("svc_ingest")
+      .affinity_auto()
+      .inout(cx.ic)
+      .out(slot.payload)
+      .spawn([frame, &slot, &cx] {
+        slot.payload = frame;
+        ++cx.ic.frames;
+      });
+
+  // --- parse: header + PIB allocation (hidden dep, per-session critical).
+  stream_->task("svc_parse")
+      .affinity_auto()
+      .inout(cx.pc)
+      .in(slot.payload)
+      .out(slot.hdr)
+      .out(slot.pib_slot)
+      .spawn([this, &slot] {
+        BitReader br(slot.payload.payload);
+        slot.hdr = video::parse_frame_header(br);
+        int pi = -1;
+        while (pi < 0) {
+          rt_.critical(pib_crit_, [&] {
+            pi = pib_.allocate(
+                PictureInfo{slot.hdr.frame_num, slot.hdr.type, -1});
+          });
+          if (pi < 0) std::this_thread::yield();
+        }
+        slot.pib_slot = pi;
+      });
+
+  // --- entropy decode.
+  stream_->task("svc_entropy")
+      .affinity_auto()
+      .inout(cx.ec)
+      .in(slot.hdr)
+      .in(slot.payload)
+      .out(slot.mbs)
+      .spawn([&slot] {
+        BitReader br(slot.payload.payload);
+        (void)video::parse_frame_header(br); // skip header bits
+        slot.mbs.assign(slot.hdr.mb_count(), MbSyntax{});
+        video::entropy_decode_frame(br, slot.hdr, slot.mbs.data());
+      });
+
+  // --- reconstruct: DPB fetch (hidden dep) + the shared nested tile graph.
+  stream_->task("svc_reconstruct")
+      .affinity_auto()
+      .inout(cx.mc)
+      .in(slot.hdr)
+      .in(slot.mbs)
+      .out(slot.pic_token)
+      .out(slot.dpb_slot)
+      .spawn([this, &slot, &cx] {
+        int pic = -1;
+        while (pic < 0) {
+          rt_.critical(dpb_crit_, [&] { pic = dpb_.fetch_free(); });
+          if (pic < 0) std::this_thread::yield();
+        }
+        slot.dpb_slot = pic;
+        VideoFrame& cur = dpb_.picture(pic);
+        const VideoFrame* ref = cx.mc.prev_dpb_slot >= 0
+                                    ? &dpb_.picture(cx.mc.prev_dpb_slot)
+                                    : nullptr;
+        h264dec_reconstruct_tiles(rt_, slot.hdr, slot.mbs.data(), cur, ref,
+                                  mb_group_);
+        cx.mc.prev_dpb_slot = pic;
+      });
+
+  // --- output: checksum + latency in display (= submission) order, release
+  // retired buffers, then free the window slot.  The window release is last:
+  // it is what lets a blocked submitter reuse this circular-buffer slot.
+  stream_->task("svc_output")
+      .affinity_auto()
+      .inout(cx.oc)
+      .in(slot.pic_token)
+      .in(slot.dpb_slot)
+      .in(slot.pib_slot)
+      .spawn([this, &slot, &cx, submitted] {
+        checksums_.push_back(dpb_.picture(slot.dpb_slot).checksum());
+        latencies_ns_.push_back(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - submitted)
+                .count()));
+        // The previous picture stops being a reference once this frame is
+        // reconstructed; retire its buffers now.
+        if (cx.oc.prev_slot >= 0) {
+          rt_.critical(dpb_crit_, [&] { dpb_.release(cx.oc.prev_slot); });
+        }
+        if (cx.oc.prev_pib >= 0) {
+          rt_.critical(pib_crit_, [&] { pib_.retire(cx.oc.prev_pib); });
+        }
+        cx.oc.prev_slot = slot.dpb_slot;
+        cx.oc.prev_pib = slot.pib_slot;
+        stream_->window().release();
+      });
+
+  return true;
+}
+
+void H264DecSession::finish() { stream_->drain(); }
+
+void H264DecSession::close() {
+  if (closed_) return;
+  closed_ = true;
+  stream_->close(); // fail blocked submitters, drain admitted frames
+  // Release the last picture's buffers (quiescent now — drained above).
+  if (ctx_->oc.prev_slot >= 0) {
+    dpb_.release(ctx_->oc.prev_slot);
+    ctx_->oc.prev_slot = -1;
+  }
+  if (ctx_->oc.prev_pib >= 0) {
+    pib_.retire(ctx_->oc.prev_pib);
+    ctx_->oc.prev_pib = -1;
+  }
+}
+
+// --- H264DecService ---------------------------------------------------------
+
+H264DecService::H264DecService(oss::Runtime& rt, oss::service::Config cfg)
+    : rt_(rt), svc_(rt, cfg) {}
+
+H264DecSessionPtr H264DecService::open(std::string name, int width,
+                                       int height, int mb_group,
+                                       oss::service::Reject* why) {
+  oss::service::StreamPtr stream = svc_.open(std::move(name), why);
+  if (!stream) return nullptr;
+  return H264DecSessionPtr(
+      new H264DecSession(rt_, std::move(stream), width, height, mb_group));
+}
+
+H264DecSessionPtr H264DecService::open(std::string name,
+                                       const H264Workload& w,
+                                       oss::service::Reject* why) {
+  return open(std::move(name), w.video.width, w.video.height, w.mb_group,
+              why);
+}
+
+} // namespace apps

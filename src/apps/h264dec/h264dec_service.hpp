@@ -1,0 +1,155 @@
+// h264dec_service.hpp — the multi-stream H.264 decode service (paper §3
+// case study, service form; docs/service.md).
+//
+// Where `h264dec_ompss` decodes one bitstream and exits, `H264DecService`
+// keeps one Runtime alive and serves N concurrent client streams.  Each
+// open `H264DecSession` runs the *same* Listing-1 pipeline as the one-shot
+// decoder — one task per stage per frame (ingest / parse / entropy-decode /
+// reconstruct+tiles / output), chained by inout context structs and renamed
+// through a circular slot buffer — but:
+//
+//   * the slot buffer depth is the stream's backpressure window
+//     (OSS_SERVICE_WINDOW): `submit()` admits a frame only when a window
+//     slot is free (Submit::Block waits, Submit::FailFast bounces), so a
+//     fast client cannot grow the task queue without bound;
+//   * the per-session state (slots, stage contexts) lives in node-bound
+//     registered pages on the session's home node, so every stage task's
+//     `.affinity_auto()` routes the whole stream to one NUMA node;
+//   * stage tasks run in the stream's private dependency domain — sessions
+//     never dependency-interfere, and `close()` drains exactly this
+//     session's in-flight frames.
+//
+// Reconstruction reuses `h264dec_reconstruct_tiles` verbatim, so the
+// service executes the identical nested task graph as the one-shot decoder
+// and its checksums are bit-exact against `h264dec_seq`.
+//
+// Threading: sessions are independent — drive each from its own thread.
+// Within one session, submit/finish/close are externally synchronized (one
+// submitter per stream, the usual one-decoder-thread-per-client shape).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/h264dec/h264dec_app.hpp"
+#include "service/service.hpp"
+#include "video/video.hpp"
+
+namespace apps {
+
+class H264DecService;
+
+/// One client stream: frames go in via `submit`, per-frame checksums and
+/// submit→output latencies come out after `finish()`/`close()`.
+class H264DecSession {
+ public:
+  ~H264DecSession();
+
+  H264DecSession(const H264DecSession&) = delete;
+  H264DecSession& operator=(const H264DecSession&) = delete;
+
+  /// Admits one encoded frame and spawns its stage chain.  False = not
+  /// admitted (window full under FailFast, or the session/service closed);
+  /// a rejected frame spawns nothing.  Throws std::invalid_argument on an
+  /// empty payload.
+  [[nodiscard]] bool submit(
+      const video::EncodedFrame& frame,
+      oss::service::Submit policy = oss::service::Submit::Block);
+
+  /// Waits until every admitted frame has produced output.  The session
+  /// stays open for more submissions.
+  void finish();
+
+  /// Closes the session: blocked submitters fail, admitted frames drain,
+  /// buffers are released, the admission slot frees.  Idempotent.
+  void close();
+
+  [[nodiscard]] bool open() const { return stream_->open(); }
+
+  /// Per-frame reconstruction checksums in submission order.  Stable (and
+  /// safe to read) after finish()/close().
+  [[nodiscard]] const std::vector<std::uint64_t>& checksums() const {
+    return checksums_;
+  }
+  /// Per-frame submit→output latency, nanoseconds, submission order.
+  [[nodiscard]] const std::vector<std::uint64_t>& latencies_ns() const {
+    return latencies_ns_;
+  }
+
+  [[nodiscard]] oss::service::Window& window() { return stream_->window(); }
+  [[nodiscard]] int node() const { return stream_->node(); }
+  [[nodiscard]] std::uint64_t id() const { return stream_->id(); }
+
+ private:
+  friend class H264DecService;
+
+  struct Slot;
+  struct StageCtx;
+
+  H264DecSession(oss::Runtime& rt, oss::service::StreamPtr stream, int width,
+                 int height, int mb_group);
+
+  oss::Runtime& rt_;
+  oss::service::StreamPtr stream_;
+  int mb_group_;
+  std::size_t depth_; ///< window depth == slot count N
+
+  video::DecodedPictureBuffer dpb_; ///< N + 2: N in flight + display + ref
+  video::PictureInfoBuffer pib_;
+  oss::service::NodeArray<Slot> slots_;  ///< node-bound circular buffer
+  oss::service::NodeLocal<StageCtx> ctx_; ///< node-bound stage contexts
+
+  // Per-session critical names: sessions must not serialize against each
+  // other's (or the one-shot decoder's) buffer bookkeeping.
+  std::string dpb_crit_;
+  std::string pib_crit_;
+
+  std::size_t seq_ = 0; ///< frames submitted (slot index = seq_ % depth_)
+  bool closed_ = false;
+  std::vector<std::uint64_t> checksums_;    ///< written by output tasks
+  std::vector<std::uint64_t> latencies_ns_; ///< written by output tasks
+};
+
+using H264DecSessionPtr = std::shared_ptr<H264DecSession>;
+
+/// The service front: admission control over one long-lived Runtime.
+class H264DecService {
+ public:
+  explicit H264DecService(
+      oss::Runtime& rt,
+      oss::service::Config cfg = oss::service::Config::from_env());
+
+  /// Opens a decode session for streams of the given frame geometry.
+  /// Returns null with `*why` set when the service is at capacity or
+  /// closed.  Thread-safe.
+  [[nodiscard]] H264DecSessionPtr open(std::string name, int width,
+                                       int height, int mb_group,
+                                       oss::service::Reject* why = nullptr);
+
+  /// Convenience: geometry and grouping from a workload.
+  [[nodiscard]] H264DecSessionPtr open(std::string name,
+                                       const H264Workload& w,
+                                       oss::service::Reject* why = nullptr);
+
+  /// Rejects future opens and drains every open session.
+  void close() { svc_.close(); }
+
+  [[nodiscard]] oss::service::Service::Stats stats() const {
+    return svc_.stats();
+  }
+  [[nodiscard]] const oss::service::Config& config() const noexcept {
+    return svc_.config();
+  }
+  [[nodiscard]] oss::Runtime& runtime() const noexcept {
+    return svc_.runtime();
+  }
+
+ private:
+  oss::Runtime& rt_;
+  oss::service::Service svc_;
+};
+
+} // namespace apps

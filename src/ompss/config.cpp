@@ -1,6 +1,8 @@
 #include "ompss/config.hpp"
 
+#include <cerrno>
 #include <cstdlib>
+#include <limits>
 #include <stdexcept>
 #include <thread>
 
@@ -137,24 +139,43 @@ Topology RuntimeConfig::resolved_topology() const {
   return Topology::detect(topology);
 }
 
-namespace {
-
-const char* env(const char* name) { return std::getenv(name); }
-
-std::size_t parse_size(const char* name, const char* value) {
+std::size_t parse_env_size(const char* name, const char* value) {
+  // strtoull alone is too lenient for a config knob: it skips leading
+  // whitespace, accepts a sign, and silently wraps "-1" to ~2^64.  Require
+  // the string to be plain decimal digits from the first character so
+  // OSS_NUM_THREADS=-1 (and " 1", "+1", "1 ") throw instead of wrapping.
+  if (value[0] < '0' || value[0] > '9') {
+    throw std::invalid_argument(std::string(name) + ": expected an integer, got '" + value + "'");
+  }
+  errno = 0;
   char* endp = nullptr;
   const unsigned long long v = std::strtoull(value, &endp, 10);
   if (endp == value || *endp != '\0') {
     throw std::invalid_argument(std::string(name) + ": expected an integer, got '" + value + "'");
   }
+  if (errno == ERANGE || v > std::numeric_limits<std::size_t>::max()) {
+    throw std::invalid_argument(std::string(name) + ": integer out of range, got '" + value + "'");
+  }
   return static_cast<std::size_t>(v);
 }
 
-bool parse_bool(const char* name, const char* value) {
+bool parse_env_bool(const char* name, const char* value) {
   const std::string v(value);
   if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
   if (v == "0" || v == "false" || v == "no" || v == "off") return false;
   throw std::invalid_argument(std::string(name) + ": expected a boolean, got '" + v + "'");
+}
+
+namespace {
+
+const char* env(const char* name) { return std::getenv(name); }
+
+std::size_t parse_size(const char* name, const char* value) {
+  return parse_env_size(name, value);
+}
+
+bool parse_bool(const char* name, const char* value) {
+  return parse_env_bool(name, value);
 }
 
 } // namespace

@@ -155,6 +155,16 @@ NumaMode parse_numa_mode(const std::string& name);
 TraceMode parse_trace_mode(const std::string& name);
 PinMode parse_pin_mode(const std::string& name);
 
+/// Parses a non-negative integer env knob (`name` only labels the error).
+/// Strict: plain decimal digits, nothing else — a leading '-' must throw,
+/// not wrap through strtoull to ~2^64, and '+'/whitespace/trailing junk are
+/// rejected the same way.  Every OSS_* integer knob (including the
+/// OSS_SERVICE_* family) goes through this.
+std::size_t parse_env_size(const char* name, const char* value);
+
+/// Parses a boolean env knob (1/true/yes/on, 0/false/no/off).
+bool parse_env_bool(const char* name, const char* value);
+
 /// Complete configuration of a `Runtime`.
 struct RuntimeConfig {
   /// Total number of threads executing tasks, including the thread that

@@ -22,6 +22,10 @@ std::uint32_t fnv1a(const std::string& s) {
   return h != 0 ? h : 0x9e3779b1u; // 0 is reserved for "unlabeled"
 }
 
+/// Instance epochs for intern()'s TLS cache (same scheme as TraceSystem):
+/// starts at 1 so a zero-initialized cache never matches a live instance.
+std::atomic<std::uint64_t> g_prof_epoch{1};
+
 /// Key stored for label-less tasks: slot keys must be nonzero (0 = empty),
 /// and 0x9e3779b1 is what an unlucky real label hashing to 0 remaps to —
 /// keep "unlabeled" distinct from it.
@@ -71,6 +75,7 @@ bool prof_footer_enabled() {
 ProfSystem::ProfSystem(std::size_t num_workers)
     : num_workers_(num_workers),
       shards_(new Shard[num_workers + 1]),
+      epoch_(g_prof_epoch.fetch_add(1, std::memory_order_relaxed)),
       t0_ticks_(clock()),
       t0_wall_(std::chrono::steady_clock::now()) {}
 
@@ -81,16 +86,21 @@ std::uint32_t ProfSystem::intern(const std::string& label) {
   // steady state (spawn loops reusing a handful of labels) takes no lock.
   struct Cache {
     const ProfSystem* sys = nullptr;
+    // The pointer alone can falsely match a *new* ProfSystem at a reused
+    // address (a foreign spawner thread outliving the runtime would then
+    // skip registering its labels here); the epoch disambiguates.
+    std::uint64_t epoch = 0;
     std::uint32_t seen[8] = {};
     unsigned next = 0;
   };
   static thread_local Cache cache;
-  if (cache.sys == this) {
+  if (cache.sys == this && cache.epoch == epoch_) {
     for (std::uint32_t s : cache.seen)
       if (s == h) return h;
   } else {
     cache = Cache{};
     cache.sys = this;
+    cache.epoch = epoch_;
   }
   {
     std::lock_guard lock(mu_);

@@ -158,6 +158,13 @@ class ProfSystem {
   std::size_t num_workers_;
   std::unique_ptr<Shard[]> shards_; ///< num_workers_ + 1 entries
 
+  /// Globally unique per instance (same scheme as TraceSystem::epoch_):
+  /// intern()'s thread-local cache must not survive into a *new* ProfSystem
+  /// allocated at a reused address, or a long-lived foreign spawner thread
+  /// would skip registering its labels in the new instance's table and the
+  /// snapshot would report them as opaque "#hex" hashes.
+  const std::uint64_t epoch_;
+
   // Calibration origin, same scheme as TraceSystem: (ticks, wall) at
   // construction, rate measured against steady_clock at snapshot.
   std::uint64_t t0_ticks_;

@@ -94,6 +94,10 @@ void sigusr1_handler(int) { g_sigusr1.store(true, std::memory_order_relaxed); }
 void install_sigusr1() {
   std::lock_guard lock(g_sigusr1_mu);
   if (++g_sigusr1_users > 1) return;
+  // A signal delivered to a previous watchdog runtime but never consumed
+  // (destroyed before its collector's next poll) must not fire a spurious
+  // dump in this generation.
+  g_sigusr1.store(false, std::memory_order_relaxed);
   struct sigaction sa {};
   sa.sa_handler = &sigusr1_handler;
   sigemptyset(&sa.sa_mask);

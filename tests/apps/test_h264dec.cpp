@@ -31,10 +31,16 @@ TEST_P(H264ThreadTest, GroupingFactorsPreserveCorrectness) {
 }
 
 TEST_P(H264ThreadTest, PipelineDepthsPreserveCorrectness) {
+  // Parity across the depth sweep for BOTH pipelined decoders: the pthreads
+  // pipeline sizes its bounded queue from pipeline_depth too (it used to
+  // hardcode 3, so this sweep only ever varied the OmpSs side).
   auto w = apps::H264Workload::make(Scale::Tiny);
-  for (int depth : {2, 3, 6}) {
+  for (int depth : {1, 2, 3, 6}) {
     w.pipeline_depth = depth;
     EXPECT_EQ(apps::h264dec_ompss(w, GetParam()), w.expected_checksums)
+        << "depth=" << depth;
+    EXPECT_EQ(apps::h264dec_pthreads_pipeline(w, GetParam()),
+              w.expected_checksums)
         << "depth=" << depth;
   }
 }

@@ -234,6 +234,51 @@ TEST(Config, FromEnvRejectsMalformedValues) {
   }
 }
 
+TEST(Config, IntegerKnobsRejectNegativeValues) {
+  // strtoull accepts "-1" and wraps it to ~2^64 — a runtime asked for
+  // OSS_NUM_THREADS=-1 must throw, not try to start 18 quintillion workers.
+  // Every integer knob funnels through the same parser; sweep them all.
+  for (const char* knob :
+       {"OSS_NUM_THREADS", "OSS_SPIN_ROUNDS", "OSS_STEAL_TRIES",
+        "OSS_PRESSURE", "OSS_DEP_SHARDS", "OSS_TRACE_BUF",
+        "OSS_STATS_EVERY_MS", "OSS_PROF_EVERY_MS", "OSS_WATCHDOG"}) {
+    ScopedEnv e(knob, "-1");
+    EXPECT_THROW(oss::RuntimeConfig::from_env(), std::invalid_argument)
+        << knob << "=-1";
+  }
+}
+
+TEST(Config, IntegerKnobsRejectSignAndWhitespaceOddities) {
+  for (const char* bad : {"-1", "+1", " 1", "1 ", "\t4", "0x10", "1e3", ""}) {
+    ScopedEnv e("OSS_SPIN_ROUNDS", bad);
+    EXPECT_THROW(oss::RuntimeConfig::from_env(), std::invalid_argument)
+        << "OSS_SPIN_ROUNDS='" << bad << "'";
+  }
+  {
+    ScopedEnv e("OSS_SPIN_ROUNDS", "42");
+    EXPECT_EQ(oss::RuntimeConfig::from_env().spin_rounds, 42u);
+  }
+}
+
+TEST(Config, IntegerKnobsRejectOutOfRangeValues) {
+  ScopedEnv e("OSS_WATCHDOG", "99999999999999999999999999999999");
+  EXPECT_THROW(oss::RuntimeConfig::from_env(), std::invalid_argument);
+}
+
+TEST(Config, ParseEnvSizeErrorNamesTheKnobAndValue) {
+  try {
+    oss::parse_env_size("OSS_NUM_THREADS", "-3");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("OSS_NUM_THREADS"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("expected an integer"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("-3"), std::string::npos) << msg;
+  }
+  EXPECT_EQ(oss::parse_env_size("X", "0"), 0u);
+  EXPECT_EQ(oss::parse_env_size("X", "123456"), 123456u);
+}
+
 TEST(Config, WithThreadsFactory) {
   const auto cfg = oss::RuntimeConfig::with_threads(3);
   EXPECT_EQ(cfg.num_threads, 3u);

@@ -20,10 +20,13 @@
 #
 # A second, dedicated phase sweeps the dependency-domain sharding axis
 # (OSS_DEP_SHARDS ∈ {1, 8} × OSS_POOL ∈ {on, off} × OSS_SCHEDULER) over
-# the concurrent-spawner stress suite — the two structurally different
-# registration paths (single-lock fallback vs sorted multi-lock), with
-# task/node pooling both armed and disarmed, under every scheduler,
-# without doubling the full cross product.
+# the concurrent-spawner stress suite and the multi-stream decode-service
+# suite — the two structurally different registration paths (single-lock
+# fallback vs sorted multi-lock), with task/node pooling both armed and
+# disarmed, under every scheduler, without doubling the full cross product.
+# The service suite rides this phase because its per-stream checksum
+# parity is exactly the property the scheduler × shards × pool axes could
+# break.
 #
 # Usage:
 #   tests/run_matrix.sh [build-dir]          (default: ./build)
@@ -42,7 +45,7 @@ NUMAS=${MATRIX_NUMAS:-"bind off"}
 TOPOLOGIES=${MATRIX_TOPOLOGIES:-"flat 2x2"}
 DEP_SHARDS=${MATRIX_DEP_SHARDS:-"1 8"}
 POOLS=${MATRIX_POOLS:-"on off"}
-SHARD_BINARIES=${MATRIX_SHARD_BINARIES:-"ompss_test_concurrent_spawn"}
+SHARD_BINARIES=${MATRIX_SHARD_BINARIES:-"ompss_test_concurrent_spawn service_test_service"}
 GTEST_ARGS=${MATRIX_GTEST_ARGS:-"--gtest_brief=1"}
 
 for bin in $BINARIES $SHARD_BINARIES; do
@@ -73,6 +76,7 @@ for sched in $SCHEDULERS; do
                  -u OSS_TRACE_BUF -u OSS_TRACE_OUT -u OSS_STATS \
                  -u OSS_STATS_EVERY_MS -u OSS_POOL \
                  -u OSS_PROF -u OSS_PROF_EVERY_MS -u OSS_WATCHDOG \
+                 -u OSS_SERVICE_MAX_STREAMS -u OSS_SERVICE_WINDOW \
                  OSS_SCHEDULER="$sched" OSS_IDLE="$idle" OSS_NUMA="$numa" \
                  OSS_TOPOLOGY="$topo" "$BUILD_DIR/$bin" $GTEST_ARGS \
                  >"$log" 2>&1; then
@@ -104,6 +108,7 @@ for shards in $DEP_SHARDS; do
                -u OSS_TOPOLOGY -u OSS_TRACE_BUF -u OSS_TRACE_OUT \
                -u OSS_STATS -u OSS_STATS_EVERY_MS \
                -u OSS_PROF -u OSS_PROF_EVERY_MS -u OSS_WATCHDOG \
+               -u OSS_SERVICE_MAX_STREAMS -u OSS_SERVICE_WINDOW \
                OSS_DEP_SHARDS="$shards" OSS_POOL="$pool" \
                OSS_SCHEDULER="$sched" \
                "$BUILD_DIR/$bin" $GTEST_ARGS >"$log" 2>&1; then

@@ -1,0 +1,364 @@
+// oss::service + H264DecService: admission control, per-stream
+// backpressure (block vs fail-fast), mid-stream close/drain hygiene, and
+// per-stream checksum parity with the sequential decoder under concurrent
+// streams.  This binary also runs in the env matrix (run_matrix.sh phase 2)
+// across scheduler × dep-shard × pool combinations.
+#include "apps/h264dec/h264dec_service.hpp"
+#include "service/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using oss::service::Config;
+using oss::service::Reject;
+using oss::service::Service;
+using oss::service::StreamPtr;
+using oss::service::Submit;
+using oss::service::Window;
+
+oss::RuntimeConfig rt_config(std::size_t threads = 4) {
+  oss::RuntimeConfig cfg = oss::RuntimeConfig::from_env();
+  cfg.num_threads = threads;
+  return cfg;
+}
+
+/// Sets an env var for the scope (mirrors tests/ompss/test_config.cpp).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old) saved_ = old;
+    had_ = old != nullptr;
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_) {
+      ::setenv(name_.c_str(), saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_, saved_;
+  bool had_ = false;
+};
+
+// --- admission ---------------------------------------------------------------
+
+TEST(Service, AdmissionRejectsAtCapacityAndRecoversOnClose) {
+  oss::Runtime rt(rt_config());
+  Config cfg;
+  cfg.max_streams = 2;
+  Service svc(rt, cfg);
+
+  Reject why = Reject::None;
+  StreamPtr a = svc.open("a", &why);
+  ASSERT_TRUE(a);
+  EXPECT_EQ(why, Reject::None);
+  StreamPtr b = svc.open("b");
+  ASSERT_TRUE(b);
+
+  StreamPtr c = svc.open("c", &why);
+  EXPECT_FALSE(c);
+  EXPECT_EQ(why, Reject::Capacity);
+  EXPECT_STREQ(oss::service::reject_name(why), "capacity");
+
+  // Closing a stream frees its admission slot.
+  a->close();
+  EXPECT_FALSE(a->open());
+  c = svc.open("c", &why);
+  ASSERT_TRUE(c);
+  EXPECT_EQ(why, Reject::None);
+
+  const Service::Stats s = svc.stats();
+  EXPECT_EQ(s.opened, 3u);
+  EXPECT_EQ(s.closed, 1u);
+  EXPECT_EQ(s.rejected_capacity, 1u);
+  EXPECT_EQ(s.active, 2u);
+}
+
+TEST(Service, OpenAfterServiceCloseIsRejected) {
+  oss::Runtime rt(rt_config());
+  Service svc(rt, Config{});
+  StreamPtr a = svc.open("a");
+  ASSERT_TRUE(a);
+  svc.close();
+  EXPECT_FALSE(a->open()); // service close drains its streams
+
+  Reject why = Reject::None;
+  EXPECT_FALSE(svc.open("late", &why));
+  EXPECT_EQ(why, Reject::Closed);
+  EXPECT_EQ(svc.stats().rejected_closed, 1u);
+}
+
+// --- backpressure ------------------------------------------------------------
+
+/// A latch the test holds shut while window slots are occupied.
+struct Gate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool open = false;
+  void release() {
+    {
+      std::lock_guard lock(mu);
+      open = true;
+    }
+    cv.notify_all();
+  }
+  void wait() {
+    std::unique_lock lock(mu);
+    cv.wait(lock, [this] { return open; });
+  }
+};
+
+TEST(Service, WindowFailFastBouncesWhenFull) {
+  oss::Runtime rt(rt_config());
+  Config cfg;
+  cfg.window = 2;
+  Service svc(rt, cfg);
+  StreamPtr s = svc.open("bp");
+  ASSERT_TRUE(s);
+
+  Gate gate;
+  // Fill the window with units whose final task releases on completion.
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(s->window().acquire(Submit::FailFast));
+    s->task("unit").spawn([&gate, s] {
+      gate.wait();
+      s->window().release();
+    });
+  }
+  EXPECT_EQ(s->window().in_flight(), 2u);
+  EXPECT_FALSE(s->window().acquire(Submit::FailFast)); // full → bounce
+  EXPECT_EQ(s->window().rejected(), 1u);
+
+  gate.release();
+  s->drain();
+  EXPECT_EQ(s->window().in_flight(), 0u);
+  EXPECT_TRUE(s->window().acquire(Submit::FailFast)); // slots free again
+  s->window().release();
+  EXPECT_EQ(s->window().peak(), 2u); // never exceeded the bound
+}
+
+TEST(Service, WindowBlockWaitsForAFreedSlot) {
+  oss::Runtime rt(rt_config());
+  Config cfg;
+  cfg.window = 1;
+  Service svc(rt, cfg);
+  StreamPtr s = svc.open("bp");
+  ASSERT_TRUE(s);
+
+  Gate gate;
+  ASSERT_TRUE(s->window().acquire(Submit::Block));
+  s->task("unit").spawn([&gate, s] {
+    gate.wait();
+    s->window().release();
+  });
+
+  std::atomic<bool> acquired{false};
+  std::thread submitter([&] {
+    // Blocks until the in-flight unit releases.
+    ASSERT_TRUE(s->window().acquire(Submit::Block));
+    acquired.store(true);
+    s->window().release();
+  });
+  // The submitter must be parked, not bounced.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(acquired.load());
+
+  gate.release();
+  submitter.join();
+  EXPECT_TRUE(acquired.load());
+  EXPECT_GE(s->window().blocked(), 1u);
+  s->drain();
+}
+
+TEST(Service, CloseFailsBlockedSubmitters) {
+  oss::Runtime rt(rt_config());
+  Config cfg;
+  cfg.window = 1;
+  Service svc(rt, cfg);
+  StreamPtr s = svc.open("bp");
+  ASSERT_TRUE(s);
+
+  Gate gate;
+  ASSERT_TRUE(s->window().acquire(Submit::Block));
+  s->task("unit").spawn([&gate, s] {
+    gate.wait();
+    s->window().release();
+  });
+
+  std::atomic<int> result{-1};
+  std::thread submitter(
+      [&] { result.store(s->window().acquire(Submit::Block) ? 1 : 0); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(result.load(), -1); // parked on the full window
+
+  // close() must first unblock the submitter (with failure), then drain the
+  // admitted unit — which is still gated, so release the gate from here.
+  std::thread closer([&] { s->close(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  gate.release();
+  closer.join();
+  submitter.join();
+  EXPECT_EQ(result.load(), 0);
+  EXPECT_FALSE(s->open());
+  EXPECT_FALSE(s->window().acquire(Submit::Block)); // closed stays closed
+}
+
+// --- decode sessions ---------------------------------------------------------
+
+TEST(H264DecService, ChecksumParityWithSequentialDecoder) {
+  const auto w = apps::H264Workload::make(benchcore::Scale::Tiny);
+  const auto expected = apps::h264dec_seq(w);
+
+  oss::Runtime rt(rt_config());
+  apps::H264DecService svc(rt, Config{});
+  auto session = svc.open("s0", w);
+  ASSERT_TRUE(session);
+  for (const auto& frame : w.video.frames) {
+    ASSERT_TRUE(session->submit(frame));
+  }
+  session->finish();
+  EXPECT_EQ(session->checksums(), expected);
+  ASSERT_EQ(session->latencies_ns().size(), expected.size());
+  for (std::uint64_t ns : session->latencies_ns()) EXPECT_GT(ns, 0u);
+  EXPECT_LE(session->window().peak(), session->window().depth());
+  session->close();
+}
+
+TEST(H264DecService, ConcurrentStreamsDecodeIndependently) {
+  const auto w = apps::H264Workload::make(benchcore::Scale::Tiny);
+  const auto expected = apps::h264dec_seq(w);
+  constexpr int kStreams = 4;
+
+  oss::Runtime rt(rt_config());
+  Config cfg;
+  cfg.max_streams = kStreams;
+  cfg.window = 3;
+  apps::H264DecService svc(rt, cfg);
+
+  std::vector<apps::H264DecSessionPtr> sessions;
+  for (int i = 0; i < kStreams; ++i) {
+    auto s = svc.open("s" + std::to_string(i), w);
+    ASSERT_TRUE(s);
+    sessions.push_back(std::move(s));
+  }
+
+  // One submitter thread per stream, all pumping concurrently with the
+  // Block policy (backpressure engaged: window 3 < frame count).
+  std::vector<std::thread> submitters;
+  submitters.reserve(kStreams);
+  for (auto& s : sessions) {
+    submitters.emplace_back([&s, &w] {
+      for (int rep = 0; rep < 2; ++rep) {
+        for (const auto& frame : w.video.frames) {
+          ASSERT_TRUE(s->submit(frame, Submit::Block));
+        }
+      }
+      s->finish();
+    });
+  }
+  for (auto& t : submitters) t.join();
+
+  for (auto& s : sessions) {
+    ASSERT_EQ(s->checksums().size(), 2 * expected.size());
+    for (std::size_t i = 0; i < s->checksums().size(); ++i) {
+      // Frame 0 of rep 2 is decoded as a P/I frame per its own header, so
+      // repeating the whole GOP-aligned stream repeats the checksums.
+      EXPECT_EQ(s->checksums()[i], expected[i % expected.size()]) << i;
+    }
+    EXPECT_LE(s->window().peak(), s->window().depth());
+    s->close();
+  }
+  rt.barrier();
+  EXPECT_EQ(rt.pending_tasks(), 0u);
+}
+
+TEST(H264DecService, MidStreamCloseDrainsWithoutLeaks) {
+  const auto w = apps::H264Workload::make(benchcore::Scale::Tiny);
+  const auto expected = apps::h264dec_seq(w);
+
+  oss::Runtime rt(rt_config());
+  Config cfg;
+  cfg.window = 2;
+  apps::H264DecService svc(rt, cfg);
+  auto session = svc.open("s0", w);
+  ASSERT_TRUE(session);
+
+  const std::size_t submitted = w.video.frames.size() / 2;
+  for (std::size_t i = 0; i < submitted; ++i) {
+    ASSERT_TRUE(session->submit(w.video.frames[i]));
+  }
+  session->close(); // drain, not cancel: admitted frames complete
+
+  ASSERT_EQ(session->checksums().size(), submitted);
+  for (std::size_t i = 0; i < submitted; ++i) {
+    EXPECT_EQ(session->checksums()[i], expected[i]) << i;
+  }
+  EXPECT_FALSE(session->submit(w.video.frames[0])); // closed window bounces
+
+  rt.barrier();
+  EXPECT_EQ(rt.pending_tasks(), 0u);
+  const oss::StatsSnapshot stats = rt.stats();
+  EXPECT_EQ(stats.tasks_spawned, stats.tasks_executed); // nothing leaked
+}
+
+TEST(H264DecService, SessionsAreRejectedAtCapacity) {
+  const auto w = apps::H264Workload::make(benchcore::Scale::Tiny);
+  oss::Runtime rt(rt_config());
+  Config cfg;
+  cfg.max_streams = 1;
+  apps::H264DecService svc(rt, cfg);
+
+  auto a = svc.open("a", w);
+  ASSERT_TRUE(a);
+  Reject why = Reject::None;
+  EXPECT_FALSE(svc.open("b", w, &why));
+  EXPECT_EQ(why, Reject::Capacity);
+  a->close();
+  EXPECT_TRUE(svc.open("b", w, &why));
+}
+
+// --- knobs -------------------------------------------------------------------
+
+TEST(ServiceConfig, FromEnvReadsAndValidatesKnobs) {
+  {
+    ScopedEnv ms("OSS_SERVICE_MAX_STREAMS", "7");
+    ScopedEnv wi("OSS_SERVICE_WINDOW", "5");
+    const Config c = Config::from_env();
+    EXPECT_EQ(c.max_streams, 7u);
+    EXPECT_EQ(c.window, 5u);
+  }
+  // The OSS_SERVICE_* family uses the same strict integer parsing as every
+  // other OSS_* knob: negatives must throw, not wrap through strtoull.
+  for (const char* bad : {"-1", "+1", " 3", "3 ", "zz", ""}) {
+    ScopedEnv ms("OSS_SERVICE_MAX_STREAMS", bad);
+    EXPECT_THROW((void)Config::from_env(), std::invalid_argument)
+        << "value '" << bad << "'";
+  }
+  {
+    ScopedEnv wi("OSS_SERVICE_WINDOW", "-9");
+    EXPECT_THROW((void)Config::from_env(), std::invalid_argument);
+  }
+  {
+    // 0 would deadlock every submit; clamped to 1.
+    ScopedEnv ms("OSS_SERVICE_MAX_STREAMS", "0");
+    ScopedEnv wi("OSS_SERVICE_WINDOW", "0");
+    const Config c = Config::from_env();
+    EXPECT_EQ(c.max_streams, 1u);
+    EXPECT_EQ(c.window, 1u);
+  }
+}
+
+} // namespace
