@@ -1,0 +1,202 @@
+// bm_replay — dependency-path cost of fresh resolution vs graph replay
+// (oss::replay, docs/replay.md).  Iterative applications re-submit the
+// same task graph every iteration; the replay path memoizes the resolved
+// structure once and re-submits it as an array walk that never touches a
+// dependency shard.  This bench measures exactly that delta on three
+// structures, capture outside the timing loop, with near-empty bodies so
+// the submission path dominates:
+//
+//   Replay/chain/{fresh,replay}/<threads>    — 256-link RAW chain
+//   Replay/diamond/{fresh,replay}/<threads>  — 64 independent diamonds
+//   Replay/opgraph/{fresh,replay}/<threads>  — 16×32 operator grid with
+//                                              two reads per op (the
+//                                              PopART-style shape of the
+//                                              opgraph app)
+//
+// The CI bench-smoke job gates Replay/* against baseline_replay.json,
+// normalized by Replay/opgraph/fresh/1 (bench/compare_bench.py): what is
+// gated is the replay-vs-fresh *shape* — the recorded baseline has replay
+// well over 2x fresh on opgraph, and a regression of that ratio beyond
+// tolerance fails the gate (on like machines; see the script header).
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ompss/ompss.hpp"
+
+namespace {
+
+// --- the three graph shapes ------------------------------------------------
+
+/// 256-task RAW chain: the worst case for replay's batch wakeup (one root,
+/// everything serial) and the best case for skipping interval-map lookups.
+struct ChainGraph {
+  static constexpr std::size_t kLen = 256;
+  std::array<std::uint64_t, kLen> v{};
+
+  [[nodiscard]] std::size_t size() const { return kLen; }
+
+  void spawn(oss::Runtime& rt) {
+    for (std::size_t i = 0; i < kLen; ++i) {
+      if (i == 0) {
+        rt.task("head").out(v[0]).spawn([this] { v[0] += 1; });
+      } else {
+        rt.task("link").in(v[i - 1]).out(v[i]).spawn(
+            [this, i] { v[i] = v[i - 1] + 1; });
+      }
+    }
+  }
+
+  [[nodiscard]] oss::Task::Fn bind(std::size_t i) {
+    if (i == 0) return [this] { v[0] += 1; };
+    return [this, i] { v[i] = v[i - 1] + 1; };
+  }
+};
+
+/// 64 independent 4-task diamonds (a → b,c → d): fan-out plus a 2-way
+/// fan-in per group, lots of parallelism for the submitter threads.
+struct DiamondGraph {
+  static constexpr std::size_t kGroups = 64;
+  std::array<std::uint64_t, kGroups> top{}, left{}, right{}, bottom{};
+
+  [[nodiscard]] std::size_t size() const { return kGroups * 4; }
+
+  void spawn(oss::Runtime& rt) {
+    for (std::size_t g = 0; g < kGroups; ++g) {
+      rt.task("a").out(top[g]).spawn([this, g] { top[g] += 1; });
+      rt.task("b").in(top[g]).out(left[g]).spawn(
+          [this, g] { left[g] = top[g] + 1; });
+      rt.task("c").in(top[g]).out(right[g]).spawn(
+          [this, g] { right[g] = top[g] + 2; });
+      rt.task("d").in(left[g]).in(right[g]).out(bottom[g]).spawn(
+          [this, g] { bottom[g] = left[g] + right[g]; });
+    }
+  }
+
+  [[nodiscard]] oss::Task::Fn bind(std::size_t i) {
+    const std::size_t g = i / 4;
+    switch (i % 4) {
+      case 0: return [this, g] { top[g] += 1; };
+      case 1: return [this, g] { left[g] = top[g] + 1; };
+      case 2: return [this, g] { right[g] = top[g] + 2; };
+      default: return [this, g] { bottom[g] = left[g] + right[g]; };
+    }
+  }
+};
+
+/// The opgraph shape at bench size: `kLayers` layers of `kWidth` ops, each
+/// reading its own column and a neighbor of the previous layer — two input
+/// regions plus one output per task, the structure the replay subsystem
+/// was built for.
+struct OpGridGraph {
+  static constexpr int kWidth = 32;
+  static constexpr int kLayers = 16;
+  static constexpr int kElems = 8;
+  std::vector<std::uint64_t> input;
+  std::vector<std::vector<std::uint64_t>> layer;
+
+  OpGridGraph()
+      : input(static_cast<std::size_t>(kWidth) * kElems, 1),
+        layer(kLayers,
+              std::vector<std::uint64_t>(
+                  static_cast<std::size_t>(kWidth) * kElems, 0)) {}
+
+  [[nodiscard]] std::size_t size() const {
+    return static_cast<std::size_t>(kWidth) * kLayers;
+  }
+
+  [[nodiscard]] const std::uint64_t* src(int l) const {
+    return l == 0 ? input.data()
+                  : layer[static_cast<std::size_t>(l) - 1].data();
+  }
+
+  void run_op(int l, int j) {
+    const std::uint64_t* a = src(l) + static_cast<std::size_t>(j) * kElems;
+    const std::uint64_t* b =
+        src(l) +
+        static_cast<std::size_t>((j + 1 + (l % 3)) % kWidth) * kElems;
+    std::uint64_t* out = layer[static_cast<std::size_t>(l)].data() +
+                         static_cast<std::size_t>(j) * kElems;
+    for (int e = 0; e < kElems; ++e) out[e] = a[e] ^ (b[e] + 1);
+  }
+
+  void spawn(oss::Runtime& rt) {
+    constexpr std::size_t bytes = sizeof(std::uint64_t) * kElems;
+    for (int l = 0; l < kLayers; ++l) {
+      for (int j = 0; j < kWidth; ++j) {
+        const std::uint64_t* a = src(l) + static_cast<std::size_t>(j) * kElems;
+        const std::uint64_t* b =
+            src(l) +
+            static_cast<std::size_t>((j + 1 + (l % 3)) % kWidth) * kElems;
+        std::uint64_t* out = layer[static_cast<std::size_t>(l)].data() +
+                             static_cast<std::size_t>(j) * kElems;
+        rt.task("op")
+            .in(a, bytes)
+            .in(b, bytes)
+            .out(out, bytes)
+            .spawn([this, l, j] { run_op(l, j); });
+      }
+    }
+  }
+
+  [[nodiscard]] oss::Task::Fn bind(std::size_t i) {
+    const int l = static_cast<int>(i) / kWidth;
+    const int j = static_cast<int>(i) % kWidth;
+    return [this, l, j] { run_op(l, j); };
+  }
+};
+
+// --- the harness -----------------------------------------------------------
+
+template <class Graph>
+void run_case(benchmark::State& state, bool replay) {
+  oss::Runtime rt(static_cast<std::size_t>(state.range(0)));
+  Graph g;
+  oss::ReplayGraph graph;
+  const auto binder = [&g](std::size_t i) { return g.bind(i); };
+  if (replay) {
+    // Capture iteration: runs once, outside the timing loop — the whole
+    // point is that its resolution cost is paid once per structure.
+    oss::GraphCapture cap(rt);
+    g.spawn(rt);
+    graph = cap.finish();
+    rt.taskwait();
+  }
+  auto round = [&] {
+    if (replay) {
+      rt.replay(graph, binder);
+    } else {
+      g.spawn(rt);
+    }
+    rt.taskwait();
+  };
+  for (int r = 0; r < 8; ++r) round(); // warm pool, scratch, queues
+  for (auto _ : state) round();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.size()));
+}
+
+void BM_chain_fresh(benchmark::State& s) { run_case<ChainGraph>(s, false); }
+void BM_chain_replay(benchmark::State& s) { run_case<ChainGraph>(s, true); }
+void BM_diamond_fresh(benchmark::State& s) { run_case<DiamondGraph>(s, false); }
+void BM_diamond_replay(benchmark::State& s) { run_case<DiamondGraph>(s, true); }
+void BM_opgraph_fresh(benchmark::State& s) { run_case<OpGridGraph>(s, false); }
+void BM_opgraph_replay(benchmark::State& s) { run_case<OpGridGraph>(s, true); }
+
+BENCHMARK(BM_chain_fresh)->Name("Replay/chain/fresh")->Arg(1)->Arg(2)->Arg(4);
+BENCHMARK(BM_chain_replay)->Name("Replay/chain/replay")->Arg(1)->Arg(2)->Arg(4);
+BENCHMARK(BM_diamond_fresh)
+    ->Name("Replay/diamond/fresh")->Arg(1)->Arg(2)->Arg(4);
+BENCHMARK(BM_diamond_replay)
+    ->Name("Replay/diamond/replay")->Arg(1)->Arg(2)->Arg(4);
+BENCHMARK(BM_opgraph_fresh)
+    ->Name("Replay/opgraph/fresh")->Arg(1)->Arg(2)->Arg(4);
+BENCHMARK(BM_opgraph_replay)
+    ->Name("Replay/opgraph/replay")->Arg(1)->Arg(2)->Arg(4);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -11,6 +11,7 @@
 #include "apps/h264dec/h264dec_app.hpp"
 #include "apps/kmeans/kmeans_app.hpp"
 #include "apps/md5/md5_app.hpp"
+#include "apps/opgraph/opgraph_app.hpp"
 #include "apps/ray_rot/ray_rot.hpp"
 #include "apps/rgbcmy/rgbcmy_app.hpp"
 #include "apps/rot_cc/rot_cc.hpp"

@@ -1,0 +1,56 @@
+// opgraph_app.hpp — the `opgraph` benchmark (iterative operator graph).
+//
+// A PopART-style machine-learning op graph: `layers` layers of `width`
+// heterogeneous operators, where op j of layer l reads two layer-(l-1)
+// buffers (its own column and a layer-dependent neighbor) and writes its
+// own output buffer — a few thousand tasks per iteration at the default
+// scale, re-run for `iters` iterations with the *same* structure and
+// different data (the input evolves from the previous iteration's output).
+//
+// This is the motivating workload for oss::replay (docs/replay.md): the
+// dependency structure is bit-identical every iteration, so resolving it
+// from scratch each time is pure overhead.  Three variants:
+//
+//   * opgraph_seq     — sequential reference (checksum ground truth)
+//   * opgraph_ompss   — fresh dependency resolution every iteration
+//   * opgraph_replay  — capture the first iteration, replay the rest
+//
+// All arithmetic is exact (uint64), so the three checksums must be
+// bit-identical — the replay parity requirement.
+#pragma once
+
+#include <cstdint>
+
+#include "bench_core/workload.hpp"
+#include "ompss/stats.hpp"
+
+namespace apps {
+
+struct OpGraphWorkload {
+  int width = 48;  ///< operators per layer
+  int layers = 42; ///< layers per iteration (width*layers ops/iteration)
+  int elems = 32;  ///< uint64 elements per operator buffer
+  int iters = 6;   ///< iterations (the replay loop)
+
+  static OpGraphWorkload make(benchcore::Scale scale);
+
+  [[nodiscard]] int ops_per_iteration() const noexcept {
+    return width * layers;
+  }
+};
+
+std::uint64_t opgraph_seq(const OpGraphWorkload& w);
+
+/// Fresh resolution: every iteration re-spawns the graph through the
+/// dependency domain.  `stats` (optional) receives the runtime's final
+/// counter snapshot.
+std::uint64_t opgraph_ompss(const OpGraphWorkload& w, std::size_t threads,
+                            oss::StatsSnapshot* stats = nullptr);
+
+/// Capture-once / replay-N: iteration 0 runs inside a GraphCapture scope;
+/// iterations 1..iters-1 are Runtime::replay array walks that touch no
+/// dependency shard.
+std::uint64_t opgraph_replay(const OpGraphWorkload& w, std::size_t threads,
+                             oss::StatsSnapshot* stats = nullptr);
+
+} // namespace apps

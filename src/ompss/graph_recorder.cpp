@@ -1,125 +1,51 @@
 #include "ompss/graph_recorder.hpp"
 
-#include <sstream>
-#include <unordered_set>
-
 namespace oss {
 
 void GraphRecorder::add_node(std::uint64_t id, std::string label) {
   std::lock_guard lock(mu_);
-  index_.emplace(id, nodes_.size());
-  nodes_.push_back(Node{id, std::move(label)});
+  tables_.add_node(id, std::move(label));
 }
 
 void GraphRecorder::set_node_path(std::uint64_t id, std::uint64_t path_weight,
                                   std::uint64_t crit_pred) {
   std::lock_guard lock(mu_);
-  const auto it = index_.find(id);
-  if (it == index_.end()) return;
-  nodes_[it->second].path_weight = path_weight;
-  nodes_[it->second].crit_pred = crit_pred;
+  tables_.set_node_path(id, path_weight, crit_pred);
 }
 
 void GraphRecorder::add_edge(std::uint64_t from, std::uint64_t to, DepKind kind) {
   std::lock_guard lock(mu_);
-  edges_.push_back(Edge{from, to, kind});
+  tables_.add_edge(from, to, kind);
 }
 
 std::size_t GraphRecorder::node_count() const {
   std::lock_guard lock(mu_);
-  return nodes_.size();
+  return tables_.nodes.size();
 }
 
 std::size_t GraphRecorder::edge_count() const {
   std::lock_guard lock(mu_);
-  return edges_.size();
+  return tables_.edges.size();
 }
 
 std::size_t GraphRecorder::edge_count(DepKind kind) const {
   std::lock_guard lock(mu_);
-  std::size_t n = 0;
-  for (const Edge& e : edges_) {
-    if (e.kind == kind) ++n;
-  }
-  return n;
+  return tables_.edge_count(kind);
 }
 
 std::vector<GraphRecorder::Edge> GraphRecorder::edges() const {
   std::lock_guard lock(mu_);
-  return edges_;
+  return tables_.edges;
 }
 
-namespace {
-
-std::string escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
+std::vector<GraphRecorder::Node> GraphRecorder::nodes() const {
+  std::lock_guard lock(mu_);
+  return tables_.nodes;
 }
-
-const char* edge_style(DepKind k) {
-  switch (k) {
-    case DepKind::Raw: return "color=black";
-    case DepKind::War: return "color=red,style=dashed";
-    case DepKind::Waw: return "color=blue,style=dashed";
-    case DepKind::Explicit: return "color=darkgreen,style=dotted";
-  }
-  return "";
-}
-
-} // namespace
 
 std::string GraphRecorder::to_dot() const {
   std::lock_guard lock(mu_);
-
-  // Critical-path chain: start at the node carrying the largest recorded
-  // path weight (the span's endpoint) and walk the crit_pred links back to
-  // a root.  Weights come from the runtime's on_finished (oss::prof);
-  // graphs recorded without profiling have no weights and no highlight.
-  std::unordered_set<std::uint64_t> on_path;
-  {
-    const Node* tip = nullptr;
-    for (const Node& n : nodes_) {
-      if (n.path_weight > 0 && (tip == nullptr || n.path_weight > tip->path_weight)) {
-        tip = &n;
-      }
-    }
-    std::uint64_t cursor = tip != nullptr ? tip->id : 0;
-    while (cursor != 0 && on_path.insert(cursor).second) {
-      const auto it = index_.find(cursor);
-      cursor = it != index_.end() ? nodes_[it->second].crit_pred : 0;
-    }
-  }
-
-  std::ostringstream os;
-  os << "digraph taskgraph {\n  rankdir=TB;\n  node [shape=box,fontname=\"monospace\"];\n";
-  for (const Node& n : nodes_) {
-    os << "  t" << n.id << " [label=\"#" << n.id;
-    if (!n.label.empty()) os << "\\n" << escape(n.label);
-    os << "\"";
-    if (on_path.count(n.id) != 0) {
-      os << ",style=filled,fillcolor=\"#ffd0d0\",color=crimson,penwidth=2";
-    }
-    os << "];\n";
-  }
-  for (const Edge& e : edges_) {
-    // An edge lies on the critical path when both ends do and the target
-    // names the source as the predecessor its longest path arrived through.
-    bool crit = false;
-    if (on_path.count(e.from) != 0 && on_path.count(e.to) != 0) {
-      const auto it = index_.find(e.to);
-      crit = it != index_.end() && nodes_[it->second].crit_pred == e.from;
-    }
-    os << "  t" << e.from << " -> t" << e.to << " [" << edge_style(e.kind);
-    if (crit) os << ",color=crimson,penwidth=2";
-    os << ",label=\"" << to_string(e.kind) << "\"];\n";
-  }
-  os << "}\n";
-  return os.str();
+  return tables_.to_dot();
 }
 
 } // namespace oss

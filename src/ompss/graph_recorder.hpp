@@ -6,33 +6,26 @@
 // Edges are colored by hazard kind (RAW solid, WAR/WAW dashed) to make
 // renaming opportunities visible (a pipeline whose parallelism is killed by
 // WAW edges is immediately obvious).
+//
+// The node/edge storage and the DOT rendering live in GraphTables
+// (graph_tables.hpp), shared with the GraphCapture/ReplayGraph pair
+// (docs/replay.md) so the two recorders cannot drift; this class is the
+// thread-safe wrapper the runtime mutates from every spawning thread.
 #pragma once
 
 #include <cstdint>
 #include <mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
-#include "ompss/dep_domain.hpp"
+#include "ompss/graph_tables.hpp"
 
 namespace oss {
 
 class GraphRecorder {
  public:
-  struct Node {
-    std::uint64_t id;
-    std::string label;
-    std::uint64_t path_weight = 0; ///< critical-path length ending here
-                                   ///< (raw ticks; 0 = not recorded)
-    std::uint64_t crit_pred = 0;   ///< predecessor on that path (0 = none)
-  };
-  struct Edge {
-    std::uint64_t from;
-    std::uint64_t to;
-    DepKind kind;
-    friend bool operator==(const Edge&, const Edge&) = default;
-  };
+  using Node = GraphTables::Node;
+  using Edge = GraphTables::Edge;
 
   void add_node(std::uint64_t id, std::string label);
   void add_edge(std::uint64_t from, std::uint64_t to, DepKind kind);
@@ -58,11 +51,13 @@ class GraphRecorder {
   /// edge *multiset* is what parity tests compare.
   [[nodiscard]] std::vector<Edge> edges() const;
 
+  /// Snapshot of the recorded nodes, in recording order (replay parity
+  /// tests map node ids back to spawn order through this).
+  [[nodiscard]] std::vector<Node> nodes() const;
+
  private:
   mutable std::mutex mu_;
-  std::vector<Node> nodes_;
-  std::vector<Edge> edges_;
-  std::unordered_map<std::uint64_t, std::size_t> index_; ///< id → nodes_ slot
+  GraphTables tables_;
 };
 
 } // namespace oss

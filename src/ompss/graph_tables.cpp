@@ -1,0 +1,79 @@
+#include "ompss/graph_tables.hpp"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace oss {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+const char* edge_style(DepKind k) {
+  switch (k) {
+    case DepKind::Raw: return "color=black";
+    case DepKind::War: return "color=red,style=dashed";
+    case DepKind::Waw: return "color=blue,style=dashed";
+    case DepKind::Explicit: return "color=darkgreen,style=dotted";
+  }
+  return "";
+}
+
+} // namespace
+
+std::string GraphTables::to_dot() const {
+  // Critical-path chain: start at the node carrying the largest recorded
+  // path weight (the span's endpoint) and walk the crit_pred links back to
+  // a root.  Weights come from the runtime's on_finished (oss::prof);
+  // graphs recorded without profiling have no weights and no highlight.
+  std::unordered_set<std::uint64_t> on_path;
+  {
+    const Node* tip = nullptr;
+    for (const Node& n : nodes) {
+      if (n.path_weight > 0 && (tip == nullptr || n.path_weight > tip->path_weight)) {
+        tip = &n;
+      }
+    }
+    std::uint64_t cursor = tip != nullptr ? tip->id : 0;
+    while (cursor != 0 && on_path.insert(cursor).second) {
+      const auto it = index.find(cursor);
+      cursor = it != index.end() ? nodes[it->second].crit_pred : 0;
+    }
+  }
+
+  std::ostringstream os;
+  os << "digraph taskgraph {\n  rankdir=TB;\n  node [shape=box,fontname=\"monospace\"];\n";
+  for (const Node& n : nodes) {
+    os << "  t" << n.id << " [label=\"#" << n.id;
+    if (!n.label.empty()) os << "\\n" << escape(n.label);
+    os << "\"";
+    if (on_path.count(n.id) != 0) {
+      os << ",style=filled,fillcolor=\"#ffd0d0\",color=crimson,penwidth=2";
+    }
+    os << "];\n";
+  }
+  for (const Edge& e : edges) {
+    // An edge lies on the critical path when both ends do and the target
+    // names the source as the predecessor its longest path arrived through.
+    bool crit = false;
+    if (on_path.count(e.from) != 0 && on_path.count(e.to) != 0) {
+      const auto it = index.find(e.to);
+      crit = it != index.end() && nodes[it->second].crit_pred == e.from;
+    }
+    os << "  t" << e.from << " -> t" << e.to << " [" << edge_style(e.kind);
+    if (crit) os << ",color=crimson,penwidth=2";
+    os << ",label=\"" << to_string(e.kind) << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+} // namespace oss

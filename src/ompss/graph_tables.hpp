@@ -1,0 +1,73 @@
+// graph_tables.hpp — the one node/edge table shared by every graph capture.
+//
+// Two subsystems record the task graph at spawn time: the GraphRecorder
+// (DOT export + critical-path coloring, docs/observability.md) and the
+// GraphCapture/ReplayGraph pair (docs/replay.md).  They used to carry
+// private copies of the same node/edge vectors; this struct is the single
+// definition both sit on, so the label escaping, the edge styling, and the
+// critical-path walk cannot drift between them.
+//
+// GraphTables itself is *not* synchronized — owners layer their own locking
+// (GraphRecorder: a mutex, tables mutated from every spawning thread;
+// GraphCapture: none, a capture scope is single-threaded by contract).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ompss/dep_domain.hpp"
+
+namespace oss {
+
+struct GraphTables {
+  struct Node {
+    std::uint64_t id;
+    std::string label;
+    std::uint64_t path_weight = 0; ///< critical-path length ending here
+                                   ///< (raw ticks; 0 = not recorded)
+    std::uint64_t crit_pred = 0;   ///< predecessor on that path (0 = none)
+  };
+  struct Edge {
+    std::uint64_t from;
+    std::uint64_t to;
+    DepKind kind;
+    friend bool operator==(const Edge&, const Edge&) = default;
+  };
+
+  std::vector<Node> nodes;
+  std::vector<Edge> edges;
+  std::unordered_map<std::uint64_t, std::size_t> index; ///< id → nodes slot
+
+  void add_node(std::uint64_t id, std::string label) {
+    index.emplace(id, nodes.size());
+    nodes.push_back(Node{id, std::move(label)});
+  }
+
+  void add_edge(std::uint64_t from, std::uint64_t to, DepKind kind) {
+    edges.push_back(Edge{from, to, kind});
+  }
+
+  void set_node_path(std::uint64_t id, std::uint64_t path_weight,
+                     std::uint64_t crit_pred) {
+    const auto it = index.find(id);
+    if (it == index.end()) return;
+    nodes[it->second].path_weight = path_weight;
+    nodes[it->second].crit_pred = crit_pred;
+  }
+
+  [[nodiscard]] std::size_t edge_count(DepKind kind) const {
+    std::size_t n = 0;
+    for (const Edge& e : edges) {
+      if (e.kind == kind) ++n;
+    }
+    return n;
+  }
+
+  /// Graphviz rendering: one box per node, edges colored by hazard kind,
+  /// the critical-path chain (path_weight/crit_pred back-links) in crimson.
+  [[nodiscard]] std::string to_dot() const;
+};
+
+} // namespace oss

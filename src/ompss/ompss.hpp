@@ -29,6 +29,7 @@
 #include "ompss/pinning.hpp"
 #include "ompss/prof.hpp"
 #include "ompss/queues.hpp"
+#include "ompss/replay.hpp"
 #include "ompss/runtime.hpp"
 #include "ompss/scheduler.hpp"
 #include "ompss/stats.hpp"

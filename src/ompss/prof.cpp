@@ -80,6 +80,7 @@ ProfSystem::ProfSystem(std::size_t num_workers)
       t0_wall_(std::chrono::steady_clock::now()) {}
 
 std::uint32_t ProfSystem::intern(const std::string& label) {
+  intern_calls_.fetch_add(1, std::memory_order_relaxed);
   if (label.empty()) return 0;
   const std::uint32_t h = fnv1a(label);
   // Per-thread recently-seen cache, same shape as TraceSystem::intern: the

@@ -114,6 +114,12 @@ class ProfSystem {
   /// Task::trace_label can serve both).  Called once per spawn.
   std::uint32_t intern(const std::string& label);
 
+  /// Total intern() invocations (same contract as
+  /// TraceSystem::intern_calls — flat across a warmed replay loop).
+  [[nodiscard]] std::uint64_t intern_calls() const noexcept {
+    return intern_calls_.load(std::memory_order_relaxed);
+  }
+
   /// Resolves an interned hash ("(unlabeled)" for 0, "#hex" if unknown).
   [[nodiscard]] std::string label_name(std::uint32_t hash) const;
 
@@ -173,6 +179,7 @@ class ProfSystem {
   /// Running span maximum.  Relaxed loads screen candidates; mu_ orders the
   /// (length, attribution) pair for winners and guards the label map.
   std::atomic<std::uint64_t> span_ticks_{0};
+  std::atomic<std::uint64_t> intern_calls_{0};
   mutable std::mutex mu_;
   PathAttr span_attr_; ///< attribution of the current span holder (mu_)
   std::unordered_map<std::uint32_t, std::string> labels_; ///< hash → name

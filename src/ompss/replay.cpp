@@ -1,0 +1,324 @@
+// replay.cpp — graph capture/replay (oss::replay) plus the Runtime halves
+// of the protocol (capture_release, publish_ready_batch, replay).  See
+// replay.hpp for the capture/replay model and docs/replay.md for the user
+// contract.
+#include "ompss/replay.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "ompss/runtime.hpp"
+#include "ompss/task_pool.hpp"
+
+namespace oss {
+
+// ---------------------------------------------------------------------------
+// GraphCapture
+// ---------------------------------------------------------------------------
+
+GraphCapture::GraphCapture(Runtime& rt) : rt_(rt) {
+  GraphCapture* expected = nullptr;
+  if (!rt.capture_.compare_exchange_strong(expected, this,
+                                           std::memory_order_acq_rel)) {
+    throw std::logic_error(
+        "oss::GraphCapture: another capture scope is already open on this "
+        "runtime");
+  }
+}
+
+GraphCapture::~GraphCapture() {
+  if (finished_) return;
+  // Abandoned scope (early return / exception unwinding): the captured
+  // structure is discarded, but the held iteration must still run — a task
+  // parked on its hold predecessor forever would deadlock every later
+  // taskwait/barrier.
+  rt_.capture_.store(nullptr, std::memory_order_release);
+  rt_.capture_release(held_);
+}
+
+void GraphCapture::on_spawn(const TaskPtr& t) {
+  const auto idx = static_cast<std::uint32_t>(held_.size());
+  index_.emplace(t->id(), idx);
+  tables_.add_node(t->id(), t->label());
+  // The hold predecessor: keeps the task (and therefore the whole captured
+  // iteration) parked until finish(), so every producer is still live when
+  // its consumers register — the discovered edge multiset is the full
+  // structural graph, independent of machine speed or thread count.
+  // Relaxed suffices: the spawn guard is still held (preds >= 1), so no
+  // finisher can observe or race this increment into readiness.
+  t->preds.fetch_add(1, std::memory_order_relaxed);
+  held_.push_back(t);
+}
+
+void GraphCapture::on_edge(const TaskPtr& from, const TaskPtr& to,
+                           DepKind kind) {
+  const auto fi = index_.find(from->id());
+  const auto ti = index_.find(to->id());
+  if (fi == index_.end() || ti == index_.end()) {
+    // A dependency on an unfinished task spawned *before* the scope opened:
+    // replay could never reproduce that edge (the outside producer will not
+    // exist next iteration), so the capture is rejected at the exact spawn
+    // that introduced the foreign edge.
+    throw std::logic_error(
+        "oss::GraphCapture: dependency on a task outside the capture scope "
+        "(taskwait() before opening the scope so pre-existing producers are "
+        "finished)");
+  }
+  tables_.add_edge(from->id(), to->id(), kind);
+  edges_.push_back({fi->second, ti->second, static_cast<std::uint8_t>(kind)});
+  ++kind_counts_[static_cast<std::size_t>(kind)];
+}
+
+ReplayGraph GraphCapture::finish() {
+  if (finished_) {
+    throw std::logic_error("oss::GraphCapture::finish: already finished");
+  }
+  finished_ = true;
+
+  ReplayGraph g;
+  const std::size_t n = held_.size();
+  g.tasks_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const TaskPtr& t = held_[i];
+    ReplayGraph::TaskRec& rec = g.tasks_[i];
+    rec.label = t->label();
+    rec.trace_label = t->trace_label();
+    rec.priority = t->priority();
+    rec.home_node = t->home_node();
+    rec.home_soft = t->home_soft();
+    rec.lock_begin = static_cast<std::uint32_t>(g.locks_.size());
+    for (const auto& m : t->exclusion_locks()) g.locks_.push_back(m);
+    rec.lock_end = static_cast<std::uint32_t>(g.locks_.size());
+  }
+
+  // Predecessor counts are the in-degree over the *captured* edges — not a
+  // read of the live atomics, so the frozen structure is internally
+  // consistent by construction.  Successor lists are a counting sort of the
+  // same edges into one CSR array.
+  for (const ReplayGraph::EdgeRec& e : edges_) ++g.tasks_[e.to].preds;
+  std::vector<std::uint32_t> deg(n, 0);
+  for (const ReplayGraph::EdgeRec& e : edges_) ++deg[e.from];
+  std::uint32_t off = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    g.tasks_[i].succ_begin = off;
+    g.tasks_[i].succ_end = off; // fill cursor, bumped below
+    off += deg[i];
+  }
+  g.succ_idx_.resize(edges_.size());
+  for (const ReplayGraph::EdgeRec& e : edges_) {
+    g.succ_idx_[g.tasks_[e.from].succ_end++] = e.to;
+  }
+
+  g.edges_ = std::move(edges_);
+  for (std::size_t k = 0; k < 4; ++k) g.kind_counts_[k] = kind_counts_[k];
+  g.tables_ = std::move(tables_);
+  g.owner_ = &rt_;
+  g.owner_serial_ = rt_.serial_;
+
+  // Close the scope *before* releasing: tasks spawned from the released
+  // bodies (nested spawns are legal once execution starts) must not be
+  // recorded into the now-frozen capture.
+  rt_.capture_.store(nullptr, std::memory_order_release);
+  rt_.capture_release(held_);
+  held_.clear();
+  index_.clear();
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// ReplayGraph
+// ---------------------------------------------------------------------------
+
+std::vector<ReplayGraph::Edge> ReplayGraph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(edges_.size());
+  for (const EdgeRec& e : edges_) {
+    out.push_back(Edge{e.from, e.to, static_cast<DepKind>(e.kind)});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Runtime halves
+// ---------------------------------------------------------------------------
+
+void Runtime::capture_release(const std::vector<TaskPtr>& held) {
+  if (held.empty()) return;
+  const int worker = (Runtime::current() == this) ? Runtime::current_worker()
+                                                  : -1;
+  std::vector<TaskPtr> ready;
+  ready.reserve(held.size());
+  std::uint64_t ready_now = 0; // one clock read shared by the release burst
+  for (const TaskPtr& t : held) {
+    // Same protocol as the spawn-guard release: acq_rel pairs with the
+    // producers' decrements, and whoever zeroes preds owns the Ready
+    // transition — here that is always this thread (nothing has executed
+    // yet), but the ordering contract is identical.
+    if (t->preds.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      if (prof_) {
+        if (ready_now == 0) ready_now = ProfSystem::clock();
+        t->set_ready_ts(ready_now);
+      }
+      t->set_state(TaskState::Ready);
+      if (trace_) trace_->emit_ready(t->id());
+      ready.push_back(t);
+    }
+  }
+  publish_ready_batch(ready, worker);
+}
+
+void Runtime::publish_ready_batch(std::vector<TaskPtr>& ready, int worker) {
+  if (ready.empty()) return;
+  const std::size_t gates = idle_gates_.size();
+  if (gates == 1) {
+    const std::size_t count = ready.size();
+    for (TaskPtr& s : ready) {
+      scheduler_->enqueue_spawned(std::move(s), worker);
+    }
+    wake_workers(count, 0);
+  } else {
+    // Node-gate bucketing, same shape as the on_finished burst: each
+    // bucket's wakeup starts at the gate whose workers own the data.
+    constexpr std::size_t kInlineGates = 16;
+    std::size_t inline_counts[kInlineGates] = {};
+    std::vector<std::size_t> spill;
+    if (gates > kInlineGates) spill.resize(gates, 0);
+    std::size_t* per_gate = gates > kInlineGates ? spill.data() : inline_counts;
+    const std::size_t fallback_gate = gate_index(worker);
+    for (TaskPtr& s : ready) {
+      const int home = s->home_node();
+      const std::size_t g =
+          (home >= 0 && static_cast<std::size_t>(home) < gates)
+              ? static_cast<std::size_t>(home)
+              : fallback_gate;
+      ++per_gate[g];
+      scheduler_->enqueue_spawned(std::move(s), worker);
+    }
+    for (std::size_t g = 0; g < gates; ++g) {
+      if (per_gate[g] > 0) wake_workers(per_gate[g], static_cast<int>(g));
+    }
+  }
+  if (blocked_waiters_.load(std::memory_order_acquire) > 0) {
+    std::lock_guard lock(cv_mu_);
+    cv_.notify_all();
+  }
+}
+
+void Runtime::replay(const ReplayGraph& graph,
+                     const std::function<Task::Fn(std::size_t)>& binder) {
+  if (!graph.valid() || graph.owner_ != this ||
+      graph.owner_serial_ != serial_) {
+    throw std::invalid_argument(
+        "oss::Runtime::replay: graph was not captured by this runtime "
+        "instance (a graph does not survive a runtime restart — re-capture)");
+  }
+  if (!binder) {
+    throw std::invalid_argument("oss::Runtime::replay: empty binder");
+  }
+  if (capture_.load(std::memory_order_relaxed) != nullptr) {
+    throw std::logic_error(
+        "oss::Runtime::replay: cannot replay inside a capture scope");
+  }
+  const std::size_t n = graph.tasks_.size();
+  if (n == 0) return;
+
+  // Thread-local scratch (capacity survives across replays, and two threads
+  // replaying disjoint graphs concurrently never share a buffer): the
+  // warmed steady state allocates nothing here.
+  static thread_local std::vector<TaskPtr> tl_created;
+  static thread_local std::vector<TaskPtr> tl_ready;
+  std::vector<TaskPtr>& created = tl_created;
+  std::vector<TaskPtr>& ready = tl_ready;
+  created.clear();
+  ready.clear();
+  created.reserve(n);
+
+  // Phase 1: create every task, pre-wired from the frozen structure — no
+  // DepDomain shard is ever visited (no interval-map lookup, no shard lock,
+  // no register_task): predecessor counts are stored directly and successor
+  // lists are array-copied below.  Nothing is published yet, so plain
+  // writes to `successors` (no succ_mu_, no per-edge preds increments) are
+  // legal: the queue handshake (roots) or the preds release sequence
+  // (interior tasks) orders them for the executing worker.
+  for (std::size_t i = 0; i < n; ++i) {
+    const ReplayGraph::TaskRec& rec = graph.tasks_[i];
+    const std::uint64_t id =
+        next_task_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+    Task::Fn fn = binder(i);
+    TaskPtr task;
+    if (cfg_.pool) {
+      const pool::AcquireResult a = pool::acquire();
+      stats_.on_pool_acquire(a.recycled);
+      a.task->prepare(id, std::move(fn), root_ctx_, rec.label);
+      task = TaskPtr::adopt(a.task);
+    } else {
+      task = TaskPtr::adopt(
+          new Task(id, std::move(fn), AccessList{}, root_ctx_, rec.label));
+    }
+    task->set_priority(rec.priority);
+    root_ctx_->live_children.fetch_add(1, std::memory_order_acq_rel);
+    pending_.fetch_add(1, std::memory_order_acq_rel);
+    if (graph_) graph_->add_node(id, task->label());
+    // The interned label hash travels with the graph: a warmed replay loop
+    // performs zero TraceSystem/ProfSystem::intern calls (test_replay.cpp
+    // asserts this through the intern_calls counters).
+    task->set_trace_label(rec.trace_label);
+    if (prof_) task->set_spawn_ts(ProfSystem::clock());
+    for (std::uint32_t k = rec.lock_begin; k < rec.lock_end; ++k) {
+      task->add_exclusion_lock(graph.locks_[k]);
+    }
+    if (rec.home_node >= 0 && !topo_.single_node()) {
+      task->set_home_node(rec.home_node, rec.home_soft);
+    }
+    // Captured in-degree plus the usual spawn guard, held until phase 2 so
+    // no task can become ready while its successor list is still being
+    // wired.
+    task->preds.store(1 + static_cast<int>(rec.preds),
+                      std::memory_order_relaxed);
+    created.push_back(std::move(task));
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const ReplayGraph::TaskRec& rec = graph.tasks_[i];
+    Task* const t = created[i].get();
+    for (std::uint32_t k = rec.succ_begin; k < rec.succ_end; ++k) {
+      t->successors.push_back(created[graph.succ_idx_[k]]);
+    }
+  }
+
+  if (graph_) {
+    for (const ReplayGraph::EdgeRec& e : graph.edges_) {
+      graph_->add_edge(created[e.from]->id(), created[e.to]->id(),
+                       static_cast<DepKind>(e.kind));
+    }
+  }
+  // Edge totals were counted once at capture; a replay adds them in four
+  // bulk adds instead of one sink callback per edge.
+  stats_.add_edges(graph.kind_counts_[0], graph.kind_counts_[1],
+                   graph.kind_counts_[2], graph.kind_counts_[3]);
+  stats_.on_replay(n);
+
+  // Phase 2: release the spawn guards in capture order and batch-publish
+  // the roots.  No guard release can make an *unwired* task ready — every
+  // successor list was completed above, and nothing executes before the
+  // publish below enqueues the first root.
+  const int worker = (Runtime::current() == this) ? Runtime::current_worker()
+                                                  : -1;
+  for (std::size_t i = 0; i < n; ++i) {
+    TaskPtr& t = created[i];
+    const bool is_ready =
+        t->preds.fetch_sub(1, std::memory_order_acq_rel) == 1;
+    if (is_ready) {
+      t->set_state(TaskState::Ready);
+      // Ready at submission: no dependency wait (ready_ts == spawn_ts).
+      if (prof_) t->set_ready_ts(t->spawn_ts());
+    }
+    if (trace_) trace_->emit_spawn(t->id(), t->trace_label(), is_ready);
+    if (is_ready) ready.push_back(std::move(t));
+  }
+  publish_ready_batch(ready, worker);
+  created.clear();
+  ready.clear();
+}
+
+} // namespace oss

@@ -14,9 +14,17 @@
 
 #include "ompss/numa_alloc.hpp"
 #include "ompss/pinning.hpp"
+#include "ompss/replay.hpp"
 #include "ompss/task_pool.hpp"
 
 namespace oss {
+
+namespace {
+/// Runtime construction serial (Runtime::serial_): lets a ReplayGraph
+/// reject replay against any runtime other than the live instance that
+/// captured it, including a restart reusing the same address.
+std::atomic<std::uint64_t> g_runtime_serial{0};
+} // namespace
 
 // ---------------------------------------------------------------------------
 // Thread-local binding: which runtime/worker/task the current thread is in.
@@ -135,6 +143,7 @@ Runtime::Runtime(RuntimeConfig cfg)
                                    cfg.steal_tries, topo_, cfg.numa,
                                    cfg.pressure)),
       stats_(num_threads_) {
+  serial_ = g_runtime_serial.fetch_add(1, std::memory_order_relaxed) + 1;
   pool_overflow_base_ = pool::overflow_total();
   // Built once, not per spawn: the sink is the same closure for the life
   // of the runtime and EdgeSink is a std::function (capture copy + possible
@@ -147,6 +156,12 @@ Runtime::Runtime(RuntimeConfig cfg)
       case DepKind::Explicit: stats_.on_edge_explicit(); break;
     }
     if (graph_) graph_->add_edge(from->id(), to->id(), kind);
+    // Capture hook: edges discovered while a GraphCapture scope is open
+    // are recorded into the scope (registration runs on the capturing
+    // thread, so the relaxed load observes the scope it opened itself).
+    if (GraphCapture* cap = capture_.load(std::memory_order_relaxed)) {
+      cap->on_edge(from, to, kind);
+    }
   };
   if (cfg_.record_graph) graph_ = std::make_unique<GraphRecorder>();
   if (cfg_.resolved_trace_mode() != TraceMode::Off) {
@@ -463,6 +478,24 @@ std::uint64_t Runtime::spawn(AccessList accesses, Task::Fn fn, TaskOptions opts)
 TaskHandle Runtime::spawn_task(TaskSpec spec, Task::Fn fn) {
   ContextPtr ctx = spec.context ? std::move(spec.context)
                                 : current_spawn_context();
+  // Capture scope (oss::replay): tasks spawned while a GraphCapture is
+  // open are recorded and *held* — validated up front so a rejected spawn
+  // leaves no bookkeeping behind.  Undeferred (`if(0)`) tasks would
+  // deadlock against their own hold predecessor, and non-root contexts
+  // (TaskGroup / nested spawns) cannot be reproduced by replay, which
+  // always re-submits into the root context.
+  GraphCapture* const cap = capture_.load(std::memory_order_relaxed);
+  if (cap != nullptr) {
+    if (!spec.deferred) {
+      throw std::logic_error(
+          "oss::GraphCapture: undeferred (if(0)) tasks cannot be captured");
+    }
+    if (ctx != root_ctx_) {
+      throw std::logic_error(
+          "oss::GraphCapture: only root-context tasks can be captured (no "
+          "TaskGroup or nested spawns inside a capture scope)");
+    }
+  }
   const std::uint64_t id =
       next_task_id_.fetch_add(1, std::memory_order_relaxed) + 1;
   TaskPtr task;
@@ -502,6 +535,12 @@ TaskHandle Runtime::spawn_task(TaskSpec spec, Task::Fn fn) {
   // publish twice) a half-registered task.  Released below; whoever brings
   // preds to zero — this thread or a finisher — owns the Ready transition.
   task->preds.store(1, std::memory_order_relaxed);
+
+  // Record into the open capture scope *before* registration: on_spawn
+  // assigns the capture index (so on_edge can resolve the consumer) and
+  // adds the hold predecessor that keeps the whole iteration parked until
+  // GraphCapture::finish().
+  if (cap != nullptr) cap->on_spawn(task);
 
   const RegisterReceipt receipt =
       ctx->domain().register_task(task, edge_sink_, trace_.get());

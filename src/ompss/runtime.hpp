@@ -62,6 +62,8 @@
 namespace oss {
 
 class TaskBuilder;
+class GraphCapture;
+class ReplayGraph;
 
 /// Per-spawn options (the OmpSs task clauses beyond the access list).
 struct TaskOptions {
@@ -134,6 +136,23 @@ class Runtime {
 
   /// Legacy spawn with full task options (shim over `spawn_task`).
   std::uint64_t spawn(AccessList accesses, Task::Fn fn, TaskOptions opts);
+
+  /// Re-submits a captured iteration (oss::replay, docs/replay.md) without
+  /// touching any dependency shard: tasks are drawn from the pool with
+  /// their predecessor counts pre-stored and successor lists pre-wired
+  /// from the graph's CSR arrays, and ready roots are batch-enqueued
+  /// through the node-aware wakeup path.  `binder(i)` supplies the body
+  /// for task index `i` (capture order) — re-bound on every replay so
+  /// buffers/frame data can change between iterations.  Returns after
+  /// submission; pair with taskwait()/barrier() like any spawn burst.
+  ///
+  /// Throws std::invalid_argument when `graph` is empty or was captured by
+  /// a different runtime (including an earlier, since-destroyed instance —
+  /// re-capture after a runtime restart), std::invalid_argument when
+  /// `binder` is empty.  Safe to call concurrently from several threads
+  /// with disjoint graphs.
+  void replay(const ReplayGraph& graph,
+              const std::function<Task::Fn(std::size_t)>& binder);
 
   /// Waits until all *direct children* of the current context finished.
   /// Rethrows the first exception any of them threw.
@@ -287,6 +306,8 @@ class Runtime {
   struct ThreadBinding;
 
  private:
+  friend class GraphCapture;
+
   void worker_loop(int wid);
   /// OSS_PIN: binds every worker thread (including the owning thread,
   /// worker 0) to its pinning target, intersected with the process
@@ -328,8 +349,32 @@ class Runtime {
   /// Polls (executing tasks) or blocks until `done()` returns true.
   void wait_until(const std::function<bool()>& done);
 
+  /// Releases a captured iteration's hold predecessors in capture order
+  /// (GraphCapture::finish / abandoning destructor): tasks whose count
+  /// reaches zero become Ready and are batch-enqueued.  Defined in
+  /// replay.cpp alongside Runtime::replay.
+  void capture_release(const std::vector<TaskPtr>& held);
+
+  /// Enqueues a burst of already-Ready tasks and wakes min(N, parked)
+  /// workers, bucketed by home-node gate on multi-node topologies — the
+  /// batch half of the node-aware wakeup path, shared by capture_release
+  /// and replay.  Defined in replay.cpp.
+  void publish_ready_batch(std::vector<TaskPtr>& ready, int worker);
+
   RuntimeConfig cfg_;
   std::size_t num_threads_;
+
+  /// Process-wide construction serial (monotonic).  ReplayGraph remembers
+  /// the serial of the runtime that captured it, so replay against a
+  /// *restarted* runtime — even one constructed at the same address — is
+  /// rejected instead of replaying stale structure (docs/replay.md).
+  std::uint64_t serial_ = 0;
+
+  /// Open capture scope, or null.  Written by GraphCapture's constructor/
+  /// destructor on the capturing thread; read on every spawn.  A capture
+  /// scope is single-threaded by contract, but unrelated threads may spawn
+  /// into other runtimes concurrently — hence the atomic.
+  std::atomic<GraphCapture*> capture_{nullptr};
 
   // There is deliberately no runtime-wide graph mutex: dependency state is
   // sharded inside each context's DepDomain (docs/dependencies.md), and

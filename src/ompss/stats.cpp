@@ -25,6 +25,8 @@ StatsSnapshot Stats::snapshot() const {
   s.dep_single_shard = dep_single_shard_.load(std::memory_order_relaxed);
   s.dep_multi_shard = dep_multi_shard_.load(std::memory_order_relaxed);
   s.dep_contended = dep_contended_.load(std::memory_order_relaxed);
+  s.replayed_tasks = replayed_tasks_.load(std::memory_order_relaxed);
+  s.replay_graphs = replay_graphs_.load(std::memory_order_relaxed);
   s.taskwaits = taskwaits_.load(std::memory_order_relaxed);
   s.barriers = barriers_.load(std::memory_order_relaxed);
   s.tasks_recycled = tasks_recycled_.load(std::memory_order_relaxed);
@@ -49,6 +51,7 @@ std::string StatsSnapshot::to_string() const {
      << "deps: single-shard=" << dep_single_shard
      << " multi-shard=" << dep_multi_shard
      << " contended=" << dep_contended << '\n'
+     << "replay: graphs=" << replay_graphs << " tasks=" << replayed_tasks << '\n'
      << "waits: taskwait=" << taskwaits << " barrier=" << barriers << '\n'
      << "trace: dropped=" << trace_dropped << '\n'
      << "pool: recycled=" << tasks_recycled << " misses=" << pool_misses
@@ -66,7 +69,8 @@ std::string StatsSnapshot::footer(const std::string& tag) const {
      << " (local=" << tasks_local << " remote=" << tasks_remote
      << ") steals=" << steals << " parks=" << parks
      << " deps(single=" << dep_single_shard << " multi=" << dep_multi_shard
-     << " contended=" << dep_contended << ") overflow=" << overflow_placements
+     << " contended=" << dep_contended << " replayed=" << replayed_tasks
+     << ") overflow=" << overflow_placements
      << " pool(recycled=" << tasks_recycled << " misses=" << pool_misses
      << " overflow=" << pool_overflow << ")"
      << " trace_dropped=" << trace_dropped;

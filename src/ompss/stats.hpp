@@ -45,6 +45,12 @@ struct StatsSnapshot {
                                       ///< (sorted multi-lock path)
   std::uint64_t dep_contended = 0;    ///< registrations that found ≥1 shard
                                       ///< lock held by another spawner
+  std::uint64_t replayed_tasks = 0; ///< tasks submitted by Runtime::replay —
+                                    ///< spawned with zero DepDomain visits
+                                    ///< (subset of tasks_spawned; the
+                                    ///< dep-domain-bypass proof of
+                                    ///< docs/replay.md)
+  std::uint64_t replay_graphs = 0;  ///< Runtime::replay invocations
   std::uint64_t taskwaits = 0;
   std::uint64_t barriers = 0;
   std::uint64_t trace_dropped = 0; ///< trace events lost to ring overflow
@@ -116,6 +122,24 @@ class Stats {
   }
   void on_taskwait() { inc(taskwaits_); }
   void on_barrier() { inc(barriers_); }
+  /// One Runtime::replay submission of `tasks` tasks.  Replayed tasks count
+  /// as spawned (they are), but touch neither dep_single_shard_ nor
+  /// dep_multi_shard_ — the counter gap is what proves the bypass.
+  void on_replay(std::uint64_t tasks) {
+    replay_graphs_.fetch_add(1, std::memory_order_relaxed);
+    replayed_tasks_.fetch_add(tasks, std::memory_order_relaxed);
+    tasks_spawned_.fetch_add(tasks, std::memory_order_relaxed);
+  }
+  /// Bulk edge accounting for a replayed graph (per-kind totals were
+  /// counted once at capture; a replay adds them in four adds instead of
+  /// one callback per edge).
+  void add_edges(std::uint64_t raw, std::uint64_t war, std::uint64_t waw,
+                 std::uint64_t expl) {
+    if (raw) edges_raw_.fetch_add(raw, std::memory_order_relaxed);
+    if (war) edges_war_.fetch_add(war, std::memory_order_relaxed);
+    if (waw) edges_waw_.fetch_add(waw, std::memory_order_relaxed);
+    if (expl) edges_explicit_.fetch_add(expl, std::memory_order_relaxed);
+  }
   /// One pooled-task acquisition: recycled (pool hit) or a fresh slab
   /// allocation (pool miss).  Not called when OSS_POOL=off.
   void on_pool_acquire(bool recycled) {
@@ -146,6 +170,8 @@ class Stats {
   Counter dep_single_shard_{0};
   Counter dep_multi_shard_{0};
   Counter dep_contended_{0};
+  Counter replayed_tasks_{0};
+  Counter replay_graphs_{0};
   Counter taskwaits_{0};
   Counter barriers_{0};
   Counter tasks_recycled_{0};

@@ -127,6 +127,7 @@ TraceSystem::Ring* TraceSystem::ring_slow() {
 }
 
 std::uint32_t TraceSystem::intern(const std::string& label) {
+  intern_calls_.fetch_add(1, std::memory_order_relaxed);
   if (label.empty()) return 0;
   const std::uint32_t h = fnv1a(label);
   // Small per-thread cache of hashes this thread already registered — the

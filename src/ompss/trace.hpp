@@ -224,6 +224,14 @@ class TraceSystem {
   /// repeated-label case (the normal one) lock-free.
   std::uint32_t intern(const std::string& label);
 
+  /// Total intern() invocations (including empty-label and cache-hit
+  /// calls).  Replayed tasks reuse the hash interned at capture, so a
+  /// warmed replay loop leaves this counter flat — the zero-interning
+  /// proof in test_replay.cpp.
+  [[nodiscard]] std::uint64_t intern_calls() const noexcept {
+    return intern_calls_.load(std::memory_order_relaxed);
+  }
+
   // --- cold side ----------------------------------------------------------
 
   /// A drained event: ring row id plus the raw record with tick fields
@@ -315,6 +323,8 @@ class TraceSystem {
   // Calibration origin: (ticks, wall) sampled at construction.
   std::uint64_t t0_ticks_;
   std::chrono::steady_clock::time_point t0_wall_;
+
+  std::atomic<std::uint64_t> intern_calls_{0};
 
   mutable std::mutex mu_; ///< guards ring registration, labels_, the store,
                           ///< and the consumer side of every ring

@@ -1,0 +1,714 @@
+// oss::replay (graph capture + replay, docs/replay.md):
+//
+//   * edge-multiset parity — the captured structure must equal a direct,
+//     deterministic DepDomain registration of the same program, across
+//     OSS_DEP_SHARDS ∈ {1, 8} × OSS_POOL ∈ {on, off}
+//   * the dep-domain bypass proof — a warmed replay performs zero
+//     register_task calls (the dep_single/multi_shard counters stay flat)
+//   * binder rebinding, throwing bodies, runtime-restart rejection,
+//     concurrent replay of disjoint graphs, capture-scope contract errors
+//   * observability parity — replayed tasks still emit Spawn/Ready/RunSpan
+//     trace events and profile rows while performing zero label interning
+//   * the zero-allocation proof for the warmed replay loop (same operator
+//     new interposer as test_task_pool.cpp; compiled out under sanitizers)
+#include "ompss/ompss.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/opgraph/opgraph_app.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "env_config.hpp"
+
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define OSS_REPLAY_TEST_SANITIZED 1
+#endif
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define OSS_REPLAY_TEST_SANITIZED 1
+#endif
+#endif
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+std::atomic<bool> g_counting{false};
+
+void count_alloc() {
+  if (g_counting.load(std::memory_order_relaxed))
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+}
+} // namespace
+
+#ifndef OSS_REPLAY_TEST_SANITIZED
+
+namespace {
+void* counted_alloc(std::size_t n) {
+  count_alloc();
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_aligned_alloc(std::size_t n, std::size_t align) {
+  count_alloc();
+  if (align < sizeof(void*)) align = sizeof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, align, n ? n : align) != 0) throw std::bad_alloc();
+  return p;
+}
+} // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  count_alloc();
+  return std::malloc(n ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  count_alloc();
+  return std::malloc(n ? n : 1);
+}
+void* operator new(std::size_t n, std::align_val_t a) {
+  return counted_aligned_alloc(n, static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return counted_aligned_alloc(n, static_cast<std::size_t>(a));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+#endif // !OSS_REPLAY_TEST_SANITIZED
+
+namespace {
+
+using oss::Access;
+using oss::DepKind;
+using oss::GraphCapture;
+using oss::ReplayGraph;
+using oss::Runtime;
+using oss::RuntimeConfig;
+
+constexpr bool interposer_active() {
+#ifdef OSS_REPLAY_TEST_SANITIZED
+  return false;
+#else
+  return true;
+#endif
+}
+
+template <class F>
+std::uint64_t count_allocs(F&& fn) {
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_seq_cst);
+  fn();
+  g_counting.store(false, std::memory_order_seq_cst);
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Parity program: a heterogeneous access mix over a few variables —
+// writers, double readers, read-modify-writers, a fan-in reduction, and a
+// commutative pair — declared once and driven through both the direct
+// DepDomain path (deterministic reference) and the capture path.
+// ---------------------------------------------------------------------------
+
+struct ProgramTask {
+  std::string label;
+  oss::AccessList accesses;
+};
+
+struct ParityBuffers {
+  std::array<double, 4> x{};
+  double sum = 0;
+  double comm = 0;
+};
+
+std::vector<ProgramTask> parity_program(ParityBuffers& b) {
+  std::vector<ProgramTask> prog;
+  for (std::size_t v = 0; v < b.x.size(); ++v) {
+    prog.push_back({"w", {oss::out(b.x[v])}});
+    prog.push_back({"r1", {oss::in(b.x[v])}});
+    prog.push_back({"r2", {oss::in(b.x[v])}});
+    prog.push_back({"w2", {oss::inout(b.x[v])}});
+  }
+  oss::AccessList fan;
+  for (std::size_t v = 0; v < b.x.size(); ++v) fan.push_back(oss::in(b.x[v]));
+  fan.push_back(oss::out(b.sum));
+  prog.push_back({"fan", std::move(fan)});
+  prog.push_back({"c1", {oss::commutative(b.comm)}});
+  prog.push_back({"c2", {oss::commutative(b.comm)}});
+  return prog;
+}
+
+using EdgeTuple = std::tuple<std::uint32_t, std::uint32_t, int>;
+
+/// Deterministic reference: registers the program straight into a fresh
+/// DepDomain without ever finishing a task — exactly the situation the
+/// capture hold-guard creates — and collects the discovered edge multiset
+/// in program-index space.
+std::vector<EdgeTuple> reference_edges(const std::vector<ProgramTask>& prog,
+                                       std::size_t shards, bool pooled) {
+  auto ctx = std::make_shared<oss::TaskContext>(shards, pooled);
+  std::vector<oss::TaskPtr> tasks;
+  std::unordered_map<std::uint64_t, std::uint32_t> index;
+  std::vector<EdgeTuple> edges;
+  const oss::EdgeSink sink = [&](const oss::TaskPtr& from,
+                                 const oss::TaskPtr& to, DepKind kind) {
+    edges.emplace_back(index.at(from->id()), index.at(to->id()),
+                       static_cast<int>(kind));
+  };
+  for (std::size_t i = 0; i < prog.size(); ++i) {
+    // Null parent context: the domain keeps TaskPtr references, and a task
+    // holding its context back would be a leak cycle in this harness.
+    oss::TaskPtr t = oss::make_task(i + 1, [] {}, prog[i].accesses,
+                                    oss::ContextPtr{}, prog[i].label);
+    index.emplace(t->id(), static_cast<std::uint32_t>(i));
+    t->preds.store(1, std::memory_order_relaxed); // registration guard
+    ctx->domain().register_task(t, sink);
+    tasks.push_back(std::move(t));
+  }
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+/// The same program spawned through the builder inside a capture scope;
+/// returns the frozen graph's edge multiset (capture-index space == program
+/// index space, spawns happen in program order).
+std::vector<EdgeTuple> captured_edges(const std::vector<ProgramTask>& prog,
+                                      RuntimeConfig cfg) {
+  Runtime rt(cfg);
+  GraphCapture cap(rt);
+  for (const ProgramTask& pt : prog) {
+    oss::TaskSpec spec;
+    for (const Access& a : pt.accesses) spec.accesses.push_back(a);
+    spec.label = pt.label;
+    rt.spawn_task(std::move(spec), [] {});
+  }
+  ReplayGraph g = cap.finish();
+  rt.taskwait();
+  std::vector<EdgeTuple> edges;
+  for (const ReplayGraph::Edge& e : g.edges()) {
+    edges.emplace_back(e.from, e.to, static_cast<int>(e.kind));
+  }
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+RuntimeConfig replay_config(std::size_t threads, std::size_t shards,
+                            bool pool) {
+  RuntimeConfig cfg = oss_test::env_config(threads);
+  cfg.dep_shards = shards;
+  cfg.pool = pool;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Edge-multiset parity across the shard × pool matrix
+// ---------------------------------------------------------------------------
+
+TEST(Replay, EdgeMultisetParityAcrossShardAndPoolConfigs) {
+  ParityBuffers b;
+  const std::vector<ProgramTask> prog = parity_program(b);
+  const std::vector<EdgeTuple> ref = reference_edges(prog, 1, false);
+  ASSERT_FALSE(ref.empty());
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{8}}) {
+    for (const bool pool : {true, false}) {
+      SCOPED_TRACE("shards=" + std::to_string(shards) +
+                   " pool=" + std::to_string(pool));
+      // The reference itself must not depend on the config either.
+      EXPECT_EQ(reference_edges(prog, shards, pool), ref);
+      EXPECT_EQ(captured_edges(prog, replay_config(2, shards, pool)), ref);
+    }
+  }
+}
+
+TEST(Replay, CapturedGraphStructureMatchesProgram) {
+  ParityBuffers b;
+  const std::vector<ProgramTask> prog = parity_program(b);
+  Runtime rt(replay_config(1, 8, true));
+  GraphCapture cap(rt);
+  for (const ProgramTask& pt : prog) {
+    oss::TaskSpec spec;
+    for (const Access& a : pt.accesses) spec.accesses.push_back(a);
+    spec.label = pt.label;
+    rt.spawn_task(std::move(spec), [] {});
+  }
+  EXPECT_EQ(cap.captured(), prog.size());
+  ReplayGraph g = cap.finish();
+  rt.taskwait();
+  ASSERT_EQ(g.size(), prog.size());
+  for (std::size_t i = 0; i < prog.size(); ++i) {
+    EXPECT_EQ(g.label(i), prog[i].label);
+  }
+  // In-degrees must account for every captured edge.
+  std::size_t pred_sum = 0;
+  for (std::size_t i = 0; i < g.size(); ++i) pred_sum += g.pred_count(i);
+  EXPECT_EQ(pred_sum, g.edge_count());
+  // The capture tables render like any recorded graph.
+  EXPECT_NE(g.to_dot().find("digraph"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Replay execution: bypass proof, data parity, binder rebinding
+// ---------------------------------------------------------------------------
+
+TEST(Replay, WarmedReplayBypassesDepDomainAndCountsReplayedTasks) {
+  Runtime rt(replay_config(2, 8, true));
+  std::array<std::uint64_t, 4> a{}, c{};
+  ReplayGraph g;
+  {
+    GraphCapture cap(rt);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      rt.task("produce").out(a[i]).spawn([&a, i] { a[i] += 1; });
+      rt.task("consume").in(a[i]).out(c[i]).spawn([&a, &c, i] {
+        c[i] = a[i] * 10;
+      });
+    }
+    g = cap.finish();
+  }
+  rt.taskwait();
+  const auto binder = [&](std::size_t i) -> oss::Task::Fn {
+    const std::size_t slot = i / 2;
+    if (i % 2 == 0) return [&a, slot] { a[slot] += 1; };
+    return [&a, &c, slot] { c[slot] = a[slot] * 10; };
+  };
+
+  rt.replay(g, binder); // warm the pool / scratch
+  rt.taskwait();
+
+  const oss::StatsSnapshot before = rt.stats();
+  rt.replay(g, binder);
+  rt.taskwait();
+  const oss::StatsSnapshot after = rt.stats();
+
+  // The bypass proof: a warmed replay registers nothing in any dependency
+  // shard — both shard counters stay exactly flat — while the replay
+  // counters account for every submitted task.
+  EXPECT_EQ(after.dep_single_shard, before.dep_single_shard);
+  EXPECT_EQ(after.dep_multi_shard, before.dep_multi_shard);
+  EXPECT_EQ(after.replayed_tasks, before.replayed_tasks + g.size());
+  EXPECT_EQ(after.replay_graphs, before.replay_graphs + 1);
+  EXPECT_EQ(after.tasks_spawned, before.tasks_spawned + g.size());
+  EXPECT_EQ(after.tasks_executed, before.tasks_executed + g.size());
+  // Bulk edge accounting: one capture's worth of edges per replay.
+  EXPECT_EQ(after.edges_total(), before.edges_total() + g.edge_count());
+
+  // Data parity: capture + 2 replays = every producer ran 3 times, and
+  // each consumer observed its producer's current value (the dependency
+  // held on every replay).
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], 3u);
+    EXPECT_EQ(c[i], 30u);
+  }
+}
+
+TEST(Replay, BinderRebindsPerIterationData) {
+  Runtime rt(oss_test::env_config(2));
+  std::array<int, 8> out{};
+  int scale = 1;
+  ReplayGraph g;
+  {
+    GraphCapture cap(rt);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      rt.task("fill").out(out[i]).spawn([&out, i, scale] {
+        out[i] = static_cast<int>(i) * scale;
+      });
+    }
+    g = cap.finish();
+  }
+  rt.taskwait();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], static_cast<int>(i));
+  }
+  // Each replay re-binds the bodies against the *current* scale — replay
+  // reuses structure, never stale closures.
+  for (int s : {10, 100}) {
+    scale = s;
+    rt.replay(g, [&](std::size_t i) -> oss::Task::Fn {
+      return [&out, i, s = scale] { out[i] = static_cast<int>(i) * s; };
+    });
+    rt.taskwait();
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i], static_cast<int>(i) * s);
+    }
+  }
+}
+
+TEST(Replay, ReplayedDependenciesConstrainExecutionOrder) {
+  // A strict chain: every link checks its predecessor's value is already
+  // in place.  Any broken replay wiring shows up as a zero read.
+  Runtime rt(oss_test::env_config(4));
+  constexpr int kLen = 64;
+  std::array<std::uint64_t, kLen> v{};
+  ReplayGraph g;
+  {
+    GraphCapture cap(rt);
+    for (int i = 0; i < kLen; ++i) {
+      if (i == 0) {
+        rt.task("head").out(v[0]).spawn([&v] { v[0] += 1; });
+      } else {
+        rt.task("link").in(v[i - 1]).out(v[i]).spawn(
+            [&v, i] { v[i] = v[i - 1] + 1; });
+      }
+    }
+    g = cap.finish();
+  }
+  rt.taskwait();
+  const auto binder = [&](std::size_t i) -> oss::Task::Fn {
+    if (i == 0) return [&v] { v[0] += 1; };
+    return [&v, i] { v[i] = v[i - 1] + 1; };
+  };
+  for (int r = 0; r < 10; ++r) {
+    rt.replay(g, binder);
+    rt.taskwait();
+  }
+  // 11 total runs of the chain; head accumulated once per run.
+  for (int i = 0; i < kLen; ++i) {
+    EXPECT_EQ(v[i], static_cast<std::uint64_t>(11 + i));
+  }
+}
+
+TEST(Replay, CommutativeExclusionSurvivesReplay) {
+  // The captured commutative group keeps mutual exclusion on replay: the
+  // unsynchronized ++ below is exactly the data race the exclusion lock
+  // must prevent (the TSan leg would flag a broken carry-over even when
+  // the final count happens to be right).
+  Runtime rt(oss_test::env_config(4));
+  constexpr int kTasks = 16;
+  std::uint64_t counter = 0;
+  ReplayGraph g;
+  {
+    GraphCapture cap(rt);
+    for (int i = 0; i < kTasks; ++i) {
+      oss::TaskSpec spec;
+      spec.accesses.push_back(oss::commutative(counter));
+      spec.label = "comm";
+      rt.spawn_task(std::move(spec), [&counter] { ++counter; });
+    }
+    g = cap.finish();
+  }
+  rt.taskwait();
+  const auto binder = [&](std::size_t) -> oss::Task::Fn {
+    return [&counter] { ++counter; };
+  };
+  constexpr int kReplays = 8;
+  for (int r = 0; r < kReplays; ++r) {
+    rt.replay(g, binder);
+    rt.taskwait();
+  }
+  EXPECT_EQ(counter, static_cast<std::uint64_t>(kTasks * (kReplays + 1)));
+}
+
+// ---------------------------------------------------------------------------
+// Failure modes
+// ---------------------------------------------------------------------------
+
+TEST(Replay, ThrowingReplayedTaskSurfacesAndRuntimeStaysUsable) {
+  Runtime rt(oss_test::env_config(2));
+  std::array<int, 3> out{};
+  ReplayGraph g;
+  {
+    GraphCapture cap(rt);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      rt.task("t").out(out[i]).spawn([&out, i] { out[i] = 1; });
+    }
+    g = cap.finish();
+  }
+  rt.taskwait();
+
+  rt.replay(g, [&](std::size_t i) -> oss::Task::Fn {
+    if (i == 1) return [] { throw std::runtime_error("replayed boom"); };
+    return [&out, i] { out[i] = 2; };
+  });
+  EXPECT_THROW(rt.taskwait(), std::runtime_error);
+
+  // The runtime survives: ordinary spawns and further replays both work.
+  int x = 0;
+  rt.task("after").out(x).spawn([&x] { x = 7; });
+  rt.taskwait();
+  EXPECT_EQ(x, 7);
+  rt.replay(g, [&](std::size_t i) -> oss::Task::Fn {
+    return [&out, i] { out[i] = 3; };
+  });
+  rt.taskwait();
+  for (int v : out) EXPECT_EQ(v, 3);
+}
+
+TEST(Replay, ReplayAfterRuntimeRestartIsRejected) {
+  ReplayGraph g;
+  {
+    Runtime rt1(oss_test::env_config(1));
+    GraphCapture cap(rt1);
+    int y = 0;
+    rt1.task("t").out(y).spawn([&y] { y = 1; });
+    g = cap.finish();
+    rt1.taskwait();
+    EXPECT_TRUE(g.valid());
+  }
+  // A fresh runtime — even though rt1 is gone and the allocator may reuse
+  // its address, the construction serial tells them apart.
+  Runtime rt2(oss_test::env_config(1));
+  const auto binder = [](std::size_t) -> oss::Task::Fn { return [] {}; };
+  EXPECT_THROW(rt2.replay(g, binder), std::invalid_argument);
+  // Invalid (default-constructed) graphs and empty binders are rejected
+  // before any bookkeeping.
+  EXPECT_THROW(rt2.replay(ReplayGraph{}, binder), std::invalid_argument);
+}
+
+TEST(Replay, CaptureScopeContractViolations) {
+  Runtime rt(oss_test::env_config(1));
+  GraphCapture cap(rt);
+  // Only one scope per runtime at a time.
+  EXPECT_THROW(GraphCapture second(rt), std::logic_error);
+  // Undeferred (if(0)) tasks would deadlock on their own hold predecessor.
+  int x = 0;
+  oss::TaskSpec spec;
+  spec.accesses.push_back(oss::out(x));
+  spec.deferred = false;
+  EXPECT_THROW(rt.spawn_task(std::move(spec), [&x] { x = 1; }),
+               std::logic_error);
+  ReplayGraph g = cap.finish();
+  EXPECT_THROW(cap.finish(), std::logic_error);
+  rt.taskwait();
+}
+
+TEST(Replay, AbandonedCaptureScopeStillRunsTheIteration) {
+  Runtime rt(oss_test::env_config(2));
+  std::atomic<int> ran{0};
+  {
+    GraphCapture cap(rt);
+    for (int i = 0; i < 8; ++i) {
+      rt.task("t").spawn([&ran] { ran.fetch_add(1); });
+    }
+    // No finish(): the scope is abandoned (as if unwinding), the captured
+    // structure discarded — but the held tasks must still execute.
+  }
+  rt.taskwait();
+  EXPECT_EQ(ran.load(), 8);
+  // And the runtime accepts a new scope afterwards.  An empty capture is a
+  // valid zero-task graph whose replay is a no-op.
+  GraphCapture again(rt);
+  ReplayGraph g = again.finish();
+  EXPECT_TRUE(g.valid());
+  EXPECT_EQ(g.size(), 0u);
+  rt.replay(g, [](std::size_t) -> oss::Task::Fn { return [] {}; });
+  rt.taskwait();
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency
+// ---------------------------------------------------------------------------
+
+TEST(Replay, ConcurrentReplayOfDisjointGraphs) {
+  Runtime rt(oss_test::env_config(4));
+  constexpr int kChain = 32;
+  std::array<std::uint64_t, kChain> va{}, vb{};
+
+  const auto capture_chain = [&](std::array<std::uint64_t, kChain>& v) {
+    GraphCapture cap(rt);
+    for (int i = 0; i < kChain; ++i) {
+      if (i == 0) {
+        rt.task("head").out(v[0]).spawn([&v] { v[0] += 1; });
+      } else {
+        rt.task("link").in(v[i - 1]).out(v[i]).spawn(
+            [&v, i] { v[i] = v[i - 1] + 1; });
+      }
+    }
+    ReplayGraph g = cap.finish();
+    rt.taskwait();
+    return g;
+  };
+  ReplayGraph ga = capture_chain(va);
+  ReplayGraph gb = capture_chain(vb);
+
+  const auto binder_for = [](std::array<std::uint64_t, kChain>& v) {
+    return [&v](std::size_t i) -> oss::Task::Fn {
+      if (i == 0) return [&v] { v[0] += 1; };
+      return [&v, i] { v[i] = v[i - 1] + 1; };
+    };
+  };
+
+  constexpr int kRounds = 4;
+  for (int round = 0; round < kRounds; ++round) {
+    // Two foreign threads submit their disjoint graphs concurrently; the
+    // owning thread drains the round at the barrier.
+    std::thread ta([&] { rt.replay(ga, binder_for(va)); });
+    std::thread tb([&] { rt.replay(gb, binder_for(vb)); });
+    ta.join();
+    tb.join();
+    rt.barrier();
+  }
+  for (int i = 0; i < kChain; ++i) {
+    EXPECT_EQ(va[i], static_cast<std::uint64_t>(1 + kRounds + i));
+    EXPECT_EQ(vb[i], static_cast<std::uint64_t>(1 + kRounds + i));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Observability: trace events, profile rows, zero interning
+// ---------------------------------------------------------------------------
+
+TEST(Replay, ReplayedTasksEmitTraceAndProfileWithoutInterning) {
+  RuntimeConfig cfg = oss_test::env_config(2);
+  cfg.trace_mode = oss::TraceMode::Full;
+  cfg.prof = true;
+  Runtime rt(cfg);
+  constexpr std::size_t kTasks = 6;
+  std::array<int, kTasks> out{};
+  ReplayGraph g;
+  {
+    GraphCapture cap(rt);
+    for (std::size_t i = 0; i < kTasks; ++i) {
+      rt.task("replayed_op").out(out[i]).spawn([&out, i] { out[i] = 1; });
+    }
+    g = cap.finish();
+  }
+  rt.taskwait();
+  const auto binder = [&](std::size_t i) -> oss::Task::Fn {
+    return [&out, i] { out[i] = 2; };
+  };
+  rt.replay(g, binder); // warm
+  rt.taskwait();
+
+  oss::TraceSystem* trace = rt.trace_system();
+  oss::ProfSystem* prof = rt.prof_system();
+  ASSERT_NE(trace, nullptr);
+  ASSERT_NE(prof, nullptr);
+
+  const auto count_kinds = [&] {
+    std::size_t spawn = 0, ready = 0, run = 0;
+    for (const auto& m : trace->merged_events()) {
+      if (m.ev.kind == oss::TraceEventKind::Spawn) ++spawn;
+      if (m.ev.kind == oss::TraceEventKind::Ready) ++ready;
+      if (m.ev.kind == oss::TraceEventKind::RunSpan) ++run;
+    }
+    return std::tuple{spawn, ready, run};
+  };
+
+  const auto [spawn0, ready0, run0] = count_kinds();
+  const std::uint64_t interns0 = trace->intern_calls() + prof->intern_calls();
+  const std::uint64_t profile_count0 = rt.profile().tasks;
+
+  rt.replay(g, binder);
+  rt.taskwait();
+
+  const auto [spawn1, ready1, run1] = count_kinds();
+  // Replayed tasks show up in the trace like any other task: one Spawn per
+  // task, one RunSpan per execution, Ready transitions for the non-roots
+  // (roots are ready at submission — their Spawn event carries the flag).
+  EXPECT_EQ(spawn1, spawn0 + kTasks);
+  EXPECT_EQ(run1, run0 + kTasks);
+  EXPECT_GE(ready1, ready0);
+  // ...and in the profile.
+  EXPECT_EQ(rt.profile().tasks, profile_count0 + kTasks);
+  const auto labels = rt.profile().labels;
+  const auto it = std::find_if(labels.begin(), labels.end(), [](const auto& l) {
+    return l.name == "replayed_op";
+  });
+  ASSERT_NE(it, labels.end());
+  EXPECT_GE(it->count, kTasks * 3); // capture + 2 replays
+
+  // The zero-interning proof: replay reuses the hash interned at capture —
+  // a warmed replay (submission + execution + retirement) performs zero
+  // TraceSystem/ProfSystem::intern calls.
+  EXPECT_EQ(trace->intern_calls() + prof->intern_calls(), interns0);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end anchor: the opgraph app (exact uint64 arithmetic — checksums
+// must be *bit-identical* across seq / fresh-resolution / replay at every
+// thread count).  The runtimes inside the app read OSS_DEP_SHARDS /
+// OSS_POOL etc. from the environment, so the run_matrix.sh phase-2 sweep
+// fuzzes this parity across the whole shards × pool × scheduler matrix.
+// ---------------------------------------------------------------------------
+
+TEST(Replay, OpgraphChecksumParityAndBypassAcrossVariants) {
+  const apps::OpGraphWorkload w =
+      apps::OpGraphWorkload::make(benchcore::Scale::Tiny);
+  const std::uint64_t ref = apps::opgraph_seq(w);
+  const auto ops = static_cast<std::uint64_t>(w.ops_per_iteration());
+  const auto iters = static_cast<std::uint64_t>(w.iters);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    oss::StatsSnapshot fresh{}, replay{};
+    EXPECT_EQ(apps::opgraph_ompss(w, threads, &fresh), ref);
+    EXPECT_EQ(apps::opgraph_replay(w, threads, &replay), ref);
+    // Fresh resolution registers every task of every iteration; replay
+    // registers only the capture iteration and replays the rest.
+    EXPECT_EQ(fresh.replayed_tasks, 0u);
+    EXPECT_EQ(fresh.dep_single_shard + fresh.dep_multi_shard, ops * iters);
+    EXPECT_EQ(replay.replayed_tasks, ops * (iters - 1));
+    EXPECT_EQ(replay.replay_graphs, iters - 1);
+    EXPECT_EQ(replay.dep_single_shard + replay.dep_multi_shard, ops);
+    EXPECT_EQ(replay.tasks_executed, ops * iters);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Zero-allocation proof for the warmed replay loop
+// ---------------------------------------------------------------------------
+
+TEST(Replay, WarmedReplaySubmissionIsAllocationFree) {
+  if (!interposer_active()) {
+    GTEST_SKIP() << "allocation interposer disabled under sanitizers";
+  }
+  RuntimeConfig cfg = replay_config(1, 8, true);
+  Runtime rt(cfg);
+  std::array<std::uint64_t, 8> buf{};
+  ReplayGraph g;
+  {
+    GraphCapture cap(rt);
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      if (i == 0) {
+        rt.task("h").out(buf[0]).spawn([&buf] { buf[0] += 1; });
+      } else {
+        rt.task("l").in(buf[i - 1]).out(buf[i]).spawn(
+            [&buf, i] { buf[i] = buf[i - 1] + 1; });
+      }
+    }
+    g = cap.finish();
+  }
+  rt.taskwait();
+  const auto binder = [&buf](std::size_t i) -> oss::Task::Fn {
+    if (i == 0) return [&buf] { buf[0] += 1; };
+    return [&buf, i] { buf[i] = buf[i - 1] + 1; };
+  };
+  // Warm everything: the task pool, the replay scratch vectors, the
+  // scheduler queues, the trace-less spawn path.
+  for (int r = 0; r < 4; ++r) {
+    rt.replay(g, binder);
+    rt.taskwait();
+  }
+  // With one thread, nothing executes during submission (worker 0 only
+  // helps inside waits) — the counted window is exactly the replay array
+  // walk: pool acquires, pre-wiring, guard releases, batch enqueue.
+  const std::uint64_t allocs = count_allocs([&] { rt.replay(g, binder); });
+  rt.taskwait();
+  EXPECT_EQ(allocs, 0u);
+}
+
+} // namespace

@@ -20,13 +20,15 @@
 #
 # A second, dedicated phase sweeps the dependency-domain sharding axis
 # (OSS_DEP_SHARDS ∈ {1, 8} × OSS_POOL ∈ {on, off} × OSS_SCHEDULER) over
-# the concurrent-spawner stress suite and the multi-stream decode-service
-# suite — the two structurally different registration paths (single-lock
-# fallback vs sorted multi-lock), with task/node pooling both armed and
-# disarmed, under every scheduler, without doubling the full cross product.
-# The service suite rides this phase because its per-stream checksum
-# parity is exactly the property the scheduler × shards × pool axes could
-# break.
+# the concurrent-spawner stress suite, the multi-stream decode-service
+# suite, and the graph-replay suite — the two structurally different
+# registration paths (single-lock fallback vs sorted multi-lock), with
+# task/node pooling both armed and disarmed, under every scheduler,
+# without doubling the full cross product.  The service suite rides this
+# phase because its per-stream checksum parity is exactly the property the
+# scheduler × shards × pool axes could break; the replay suite because its
+# edge-multiset parity contract is *defined* over the shards × pool axis
+# (docs/replay.md).
 #
 # Usage:
 #   tests/run_matrix.sh [build-dir]          (default: ./build)
@@ -45,7 +47,7 @@ NUMAS=${MATRIX_NUMAS:-"bind off"}
 TOPOLOGIES=${MATRIX_TOPOLOGIES:-"flat 2x2"}
 DEP_SHARDS=${MATRIX_DEP_SHARDS:-"1 8"}
 POOLS=${MATRIX_POOLS:-"on off"}
-SHARD_BINARIES=${MATRIX_SHARD_BINARIES:-"ompss_test_concurrent_spawn service_test_service"}
+SHARD_BINARIES=${MATRIX_SHARD_BINARIES:-"ompss_test_concurrent_spawn ompss_test_replay service_test_service"}
 GTEST_ARGS=${MATRIX_GTEST_ARGS:-"--gtest_brief=1"}
 
 for bin in $BINARIES $SHARD_BINARIES; do
